@@ -1,0 +1,77 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator substrate itself:
+ * how fast the event queue, LAPIC, IOMMU and L2 classifier run. These
+ * bound how much simulated traffic the figure benches can push per
+ * wall-clock second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "intr/lapic.hpp"
+#include "mem/iommu.hpp"
+#include "nic/l2_switch.hpp"
+#include "nic/sriov_nic.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+using namespace sriov;
+
+static void
+BM_EventQueueScheduleRun(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        for (int i = 0; i < 1000; ++i)
+            eq.scheduleIn(sim::Time::ns(i), []() {});
+        benchmark::DoNotOptimize(eq.runAll());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+static void
+BM_LapicAcceptEoi(benchmark::State &state)
+{
+    intr::Lapic lapic;
+    lapic.setDeliver([](intr::Vector) {});
+    for (auto _ : state) {
+        lapic.accept(0x41);
+        lapic.eoi();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LapicAcceptEoi);
+
+static void
+BM_IommuTranslate(benchmark::State &state)
+{
+    mem::GuestPhysMap map("bench");
+    map.mapRange(0, 1 << 20, 64 * mem::kPageSize);
+    mem::Iommu iommu;
+    iommu.attach(0x100, map);
+    sim::Random rng;
+    for (auto _ : state) {
+        mem::Addr gpa = (rng.next() % 64) * mem::kPageSize;
+        benchmark::DoNotOptimize(iommu.translate(0x100, gpa, true));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IommuTranslate);
+
+static void
+BM_L2Classify(benchmark::State &state)
+{
+    nic::L2Switch l2;
+    for (unsigned i = 0; i < 64; ++i)
+        l2.setFilter(nic::MacAddr::make(1, std::uint16_t(i)), 0,
+                     nic::Pool(i % 8));
+    nic::Packet pkt;
+    sim::Random rng;
+    for (auto _ : state) {
+        pkt.dst = nic::MacAddr::make(1, std::uint16_t(rng.next() % 64));
+        benchmark::DoNotOptimize(l2.classify(pkt));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_L2Classify);

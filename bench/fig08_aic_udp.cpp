@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 8 — UDP_STREAM bandwidth and CPU utilization under different
+ * interrupt-coalescing policies: 20 kHz, 2 kHz (VF driver default),
+ * AIC, 1 kHz (§5.3). One HVM guest (2.6.28), one 1 GbE port.
+ *
+ * Paper result: throughput stays at 957 Mb/s for 20 kHz, 2 kHz and
+ * AIC; CPU drops ~40% from 20 kHz to 2 kHz and further with AIC;
+ * dom0 stays ~1.5% throughout.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/testbed.hpp"
+#include "sim/log.hpp"
+
+using namespace sriov;
+
+int
+main()
+{
+    sim::setLogLevel(sim::LogLevel::Quiet);
+    core::banner("Fig. 8: UDP_STREAM vs interrupt coalescing policy "
+                 "(1 HVM guest, 1 GbE)");
+
+    core::Table t({"policy", "throughput(Mb/s)", "guest CPU", "Xen CPU",
+                   "dom0 CPU", "irq/s", "sock drops/s"});
+    for (const std::string &policy : {"20kHz", "2kHz", "AIC", "1kHz"}) {
+        core::Testbed::Params p;
+        p.num_ports = 1;
+        p.opts = core::OptimizationSet::maskEoi();
+        p.opts.aic = policy == "AIC";
+        p.itr = policy;
+        core::Testbed tb(p);
+
+        auto &g = tb.addGuest(vmm::DomainType::Hvm,
+                              core::Testbed::NetMode::Sriov);
+        tb.startUdpToGuest(g, p.line_bps);
+
+        tb.run(sim::Time::sec(2));
+        std::uint64_t irqs0 = g.vf->deviceStats().interrupts.value();
+        std::uint64_t drops0 = g.stack->udpSocketDrops();
+        auto m = tb.measure(sim::Time(), sim::Time::sec(5));
+        double irq_rate =
+            (g.vf->deviceStats().interrupts.value() - irqs0) / m.seconds;
+        double drop_rate =
+            double(g.stack->udpSocketDrops() - drops0) / m.seconds;
+
+        t.addRow({policy, core::Table::num(m.total_goodput_bps / 1e6, 0),
+                  core::cpuPct(m.guests_pct), core::cpuPct(m.xen_pct),
+                  core::cpuPct(m.dom0_pct), core::Table::num(irq_rate, 0),
+                  core::Table::num(drop_rate, 0)});
+    }
+    t.print();
+    std::printf("\npaper: 957 Mb/s for 20k/2k/AIC; ~40%% CPU saving "
+                "20k -> 2k; AIC lowest CPU without loss\n");
+    return 0;
+}

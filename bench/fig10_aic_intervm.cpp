@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Fig. 10 — inter-VM communication (dom0 sends UDP to a guest through
+ * the SR-IOV port's internal switch) under different coalescing
+ * policies, sweeping the offered load.
+ *
+ * Paper result: TX bandwidth rises with offered load; at fixed 2 kHz
+ * and 1 kHz the RX side falls behind (receive-buffer overflow drops
+ * packets once more than `bufs` arrive per interrupt interval), while
+ * AIC raises its interrupt frequency with the traffic and avoids the
+ * loss; 20 kHz avoids loss but burns CPU.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/testbed.hpp"
+#include "sim/log.hpp"
+
+using namespace sriov;
+
+int
+main()
+{
+    sim::setLogLevel(sim::LogLevel::Quiet);
+    core::banner("Fig. 10: dom0 -> guest inter-VM UDP vs coalescing "
+                 "policy (single port)");
+
+    core::Table t({"policy", "offered(Mb/s)", "TX BW(Mb/s)", "RX BW(Mb/s)",
+                   "loss", "guest irq/s", "guest CPU"});
+    for (const std::string &policy : {"20kHz", "2kHz", "AIC", "1kHz"}) {
+        for (double offered : {500e6, 1000e6, 1500e6, 2000e6, 2500e6}) {
+            core::Testbed::Params p;
+            p.num_ports = 1;
+            p.opts = core::OptimizationSet::maskEoi();
+            p.opts.aic = policy == "AIC";
+            p.itr = policy;
+            core::Testbed tb(p);
+
+            auto &g = tb.addGuest(vmm::DomainType::Hvm,
+                                  core::Testbed::NetMode::Sriov);
+            auto &snd = tb.startUdpFromDom0(g, offered);
+
+            tb.run(sim::Time::sec(2));
+            std::uint64_t irqs0 = g.vf->deviceStats().interrupts.value();
+            std::uint64_t sent0 = snd.sentBytes();
+            auto m = tb.measure(sim::Time(), sim::Time::sec(4));
+            double tx_bps =
+                double(snd.sentBytes() - sent0) * 8.0 / m.seconds;
+            double rx_bps = m.total_goodput_bps;
+            double irq_rate =
+                (g.vf->deviceStats().interrupts.value() - irqs0)
+                / m.seconds;
+            double loss = tx_bps > 0 ? 100.0 * (tx_bps - rx_bps) / tx_bps
+                                     : 0.0;
+
+            t.addRow({policy, core::Table::num(offered / 1e6, 0),
+                      core::Table::num(tx_bps / 1e6, 0),
+                      core::Table::num(rx_bps / 1e6, 0),
+                      core::Table::num(loss, 1) + "%",
+                      core::Table::num(irq_rate, 0),
+                      core::cpuPct(m.guests_pct)});
+        }
+    }
+    t.print();
+    std::printf("\npaper: fixed 2/1 kHz drop packets as load rises "
+                "(RX < TX); AIC adapts its frequency and avoids loss\n");
+    return 0;
+}

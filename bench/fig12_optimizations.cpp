@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Fig. 12 — impact of the MSI, EOI and AIC optimizations at aggregate
+ * 10 GbE (10 VMs on ten 1 GbE ports, one VF each), against the native
+ * baseline (10 VF drivers + PF drivers in one bare-metal OS).
+ *
+ * Paper result: line rate (9.57 Gb/s) in every configuration; CPU
+ * falls 499% -> 227% with MSI acceleration on a 2.6.18 guest; a
+ * 2.6.28 guest saves a further 23 points with EOI acceleration and 24
+ * with AIC, landing at 193% vs 145% native.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/testbed.hpp"
+#include "sim/log.hpp"
+
+using namespace sriov;
+
+namespace {
+
+struct Case
+{
+    const char *label;
+    guest::KernelVersion kv;
+    vmm::DomainType type;
+    core::OptimizationSet opts;
+    std::string itr;
+};
+
+} // namespace
+
+int
+main()
+{
+    sim::setLogLevel(sim::LogLevel::Quiet);
+    core::banner("Fig. 12: optimization impact at aggregate 10 GbE "
+                 "(10 VMs x 1 GbE, UDP_STREAM RX)");
+
+    std::vector<Case> cases;
+    cases.push_back({"2.6.18 HVM baseline", guest::KernelVersion::v2_6_18,
+                     vmm::DomainType::Hvm, core::OptimizationSet::none(),
+                     "adaptive"});
+    cases.push_back({"2.6.18 HVM +MSI", guest::KernelVersion::v2_6_18,
+                     vmm::DomainType::Hvm,
+                     core::OptimizationSet::maskOnly(), "adaptive"});
+    cases.push_back({"2.6.28 HVM baseline", guest::KernelVersion::v2_6_28,
+                     vmm::DomainType::Hvm,
+                     core::OptimizationSet::maskOnly(), "adaptive"});
+    cases.push_back({"2.6.28 HVM +EOI", guest::KernelVersion::v2_6_28,
+                     vmm::DomainType::Hvm, core::OptimizationSet::maskEoi(),
+                     "adaptive"});
+    Case all{"2.6.28 HVM +EOI+AIC", guest::KernelVersion::v2_6_28,
+             vmm::DomainType::Hvm, core::OptimizationSet::all(), "AIC"};
+    cases.push_back(all);
+    cases.push_back({"native (10 VF drivers)",
+                     guest::KernelVersion::v2_6_28, vmm::DomainType::Native,
+                     core::OptimizationSet::maskEoi(), "adaptive"});
+    // Extra row beyond the paper: the native floor under the *same*
+    // interrupt moderation as the AIC guests, for an apples-to-apples
+    // comparison (the paper's native row runs the driver default).
+    Case native_aic{"native +AIC (fair floor)",
+                    guest::KernelVersion::v2_6_28, vmm::DomainType::Native,
+                    core::OptimizationSet::all(), "AIC"};
+    cases.push_back(native_aic);
+
+    core::Table t({"configuration", "throughput(Gb/s)", "total CPU",
+                   "guest", "Xen", "dom0"});
+    for (const auto &c : cases) {
+        core::Testbed::Params p;
+        p.num_ports = 10;
+        p.opts = c.opts;
+        p.itr = c.itr;
+        core::Testbed tb(p);
+        for (unsigned i = 0; i < 10; ++i) {
+            auto &g = tb.addGuest(c.type, core::Testbed::NetMode::Sriov,
+                                  c.kv);
+            tb.startUdpToGuest(g, p.line_bps);
+        }
+        auto m = tb.measure(sim::Time::sec(2), sim::Time::sec(5));
+        t.addRow({c.label, core::gbps(m.total_goodput_bps),
+                  core::cpuPct(m.total_pct), core::cpuPct(m.guests_pct),
+                  core::cpuPct(m.xen_pct), core::cpuPct(m.dom0_pct)});
+    }
+    t.print();
+    std::printf("\npaper: 499%% -> 227%% (MSI, 2.6.18); 2.6.28: -23 pts "
+                "(EOI), -24 pts (AIC) -> 193%%; native 145%%; all at "
+                "9.57 Gb/s\n");
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Fig. 19 — VMDq scalability on an 82598-like 10 GbE adapter with 8
+ * queue pairs, PVM guests.
+ *
+ * Paper result: throughput peaks around 10 VMs and decays as VM#
+ * grows — only 7 guests get a hardware queue; the rest share the
+ * default queue through the copying PV bridge. (The paper also saw
+ * throughput *rise* again from 40 to 60 VMs, which the authors
+ * attribute to "a program defect in the [inactive VMDq] tree"; we
+ * reproduce the peak-and-decay, not the defect.)
+ */
+
+#include <cstdio>
+
+#include "core/experiment.hpp"
+#include "core/testbed.hpp"
+#include "sim/log.hpp"
+
+using namespace sriov;
+
+int
+main()
+{
+    sim::setLogLevel(sim::LogLevel::Quiet);
+    core::banner("Fig. 19: VMDq scalability, PVM guests, one 10 GbE "
+                 "82598 (8 queue pairs)");
+
+    core::Table t({"VMs", "throughput(Gb/s)", "total CPU", "dom0",
+                   "VMDq-served VMs"});
+    for (unsigned n : {2u, 4u, 7u, 10u, 20u, 30u, 40u, 50u, 60u}) {
+        core::Testbed::Params p;
+        p.use_vmdq_nic = true;
+        p.opts = core::OptimizationSet::maskEoi();
+        p.netback_threads = 4;
+        core::Testbed tb(p);
+
+        for (unsigned i = 0; i < n; ++i)
+            tb.addGuest(vmm::DomainType::Pvm,
+                        core::Testbed::NetMode::Vmdq);
+        double per_guest = 10e9 / n;
+        for (unsigned i = 0; i < n; ++i)
+            tb.startUdpToGuest(tb.guest(i), per_guest);
+
+        auto m = tb.measure(sim::Time::sec(2), sim::Time::sec(4));
+        t.addRow({core::Table::num(n, 0),
+                  core::gbps(m.total_goodput_bps),
+                  core::cpuPct(m.total_pct), core::cpuPct(m.dom0_pct),
+                  core::Table::num(tb.vmdqBackend().queuesInUse(), 0)});
+    }
+    t.print();
+    std::printf("\npaper: peak near 10 VMs, progressive decay beyond "
+                "(only 7 guests get VMDq queues)\n");
+    return 0;
+}

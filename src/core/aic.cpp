@@ -1,0 +1,36 @@
+#include "core/aic.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "sim/log.hpp"
+
+namespace sriov::core {
+
+double
+aicFrequency(double pps, std::size_t ap_bufs, std::size_t dd_bufs,
+             double r, double lif)
+{
+    double bufs = double(std::min(ap_bufs, dd_bufs));
+    return std::max(pps * r / bufs, lif);
+}
+
+std::unique_ptr<drivers::ItrPolicy>
+makeItrPolicy(const std::string &spec)
+{
+    if (spec == "AIC" || spec == "aic")
+        return std::make_unique<drivers::AicItr>();
+    if (spec == "adaptive")
+        return std::make_unique<drivers::AdaptiveItr>();
+
+    // "20kHz", "2kHz", "1000", ...
+    char *end = nullptr;
+    double v = std::strtod(spec.c_str(), &end);
+    if (end == spec.c_str())
+        sim::fatal("unknown ITR policy '%s'", spec.c_str());
+    if (end && (*end == 'k' || *end == 'K'))
+        v *= 1000.0;
+    return std::make_unique<drivers::StaticItr>(v);
+}
+
+} // namespace sriov::core

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * ITR-policy factory + the AIC equations as standalone functions
+ * (paper Section 5.3). Benches and examples name policies as strings
+ * ("20kHz", "2kHz", "1kHz", "AIC", "adaptive").
+ */
+
+#ifndef SRIOV_CORE_AIC_HPP
+#define SRIOV_CORE_AIC_HPP
+
+#include <memory>
+#include <string>
+
+#include "drivers/itr_policy.hpp"
+
+namespace sriov::core {
+
+/**
+ * Eq. (1)–(2): the interrupt frequency that avoids overflowing the
+ * smaller of the application/driver buffer pools with 1/r headroom.
+ */
+double aicFrequency(double pps, std::size_t ap_bufs, std::size_t dd_bufs,
+                    double r, double lif);
+
+/**
+ * Build a policy from a spec string: "AIC", "adaptive", or a static
+ * frequency like "20kHz" / "2000" (Hz).
+ */
+std::unique_ptr<drivers::ItrPolicy> makeItrPolicy(const std::string &spec);
+
+} // namespace sriov::core
+
+#endif // SRIOV_CORE_AIC_HPP

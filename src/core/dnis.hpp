@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Dnis: Dynamic Network Interface Switching (paper Section 4.4,
+ * Fig. 5).
+ *
+ * The VF driver sticks to hardware, so a guest holding a VF cannot be
+ * live-migrated directly. DNIS bonds the VF with a hardware-neutral
+ * PV NIC (active-backup), and around migration:
+ *
+ *  1. The migration manager asks the virtual ACPI hot-plug controller
+ *     to signal hot removal of the VF.
+ *  2. The guest reacts (after a handling delay): the bonding driver
+ *     fails over to the PV NIC while the VF driver quiesces and shuts
+ *     down — the interface-switch window during which packets are
+ *     lost (the extra ~0.6 s outage at the start of Fig. 21).
+ *  3. With the hardware stickiness gone, ordinary pre-copy live
+ *     migration runs as if the guest never had a VF.
+ *  4. On the target, a virtual hot *add* restores a VF (not
+ *     necessarily identical hardware) and the bond switches back for
+ *     runtime performance.
+ */
+
+#ifndef SRIOV_CORE_DNIS_HPP
+#define SRIOV_CORE_DNIS_HPP
+
+#include <functional>
+
+#include "drivers/netfront.hpp"
+#include "drivers/vf_driver.hpp"
+#include "guest/bonding.hpp"
+#include "pci/hotplug_slot.hpp"
+#include "vmm/migration.hpp"
+
+namespace sriov::core {
+
+class Dnis : public pci::HotplugListener
+{
+  public:
+    struct Params
+    {
+        /** ACPI event delivery + guest hot-plug handling latency. */
+        sim::Time remove_ack_delay = sim::Time::ms(150);
+        /** Interface-switch window (VF quiesce + failover settle). */
+        sim::Time vf_quiesce = sim::Time::ms(450);
+        /** Hot-add + VF driver re-init latency on the target. */
+        sim::Time hot_add_delay = sim::Time::ms(500);
+        vmm::MigrationManager::Params mig{};
+    };
+
+    struct Report
+    {
+        vmm::MigrationManager::Result mig;
+        sim::Time switch_started;     ///< hot-removal signalled
+        sim::Time switched_to_pv;     ///< bond running on the PV NIC
+        sim::Time vf_restored;        ///< bond back on a VF
+    };
+
+    Dnis(vmm::Hypervisor &hv, vmm::MigrationManager &mm);
+
+    /**
+     * Register the guest's network trio with DNIS; the VF slave is
+     * activated for runtime performance.
+     */
+    void manage(vmm::Domain &dom, drivers::VfDriver &vf,
+                drivers::NetfrontDriver &pv, guest::BondingDriver &bond,
+                pci::HotplugSlot &slot);
+
+    /** Run the full DNIS migration sequence. */
+    void migrate(const Params &p, std::function<void(const Report &)> done);
+
+    /** @name HotplugListener (the guest's hot-plug handling). @{ */
+    void hotAdded(pci::PciFunction &fn) override;
+    void removeRequested(pci::PciFunction &fn) override;
+    /** @} */
+
+    guest::BondingDriver *bond() { return bond_; }
+
+  private:
+    vmm::Hypervisor &hv_;
+    vmm::MigrationManager &mm_;
+    vmm::Domain *dom_ = nullptr;
+    drivers::VfDriver *vf_ = nullptr;
+    drivers::NetfrontDriver *pv_ = nullptr;
+    guest::BondingDriver *bond_ = nullptr;
+    pci::HotplugSlot *slot_ = nullptr;
+    Params params_;
+    Report report_;
+    std::function<void(const Report &)> done_;
+};
+
+} // namespace sriov::core
+
+#endif // SRIOV_CORE_DNIS_HPP

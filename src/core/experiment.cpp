@@ -1,0 +1,80 @@
+#include "core/experiment.hpp"
+
+#include <cstdio>
+
+namespace sriov::core {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::num(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> w(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        w[c] = headers_[c].size();
+    for (const auto &r : rows_) {
+        for (std::size_t c = 0; c < r.size() && c < w.size(); ++c)
+            w[c] = std::max(w[c], r[c].size());
+    }
+    auto fmtRow = [&](const std::vector<std::string> &r) {
+        std::string line;
+        for (std::size_t c = 0; c < w.size(); ++c) {
+            std::string cell = c < r.size() ? r[c] : "";
+            line += cell;
+            line.append(w[c] - cell.size() + 2, ' ');
+        }
+        line += "\n";
+        return line;
+    };
+    std::string out = fmtRow(headers_);
+    std::size_t total = 0;
+    for (auto x : w)
+        total += x + 2;
+    out += std::string(total, '-') + "\n";
+    for (const auto &r : rows_)
+        out += fmtRow(r);
+    return out;
+}
+
+void
+Table::print() const
+{
+    std::fputs(toString().c_str(), stdout);
+}
+
+std::string
+gbps(double bps)
+{
+    return Table::num(bps / 1e9, 2);
+}
+
+std::string
+cpuPct(double pct)
+{
+    return Table::num(pct, 1) + "%";
+}
+
+void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n", title.c_str());
+}
+
+} // namespace sriov::core

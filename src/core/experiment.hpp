@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small presentation helpers shared by the benchmark binaries: fixed
+ * width tables matching the rows/series the paper's figures report.
+ */
+
+#ifndef SRIOV_CORE_EXPERIMENT_HPP
+#define SRIOV_CORE_EXPERIMENT_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/testbed.hpp"
+
+namespace sriov::core {
+
+/** Simple fixed-width text table. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p prec decimals. */
+    static std::string num(double v, int prec = 2);
+
+    std::string toString() const;
+    void print() const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Gbit/s with 2 decimals, e.g. "9.57". */
+std::string gbps(double bps);
+/** Percent of one CPU, e.g. "193.4%". */
+std::string cpuPct(double pct);
+
+/** Print a figure banner ("=== Fig. 6 ... ==="). */
+void banner(const std::string &title);
+
+} // namespace sriov::core
+
+#endif // SRIOV_CORE_EXPERIMENT_HPP

@@ -1,0 +1,123 @@
+#include "core/iov_manager.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace sriov::core {
+
+VirtualVfConfig::VirtualVfConfig(pci::PciFunction &vf, pci::PciFunction &pf,
+                                 pci::SriovCapability &cap)
+    : vf_(vf), pf_(pf), cap_(cap)
+{
+}
+
+std::uint32_t
+VirtualVfConfig::read(std::uint16_t off, unsigned size) const
+{
+    // Synthesize the fields a trimmed VF does not implement (SR-IOV
+    // spec: VF Vendor ID reads all-ones on the physical function).
+    if (off == pci::cfg::kVendorId && size >= 2) {
+        std::uint32_t v = pf_.config().raw16(pci::cfg::kVendorId);
+        if (size == 4)
+            v |= std::uint32_t(cap_.vfDeviceId()) << 16;
+        return v;
+    }
+    if (off == pci::cfg::kDeviceId && size == 2)
+        return cap_.vfDeviceId();
+    return vf_.config().read(off, size);
+}
+
+void
+VirtualVfConfig::write(std::uint16_t off, std::uint32_t v, unsigned size)
+{
+    std::uint16_t end = std::uint16_t(off + size);
+    bool in_header = end <= 0x40;
+    bool is_command =
+        off >= pci::cfg::kCommand && end <= pci::cfg::kCommand + 2;
+    bool is_intline = off == pci::cfg::kIntLine && size == 1;
+    if (in_header && !is_command && !is_intline) {
+        denied_.inc();
+        return;
+    }
+    vf_.config().write(off, v, size);
+}
+
+IovManager::IovManager(vmm::Hypervisor &hv) : hv_(hv) {}
+
+void
+IovManager::registerNic(nic::SriovNic &nic)
+{
+    nics_.push_back(&nic);
+    hv_.rootComplex().plug(nic.pf());
+    nic.onVfsChanged([this, &nic]() { syncVfs(nic); });
+    nic.onVfsRemoving([this, &nic]() {
+        // Unplug the VFs while the objects are still alive.
+        for (pci::PciFunction *vf : added_[&nic]) {
+            hv_.rootComplex().unplug(*vf);
+            cfgs_.erase(vf);
+        }
+        added_[&nic].clear();
+    });
+    syncVfs(nic);
+}
+
+void
+IovManager::syncVfs(nic::SriovNic &nic)
+{
+    auto &list = added_[&nic];
+    for (unsigned i = 0; i < nic.numVfs(); ++i) {
+        pci::PciFunction *vf = nic.vf(i);
+        if (std::find(list.begin(), list.end(), vf) != list.end())
+            continue;
+        // "Linux PCI hot add": the VF joins the host view even though
+        // a vendor-ID scan cannot discover it.
+        hv_.rootComplex().plug(*vf);
+        list.push_back(vf);
+    }
+}
+
+std::vector<pci::PciFunction *>
+IovManager::hostVisibleVfs() const
+{
+    std::vector<pci::PciFunction *> out;
+    for (const auto &[nic, vfs] : added_)
+        out.insert(out.end(), vfs.begin(), vfs.end());
+    return out;
+}
+
+VirtualVfConfig &
+IovManager::assign(vmm::Domain &guest, nic::SriovNic &nic,
+                   unsigned vf_index)
+{
+    pci::PciFunction *vf = nic.vf(vf_index);
+    if (!vf)
+        sim::fatal("assign: %s has no VF %u", nic.name().c_str(), vf_index);
+    hv_.assignDevice(guest, *vf);
+    auto cfg = std::make_unique<VirtualVfConfig>(*vf, nic.pf(),
+                                                 nic.sriovCap());
+    auto [it, inserted] = cfgs_.emplace(vf, std::move(cfg));
+    if (!inserted)
+        sim::fatal("VF %s already assigned", vf->name().c_str());
+    return *it->second;
+}
+
+void
+IovManager::deassign(vmm::Domain &guest, nic::SriovNic &nic,
+                     unsigned vf_index)
+{
+    pci::PciFunction *vf = nic.vf(vf_index);
+    if (!vf)
+        return;
+    hv_.deassignDevice(guest, *vf);
+    cfgs_.erase(vf);
+}
+
+VirtualVfConfig *
+IovManager::configOf(pci::PciFunction &vf)
+{
+    auto it = cfgs_.find(&vf);
+    return it == cfgs_.end() ? nullptr : it->second.get();
+}
+
+} // namespace sriov::core

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * IovManager — the SR-IOV Manager (IOVM) of the paper's architecture
+ * (Section 4.1, Fig. 4).
+ *
+ * Two jobs:
+ *
+ *  1. Host-side enumeration. VFs are trimmed functions that do not
+ *     answer an ordinary vendor-ID bus scan, so after the PF driver
+ *     sets VF Enable the IOVM walks the SR-IOV capability, computes
+ *     each VF's RID (offset/stride), and hot-adds the VFs into the
+ *     host's PCI view ("Linux PCI hot add APIs").
+ *
+ *  2. Guest-side presentation. When a VF is assigned, the IOVM
+ *     synthesizes a *full* virtual configuration space on top of the
+ *     trimmed physical one (vendor ID from the PF, device ID from the
+ *     SR-IOV capability), so the guest can enumerate and configure the
+ *     VF like an ordinary PCIe function. Guest writes are filtered:
+ *     only the command register and driver-owned capability fields go
+ *     through.
+ */
+
+#ifndef SRIOV_CORE_IOV_MANAGER_HPP
+#define SRIOV_CORE_IOV_MANAGER_HPP
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "nic/sriov_nic.hpp"
+#include "vmm/hypervisor.hpp"
+
+namespace sriov::core {
+
+/** The full virtual configuration space the guest sees for one VF. */
+class VirtualVfConfig
+{
+  public:
+    VirtualVfConfig(pci::PciFunction &vf, pci::PciFunction &pf,
+                    pci::SriovCapability &cap);
+
+    pci::PciFunction &vf() { return vf_; }
+
+    /** Guest-visible read: trimmed fields are synthesized. */
+    std::uint32_t read(std::uint16_t off, unsigned size) const;
+
+    /** Guest-visible write: filtered to driver-owned registers. */
+    void write(std::uint16_t off, std::uint32_t v, unsigned size);
+
+    std::uint64_t deniedWrites() const { return denied_.value(); }
+
+  private:
+    pci::PciFunction &vf_;
+    pci::PciFunction &pf_;
+    pci::SriovCapability &cap_;
+    sim::Counter denied_;
+};
+
+class IovManager
+{
+  public:
+    explicit IovManager(vmm::Hypervisor &hv);
+
+    /**
+     * Adopt an SR-IOV port: plug the PF into the root complex and
+     * hot-add any currently enabled VFs; stays subscribed so later
+     * VF Enable transitions are mirrored into the host view.
+     */
+    void registerNic(nic::SriovNic &nic);
+
+    /** VFs currently visible to the host (hot-added by the IOVM). */
+    std::vector<pci::PciFunction *> hostVisibleVfs() const;
+
+    /**
+     * Assign VF @p vf_index of @p nic to @p guest: attaches the
+     * guest's page table to the VF RID in the IOMMU and builds the
+     * virtual configuration space.
+     */
+    VirtualVfConfig &assign(vmm::Domain &guest, nic::SriovNic &nic,
+                            unsigned vf_index);
+    void deassign(vmm::Domain &guest, nic::SriovNic &nic,
+                  unsigned vf_index);
+
+    VirtualVfConfig *configOf(pci::PciFunction &vf);
+
+  private:
+    void syncVfs(nic::SriovNic &nic);
+
+    vmm::Hypervisor &hv_;
+    std::vector<nic::SriovNic *> nics_;
+    std::map<nic::SriovNic *, std::vector<pci::PciFunction *>> added_;
+    std::map<pci::PciFunction *, std::unique_ptr<VirtualVfConfig>> cfgs_;
+};
+
+} // namespace sriov::core
+
+#endif // SRIOV_CORE_IOV_MANAGER_HPP

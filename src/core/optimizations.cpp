@@ -1,0 +1,59 @@
+#include "core/optimizations.hpp"
+
+namespace sriov::core {
+
+OptimizationSet
+OptimizationSet::none()
+{
+    return {};
+}
+
+OptimizationSet
+OptimizationSet::maskOnly()
+{
+    OptimizationSet s;
+    s.mask_unmask_accel = true;
+    return s;
+}
+
+OptimizationSet
+OptimizationSet::maskEoi()
+{
+    OptimizationSet s;
+    s.mask_unmask_accel = true;
+    s.eoi_accel = true;
+    return s;
+}
+
+OptimizationSet
+OptimizationSet::all()
+{
+    OptimizationSet s;
+    s.mask_unmask_accel = true;
+    s.eoi_accel = true;
+    s.aic = true;
+    return s;
+}
+
+void
+OptimizationSet::apply(vmm::Hypervisor &hv) const
+{
+    hv.opts().mask_unmask_accel = mask_unmask_accel;
+    hv.opts().eoi_accel = eoi_accel;
+    hv.opts().eoi_accel_check = eoi_accel_check;
+}
+
+std::string
+OptimizationSet::describe() const
+{
+    std::string s;
+    if (mask_unmask_accel)
+        s += "+MSI";
+    if (eoi_accel)
+        s += eoi_accel_check ? "+EOI(chk)" : "+EOI";
+    if (aic)
+        s += "+AIC";
+    return s.empty() ? "baseline" : s;
+}
+
+} // namespace sriov::core

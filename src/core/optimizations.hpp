@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Named optimization sets (paper Section 5), applied to a hypervisor
+ * and — for AIC, which lives in the driver — consulted by the testbed
+ * when it builds VF drivers.
+ */
+
+#ifndef SRIOV_CORE_OPTIMIZATIONS_HPP
+#define SRIOV_CORE_OPTIMIZATIONS_HPP
+
+#include <string>
+
+#include "vmm/hypervisor.hpp"
+
+namespace sriov::core {
+
+struct OptimizationSet
+{
+    bool mask_unmask_accel = false;    ///< Section 5.1
+    bool eoi_accel = false;            ///< Section 5.2
+    bool eoi_accel_check = false;      ///< §5.2 instruction check
+    bool aic = false;                  ///< Section 5.3
+
+    /** @name Presets used by the figures. @{ */
+    static OptimizationSet none();
+    static OptimizationSet maskOnly();
+    static OptimizationSet maskEoi();
+    static OptimizationSet all();
+    /** @} */
+
+    /** Program the hypervisor-side switches. */
+    void apply(vmm::Hypervisor &hv) const;
+
+    std::string describe() const;
+};
+
+} // namespace sriov::core
+
+#endif // SRIOV_CORE_OPTIMIZATIONS_HPP

@@ -1,0 +1,309 @@
+#include "core/testbed.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::core {
+
+Testbed::Testbed(Params p) : params_(std::move(p))
+{
+    vmm::Hypervisor::MachineParams mp;
+    server_ = std::make_unique<vmm::Hypervisor>(eq_, params_.costs, mp);
+    client_ = std::make_unique<vmm::Hypervisor>(eq_, params_.costs, mp);
+    params_.opts.apply(*server_);
+
+    iovm_ = std::make_unique<IovManager>(*server_);
+    migration_ = std::make_unique<vmm::MigrationManager>(*server_);
+    dom0_kern_ = std::make_unique<guest::GuestKernel>(
+        *server_, server_->dom0(), guest::KernelVersion::v2_6_28);
+
+    unsigned nports = params_.use_vmdq_nic ? 1 : params_.num_ports;
+    double line = params_.use_vmdq_nic ? 10e9 : params_.line_bps;
+
+    for (unsigned i = 0; i < nports; ++i) {
+        // Server-side NIC for this port.
+        nic::NicPort *server_end = nullptr;
+        if (params_.use_vmdq_nic) {
+            nic::VmdqNic::VmdqParams vp;
+            vmdq_nic_ = std::make_unique<nic::VmdqNic>(
+                eq_, "vmdq0", pci::Bdf{1, 0, 0}, vp);
+            vmdq_nic_->setIommu(&server_->iommu());
+            server_->rootComplex().plug(vmdq_nic_->pf());
+            vmdq_backend_ = std::make_unique<drivers::VmdqBackend>(
+                *dom0_kern_, *vmdq_nic_, drivers::VmdqBackend::Config{});
+            server_end = vmdq_nic_.get();
+        } else {
+            nic::SriovNic::SriovParams sp;
+            sp.total_vfs = std::uint16_t(params_.vfs_per_port);
+            // One bus per port so the VF RID windows (PF RID + 0x80 +
+            // 2*i) can never collide across ports.
+            auto nic = std::make_unique<nic::SriovNic>(
+                eq_, "eth_p" + std::to_string(i),
+                pci::Bdf{std::uint8_t(1 + i), 0, 0}, sp);
+            nic->setIommu(&server_->iommu());
+            iovm_->registerNic(*nic);
+            auto pf = std::make_unique<drivers::PfDriver>(*dom0_kern_,
+                                                          *nic);
+            pf->enableVfs(params_.vfs_per_port);
+            server_end = nic.get();
+            ports_.push_back(std::move(nic));
+            pf_drivers_.push_back(std::move(pf));
+        }
+
+        // Wire + client-side machine port.
+        nic::Wire::Params wp;
+        wp.line_bps = line;
+        wires_.push_back(std::make_unique<nic::Wire>(eq_, wp));
+
+        ClientPort cp;
+        // The client machine is not under test: give its adapters a
+        // fast PCIe path so they never bound the experiment.
+        nic::PlainNic::Params cnp;
+        cnp.dma.link_bps = 16e9;
+        cnp.dma.per_dma_overhead = sim::Time::ns(100);
+        cp.nic = std::make_unique<nic::PlainNic>(
+            eq_, "cli_p" + std::to_string(i),
+            pci::Bdf{std::uint8_t(1 + i), 0, 0}, cnp);
+        client_->rootComplex().plug(cp.nic->pf());
+        cp.dom = &client_->createDomain("cli" + std::to_string(i),
+                                        vmm::DomainType::Native,
+                                        64ull << 20);
+        cp.kern = std::make_unique<guest::GuestKernel>(*client_, *cp.dom);
+        drivers::VfDriver::Config dcfg;
+        dcfg.name = "cli_eth" + std::to_string(i);
+        dcfg.mac = nic::MacAddr::make(2, std::uint16_t(i + 1));
+        cp.drv = std::make_unique<drivers::NativeDriver>(*cp.kern, *cp.nic,
+                                                         nic::Pool(0),
+                                                         dcfg);
+        cp.drv->setItrPolicy(std::make_unique<drivers::AdaptiveItr>());
+        cp.drv->init();
+        cp.stack = std::make_unique<guest::NetStack>(*cp.kern);
+        cp.stack->attachDevice(*cp.drv);
+        wires_.back()->connect(*server_end, *cp.nic);
+        server_end->attachWire(*wires_.back());
+        cp.nic->attachWire(*wires_.back());
+        client_ports_.push_back(std::move(cp));
+    }
+}
+
+Testbed::~Testbed() = default;
+
+nic::NicPort &
+Testbed::serverNic(unsigned port)
+{
+    if (params_.use_vmdq_nic)
+        return *vmdq_nic_;
+    return *ports_.at(port);
+}
+
+std::unique_ptr<drivers::ItrPolicy>
+Testbed::makeGuestItr() const
+{
+    if (params_.opts.aic) {
+        drivers::AicItr::Params ap;
+        ap.ap_bufs = params_.ap_bufs;
+        return std::make_unique<drivers::AicItr>(ap);
+    }
+    return makeItrPolicy(params_.itr);
+}
+
+drivers::NetbackDriver &
+Testbed::netback(unsigned port)
+{
+    auto it = netbacks_.find(port);
+    if (it == netbacks_.end()) {
+        drivers::NetbackDriver::Config cfg;
+        cfg.num_threads = params_.netback_threads;
+        auto nb = std::make_unique<drivers::NetbackDriver>(*dom0_kern_,
+                                                           cfg);
+        nb->attachPhysical(serverNic(port));
+        it = netbacks_.emplace(port, std::move(nb)).first;
+    }
+    return *it->second;
+}
+
+Testbed::Guest &
+Testbed::addGuest(vmm::DomainType type, NetMode mode,
+                  guest::KernelVersion kv, bool bond_vf_with_pv)
+{
+    unsigned idx = unsigned(guests_.size());
+    unsigned port = params_.use_vmdq_nic ? 0 : idx % portCount();
+
+    auto g = std::make_unique<Guest>();
+    g->mac = guestMac(idx);
+    g->port = port;
+    g->mode = mode;
+    g->dom = &server_->createDomain("vm" + std::to_string(idx), type,
+                                    params_.guest_mem);
+    g->kern = std::make_unique<guest::GuestKernel>(*server_, *g->dom, kv);
+    g->stack = std::make_unique<guest::NetStack>(*g->kern);
+    g->stack->setUdpSocketCapacity(params_.ap_bufs);
+
+    switch (mode) {
+      case NetMode::Sriov: {
+        nic::SriovNic &nic = *ports_.at(port);
+        unsigned vf_index = next_vf_on_port_[port]++;
+        if (vf_index >= nic.numVfs())
+            sim::fatal("port %u out of VFs", port);
+        iovm_->assign(*g->dom, nic, vf_index);
+        drivers::VfDriver::Config cfg;
+        cfg.name = "eth0";
+        cfg.mac = g->mac;
+        g->vf = std::make_unique<drivers::VfDriver>(
+            *g->kern, nic, nic.vfPool(vf_index), cfg);
+        g->vf->setItrPolicy(makeGuestItr());
+        g->vf->init();
+        g->netdev = g->vf.get();
+        break;
+      }
+      case NetMode::Pv: {
+        g->pv = std::make_unique<drivers::NetfrontDriver>(*g->kern, "eth0",
+                                                          g->mac);
+        netback(port).connectGuest(*g->pv);
+        g->netdev = g->pv.get();
+        break;
+      }
+      case NetMode::Vmdq: {
+        g->pv = std::make_unique<drivers::NetfrontDriver>(*g->kern, "eth0",
+                                                          g->mac);
+        if (!vmdq_backend_ || !vmdq_backend_->assignQueue(*g->pv)) {
+            // Out of hardware queues: conventional PV bridge fallback.
+            netback(port).connectGuest(*g->pv);
+        } else {
+            // TX still rides the software bridge.
+            g->pv->setBackend(&netback(port));
+            netback(port).connectGuest(*g->pv);
+        }
+        g->netdev = g->pv.get();
+        break;
+      }
+    }
+
+    if (bond_vf_with_pv) {
+        if (!g->vf)
+            sim::fatal("bonding requires an SR-IOV guest");
+        g->pv = std::make_unique<drivers::NetfrontDriver>(
+            *g->kern, "eth_pv", g->mac);
+        netback(port).connectGuest(*g->pv);
+        g->bond = std::make_unique<guest::BondingDriver>("bond0");
+        g->bond->addSlave(*g->vf);
+        g->bond->addSlave(*g->pv);
+        g->netdev = g->bond.get();
+    }
+
+    g->stack->attachDevice(*g->netdev);
+    guests_.push_back(std::move(g));
+    return *guests_.back();
+}
+
+guest::UdpStreamSender &
+Testbed::startUdpToGuest(Guest &g, double offered_bps,
+                         std::uint32_t payload)
+{
+    if (!g.rx) {
+        g.rx = std::make_unique<guest::StreamReceiver>(
+            eq_, *g.stack, guest::StreamReceiver::Proto::Udp);
+    }
+    auto &cs = *client_ports_.at(g.port).stack;
+    udp_senders_.push_back(std::make_unique<guest::UdpStreamSender>(
+        eq_, cs, g.mac, offered_bps, payload,
+        std::uint32_t(guests_.size())));
+    udp_senders_.back()->start();
+    return *udp_senders_.back();
+}
+
+guest::TcpStreamSender &
+Testbed::startTcpToGuest(Guest &g, std::uint32_t window,
+                         std::uint32_t payload)
+{
+    if (!g.rx) {
+        g.rx = std::make_unique<guest::StreamReceiver>(
+            eq_, *g.stack, guest::StreamReceiver::Proto::Tcp);
+    }
+    auto &cs = *client_ports_.at(g.port).stack;
+    tcp_senders_.push_back(std::make_unique<guest::TcpStreamSender>(
+        eq_, cs, g.mac, window, payload));
+    tcp_senders_.back()->start();
+    return *tcp_senders_.back();
+}
+
+guest::NetStack &
+Testbed::dom0Net(unsigned port)
+{
+    auto it = dom0_ports_.find(port);
+    if (it == dom0_ports_.end()) {
+        Dom0Port dp;
+        drivers::VfDriver::Config cfg;
+        cfg.name = "dom0_eth" + std::to_string(port);
+        cfg.mac = nic::MacAddr::make(3, std::uint16_t(port + 1));
+        dp.drv = std::make_unique<drivers::VfDriver>(
+            *dom0_kern_, serverNic(port), nic::Pool(0), cfg);
+        dp.drv->setItrPolicy(std::make_unique<drivers::AdaptiveItr>());
+        dp.drv->init();
+        dp.stack = std::make_unique<guest::NetStack>(*dom0_kern_);
+        dp.stack->attachDevice(*dp.drv);
+        it = dom0_ports_.emplace(port, std::move(dp)).first;
+    }
+    return *it->second.stack;
+}
+
+guest::UdpStreamSender &
+Testbed::startUdpFromDom0(Guest &g, double offered_bps,
+                          std::uint32_t payload)
+{
+    if (!g.rx) {
+        g.rx = std::make_unique<guest::StreamReceiver>(
+            eq_, *g.stack, guest::StreamReceiver::Proto::Udp);
+    }
+    udp_senders_.push_back(std::make_unique<guest::UdpStreamSender>(
+        eq_, dom0Net(g.port), g.mac, offered_bps, payload, 9000));
+    udp_senders_.back()->start();
+    return *udp_senders_.back();
+}
+
+guest::UdpStreamSender &
+Testbed::startUdpGuestToGuest(Guest &from, Guest &to, double offered_bps,
+                              std::uint32_t payload)
+{
+    if (!to.rx) {
+        to.rx = std::make_unique<guest::StreamReceiver>(
+            eq_, *to.stack, guest::StreamReceiver::Proto::Udp);
+    }
+    udp_senders_.push_back(std::make_unique<guest::UdpStreamSender>(
+        eq_, *from.stack, to.mac, offered_bps, payload, 9001));
+    udp_senders_.back()->start();
+    return *udp_senders_.back();
+}
+
+Testbed::Measurement
+Testbed::measure(sim::Time warmup, sim::Time window)
+{
+    run(warmup);
+    auto snap = server_->snapshot();
+    for (auto &g : guests_) {
+        if (g->rx)
+            g->rx->takeThroughputBps();    // re-mark the window
+    }
+    run(window);
+
+    Measurement m;
+    m.seconds = window.toSeconds();
+    for (auto &g : guests_) {
+        double bps = g->rx ? g->rx->takeThroughputBps() : 0.0;
+        m.per_guest_bps.push_back(bps);
+        m.total_goodput_bps += bps;
+    }
+    m.cpu_by_tag = server_->cpuPercentByTag(snap);
+    for (const auto &[tag, pct] : m.cpu_by_tag) {
+        m.total_pct += pct;
+        if (tag == "xen") {
+            m.xen_pct += pct;
+        } else if (tag.rfind("dom0", 0) == 0) {
+            m.dom0_pct += pct;
+        } else if (tag.rfind("vm", 0) == 0) {
+            m.guests_pct += pct;
+        }
+    }
+    return m;
+}
+
+} // namespace sriov::core

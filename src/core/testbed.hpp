@@ -1,0 +1,196 @@
+/**
+ * @file
+ * Testbed: the paper's experimental setup in a box (Section 6.1).
+ *
+ * Builds two machines on one event queue:
+ *  - "server": dual quad-core Xeon 5500 (16 SMT threads @ 2.8 GHz,
+ *    12 GiB), Xen-3.4-like hypervisor, dom0 with 8 VCPUs pinned to
+ *    threads 0–7, and ten 82576-like 1 GbE SR-IOV ports (7 VFs each,
+ *    Fig. 11's allocation) — or a single 10 GbE VMDq NIC for §6.6.
+ *  - "client": an identical native machine running the netperf peers,
+ *    one per port, directly connected.
+ *
+ * Guests are added with a domain type (HVM/PVM/Native), an attachment
+ * mode (SR-IOV VF / PV split driver / VMDq queue), and a kernel
+ * version; guest i lands on port i mod num_ports, taking that port's
+ * next VF — exactly VF_{7j+n} of the paper.
+ */
+
+#ifndef SRIOV_CORE_TESTBED_HPP
+#define SRIOV_CORE_TESTBED_HPP
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/aic.hpp"
+#include "core/iov_manager.hpp"
+#include "core/optimizations.hpp"
+#include "drivers/native_driver.hpp"
+#include "drivers/netback.hpp"
+#include "drivers/pf_driver.hpp"
+#include "drivers/vmdq_driver.hpp"
+#include "guest/bonding.hpp"
+#include "guest/netperf.hpp"
+#include "nic/vmdq_nic.hpp"
+#include "vmm/migration.hpp"
+
+namespace sriov::core {
+
+class Testbed
+{
+  public:
+    enum class NetMode { Sriov, Pv, Vmdq };
+
+    struct Params
+    {
+        unsigned num_ports = 10;
+        double line_bps = 1e9;
+        unsigned vfs_per_port = 7;
+        vmm::CostModel costs{};
+        OptimizationSet opts{};
+        /** VF-driver ITR policy; "AIC" wins when opts.aic is set. */
+        std::string itr = "adaptive";
+        unsigned netback_threads = 4;
+        bool use_vmdq_nic = false;     ///< single 82598 instead of ports
+        mem::Addr guest_mem = 128ull << 20;
+        std::size_t ap_bufs = guest::SocketBuffer::kDefaultApBufs;
+    };
+
+    struct Guest
+    {
+        vmm::Domain *dom = nullptr;
+        std::unique_ptr<guest::GuestKernel> kern;
+        std::unique_ptr<guest::NetStack> stack;
+        std::unique_ptr<drivers::VfDriver> vf;
+        std::unique_ptr<drivers::NetfrontDriver> pv;
+        std::unique_ptr<guest::BondingDriver> bond;
+        std::unique_ptr<guest::StreamReceiver> rx;
+        nic::MacAddr mac;
+        unsigned port = 0;
+        NetMode mode = NetMode::Sriov;
+
+        /** The device the stack is attached to. */
+        guest::NetDevice *netdev = nullptr;
+    };
+
+    explicit Testbed(Params p);
+    ~Testbed();
+
+    Testbed(const Testbed &) = delete;
+    Testbed &operator=(const Testbed &) = delete;
+
+    /** @name Infrastructure access. @{ */
+    sim::EventQueue &eq() { return eq_; }
+    vmm::Hypervisor &server() { return *server_; }
+    vmm::Hypervisor &client() { return *client_; }
+    IovManager &iovm() { return *iovm_; }
+    vmm::MigrationManager &migration() { return *migration_; }
+    const Params &params() const { return params_; }
+    unsigned portCount() const { return unsigned(ports_.size()); }
+    nic::SriovNic &port(unsigned i) { return *ports_.at(i); }
+    nic::VmdqNic &vmdqNic() { return *vmdq_nic_; }
+    nic::Wire &wire(unsigned i) { return *wires_.at(i); }
+    drivers::PfDriver &pfDriver(unsigned i) { return *pf_drivers_.at(i); }
+    drivers::NetbackDriver &netback(unsigned port);
+    drivers::VmdqBackend &vmdqBackend() { return *vmdq_backend_; }
+    guest::GuestKernel &dom0Kernel() { return *dom0_kern_; }
+    /** @} */
+
+    /** @name Guests. @{ */
+    Guest &addGuest(vmm::DomainType type, NetMode mode,
+                    guest::KernelVersion kv = guest::KernelVersion::v2_6_28,
+                    bool bond_vf_with_pv = false);
+    std::size_t guestCount() const { return guests_.size(); }
+    Guest &guest(std::size_t i) { return *guests_.at(i); }
+    /** @} */
+
+    /** @name Workloads (client netperf toward a guest). @{ */
+    guest::UdpStreamSender &startUdpToGuest(Guest &g, double offered_bps,
+                                            std::uint32_t payload = 1472);
+    guest::TcpStreamSender &startTcpToGuest(
+        Guest &g, std::uint32_t window = 120832,
+        std::uint32_t payload = 1448);
+    /** dom0's own interface on a port's PF pool (inter-VM tests). */
+    guest::NetStack &dom0Net(unsigned port);
+    /** The client machine's stack on a port (custom workloads). */
+    guest::NetStack &clientStack(unsigned port)
+    {
+        return *client_ports_.at(port).stack;
+    }
+    /** A UDP sender running *in dom0* toward a guest (Fig. 10). */
+    guest::UdpStreamSender &startUdpFromDom0(Guest &g, double offered_bps,
+                                             std::uint32_t payload = 1472);
+    /** A UDP sender in one guest toward another (Figs. 13/14). */
+    guest::UdpStreamSender &startUdpGuestToGuest(
+        Guest &from, Guest &to, double offered_bps,
+        std::uint32_t payload = 1472);
+    /** @} */
+
+    /** @name Running and measuring. @{ */
+    void run(sim::Time dt) { eq_.runUntil(eq_.now() + dt); }
+
+    struct Measurement
+    {
+        double seconds = 0;
+        double total_goodput_bps = 0;
+        std::vector<double> per_guest_bps;
+        std::map<std::string, double> cpu_by_tag;
+        double dom0_pct = 0;      ///< incl. device models & backends
+        double xen_pct = 0;
+        double guests_pct = 0;
+        double total_pct = 0;
+    };
+
+    /** Run @p warmup, then measure over @p window. */
+    Measurement measure(sim::Time warmup, sim::Time window);
+    /** @} */
+
+    static nic::MacAddr guestMac(unsigned idx)
+    {
+        return nic::MacAddr::make(1, std::uint16_t(idx + 1));
+    }
+
+  private:
+    struct ClientPort
+    {
+        std::unique_ptr<nic::PlainNic> nic;
+        vmm::Domain *dom = nullptr;
+        std::unique_ptr<guest::GuestKernel> kern;
+        std::unique_ptr<drivers::NativeDriver> drv;
+        std::unique_ptr<guest::NetStack> stack;
+    };
+
+    struct Dom0Port
+    {
+        std::unique_ptr<drivers::VfDriver> drv;
+        std::unique_ptr<guest::NetStack> stack;
+    };
+
+    nic::NicPort &serverNic(unsigned port);
+    std::unique_ptr<drivers::ItrPolicy> makeGuestItr() const;
+
+    Params params_;
+    sim::EventQueue eq_;
+    std::unique_ptr<vmm::Hypervisor> server_;
+    std::unique_ptr<vmm::Hypervisor> client_;
+    std::unique_ptr<IovManager> iovm_;
+    std::unique_ptr<vmm::MigrationManager> migration_;
+    std::unique_ptr<guest::GuestKernel> dom0_kern_;
+    std::vector<std::unique_ptr<nic::SriovNic>> ports_;
+    std::unique_ptr<nic::VmdqNic> vmdq_nic_;
+    std::vector<std::unique_ptr<nic::Wire>> wires_;
+    std::vector<std::unique_ptr<drivers::PfDriver>> pf_drivers_;
+    std::map<unsigned, std::unique_ptr<drivers::NetbackDriver>> netbacks_;
+    std::unique_ptr<drivers::VmdqBackend> vmdq_backend_;
+    std::vector<ClientPort> client_ports_;
+    std::map<unsigned, Dom0Port> dom0_ports_;
+    std::vector<std::unique_ptr<Guest>> guests_;
+    std::vector<std::unique_ptr<guest::UdpStreamSender>> udp_senders_;
+    std::vector<std::unique_ptr<guest::TcpStreamSender>> tcp_senders_;
+    std::map<unsigned, unsigned> next_vf_on_port_;
+};
+
+} // namespace sriov::core
+
+#endif // SRIOV_CORE_TESTBED_HPP

@@ -1,0 +1,39 @@
+#include "drivers/itr_policy.hpp"
+
+#include <cstdio>
+
+namespace sriov::drivers {
+
+std::string
+StaticItr::name() const
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%gkHz", hz_ / 1000.0);
+    return buf;
+}
+
+double
+AdaptiveItr::updateHz(double pps, double bps)
+{
+    if (bps < c_.light_bps) {
+        // Light traffic: lowest latency, but never interrupt more
+        // often than packets arrive.
+        return std::min(pps > 0 ? pps : c_.lowest_latency_hz,
+                        c_.lowest_latency_hz);
+    }
+    double hz = c_.base_hz + c_.slope_hz_per_bps * bps;
+    return std::clamp(hz, c_.floor_hz, c_.bulk_hz);
+}
+
+double
+AicItr::updateHz(double pps, double)
+{
+    // IF = max(pps * r / bufs, lif): interrupt a little more often
+    // than the exact overflow point, leaving the hypervisor its time
+    // budget (Eq. (2); see header and DESIGN.md for the Eq. (3) typo).
+    double f = pps * p_.r / double(bufs());
+    f = std::max(f, p_.lif);
+    return std::min(f, p_.max_hz);
+}
+
+} // namespace sriov::drivers

@@ -1,0 +1,4 @@
+#include "drivers/native_driver.hpp"
+
+// NativeDriver is VfDriver attached to a Native-type domain; nothing
+// further to define.

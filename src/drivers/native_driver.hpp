@@ -1,0 +1,26 @@
+/**
+ * @file
+ * NativeDriver: the direct-access driver on bare metal.
+ *
+ * Identical code to VfDriver — the paper's point in Section 4: "the
+ * VF [driver] can even run in a native environment with a PF driver,
+ * within the same OS". The only difference is the domain type of the
+ * kernel it is attached to, which removes every virtualization charge.
+ */
+
+#ifndef SRIOV_DRIVERS_NATIVE_DRIVER_HPP
+#define SRIOV_DRIVERS_NATIVE_DRIVER_HPP
+
+#include "drivers/vf_driver.hpp"
+
+namespace sriov::drivers {
+
+class NativeDriver : public VfDriver
+{
+  public:
+    using VfDriver::VfDriver;
+};
+
+} // namespace sriov::drivers
+
+#endif // SRIOV_DRIVERS_NATIVE_DRIVER_HPP

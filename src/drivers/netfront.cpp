@@ -1,0 +1,81 @@
+#include "drivers/netfront.hpp"
+
+#include "drivers/netback.hpp"
+#include "sim/log.hpp"
+
+namespace sriov::drivers {
+
+NetfrontDriver::NetfrontDriver(guest::GuestKernel &kern, std::string name,
+                               nic::MacAddr mac)
+    : kern_(kern), name_(std::move(name)), mac_(mac)
+{
+    rx_base_ = kern_.allocBuffer(kRxBufferPages * mem::kPageSize);
+    // Grant the backend (domain 0) access to the RX region.
+    rx_ref_ = grants_.grantAccess(rx_base_, /*peer_domid=*/0,
+                                  /*readonly=*/false);
+    rx_irq_ = kern_.attachVirtualIrq(*this);
+}
+
+void
+NetfrontDriver::backendDeliver(std::vector<nic::Packet> &&pkts)
+{
+    for (auto &p : pkts)
+        rx_queue_.push_back(p);
+}
+
+void
+NetfrontDriver::raiseRxIrq(sim::CpuServer &notifier_cpu)
+{
+    kern_.raiseVirtualIrq(rx_irq_, notifier_cpu);
+}
+
+mem::Addr
+NetfrontDriver::nextRxPageGpa()
+{
+    mem::Addr gpa = rx_base_ + (rx_page_cursor_ % kRxBufferPages)
+        * mem::kPageSize;
+    ++rx_page_cursor_;
+    return gpa;
+}
+
+bool
+NetfrontDriver::transmit(const nic::Packet &pkt)
+{
+    if (!linkUp()) {
+        tx_dropped_.inc();
+        return false;
+    }
+    if (!backend_->guestTx(*this, pkt)) {
+        tx_dropped_.inc();
+        return false;
+    }
+    tx_packets_.inc();
+    return true;
+}
+
+bool
+NetfrontDriver::linkUp() const
+{
+    return backend_ != nullptr && backend_->connected(*this);
+}
+
+double
+NetfrontDriver::irqTop()
+{
+    pending_.assign(rx_queue_.begin(), rx_queue_.end());
+    rx_queue_.clear();
+    return double(pending_.size())
+        * kern_.hv().costs().netfront_per_packet;
+}
+
+void
+NetfrontDriver::irqBottom()
+{
+    if (pending_.empty())
+        return;
+    rx_packets_.inc(pending_.size());
+    deliverUp(std::move(pending_));
+    pending_.clear();
+}
+
+} // namespace sriov::drivers

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * NetfrontDriver: the guest half of the Xen PV split network driver
+ * ([8] in the paper; the baseline of Sections 6.3, 6.5 and the
+ * fallback interface DNIS switches to during migration).
+ *
+ * Hardware-neutral by construction: all I/O goes through grant
+ * references and an event channel to the netback in dom0, which is
+ * why a guest using only netfront migrates seamlessly.
+ */
+
+#ifndef SRIOV_DRIVERS_NETFRONT_HPP
+#define SRIOV_DRIVERS_NETFRONT_HPP
+
+#include <deque>
+
+#include "guest/net_stack.hpp"
+#include "vmm/grant_table.hpp"
+
+namespace sriov::drivers {
+
+class NetbackDriver;
+
+class NetfrontDriver : public guest::NetDevice,
+                       public guest::GuestKernel::IrqClient
+{
+  public:
+    NetfrontDriver(guest::GuestKernel &kern, std::string name,
+                   nic::MacAddr mac);
+
+    guest::GuestKernel &kernel() { return kern_; }
+    vmm::GrantTable &grants() { return grants_; }
+
+    /** Number of pages in the granted RX buffer region. */
+    static constexpr std::size_t kRxBufferPages = 256;
+    mem::Addr rxBufferBase() const { return rx_base_; }
+
+    /** @name Backend-facing interface (called by netback). @{ */
+    void setBackend(NetbackDriver *nb) { backend_ = nb; }
+    NetbackDriver *backend() { return backend_; }
+    /** Queue copied-in frames; follow with a raiseRxIrq(). */
+    void backendDeliver(std::vector<nic::Packet> &&pkts);
+    void raiseRxIrq(sim::CpuServer &notifier_cpu);
+    /** Round-robin over the granted RX pages (for dirty logging). */
+    mem::Addr nextRxPageGpa();
+    vmm::GrantTable::Ref rxGrantRef() const { return rx_ref_; }
+    /** @} */
+
+    /** @name NetDevice. @{ */
+    bool transmit(const nic::Packet &pkt) override;
+    nic::MacAddr mac() const override { return mac_; }
+    bool linkUp() const override;
+    const std::string &name() const override { return name_; }
+    /** @} */
+
+    /** @name GuestKernel::IrqClient. @{ */
+    double irqTop() override;
+    void irqBottom() override;
+    /** @} */
+
+    std::uint64_t rxPackets() const { return rx_packets_.value(); }
+    std::uint64_t txPackets() const { return tx_packets_.value(); }
+    std::uint64_t txDropped() const { return tx_dropped_.value(); }
+
+  private:
+    guest::GuestKernel &kern_;
+    std::string name_;
+    nic::MacAddr mac_;
+    NetbackDriver *backend_ = nullptr;
+    vmm::GrantTable grants_;
+    mem::Addr rx_base_;
+    vmm::GrantTable::Ref rx_ref_;
+    std::size_t rx_page_cursor_ = 0;
+    std::deque<nic::Packet> rx_queue_;
+    guest::GuestKernel::VirtualIrq rx_irq_;
+    std::vector<nic::Packet> pending_;
+    sim::Counter rx_packets_;
+    sim::Counter tx_packets_;
+    sim::Counter tx_dropped_;
+};
+
+} // namespace sriov::drivers
+
+#endif // SRIOV_DRIVERS_NETFRONT_HPP

@@ -1,0 +1,157 @@
+#include "drivers/pf_driver.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::drivers {
+
+PfDriver::PfDriver(guest::GuestKernel &host_kern, nic::SriovNic &nic)
+    : kern_(host_kern), nic_(nic)
+{
+    // Bring up the PF itself.
+    auto &cfg = nic_.pf().config();
+    std::uint16_t cmd = cfg.read(pci::cfg::kCommand, 2);
+    cfg.write(pci::cfg::kCommand,
+              cmd | pci::cfg::kCmdMemEnable | pci::cfg::kCmdBusMaster, 2);
+}
+
+void
+PfDriver::enableVfs(unsigned n)
+{
+    auto &cap = nic_.sriovCap();
+    if (cap.vfEnabled())
+        sim::fatal("PF %s: VFs already enabled", nic_.name().c_str());
+    cap.setNumVfs(std::uint16_t(n));
+    cap.setVfEnable(true);
+    installMailboxHandlers();
+}
+
+void
+PfDriver::disableVfs()
+{
+    // Warn every VF driver first (impending removal, Section 4.2).
+    nic::MboxMessage msg;
+    msg.type = nic::MboxMessage::Type::PfRemoval;
+    for (unsigned i = 0; i < nic_.numVfs(); ++i)
+        nic_.mailbox(i).to_vf.post(msg);
+    nic_.sriovCap().setVfEnable(false);
+}
+
+void
+PfDriver::setBridgeMode(bool on)
+{
+    if (on)
+        nic_.setDefaultPool(nic::Pool(0));
+    else
+        nic_.setDefaultPool(std::nullopt);
+}
+
+void
+PfDriver::notifyLinkChange(bool up)
+{
+    nic::MboxMessage msg;
+    msg.type = nic::MboxMessage::Type::LinkChange;
+    msg.payload = up ? 1 : 0;
+    for (unsigned i = 0; i < nic_.numVfs(); ++i)
+        nic_.mailbox(i).to_vf.post(msg);
+}
+
+void
+PfDriver::blockVf(unsigned vf_index, bool blocked)
+{
+    blocked_[vf_index] = blocked;
+    if (blocked) {
+        nic_.l2().clearPool(nic_.vfPool(vf_index));
+        vf_mac_.erase(vf_index);
+    }
+}
+
+bool
+PfDriver::vfBlocked(unsigned vf_index) const
+{
+    auto it = blocked_.find(vf_index);
+    return it != blocked_.end() && it->second;
+}
+
+void
+PfDriver::installMailboxHandlers()
+{
+    for (unsigned i = 0; i < nic_.numVfs(); ++i) {
+        nic_.mailbox(i).to_pf.setDoorbell(
+            [this, i](const nic::MboxMessage &msg) {
+                handleVfRequest(i, msg);
+            });
+    }
+}
+
+bool
+PfDriver::watchdogTrips(unsigned vf_index)
+{
+    if (!watchdog_.enabled || vfBlocked(vf_index))
+        return false;
+    sim::Time now = kern_.hv().eq().now();
+    RateState &rs = rates_[vf_index];
+    if (now - rs.window_start >= watchdog_.window) {
+        rs.window_start = now;
+        rs.count = 0;
+    }
+    if (++rs.count <= watchdog_.max_requests)
+        return false;
+    // Unusual behaviour: shut the VF down (Section 4.3).
+    shutdowns_.inc();
+    blockVf(vf_index, true);
+    sim::warn("PF %s: VF %u exceeded %u mailbox requests per window; "
+              "shut down",
+              nic_.name().c_str(), vf_index, watchdog_.max_requests);
+    return true;
+}
+
+void
+PfDriver::handleVfRequest(unsigned vf_index, const nic::MboxMessage &msg)
+{
+    requests_.inc();
+    // Mailbox servicing costs service-OS CPU.
+    kern_.vcpu0().chargeGuest(kern_.hv().costs().pf_mailbox_request);
+
+    auto &mbox = nic_.mailbox(vf_index).to_pf;
+    nic::Pool pool = nic_.vfPool(vf_index);
+
+    if (vfBlocked(vf_index) || watchdogTrips(vf_index)) {
+        rejected_.inc();
+        mbox.ack();
+        return;
+    }
+
+    switch (msg.type) {
+      case nic::MboxMessage::Type::SetMac: {
+        nic::MacAddr mac{msg.payload};
+        if (auto it = vf_mac_.find(vf_index); it != vf_mac_.end())
+            nic_.l2().clearFilter(it->second, 0);
+        vf_mac_[vf_index] = mac;
+        nic_.setPoolFilter(pool, mac);
+        break;
+      }
+      case nic::MboxMessage::Type::SetVlan: {
+        auto it = vf_mac_.find(vf_index);
+        if (it != vf_mac_.end()) {
+            nic_.setPoolFilter(pool, it->second,
+                               std::uint16_t(msg.payload));
+        } else {
+            rejected_.inc();
+        }
+        break;
+      }
+      case nic::MboxMessage::Type::SetMulticast:
+        // Accepted; multicast fan-out is not modelled.
+        break;
+      case nic::MboxMessage::Type::Reset:
+        nic_.l2().clearPool(pool);
+        vf_mac_.erase(vf_index);
+        break;
+      default:
+        rejected_.inc();
+        break;
+    }
+    mbox.ack();
+}
+
+} // namespace sriov::drivers

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * PfDriver: the igb-like Physical Function driver running in the
+ * service OS (paper Section 4.1).
+ *
+ * Owns the port: enables/disables VFs through the SR-IOV capability's
+ * architected registers, programs the on-NIC layer-2 switch so
+ * incoming packets route to the right VF, polices VF mailbox requests
+ * (MAC/VLAN configuration — the security inspection point of Section
+ * 4.3), and forwards physical events (link changes, impending reset)
+ * to every VF driver.
+ */
+
+#ifndef SRIOV_DRIVERS_PF_DRIVER_HPP
+#define SRIOV_DRIVERS_PF_DRIVER_HPP
+
+#include <map>
+
+#include "guest/kernel.hpp"
+#include "nic/sriov_nic.hpp"
+
+namespace sriov::drivers {
+
+class PfDriver
+{
+  public:
+    PfDriver(guest::GuestKernel &host_kern, nic::SriovNic &nic);
+
+    nic::SriovNic &nic() { return nic_; }
+
+    /** Enable @p n VFs by programming NumVFs + VF Enable. */
+    void enableVfs(unsigned n);
+    void disableVfs();
+    unsigned numVfs() const { return nic_.numVfs(); }
+
+    /** Route unmatched traffic to the PF pool (dom0 bridge mode). */
+    void setBridgeMode(bool on);
+
+    /** Forward a link change to every VF driver via its mailbox. */
+    void notifyLinkChange(bool up);
+
+    /**
+     * Administrative policy: refuse MAC registration for @p vf_index
+     * (the Section 4.3 "shut down a misbehaving VF" control point).
+     */
+    void blockVf(unsigned vf_index, bool blocked);
+    bool vfBlocked(unsigned vf_index) const;
+
+    /**
+     * Section 4.3 behavioural policing: the PF driver "monitors
+     * behavior of the VF drivers and the resources they use" and "may
+     * take appropriate action if it finds anything unusual". This
+     * watchdog tracks per-VF mailbox request rates; a VF exceeding
+     * @p max_requests within @p window is treated as misbehaving and
+     * shut down (filters cleared, further requests rejected).
+     */
+    struct WatchdogPolicy
+    {
+        bool enabled = false;
+        unsigned max_requests = 64;
+        sim::Time window = sim::Time::sec(1);
+    };
+    void setWatchdog(const WatchdogPolicy &p) { watchdog_ = p; }
+    const WatchdogPolicy &watchdog() const { return watchdog_; }
+    std::uint64_t watchdogShutdowns() const { return shutdowns_.value(); }
+
+    std::uint64_t mailboxRequests() const { return requests_.value(); }
+    std::uint64_t rejectedRequests() const { return rejected_.value(); }
+
+  private:
+    void installMailboxHandlers();
+    void handleVfRequest(unsigned vf_index, const nic::MboxMessage &msg);
+    bool watchdogTrips(unsigned vf_index);
+
+    struct RateState
+    {
+        sim::Time window_start;
+        unsigned count = 0;
+    };
+
+    guest::GuestKernel &kern_;
+    nic::SriovNic &nic_;
+    std::map<unsigned, nic::MacAddr> vf_mac_;
+    std::map<unsigned, bool> blocked_;
+    std::map<unsigned, RateState> rates_;
+    WatchdogPolicy watchdog_;
+    sim::Counter requests_;
+    sim::Counter rejected_;
+    sim::Counter shutdowns_;
+};
+
+} // namespace sriov::drivers
+
+#endif // SRIOV_DRIVERS_PF_DRIVER_HPP

@@ -1,0 +1,212 @@
+#include "drivers/vf_driver.hpp"
+
+#include "sim/log.hpp"
+#include "sim/trace.hpp"
+
+namespace sriov::drivers {
+
+VfDriver::VfDriver(guest::GuestKernel &kern, nic::NicPort &nic,
+                   nic::Pool pool, Config cfg)
+    : kern_(kern), nic_(nic), pool_(pool), cfg_(std::move(cfg)),
+      itr_(std::make_unique<StaticItr>(2000))
+{
+}
+
+VfDriver::~VfDriver()
+{
+    if (up_)
+        shutdown();
+}
+
+void
+VfDriver::setItrPolicy(std::unique_ptr<ItrPolicy> p)
+{
+    itr_ = std::move(p);
+    if (up_)
+        nic_.setItr(pool_, itr_->updateHz(0, 0));
+}
+
+void
+VfDriver::init()
+{
+    if (up_)
+        return;
+    pci::PciFunction &fn = nic_.functionOf(pool_);
+
+    // Enable memory decoding + bus mastering through config space.
+    std::uint16_t cmd = fn.config().read(pci::cfg::kCommand, 2);
+    fn.config().write(pci::cfg::kCommand,
+                      cmd | pci::cfg::kCmdMemEnable
+                          | pci::cfg::kCmdBusMaster,
+                      2);
+
+    // Allocate and post the RX buffers (guest-physical addresses; the
+    // IOMMU remaps them at DMA time).
+    mem::Addr base =
+        kern_.allocBuffer(mem::Addr(cfg_.rx_buffers) * cfg_.buf_bytes);
+    auto &ring = nic_.rxRing(pool_);
+    for (std::size_t i = 0; i < cfg_.rx_buffers; ++i) {
+        if (!ring.post(base + i * cfg_.buf_bytes))
+            break;
+    }
+
+    kern_.attachDeviceIrq(fn, *this);
+    registerMac();
+    installPfEventHandler();
+    nic_.setItr(pool_, itr_->updateHz(0, 0));
+    up_ = true;
+    ++epoch_;
+    sampleItr();
+}
+
+void
+VfDriver::installPfEventHandler()
+{
+    auto *sriov = dynamic_cast<nic::SriovNic *>(&nic_);
+    if (!sriov || pool_ == 0)
+        return;
+    sriov->mailbox(pool_ - 1).to_vf.setDoorbell(
+        [this](const nic::MboxMessage &msg) { handlePfEvent(msg); });
+}
+
+void
+VfDriver::handlePfEvent(const nic::MboxMessage &msg)
+{
+    // PF -> VF notifications (paper Section 4.2): link changes,
+    // impending global reset, impending PF driver removal.
+    pf_events_.inc();
+    auto *sriov = dynamic_cast<nic::SriovNic *>(&nic_);
+    auto &mbox = sriov->mailbox(pool_ - 1).to_vf;
+    switch (msg.type) {
+      case nic::MboxMessage::Type::LinkChange:
+        phys_link_ = msg.payload != 0;
+        SRIOV_TRACE(sim::TraceCat::Driver, "%s: PF reports link %s",
+                    cfg_.name.c_str(), phys_link_ ? "up" : "down");
+        break;
+      case nic::MboxMessage::Type::PfReset:
+      case nic::MboxMessage::Type::PfRemoval:
+        // The device under us is going away: quiesce immediately.
+        SRIOV_TRACE(sim::TraceCat::Driver, "%s: PF going away, quiescing",
+                    cfg_.name.c_str());
+        mbox.ack();
+        shutdown();
+        return;
+      default:
+        break;
+    }
+    mbox.ack();
+}
+
+void
+VfDriver::stopRx()
+{
+    if (!up_)
+        return;
+    kern_.detachDeviceIrq(nic_.functionOf(pool_));
+}
+
+void
+VfDriver::shutdown()
+{
+    if (!up_)
+        return;
+    up_ = false;
+    ++epoch_;    // kills the in-flight sampler
+    pci::PciFunction &fn = nic_.functionOf(pool_);
+    kern_.detachDeviceIrq(fn);
+    unregisterMac();
+    std::uint16_t cmd = fn.config().read(pci::cfg::kCommand, 2);
+    fn.config().write(pci::cfg::kCommand,
+                      cmd & ~(pci::cfg::kCmdBusMaster
+                              | pci::cfg::kCmdMemEnable),
+                      2);
+    nic_.rxRing(pool_).reset();
+}
+
+void
+VfDriver::registerMac()
+{
+    auto *sriov = dynamic_cast<nic::SriovNic *>(&nic_);
+    if (sriov && pool_ > 0) {
+        // A VF may not program filters itself: ask the PF driver.
+        nic::MboxMessage msg;
+        msg.type = nic::MboxMessage::Type::SetMac;
+        msg.payload = cfg_.mac.value;
+        if (!sriov->mailbox(pool_ - 1).to_pf.post(msg))
+            sim::warn("%s: mailbox busy during MAC registration",
+                      cfg_.name.c_str());
+    } else {
+        nic_.setPoolFilter(pool_, cfg_.mac);
+    }
+}
+
+void
+VfDriver::unregisterMac()
+{
+    auto *sriov = dynamic_cast<nic::SriovNic *>(&nic_);
+    if (sriov && pool_ > 0) {
+        nic::MboxMessage msg;
+        msg.type = nic::MboxMessage::Type::Reset;
+        msg.payload = 0;
+        sriov->mailbox(pool_ - 1).to_pf.post(msg);
+    } else {
+        nic_.l2().clearPool(pool_);
+    }
+}
+
+bool
+VfDriver::transmit(const nic::Packet &pkt)
+{
+    if (!up_)
+        return false;
+    nic_.transmit(pool_, pkt);
+    return true;
+}
+
+double
+VfDriver::irqTop()
+{
+    pending_ = nic_.drainRx(pool_);
+    return double(pending_.size()) * kern_.hv().costs().guest_per_packet;
+}
+
+void
+VfDriver::irqBottom()
+{
+    if (pending_.empty())
+        return;
+    auto &ring = nic_.rxRing(pool_);
+    std::vector<nic::Packet> up;
+    up.reserve(pending_.size());
+    for (const auto &c : pending_) {
+        ring.post(c.buffer_gpa);    // recycle the buffer
+        up.push_back(c.pkt);
+        period_pkts_ += 1;
+        period_bits_ += double(c.pkt.payloadBytes()) * 8.0;
+    }
+    pending_.clear();
+    deliverUp(std::move(up));
+}
+
+void
+VfDriver::sampleItr()
+{
+    std::uint64_t epoch = epoch_;
+    kern_.hv().eq().scheduleIn(cfg_.sample_period, [this, epoch]() {
+        if (!up_ || epoch != epoch_)
+            return;
+        double secs = cfg_.sample_period.toSeconds();
+        double hz = itr_->updateHz(period_pkts_ / secs,
+                                   period_bits_ / secs);
+        SRIOV_TRACE(sim::TraceCat::Driver,
+                    "%s: %s retune to %.0f Hz (%.0f pps)",
+                    cfg_.name.c_str(), itr_->name().c_str(), hz,
+                    period_pkts_ / secs);
+        nic_.setItr(pool_, hz);
+        period_pkts_ = 0;
+        period_bits_ = 0;
+        sampleItr();
+    });
+}
+
+} // namespace sriov::drivers

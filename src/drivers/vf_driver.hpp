@@ -1,0 +1,113 @@
+/**
+ * @file
+ * VfDriver: the igbvf-like direct-access network driver (the VF driver
+ * of paper Section 4.1).
+ *
+ * Runs unmodified in any domain type — HVM guest, PVM guest, dom0 (on
+ * the PF's own pool), or a native OS — exactly the portability claim
+ * of the paper's architecture: the driver touches only its pool of
+ * device resources and the PF↔VF mailbox, never a VMM interface.
+ *
+ * Receive flow: the device DMAs frames into buffers this driver
+ * posted (guest-physical addresses remapped by the IOMMU) and raises
+ * the pool's MSI-X vector; the guest kernel runs the IrqClient
+ * protocol; irqTop() drains the completion queue; irqBottom() reposts
+ * buffers, feeds the ITR policy sampler, and hands packets up the
+ * stack. No VMM intervention touches the data path.
+ */
+
+#ifndef SRIOV_DRIVERS_VF_DRIVER_HPP
+#define SRIOV_DRIVERS_VF_DRIVER_HPP
+
+#include <memory>
+
+#include "drivers/itr_policy.hpp"
+#include "guest/net_stack.hpp"
+#include "nic/sriov_nic.hpp"
+
+namespace sriov::drivers {
+
+class VfDriver : public guest::NetDevice,
+                 public guest::GuestKernel::IrqClient
+{
+  public:
+    struct Config
+    {
+        std::string name = "eth0";
+        nic::MacAddr mac{};
+        std::size_t rx_buffers = 1024;      ///< dd_bufs
+        std::uint32_t buf_bytes = 2048;
+        /** ITR re-evaluation period (paper: pps sampled per second). */
+        sim::Time sample_period = sim::Time::sec(1);
+    };
+
+    VfDriver(guest::GuestKernel &kern, nic::NicPort &nic, nic::Pool pool,
+             Config cfg);
+    ~VfDriver() override;
+
+    /** Default policy is the VF driver 0.9.5 static 2 kHz. */
+    void setItrPolicy(std::unique_ptr<ItrPolicy> p);
+    ItrPolicy &itrPolicy() { return *itr_; }
+    double currentItrHz() const { return nic_.itr(pool_); }
+
+    /** Bring the interface up: bus mastering, buffers, IRQ, MAC. */
+    void init();
+    /** Quiesce and release everything (hot-remove path of DNIS). */
+    void shutdown();
+    /**
+     * First step of hot removal: stop servicing RX interrupts while
+     * the guest processes the removal event. Frames keep landing in
+     * the ring until it fills, then drop at the device.
+     */
+    void stopRx();
+    bool isUp() const { return up_; }
+
+    guest::GuestKernel &kernel() { return kern_; }
+    nic::Pool pool() const { return pool_; }
+    /** The PCIe function (VF) backing this interface. */
+    pci::PciFunction &function() { return nic_.functionOf(pool_); }
+    const nic::NicPort::PoolStats &deviceStats() const
+    {
+        return nic_.poolStats(pool_);
+    }
+
+    /** @name NetDevice. @{ */
+    bool transmit(const nic::Packet &pkt) override;
+    nic::MacAddr mac() const override { return cfg_.mac; }
+    /** Up = driver running AND the PF reports physical carrier. */
+    bool linkUp() const override { return up_ && phys_link_; }
+    const std::string &name() const override { return cfg_.name; }
+    /** @} */
+
+    /** PF -> VF events consumed so far (Section 4.2 notifications). */
+    std::uint64_t pfEvents() const { return pf_events_.value(); }
+
+    /** @name GuestKernel::IrqClient. @{ */
+    double irqTop() override;
+    void irqBottom() override;
+    /** @} */
+
+  private:
+    void registerMac();
+    void unregisterMac();
+    void sampleItr();
+    void installPfEventHandler();
+    void handlePfEvent(const nic::MboxMessage &msg);
+
+    guest::GuestKernel &kern_;
+    nic::NicPort &nic_;
+    nic::Pool pool_;
+    Config cfg_;
+    std::unique_ptr<ItrPolicy> itr_;
+    bool up_ = false;
+    bool phys_link_ = true;
+    std::uint64_t epoch_ = 0;    ///< invalidates stale sampler events
+    sim::Counter pf_events_;
+    std::vector<nic::RxCompletion> pending_;
+    double period_pkts_ = 0;
+    double period_bits_ = 0;
+};
+
+} // namespace sriov::drivers
+
+#endif // SRIOV_DRIVERS_VF_DRIVER_HPP

@@ -1,0 +1,76 @@
+#include "drivers/vmdq_driver.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::drivers {
+
+VmdqBackend::VmdqBackend(guest::GuestKernel &dom0_kern, nic::VmdqNic &nic,
+                         Config cfg)
+    : kern_(dom0_kern), nic_(nic), cfg_(cfg)
+{
+    auto &pfc = nic_.pf().config();
+    std::uint16_t cmd = pfc.read(pci::cfg::kCommand, 2);
+    pfc.write(pci::cfg::kCommand,
+              cmd | pci::cfg::kCmdMemEnable | pci::cfg::kCmdBusMaster, 2);
+    kern_.hv().assignDevice(kern_.domain(), nic_.pf());
+}
+
+bool
+VmdqBackend::assignQueue(NetfrontDriver &nf)
+{
+    if (next_queue_ >= nic_.queueCount())
+        return false;
+    unsigned q = next_queue_++;
+
+    // Post buffers drawn from the *guest's* memory: VMDq DMAs data
+    // directly to its destination; dom0 touches metadata only.
+    mem::Addr base =
+        nf.kernel().allocBuffer(mem::Addr(cfg_.rx_buffers) * 2048);
+    auto &ring = nic_.rxRing(nic::Pool(q));
+    for (std::size_t i = 0; i < cfg_.rx_buffers; ++i)
+        ring.post(base + i * 2048);
+
+    // DMA carries the PF RID, so the *backend domain's* mapping must
+    // cover these guest buffers: dom0 pre-validates/pins them (the
+    // software protection work SR-IOV moves into hardware).
+    kern_.domain().gpmap().mapRange(
+        mem::pageBase(base),
+        *nf.kernel().domain().gpmap().translate(mem::pageBase(base)),
+        mem::Addr(cfg_.rx_buffers) * 2048 + mem::kPageSize);
+
+    nic_.setPoolFilter(nic::Pool(q), nf.mac());
+    nic_.setItr(nic::Pool(q), cfg_.itr_hz);
+
+    queues_.push_back(std::make_unique<QueueCtx>(*this, q, nf));
+    kern_.attachDeviceIrq(nic_.pf(), *queues_.back(), /*msix_entry=*/q);
+    return true;
+}
+
+double
+VmdqBackend::QueueCtx::irqTop()
+{
+    pending_ = owner_.nic_.drainRx(nic::Pool(q_));
+    // dom0 performs protection + translation per frame (no copy).
+    return double(pending_.size())
+        * owner_.kern_.hv().costs().vmdq_dom0_per_packet;
+}
+
+void
+VmdqBackend::QueueCtx::irqBottom()
+{
+    if (pending_.empty())
+        return;
+    auto &ring = owner_.nic_.rxRing(nic::Pool(q_));
+    std::vector<nic::Packet> up;
+    up.reserve(pending_.size());
+    for (const auto &c : pending_) {
+        ring.post(c.buffer_gpa);
+        up.push_back(c.pkt);
+    }
+    pending_.clear();
+    owner_.serviced_.inc(up.size());
+    nf_.backendDeliver(std::move(up));
+    nf_.raiseRxIrq(owner_.kern_.vcpu0().pcpu());
+}
+
+} // namespace sriov::drivers

@@ -1,0 +1,90 @@
+#include "guest/bonding.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace sriov::guest {
+
+BondingDriver::BondingDriver(std::string name) : name_(std::move(name)) {}
+
+void
+BondingDriver::addSlave(NetDevice &dev)
+{
+    slaves_.push_back(&dev);
+    dev.setRxSink(this);
+    if (!active_)
+        active_ = &dev;
+}
+
+void
+BondingDriver::removeSlave(NetDevice &dev)
+{
+    std::erase(slaves_, &dev);
+    dev.setRxSink(nullptr);
+    if (active_ == &dev) {
+        active_ = nullptr;
+        failover();
+    }
+}
+
+void
+BondingDriver::setActive(NetDevice &dev)
+{
+    if (std::find(slaves_.begin(), slaves_.end(), &dev) == slaves_.end())
+        sim::fatal("bond %s: %s is not a slave", name_.c_str(),
+                   dev.name().c_str());
+    if (active_ != &dev) {
+        active_ = &dev;
+        failovers_.inc();
+    }
+}
+
+bool
+BondingDriver::failover()
+{
+    for (NetDevice *s : slaves_) {
+        if (s != active_ && s->linkUp()) {
+            active_ = s;
+            failovers_.inc();
+            return true;
+        }
+    }
+    return active_ != nullptr && active_->linkUp();
+}
+
+bool
+BondingDriver::transmit(const nic::Packet &pkt)
+{
+    if (!active_ || !active_->linkUp()) {
+        tx_dropped_.inc();
+        return false;
+    }
+    return active_->transmit(pkt);
+}
+
+nic::MacAddr
+BondingDriver::mac() const
+{
+    // Active-backup default (fail_over_mac=none): all slaves carry the
+    // bond's MAC, reported as the first slave's address.
+    return slaves_.empty() ? nic::MacAddr{} : slaves_.front()->mac();
+}
+
+bool
+BondingDriver::linkUp() const
+{
+    return active_ != nullptr && active_->linkUp();
+}
+
+void
+BondingDriver::deviceRx(NetDevice &from, std::vector<nic::Packet> &&pkts)
+{
+    if (&from != active_) {
+        inactive_rx_dropped_.inc(pkts.size());
+        return;
+    }
+    deliverUp(std::move(pkts));
+}
+
+} // namespace sriov::guest

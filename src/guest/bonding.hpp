@@ -1,0 +1,78 @@
+/**
+ * @file
+ * BondingDriver: the Linux bonding driver in active-backup mode, the
+ * mechanism DNIS builds on (paper Section 4.4).
+ *
+ * Aggregates several underlying NetDevices behind one logical device.
+ * One slave is active; the rest stand by. DNIS enslaves the VF driver
+ * and the PV NIC, runs the VF for performance, and fails over to the
+ * PV NIC when the VF is hot-removed for migration. As in the default
+ * Linux configuration the bond presents a single MAC, so the L2
+ * fabric re-steers traffic when the active slave changes.
+ */
+
+#ifndef SRIOV_GUEST_BONDING_HPP
+#define SRIOV_GUEST_BONDING_HPP
+
+#include <string>
+#include <vector>
+
+#include "guest/net_stack.hpp"
+#include "sim/stats.hpp"
+
+namespace sriov::guest {
+
+class BondingDriver : public NetDevice, public NetRxSink
+{
+  public:
+    explicit BondingDriver(std::string name);
+
+    /** Enslave @p dev; the first slave becomes active. */
+    void addSlave(NetDevice &dev);
+    void removeSlave(NetDevice &dev);
+
+    /** Fail over to @p dev (must be enslaved). */
+    void setActive(NetDevice &dev);
+    NetDevice *active() { return active_; }
+    std::size_t slaveCount() const { return slaves_.size(); }
+
+    /**
+     * Fail over to the first other slave with link up. Returns false
+     * if none is available (bond loses carrier).
+     */
+    bool failover();
+
+    /** @name NetDevice (the bond is the stack-visible device). @{ */
+    bool transmit(const nic::Packet &pkt) override;
+    nic::MacAddr mac() const override;
+    bool linkUp() const override;
+    const std::string &name() const override { return name_; }
+    /** @} */
+
+    /**
+     * NetRxSink: traffic from the *active* slave surfaces through the
+     * bond; frames arriving on a backup slave are discarded, exactly
+     * like Linux active-backup mode (this is the packet loss window
+     * at DNIS interface-switch time, Fig. 21).
+     */
+    void deviceRx(NetDevice &from, std::vector<nic::Packet> &&pkts) override;
+
+    std::uint64_t failovers() const { return failovers_.value(); }
+    std::uint64_t txDropped() const { return tx_dropped_.value(); }
+    std::uint64_t inactiveRxDropped() const
+    {
+        return inactive_rx_dropped_.value();
+    }
+
+  private:
+    std::string name_;
+    std::vector<NetDevice *> slaves_;
+    NetDevice *active_ = nullptr;
+    sim::Counter failovers_;
+    sim::Counter tx_dropped_;
+    sim::Counter inactive_rx_dropped_;
+};
+
+} // namespace sriov::guest
+
+#endif // SRIOV_GUEST_BONDING_HPP

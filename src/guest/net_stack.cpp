@@ -1,0 +1,171 @@
+#include "guest/net_stack.hpp"
+
+#include <cmath>
+
+#include "sim/log.hpp"
+
+namespace sriov::guest {
+
+NetStack::NetStack(GuestKernel &kern) : kern_(kern) {}
+
+void
+NetStack::attachDevice(NetDevice &dev)
+{
+    dev_ = &dev;
+    dev.setRxSink(this);
+}
+
+void
+NetStack::setUdpSocketCapacity(std::size_t packets)
+{
+    udp_sock_ = SocketBuffer(packets, 0);
+}
+
+bool
+NetStack::sendUdp(nic::MacAddr dst, std::uint32_t payload,
+                  std::uint32_t flow)
+{
+    if (!dev_ || !dev_->linkUp())
+        return false;
+    nic::Packet pkt;
+    pkt.dst = dst;
+    pkt.src = dev_->mac();
+    pkt.bytes = nic::frame::udpFrame(payload);
+    pkt.kind = nic::Packet::Kind::Udp;
+    pkt.flow = flow;
+    pkt.sent_at = kern_.hv().eq().now();
+    kern_.chargeTx(kern_.hv().costs().guest_tx_per_packet);
+    return dev_->transmit(pkt);
+}
+
+bool
+NetStack::sendTcpSegment(nic::MacAddr dst, std::uint32_t payload,
+                         std::uint32_t flow, std::uint64_t end_seq)
+{
+    if (!dev_ || !dev_->linkUp())
+        return false;
+    nic::Packet pkt;
+    pkt.dst = dst;
+    pkt.src = dev_->mac();
+    pkt.bytes = nic::frame::tcpFrame(payload);
+    pkt.kind = nic::Packet::Kind::Tcp;
+    pkt.flow = flow;
+    pkt.seq = end_seq;
+    pkt.sent_at = kern_.hv().eq().now();
+    kern_.chargeTx(kern_.hv().costs().guest_tx_per_packet);
+    return dev_->transmit(pkt);
+}
+
+void
+NetStack::deviceRx(NetDevice &, std::vector<nic::Packet> &&pkts)
+{
+    bool need_app = false;
+    for (const auto &pkt : pkts) {
+        switch (pkt.kind) {
+          case nic::Packet::Kind::Udp:
+            udp_sock_.push(pkt);    // drop counted inside on overflow
+            need_app = true;
+            break;
+          case nic::Packet::Kind::Tcp:
+            tcp_peer_ = pkt.src;
+            if (tcp_sock_.push(pkt))
+                need_app = true;
+            break;
+          case nic::Packet::Kind::TcpAck:
+            // ACK processing happens in softirq context; the sender's
+            // window logic reacts immediately.
+            if (ack_)
+                ack_(pkt.ack);
+            break;
+          case nic::Packet::Kind::Control:
+            break;
+        }
+    }
+    if (need_app)
+        scheduleApp();
+}
+
+void
+NetStack::scheduleApp()
+{
+    if (app_scheduled_)
+        return;
+    app_scheduled_ = true;
+    const auto &cm = kern_.hv().costs();
+    // The netperf process wakes, then issues receive syscalls until
+    // the sockets are drained; work serializes on the guest VCPU.
+    kern_.vcpu0().submitGuestWork(cm.app_wakeup,
+                                  [this]() { appPump(); });
+}
+
+void
+NetStack::appPump()
+{
+    const auto &cm = kern_.hv().costs();
+
+    // UDP: datagrams are consumed in one read burst.
+    auto udp = udp_sock_.drain();
+    if (!udp.empty()) {
+        kern_.accountRecvSyscalls(
+            std::ceil(double(udp.size()) / cm.packets_per_syscall));
+        if (udp_rx_) {
+            std::uint64_t bytes = 0;
+            for (const auto &p : udp)
+                bytes += p.payloadBytes();
+            udp_rx_(bytes, udp.size());
+        }
+    }
+    processTcpChunk();
+}
+
+void
+NetStack::processTcpChunk()
+{
+    // TCP: the stream is consumed in syscall-sized chunks, each
+    // followed by a cumulative ACK, so the sender's window refills
+    // while the rest of the batch is still being processed (real
+    // stacks ACK incrementally during NAPI/app processing; a single
+    // end-of-batch ACK would stall the pipe by a whole interrupt
+    // interval).
+    if (tcp_sock_.empty()) {
+        app_scheduled_ = false;
+        return;
+    }
+    const auto &cm = kern_.hv().costs();
+    auto chunk = tcp_sock_.pop(kTcpAckChunk);
+    std::uint64_t bytes = 0;
+    for (const auto &p : chunk)
+        bytes += p.payloadBytes();
+    double syscalls =
+        std::ceil(double(chunk.size()) / cm.packets_per_syscall);
+    // The PVM page-table-switch surcharge is accounted immediately;
+    // the syscall bodies serialize as guest work before the ACK.
+    kern_.accountRecvSyscallTransitions(syscalls);
+    std::size_t n = chunk.size();
+    kern_.vcpu0().submitGuestWork(
+        syscalls * cm.guest_syscall, [this, bytes, n]() {
+            tcp_cum_rx_ += bytes;
+            if (tcp_rx_)
+                tcp_rx_(bytes, n);
+            sendAck(tcp_peer_);
+            processTcpChunk();
+        });
+}
+
+void
+NetStack::sendAck(nic::MacAddr peer)
+{
+    if (!dev_ || !dev_->linkUp())
+        return;
+    nic::Packet ack;
+    ack.dst = peer;
+    ack.src = dev_->mac();
+    ack.bytes = 64;    // minimum frame
+    ack.kind = nic::Packet::Kind::TcpAck;
+    ack.ack = tcp_cum_rx_;
+    ack.sent_at = kern_.hv().eq().now();
+    kern_.chargeTx(kern_.hv().costs().guest_tx_per_packet);
+    dev_->transmit(ack);
+}
+
+} // namespace sriov::guest

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * NetDevice/NetStack: the guest's network interface abstraction and a
+ * small UDP/TCP stack above it.
+ *
+ * NetDevice is what a Linux `netdev` is to the stack: drivers
+ * (VfDriver, NetfrontDriver, ...) implement it, and BondingDriver
+ * aggregates several of them behind one logical device (paper §4.4).
+ *
+ * The stack models exactly what the figures need:
+ *  - UDP receive: packets land in a bounded socket buffer (`ap_bufs`);
+ *    the netperf process drains it in syscall-sized batches on the
+ *    VCPU. Overflow between interrupts = the packet loss of Fig. 10.
+ *  - TCP receive: in-order byte stream with a cumulative ACK sent per
+ *    processed batch — so ACK latency tracks the interrupt-coalescing
+ *    interval, reproducing Fig. 9's latency sensitivity.
+ *  - TCP send: a fixed-window sender driven by returning ACKs with an
+ *    RTO safety net.
+ */
+
+#ifndef SRIOV_GUEST_NET_STACK_HPP
+#define SRIOV_GUEST_NET_STACK_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "guest/kernel.hpp"
+#include "guest/socket_buffer.hpp"
+#include "nic/packet.hpp"
+
+namespace sriov::guest {
+
+/** Where a device delivers received frames. */
+class NetDevice;
+
+class NetRxSink
+{
+  public:
+    virtual ~NetRxSink() = default;
+
+    /** @p from identifies the delivering device (bonding needs it). */
+    virtual void deviceRx(NetDevice &from,
+                          std::vector<nic::Packet> &&pkts) = 0;
+};
+
+/** A guest-visible network interface. */
+class NetDevice
+{
+  public:
+    virtual ~NetDevice() = default;
+
+    virtual bool transmit(const nic::Packet &pkt) = 0;
+    virtual nic::MacAddr mac() const = 0;
+    virtual bool linkUp() const = 0;
+    virtual const std::string &name() const = 0;
+
+    void setRxSink(NetRxSink *s) { sink_ = s; }
+    NetRxSink *rxSink() { return sink_; }
+
+  protected:
+    void
+    deliverUp(std::vector<nic::Packet> &&pkts)
+    {
+        if (sink_ && !pkts.empty())
+            sink_->deviceRx(*this, std::move(pkts));
+    }
+
+  private:
+    NetRxSink *sink_ = nullptr;
+};
+
+class NetStack : public NetRxSink
+{
+  public:
+    explicit NetStack(GuestKernel &kern);
+
+    GuestKernel &kernel() { return kern_; }
+
+    /** Bind the stack to its (possibly bonded) device. */
+    void attachDevice(NetDevice &dev);
+    NetDevice *device() { return dev_; }
+
+    /** @name Receive-side application hooks. @{ */
+    using RxBytesFn = std::function<void(std::uint64_t payload_bytes,
+                                         std::size_t packets)>;
+    void setUdpReceiver(RxBytesFn fn) { udp_rx_ = std::move(fn); }
+    void setTcpReceiver(RxBytesFn fn) { tcp_rx_ = std::move(fn); }
+    /** TcpAck frames are passed straight to the sender. */
+    using AckFn = std::function<void(std::uint64_t acked_bytes)>;
+    void setAckListener(AckFn fn) { ack_ = std::move(fn); }
+    /** @} */
+
+    /** @name Transmit-side helpers for applications. @{ */
+    bool sendUdp(nic::MacAddr dst, std::uint32_t payload,
+                 std::uint32_t flow);
+    bool sendTcpSegment(nic::MacAddr dst, std::uint32_t payload,
+                        std::uint32_t flow, std::uint64_t end_seq);
+    /** @} */
+
+    /** NetRxSink: a driver delivered a batch. */
+    void deviceRx(NetDevice &from, std::vector<nic::Packet> &&pkts) override;
+
+    SocketBuffer &udpSocket() { return udp_sock_; }
+    SocketBuffer &tcpSocket() { return tcp_sock_; }
+    std::uint64_t udpSocketDrops() const { return udp_sock_.drops(); }
+
+    /** Configure the UDP socket buffer (ap_bufs). */
+    void setUdpSocketCapacity(std::size_t packets);
+
+    /** TCP segments consumed (and cumulatively ACKed) per app chunk. */
+    static constexpr std::size_t kTcpAckChunk = 16;
+
+  private:
+    void scheduleApp();
+    void appPump();
+    void processTcpChunk();
+    void sendAck(nic::MacAddr peer);
+
+    GuestKernel &kern_;
+    NetDevice *dev_ = nullptr;
+    SocketBuffer udp_sock_;
+    SocketBuffer tcp_sock_{0, SocketBuffer::kDefaultBytes};
+    bool app_scheduled_ = false;
+    RxBytesFn udp_rx_;
+    RxBytesFn tcp_rx_;
+    AckFn ack_;
+    std::uint64_t tcp_cum_rx_ = 0;      ///< cumulative TCP bytes received
+    nic::MacAddr tcp_peer_{};
+    bool tcp_ack_due_ = false;
+};
+
+} // namespace sriov::guest
+
+#endif // SRIOV_GUEST_NET_STACK_HPP

@@ -1,0 +1,159 @@
+#include "guest/netperf.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace sriov::guest {
+
+UdpStreamSender::UdpStreamSender(sim::EventQueue &eq, NetStack &stack,
+                                 nic::MacAddr dst, double offered_bps,
+                                 std::uint32_t payload, std::uint32_t flow)
+    : eq_(eq), stack_(stack), dst_(dst), offered_bps_(offered_bps),
+      payload_(payload), flow_(flow)
+{
+    if (offered_bps <= 0)
+        sim::fatal("UdpStreamSender: non-positive offered load");
+}
+
+void
+UdpStreamSender::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    emit();
+}
+
+void
+UdpStreamSender::stop()
+{
+    running_ = false;
+}
+
+void
+UdpStreamSender::emit()
+{
+    if (!running_)
+        return;
+    stack_.sendUdp(dst_, payload_, flow_);
+    sent_bytes_ += payload_;
+    sent_packets_.inc();
+
+    nic::Packet probe;
+    probe.bytes = nic::frame::udpFrame(payload_);
+    double wire_bits = double(probe.wireBytes()) * 8.0;
+    eq_.scheduleIn(sim::Time::transfer(wire_bits, offered_bps_),
+                   [this]() { emit(); });
+}
+
+TcpStreamSender::TcpStreamSender(sim::EventQueue &eq, NetStack &stack,
+                                 nic::MacAddr dst,
+                                 std::uint32_t window_bytes,
+                                 std::uint32_t payload, std::uint32_t flow)
+    : eq_(eq), stack_(stack), dst_(dst), window_(window_bytes),
+      payload_(payload), flow_(flow)
+{
+    stack_.setAckListener([this](std::uint64_t cum) { onAck(cum); });
+}
+
+void
+TcpStreamSender::start()
+{
+    if (running_)
+        return;
+    running_ = true;
+    pump();
+    armRto();
+}
+
+void
+TcpStreamSender::stop()
+{
+    running_ = false;
+}
+
+void
+TcpStreamSender::pump()
+{
+    if (!running_)
+        return;
+    while (next_seq_ - acked_ + payload_ <= window_) {
+        next_seq_ += payload_;
+        if (!stack_.sendTcpSegment(dst_, payload_, flow_, next_seq_)) {
+            next_seq_ -= payload_;
+            break;
+        }
+    }
+}
+
+void
+TcpStreamSender::onAck(std::uint64_t cum)
+{
+    acked_ = std::max(acked_, cum);
+    pump();
+}
+
+void
+TcpStreamSender::armRto()
+{
+    if (!running_)
+        return;
+    eq_.scheduleIn(kRto, [this]() {
+        if (!running_)
+            return;
+        bool outstanding = next_seq_ > acked_;
+        bool stalled = acked_ == acked_at_last_rto_;
+        if (outstanding && stalled) {
+            // Go-back-N: rewind to the last acknowledged byte.
+            retx_.inc();
+            next_seq_ = acked_;
+            pump();
+        }
+        acked_at_last_rto_ = acked_;
+        armRto();
+    });
+}
+
+StreamReceiver::StreamReceiver(sim::EventQueue &eq, NetStack &stack,
+                               Proto proto)
+    : eq_(eq), proto_(proto)
+{
+    auto fn = [this](std::uint64_t bytes, std::size_t pkts) {
+        onBytes(bytes, pkts);
+    };
+    if (proto == Proto::Udp)
+        stack.setUdpReceiver(fn);
+    else
+        stack.setTcpReceiver(fn);
+}
+
+void
+StreamReceiver::onBytes(std::uint64_t bytes, std::size_t packets)
+{
+    rx_bytes_ += bytes;
+    rx_packets_ += packets;
+    window_.add(double(bytes) * 8.0);
+    sample_window_.add(double(bytes) * 8.0);
+}
+
+double
+StreamReceiver::takeThroughputBps()
+{
+    return window_.take(eq_.now());
+}
+
+void
+StreamReceiver::sampleEvery(sim::Time dt)
+{
+    sampling_ = true;
+    sample_window_.take(eq_.now());
+    eq_.scheduleIn(dt, [this, dt]() {
+        if (!sampling_)
+            return;
+        timeline_.record(eq_.now(), sample_window_.take(eq_.now()));
+        sampleEvery(dt);
+    });
+}
+
+} // namespace sriov::guest

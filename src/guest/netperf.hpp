@@ -1,0 +1,122 @@
+/**
+ * @file
+ * netperf-like stream workloads: UDP_STREAM and TCP_STREAM senders and
+ * receivers (the benchmark of every figure in the paper's Section 6).
+ */
+
+#ifndef SRIOV_GUEST_NETPERF_HPP
+#define SRIOV_GUEST_NETPERF_HPP
+
+#include "guest/net_stack.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+
+namespace sriov::guest {
+
+/** Open-loop constant-bit-rate UDP sender. */
+class UdpStreamSender
+{
+  public:
+    /**
+     * @param offered_bps offered load measured in wire bits (a sender
+     *        asked for "line rate" saturates the link exactly).
+     * @param payload UDP payload bytes per datagram (paper: 1472 for
+     *        MTU-sized frames; Section 6.3 sweeps up to 4000 — larger
+     *        than MTU is modelled as a single oversized frame, the
+     *        effect of the NICs' scatter-gather/TSO support).
+     */
+    UdpStreamSender(sim::EventQueue &eq, NetStack &stack, nic::MacAddr dst,
+                    double offered_bps, std::uint32_t payload = 1472,
+                    std::uint32_t flow = 0);
+
+    void start();
+    void stop();
+    void setOfferedBps(double bps) { offered_bps_ = bps; }
+
+    std::uint64_t sentBytes() const { return sent_bytes_; }
+    std::uint64_t sentPackets() const { return sent_packets_.value(); }
+
+  private:
+    void emit();
+
+    sim::EventQueue &eq_;
+    NetStack &stack_;
+    nic::MacAddr dst_;
+    double offered_bps_;
+    std::uint32_t payload_;
+    std::uint32_t flow_;
+    bool running_ = false;
+    std::uint64_t sent_bytes_ = 0;
+    sim::Counter sent_packets_;
+};
+
+/** Fixed-window TCP sender driven by returning cumulative ACKs. */
+class TcpStreamSender
+{
+  public:
+    TcpStreamSender(sim::EventQueue &eq, NetStack &stack, nic::MacAddr dst,
+                    std::uint32_t window_bytes = 120832,
+                    std::uint32_t payload = 1448, std::uint32_t flow = 0);
+
+    void start();
+    void stop();
+
+    std::uint64_t sentBytes() const { return next_seq_; }
+    std::uint64_t ackedBytes() const { return acked_; }
+    std::uint64_t retransmits() const { return retx_.value(); }
+
+    static constexpr sim::Time kRto = sim::Time::ms(50);
+
+  private:
+    void pump();
+    void onAck(std::uint64_t cum);
+    void armRto();
+
+    sim::EventQueue &eq_;
+    NetStack &stack_;
+    nic::MacAddr dst_;
+    std::uint32_t window_;
+    std::uint32_t payload_;
+    std::uint32_t flow_;
+    bool running_ = false;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t acked_ = 0;
+    std::uint64_t acked_at_last_rto_ = 0;
+    sim::Counter retx_;
+};
+
+/** Receiving netperf endpoint; counts goodput, can sample a timeline. */
+class StreamReceiver
+{
+  public:
+    enum class Proto { Udp, Tcp };
+
+    StreamReceiver(sim::EventQueue &eq, NetStack &stack, Proto proto);
+
+    std::uint64_t rxBytes() const { return rx_bytes_; }
+    std::uint64_t rxPackets() const { return rx_packets_; }
+
+    /** Goodput (bit/s) since the previous call; re-marks the window. */
+    double takeThroughputBps();
+
+    /** Record a (time, bps) sample every @p dt into timeline(). */
+    void sampleEvery(sim::Time dt);
+    void stopSampling() { sampling_ = false; }
+    const sim::Series &timeline() const { return timeline_; }
+
+  private:
+    void onBytes(std::uint64_t bytes, std::size_t packets);
+
+    sim::EventQueue &eq_;
+    Proto proto_;
+    std::uint64_t rx_bytes_ = 0;
+    std::uint64_t rx_packets_ = 0;
+    sim::RateWindow window_;
+    sim::RateWindow sample_window_;
+    sim::Series timeline_;
+    bool sampling_ = false;
+};
+
+} // namespace sriov::guest
+
+#endif // SRIOV_GUEST_NETPERF_HPP

@@ -1,0 +1,39 @@
+#include "guest/socket_buffer.hpp"
+
+namespace sriov::guest {
+
+bool
+SocketBuffer::push(const nic::Packet &pkt)
+{
+    bool over_pkts = cap_packets_ && q_.size() >= cap_packets_;
+    bool over_bytes =
+        cap_bytes_ && bytes_ + pkt.payloadBytes() > cap_bytes_;
+    if (over_pkts || over_bytes) {
+        drops_.inc();
+        return false;
+    }
+    q_.push_back(pkt);
+    bytes_ += pkt.payloadBytes();
+    return true;
+}
+
+std::vector<nic::Packet>
+SocketBuffer::pop(std::size_t n)
+{
+    std::vector<nic::Packet> out;
+    while (n-- > 0 && !q_.empty()) {
+        out.push_back(q_.front());
+        bytes_ -= q_.front().payloadBytes();
+        q_.pop_front();
+        delivered_.inc();
+    }
+    return out;
+}
+
+std::vector<nic::Packet>
+SocketBuffer::drain()
+{
+    return pop(q_.size());
+}
+
+} // namespace sriov::guest

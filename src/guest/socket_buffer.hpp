@@ -1,0 +1,63 @@
+/**
+ * @file
+ * SocketBuffer: the kernel-to-application queue of a socket.
+ *
+ * Capacity is enforced in packets and/or bytes. The paper's guests run
+ * with a 120832-byte UDP socket buffer, which it treats as 64
+ * application buffers (`ap_bufs`, Section 5.3) — the quantity AIC must
+ * avoid overflowing between interrupts.
+ */
+
+#ifndef SRIOV_GUEST_SOCKET_BUFFER_HPP
+#define SRIOV_GUEST_SOCKET_BUFFER_HPP
+
+#include <deque>
+
+#include "nic/packet.hpp"
+#include "sim/stats.hpp"
+
+namespace sriov::guest {
+
+class SocketBuffer
+{
+  public:
+    /** @param cap_packets 0 = unlimited; @param cap_bytes 0 = unlimited. */
+    SocketBuffer(std::size_t cap_packets, std::size_t cap_bytes)
+        : cap_packets_(cap_packets), cap_bytes_(cap_bytes)
+    {}
+
+    /** Paper defaults: 64 application buffers. */
+    static constexpr std::size_t kDefaultApBufs = 64;
+    static constexpr std::size_t kDefaultBytes = 120832;
+
+    SocketBuffer() : SocketBuffer(kDefaultApBufs, 0) {}
+
+    std::size_t capPackets() const { return cap_packets_; }
+    std::size_t size() const { return q_.size(); }
+    std::size_t bytes() const { return bytes_; }
+    bool empty() const { return q_.empty(); }
+
+    /** Enqueue; false (and a drop count) on overflow. */
+    bool push(const nic::Packet &pkt);
+
+    /** Dequeue up to @p n packets. */
+    std::vector<nic::Packet> pop(std::size_t n);
+
+    /** Drain everything (one application read burst). */
+    std::vector<nic::Packet> drain();
+
+    std::uint64_t drops() const { return drops_.value(); }
+    std::uint64_t delivered() const { return delivered_.value(); }
+
+  private:
+    std::size_t cap_packets_;
+    std::size_t cap_bytes_;
+    std::size_t bytes_ = 0;
+    std::deque<nic::Packet> q_;
+    sim::Counter drops_;
+    sim::Counter delivered_;
+};
+
+} // namespace sriov::guest
+
+#endif // SRIOV_GUEST_SOCKET_BUFFER_HPP

@@ -1,0 +1,66 @@
+#include "intr/event_channel.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::intr {
+
+EventChannelBank::Port
+EventChannelBank::bind(UpcallFn upcall)
+{
+    for (Port p = 0; p < ports_.size(); ++p) {
+        if (!ports_[p].in_use) {
+            ports_[p] = PortState{true, false, false, std::move(upcall)};
+            return p;
+        }
+    }
+    if (ports_.size() >= kMaxPorts)
+        sim::fatal("event channel ports exhausted");
+    ports_.push_back(PortState{true, false, false, std::move(upcall)});
+    return Port(ports_.size() - 1);
+}
+
+void
+EventChannelBank::unbind(Port p)
+{
+    ports_.at(p) = PortState{};
+}
+
+void
+EventChannelBank::send(Port p)
+{
+    auto &st = ports_.at(p);
+    if (!st.in_use)
+        sim::panic("send on unbound event channel %u", p);
+    sends_.inc();
+    st.pending = true;
+    if (!st.masked)
+        deliver(p);
+}
+
+void
+EventChannelBank::deliver(Port p)
+{
+    auto &st = ports_.at(p);
+    if (!st.pending)
+        return;
+    st.pending = false;
+    upcalls_.inc();
+    if (st.upcall)
+        st.upcall(p);
+}
+
+void
+EventChannelBank::mask(Port p)
+{
+    ports_.at(p).masked = true;
+}
+
+void
+EventChannelBank::unmask(Port p)
+{
+    auto &st = ports_.at(p);
+    st.masked = false;
+    deliver(p);
+}
+
+} // namespace sriov::intr

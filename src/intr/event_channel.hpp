@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Xen-style event channels: the paravirtualized interrupt controller.
+ *
+ * A PVM guest receives notifications as bits in a shared pending
+ * bitmap plus an upcall; masking is a bitmap write and unmasking a
+ * cheap hypercall — no LAPIC emulation, no EOI. This is why PVM guests
+ * cost 1.76% CPU per additional VM where HVM guests cost 2.8%
+ * (paper Section 6.4).
+ */
+
+#ifndef SRIOV_INTR_EVENT_CHANNEL_HPP
+#define SRIOV_INTR_EVENT_CHANNEL_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sim/stats.hpp"
+
+namespace sriov::intr {
+
+class EventChannelBank
+{
+  public:
+    using Port = unsigned;
+    using UpcallFn = std::function<void(Port)>;
+
+    static constexpr Port kMaxPorts = 1024;
+
+    /** Allocate a port; the upcall runs on delivery while unmasked. */
+    Port bind(UpcallFn upcall);
+    void unbind(Port p);
+
+    /** Sender side (device/backend/hypervisor): raise the event. */
+    void send(Port p);
+
+    /** Guest side. */
+    void mask(Port p);
+    /** Unmask; delivers immediately if the port was pending. */
+    void unmask(Port p);
+
+    bool pending(Port p) const { return ports_.at(p).pending; }
+    bool masked(Port p) const { return ports_.at(p).masked; }
+
+    const sim::Counter &sends() const { return sends_; }
+    const sim::Counter &upcalls() const { return upcalls_; }
+
+  private:
+    struct PortState
+    {
+        bool in_use = false;
+        bool pending = false;
+        bool masked = false;
+        UpcallFn upcall;
+    };
+
+    void deliver(Port p);
+
+    std::vector<PortState> ports_;
+    sim::Counter sends_;
+    sim::Counter upcalls_;
+};
+
+} // namespace sriov::intr
+
+#endif // SRIOV_INTR_EVENT_CHANNEL_HPP

@@ -1,0 +1,51 @@
+#include "intr/interrupt_router.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::intr {
+
+void
+InterruptRouter::attachFunction(pci::PciFunction &fn)
+{
+    fn.setMsiSink([this](pci::Rid rid, const pci::MsiMessage &msg) {
+        deliverMsi(rid, msg);
+    });
+}
+
+void
+InterruptRouter::bindVector(Vector v, HandlerFn handler)
+{
+    handlers_[v] = std::move(handler);
+}
+
+void
+InterruptRouter::unbindVector(Vector v)
+{
+    handlers_.erase(v);
+}
+
+Vector
+InterruptRouter::allocateAndBind(HandlerFn handler)
+{
+    auto v = alloc_.allocate();
+    if (!v)
+        sim::fatal("interrupt vectors exhausted");
+    bindVector(*v, std::move(handler));
+    return *v;
+}
+
+void
+InterruptRouter::deliverMsi(pci::Rid source, const pci::MsiMessage &msg)
+{
+    auto it = handlers_.find(msg.vector());
+    if (it == handlers_.end()) {
+        spurious_.inc();
+        sim::warn("spurious MSI vector %u from rid %04x", msg.vector(),
+                  source);
+        return;
+    }
+    delivered_.inc();
+    it->second(msg.vector(), source);
+}
+
+} // namespace sriov::intr

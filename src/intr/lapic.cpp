@@ -1,0 +1,70 @@
+#include "intr/lapic.hpp"
+
+namespace sriov::intr {
+
+namespace {
+/** x86 priority class: vector >> 4. */
+int
+prioClass(Vector v)
+{
+    return v >> 4;
+}
+} // namespace
+
+void
+Lapic::accept(Vector v)
+{
+    accepted_.inc();
+    irr_[v] = true;
+    tryDispatch();
+}
+
+std::optional<Vector>
+Lapic::highestInService() const
+{
+    for (int v = 255; v >= 0; --v) {
+        if (isr_[std::size_t(v)])
+            return Vector(v);
+    }
+    return std::nullopt;
+}
+
+std::optional<Vector>
+Lapic::nextDeliverable() const
+{
+    int in_service_class = -1;
+    if (auto h = highestInService())
+        in_service_class = prioClass(*h);
+    for (int v = 255; v >= 0; --v) {
+        if (irr_[std::size_t(v)]) {
+            if (prioClass(Vector(v)) > in_service_class)
+                return Vector(v);
+            return std::nullopt;
+        }
+    }
+    return std::nullopt;
+}
+
+void
+Lapic::tryDispatch()
+{
+    auto v = nextDeliverable();
+    if (!v)
+        return;
+    irr_[*v] = false;
+    isr_[*v] = true;
+    delivered_.inc();
+    if (deliver_)
+        deliver_(*v);
+}
+
+void
+Lapic::eoi()
+{
+    eois_.inc();
+    if (auto h = highestInService())
+        isr_[*h] = false;
+    tryDispatch();
+}
+
+} // namespace sriov::intr

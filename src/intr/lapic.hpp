@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Local APIC model: IRR/ISR priority queues with EOI semantics.
+ *
+ * Used twice: as the physical LAPIC that receives MSIs from devices,
+ * and (via VirtualLapic) as the per-VCPU interrupt chip the VMM
+ * emulates for HVM guests. EOI clears the highest-priority in-service
+ * vector and dispatches the next pending one — exactly the behaviour
+ * the paper's virtual-EOI acceleration exploits (Section 5.2: the
+ * emulation ignores the value the guest writes).
+ */
+
+#ifndef SRIOV_INTR_LAPIC_HPP
+#define SRIOV_INTR_LAPIC_HPP
+
+#include <bitset>
+#include <functional>
+#include <optional>
+
+#include "intr/vector_allocator.hpp"
+#include "sim/stats.hpp"
+
+namespace sriov::intr {
+
+class Lapic
+{
+  public:
+    /** Offsets within the 4 KiB APIC register page. */
+    static constexpr std::uint16_t kRegEoi = 0x0b0;
+    static constexpr std::uint16_t kRegTpr = 0x080;
+    static constexpr std::uint16_t kRegIcrLo = 0x300;
+
+    /** Installed by the owner; called when a vector should run. */
+    using DeliverFn = std::function<void(Vector)>;
+
+    void setDeliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+    /** Accept a fixed interrupt (e.g. an MSI). */
+    void accept(Vector v);
+
+    /** Highest pending vector not blocked by in-service priority. */
+    std::optional<Vector> nextDeliverable() const;
+
+    /**
+     * End-of-interrupt: clears the highest in-service vector and
+     * dispatches the next deliverable one, if any.
+     */
+    void eoi();
+
+    bool inService(Vector v) const { return isr_[v]; }
+    bool pending(Vector v) const { return irr_[v]; }
+    std::optional<Vector> highestInService() const;
+
+    const sim::Counter &accepted() const { return accepted_; }
+    const sim::Counter &delivered() const { return delivered_; }
+    const sim::Counter &eois() const { return eois_; }
+
+  private:
+    void tryDispatch();
+
+    std::bitset<256> irr_;
+    std::bitset<256> isr_;
+    DeliverFn deliver_;
+    sim::Counter accepted_;
+    sim::Counter delivered_;
+    sim::Counter eois_;
+};
+
+} // namespace sriov::intr
+
+#endif // SRIOV_INTR_LAPIC_HPP

@@ -1,0 +1,44 @@
+#include "intr/vector_allocator.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::intr {
+
+VectorAllocator::VectorAllocator()
+{
+    for (unsigned v = 0; v < kFirstDynamic; ++v)
+        used_[v] = true;
+    free_count_ = 256 - kFirstDynamic;
+}
+
+std::optional<Vector>
+VectorAllocator::allocate()
+{
+    for (unsigned v = kFirstDynamic; v <= kLast; ++v) {
+        if (!used_[v]) {
+            used_[v] = true;
+            --free_count_;
+            return Vector(v);
+        }
+    }
+    return std::nullopt;
+}
+
+void
+VectorAllocator::release(Vector v)
+{
+    if (v < kFirstDynamic)
+        sim::panic("releasing reserved vector %u", v);
+    if (!used_[v])
+        sim::panic("double release of vector %u", v);
+    used_[v] = false;
+    ++free_count_;
+}
+
+bool
+VectorAllocator::inUse(Vector v) const
+{
+    return used_[v];
+}
+
+} // namespace sriov::intr

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Global interrupt-vector allocator.
+ *
+ * The paper (Section 4.1, citing [6]) allocates MSI vectors globally so
+ * that no two VFs share a vector: Xen can then identify the owning
+ * guest purely from the vector of the physical interrupt.
+ */
+
+#ifndef SRIOV_INTR_VECTOR_ALLOCATOR_HPP
+#define SRIOV_INTR_VECTOR_ALLOCATOR_HPP
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace sriov::intr {
+
+using Vector = std::uint8_t;
+
+class VectorAllocator
+{
+  public:
+    /** x86 convention: 0–31 are exceptions; dynamic range starts here. */
+    static constexpr Vector kFirstDynamic = 32;
+    static constexpr Vector kLast = 255;
+
+    VectorAllocator();
+
+    /** Allocate the lowest free vector; nullopt when exhausted. */
+    std::optional<Vector> allocate();
+    void release(Vector v);
+    bool inUse(Vector v) const;
+    unsigned freeCount() const { return free_count_; }
+
+  private:
+    std::array<bool, 256> used_{};
+    unsigned free_count_ = 0;
+};
+
+} // namespace sriov::intr
+
+#endif // SRIOV_INTR_VECTOR_ALLOCATOR_HPP

@@ -1,0 +1,24 @@
+#include "intr/virtual_lapic.hpp"
+
+namespace sriov::intr {
+
+void
+VirtualLapic::guestEoiWrite()
+{
+    exits_.inc();
+    eoi_writes_.inc();
+    if (exit_hook_)
+        exit_hook_(ApicAccessExit{Lapic::kRegEoi, true});
+    lapic_.eoi();
+}
+
+void
+VirtualLapic::guestApicAccess(std::uint16_t offset, bool is_write)
+{
+    exits_.inc();
+    if (exit_hook_)
+        exit_hook_(ApicAccessExit{offset, is_write});
+    // Non-EOI accesses have no architectural effect our model tracks.
+}
+
+} // namespace sriov::intr

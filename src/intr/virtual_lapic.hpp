@@ -1,0 +1,67 @@
+/**
+ * @file
+ * VirtualLapic: the software-emulated LAPIC of an HVM guest.
+ *
+ * Wraps a Lapic with the access-path bookkeeping the paper measures:
+ * every guest access to the APIC register page causes an APIC-access
+ * VM-exit, whose emulation path is either the slow
+ * fetch-decode-emulate route or — for EOI writes when the paper's
+ * Section 5.2 acceleration is on — a direct dispatch using the
+ * hardware Exit-qualification (offset + direction). The VM-exit cycle
+ * charging itself is done by the hypervisor through the exit hook.
+ */
+
+#ifndef SRIOV_INTR_VIRTUAL_LAPIC_HPP
+#define SRIOV_INTR_VIRTUAL_LAPIC_HPP
+
+#include <functional>
+
+#include "intr/lapic.hpp"
+
+namespace sriov::intr {
+
+class VirtualLapic
+{
+  public:
+    /** Why an APIC-access exit happened. */
+    struct ApicAccessExit
+    {
+        std::uint16_t offset;   ///< register offset (Exit-qualification)
+        bool is_write;
+    };
+
+    /** Installed by the hypervisor to charge emulation cycles. */
+    using ExitHook = std::function<void(const ApicAccessExit &)>;
+
+    VirtualLapic() = default;
+
+    Lapic &chip() { return lapic_; }
+    const Lapic &chip() const { return lapic_; }
+
+    void setExitHook(ExitHook h) { exit_hook_ = std::move(h); }
+
+    /** VMM side: inject a virtual interrupt into the guest chip. */
+    void inject(Vector v) { lapic_.accept(v); }
+
+    /**
+     * Guest side: write the EOI register. Triggers the APIC-access
+     * exit hook, then performs the (value-independent) EOI emulation.
+     */
+    void guestEoiWrite();
+
+    /** Guest side: any other APIC register access (TPR, ICR, ...). */
+    void guestApicAccess(std::uint16_t offset, bool is_write);
+
+    std::uint64_t apicAccessExits() const { return exits_.value(); }
+    std::uint64_t eoiWrites() const { return eoi_writes_.value(); }
+
+  private:
+    Lapic lapic_;
+    ExitHook exit_hook_;
+    sim::Counter exits_;
+    sim::Counter eoi_writes_;
+};
+
+} // namespace sriov::intr
+
+#endif // SRIOV_INTR_VIRTUAL_LAPIC_HPP

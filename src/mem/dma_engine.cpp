@@ -1,0 +1,57 @@
+#include "mem/dma_engine.hpp"
+
+#include <utility>
+
+#include "sim/log.hpp"
+
+namespace sriov::mem {
+
+DmaEngine::DmaEngine(sim::EventQueue &eq, std::string name, Params p)
+    : eq_(eq), name_(std::move(name)), params_(p)
+{
+    if (params_.link_bps <= 0)
+        sim::fatal("DmaEngine %s: bad link rate", name_.c_str());
+}
+
+DmaEngine::DmaEngine(sim::EventQueue &eq, std::string name)
+    : DmaEngine(eq, std::move(name), Params{})
+{
+}
+
+sim::Time
+DmaEngine::serviceTime(std::uint64_t bytes) const
+{
+    return params_.per_dma_overhead
+        + sim::Time::transfer(double(bytes) * 8.0, params_.link_bps);
+}
+
+void
+DmaEngine::transfer(std::uint64_t bytes, std::function<void()> on_done)
+{
+    queue_.push_back(Xfer{bytes, std::move(on_done)});
+    if (!in_service_)
+        startNext();
+}
+
+void
+DmaEngine::startNext()
+{
+    if (queue_.empty()) {
+        in_service_ = false;
+        return;
+    }
+    in_service_ = true;
+    Xfer x = std::move(queue_.front());
+    queue_.pop_front();
+    sim::Time t = serviceTime(x.bytes);
+    busy_ += t;
+    bytes_moved_.inc(x.bytes);
+    transfers_.inc();
+    eq_.scheduleIn(t, [this, done = std::move(x.on_done)]() {
+        if (done)
+            done();
+        startNext();
+    });
+}
+
+} // namespace sriov::mem

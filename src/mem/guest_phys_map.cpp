@@ -1,0 +1,79 @@
+#include "mem/guest_phys_map.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::mem {
+
+void
+GuestPhysMap::mapRange(Addr gpa, Addr mpa, Addr len, bool writable)
+{
+    if (gpa % kPageSize || mpa % kPageSize)
+        sim::panic("%s: unaligned mapping", name_.c_str());
+    for (Addr off = 0; off < len; off += kPageSize)
+        table_[pageOf(gpa + off)] = Entry{pageOf(mpa + off), writable};
+}
+
+void
+GuestPhysMap::unmapRange(Addr gpa, Addr len)
+{
+    for (Addr off = 0; off < len; off += kPageSize)
+        table_.erase(pageOf(gpa + off));
+}
+
+std::optional<Addr>
+GuestPhysMap::translate(Addr gpa) const
+{
+    auto it = table_.find(pageOf(gpa));
+    if (it == table_.end())
+        return std::nullopt;
+    return it->second.mpa_page * kPageSize + gpa % kPageSize;
+}
+
+bool
+GuestPhysMap::writable(Addr gpa) const
+{
+    auto it = table_.find(pageOf(gpa));
+    return it != table_.end() && it->second.writable;
+}
+
+void
+GuestPhysMap::enableDirtyLog()
+{
+    dirty_log_ = true;
+    dirty_.clear();
+}
+
+void
+GuestPhysMap::disableDirtyLog()
+{
+    dirty_log_ = false;
+    dirty_.clear();
+}
+
+void
+GuestPhysMap::markDirty(Addr gpa)
+{
+    if (dirty_log_)
+        dirty_.insert(pageOf(gpa));
+}
+
+void
+GuestPhysMap::markDirtyRange(Addr gpa, Addr len)
+{
+    if (!dirty_log_)
+        return;
+    for (Addr off = 0; off < len; off += kPageSize)
+        dirty_.insert(pageOf(gpa + off));
+    if (len % kPageSize == 0 && len > 0)
+        dirty_.insert(pageOf(gpa + len - 1));
+}
+
+std::unordered_set<Addr>
+GuestPhysMap::drainDirty()
+{
+    std::unordered_set<Addr> out;
+    out.swap(dirty_);
+    return out;
+}
+
+} // namespace sriov::mem

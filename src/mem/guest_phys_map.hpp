@@ -1,0 +1,69 @@
+/**
+ * @file
+ * GuestPhysMap: a guest-physical → machine-physical page table.
+ *
+ * The same structure serves three roles: the EPT-like second-level
+ * translation for an HVM guest, the IOMMU page table indexed by the
+ * guest's VF RID (paper Section 2 — "RID is used to index the IOMMU
+ * page table, so that different VMs can use different page tables"),
+ * and the dirty-page log driving pre-copy live migration.
+ */
+
+#ifndef SRIOV_MEM_GUEST_PHYS_MAP_HPP
+#define SRIOV_MEM_GUEST_PHYS_MAP_HPP
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mem/machine_memory.hpp"
+
+namespace sriov::mem {
+
+class GuestPhysMap
+{
+  public:
+    explicit GuestPhysMap(std::string name = "guest")
+        : name_(std::move(name))
+    {}
+
+    const std::string &name() const { return name_; }
+
+    /** Map [gpa, gpa+len) to [mpa, mpa+len); page aligned. */
+    void mapRange(Addr gpa, Addr mpa, Addr len, bool writable = true);
+    void unmapRange(Addr gpa, Addr len);
+
+    /** Translate one address. std::nullopt on unmapped. */
+    std::optional<Addr> translate(Addr gpa) const;
+    bool writable(Addr gpa) const;
+
+    std::size_t mappedPages() const { return table_.size(); }
+
+    /** @name Dirty logging (pre-copy migration). @{ */
+    void enableDirtyLog();
+    void disableDirtyLog();
+    bool dirtyLogEnabled() const { return dirty_log_; }
+    void markDirty(Addr gpa);
+    void markDirtyRange(Addr gpa, Addr len);
+    std::size_t dirtyPageCount() const { return dirty_.size(); }
+    /** Returns the dirty set and clears it (one pre-copy round). */
+    std::unordered_set<Addr> drainDirty();
+    /** @} */
+
+  private:
+    struct Entry
+    {
+        Addr mpa_page;
+        bool writable;
+    };
+
+    std::string name_;
+    std::unordered_map<Addr, Entry> table_;    // gpa page -> entry
+    bool dirty_log_ = false;
+    std::unordered_set<Addr> dirty_;           // gpa pages
+};
+
+} // namespace sriov::mem
+
+#endif // SRIOV_MEM_GUEST_PHYS_MAP_HPP

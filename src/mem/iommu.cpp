@@ -1,0 +1,67 @@
+#include "mem/iommu.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::mem {
+
+void
+Iommu::attach(pci::Rid rid, GuestPhysMap &domain)
+{
+    ctx_[rid] = &domain;
+}
+
+void
+Iommu::detach(pci::Rid rid)
+{
+    ctx_.erase(rid);
+}
+
+GuestPhysMap *
+Iommu::domainOf(pci::Rid rid)
+{
+    auto it = ctx_.find(rid);
+    return it == ctx_.end() ? nullptr : it->second;
+}
+
+Iommu::Result
+Iommu::translate(pci::Rid rid, Addr gpa, bool is_write)
+{
+    translations_.inc();
+    auto it = ctx_.find(rid);
+    if (it == ctx_.end()) {
+        faults_.inc();
+        return Result{Fault::NoContext, 0};
+    }
+    GuestPhysMap &dom = *it->second;
+    auto mpa = dom.translate(gpa);
+    if (!mpa) {
+        faults_.inc();
+        return Result{Fault::NotPresent, 0};
+    }
+    if (is_write) {
+        if (!dom.writable(gpa)) {
+            faults_.inc();
+            return Result{Fault::WriteProtected, 0};
+        }
+        dom.markDirty(gpa);
+    }
+    return Result{Fault::None, *mpa};
+}
+
+Iommu::Result
+Iommu::translateRange(pci::Rid rid, Addr gpa, Addr len, bool is_write)
+{
+    Result first{};
+    for (Addr off = 0; off < len; off += kPageSize) {
+        Result r = translate(rid, gpa + off, is_write);
+        if (!r.ok())
+            return r;
+        if (off == 0)
+            first = r;
+    }
+    if (len == 0)
+        return translate(rid, gpa, is_write);
+    return first;
+}
+
+} // namespace sriov::mem

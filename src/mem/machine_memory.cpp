@@ -1,0 +1,43 @@
+#include "mem/machine_memory.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::mem {
+
+MachineMemory::MachineMemory(Addr bytes) : size_(bytes)
+{
+    if (bytes < kPageSize)
+        sim::fatal("machine memory too small");
+}
+
+Addr
+MachineMemory::allocate(Addr bytes, const std::string &owner)
+{
+    Addr sz = (bytes + kPageSize - 1) & ~(kPageSize - 1);
+    if (next_ + sz > size_)
+        sim::fatal("machine memory exhausted: %s wants %llu bytes",
+                   owner.c_str(), static_cast<unsigned long long>(bytes));
+    Addr base = next_;
+    next_ += sz;
+    regions_.push_back(Region{base, sz, owner});
+    return base;
+}
+
+std::string
+MachineMemory::ownerOf(Addr addr) const
+{
+    for (const auto &r : regions_) {
+        if (addr >= r.base && addr < r.base + r.size)
+            return r.owner;
+    }
+    return "";
+}
+
+std::uint64_t
+MachineMemory::peek64(Addr addr) const
+{
+    auto it = content_.find(addr);
+    return it == content_.end() ? 0 : it->second;
+}
+
+} // namespace sriov::mem

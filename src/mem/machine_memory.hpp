@@ -1,0 +1,65 @@
+/**
+ * @file
+ * MachineMemory: the host's physical memory, carved into per-owner
+ * regions (dom0, guests, device FIFOs). Contents are not simulated —
+ * only ownership and a small sparse poke/peek surface for tests — but
+ * allocation is real so double-allocation and exhaustion are caught.
+ */
+
+#ifndef SRIOV_MEM_MACHINE_MEMORY_HPP
+#define SRIOV_MEM_MACHINE_MEMORY_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace sriov::mem {
+
+using Addr = std::uint64_t;
+
+constexpr Addr kPageSize = 4096;
+constexpr Addr pageOf(Addr a) { return a / kPageSize; }
+constexpr Addr pageBase(Addr a) { return a & ~(kPageSize - 1); }
+
+class MachineMemory
+{
+  public:
+    /** @param bytes total machine memory (paper testbed: 12 GiB). */
+    explicit MachineMemory(Addr bytes);
+
+    Addr size() const { return size_; }
+    Addr allocated() const { return next_; }
+    Addr freeBytes() const { return size_ - next_; }
+
+    /**
+     * Allocate @p bytes (rounded up to pages) for @p owner.
+     * @return base machine-physical address.
+     */
+    Addr allocate(Addr bytes, const std::string &owner);
+
+    /** Owner of the page containing @p addr ("" if unallocated). */
+    std::string ownerOf(Addr addr) const;
+
+    /** @name Sparse content surface for tests. @{ */
+    void poke64(Addr addr, std::uint64_t v) { content_[addr] = v; }
+    std::uint64_t peek64(Addr addr) const;
+    /** @} */
+
+  private:
+    struct Region
+    {
+        Addr base;
+        Addr size;
+        std::string owner;
+    };
+
+    Addr size_;
+    Addr next_ = kPageSize;    // page 0 reserved
+    std::vector<Region> regions_;
+    std::map<Addr, std::uint64_t> content_;
+};
+
+} // namespace sriov::mem
+
+#endif // SRIOV_MEM_MACHINE_MEMORY_HPP

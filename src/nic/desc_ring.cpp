@@ -1,0 +1,32 @@
+#include "nic/desc_ring.hpp"
+
+namespace sriov::nic {
+
+bool
+DescRing::post(mem::Addr gpa)
+{
+    if (buffers_.size() >= capacity_)
+        return false;
+    buffers_.push_back(gpa);
+    posted_.inc();
+    return true;
+}
+
+std::optional<mem::Addr>
+DescRing::take()
+{
+    if (buffers_.empty())
+        return std::nullopt;
+    mem::Addr a = buffers_.front();
+    buffers_.pop_front();
+    consumed_.inc();
+    return a;
+}
+
+void
+DescRing::reset()
+{
+    buffers_.clear();
+}
+
+} // namespace sriov::nic

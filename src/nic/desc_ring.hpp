@@ -1,0 +1,62 @@
+/**
+ * @file
+ * DescRing: an RX descriptor ring as the device sees it.
+ *
+ * The driver posts buffers (guest-physical addresses); the device
+ * consumes one per received frame. When the ring runs dry the device
+ * must drop — the `dd_bufs` overflow of the paper's AIC analysis
+ * (Section 5.3). The default size, 1024, matches the paper's
+ * experimental configuration.
+ */
+
+#ifndef SRIOV_NIC_DESC_RING_HPP
+#define SRIOV_NIC_DESC_RING_HPP
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "mem/machine_memory.hpp"
+#include "sim/stats.hpp"
+
+namespace sriov::nic {
+
+class DescRing
+{
+  public:
+    explicit DescRing(std::size_t capacity = 1024) : capacity_(capacity) {}
+
+    std::size_t capacity() const { return capacity_; }
+    std::size_t available() const { return buffers_.size(); }
+    bool empty() const { return buffers_.empty(); }
+
+    /**
+     * Driver side: post a buffer at @p gpa.
+     * @return false if the ring is already full.
+     */
+    bool post(mem::Addr gpa);
+
+    /** Device side: take the next posted buffer; nullopt = ring dry. */
+    std::optional<mem::Addr> take();
+
+    /** Device side: record a frame dropped for lack of descriptors. */
+    void countOverflow() { overflows_.inc(); }
+
+    /** Drop all posted buffers (device reset). */
+    void reset();
+
+    std::uint64_t posted() const { return posted_.value(); }
+    std::uint64_t consumed() const { return consumed_.value(); }
+    std::uint64_t overflows() const { return overflows_.value(); }
+
+  private:
+    std::size_t capacity_;
+    std::deque<mem::Addr> buffers_;
+    sim::Counter posted_;
+    sim::Counter consumed_;
+    sim::Counter overflows_;
+};
+
+} // namespace sriov::nic
+
+#endif // SRIOV_NIC_DESC_RING_HPP

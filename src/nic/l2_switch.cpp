@@ -1,0 +1,37 @@
+#include "nic/l2_switch.hpp"
+
+#include <algorithm>
+
+namespace sriov::nic {
+
+void
+L2Switch::setFilter(MacAddr mac, std::uint16_t vlan, Pool pool)
+{
+    table_[Key{mac, vlan}] = pool;
+}
+
+void
+L2Switch::clearFilter(MacAddr mac, std::uint16_t vlan)
+{
+    table_.erase(Key{mac, vlan});
+}
+
+void
+L2Switch::clearPool(Pool pool)
+{
+    std::erase_if(table_, [pool](const auto &kv) {
+        return kv.second == pool;
+    });
+}
+
+std::optional<L2Switch::Pool>
+L2Switch::classify(const Packet &pkt) const
+{
+    lookups_.inc();
+    auto it = table_.find(Key{pkt.dst, pkt.vlan});
+    if (it == table_.end())
+        return std::nullopt;
+    return it->second;
+}
+
+} // namespace sriov::nic

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * L2Switch: the on-NIC layer-2 classifier shared by all VFs of a port
+ * (paper Fig. 3). The PF driver programs static MAC/VLAN filters, one
+ * per pool (VF or PF); incoming frames — from the physical line or
+ * from a transmitting sibling VF — are steered to the matching pool,
+ * or to the default (PF) pool if nothing matches.
+ */
+
+#ifndef SRIOV_NIC_L2_SWITCH_HPP
+#define SRIOV_NIC_L2_SWITCH_HPP
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "nic/packet.hpp"
+#include "sim/stats.hpp"
+
+namespace sriov::nic {
+
+class L2Switch
+{
+  public:
+    using Pool = std::uint16_t;
+
+    /** Program (or move) a MAC+VLAN filter to @p pool. */
+    void setFilter(MacAddr mac, std::uint16_t vlan, Pool pool);
+    void clearFilter(MacAddr mac, std::uint16_t vlan);
+    void clearPool(Pool pool);
+
+    /** Pool that should receive @p pkt; nullopt = no match. */
+    std::optional<Pool> classify(const Packet &pkt) const;
+
+    /** True if @p pkt's destination lives on this port (loopback). */
+    bool isLocal(const Packet &pkt) const
+    {
+        return classify(pkt).has_value();
+    }
+
+    std::size_t filterCount() const { return table_.size(); }
+    std::uint64_t lookups() const { return lookups_.value(); }
+
+  private:
+    struct Key
+    {
+        MacAddr mac;
+        std::uint16_t vlan;
+
+        bool operator==(const Key &) const = default;
+    };
+
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            return std::hash<std::uint64_t>()(k.mac.value
+                                              ^ (std::uint64_t(k.vlan) << 48));
+        }
+    };
+
+    std::unordered_map<Key, Pool, KeyHash> table_;
+    mutable sim::Counter lookups_;
+};
+
+} // namespace sriov::nic
+
+#endif // SRIOV_NIC_L2_SWITCH_HPP

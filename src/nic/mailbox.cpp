@@ -1,0 +1,23 @@
+#include "nic/mailbox.hpp"
+
+namespace sriov::nic {
+
+bool
+Mailbox::post(const MboxMessage &msg)
+{
+    if (busy_)
+        return false;
+    busy_ = true;
+    posted_.inc();
+    if (doorbell_)
+        doorbell_(msg);
+    return true;
+}
+
+void
+Mailbox::ack()
+{
+    busy_ = false;
+}
+
+} // namespace sriov::nic

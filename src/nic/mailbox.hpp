@@ -1,0 +1,79 @@
+/**
+ * @file
+ * PF↔VF mailbox with doorbell, modelled after the 82576 (paper §4.2).
+ *
+ * The VF driver and PF driver communicate *through the device*, never
+ * through a VMM-specific channel — this is what makes the architecture
+ * VMM-agnostic. The sender writes a message and rings the doorbell,
+ * which interrupts the receiver; the receiver consumes the message and
+ * sets an ACK bit in a shared register.
+ */
+
+#ifndef SRIOV_NIC_MAILBOX_HPP
+#define SRIOV_NIC_MAILBOX_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+
+#include "sim/stats.hpp"
+
+namespace sriov::nic {
+
+/** Messages the igbvf-like driver exchanges with the PF driver. */
+struct MboxMessage
+{
+    enum class Type : std::uint8_t
+    {
+        SetMac,
+        SetVlan,
+        SetMulticast,
+        Reset,
+        LinkChange,     ///< PF -> VF notification
+        PfReset,        ///< PF -> VF: impending global reset
+        PfRemoval,      ///< PF -> VF: impending driver removal
+        Ack,
+        Nack,
+    };
+
+    Type type = Type::Ack;
+    std::uint64_t payload = 0;
+};
+
+/** One direction of the mailbox pair for a single VF. */
+class Mailbox
+{
+  public:
+    using DoorbellFn = std::function<void(const MboxMessage &)>;
+
+    /** Receiver installs the doorbell interrupt handler. */
+    void setDoorbell(DoorbellFn fn) { doorbell_ = std::move(fn); }
+
+    /**
+     * Sender: write the message and ring. Returns false when the
+     * previous message has not been acknowledged yet (register busy).
+     */
+    bool post(const MboxMessage &msg);
+
+    /** Receiver: acknowledge, freeing the register for the next post. */
+    void ack();
+
+    bool busy() const { return busy_; }
+    std::uint64_t posted() const { return posted_.value(); }
+
+  private:
+    DoorbellFn doorbell_;
+    bool busy_ = false;
+    sim::Counter posted_;
+};
+
+/** The bidirectional mailbox a VF shares with its PF. */
+struct VfMailbox
+{
+    Mailbox to_pf;      ///< VF driver -> PF driver
+    Mailbox to_vf;      ///< PF driver -> VF driver
+};
+
+} // namespace sriov::nic
+
+#endif // SRIOV_NIC_MAILBOX_HPP

@@ -1,0 +1,18 @@
+#include "nic/packet.hpp"
+
+#include <cstdio>
+
+namespace sriov::nic {
+
+std::string
+MacAddr::toString() const
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x:%02x:%02x:%02x:%02x",
+                  unsigned(value >> 40) & 0xff, unsigned(value >> 32) & 0xff,
+                  unsigned(value >> 24) & 0xff, unsigned(value >> 16) & 0xff,
+                  unsigned(value >> 8) & 0xff, unsigned(value) & 0xff);
+    return buf;
+}
+
+} // namespace sriov::nic

@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Ethernet frames as the simulation moves them around.
+ *
+ * Payload contents are not simulated; a Packet carries addressing,
+ * sizes and flow bookkeeping (sequence numbers for the TCP model).
+ * Size conventions: `bytes` is the Ethernet frame (MAC header + IP +
+ * transport + payload + FCS, e.g. 1518 for a full 1500-byte MTU
+ * frame); the wire additionally serializes preamble + IFG (20 bytes).
+ * netperf-style goodput is computed from payloadBytes().
+ */
+
+#ifndef SRIOV_NIC_PACKET_HPP
+#define SRIOV_NIC_PACKET_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "mem/machine_memory.hpp"
+#include "sim/time.hpp"
+
+namespace sriov::nic {
+
+/** 48-bit MAC address kept in the low bits of a u64. */
+struct MacAddr
+{
+    std::uint64_t value = 0;
+
+    constexpr bool operator==(const MacAddr &) const = default;
+
+    static constexpr MacAddr
+    make(std::uint8_t group, std::uint16_t index)
+    {
+        // Locally administered unicast: 02:00:00:gg:ii:ii
+        return MacAddr{0x020000000000ull | (std::uint64_t(group) << 16)
+                       | index};
+    }
+
+    static constexpr MacAddr broadcast() { return MacAddr{0xffffffffffffull}; }
+    constexpr bool isBroadcast() const { return *this == broadcast(); }
+
+    std::string toString() const;
+};
+
+struct MacAddrHash
+{
+    std::size_t operator()(const MacAddr &m) const
+    {
+        return std::hash<std::uint64_t>()(m.value);
+    }
+};
+
+/** Per-frame protocol overheads (bytes). */
+namespace frame {
+constexpr std::uint32_t kEthHeader = 14;
+constexpr std::uint32_t kVlanTag = 4;
+constexpr std::uint32_t kFcs = 4;
+constexpr std::uint32_t kPreambleIfg = 20;
+constexpr std::uint32_t kIpHeader = 20;
+constexpr std::uint32_t kUdpHeader = 8;
+constexpr std::uint32_t kTcpHeader = 20;
+constexpr std::uint32_t kMtu = 1500;
+
+/** Frame size for a UDP datagram with @p payload bytes. */
+constexpr std::uint32_t
+udpFrame(std::uint32_t payload)
+{
+    return kEthHeader + kIpHeader + kUdpHeader + payload + kFcs;
+}
+
+/** Frame size for a TCP segment with @p payload bytes. */
+constexpr std::uint32_t
+tcpFrame(std::uint32_t payload)
+{
+    return kEthHeader + kIpHeader + kTcpHeader + payload + kFcs;
+}
+
+/** Largest UDP payload in one MTU frame (1472 for MTU 1500). */
+constexpr std::uint32_t kMaxUdpPayload = kMtu - kIpHeader - kUdpHeader;
+/** Largest TCP payload in one MTU frame (1460, no options). */
+constexpr std::uint32_t kMaxTcpPayload = kMtu - kIpHeader - kTcpHeader;
+} // namespace frame
+
+struct Packet
+{
+    enum class Kind : std::uint8_t { Udp, Tcp, TcpAck, Control };
+
+    MacAddr dst;
+    MacAddr src;
+    std::uint16_t vlan = 0;          ///< 0 = untagged
+    std::uint32_t bytes = 0;         ///< Ethernet frame size
+    Kind kind = Kind::Udp;
+    std::uint32_t flow = 0;          ///< flow/connection id
+    std::uint64_t seq = 0;           ///< TCP: cumulative end-seq of segment
+    std::uint64_t ack = 0;           ///< TcpAck: cumulative acked bytes
+    sim::Time sent_at;               ///< for latency accounting
+
+    /** Bytes the physical line serializes for this frame. */
+    std::uint32_t
+    wireBytes() const
+    {
+        return bytes + frame::kPreambleIfg
+            + (vlan ? frame::kVlanTag : 0);
+    }
+
+    /** Transport goodput bytes this frame carries. */
+    std::uint32_t
+    payloadBytes() const
+    {
+        std::uint32_t hdr = frame::kEthHeader + frame::kIpHeader + frame::kFcs
+            + (kind == Kind::Udp ? frame::kUdpHeader : frame::kTcpHeader);
+        return bytes > hdr ? bytes - hdr : 0;
+    }
+};
+
+} // namespace sriov::nic
+
+#endif // SRIOV_NIC_PACKET_HPP

@@ -1,0 +1,4 @@
+// PlainNic is defined alongside VmdqNic in vmdq_nic.cpp; this
+// translation unit exists to keep one object per header listed in the
+// build and hosts nothing further.
+#include "nic/vmdq_nic.hpp"

@@ -1,0 +1,292 @@
+#include "nic/sriov_nic.hpp"
+
+#include "sim/log.hpp"
+#include "sim/trace.hpp"
+
+namespace sriov::nic {
+
+NicPort::NicPort(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf,
+                 Params p, unsigned num_pools)
+    : eq_(eq), name_(std::move(name)), params_(p),
+      dma_(eq, name_ + ".dma", p.dma)
+{
+    auto pf = std::make_unique<pci::PciFunction>(
+        pf_bdf, p.vendor_id, p.pf_device_id, 0x020000,
+        pci::PciFunction::Kind::Physical);
+    pf->declareBar(0, 128 * 1024);
+    pf->addMsix(10, 3);
+    pf_ = &addFunction(std::move(pf));
+    resizePools(num_pools);
+}
+
+NicPort::~NicPort() = default;
+
+void
+NicPort::resizePools(unsigned n)
+{
+    while (pools_.size() < n)
+        pools_.push_back(std::make_unique<PoolState>(params_.rx_ring_size));
+    while (pools_.size() > n)
+        pools_.pop_back();
+    for (auto &ps : pools_) {
+        if (ps->itr_hz == 0.0)
+            ps->itr_hz = params_.default_itr_hz;
+    }
+}
+
+NicPort::PoolState &
+NicPort::poolState(Pool pool)
+{
+    if (pool >= pools_.size())
+        sim::panic("%s: pool %u out of range", name_.c_str(), pool);
+    return *pools_[pool];
+}
+
+const NicPort::PoolState &
+NicPort::poolState(Pool pool) const
+{
+    if (pool >= pools_.size())
+        sim::panic("%s: pool %u out of range", name_.c_str(), pool);
+    return *pools_[pool];
+}
+
+DescRing &
+NicPort::rxRing(Pool pool)
+{
+    return poolState(pool).ring;
+}
+
+std::vector<RxCompletion>
+NicPort::drainRx(Pool pool)
+{
+    PoolState &ps = poolState(pool);
+    std::vector<RxCompletion> out(ps.completed.begin(), ps.completed.end());
+    ps.completed.clear();
+    return out;
+}
+
+std::size_t
+NicPort::rxPending(Pool pool) const
+{
+    return poolState(pool).completed.size();
+}
+
+void
+NicPort::setItr(Pool pool, double hz)
+{
+    if (hz < 0)
+        sim::fatal("%s: negative ITR", name_.c_str());
+    poolState(pool).itr_hz = hz;
+}
+
+double
+NicPort::itr(Pool pool) const
+{
+    return poolState(pool).itr_hz;
+}
+
+void
+NicPort::setPoolFilter(Pool pool, MacAddr mac, std::uint16_t vlan)
+{
+    l2_.setFilter(mac, vlan, pool);
+}
+
+const NicPort::PoolStats &
+NicPort::poolStats(Pool pool) const
+{
+    return poolState(pool).stats;
+}
+
+void
+NicPort::receive(const Packet &pkt)
+{
+    auto pool = l2_.classify(pkt);
+    if (!pool)
+        pool = default_pool_;
+    if (!pool) {
+        drop_no_match_.inc();
+        return;
+    }
+    deliverToPool(*pool, pkt);
+}
+
+void
+NicPort::deliverToPool(Pool pool, const Packet &pkt)
+{
+    PoolState &ps = poolState(pool);
+    pci::PciFunction &fn = poolFunction(pool);
+
+    if (!ps.enabled || !fn.busMasterEnabled()) {
+        ps.stats.rx_drop_master.inc();
+        return;
+    }
+    auto buf = ps.ring.take();
+    if (!buf) {
+        ps.ring.countOverflow();
+        ps.stats.rx_drop_ring.inc();
+        SRIOV_TRACE(sim::TraceCat::Nic, "%s pool %u: ring dry, drop",
+                    name_.c_str(), pool);
+        return;
+    }
+    mem::Addr gpa = *buf;
+    if (iommu_) {
+        auto r = iommu_->translate(fn.rid(), gpa, /*is_write=*/true);
+        if (!r.ok()) {
+            ps.stats.rx_drop_iommu.inc();
+            return;
+        }
+    }
+    dma_.transfer(pkt.bytes, [this, pool, pkt, gpa]() {
+        PoolState &p = poolState(pool);
+        p.completed.push_back(RxCompletion{pkt, gpa});
+        p.stats.rx_frames.inc();
+        p.stats.rx_bytes.inc(pkt.bytes);
+        requestInterrupt(pool);
+    });
+}
+
+void
+NicPort::requestInterrupt(Pool pool)
+{
+    PoolState &ps = poolState(pool);
+    if (ps.throttle_armed) {
+        ps.intr_pending = true;
+        return;
+    }
+    ps.stats.interrupts.inc();
+    SRIOV_TRACE(sim::TraceCat::Irq, "%s pool %u: raise (itr %.0f Hz)",
+                name_.c_str(), pool, ps.itr_hz);
+    signalPool(pool);
+    if (ps.itr_hz <= 0)
+        return;
+    ps.throttle_armed = true;
+    eq_.scheduleIn(sim::Time::seconds(1.0 / ps.itr_hz), [this, pool]() {
+        // Pools can shrink (VF disable) while a timer is in flight.
+        if (pool >= pools_.size())
+            return;
+        PoolState &p = *pools_[pool];
+        p.throttle_armed = false;
+        if (p.intr_pending) {
+            p.intr_pending = false;
+            requestInterrupt(pool);
+        }
+    });
+}
+
+void
+NicPort::transmit(Pool pool, const Packet &pkt)
+{
+    PoolState &ps = poolState(pool);
+    pci::PciFunction &fn = poolFunction(pool);
+    if (!fn.busMasterEnabled()) {
+        ps.stats.rx_drop_master.inc();
+        return;
+    }
+    // TX descriptor ring is finite: drop when the DMA engine is this
+    // far behind (an open-loop UDP sender outrunning the PCIe link).
+    if (dma_.queueDepth() > kTxBacklogCap) {
+        ps.stats.tx_dropped.inc();
+        return;
+    }
+    // Fetch the frame from memory across the PCIe link, then route.
+    dma_.transfer(pkt.bytes, [this, pool, pkt]() {
+        PoolState &p = poolState(pool);
+        p.stats.tx_frames.inc();
+        p.stats.tx_bytes.inc(pkt.bytes);
+        auto local = l2_.classify(pkt);
+        if (local) {
+            // Internal switch: loop back through a second DMA crossing.
+            deliverToPool(*local, pkt);
+        } else if (wire_) {
+            wire_->send(*this, pkt);
+        } else {
+            drop_no_match_.inc();
+        }
+    });
+}
+
+SriovNic::SriovNic(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf,
+                   SriovParams p)
+    : NicPort(eq, std::move(name), pf_bdf, p.port, /*num_pools=*/1), sp_(p)
+{
+    pci::SriovCapability::Params cp;
+    cp.total_vfs = p.total_vfs;
+    cp.initial_vfs = p.total_vfs;
+    cp.vf_device_id = p.vf_device_id;
+    sriov_cap_ = std::make_unique<pci::SriovCapability>(pf_->config(),
+                                                        pf_->caps(), cp);
+    sriov_cap_->onVfEnable([this](bool en, std::uint16_t n) {
+        vfEnableChanged(en, n);
+    });
+}
+
+SriovNic::SriovNic(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf)
+    : SriovNic(eq, std::move(name), pf_bdf, SriovParams{})
+{
+}
+
+void
+SriovNic::vfEnableChanged(bool enabled, std::uint16_t num_vfs)
+{
+    if (enabled) {
+        if (num_vfs > sp_.total_vfs)
+            sim::fatal("%s: NumVFs %u > TotalVFs %u", name_.c_str(), num_vfs,
+                       sp_.total_vfs);
+        for (unsigned i = 0; i < num_vfs; ++i) {
+            pci::Rid rid = sriov_cap_->vfRid(pf_->rid(), i);
+            auto vf = std::make_unique<pci::PciFunction>(
+                pci::Bdf::fromRid(rid), sp_.port.vendor_id,
+                sp_.vf_device_id, 0x020000, pci::PciFunction::Kind::Virtual);
+            vf->declareBar(0, 16 * 1024);
+            // 82576 VF: rx, tx, mailbox vectors.
+            vf->addMsix(3, 3);
+            vfs_.push_back(&addFunction(std::move(vf)));
+            mailboxes_.push_back(std::make_unique<VfMailbox>());
+        }
+        resizePools(1 + num_vfs);
+    } else {
+        if (vfs_removing_)
+            vfs_removing_();
+        for (pci::PciFunction *vf : vfs_)
+            removeFunction(*vf);
+        vfs_.clear();
+        mailboxes_.clear();
+        for (unsigned p = 1; p < poolCount(); ++p)
+            l2_.clearPool(Pool(p));
+        resizePools(1);
+    }
+    if (vfs_changed_)
+        vfs_changed_();
+}
+
+pci::PciFunction *
+SriovNic::vf(unsigned i)
+{
+    return i < vfs_.size() ? vfs_[i] : nullptr;
+}
+
+VfMailbox &
+SriovNic::mailbox(unsigned vf_index)
+{
+    return *mailboxes_.at(vf_index);
+}
+
+pci::PciFunction &
+SriovNic::poolFunction(Pool pool)
+{
+    if (pool == 0)
+        return *pf_;
+    unsigned i = pool - 1;
+    if (i >= vfs_.size())
+        sim::panic("%s: pool %u has no VF", name_.c_str(), pool);
+    return *vfs_[i];
+}
+
+void
+SriovNic::signalPool(Pool pool)
+{
+    // Vector 0 carries RX (and, in this model, TX-completion) events.
+    poolFunction(pool).signalMsix(0);
+}
+
+} // namespace sriov::nic

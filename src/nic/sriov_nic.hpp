@@ -1,0 +1,217 @@
+/**
+ * @file
+ * NicPort and SriovNic: the 82576-like Ethernet port model.
+ *
+ * A NicPort is one physical port: an L2 classifier, a set of RX pools
+ * (descriptor ring + completion queue + interrupt-throttle state), a
+ * DMA engine on the port's PCIe link, and a wire attachment. Pool 0
+ * always belongs to the Physical Function.
+ *
+ * SriovNic extends the port with the SR-IOV machinery of the paper:
+ * an SR-IOV capability on the PF whose VF Enable bit instantiates
+ * "light-weight" Virtual Functions (one pool each, 3-vector MSI-X,
+ * invisible to bus scans), and a mailbox/doorbell channel per VF for
+ * PF↔VF driver communication (Section 4.2).
+ *
+ * Receive path (paper Section 4.1): frame arrives → L2 switch
+ * classifies on MAC+VLAN → descriptor taken from the pool's ring →
+ * IOMMU translates the guest-programmed buffer address → DMA across
+ * the PCIe link → MSI(-X) raised, subject to the pool's interrupt
+ * throttle (ITR). Transmit from a pool whose destination is local is
+ * looped back through a second DMA crossing — the inter-VM path of
+ * Section 6.3.
+ */
+
+#ifndef SRIOV_NIC_SRIOV_NIC_HPP
+#define SRIOV_NIC_SRIOV_NIC_HPP
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mem/dma_engine.hpp"
+#include "mem/iommu.hpp"
+#include "nic/desc_ring.hpp"
+#include "nic/l2_switch.hpp"
+#include "nic/mailbox.hpp"
+#include "nic/packet.hpp"
+#include "nic/wire.hpp"
+#include "pci/device.hpp"
+#include "pci/function.hpp"
+
+namespace sriov::nic {
+
+using Pool = L2Switch::Pool;
+
+/** A received frame as the driver sees it after DMA. */
+struct RxCompletion
+{
+    Packet pkt;
+    mem::Addr buffer_gpa = 0;
+};
+
+class NicPort : public WireEndpoint, public pci::PciDevice
+{
+  public:
+    struct Params
+    {
+        std::size_t rx_ring_size = 1024;
+        /** Default interrupt throttle; 0 = immediate (no moderation). */
+        double default_itr_hz = 0.0;
+        mem::DmaEngine::Params dma{};
+        std::uint16_t vendor_id = 0x8086;
+        std::uint16_t pf_device_id = 0x10c9;    ///< 82576
+    };
+
+    NicPort(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf,
+            Params p, unsigned num_pools);
+    ~NicPort() override;
+
+    const std::string &name() const { return name_; }
+    pci::PciFunction &pf() { return *pf_; }
+    mem::DmaEngine &dma() { return dma_; }
+    L2Switch &l2() { return l2_; }
+
+    void attachWire(Wire &w) { wire_ = &w; }
+    void setIommu(mem::Iommu *iommu) { iommu_ = iommu; }
+
+    unsigned poolCount() const { return unsigned(pools_.size()); }
+
+    /** Function whose RID/bus-mastering governs DMA for @p pool. */
+    pci::PciFunction &functionOf(Pool pool) { return poolFunction(pool); }
+
+    /** @name Driver-facing pool interface. @{ */
+    DescRing &rxRing(Pool pool);
+    std::vector<RxCompletion> drainRx(Pool pool);
+    std::size_t rxPending(Pool pool) const;
+    void setItr(Pool pool, double hz);
+    double itr(Pool pool) const;
+    /** Transmit a frame from @p pool (DMA fetch, then route). */
+    void transmit(Pool pool, const Packet &pkt);
+    /** @} */
+
+    /** PF-driver-side: steer @p mac/@p vlan to @p pool. */
+    void setPoolFilter(Pool pool, MacAddr mac, std::uint16_t vlan = 0);
+    /** Frames matching no filter land here (bridged dom0); -1 = drop. */
+    void setDefaultPool(std::optional<Pool> pool) { default_pool_ = pool; }
+
+    /** WireEndpoint: frame arrived from the physical line. */
+    void receive(const Packet &pkt) override;
+
+    /** Per-pool statistics. */
+    struct PoolStats
+    {
+        sim::Counter rx_frames;
+        sim::Counter rx_bytes;
+        sim::Counter rx_drop_ring;      ///< descriptor ring dry
+        sim::Counter rx_drop_master;    ///< bus mastering disabled
+        sim::Counter rx_drop_iommu;     ///< translation fault
+        sim::Counter tx_frames;
+        sim::Counter tx_bytes;
+        sim::Counter tx_dropped;    ///< TX backlog (descriptor ring) full
+        sim::Counter interrupts;
+    };
+
+    /** TX backlog bound (descriptor-ring depth equivalent). */
+    static constexpr std::size_t kTxBacklogCap = 1024;
+    const PoolStats &poolStats(Pool pool) const;
+    std::uint64_t rxDropNoMatch() const { return drop_no_match_.value(); }
+
+  protected:
+    struct PoolState
+    {
+        DescRing ring;
+        std::deque<RxCompletion> completed;
+        double itr_hz = 0.0;
+        bool throttle_armed = false;
+        bool intr_pending = false;
+        PoolStats stats;
+        bool enabled = true;
+
+        explicit PoolState(std::size_t ring_size) : ring(ring_size) {}
+    };
+
+    /** Function whose RID/bus-mastering governs DMA for @p pool. */
+    virtual pci::PciFunction &poolFunction(Pool pool) = 0;
+    /** Raise the pool's interrupt (MSI/MSI-X on the right function). */
+    virtual void signalPool(Pool pool) = 0;
+
+    void resizePools(unsigned n);
+    PoolState &poolState(Pool pool);
+    const PoolState &poolState(Pool pool) const;
+
+    /** Deliver a classified frame into a pool (ring + IOMMU + DMA). */
+    void deliverToPool(Pool pool, const Packet &pkt);
+    void requestInterrupt(Pool pool);
+
+    sim::EventQueue &eq_;
+    std::string name_;
+    Params params_;
+    pci::PciFunction *pf_ = nullptr;    // owned by PciDevice base
+    mem::DmaEngine dma_;
+    L2Switch l2_;
+    Wire *wire_ = nullptr;
+    mem::Iommu *iommu_ = nullptr;
+    std::vector<std::unique_ptr<PoolState>> pools_;
+    std::optional<Pool> default_pool_;
+    sim::Counter drop_no_match_;
+};
+
+/**
+ * The SR-IOV-capable port: PF pool 0 plus one pool per enabled VF.
+ */
+class SriovNic : public NicPort
+{
+  public:
+    struct SriovParams
+    {
+        Params port{};
+        std::uint16_t total_vfs = 7;
+        std::uint16_t vf_device_id = 0x10ca;    ///< 82576 VF
+    };
+
+    SriovNic(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf,
+             SriovParams p);
+    SriovNic(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf);
+
+    pci::SriovCapability &sriovCap() { return *sriov_cap_; }
+
+    unsigned numVfs() const { return unsigned(vfs_.size()); }
+    pci::PciFunction *vf(unsigned i);
+    Pool vfPool(unsigned i) const { return Pool(1 + i); }
+
+    VfMailbox &mailbox(unsigned vf_index);
+
+    /** Called after VFs appear/disappear so the platform can (un)plug. */
+    void onVfsChanged(std::function<void()> fn)
+    {
+        vfs_changed_ = std::move(fn);
+    }
+
+    /** Called just *before* VF objects are destroyed on VF disable. */
+    void onVfsRemoving(std::function<void()> fn)
+    {
+        vfs_removing_ = std::move(fn);
+    }
+
+  protected:
+    pci::PciFunction &poolFunction(Pool pool) override;
+    void signalPool(Pool pool) override;
+
+  private:
+    void vfEnableChanged(bool enabled, std::uint16_t num_vfs);
+
+    SriovParams sp_;
+    std::unique_ptr<pci::SriovCapability> sriov_cap_;
+    std::vector<pci::PciFunction *> vfs_;    // owned by PciDevice base
+    std::vector<std::unique_ptr<VfMailbox>> mailboxes_;
+    std::function<void()> vfs_changed_;
+    std::function<void()> vfs_removing_;
+};
+
+} // namespace sriov::nic
+
+#endif // SRIOV_NIC_SRIOV_NIC_HPP

@@ -1,0 +1,67 @@
+#include "nic/vmdq_nic.hpp"
+
+namespace sriov::nic {
+
+namespace {
+NicPort::Params
+vmdq82598(NicPort::Params p)
+{
+    p.pf_device_id = 0x10b6;    // 82598
+    if (p.dma.link_bps < 16e9) {
+        // PCIe Gen2 x8 class link with pipelined descriptor fetches:
+        // a 10 GbE part must sustain >810 k frames/s.
+        p.dma.link_bps = 16e9;
+        p.dma.per_dma_overhead = sim::Time::ns(100);
+    }
+    return p;
+}
+} // namespace
+
+VmdqNic::VmdqNic(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf,
+                 VmdqParams p)
+    : NicPort(eq, std::move(name), pf_bdf, vmdq82598(p.port), p.num_queues)
+{
+}
+
+VmdqNic::VmdqNic(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf)
+    : VmdqNic(eq, std::move(name), pf_bdf, VmdqParams{})
+{
+}
+
+pci::PciFunction &
+VmdqNic::poolFunction(Pool)
+{
+    // Every queue DMAs with the PF's RID: the defining VMDq limitation.
+    return *pf_;
+}
+
+void
+VmdqNic::signalPool(Pool pool)
+{
+    pf_->signalMsix(pool);
+}
+
+PlainNic::PlainNic(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf,
+                   Params p)
+    : NicPort(eq, std::move(name), pf_bdf, p, /*num_pools=*/1)
+{
+}
+
+PlainNic::PlainNic(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf)
+    : PlainNic(eq, std::move(name), pf_bdf, Params{})
+{
+}
+
+pci::PciFunction &
+PlainNic::poolFunction(Pool)
+{
+    return *pf_;
+}
+
+void
+PlainNic::signalPool(Pool)
+{
+    pf_->signalMsix(0);
+}
+
+} // namespace sriov::nic

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * VmdqNic: an 82598-like 10 GbE adapter with Virtual Machine Device
+ * Queues (paper Sections 1, 6.6).
+ *
+ * VMDq offloads packet *classification* to the NIC — each guest gets a
+ * queue pair and the NIC DMAs received frames directly toward that
+ * queue's buffers — but unlike SR-IOV there is only one PCIe function:
+ * every DMA carries the PF's RID, so the VMM must still interpose for
+ * memory protection and address translation, and queue interrupts land
+ * in dom0 first. The 82598 has 8 queue pairs; dom0 keeps one, so only
+ * 7 guests get VMDq service and the rest fall back to the software
+ * bridge (the behaviour behind Fig. 19's peak-then-decay).
+ */
+
+#ifndef SRIOV_NIC_VMDQ_NIC_HPP
+#define SRIOV_NIC_VMDQ_NIC_HPP
+
+#include "nic/sriov_nic.hpp"
+
+namespace sriov::nic {
+
+class VmdqNic : public NicPort
+{
+  public:
+    struct VmdqParams
+    {
+        Params port{};
+        unsigned num_queues = 8;
+    };
+
+    VmdqNic(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf,
+            VmdqParams p);
+    VmdqNic(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf);
+
+    unsigned queueCount() const { return poolCount(); }
+
+    /** Queue 0 is dom0's default queue. */
+    static constexpr Pool kDefaultQueue = 0;
+
+  protected:
+    pci::PciFunction &poolFunction(Pool pool) override;
+    void signalPool(Pool pool) override;
+};
+
+/**
+ * PlainNic: a conventional single-queue adapter (native baseline and
+ * the physical NIC under the dom0 software bridge).
+ */
+class PlainNic : public NicPort
+{
+  public:
+    PlainNic(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf,
+             Params p);
+    PlainNic(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf);
+
+  protected:
+    pci::PciFunction &poolFunction(Pool pool) override;
+    void signalPool(Pool pool) override;
+};
+
+} // namespace sriov::nic
+
+#endif // SRIOV_NIC_VMDQ_NIC_HPP

@@ -1,0 +1,70 @@
+#include "nic/wire.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::nic {
+
+Wire::Wire(sim::EventQueue &eq, Params p) : eq_(eq), params_(p)
+{
+    if (params_.line_bps <= 0)
+        sim::fatal("wire: bad line rate");
+}
+
+Wire::Wire(sim::EventQueue &eq) : Wire(eq, Params{}) {}
+
+void
+Wire::connect(WireEndpoint &a, WireEndpoint &b)
+{
+    end_a_ = &a;
+    end_b_ = &b;
+    dirs_[0].to = &b;    // a -> b
+    dirs_[1].to = &a;    // b -> a
+}
+
+bool
+Wire::send(WireEndpoint &from, const Packet &pkt)
+{
+    unsigned dir;
+    if (&from == end_a_) {
+        dir = 0;
+    } else if (&from == end_b_) {
+        dir = 1;
+    } else {
+        sim::panic("wire: send from unconnected endpoint");
+    }
+    Direction &d = dirs_[dir];
+    if (d.q.size() >= kTxQueueCap) {
+        dropped_.inc();
+        return false;
+    }
+    d.q.push_back(pkt);
+    if (!d.busy)
+        startNext(dir);
+    return true;
+}
+
+void
+Wire::startNext(unsigned dir)
+{
+    Direction &d = dirs_[dir];
+    if (d.q.empty()) {
+        d.busy = false;
+        return;
+    }
+    d.busy = true;
+    Packet pkt = d.q.front();
+    d.q.pop_front();
+    sim::Time ser =
+        sim::Time::transfer(double(pkt.wireBytes()) * 8.0, params_.line_bps);
+    // The receiver sees the frame after serialization + propagation;
+    // the line is free for the next frame after serialization alone.
+    eq_.scheduleIn(ser, [this, dir, pkt]() {
+        eq_.scheduleIn(params_.propagation, [this, dir, pkt]() {
+            delivered_.inc();
+            dirs_[dir].to->receive(pkt);
+        });
+        startNext(dir);
+    });
+}
+
+} // namespace sriov::nic

@@ -1,0 +1,21 @@
+#include "pci/acs_cap.hpp"
+
+namespace sriov::pci {
+
+AcsCapability::AcsCapability(ConfigSpace &cs, CapabilityAllocator &alloc)
+    : cs_(cs), off_(alloc.addExtended(capid::kExtAcs, 1, kLen))
+{
+    // Advertise all control knobs this model implements.
+    cs_.setRaw16(off_ + kCapReg,
+                 kSourceValidation | kTranslationBlocking | kRequestRedirect
+                     | kCompletionRedirect | kUpstreamForwarding);
+    cs_.allowWrite(off_ + kCtlReg, 2);
+}
+
+void
+AcsCapability::setControl(std::uint16_t bits)
+{
+    cs_.write(off_ + kCtlReg, bits, 2);
+}
+
+} // namespace sriov::pci

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Access Control Services extended capability (ext cap id 0x000d).
+ *
+ * Lives on switch downstream ports. When P2P Request Redirect is on,
+ * peer-to-peer transactions between VFs are forced upstream through the
+ * Root Complex and IOMMU instead of being routed directly inside the
+ * switch — closing the MMIO-peeking hole described in paper Section 4.3.
+ */
+
+#ifndef SRIOV_PCI_ACS_CAP_HPP
+#define SRIOV_PCI_ACS_CAP_HPP
+
+#include <cstdint>
+
+#include "pci/capability.hpp"
+
+namespace sriov::pci {
+
+class AcsCapability
+{
+  public:
+    AcsCapability(ConfigSpace &cs, CapabilityAllocator &alloc);
+
+    std::uint16_t offset() const { return off_; }
+
+    bool sourceValidation() const { return ctl() & kSourceValidation; }
+    bool requestRedirect() const { return ctl() & kRequestRedirect; }
+    bool completionRedirect() const { return ctl() & kCompletionRedirect; }
+    bool upstreamForwarding() const { return ctl() & kUpstreamForwarding; }
+
+    void setControl(std::uint16_t bits);
+
+    static constexpr std::uint16_t kCapReg = 4;
+    static constexpr std::uint16_t kCtlReg = 6;
+    static constexpr std::uint16_t kLen = 8;
+
+    static constexpr std::uint16_t kSourceValidation = 1u << 0;
+    static constexpr std::uint16_t kTranslationBlocking = 1u << 1;
+    static constexpr std::uint16_t kRequestRedirect = 1u << 2;
+    static constexpr std::uint16_t kCompletionRedirect = 1u << 3;
+    static constexpr std::uint16_t kUpstreamForwarding = 1u << 4;
+
+  private:
+    std::uint16_t ctl() const { return cs_.raw16(off_ + kCtlReg); }
+
+    ConfigSpace &cs_;
+    std::uint16_t off_;
+};
+
+} // namespace sriov::pci
+
+#endif // SRIOV_PCI_ACS_CAP_HPP

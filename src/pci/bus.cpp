@@ -1,0 +1,109 @@
+#include "pci/bus.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::pci {
+
+namespace {
+std::uint16_t
+slotKey(std::uint8_t dev, std::uint8_t fn)
+{
+    return std::uint16_t((dev << 3) | fn);
+}
+} // namespace
+
+void
+PciBus::attach(PciFunction &fn)
+{
+    Bdf b = fn.bdf();
+    if (b.bus != number_)
+        sim::panic("attaching %s to bus %u", fn.name().c_str(), number_);
+    auto [it, inserted] = slots_.emplace(slotKey(b.dev, b.fn), &fn);
+    if (!inserted)
+        sim::panic("slot %s already occupied", b.toString().c_str());
+}
+
+void
+PciBus::detach(const PciFunction &fn)
+{
+    Bdf b = fn.bdf();
+    slots_.erase(slotKey(b.dev, b.fn));
+}
+
+PciFunction *
+PciBus::at(std::uint8_t dev, std::uint8_t fn)
+{
+    auto it = slots_.find(slotKey(dev, fn));
+    return it == slots_.end() ? nullptr : it->second;
+}
+
+PciFunction *
+PciBus::byRid(Rid rid)
+{
+    Bdf b = Bdf::fromRid(rid);
+    if (b.bus != number_)
+        return nullptr;
+    return at(b.dev, b.fn);
+}
+
+std::uint32_t
+PciBus::configRead(Bdf bdf, std::uint16_t off, unsigned size)
+{
+    PciFunction *f = at(bdf.dev, bdf.fn);
+    if (!f)
+        return cfg::kNoDevice;
+    // A trimmed VF does not answer the probe path at the vendor-ID
+    // register; all other registers respond so an owner that already
+    // knows the VF exists (the IOVM) can manage it.
+    if (!f->respondsToScan() && off == cfg::kVendorId)
+        return cfg::kNoDevice;
+    return f->config().read(off, size);
+}
+
+void
+PciBus::configWrite(Bdf bdf, std::uint16_t off, std::uint32_t v,
+                    unsigned size)
+{
+    PciFunction *f = at(bdf.dev, bdf.fn);
+    if (f)
+        f->config().write(off, v, size);
+}
+
+std::vector<PciFunction *>
+PciBus::scan()
+{
+    std::vector<PciFunction *> found;
+    for (unsigned dev = 0; dev < 32; ++dev) {
+        for (unsigned fn = 0; fn < 8; ++fn) {
+            Bdf b{number_, std::uint8_t(dev), std::uint8_t(fn)};
+            std::uint32_t vid = configRead(b, cfg::kVendorId, 2);
+            if (vid != 0xffff && vid != cfg::kNoDevice)
+                found.push_back(at(b.dev, b.fn));
+        }
+    }
+    return found;
+}
+
+std::vector<PciFunction *>
+PciBus::allFunctions()
+{
+    std::vector<PciFunction *> out;
+    out.reserve(slots_.size());
+    for (auto &[k, f] : slots_)
+        out.push_back(f);
+    return out;
+}
+
+Bdf
+PciBus::freeSlot() const
+{
+    for (unsigned dev = 0; dev < 32; ++dev) {
+        for (unsigned fn = 0; fn < 8; ++fn) {
+            if (!slots_.count(slotKey(std::uint8_t(dev), std::uint8_t(fn))))
+                return Bdf{number_, std::uint8_t(dev), std::uint8_t(fn)};
+        }
+    }
+    sim::fatal("bus %u full", number_);
+}
+
+} // namespace sriov::pci

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * PciBus: maps device/function numbers to PciFunction objects and
+ * implements the configuration probe path a host OS uses during bus
+ * enumeration. VFs attached to the bus are reachable by RID (for DMA
+ * and IOMMU purposes) but invisible to vendor-ID scans (paper §4.1).
+ */
+
+#ifndef SRIOV_PCI_BUS_HPP
+#define SRIOV_PCI_BUS_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "pci/function.hpp"
+
+namespace sriov::pci {
+
+class PciBus
+{
+  public:
+    explicit PciBus(std::uint8_t number) : number_(number) {}
+
+    std::uint8_t number() const { return number_; }
+
+    /** Attach @p fn at its BDF. The bus does not own functions. */
+    void attach(PciFunction &fn);
+    void detach(const PciFunction &fn);
+
+    PciFunction *at(std::uint8_t dev, std::uint8_t fn);
+    PciFunction *byRid(Rid rid);
+
+    /** Config access as a host OS would issue it (probe semantics). */
+    std::uint32_t configRead(Bdf bdf, std::uint16_t off, unsigned size);
+    void configWrite(Bdf bdf, std::uint16_t off, std::uint32_t v,
+                     unsigned size);
+
+    /**
+     * Vendor-ID scan over all dev/fn slots: returns the functions an
+     * ordinary PCI bus scan discovers (PFs and bridges, never VFs).
+     */
+    std::vector<PciFunction *> scan();
+
+    /** All attached functions including VFs (platform's view). */
+    std::vector<PciFunction *> allFunctions();
+
+    /** First free (dev, fn) slot, for hot-adding. */
+    Bdf freeSlot() const;
+
+  private:
+    std::uint8_t number_;
+    std::map<std::uint16_t, PciFunction *> slots_;  // key: dev<<3|fn
+};
+
+} // namespace sriov::pci
+
+#endif // SRIOV_PCI_BUS_HPP

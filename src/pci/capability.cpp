@@ -1,0 +1,93 @@
+#include "pci/capability.hpp"
+
+#include <cstdio>
+
+#include "sim/log.hpp"
+
+namespace sriov::pci {
+
+std::string
+Bdf::toString() const
+{
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%02x:%02x.%x", bus, dev, fn);
+    return buf;
+}
+
+std::uint16_t
+CapabilityAllocator::addClassic(std::uint8_t id, std::uint16_t len)
+{
+    // Capabilities are dword aligned.
+    std::uint16_t off = std::uint16_t((classic_next_ + 3) & ~3u);
+    if (off + len > 0x100)
+        sim::panic("classic capability space exhausted");
+    classic_next_ = std::uint16_t(off + len);
+
+    cs_.setRaw8(off, id);
+    cs_.setRaw8(off + 1, 0);        // next pointer, patched below
+
+    if (classic_tail_ == 0) {
+        cs_.setRaw8(cfg::kCapPtr, std::uint8_t(off));
+        cs_.setRaw16(cfg::kStatus,
+                     cs_.raw16(cfg::kStatus) | cfg::kStatusCapList);
+    } else {
+        cs_.setRaw8(classic_tail_ + 1, std::uint8_t(off));
+    }
+    classic_tail_ = off;
+    return off;
+}
+
+std::uint16_t
+CapabilityAllocator::addExtended(std::uint16_t id, std::uint8_t version,
+                                 std::uint16_t len)
+{
+    std::uint16_t off = std::uint16_t((ext_next_ + 3) & ~3u);
+    if (off + len > ConfigSpace::kSize)
+        sim::panic("extended capability space exhausted");
+    ext_next_ = std::uint16_t(off + len);
+
+    // Header: [15:0] id, [19:16] version, [31:20] next.
+    cs_.setRaw32(off, std::uint32_t(id) | (std::uint32_t(version) << 16));
+    if (ext_tail_ != 0) {
+        std::uint32_t hdr = cs_.raw32(ext_tail_);
+        hdr = (hdr & 0x000fffffu) | (std::uint32_t(off) << 20);
+        cs_.setRaw32(ext_tail_, hdr);
+    }
+    ext_tail_ = off;
+    return off;
+}
+
+std::uint16_t
+findClassicCap(const ConfigSpace &cs, std::uint8_t id)
+{
+    if (!(cs.raw16(cfg::kStatus) & cfg::kStatusCapList))
+        return 0;
+    std::uint16_t off = cs.raw8(cfg::kCapPtr);
+    int guard = 64;
+    while (off >= 0x40 && guard-- > 0) {
+        if (cs.raw8(off) == id)
+            return off;
+        off = cs.raw8(off + 1);
+        if (off == 0)
+            break;
+    }
+    return 0;
+}
+
+std::uint16_t
+findExtendedCap(const ConfigSpace &cs, std::uint16_t id)
+{
+    std::uint16_t off = 0x100;
+    int guard = 256;
+    while (off != 0 && guard-- > 0) {
+        std::uint32_t hdr = cs.raw32(off);
+        if (hdr == 0 || hdr == cfg::kNoDevice)
+            return 0;
+        if ((hdr & 0xffff) == id)
+            return off;
+        off = std::uint16_t(hdr >> 20);
+    }
+    return 0;
+}
+
+} // namespace sriov::pci

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Capability-chain plumbing for configuration space.
+ *
+ * Classic capabilities live in [0x40, 0x100) and are chained through
+ * byte next-pointers starting at the header's capability pointer.
+ * Extended capabilities live in [0x100, 0x1000) with 12-bit next
+ * pointers. CapabilityAllocator lays capabilities out and wires the
+ * chains the way the Linux PCI core expects to walk them.
+ */
+
+#ifndef SRIOV_PCI_CAPABILITY_HPP
+#define SRIOV_PCI_CAPABILITY_HPP
+
+#include <cstdint>
+
+#include "pci/config_space.hpp"
+#include "pci/types.hpp"
+
+namespace sriov::pci {
+
+class CapabilityAllocator
+{
+  public:
+    explicit CapabilityAllocator(ConfigSpace &cs) : cs_(cs) {}
+
+    /**
+     * Allocate @p len bytes for a classic capability with id @p id,
+     * link it into the chain, and return its offset.
+     */
+    std::uint16_t addClassic(std::uint8_t id, std::uint16_t len);
+
+    /** Allocate an extended capability (id, version) of @p len bytes. */
+    std::uint16_t addExtended(std::uint16_t id, std::uint8_t version,
+                              std::uint16_t len);
+
+  private:
+    ConfigSpace &cs_;
+    std::uint16_t classic_next_ = 0x40;
+    std::uint16_t classic_tail_ = 0;     // offset of last cap header
+    std::uint16_t ext_next_ = 0x100;
+    std::uint16_t ext_tail_ = 0;
+};
+
+/** Walk the classic chain looking for @p id; 0 if absent. */
+std::uint16_t findClassicCap(const ConfigSpace &cs, std::uint8_t id);
+
+/** Walk the extended chain looking for @p id; 0 if absent. */
+std::uint16_t findExtendedCap(const ConfigSpace &cs, std::uint16_t id);
+
+} // namespace sriov::pci
+
+#endif // SRIOV_PCI_CAPABILITY_HPP

@@ -1,0 +1,91 @@
+#include "pci/config_space.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::pci {
+
+ConfigSpace::ConfigSpace() = default;
+
+std::uint8_t
+ConfigSpace::raw8(std::uint16_t off) const
+{
+    return bytes_[off];
+}
+
+std::uint16_t
+ConfigSpace::raw16(std::uint16_t off) const
+{
+    return std::uint16_t(bytes_[off] | (bytes_[off + 1] << 8));
+}
+
+std::uint32_t
+ConfigSpace::raw32(std::uint16_t off) const
+{
+    return std::uint32_t(bytes_[off]) | (std::uint32_t(bytes_[off + 1]) << 8)
+        | (std::uint32_t(bytes_[off + 2]) << 16)
+        | (std::uint32_t(bytes_[off + 3]) << 24);
+}
+
+void
+ConfigSpace::setRaw8(std::uint16_t off, std::uint8_t v)
+{
+    bytes_[off] = v;
+}
+
+void
+ConfigSpace::setRaw16(std::uint16_t off, std::uint16_t v)
+{
+    bytes_[off] = std::uint8_t(v);
+    bytes_[off + 1] = std::uint8_t(v >> 8);
+}
+
+void
+ConfigSpace::setRaw32(std::uint16_t off, std::uint32_t v)
+{
+    setRaw16(off, std::uint16_t(v));
+    setRaw16(off + 2, std::uint16_t(v >> 16));
+}
+
+void
+ConfigSpace::allowWrite(std::uint16_t off, std::uint16_t len)
+{
+    for (std::uint16_t i = 0; i < len; ++i)
+        writable_[off + i] = true;
+}
+
+void
+ConfigSpace::onWrite(std::uint16_t off, std::uint16_t len,
+                     std::function<void(std::uint16_t)> hook)
+{
+    hooks_.push_back(Hook{off, len, std::move(hook)});
+}
+
+std::uint32_t
+ConfigSpace::read(std::uint16_t off, unsigned size) const
+{
+    if (std::size_t(off) + size > kSize)
+        sim::panic("config read past end: off=%u size=%u", off, size);
+    switch (size) {
+      case 1: return raw8(off);
+      case 2: return raw16(off);
+      case 4: return raw32(off);
+      default: sim::panic("bad config access size %u", size);
+    }
+}
+
+void
+ConfigSpace::write(std::uint16_t off, std::uint32_t v, unsigned size)
+{
+    if (std::size_t(off) + size > kSize)
+        sim::panic("config write past end: off=%u size=%u", off, size);
+    for (unsigned i = 0; i < size; ++i) {
+        if (writable_[off + i])
+            bytes_[off + i] = std::uint8_t(v >> (8 * i));
+    }
+    for (const auto &h : hooks_) {
+        if (off < h.off + h.len && h.off < off + size)
+            h.fn(off);
+    }
+}
+
+} // namespace sriov::pci

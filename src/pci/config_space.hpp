@@ -1,0 +1,66 @@
+/**
+ * @file
+ * PCIe configuration space: 4 KiB of registers with byte/word/dword
+ * access, a write mask distinguishing RW from RO bits, and write hooks
+ * so capabilities can react to programmed values.
+ */
+
+#ifndef SRIOV_PCI_CONFIG_SPACE_HPP
+#define SRIOV_PCI_CONFIG_SPACE_HPP
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pci/types.hpp"
+
+namespace sriov::pci {
+
+class ConfigSpace
+{
+  public:
+    static constexpr std::size_t kSize = 4096;
+
+    ConfigSpace();
+
+    /** @name Raw typed access (no hooks, ignores write mask). @{ */
+    std::uint8_t raw8(std::uint16_t off) const;
+    std::uint16_t raw16(std::uint16_t off) const;
+    std::uint32_t raw32(std::uint16_t off) const;
+    void setRaw8(std::uint16_t off, std::uint8_t v);
+    void setRaw16(std::uint16_t off, std::uint16_t v);
+    void setRaw32(std::uint16_t off, std::uint32_t v);
+    /** @} */
+
+    /** Mark [off, off+len) as software-writable. Default is read-only. */
+    void allowWrite(std::uint16_t off, std::uint16_t len);
+
+    /**
+     * Register a hook called after a software write touches any byte in
+     * [off, off+len). Hooks receive the first offset written.
+     */
+    void onWrite(std::uint16_t off, std::uint16_t len,
+                 std::function<void(std::uint16_t)> hook);
+
+    /** @name Software (driver/guest visible) access path. @{ */
+    std::uint32_t read(std::uint16_t off, unsigned size) const;
+    void write(std::uint16_t off, std::uint32_t v, unsigned size);
+    /** @} */
+
+  private:
+    struct Hook
+    {
+        std::uint16_t off;
+        std::uint16_t len;
+        std::function<void(std::uint16_t)> fn;
+    };
+
+    std::array<std::uint8_t, kSize> bytes_{};
+    std::array<bool, kSize> writable_{};
+    std::vector<Hook> hooks_;
+};
+
+} // namespace sriov::pci
+
+#endif // SRIOV_PCI_CONFIG_SPACE_HPP

@@ -1,0 +1,31 @@
+#include "pci/device.hpp"
+
+#include <algorithm>
+
+namespace sriov::pci {
+
+PciFunction &
+PciDevice::addFunction(std::unique_ptr<PciFunction> fn)
+{
+    functions_.push_back(std::move(fn));
+    return *functions_.back();
+}
+
+void
+PciDevice::removeFunction(const PciFunction &fn)
+{
+    std::erase_if(functions_,
+                  [&](const auto &p) { return p.get() == &fn; });
+}
+
+PciFunction *
+PciDevice::findByRid(Rid rid)
+{
+    for (auto &f : functions_) {
+        if (f->rid() == rid)
+            return f.get();
+    }
+    return nullptr;
+}
+
+} // namespace sriov::pci

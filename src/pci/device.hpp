@@ -1,0 +1,45 @@
+/**
+ * @file
+ * PciDevice: a collection of one or more functions sharing a package
+ * (paper Section 2: "a PCIe device is a collection of one or more
+ * functions"). Multi-port NICs like the 82576 expose one PF per port.
+ */
+
+#ifndef SRIOV_PCI_DEVICE_HPP
+#define SRIOV_PCI_DEVICE_HPP
+
+#include <memory>
+#include <vector>
+
+#include "pci/function.hpp"
+
+namespace sriov::pci {
+
+class PciDevice
+{
+  public:
+    PciDevice() = default;
+    virtual ~PciDevice() = default;
+
+    PciDevice(const PciDevice &) = delete;
+    PciDevice &operator=(const PciDevice &) = delete;
+
+    PciFunction &addFunction(std::unique_ptr<PciFunction> fn);
+    void removeFunction(const PciFunction &fn);
+
+    std::size_t functionCount() const { return functions_.size(); }
+    PciFunction &function(std::size_t i) { return *functions_.at(i); }
+    const std::vector<std::unique_ptr<PciFunction>> &functions() const
+    {
+        return functions_;
+    }
+
+    PciFunction *findByRid(Rid rid);
+
+  private:
+    std::vector<std::unique_ptr<PciFunction>> functions_;
+};
+
+} // namespace sriov::pci
+
+#endif // SRIOV_PCI_DEVICE_HPP

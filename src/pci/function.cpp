@@ -1,0 +1,112 @@
+#include "pci/function.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::pci {
+
+PciFunction::PciFunction(Bdf bdf, std::uint16_t vendor, std::uint16_t device,
+                         std::uint32_t class_code, Kind kind)
+    : bdf_(bdf), kind_(kind), caps_(cs_)
+{
+    cs_.setRaw16(cfg::kVendorId, vendor);
+    cs_.setRaw16(cfg::kDeviceId, device);
+    cs_.setRaw8(cfg::kRevision, 1);
+    cs_.setRaw8(cfg::kClassCode + 0, std::uint8_t(class_code));
+    cs_.setRaw8(cfg::kClassCode + 1, std::uint8_t(class_code >> 8));
+    cs_.setRaw8(cfg::kClassCode + 2, std::uint8_t(class_code >> 16));
+    cs_.allowWrite(cfg::kCommand, 2);
+    cs_.allowWrite(cfg::kIntLine, 1);
+}
+
+PciFunction::~PciFunction() = default;
+
+void
+PciFunction::declareBar(unsigned idx, std::uint64_t size)
+{
+    if (idx >= 6)
+        sim::fatal("BAR index %u out of range", idx);
+    if (bars_.size() <= idx)
+        bars_.resize(idx + 1);
+    bars_[idx].size = size;
+    cs_.allowWrite(std::uint16_t(cfg::kBar0 + 4 * idx), 4);
+}
+
+void
+PciFunction::assignBar(unsigned idx, std::uint64_t base)
+{
+    bars_.at(idx).base = base;
+    cs_.setRaw32(std::uint16_t(cfg::kBar0 + 4 * idx), std::uint32_t(base));
+}
+
+MsiCapability &
+PciFunction::addMsi()
+{
+    if (msi_)
+        sim::panic("%s: duplicate MSI capability", name().c_str());
+    msi_ = std::make_unique<MsiCapability>(cs_, caps_);
+    return *msi_;
+}
+
+MsixCapability &
+PciFunction::addMsix(unsigned table_size, std::uint8_t bar_index)
+{
+    if (msix_)
+        sim::panic("%s: duplicate MSI-X capability", name().c_str());
+    msix_ = std::make_unique<MsixCapability>(cs_, caps_, table_size,
+                                             bar_index);
+    return *msix_;
+}
+
+std::uint64_t
+PciFunction::mmioRead(unsigned, std::uint64_t)
+{
+    return 0;
+}
+
+void
+PciFunction::mmioWrite(unsigned, std::uint64_t, std::uint64_t)
+{
+}
+
+bool
+PciFunction::signalMsix(unsigned idx)
+{
+    if (!msix_)
+        sim::panic("%s: signalMsix without MSI-X capability",
+                   name().c_str());
+    auto &e = msix_->entry(idx);
+    if (!msix_->deliverable(idx)) {
+        e.pending = true;
+        return false;
+    }
+    e.pending = false;
+    if (msi_sink_)
+        msi_sink_(rid(), e.msg);
+    return true;
+}
+
+bool
+PciFunction::signalMsi()
+{
+    if (!msi_)
+        sim::panic("%s: signalMsi without MSI capability", name().c_str());
+    if (!msi_->enabled() || msi_->masked()) {
+        msi_->setPending(true);
+        return false;
+    }
+    msi_->setPending(false);
+    if (msi_sink_)
+        msi_sink_(rid(), msi_->message());
+    return true;
+}
+
+std::string
+PciFunction::name() const
+{
+    const char *k = kind_ == Kind::Physical
+                        ? "PF"
+                        : (kind_ == Kind::Virtual ? "VF" : "bridge");
+    return std::string(k) + " " + bdf_.toString();
+}
+
+} // namespace sriov::pci

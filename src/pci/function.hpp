@@ -1,0 +1,118 @@
+/**
+ * @file
+ * PciFunction: a single PCIe function — the primary entity on the bus,
+ * identified by a unique RID (paper Section 2).
+ *
+ * Physical Functions are full-featured; Virtual Functions are
+ * "light-weight": their config space is trimmed, and per the paper they
+ * do not answer an ordinary vendor-ID bus scan (respondsToScan() is
+ * false), which is why the IOVM must hot-add them explicitly.
+ */
+
+#ifndef SRIOV_PCI_FUNCTION_HPP
+#define SRIOV_PCI_FUNCTION_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pci/acs_cap.hpp"
+#include "pci/config_space.hpp"
+#include "pci/msi_cap.hpp"
+#include "pci/sriov_cap.hpp"
+#include "pci/types.hpp"
+
+namespace sriov::pci {
+
+class PciFunction
+{
+  public:
+    enum class Kind { Physical, Virtual, Bridge };
+
+    struct Bar
+    {
+        std::uint64_t base = 0;
+        std::uint64_t size = 0;
+    };
+
+    PciFunction(Bdf bdf, std::uint16_t vendor, std::uint16_t device,
+                std::uint32_t class_code, Kind kind);
+    virtual ~PciFunction();
+
+    PciFunction(const PciFunction &) = delete;
+    PciFunction &operator=(const PciFunction &) = delete;
+
+    Bdf bdf() const { return bdf_; }
+    void rehome(Bdf bdf) { bdf_ = bdf; }
+    Rid rid() const { return bdf_.rid(); }
+    Kind kind() const { return kind_; }
+    bool isVf() const { return kind_ == Kind::Virtual; }
+    std::uint16_t vendorId() const { return cs_.raw16(cfg::kVendorId); }
+    std::uint16_t deviceId() const { return cs_.raw16(cfg::kDeviceId); }
+
+    /**
+     * Whether a vendor-ID probe finds this function. VFs are trimmed
+     * functions that do not implement the probe path.
+     */
+    bool respondsToScan() const { return kind_ != Kind::Virtual; }
+
+    ConfigSpace &config() { return cs_; }
+    const ConfigSpace &config() const { return cs_; }
+    CapabilityAllocator &caps() { return caps_; }
+
+    /** Declare a memory BAR of @p size bytes at index @p idx. */
+    void declareBar(unsigned idx, std::uint64_t size);
+    unsigned barCount() const { return unsigned(bars_.size()); }
+    const Bar &bar(unsigned idx) const { return bars_.at(idx); }
+    void assignBar(unsigned idx, std::uint64_t base);
+
+    /** @name Optional standard capabilities. @{ */
+    MsiCapability *msi() { return msi_.get(); }
+    MsixCapability *msix() { return msix_.get(); }
+    MsiCapability &addMsi();
+    MsixCapability &addMsix(unsigned table_size, std::uint8_t bar_index);
+    /** @} */
+
+    bool busMasterEnabled() const
+    {
+        return cs_.raw16(cfg::kCommand) & cfg::kCmdBusMaster;
+    }
+
+    /** Device-register access through a BAR. Default: scratch space. */
+    virtual std::uint64_t mmioRead(unsigned bar, std::uint64_t off);
+    virtual void mmioWrite(unsigned bar, std::uint64_t off,
+                           std::uint64_t val);
+
+    /**
+     * Where this function's MSI writes go. The platform (interrupt
+     * router) installs the sink; devices call signalMsi().
+     */
+    void setMsiSink(std::function<void(Rid, const MsiMessage &)> sink)
+    {
+        msi_sink_ = std::move(sink);
+    }
+
+    /** Signal MSI-X vector @p idx if deliverable; else mark pending. */
+    bool signalMsix(unsigned idx);
+
+    /** Signal the classic MSI if enabled and unmasked. */
+    bool signalMsi();
+
+    std::string name() const;
+
+  protected:
+    Bdf bdf_;
+    Kind kind_;
+    ConfigSpace cs_;
+    CapabilityAllocator caps_;
+    std::vector<Bar> bars_;
+    std::unique_ptr<MsiCapability> msi_;
+    std::unique_ptr<MsixCapability> msix_;
+    std::function<void(Rid, const MsiMessage &)> msi_sink_;
+};
+
+} // namespace sriov::pci
+
+#endif // SRIOV_PCI_FUNCTION_HPP

@@ -1,0 +1,47 @@
+#include "pci/hotplug_slot.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::pci {
+
+void
+HotplugSlot::insert(PciFunction &fn)
+{
+    if (fn_)
+        sim::panic("slot %s already occupied", name_.c_str());
+    fn_ = &fn;
+    removal_pending_ = false;
+    if (listener_)
+        listener_->hotAdded(fn);
+}
+
+void
+HotplugSlot::requestRemoval(std::function<void()> on_ejected)
+{
+    if (!fn_)
+        sim::panic("removal requested on empty slot %s", name_.c_str());
+    removal_pending_ = true;
+    on_ejected_ = std::move(on_ejected);
+    if (listener_) {
+        listener_->removeRequested(*fn_);
+    } else {
+        // Surprise removal: no OS to quiesce the driver.
+        eject();
+    }
+}
+
+void
+HotplugSlot::eject()
+{
+    if (!fn_)
+        sim::panic("eject on empty slot %s", name_.c_str());
+    fn_ = nullptr;
+    removal_pending_ = false;
+    if (on_ejected_) {
+        auto cb = std::move(on_ejected_);
+        on_ejected_ = nullptr;
+        cb();
+    }
+}
+
+} // namespace sriov::pci

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * HotplugSlot: virtual (ACPI-style) hot-plug of a PCI function.
+ *
+ * Used twice in the reproduction: the IOVM hot-adds VFs into the host
+ * OS (they are invisible to scans, paper §4.1), and DNIS hot-removes /
+ * hot-adds the VF in the guest around migration (paper §4.4). Removal
+ * is a two-phase handshake: the controller signals the OS, the OS
+ * quiesces the driver and ejects, then the slot empties.
+ */
+
+#ifndef SRIOV_PCI_HOTPLUG_SLOT_HPP
+#define SRIOV_PCI_HOTPLUG_SLOT_HPP
+
+#include <functional>
+#include <string>
+
+#include "pci/function.hpp"
+
+namespace sriov::pci {
+
+/** OS-side listener for slot events. */
+class HotplugListener
+{
+  public:
+    virtual ~HotplugListener() = default;
+
+    /** A function appeared in the slot; the OS should bind a driver. */
+    virtual void hotAdded(PciFunction &fn) = 0;
+
+    /**
+     * The platform requests removal. The OS must quiesce and then call
+     * HotplugSlot::eject() (possibly later, after driver teardown).
+     */
+    virtual void removeRequested(PciFunction &fn) = 0;
+};
+
+class HotplugSlot
+{
+  public:
+    explicit HotplugSlot(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+    bool occupied() const { return fn_ != nullptr; }
+    PciFunction *occupant() { return fn_; }
+
+    void setListener(HotplugListener *l) { listener_ = l; }
+
+    /** Platform side: insert a function and notify the OS. */
+    void insert(PciFunction &fn);
+
+    /** Platform side: begin the surprise-free removal handshake. */
+    void requestRemoval(std::function<void()> on_ejected = nullptr);
+
+    /** OS side: acknowledge removal; empties the slot. */
+    void eject();
+
+    bool removalPending() const { return removal_pending_; }
+
+  private:
+    std::string name_;
+    PciFunction *fn_ = nullptr;
+    HotplugListener *listener_ = nullptr;
+    bool removal_pending_ = false;
+    std::function<void()> on_ejected_;
+};
+
+} // namespace sriov::pci
+
+#endif // SRIOV_PCI_HOTPLUG_SLOT_HPP

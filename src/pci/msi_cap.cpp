@@ -1,0 +1,140 @@
+#include "pci/msi_cap.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::pci {
+
+MsiMessage
+MsiMessage::forVector(std::uint8_t apic_id, std::uint8_t vec)
+{
+    MsiMessage m;
+    m.address = 0xfee00000ull | (std::uint64_t(apic_id) << 12);
+    m.data = vec;
+    return m;
+}
+
+MsiCapability::MsiCapability(ConfigSpace &cs, CapabilityAllocator &alloc)
+    : cs_(cs), off_(alloc.addClassic(capid::kMsi, kLen))
+{
+    cs_.setRaw16(off_ + kMsgCtl, kCtl64Bit | kCtlPerVectorMask);
+    cs_.allowWrite(off_ + kMsgCtl, 2);
+    cs_.allowWrite(off_ + kAddrLo, 4);
+    cs_.allowWrite(off_ + kAddrHi, 4);
+    cs_.allowWrite(off_ + kData, 2);
+    cs_.allowWrite(off_ + kMask, 4);
+    cs_.onWrite(off_ + kMask, 4, [this](std::uint16_t) {
+        bool m = masked();
+        for (auto &h : mask_hooks_)
+            h(m);
+    });
+}
+
+bool
+MsiCapability::enabled() const
+{
+    return cs_.raw16(off_ + kMsgCtl) & kCtlEnable;
+}
+
+bool
+MsiCapability::masked() const
+{
+    return cs_.raw32(off_ + kMask) & 1u;
+}
+
+MsiMessage
+MsiCapability::message() const
+{
+    MsiMessage m;
+    m.address = std::uint64_t(cs_.raw32(off_ + kAddrLo))
+        | (std::uint64_t(cs_.raw32(off_ + kAddrHi)) << 32);
+    m.data = cs_.raw16(off_ + kData);
+    return m;
+}
+
+void
+MsiCapability::setPending(bool p)
+{
+    pending_ = p;
+    cs_.setRaw32(off_ + kPending, p ? 1u : 0u);
+}
+
+void
+MsiCapability::program(const MsiMessage &msg)
+{
+    cs_.write(off_ + kAddrLo, std::uint32_t(msg.address), 4);
+    cs_.write(off_ + kAddrHi, std::uint32_t(msg.address >> 32), 4);
+    cs_.write(off_ + kData, msg.data, 2);
+}
+
+void
+MsiCapability::setEnable(bool en)
+{
+    std::uint16_t ctl = cs_.raw16(off_ + kMsgCtl);
+    ctl = en ? (ctl | kCtlEnable) : (ctl & ~kCtlEnable);
+    cs_.write(off_ + kMsgCtl, ctl, 2);
+}
+
+void
+MsiCapability::setMask(bool m)
+{
+    cs_.write(off_ + kMask, m ? 1u : 0u, 4);
+}
+
+MsixCapability::MsixCapability(ConfigSpace &cs, CapabilityAllocator &alloc,
+                               unsigned table_size, std::uint8_t bar_index)
+    : cs_(cs), off_(alloc.addClassic(capid::kMsix, kLen)),
+      entries_(table_size)
+{
+    if (table_size == 0 || table_size > 2048)
+        sim::fatal("MSI-X table size %u out of range", table_size);
+    cs_.setRaw16(off_ + kMsgCtl, std::uint16_t(table_size - 1));
+    cs_.allowWrite(off_ + kMsgCtl, 2);
+    cs_.setRaw32(off_ + kTableOff, bar_index);        // table at BAR start
+    cs_.setRaw32(off_ + kPbaOff, bar_index | 0x800);  // PBA at +2 KiB
+}
+
+bool
+MsixCapability::enabled() const
+{
+    return cs_.raw16(off_ + kMsgCtl) & kCtlEnable;
+}
+
+void
+MsixCapability::setEnable(bool en)
+{
+    std::uint16_t ctl = cs_.raw16(off_ + kMsgCtl);
+    ctl = en ? (ctl | kCtlEnable) : (ctl & ~kCtlEnable);
+    cs_.write(off_ + kMsgCtl, ctl, 2);
+}
+
+bool
+MsixCapability::functionMasked() const
+{
+    return cs_.raw16(off_ + kMsgCtl) & kCtlFuncMask;
+}
+
+void
+MsixCapability::programEntry(unsigned i, const MsiMessage &msg)
+{
+    entry(i).msg = msg;
+}
+
+void
+MsixCapability::maskEntry(unsigned i, bool masked)
+{
+    Entry &e = entry(i);
+    bool was = e.masked;
+    e.masked = masked;
+    if (was != masked) {
+        for (auto &h : mask_hooks_)
+            h(i, masked);
+    }
+}
+
+bool
+MsixCapability::deliverable(unsigned i) const
+{
+    return enabled() && !functionMasked() && !entry(i).masked;
+}
+
+} // namespace sriov::pci

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * MSI and MSI-X capability models.
+ *
+ * The MSI capability carries the mask/pending registers whose frequent
+ * programming by Linux 2.6.18 guests is the subject of the paper's
+ * first optimization (Section 5.1): each guest write to the mask
+ * register of a passed-through or emulated function traps to the VMM.
+ * The capability exposes hooks so the owning layer (device model or
+ * hypervisor) can observe mask transitions and deliveries.
+ */
+
+#ifndef SRIOV_PCI_MSI_CAP_HPP
+#define SRIOV_PCI_MSI_CAP_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "pci/capability.hpp"
+
+namespace sriov::pci {
+
+/** The payload a function sends to signal an interrupt. */
+struct MsiMessage
+{
+    std::uint64_t address = 0;
+    std::uint16_t data = 0;
+
+    /** x86 MSI encoding: destination APIC in addr, vector in data. */
+    std::uint8_t vector() const { return std::uint8_t(data & 0xff); }
+    std::uint8_t destApic() const
+    {
+        return std::uint8_t((address >> 12) & 0xff);
+    }
+
+    static MsiMessage forVector(std::uint8_t apic_id, std::uint8_t vec);
+};
+
+/**
+ * Classic MSI capability with per-vector masking (single vector used).
+ */
+class MsiCapability
+{
+  public:
+    MsiCapability(ConfigSpace &cs, CapabilityAllocator &alloc);
+
+    std::uint16_t offset() const { return off_; }
+
+    bool enabled() const;
+    bool masked() const;
+    MsiMessage message() const;
+
+    /** Device-side: true when an interrupt arrived while masked. */
+    bool pending() const { return pending_; }
+    void setPending(bool p);
+
+    /** Driver-side programming helpers (go through the hook path). */
+    void program(const MsiMessage &msg);
+    void setEnable(bool en);
+    void setMask(bool m);
+
+    /** Called on any software write to the mask register. */
+    void onMaskWrite(std::function<void(bool masked)> fn)
+    {
+        mask_hooks_.push_back(std::move(fn));
+    }
+
+    /** Layout offsets relative to the capability base. */
+    static constexpr std::uint16_t kMsgCtl = 2;
+    static constexpr std::uint16_t kAddrLo = 4;
+    static constexpr std::uint16_t kAddrHi = 8;
+    static constexpr std::uint16_t kData = 0xc;
+    static constexpr std::uint16_t kMask = 0x10;
+    static constexpr std::uint16_t kPending = 0x14;
+    static constexpr std::uint16_t kLen = 0x18;
+
+    static constexpr std::uint16_t kCtlEnable = 1u << 0;
+    static constexpr std::uint16_t kCtl64Bit = 1u << 7;
+    static constexpr std::uint16_t kCtlPerVectorMask = 1u << 8;
+
+  private:
+    ConfigSpace &cs_;
+    std::uint16_t off_;
+    bool pending_ = false;
+    std::vector<std::function<void(bool)>> mask_hooks_;
+};
+
+/**
+ * MSI-X capability. The vector table lives in device MMIO (BAR space);
+ * we model it as in-object state with the same mask semantics. The
+ * 82576 VF uses MSI-X (3 vectors: rx, tx, mailbox).
+ */
+class MsixCapability
+{
+  public:
+    struct Entry
+    {
+        MsiMessage msg;
+        bool masked = true;     // spec: entries come up masked
+        bool pending = false;
+    };
+
+    MsixCapability(ConfigSpace &cs, CapabilityAllocator &alloc,
+                   unsigned table_size, std::uint8_t bar_index);
+
+    std::uint16_t offset() const { return off_; }
+    unsigned tableSize() const { return unsigned(entries_.size()); }
+
+    bool enabled() const;
+    void setEnable(bool en);
+    bool functionMasked() const;
+
+    Entry &entry(unsigned i) { return entries_.at(i); }
+    const Entry &entry(unsigned i) const { return entries_.at(i); }
+
+    /** Driver-side table programming (fires mask hooks on transitions). */
+    void programEntry(unsigned i, const MsiMessage &msg);
+    void maskEntry(unsigned i, bool masked);
+
+    /** True if vector @p i may be delivered right now. */
+    bool deliverable(unsigned i) const;
+
+    void onMaskWrite(std::function<void(unsigned idx, bool masked)> fn)
+    {
+        mask_hooks_.push_back(std::move(fn));
+    }
+
+    static constexpr std::uint16_t kMsgCtl = 2;
+    static constexpr std::uint16_t kTableOff = 4;
+    static constexpr std::uint16_t kPbaOff = 8;
+    static constexpr std::uint16_t kLen = 12;
+
+    static constexpr std::uint16_t kCtlEnable = 1u << 15;
+    static constexpr std::uint16_t kCtlFuncMask = 1u << 14;
+
+  private:
+    ConfigSpace &cs_;
+    std::uint16_t off_;
+    std::vector<Entry> entries_;
+    std::vector<std::function<void(unsigned, bool)>> mask_hooks_;
+};
+
+} // namespace sriov::pci
+
+#endif // SRIOV_PCI_MSI_CAP_HPP

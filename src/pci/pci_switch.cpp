@@ -1,0 +1,65 @@
+#include "pci/pci_switch.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::pci {
+
+PciSwitch::DownstreamPort::DownstreamPort(Bdf bdf)
+    : bridge_(bdf, 0x8086, 0x3420, 0x060400, PciFunction::Kind::Bridge),
+      acs_(bridge_.config(), bridge_.caps())
+{
+}
+
+PciSwitch::PciSwitch(unsigned num_downstream, std::uint8_t bus)
+{
+    for (unsigned i = 0; i < num_downstream; ++i) {
+        ports_.push_back(std::make_unique<DownstreamPort>(
+            Bdf{bus, std::uint8_t(i), 0}));
+    }
+}
+
+int
+PciSwitch::portOfRid(Rid rid)
+{
+    for (unsigned i = 0; i < ports_.size(); ++i) {
+        PciFunction *f = ports_[i]->attached();
+        if (f && f->rid() == rid)
+            return int(i);
+    }
+    return -1;
+}
+
+PciSwitch::Route
+PciSwitch::routePeerRequest(unsigned src_port, unsigned dst_port) const
+{
+    if (src_port >= ports_.size() || dst_port >= ports_.size())
+        return Route::Blocked;
+    const auto &acs = ports_[src_port]->acs();
+    if (acs.requestRedirect())
+        return Route::RedirectedUpstream;
+    return Route::DirectP2P;
+}
+
+PciSwitch::Route
+PciSwitch::accessPeer(Rid src_rid, Rid dst_rid)
+{
+    int src = portOfRid(src_rid);
+    int dst = portOfRid(dst_rid);
+    if (src < 0 || dst < 0)
+        return Route::Blocked;
+    return routePeerRequest(unsigned(src), unsigned(dst));
+}
+
+void
+PciSwitch::setRedirectAll(bool on)
+{
+    for (auto &p : ports_) {
+        std::uint16_t ctl = on ? (AcsCapability::kRequestRedirect
+                                  | AcsCapability::kCompletionRedirect
+                                  | AcsCapability::kUpstreamForwarding)
+                               : 0;
+        p->acs().setControl(ctl);
+    }
+}
+
+} // namespace sriov::pci

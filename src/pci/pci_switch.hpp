@@ -1,0 +1,83 @@
+/**
+ * @file
+ * PciSwitch: a PCI Express switch with one upstream and N downstream
+ * ports, each downstream port carrying an ACS capability.
+ *
+ * The security-relevant behaviour (paper Section 4.3): a peer-to-peer
+ * transaction between two downstream ports is routed directly inside
+ * the switch — bypassing the IOMMU — unless the source port's ACS
+ * P2P Request Redirect control forces it upstream to the Root Complex,
+ * where the IOMMU validates it.
+ */
+
+#ifndef SRIOV_PCI_SWITCH_HPP
+#define SRIOV_PCI_SWITCH_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "pci/acs_cap.hpp"
+#include "pci/function.hpp"
+
+namespace sriov::pci {
+
+class PciSwitch
+{
+  public:
+    enum class Route
+    {
+        DirectP2P,              ///< routed inside the switch; no IOMMU
+        RedirectedUpstream,     ///< forwarded to Root Complex + IOMMU
+        Blocked,                ///< no target / translation blocked
+    };
+
+    /** A downstream port: a bridge function carrying ACS. */
+    class DownstreamPort
+    {
+      public:
+        explicit DownstreamPort(Bdf bdf);
+
+        PciFunction &bridge() { return bridge_; }
+        AcsCapability &acs() { return acs_; }
+
+        /** Function attached below this port (one per port here). */
+        void attach(PciFunction *fn) { attached_ = fn; }
+        PciFunction *attached() { return attached_; }
+
+      private:
+        PciFunction bridge_;
+        AcsCapability acs_;
+        PciFunction *attached_ = nullptr;
+    };
+
+    explicit PciSwitch(unsigned num_downstream, std::uint8_t bus = 4);
+
+    unsigned portCount() const { return unsigned(ports_.size()); }
+    DownstreamPort &port(unsigned i) { return *ports_.at(i); }
+
+    /** Port index owning @p rid, or -1. */
+    int portOfRid(Rid rid);
+
+    /**
+     * Route a memory request from the function below @p src_port toward
+     * an address owned by the function below another downstream port.
+     */
+    Route routePeerRequest(unsigned src_port, unsigned dst_port) const;
+
+    /**
+     * Full P2P access resolution by RID/address ownership; @p dst_rid
+     * names the peer whose MMIO is targeted.
+     */
+    Route accessPeer(Rid src_rid, Rid dst_rid);
+
+    /** Turn P2P request redirect on/off for every downstream port. */
+    void setRedirectAll(bool on);
+
+  private:
+    std::vector<std::unique_ptr<DownstreamPort>> ports_;
+};
+
+} // namespace sriov::pci
+
+#endif // SRIOV_PCI_SWITCH_HPP

@@ -1,0 +1,82 @@
+#include "pci/root_complex.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::pci {
+
+RootComplex::RootComplex()
+{
+    bus(0);
+}
+
+PciBus &
+RootComplex::bus(std::uint8_t n)
+{
+    auto it = buses_.find(n);
+    if (it == buses_.end())
+        it = buses_.emplace(n, std::make_unique<PciBus>(n)).first;
+    return *it->second;
+}
+
+void
+RootComplex::plug(PciFunction &fn)
+{
+    bus(fn.bdf().bus).attach(fn);
+    for (unsigned i = 0; i < fn.barCount(); ++i) {
+        std::uint64_t size = fn.bar(i).size;
+        if (size == 0)
+            continue;
+        // Natural alignment, minimum 4 KiB granule.
+        std::uint64_t align = size < 4096 ? 4096 : size;
+        std::uint64_t base = (next_mmio_ + align - 1) & ~(align - 1);
+        next_mmio_ = base + size;
+        fn.assignBar(i, base);
+        windows_.push_back(Window{base, size, &fn, i});
+    }
+}
+
+void
+RootComplex::unplug(const PciFunction &fn)
+{
+    bus(fn.bdf().bus).detach(fn);
+    std::erase_if(windows_, [&](const Window &w) { return w.fn == &fn; });
+}
+
+RootComplex::MmioTarget
+RootComplex::resolveMmio(std::uint64_t addr)
+{
+    for (auto &w : windows_) {
+        if (addr >= w.base && addr < w.base + w.size)
+            return MmioTarget{w.fn, w.bar, addr - w.base};
+    }
+    return MmioTarget{};
+}
+
+std::uint64_t
+RootComplex::mmioRead(std::uint64_t addr)
+{
+    MmioTarget t = resolveMmio(addr);
+    if (!t.fn)
+        return ~0ull;    // master abort
+    return t.fn->mmioRead(t.bar, t.offset);
+}
+
+void
+RootComplex::mmioWrite(std::uint64_t addr, std::uint64_t val)
+{
+    MmioTarget t = resolveMmio(addr);
+    if (t.fn)
+        t.fn->mmioWrite(t.bar, t.offset, val);
+}
+
+PciFunction *
+RootComplex::byRid(Rid rid)
+{
+    for (auto &[n, b] : buses_) {
+        if (PciFunction *f = b->byRid(rid))
+            return f;
+    }
+    return nullptr;
+}
+
+} // namespace sriov::pci

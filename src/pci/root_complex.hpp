@@ -1,0 +1,67 @@
+/**
+ * @file
+ * RootComplex: the host bridge. Owns the buses, allocates MMIO
+ * addresses to BARs, routes memory transactions to functions, and is
+ * the point where upstream-forwarded P2P requests meet the IOMMU.
+ */
+
+#ifndef SRIOV_PCI_ROOT_COMPLEX_HPP
+#define SRIOV_PCI_ROOT_COMPLEX_HPP
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "pci/bus.hpp"
+
+namespace sriov::pci {
+
+class RootComplex
+{
+  public:
+    RootComplex();
+
+    /** Create (or fetch) bus @p n. */
+    PciBus &bus(std::uint8_t n);
+
+    /** Attach a function and assign addresses to its declared BARs. */
+    void plug(PciFunction &fn);
+    void unplug(const PciFunction &fn);
+
+    /** Locate the function that owns MMIO address @p addr. */
+    struct MmioTarget
+    {
+        PciFunction *fn = nullptr;
+        unsigned bar = 0;
+        std::uint64_t offset = 0;
+    };
+    MmioTarget resolveMmio(std::uint64_t addr);
+
+    std::uint64_t mmioRead(std::uint64_t addr);
+    void mmioWrite(std::uint64_t addr, std::uint64_t val);
+
+    /** Find any attached function by RID across all buses. */
+    PciFunction *byRid(Rid rid);
+
+    /** Base of the MMIO window used for BAR allocation. */
+    static constexpr std::uint64_t kMmioBase = 0xc000'0000ull;
+
+  private:
+    std::map<std::uint8_t, std::unique_ptr<PciBus>> buses_;
+    std::uint64_t next_mmio_ = kMmioBase;
+
+    struct Window
+    {
+        std::uint64_t base;
+        std::uint64_t size;
+        PciFunction *fn;
+        unsigned bar;
+    };
+    std::vector<Window> windows_;
+};
+
+} // namespace sriov::pci
+
+#endif // SRIOV_PCI_ROOT_COMPLEX_HPP

@@ -1,0 +1,96 @@
+#include "pci/sriov_cap.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::pci {
+
+SriovCapability::SriovCapability(ConfigSpace &cs, CapabilityAllocator &alloc,
+                                 const Params &p)
+    : cs_(cs), off_(alloc.addExtended(capid::kExtSriov, 1, kLen))
+{
+    cs_.setRaw16(off_ + kInitialVfs, p.initial_vfs);
+    cs_.setRaw16(off_ + kTotalVfs, p.total_vfs);
+    cs_.setRaw16(off_ + kFirstVfOffset, p.first_vf_offset);
+    cs_.setRaw16(off_ + kVfStride, p.vf_stride);
+    cs_.setRaw16(off_ + kVfDeviceId, p.vf_device_id);
+    cs_.setRaw32(off_ + kSupportedPageSizes, 0x553);    // 4K..1G
+
+    cs_.allowWrite(off_ + kControl, 2);
+    cs_.allowWrite(off_ + kNumVfs, 2);
+    cs_.allowWrite(off_ + kSystemPageSize, 4);
+
+    cs_.onWrite(off_ + kControl, 2, [this](std::uint16_t) {
+        bool en = vfEnabled();
+        if (en != last_enable_) {
+            last_enable_ = en;
+            for (auto &h : enable_hooks_)
+                h(en, numVfs());
+        }
+    });
+    cs_.onWrite(off_ + kNumVfs, 2, [this](std::uint16_t) {
+        if (vfEnabled())
+            sim::warn("NumVFs written while VF Enable set (spec violation)");
+    });
+}
+
+bool
+SriovCapability::vfEnabled() const
+{
+    return cs_.raw16(off_ + kControl) & kCtlVfEnable;
+}
+
+bool
+SriovCapability::vfMemoryEnabled() const
+{
+    return cs_.raw16(off_ + kControl) & kCtlVfMse;
+}
+
+std::uint16_t SriovCapability::numVfs() const
+{
+    return cs_.raw16(off_ + kNumVfs);
+}
+
+std::uint16_t SriovCapability::totalVfs() const
+{
+    return cs_.raw16(off_ + kTotalVfs);
+}
+
+std::uint16_t SriovCapability::firstVfOffset() const
+{
+    return cs_.raw16(off_ + kFirstVfOffset);
+}
+
+std::uint16_t SriovCapability::vfStride() const
+{
+    return cs_.raw16(off_ + kVfStride);
+}
+
+std::uint16_t SriovCapability::vfDeviceId() const
+{
+    return cs_.raw16(off_ + kVfDeviceId);
+}
+
+Rid
+SriovCapability::vfRid(Rid pf_rid, unsigned i) const
+{
+    return Rid(pf_rid + firstVfOffset() + i * vfStride());
+}
+
+void
+SriovCapability::setNumVfs(std::uint16_t n)
+{
+    if (n > totalVfs())
+        sim::fatal("NumVFs %u exceeds TotalVFs %u", n, totalVfs());
+    cs_.write(off_ + kNumVfs, n, 2);
+}
+
+void
+SriovCapability::setVfEnable(bool en)
+{
+    std::uint16_t ctl = cs_.raw16(off_ + kControl);
+    ctl = en ? (ctl | kCtlVfEnable | kCtlVfMse)
+             : (ctl & ~(kCtlVfEnable | kCtlVfMse));
+    cs_.write(off_ + kControl, ctl, 2);
+}
+
+} // namespace sriov::pci

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * SR-IOV extended capability (PCI-SIG SR-IOV 1.1, ext cap id 0x0010).
+ *
+ * Lives in the PF's extended configuration space. The PF driver
+ * programs NumVFs and sets VF Enable; the device then instantiates its
+ * Virtual Functions at RIDs computed from First VF Offset / VF Stride.
+ * The capability calls back into the owning device on enable/disable so
+ * the device can create or destroy VF state (paper Sections 2 and 4.1).
+ */
+
+#ifndef SRIOV_PCI_SRIOV_CAP_HPP
+#define SRIOV_PCI_SRIOV_CAP_HPP
+
+#include <cstdint>
+#include <functional>
+
+#include "pci/capability.hpp"
+
+namespace sriov::pci {
+
+class SriovCapability
+{
+  public:
+    struct Params
+    {
+        std::uint16_t total_vfs = 7;    ///< 82576: 7 VFs per port
+        std::uint16_t initial_vfs = 7;
+        std::uint16_t first_vf_offset = 0x80;
+        std::uint16_t vf_stride = 2;
+        std::uint16_t vf_device_id = 0x10ca;    ///< 82576 VF
+    };
+
+    SriovCapability(ConfigSpace &cs, CapabilityAllocator &alloc,
+                    const Params &p);
+
+    std::uint16_t offset() const { return off_; }
+
+    bool vfEnabled() const;
+    bool vfMemoryEnabled() const;
+    std::uint16_t numVfs() const;
+    std::uint16_t totalVfs() const;
+    std::uint16_t firstVfOffset() const;
+    std::uint16_t vfStride() const;
+    std::uint16_t vfDeviceId() const;
+
+    /** RID of VF @p i given the owning PF's RID. */
+    Rid vfRid(Rid pf_rid, unsigned i) const;
+
+    /** @name PF-driver-side programming helpers. @{ */
+    void setNumVfs(std::uint16_t n);
+    void setVfEnable(bool en);
+    /** @} */
+
+    /**
+     * Hook invoked on VF Enable transitions with (enabled, num_vfs).
+     * The device creates/destroys VF functions here.
+     */
+    void onVfEnable(std::function<void(bool, std::uint16_t)> fn)
+    {
+        enable_hooks_.push_back(std::move(fn));
+    }
+
+    /** Layout (offsets from capability base, per SR-IOV spec). */
+    static constexpr std::uint16_t kCaps = 0x04;
+    static constexpr std::uint16_t kControl = 0x08;
+    static constexpr std::uint16_t kStatus = 0x0a;
+    static constexpr std::uint16_t kInitialVfs = 0x0c;
+    static constexpr std::uint16_t kTotalVfs = 0x0e;
+    static constexpr std::uint16_t kNumVfs = 0x10;
+    static constexpr std::uint16_t kFirstVfOffset = 0x14;
+    static constexpr std::uint16_t kVfStride = 0x16;
+    static constexpr std::uint16_t kVfDeviceId = 0x1a;
+    static constexpr std::uint16_t kSupportedPageSizes = 0x1c;
+    static constexpr std::uint16_t kSystemPageSize = 0x20;
+    static constexpr std::uint16_t kVfBar0 = 0x24;
+    static constexpr std::uint16_t kLen = 0x40;
+
+    static constexpr std::uint16_t kCtlVfEnable = 1u << 0;
+    static constexpr std::uint16_t kCtlVfMse = 1u << 3;
+
+  private:
+    ConfigSpace &cs_;
+    std::uint16_t off_;
+    bool last_enable_ = false;
+    std::vector<std::function<void(bool, std::uint16_t)>> enable_hooks_;
+};
+
+} // namespace sriov::pci
+
+#endif // SRIOV_PCI_SRIOV_CAP_HPP

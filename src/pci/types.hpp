@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fundamental PCIe identifiers.
+ */
+
+#ifndef SRIOV_PCI_TYPES_HPP
+#define SRIOV_PCI_TYPES_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace sriov::pci {
+
+/**
+ * Bus/Device/Function address. The 16-bit encoding (bus << 8 | dev << 3
+ * | fn) is the Requester ID (RID) that tags every PCIe transaction and
+ * indexes the IOMMU context tables (paper Section 2).
+ */
+struct Bdf
+{
+    std::uint8_t bus = 0;
+    std::uint8_t dev = 0;      ///< 5 bits
+    std::uint8_t fn = 0;       ///< 3 bits
+
+    constexpr std::uint16_t
+    rid() const
+    {
+        return std::uint16_t((bus << 8) | ((dev & 0x1f) << 3) | (fn & 0x7));
+    }
+
+    static constexpr Bdf
+    fromRid(std::uint16_t rid)
+    {
+        return Bdf{std::uint8_t(rid >> 8), std::uint8_t((rid >> 3) & 0x1f),
+                   std::uint8_t(rid & 0x7)};
+    }
+
+    constexpr bool operator==(const Bdf &) const = default;
+
+    std::string toString() const;
+};
+
+using Rid = std::uint16_t;
+
+/** Standard configuration-space register offsets (type 0 header). */
+namespace cfg {
+constexpr std::uint16_t kVendorId = 0x00;
+constexpr std::uint16_t kDeviceId = 0x02;
+constexpr std::uint16_t kCommand = 0x04;
+constexpr std::uint16_t kStatus = 0x06;
+constexpr std::uint16_t kRevision = 0x08;
+constexpr std::uint16_t kClassCode = 0x09;     // 3 bytes
+constexpr std::uint16_t kHeaderType = 0x0e;
+constexpr std::uint16_t kBar0 = 0x10;
+constexpr std::uint16_t kSubsysVendorId = 0x2c;
+constexpr std::uint16_t kSubsysId = 0x2e;
+constexpr std::uint16_t kCapPtr = 0x34;
+constexpr std::uint16_t kIntLine = 0x3c;
+constexpr std::uint16_t kIntPin = 0x3d;
+
+// Command register bits.
+constexpr std::uint16_t kCmdMemEnable = 1u << 1;
+constexpr std::uint16_t kCmdBusMaster = 1u << 2;
+constexpr std::uint16_t kCmdIntxDisable = 1u << 10;
+
+// Status register bits.
+constexpr std::uint16_t kStatusCapList = 1u << 4;
+
+/** Reads to a non-responding function return all-ones. */
+constexpr std::uint32_t kNoDevice = 0xffffffffu;
+} // namespace cfg
+
+/** Capability IDs used by this model. */
+namespace capid {
+constexpr std::uint8_t kMsi = 0x05;
+constexpr std::uint8_t kMsix = 0x11;
+constexpr std::uint16_t kExtSriov = 0x0010;
+constexpr std::uint16_t kExtAcs = 0x000d;
+} // namespace capid
+
+} // namespace sriov::pci
+
+#endif // SRIOV_PCI_TYPES_HPP

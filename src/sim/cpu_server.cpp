@@ -1,0 +1,83 @@
+#include "sim/cpu_server.hpp"
+
+#include <utility>
+
+#include "sim/log.hpp"
+
+namespace sriov::sim {
+
+CpuServer::CpuServer(EventQueue &eq, std::string name, double hz)
+    : eq_(eq), name_(std::move(name)), hz_(hz)
+{
+    if (hz_ <= 0)
+        fatal("CpuServer %s: non-positive clock %f", name_.c_str(), hz_);
+}
+
+void
+CpuServer::submit(double cycles, const std::string &tag,
+                  std::function<void()> on_done)
+{
+    if (cycles < 0)
+        panic("negative work submitted to %s", name_.c_str());
+    queue_.push_back(Work{cycles, tag, std::move(on_done)});
+    if (!in_service_)
+        startNext();
+}
+
+void
+CpuServer::charge(double cycles, const std::string &tag)
+{
+    if (cycles < 0)
+        panic("negative charge on %s", name_.c_str());
+    busy_ += Time::cycles(cycles, hz_);
+    cycles_by_tag_[tag] += cycles;
+}
+
+void
+CpuServer::startNext()
+{
+    if (queue_.empty()) {
+        in_service_ = false;
+        return;
+    }
+    in_service_ = true;
+    Work w = std::move(queue_.front());
+    queue_.pop_front();
+    Time service = Time::cycles(w.cycles, hz_);
+    busy_ += service;
+    cycles_by_tag_[w.tag] += w.cycles;
+    eq_.scheduleIn(service, [this, done = std::move(w.on_done)]() {
+        if (done)
+            done();
+        startNext();
+    });
+}
+
+CpuSnapshot
+CpuServer::snapshot() const
+{
+    return CpuSnapshot{busy_, eq_.now(), cycles_by_tag_};
+}
+
+double
+CpuServer::utilizationSince(const CpuSnapshot &before) const
+{
+    Time window = eq_.now() - before.when;
+    if (window <= Time())
+        return 0.0;
+    return (busy_ - before.busy).toSeconds() / window.toSeconds();
+}
+
+double
+CpuServer::cyclesSince(const CpuSnapshot &before,
+                       const std::string &tag) const
+{
+    auto now_it = cycles_by_tag_.find(tag);
+    double now_v = now_it == cycles_by_tag_.end() ? 0.0 : now_it->second;
+    auto old_it = before.cycles_by_tag.find(tag);
+    double old_v = old_it == before.cycles_by_tag.end() ? 0.0
+                                                        : old_it->second;
+    return now_v - old_v;
+}
+
+} // namespace sriov::sim

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * CpuServer: a FIFO work-conserving server modelling one hardware
+ * thread (SMT context) of the testbed machine.
+ *
+ * All CPU consumption in the simulation — guest packet processing,
+ * hypervisor VM-exit handling, device-model emulation, netback packet
+ * copies — is expressed as work items submitted to a CpuServer. The
+ * server executes items one at a time at its clock rate, so saturation
+ * (e.g. the single-threaded netback of Section 6.5) appears naturally
+ * as queueing delay, and per-component CPU utilization is simply the
+ * accumulated busy time of the servers a component runs on.
+ *
+ * Work is attributed to string tags ("guest", "xen", "dom0", ...) so
+ * benches can report the same breakdowns the paper's figures use.
+ */
+
+#ifndef SRIOV_SIM_CPU_SERVER_HPP
+#define SRIOV_SIM_CPU_SERVER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace sriov::sim {
+
+/** Snapshot of a server's cycle accounting, for windowed utilization. */
+struct CpuSnapshot
+{
+    Time busy;
+    Time when;
+    std::map<std::string, double> cycles_by_tag;
+};
+
+class CpuServer
+{
+  public:
+    CpuServer(EventQueue &eq, std::string name, double hz);
+
+    CpuServer(const CpuServer &) = delete;
+    CpuServer &operator=(const CpuServer &) = delete;
+
+    const std::string &name() const { return name_; }
+    double hz() const { return hz_; }
+
+    /**
+     * Submit @p cycles of work attributed to @p tag. @p on_done (may be
+     * empty) runs when the work completes, i.e. after queueing plus
+     * service time.
+     */
+    void submit(double cycles, const std::string &tag,
+                std::function<void()> on_done = nullptr);
+
+    /**
+     * Account @p cycles as consumed instantly (no serialization, no
+     * completion latency). Used for fine-grained costs that are small
+     * relative to the event granularity, where modelling queueing would
+     * add nothing but events.
+     */
+    void charge(double cycles, const std::string &tag);
+
+    /** Number of work items waiting (excluding the one in service). */
+    std::size_t queueDepth() const { return queue_.size(); }
+    bool busyNow() const { return in_service_; }
+
+    /** Cumulative busy time since construction. */
+    Time busyTime() const { return busy_; }
+
+    CpuSnapshot snapshot() const;
+
+    /**
+     * Utilization in [0,1] over the window between @p before and now.
+     * Greater than 1 is impossible for submit()-ed work but charge()-d
+     * work can oversubscribe; callers treat >1 as saturation.
+     */
+    double utilizationSince(const CpuSnapshot &before) const;
+
+    /** Cycles consumed under @p tag since @p before. */
+    double cyclesSince(const CpuSnapshot &before,
+                       const std::string &tag) const;
+
+  private:
+    struct Work
+    {
+        double cycles;
+        std::string tag;
+        std::function<void()> on_done;
+    };
+
+    void startNext();
+
+    EventQueue &eq_;
+    std::string name_;
+    double hz_;
+    std::deque<Work> queue_;
+    bool in_service_ = false;
+    Time busy_;
+    std::map<std::string, double> cycles_by_tag_;
+};
+
+} // namespace sriov::sim
+
+#endif // SRIOV_SIM_CPU_SERVER_HPP

@@ -1,0 +1,87 @@
+#include "sim/event_queue.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace sriov::sim {
+
+EventHandle
+EventQueue::scheduleAt(Time when, std::function<void()> fn)
+{
+    if (when < now_)
+        panic("event scheduled in the past: %s < %s",
+              when.toString().c_str(), now_.toString().c_str());
+    std::uint64_t seq = next_seq_++;
+    heap_.push(Entry{when, seq, seq, std::move(fn)});
+    ++live_events_;
+    return EventHandle(seq);
+}
+
+EventHandle
+EventQueue::scheduleIn(Time delay, std::function<void()> fn)
+{
+    return scheduleAt(now_ + delay, std::move(fn));
+}
+
+void
+EventQueue::cancel(EventHandle &h)
+{
+    if (h.valid()) {
+        cancelled_.push_back(h.id_);
+        h.clear();
+    }
+}
+
+bool
+EventQueue::isCancelled(std::uint64_t id)
+{
+    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
+    if (it == cancelled_.end())
+        return false;
+    // Swap-and-pop: cancellation lists stay tiny (pending timers only).
+    *it = cancelled_.back();
+    cancelled_.pop_back();
+    return true;
+}
+
+bool
+EventQueue::runOne()
+{
+    while (!heap_.empty()) {
+        Entry e = heap_.top();
+        heap_.pop();
+        --live_events_;
+        if (isCancelled(e.id))
+            continue;
+        now_ = e.when;
+        ++executed_;
+        e.fn();
+        return true;
+    }
+    return false;
+}
+
+std::uint64_t
+EventQueue::runUntil(Time deadline)
+{
+    std::uint64_t n = 0;
+    while (!heap_.empty() && heap_.top().when <= deadline) {
+        if (runOne())
+            ++n;
+    }
+    if (now_ < deadline)
+        now_ = deadline;
+    return n;
+}
+
+std::uint64_t
+EventQueue::runAll(std::uint64_t max_events)
+{
+    std::uint64_t n = 0;
+    while (n < max_events && runOne())
+        ++n;
+    return n;
+}
+
+} // namespace sriov::sim

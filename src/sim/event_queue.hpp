@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Discrete-event queue: the heart of the simulator.
+ *
+ * All simulated components share one EventQueue. Events are callbacks
+ * scheduled at absolute simulated times; ties are broken by insertion
+ * order (FIFO among simultaneous events) so simulations are fully
+ * deterministic.
+ */
+
+#ifndef SRIOV_SIM_EVENT_QUEUE_HPP
+#define SRIOV_SIM_EVENT_QUEUE_HPP
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sriov::sim {
+
+/** Handle that allows a scheduled event to be cancelled. */
+class EventHandle
+{
+  public:
+    EventHandle() = default;
+
+    bool valid() const { return id_ != 0; }
+    void clear() { id_ = 0; }
+
+  private:
+    friend class EventQueue;
+    explicit EventHandle(std::uint64_t id) : id_(id) {}
+
+    std::uint64_t id_ = 0;
+};
+
+/**
+ * A deterministic discrete-event scheduler.
+ *
+ * Components capture a reference to the queue and schedule callbacks;
+ * the top-level harness drives the simulation with runUntil()/runAll().
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time. */
+    Time now() const { return now_; }
+
+    /**
+     * Schedule @p fn to run at absolute time @p when.
+     *
+     * @pre when >= now(); scheduling in the past is a simulator bug
+     *      and aborts.
+     */
+    EventHandle scheduleAt(Time when, std::function<void()> fn);
+
+    /** Schedule @p fn to run @p delay after the current time. */
+    EventHandle scheduleIn(Time delay, std::function<void()> fn);
+
+    /** Cancel a previously scheduled event. No-op if already fired. */
+    void cancel(EventHandle &h);
+
+    /**
+     * Run events until the queue is empty or simulated time would pass
+     * @p deadline. Time is left at min(deadline, last event time).
+     *
+     * @return number of events executed.
+     */
+    std::uint64_t runUntil(Time deadline);
+
+    /** Run until the queue is completely empty. */
+    std::uint64_t runAll(std::uint64_t max_events = UINT64_MAX);
+
+    bool empty() const { return live_events_ == 0; }
+    std::uint64_t executed() const { return executed_; }
+
+  private:
+    struct Entry
+    {
+        Time when;
+        std::uint64_t seq;
+        std::uint64_t id;
+        std::function<void()> fn;
+
+        bool
+        operator>(const Entry &o) const
+        {
+            if (when != o.when) return when > o.when;
+            return seq > o.seq;
+        }
+    };
+
+    bool runOne();
+
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+    std::vector<std::uint64_t> cancelled_;
+    Time now_;
+    std::uint64_t next_seq_ = 1;
+    std::uint64_t executed_ = 0;
+    std::uint64_t live_events_ = 0;
+
+    bool isCancelled(std::uint64_t id);
+};
+
+} // namespace sriov::sim
+
+#endif // SRIOV_SIM_EVENT_QUEUE_HPP

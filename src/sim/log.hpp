@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Minimal logging / fatal-error support, in the spirit of gem5's
+ * base/logging.hh: panic() for simulator bugs, fatal() for user errors,
+ * warn()/inform() for status.
+ */
+
+#ifndef SRIOV_SIM_LOG_HPP
+#define SRIOV_SIM_LOG_HPP
+
+#include <cstdarg>
+
+namespace sriov::sim {
+
+enum class LogLevel { Quiet, Warn, Inform, Debug };
+
+/** Global log verbosity (default Warn; benches set Quiet). */
+void setLogLevel(LogLevel lvl);
+LogLevel logLevel();
+
+/** Simulator bug: print and abort(). */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** User/configuration error: print and exit(1). */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+} // namespace sriov::sim
+
+#endif // SRIOV_SIM_LOG_HPP

@@ -1,0 +1,37 @@
+#include "sim/random.hpp"
+
+#include <cmath>
+
+namespace sriov::sim {
+
+std::uint64_t
+Random::next()
+{
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+double
+Random::uniform()
+{
+    return double(next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+std::uint64_t
+Random::uniformInt(std::uint64_t lo, std::uint64_t hi)
+{
+    return lo + next() % (hi - lo + 1);
+}
+
+double
+Random::exponential(double mean)
+{
+    double u = uniform();
+    if (u <= 0.0)
+        u = 1e-300;
+    return -mean * std::log(u);
+}
+
+} // namespace sriov::sim

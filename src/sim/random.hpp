@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Deterministic pseudo-random numbers (SplitMix64).
+ *
+ * The simulator avoids std::mt19937 so that results are bit-identical
+ * across standard libraries; every experiment seeds its own stream.
+ */
+
+#ifndef SRIOV_SIM_RANDOM_HPP
+#define SRIOV_SIM_RANDOM_HPP
+
+#include <cstdint>
+
+namespace sriov::sim {
+
+class Random
+{
+  public:
+    explicit Random(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed)
+    {}
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t uniformInt(std::uint64_t lo, std::uint64_t hi);
+
+    /** Exponentially distributed value with the given mean. */
+    double exponential(double mean);
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace sriov::sim
+
+#endif // SRIOV_SIM_RANDOM_HPP

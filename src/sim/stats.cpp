@@ -1,0 +1,3 @@
+#include "sim/stats.hpp"
+
+// Header-only components; this translation unit anchors the library.

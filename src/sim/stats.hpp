@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Lightweight statistics: named counters and time series.
+ *
+ * Components hold Counter members; benches read them. Series record
+ * (time, value) samples for timeline figures (Figs. 20/21).
+ */
+
+#ifndef SRIOV_SIM_STATS_HPP
+#define SRIOV_SIM_STATS_HPP
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace sriov::sim {
+
+/** Monotonic event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Accumulator for additive quantities (bytes, cycles). */
+class Accumulator
+{
+  public:
+    void add(double v) { value_ += v; ++samples_; }
+    double value() const { return value_; }
+    std::uint64_t samples() const { return samples_; }
+    double mean() const { return samples_ ? value_ / double(samples_) : 0; }
+    void reset() { value_ = 0; samples_ = 0; }
+
+  private:
+    double value_ = 0;
+    std::uint64_t samples_ = 0;
+};
+
+/** Time series of samples, for timeline plots. */
+class Series
+{
+  public:
+    void record(Time t, double v) { samples_.emplace_back(t, v); }
+    const std::vector<std::pair<Time, double>> &samples() const
+    {
+        return samples_;
+    }
+    void clear() { samples_.clear(); }
+
+  private:
+    std::vector<std::pair<Time, double>> samples_;
+};
+
+/** Windowed rate helper: count since last snapshot over elapsed time. */
+class RateWindow
+{
+  public:
+    void add(double v) { total_ += v; }
+
+    /** Rate per second over [mark, now]; then re-marks the window. */
+    double
+    take(Time now)
+    {
+        Time w = now - mark_;
+        double rate =
+            w > Time() ? (total_ - marked_total_) / w.toSeconds() : 0.0;
+        mark_ = now;
+        marked_total_ = total_;
+        return rate;
+    }
+
+    double total() const { return total_; }
+
+  private:
+    double total_ = 0;
+    double marked_total_ = 0;
+    Time mark_;
+};
+
+} // namespace sriov::sim
+
+#endif // SRIOV_SIM_STATS_HPP

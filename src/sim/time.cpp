@@ -1,0 +1,46 @@
+#include "sim/time.hpp"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace sriov::sim {
+
+Time
+Time::seconds(double v)
+{
+    return Time(std::int64_t(std::llround(v * 1e12)));
+}
+
+Time
+Time::cycles(double cycles, double hz)
+{
+    return Time(std::int64_t(std::llround(cycles / hz * 1e12)));
+}
+
+Time
+Time::transfer(double bits, double bits_per_sec)
+{
+    return Time(std::int64_t(std::llround(bits / bits_per_sec * 1e12)));
+}
+
+std::string
+Time::toString() const
+{
+    char buf[64];
+    double abs_ps = double(ps_ < 0 ? -ps_ : ps_);
+    if (abs_ps >= 1e12) {
+        std::snprintf(buf, sizeof(buf), "%.6gs", double(ps_) * 1e-12);
+    } else if (abs_ps >= 1e9) {
+        std::snprintf(buf, sizeof(buf), "%.6gms", double(ps_) * 1e-9);
+    } else if (abs_ps >= 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.6gus", double(ps_) * 1e-6);
+    } else if (abs_ps >= 1e3) {
+        std::snprintf(buf, sizeof(buf), "%.6gns", double(ps_) * 1e-3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%" PRId64 "ps", ps_);
+    }
+    return buf;
+}
+
+} // namespace sriov::sim

@@ -1,0 +1,4 @@
+#include "vmm/cost_model.hpp"
+
+// CostModel is a plain aggregate; this translation unit anchors it in
+// the vmm library.

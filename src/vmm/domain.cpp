@@ -1,0 +1,31 @@
+#include "vmm/domain.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::vmm {
+
+Domain::Domain(unsigned id, std::string name, DomainType type,
+               mem::Addr mem_bytes)
+    : id_(id), name_(std::move(name)), type_(type), mem_bytes_(mem_bytes),
+      gpmap_(name_)
+{
+}
+
+void
+Domain::addVcpu(std::unique_ptr<Vcpu> v)
+{
+    vcpus_.push_back(std::move(v));
+}
+
+mem::Addr
+Domain::allocGuestPages(mem::Addr bytes)
+{
+    mem::Addr sz = (bytes + mem::kPageSize - 1) & ~(mem::kPageSize - 1);
+    if (alloc_next_ + sz > mem_bytes_)
+        sim::fatal("%s: guest memory exhausted", name_.c_str());
+    mem::Addr base = alloc_next_;
+    alloc_next_ += sz;
+    return base;
+}
+
+} // namespace sriov::vmm

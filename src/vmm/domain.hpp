@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Domain: a virtual machine (or the service OS, or a bare-metal OS —
+ * the "Native" type lets the same driver stack run unvirtualized for
+ * the paper's baseline runs).
+ */
+
+#ifndef SRIOV_VMM_DOMAIN_HPP
+#define SRIOV_VMM_DOMAIN_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "intr/event_channel.hpp"
+#include "mem/guest_phys_map.hpp"
+#include "vmm/vcpu.hpp"
+#include "vmm/vm_exit.hpp"
+
+namespace sriov::vmm {
+
+enum class DomainType
+{
+    Dom0,      ///< service OS (privileged PV domain)
+    Hvm,       ///< hardware virtual machine (virtual LAPIC, VM-exits)
+    Pvm,       ///< paravirtualized guest (event channels)
+    Native,    ///< no VMM underneath (baseline)
+};
+
+class Domain
+{
+  public:
+    Domain(unsigned id, std::string name, DomainType type,
+           mem::Addr mem_bytes);
+
+    unsigned id() const { return id_; }
+    const std::string &name() const { return name_; }
+    DomainType type() const { return type_; }
+    bool isHvm() const { return type_ == DomainType::Hvm; }
+    bool isPv() const
+    {
+        return type_ == DomainType::Pvm || type_ == DomainType::Dom0;
+    }
+
+    mem::Addr memBytes() const { return mem_bytes_; }
+    mem::GuestPhysMap &gpmap() { return gpmap_; }
+    intr::EventChannelBank &evtchn() { return evtchn_; }
+    ExitStats &exits() { return exits_; }
+
+    void addVcpu(std::unique_ptr<Vcpu> v);
+    unsigned vcpuCount() const { return unsigned(vcpus_.size()); }
+    Vcpu &vcpu(unsigned i) { return *vcpus_.at(i); }
+
+    /** @name Pause/resume (migration stop-and-copy). @{ */
+    bool paused() const { return paused_; }
+    void pause() { paused_ = true; }
+    void resume() { paused_ = false; }
+    /** @} */
+
+    /** Simple bump allocator within the guest-physical space. */
+    mem::Addr allocGuestPages(mem::Addr bytes);
+
+  private:
+    unsigned id_;
+    std::string name_;
+    DomainType type_;
+    mem::Addr mem_bytes_;
+    mem::GuestPhysMap gpmap_;
+    intr::EventChannelBank evtchn_;
+    ExitStats exits_;
+    std::vector<std::unique_ptr<Vcpu>> vcpus_;
+    bool paused_ = false;
+    mem::Addr alloc_next_ = 0x100000;    // skip low MiB like a real OS
+};
+
+} // namespace sriov::vmm
+
+#endif // SRIOV_VMM_DOMAIN_HPP

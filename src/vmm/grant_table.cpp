@@ -1,0 +1,71 @@
+#include "vmm/grant_table.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::vmm {
+
+GrantTable::Ref
+GrantTable::grantAccess(mem::Addr gpa, unsigned peer_domid, bool readonly)
+{
+    for (Ref r = 0; r < entries_.size(); ++r) {
+        if (!entries_[r].in_use) {
+            entries_[r] = Entry{true, gpa, peer_domid, readonly, 0};
+            return r;
+        }
+    }
+    entries_.push_back(Entry{true, gpa, peer_domid, readonly, 0});
+    return Ref(entries_.size() - 1);
+}
+
+bool
+GrantTable::endAccess(Ref ref)
+{
+    if (ref >= entries_.size() || !entries_[ref].in_use)
+        return false;
+    if (entries_[ref].map_count > 0)
+        return false;
+    entries_[ref] = Entry{};
+    return true;
+}
+
+std::optional<mem::Addr>
+GrantTable::validate(Ref ref, unsigned domid, bool write)
+{
+    if (ref >= entries_.size() || !entries_[ref].in_use
+        || entries_[ref].peer != domid
+        || (write && entries_[ref].readonly)) {
+        violations_.inc();
+        return std::nullopt;
+    }
+    return entries_[ref].gpa;
+}
+
+bool
+GrantTable::mapGrant(Ref ref, unsigned domid)
+{
+    auto gpa = validate(ref, domid, false);
+    if (!gpa)
+        return false;
+    ++entries_[ref].map_count;
+    return true;
+}
+
+void
+GrantTable::unmapGrant(Ref ref)
+{
+    if (ref < entries_.size() && entries_[ref].map_count > 0)
+        --entries_[ref].map_count;
+}
+
+std::size_t
+GrantTable::activeGrants() const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries_) {
+        if (e.in_use)
+            ++n;
+    }
+    return n;
+}
+
+} // namespace sriov::vmm

@@ -1,0 +1,32 @@
+#include "vmm/hotplug_controller.hpp"
+
+#include "sim/log.hpp"
+#include "vmm/domain.hpp"
+
+namespace sriov::vmm {
+
+VirtualHotplugController::VirtualHotplugController(Domain &guest)
+    : guest_(guest)
+{
+}
+
+pci::HotplugSlot &
+VirtualHotplugController::addSlot(const std::string &name)
+{
+    if (slot(name))
+        sim::fatal("duplicate hotplug slot %s", name.c_str());
+    slots_.push_back(std::make_unique<pci::HotplugSlot>(name));
+    return *slots_.back();
+}
+
+pci::HotplugSlot *
+VirtualHotplugController::slot(const std::string &name)
+{
+    for (auto &s : slots_) {
+        if (s->name() == name)
+            return s.get();
+    }
+    return nullptr;
+}
+
+} // namespace sriov::vmm

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * VirtualHotplugController: the virtual ACPI hot-plug controller the
+ * paper adds to Xen's device model (Section 4.4) so the migration
+ * manager can signal virtual hot-removal/hot-add of a VF to the guest.
+ */
+
+#ifndef SRIOV_VMM_HOTPLUG_CONTROLLER_HPP
+#define SRIOV_VMM_HOTPLUG_CONTROLLER_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pci/hotplug_slot.hpp"
+
+namespace sriov::vmm {
+
+class Domain;
+
+class VirtualHotplugController
+{
+  public:
+    explicit VirtualHotplugController(Domain &guest);
+
+    Domain &guest() { return guest_; }
+
+    pci::HotplugSlot &addSlot(const std::string &name);
+    pci::HotplugSlot *slot(const std::string &name);
+    std::size_t slotCount() const { return slots_.size(); }
+
+  private:
+    Domain &guest_;
+    std::vector<std::unique_ptr<pci::HotplugSlot>> slots_;
+};
+
+} // namespace sriov::vmm
+
+#endif // SRIOV_VMM_HOTPLUG_CONTROLLER_HPP

@@ -1,0 +1,360 @@
+#include "vmm/hypervisor.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::vmm {
+
+Hypervisor::Hypervisor(sim::EventQueue &eq, CostModel cm, MachineParams mp)
+    : eq_(eq), cm_(cm), mp_(mp), mem_(mp.mem_bytes)
+{
+    if (mp_.dom0_vcpus > mp_.num_pcpus)
+        sim::fatal("dom0 VCPUs exceed physical CPUs");
+    for (unsigned i = 0; i < mp_.num_pcpus; ++i) {
+        pcpus_.push_back(std::make_unique<sim::CpuServer>(
+            eq_, "pcpu" + std::to_string(i), cm_.cpu_hz));
+    }
+    // dom0: paper Section 6.1 — 8 VCPUs pinned 1:1 to threads 0..7.
+    auto d0 = std::make_unique<Domain>(0, "dom0", DomainType::Dom0,
+                                       mem::Addr(2) << 30);
+    for (unsigned i = 0; i < mp_.dom0_vcpus; ++i)
+        d0->addVcpu(std::make_unique<Vcpu>(i, *d0, *pcpus_[i]));
+    dom0_ = d0.get();
+    domains_.push_back(std::move(d0));
+    dom_machine_base_[0] = mem_.allocate(dom0_->memBytes(), "dom0");
+}
+
+Hypervisor::Hypervisor(sim::EventQueue &eq)
+    : Hypervisor(eq, CostModel{}, MachineParams{})
+{
+}
+
+Hypervisor::~Hypervisor() = default;
+
+Domain &
+Hypervisor::createDomain(const std::string &name, DomainType type,
+                         mem::Addr mem_bytes, unsigned vcpus)
+{
+    unsigned id = unsigned(domains_.size());
+    auto dom = std::make_unique<Domain>(id, name, type, mem_bytes);
+    // Guest VCPUs bind evenly to the threads dom0 does not use; a
+    // Native "domain" (bare-metal baseline) may use every thread.
+    unsigned base = type == DomainType::Native ? 0 : mp_.dom0_vcpus;
+    unsigned span = mp_.num_pcpus - base;
+    if (span == 0)
+        sim::fatal("no physical CPUs left for guests");
+    for (unsigned i = 0; i < vcpus; ++i) {
+        unsigned p = base + (next_guest_pcpu_++ % span);
+        dom->addVcpu(std::make_unique<Vcpu>(i, *dom, *pcpus_[p]));
+    }
+    dom_machine_base_[id] = mem_.allocate(mem_bytes, name);
+    domains_.push_back(std::move(dom));
+    return *domains_.back();
+}
+
+Domain *
+Hypervisor::findDomain(const std::string &name)
+{
+    for (auto &d : domains_) {
+        if (d->name() == name)
+            return d.get();
+    }
+    return nullptr;
+}
+
+std::vector<Domain *>
+Hypervisor::guests()
+{
+    std::vector<Domain *> out;
+    for (auto &d : domains_) {
+        if (d->type() != DomainType::Dom0)
+            out.push_back(d.get());
+    }
+    return out;
+}
+
+sim::CpuServer &
+Hypervisor::dom0Cpu(unsigned i)
+{
+    return *pcpus_.at(i % mp_.dom0_vcpus);
+}
+
+DeviceModel &
+Hypervisor::deviceModel(Domain &dom)
+{
+    auto it = device_models_.find(dom.id());
+    if (it == device_models_.end()) {
+        // Each qemu-dm process lands on one of dom0's CPUs.
+        auto &cpu = dom0Cpu(next_dm_cpu_++);
+        it = device_models_
+                 .emplace(dom.id(),
+                          std::make_unique<DeviceModel>(dom, cpu, cm_))
+                 .first;
+    }
+    return *it->second;
+}
+
+mem::Addr
+Hypervisor::allocGuestBuffer(Domain &dom, mem::Addr bytes)
+{
+    mem::Addr gpa = dom.allocGuestPages(bytes);
+    mem::Addr base = dom_machine_base_.at(dom.id());
+    mem::Addr aligned = (bytes + mem::kPageSize - 1) & ~(mem::kPageSize - 1);
+    dom.gpmap().mapRange(mem::pageBase(gpa), base + mem::pageBase(gpa),
+                         aligned + mem::kPageSize);
+    return gpa;
+}
+
+void
+Hypervisor::assignDevice(Domain &dom, pci::PciFunction &fn)
+{
+    iommu_.attach(fn.rid(), dom.gpmap());
+}
+
+void
+Hypervisor::deassignDevice(Domain &dom, pci::PciFunction &fn)
+{
+    (void)dom;
+    iommu_.detach(fn.rid());
+    unbindAllDeviceIrqs(fn);
+}
+
+Hypervisor::GuestIrqHandle
+Hypervisor::bindDeviceIrq(Domain &dom, pci::PciFunction &fn, Vcpu &vcpu,
+                          std::function<void()> handler,
+                          unsigned msix_entry)
+{
+    if (bindings_.count({&fn, msix_entry}))
+        sim::fatal("device %s entry %u already has an IRQ binding",
+                   fn.name().c_str(), msix_entry);
+    auto b = std::make_unique<IrqBinding>();
+    b->dom = &dom;
+    b->vcpu = &vcpu;
+    b->fn = &fn;
+    b->handler = std::move(handler);
+
+    IrqBinding *bp = b.get();
+    b->host_vec = router_.allocateAndBind(
+        [this, bp](intr::Vector, pci::Rid) { physIrq(*bp); });
+    router_.attachFunction(fn);
+
+    switch (dom.type()) {
+      case DomainType::Hvm: {
+        intr::Vector &next = next_virt_vec_[dom.id()];
+        if (next == 0)
+            next = intr::VectorAllocator::kFirstDynamic;
+        b->virt_vec = next++;
+        vcpu.bindVirtualVector(b->virt_vec,
+                               [bp]() { bp->handler(); });
+        break;
+      }
+      case DomainType::Pvm:
+      case DomainType::Dom0: {
+        b->port = dom.evtchn().bind(
+            [bp](intr::EventChannelBank::Port) { bp->handler(); });
+        break;
+      }
+      case DomainType::Native:
+        break;
+    }
+
+    // Program the physical device: the MSI-X entry carries the host
+    // vector (the guest never sees this value).
+    if (auto *mx = fn.msix()) {
+        mx->programEntry(msix_entry,
+                         pci::MsiMessage::forVector(0, b->host_vec));
+        mx->maskEntry(msix_entry, false);
+        mx->setEnable(true);
+    } else if (auto *mi = fn.msi()) {
+        mi->program(pci::MsiMessage::forVector(0, b->host_vec));
+        mi->setMask(false);
+        mi->setEnable(true);
+    } else {
+        sim::fatal("device %s has no MSI capability", fn.name().c_str());
+    }
+
+    GuestIrqHandle h{bp->host_vec, bp->virt_vec, bp->port};
+    bindings_.emplace(std::make_pair(&fn, msix_entry), std::move(b));
+    return h;
+}
+
+void
+Hypervisor::unbindDeviceIrq(pci::PciFunction &fn, unsigned msix_entry)
+{
+    auto it = bindings_.find({&fn, msix_entry});
+    if (it == bindings_.end())
+        return;
+    IrqBinding &b = *it->second;
+    router_.unbindVector(b.host_vec);
+    router_.vectors().release(b.host_vec);
+    if (b.dom->isHvm() && b.virt_vec)
+        b.vcpu->unbindVirtualVector(b.virt_vec);
+    if (b.dom->isPv())
+        b.dom->evtchn().unbind(b.port);
+    if (auto *mx = fn.msix())
+        mx->maskEntry(msix_entry, true);
+    bindings_.erase(it);
+}
+
+void
+Hypervisor::unbindAllDeviceIrqs(pci::PciFunction &fn)
+{
+    for (auto it = bindings_.begin(); it != bindings_.end();) {
+        if (it->first.first == &fn) {
+            unsigned entry = it->first.second;
+            ++it;
+            unbindDeviceIrq(fn, entry);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+Hypervisor::physIrq(IrqBinding &b)
+{
+    Domain &dom = *b.dom;
+    Vcpu &vcpu = *b.vcpu;
+    switch (dom.type()) {
+      case DomainType::Hvm:
+        // External-interrupt VM-exit + virtual MSI injection.
+        dom.exits().record(ExitReason::ExternalInterrupt, cm_.extint_exit);
+        vcpu.chargeXen(cm_.extint_exit);
+        vcpu.vlapic().inject(b.virt_vec);
+        break;
+      case DomainType::Pvm:
+      case DomainType::Dom0:
+        vcpu.chargeXen(cm_.evtchn_send);
+        vcpu.chargeGuest(cm_.evtchn_upcall_guest);
+        dom.evtchn().send(b.port);
+        break;
+      case DomainType::Native:
+        vcpu.chargeGuest(cm_.native_irq);
+        b.handler();
+        break;
+    }
+}
+
+void
+Hypervisor::guestEoi(Vcpu &vcpu)
+{
+    Domain &dom = vcpu.domain();
+    if (!dom.isHvm()) {
+        // PV guests have no LAPIC to EOI.
+        return;
+    }
+    bool pay_check = opts_.eoi_accel_check && !opts_.eoi_hw_opcode;
+    double c = opts_.eoi_accel
+                   ? cm_.eoi_accelerated
+                         + (pay_check ? cm_.eoi_instr_check : 0)
+                   : cm_.apic_access_emulate;
+    dom.exits().record(ExitReason::ApicAccess, c);
+    vcpu.chargeXen(c);
+    vcpu.vlapic().guestEoiWrite();
+}
+
+void
+Hypervisor::guestApicNoise(Vcpu &vcpu, double accesses)
+{
+    if (accesses <= 0 || !vcpu.domain().isHvm())
+        return;
+    // Non-EOI accesses always take the fetch-decode-emulate path.
+    double c = accesses * cm_.apic_access_emulate;
+    vcpu.domain().exits().record(ExitReason::ApicAccess, c, accesses);
+    vcpu.chargeXen(c);
+}
+
+void
+Hypervisor::guestMsiMaskWrite(Domain &dom, Vcpu &vcpu, bool masked)
+{
+    if (opts_.mask_unmask_accel) {
+        // Section 5.1: emulate in the hypervisor.
+        dom.exits().record(ExitReason::EptViolation, cm_.msi_mask_hyp);
+        vcpu.chargeXen(cm_.msi_mask_hyp);
+        return;
+    }
+    // Trap, decode in Xen, forward to the guest's device model in
+    // dom0; the guest additionally pays TLB/cache pollution.
+    dom.exits().record(ExitReason::EptViolation, cm_.msi_mask_devmodel_xen);
+    vcpu.chargeXen(cm_.msi_mask_devmodel_xen);
+    vcpu.chargeGuest(cm_.msi_mask_guest_pollution);
+    deviceModel(dom).emulateMsiMaskWrite(masked);
+}
+
+void
+Hypervisor::guestEvtchnUnmask(Vcpu &vcpu, intr::EventChannelBank::Port p)
+{
+    Domain &dom = vcpu.domain();
+    dom.exits().record(ExitReason::Hypercall, cm_.evtchn_unmask_hypercall);
+    vcpu.chargeXen(cm_.evtchn_unmask_hypercall);
+    dom.evtchn().unmask(p);
+}
+
+void
+Hypervisor::evtchnNotify(Domain &dom, Vcpu &vcpu,
+                         intr::EventChannelBank::Port p)
+{
+    vcpu.chargeXen(cm_.evtchn_send);
+    vcpu.chargeGuest(cm_.evtchn_upcall_guest);
+    dom.evtchn().send(p);
+}
+
+void
+Hypervisor::chargeGuestSyscalls(Vcpu &vcpu, double n,
+                                bool include_guest_cycles)
+{
+    if (n <= 0)
+        return;
+    // x86-64 XenLinux crosses the hypervisor to switch page tables on
+    // every user/kernel boundary crossing (paper Sections 6.4, 6.5).
+    if (vcpu.domain().type() == DomainType::Pvm
+        || vcpu.domain().type() == DomainType::Dom0) {
+        double extra = n * cm_.pvm_syscall_extra;
+        vcpu.chargeXen(extra);
+        vcpu.domain().exits().record(ExitReason::Hypercall, extra, n);
+    }
+    if (include_guest_cycles)
+        vcpu.chargeGuest(n * cm_.guest_syscall);
+}
+
+Hypervisor::UtilSnapshot
+Hypervisor::snapshot() const
+{
+    UtilSnapshot s;
+    s.when = eq_.now();
+    s.per_pcpu.reserve(pcpus_.size());
+    for (const auto &p : pcpus_)
+        s.per_pcpu.push_back(p->snapshot());
+    return s;
+}
+
+std::map<std::string, double>
+Hypervisor::cpuPercentByTag(const UtilSnapshot &before) const
+{
+    std::map<std::string, double> out;
+    sim::Time window = eq_.now() - before.when;
+    if (window <= sim::Time())
+        return out;
+    double denom = cm_.cpu_hz * window.toSeconds();
+    for (unsigned i = 0; i < pcpus_.size(); ++i) {
+        const auto &snap = before.per_pcpu[i].cycles_by_tag;
+        auto now = pcpus_[i]->snapshot().cycles_by_tag;
+        for (const auto &[tag, cycles] : now) {
+            double old_v = 0;
+            if (auto it = snap.find(tag); it != snap.end())
+                old_v = it->second;
+            out[tag] += (cycles - old_v) / denom * 100.0;
+        }
+    }
+    return out;
+}
+
+double
+Hypervisor::cpuPercent(const UtilSnapshot &before,
+                       const std::string &tag) const
+{
+    auto m = cpuPercentByTag(before);
+    auto it = m.find(tag);
+    return it == m.end() ? 0.0 : it->second;
+}
+
+} // namespace sriov::vmm

@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Hypervisor: the Xen-3.4-like platform of the paper's testbed.
+ *
+ * Owns the machine (16 SMT-thread CPU servers at 2.8 GHz, 12 GiB
+ * memory, root complex, IOMMU, interrupt router), the domains, and the
+ * virtualization cost paths the paper measures:
+ *
+ *  - Direct-I/O interrupt delivery: physical MSI → external-interrupt
+ *    VM-exit → virtual MSI injection into the guest's virtual LAPIC
+ *    (HVM) or event-channel upcall (PVM). Paper Section 4.1.
+ *  - Virtual EOI emulation, with or without the Exit-qualification
+ *    acceleration of Section 5.2.
+ *  - Guest MSI mask/unmask emulation, in the per-guest device model
+ *    (slow) or in the hypervisor (Section 5.1's acceleration).
+ *
+ * VCPU pinning follows Section 6.1: dom0's 8 VCPUs pin 1:1 to threads
+ * 0–7; guest VCPUs are bound evenly to the remaining threads.
+ */
+
+#ifndef SRIOV_VMM_HYPERVISOR_HPP
+#define SRIOV_VMM_HYPERVISOR_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "intr/interrupt_router.hpp"
+#include "mem/iommu.hpp"
+#include "mem/machine_memory.hpp"
+#include "pci/root_complex.hpp"
+#include "sim/cpu_server.hpp"
+#include "sim/event_queue.hpp"
+#include "vmm/cost_model.hpp"
+#include "vmm/device_model.hpp"
+#include "vmm/domain.hpp"
+
+namespace sriov::vmm {
+
+class Hypervisor
+{
+  public:
+    struct MachineParams
+    {
+        unsigned num_pcpus = 16;
+        unsigned dom0_vcpus = 8;
+        mem::Addr mem_bytes = 12ull << 30;
+    };
+
+    /** The paper's optimization switches (Section 5). */
+    struct OptConfig
+    {
+        bool mask_unmask_accel = true;    ///< Section 5.1
+        bool eoi_accel = true;            ///< Section 5.2
+        bool eoi_accel_check = false;     ///< §5.2 instruction check
+        /**
+         * §5.2's proposed hardware enhancement: the VMCS exposes the
+         * faulting instruction's op-code, so the safety check costs
+         * nothing extra. Only meaningful with eoi_accel_check.
+         */
+        bool eoi_hw_opcode = false;
+    };
+
+    Hypervisor(sim::EventQueue &eq, CostModel cm, MachineParams mp);
+    Hypervisor(sim::EventQueue &eq);
+    ~Hypervisor();
+
+    Hypervisor(const Hypervisor &) = delete;
+    Hypervisor &operator=(const Hypervisor &) = delete;
+
+    /** @name Machine. @{ */
+    sim::EventQueue &eq() { return eq_; }
+    const CostModel &costs() const { return cm_; }
+    CostModel &costs() { return cm_; }
+    OptConfig &opts() { return opts_; }
+    unsigned pcpuCount() const { return unsigned(pcpus_.size()); }
+    sim::CpuServer &pcpu(unsigned i) { return *pcpus_.at(i); }
+    pci::RootComplex &rootComplex() { return rc_; }
+    mem::Iommu &iommu() { return iommu_; }
+    intr::InterruptRouter &router() { return router_; }
+    mem::MachineMemory &memory() { return mem_; }
+    /** @} */
+
+    /** @name Domains. @{ */
+    Domain &dom0() { return *dom0_; }
+    Domain &createDomain(const std::string &name, DomainType type,
+                         mem::Addr mem_bytes, unsigned vcpus = 1);
+    Domain *findDomain(const std::string &name);
+    std::vector<Domain *> guests();
+    /** dom0 VCPU i's physical CPU (backend threads pin here). */
+    sim::CpuServer &dom0Cpu(unsigned i);
+    /** The per-HVM-guest emulator process (created on demand). */
+    DeviceModel &deviceModel(Domain &dom);
+    /** @} */
+
+    /**
+     * Allocate @p bytes of guest memory in @p dom (backed by machine
+     * memory, mapped in the domain's physical map) and return the gpa.
+     */
+    mem::Addr allocGuestBuffer(Domain &dom, mem::Addr bytes);
+
+    /** @name Passthrough device assignment (Direct I/O / SR-IOV). @{ */
+    void assignDevice(Domain &dom, pci::PciFunction &fn);
+    void deassignDevice(Domain &dom, pci::PciFunction &fn);
+
+    /** What the guest kernel needs to manage a bound device IRQ. */
+    struct GuestIrqHandle
+    {
+        intr::Vector host_vec = 0;
+        intr::Vector virt_vec = 0;                 ///< HVM
+        intr::EventChannelBank::Port port = 0;     ///< PVM / dom0
+    };
+
+    /**
+     * Bind @p fn's MSI-X entry @p msix_entry to a guest handler on
+     * @p vcpu. Allocates a global host vector (no sharing), programs
+     * the device, and installs the right delivery path for the domain
+     * type. @p handler runs at virtual-interrupt delivery.
+     */
+    GuestIrqHandle bindDeviceIrq(Domain &dom, pci::PciFunction &fn,
+                                 Vcpu &vcpu, std::function<void()> handler,
+                                 unsigned msix_entry = 0);
+    void unbindDeviceIrq(pci::PciFunction &fn, unsigned msix_entry = 0);
+    /** Release every binding of @p fn (device teardown). */
+    void unbindAllDeviceIrqs(pci::PciFunction &fn);
+    /** @} */
+
+    /** @name Guest-visible virtualization events. @{ */
+    /** HVM: guest writes EOI; cost depends on the EOI acceleration. */
+    void guestEoi(Vcpu &vcpu);
+    /** HVM: @p accesses non-EOI APIC accesses (TPR/ICR/timer). */
+    void guestApicNoise(Vcpu &vcpu, double accesses);
+    /** HVM: guest writes the virtual MSI mask register. */
+    void guestMsiMaskWrite(Domain &dom, Vcpu &vcpu, bool masked);
+    /** PVM/dom0: unmask an event channel (hypercall). */
+    void guestEvtchnUnmask(Vcpu &vcpu, intr::EventChannelBank::Port p);
+    /** Send an event to a PV domain (backend notify), with charging. */
+    void evtchnNotify(Domain &dom, Vcpu &vcpu,
+                      intr::EventChannelBank::Port p);
+    /**
+     * Account @p n receive-path syscalls (PVM pays the page-table
+     * switch). When @p include_guest_cycles is false only the
+     * hypervisor-side surcharge is applied — used when the caller
+     * serializes the syscall bodies as guest work itself.
+     */
+    void chargeGuestSyscalls(Vcpu &vcpu, double n,
+                             bool include_guest_cycles = true);
+    /** @} */
+
+    /** @name CPU utilization reporting. @{ */
+    struct UtilSnapshot
+    {
+        std::vector<sim::CpuSnapshot> per_pcpu;
+        sim::Time when;
+    };
+    UtilSnapshot snapshot() const;
+    /**
+     * Percent-of-one-CPU consumed per accounting tag since @p before
+     * (the paper's convention: 100% = one saturated thread).
+     */
+    std::map<std::string, double>
+    cpuPercentByTag(const UtilSnapshot &before) const;
+    double cpuPercent(const UtilSnapshot &before,
+                      const std::string &tag) const;
+    /** @} */
+
+  private:
+    struct IrqBinding
+    {
+        Domain *dom;
+        Vcpu *vcpu;
+        pci::PciFunction *fn;
+        intr::Vector host_vec;
+        intr::Vector virt_vec = 0;                      // HVM
+        intr::EventChannelBank::Port port = 0;          // PVM
+        std::function<void()> handler;                  // Native path
+    };
+
+    void physIrq(IrqBinding &b);
+
+    sim::EventQueue &eq_;
+    CostModel cm_;
+    MachineParams mp_;
+    OptConfig opts_;
+    std::vector<std::unique_ptr<sim::CpuServer>> pcpus_;
+    pci::RootComplex rc_;
+    mem::Iommu iommu_;
+    intr::InterruptRouter router_;
+    mem::MachineMemory mem_;
+    std::vector<std::unique_ptr<Domain>> domains_;
+    Domain *dom0_ = nullptr;
+    unsigned next_guest_pcpu_ = 0;
+    unsigned next_dm_cpu_ = 0;
+    std::map<unsigned, std::unique_ptr<DeviceModel>> device_models_;
+    std::map<unsigned, mem::Addr> dom_machine_base_;
+    std::map<std::pair<pci::PciFunction *, unsigned>,
+             std::unique_ptr<IrqBinding>>
+        bindings_;
+    std::map<unsigned, intr::Vector> next_virt_vec_;    // per-domain
+};
+
+} // namespace sriov::vmm
+
+#endif // SRIOV_VMM_HYPERVISOR_HPP

@@ -1,0 +1,38 @@
+#include "vmm/pciback.hpp"
+
+#include "vmm/domain.hpp"
+
+namespace sriov::vmm {
+
+Pciback::Pciback(Domain &guest, pci::PciFunction &fn)
+    : guest_(guest), fn_(fn)
+{
+}
+
+std::uint32_t
+Pciback::configRead(std::uint16_t off, unsigned size)
+{
+    return fn_.config().read(off, size);
+}
+
+bool
+Pciback::writeAllowed(std::uint16_t off, unsigned size) const
+{
+    // BARs and the header's routing fields stay host-owned.
+    std::uint16_t end = std::uint16_t(off + size);
+    bool touches_bars = off < pci::cfg::kBar0 + 24 && end > pci::cfg::kBar0;
+    bool touches_ids = off < pci::cfg::kCommand;
+    return !touches_bars && !touches_ids;
+}
+
+void
+Pciback::configWrite(std::uint16_t off, std::uint32_t v, unsigned size)
+{
+    if (!writeAllowed(off, size)) {
+        denied_.inc();
+        return;
+    }
+    fn_.config().write(off, v, size);
+}
+
+} // namespace sriov::vmm

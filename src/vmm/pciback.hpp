@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Pciback: the PV backend that exposes an assigned PCI function's
+ * configuration space to a paravirtualized guest (paper Section 4.1:
+ * "a backend driver, such as PCIback, for a paravirtualized virtual
+ * machine"). It forwards reads and filters writes so a guest cannot
+ * reprogram BARs or other host-owned state.
+ */
+
+#ifndef SRIOV_VMM_PCIBACK_HPP
+#define SRIOV_VMM_PCIBACK_HPP
+
+#include "pci/function.hpp"
+#include "sim/stats.hpp"
+
+namespace sriov::vmm {
+
+class Domain;
+
+class Pciback
+{
+  public:
+    Pciback(Domain &guest, pci::PciFunction &fn);
+
+    Domain &guest() { return guest_; }
+    pci::PciFunction &function() { return fn_; }
+
+    std::uint32_t configRead(std::uint16_t off, unsigned size);
+
+    /** Filtered write; disallowed offsets are dropped and counted. */
+    void configWrite(std::uint16_t off, std::uint32_t v, unsigned size);
+
+    std::uint64_t deniedWrites() const { return denied_.value(); }
+
+  private:
+    bool writeAllowed(std::uint16_t off, unsigned size) const;
+
+    Domain &guest_;
+    pci::PciFunction &fn_;
+    sim::Counter denied_;
+};
+
+} // namespace sriov::vmm
+
+#endif // SRIOV_VMM_PCIBACK_HPP

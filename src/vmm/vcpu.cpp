@@ -1,0 +1,56 @@
+#include "vmm/vcpu.hpp"
+
+#include "sim/log.hpp"
+#include "vmm/domain.hpp"
+
+namespace sriov::vmm {
+
+Vcpu::Vcpu(unsigned id, Domain &dom, sim::CpuServer &pcpu)
+    : id_(id), dom_(dom), pcpu_(pcpu)
+{
+    vlapic_.chip().setDeliver([this](intr::Vector v) { dispatch(v); });
+}
+
+void
+Vcpu::submitGuestWork(double cycles, std::function<void()> on_done)
+{
+    pcpu_.submit(cycles, dom_.name(), std::move(on_done));
+}
+
+void
+Vcpu::chargeGuest(double cycles)
+{
+    pcpu_.charge(cycles, dom_.name());
+}
+
+void
+Vcpu::chargeXen(double cycles)
+{
+    pcpu_.charge(cycles, "xen");
+}
+
+void
+Vcpu::bindVirtualVector(intr::Vector v, IrqHandler h)
+{
+    handlers_[v] = std::move(h);
+}
+
+void
+Vcpu::unbindVirtualVector(intr::Vector v)
+{
+    handlers_.erase(v);
+}
+
+void
+Vcpu::dispatch(intr::Vector v)
+{
+    auto it = handlers_.find(v);
+    if (it == handlers_.end()) {
+        sim::warn("%s vcpu%u: unhandled virtual vector %u",
+                  dom_.name().c_str(), id_, v);
+        return;
+    }
+    it->second();
+}
+
+} // namespace sriov::vmm

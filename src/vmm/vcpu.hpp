@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Vcpu: a virtual CPU pinned to one physical CpuServer.
+ *
+ * Guest computation is work submitted to the pinned server under the
+ * domain's accounting tag; hypervisor work done on the guest's behalf
+ * (VM-exit handling) is charged on the same server under "xen", which
+ * is how the paper's per-component CPU breakdowns are assembled.
+ */
+
+#ifndef SRIOV_VMM_VCPU_HPP
+#define SRIOV_VMM_VCPU_HPP
+
+#include <functional>
+#include <unordered_map>
+
+#include "intr/virtual_lapic.hpp"
+#include "sim/cpu_server.hpp"
+
+namespace sriov::vmm {
+
+class Domain;
+
+class Vcpu
+{
+  public:
+    Vcpu(unsigned id, Domain &dom, sim::CpuServer &pcpu);
+
+    unsigned id() const { return id_; }
+    Domain &domain() { return dom_; }
+    sim::CpuServer &pcpu() { return pcpu_; }
+    intr::VirtualLapic &vlapic() { return vlapic_; }
+
+    /** Submit guest-context work (serialized on the physical CPU). */
+    void submitGuestWork(double cycles, std::function<void()> on_done);
+
+    /** Charge guest-context cycles without serialization. */
+    void chargeGuest(double cycles);
+
+    /** Charge hypervisor cycles spent on this VCPU's behalf. */
+    void chargeXen(double cycles);
+
+    /** @name Virtual interrupt dispatch. @{ */
+    using IrqHandler = std::function<void()>;
+    void bindVirtualVector(intr::Vector v, IrqHandler h);
+    void unbindVirtualVector(intr::Vector v);
+    /** @} */
+
+  private:
+    void dispatch(intr::Vector v);
+
+    unsigned id_;
+    Domain &dom_;
+    sim::CpuServer &pcpu_;
+    intr::VirtualLapic vlapic_;
+    std::unordered_map<intr::Vector, IrqHandler> handlers_;
+};
+
+} // namespace sriov::vmm
+
+#endif // SRIOV_VMM_VCPU_HPP

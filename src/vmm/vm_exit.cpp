@@ -1,0 +1,63 @@
+#include "vmm/vm_exit.hpp"
+
+#include <cstdio>
+
+namespace sriov::vmm {
+
+const char *
+exitReasonName(ExitReason r)
+{
+    switch (r) {
+      case ExitReason::ExternalInterrupt: return "external-interrupt";
+      case ExitReason::ApicAccess: return "APIC-access";
+      case ExitReason::IoInstruction: return "I/O-instruction";
+      case ExitReason::MsrAccess: return "MSR-access";
+      case ExitReason::Hypercall: return "hypercall";
+      case ExitReason::EptViolation: return "EPT-violation";
+      case ExitReason::Other: return "other";
+      case ExitReason::Count: break;
+    }
+    return "?";
+}
+
+double
+ExitStats::totalCount() const
+{
+    double n = 0;
+    for (const auto &e : entries_)
+        n += e.count;
+    return n;
+}
+
+double
+ExitStats::totalCycles() const
+{
+    double c = 0;
+    for (const auto &e : entries_)
+        c += e.cycles;
+    return c;
+}
+
+void
+ExitStats::reset()
+{
+    entries_ = {};
+}
+
+std::string
+ExitStats::toString() const
+{
+    std::string out;
+    char buf[128];
+    for (unsigned i = 0; i < unsigned(ExitReason::Count); ++i) {
+        const auto &e = entries_[i];
+        if (e.count == 0)
+            continue;
+        std::snprintf(buf, sizeof(buf), "%-20s %12.0f exits %14.0f cycles\n",
+                      exitReasonName(ExitReason(i)), e.count, e.cycles);
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace sriov::vmm

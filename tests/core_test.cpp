@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Unit tests for the core layer: the IOVM (host-side VF hot-add +
+ * virtual config space), optimization presets, the AIC factory, DNIS
+ * orchestration, and the experiment helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/aic.hpp"
+#include "core/dnis.hpp"
+#include "core/experiment.hpp"
+#include "core/iov_manager.hpp"
+#include "core/optimizations.hpp"
+#include "core/testbed.hpp"
+#include "vmm/hotplug_controller.hpp"
+
+using namespace sriov;
+using namespace sriov::core;
+
+class IovmRig : public ::testing::Test
+{
+  protected:
+    IovmRig()
+        : hv(eq), iovm(hv), nic(eq, "eth0", pci::Bdf{1, 0, 0}),
+          dom0_kern(hv, hv.dom0()), pf(dom0_kern, nic)
+    {
+        nic.setIommu(&hv.iommu());
+        iovm.registerNic(nic);
+    }
+
+    sim::EventQueue eq;
+    vmm::Hypervisor hv;
+    IovManager iovm;
+    nic::SriovNic nic;
+    guest::GuestKernel dom0_kern;
+    drivers::PfDriver pf;
+};
+
+TEST_F(IovmRig, HotAddsVfsWhenPfEnablesThem)
+{
+    EXPECT_TRUE(iovm.hostVisibleVfs().empty());
+    pf.enableVfs(3);
+    EXPECT_EQ(iovm.hostVisibleVfs().size(), 3u);
+    // VFs are reachable by RID through the root complex (hot-added)…
+    EXPECT_NE(hv.rootComplex().byRid(nic.vf(0)->rid()), nullptr);
+    // …but an ordinary vendor-ID scan still cannot see them.
+    auto scanned = hv.rootComplex().bus(nic.pf().bdf().bus).scan();
+    for (auto *fn : scanned)
+        EXPECT_FALSE(fn->isVf());
+}
+
+TEST_F(IovmRig, VfDisableUnplugsCleanly)
+{
+    pf.enableVfs(2);
+    pci::Rid rid0 = nic.vf(0)->rid();
+    pf.disableVfs();
+    EXPECT_TRUE(iovm.hostVisibleVfs().empty());
+    EXPECT_EQ(hv.rootComplex().byRid(rid0), nullptr);
+}
+
+TEST_F(IovmRig, AssignBuildsVirtualConfigAndIommuContext)
+{
+    pf.enableVfs(1);
+    auto &dom = hv.createDomain("vm0", vmm::DomainType::Hvm, 64 << 20);
+    auto &cfg = iovm.assign(dom, nic, 0);
+    EXPECT_TRUE(hv.iommu().attached(nic.vf(0)->rid()));
+    EXPECT_EQ(iovm.configOf(*nic.vf(0)), &cfg);
+    iovm.deassign(dom, nic, 0);
+    EXPECT_FALSE(hv.iommu().attached(nic.vf(0)->rid()));
+    EXPECT_EQ(iovm.configOf(*nic.vf(0)), nullptr);
+}
+
+TEST_F(IovmRig, VirtualConfigSynthesizesTrimmedFields)
+{
+    pf.enableVfs(1);
+    auto &dom = hv.createDomain("vm0", vmm::DomainType::Hvm, 64 << 20);
+    auto &cfg = iovm.assign(dom, nic, 0);
+    // Vendor comes from the PF, device id from the SR-IOV capability:
+    // the guest can enumerate the VF as an ordinary function.
+    EXPECT_EQ(cfg.read(pci::cfg::kVendorId, 2), 0x8086u);
+    EXPECT_EQ(cfg.read(pci::cfg::kDeviceId, 2), 0x10cau);
+    EXPECT_EQ(cfg.read(pci::cfg::kVendorId, 4), 0x10ca8086u);
+}
+
+TEST_F(IovmRig, VirtualConfigFiltersHeaderWrites)
+{
+    pf.enableVfs(1);
+    auto &dom = hv.createDomain("vm0", vmm::DomainType::Hvm, 64 << 20);
+    auto &cfg = iovm.assign(dom, nic, 0);
+    cfg.write(pci::cfg::kBar0, 0xdeadbeef, 4);
+    EXPECT_EQ(cfg.deniedWrites(), 1u);
+    cfg.write(pci::cfg::kCommand, pci::cfg::kCmdBusMaster, 2);
+    EXPECT_TRUE(nic.vf(0)->busMasterEnabled());
+}
+
+TEST(Optimizations, PresetsComposeAsNamed)
+{
+    EXPECT_EQ(OptimizationSet::none().describe(), "baseline");
+    EXPECT_EQ(OptimizationSet::maskOnly().describe(), "+MSI");
+    EXPECT_EQ(OptimizationSet::maskEoi().describe(), "+MSI+EOI");
+    EXPECT_EQ(OptimizationSet::all().describe(), "+MSI+EOI+AIC");
+    auto checked = OptimizationSet::maskEoi();
+    checked.eoi_accel_check = true;
+    EXPECT_EQ(checked.describe(), "+MSI+EOI(chk)");
+}
+
+TEST(Optimizations, ApplyProgramsTheHypervisor)
+{
+    sim::EventQueue eq;
+    vmm::Hypervisor hv(eq);
+    OptimizationSet::none().apply(hv);
+    EXPECT_FALSE(hv.opts().mask_unmask_accel);
+    EXPECT_FALSE(hv.opts().eoi_accel);
+    OptimizationSet::all().apply(hv);
+    EXPECT_TRUE(hv.opts().mask_unmask_accel);
+    EXPECT_TRUE(hv.opts().eoi_accel);
+}
+
+TEST(AicFactory, ParsesSpecs)
+{
+    EXPECT_EQ(makeItrPolicy("AIC")->name(), "AIC");
+    EXPECT_EQ(makeItrPolicy("adaptive")->name(), "adaptive");
+    EXPECT_EQ(makeItrPolicy("20kHz")->name(), "20kHz");
+    auto p = makeItrPolicy("2500");
+    EXPECT_DOUBLE_EQ(p->updateHz(0, 0), 2500);
+}
+
+TEST(AicFactory, FrequencyEquation)
+{
+    // bufs = min(64, 1024) = 64; IF = pps*r/bufs floored at lif.
+    EXPECT_NEAR(aicFrequency(81200, 64, 1024, 1.2, 1000), 1522.5, 0.1);
+    EXPECT_DOUBLE_EQ(aicFrequency(100, 64, 1024, 1.2, 1000), 1000);
+    EXPECT_DOUBLE_EQ(aicFrequency(80000, 128, 64, 1.0, 0), 1250);
+}
+
+TEST(TableFormat, AlignsColumns)
+{
+    Table t({"a", "longer"});
+    t.addRow({"x", "1"});
+    t.addRow({"yyyy", "2"});
+    std::string s = t.toString();
+    EXPECT_NE(s.find("longer"), std::string::npos);
+    EXPECT_NE(s.find("yyyy"), std::string::npos);
+    EXPECT_EQ(gbps(9.57e9), "9.57");
+    EXPECT_EQ(cpuPct(193.42), "193.4%");
+}
+
+class DnisRig : public ::testing::Test
+{
+  protected:
+    DnisRig()
+    {
+        Testbed::Params p;
+        p.num_ports = 1;
+        p.opts = OptimizationSet::all();
+        p.guest_mem = 64ull << 20;
+        p.netback_threads = 2;
+        tb = std::make_unique<Testbed>(p);
+        g = &tb->addGuest(vmm::DomainType::Hvm, Testbed::NetMode::Sriov,
+                          guest::KernelVersion::v2_6_28,
+                          /*bond_vf_with_pv=*/true);
+        hpc = std::make_unique<vmm::VirtualHotplugController>(*g->dom);
+        slot = &hpc->addSlot("vf-slot");
+        dnis = std::make_unique<Dnis>(tb->server(), tb->migration());
+        dnis->manage(*g->dom, *g->vf, *g->pv, *g->bond, *slot);
+    }
+
+    std::unique_ptr<Testbed> tb;
+    Testbed::Guest *g = nullptr;
+    std::unique_ptr<vmm::VirtualHotplugController> hpc;
+    pci::HotplugSlot *slot = nullptr;
+    std::unique_ptr<Dnis> dnis;
+};
+
+TEST_F(DnisRig, RuntimeUsesTheVf)
+{
+    EXPECT_EQ(dnis->bond()->active(), g->vf.get());
+    EXPECT_TRUE(slot->occupied());
+}
+
+TEST_F(DnisRig, FullMigrationSequence)
+{
+    tb->startUdpToGuest(*g, 1e9);
+    tb->run(sim::Time::sec(1));
+
+    Dnis::Params dp;
+    dp.mig.background_dirty_pps = 500;
+    Dnis::Report report{};
+    bool done = false;
+    dnis->migrate(dp, [&](const Dnis::Report &r) {
+        report = r;
+        done = true;
+    });
+
+    // During the switch window the bond briefly sits on the VF while
+    // it quiesces; afterwards the PV NIC carries traffic.
+    tb->run(dp.remove_ack_delay + dp.vf_quiesce + sim::Time::ms(50));
+    EXPECT_EQ(dnis->bond()->active(), g->pv.get());
+    EXPECT_FALSE(g->vf->isUp());
+
+    tb->run(sim::Time::sec(30));
+    ASSERT_TRUE(done);
+    // Events in order: switch -> pv -> pause -> resume -> vf back.
+    EXPECT_LT(report.switch_started, report.switched_to_pv);
+    EXPECT_LT(report.switched_to_pv, report.mig.paused_at);
+    EXPECT_LT(report.mig.paused_at, report.mig.resumed_at);
+    EXPECT_LT(report.mig.resumed_at, report.vf_restored);
+    // Bond is back on the VF with the link up.
+    EXPECT_EQ(dnis->bond()->active(), g->vf.get());
+    EXPECT_TRUE(g->vf->isUp());
+    EXPECT_TRUE(slot->occupied());
+    EXPECT_GE(dnis->bond()->failovers(), 2u);
+}
+
+TEST_F(DnisRig, ConnectivitySurvivesTheSwitch)
+{
+    tb->startUdpToGuest(*g, 1e9);
+    tb->run(sim::Time::sec(1));
+
+    Dnis::Params dp;
+    bool done = false;
+    dnis->migrate(dp, [&](const Dnis::Report &) { done = true; });
+    // Wait until the PV path is active, then verify traffic flows
+    // during pre-copy (the whole point of DNIS).
+    tb->run(sim::Time::sec(1));
+    std::uint64_t before = g->rx->rxBytes();
+    tb->run(sim::Time::sec(2));
+    EXPECT_GT(g->rx->rxBytes(), before);
+    tb->run(sim::Time::sec(40));
+    EXPECT_TRUE(done);
+}

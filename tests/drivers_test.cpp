@@ -1,0 +1,552 @@
+/**
+ * @file
+ * Unit tests for the driver layer: ITR policies, the VF driver's
+ * lifecycle and datapath, the PF driver's mailbox policing, the PV
+ * split driver pair, and the VMDq backend.
+ */
+
+#include <gtest/gtest.h>
+
+#include "drivers/itr_policy.hpp"
+#include "drivers/netback.hpp"
+#include "drivers/netfront.hpp"
+#include "drivers/pf_driver.hpp"
+#include "drivers/vf_driver.hpp"
+#include "drivers/vmdq_driver.hpp"
+#include "guest/net_stack.hpp"
+
+using namespace sriov;
+using namespace sriov::drivers;
+
+TEST(ItrPolicy, StaticReturnsItsFrequency)
+{
+    StaticItr p(2000);
+    EXPECT_DOUBLE_EQ(p.updateHz(1e5, 1e9), 2000);
+    EXPECT_DOUBLE_EQ(p.updateHz(0, 0), 2000);
+    EXPECT_EQ(p.name(), "2kHz");
+}
+
+TEST(ItrPolicy, AdaptiveScalesSmoothlyWithThroughput)
+{
+    AdaptiveItr p;
+    // Calibrated operating points: ~8 kHz at a saturated 1 GbE flow,
+    // ~2 kHz at a 1/7th share (paper Figs. 6/7).
+    EXPECT_NEAR(p.updateHz(81000, 957e6), 8000, 10);
+    EXPECT_NEAR(p.updateHz(11000, 137e6), 2003, 10);
+    // Monotonic in between.
+    double prev = 0;
+    for (double bps = 60e6; bps <= 1e9; bps += 50e6) {
+        double hz = p.updateHz(bps / (1472 * 8), bps);
+        EXPECT_GE(hz, prev);
+        prev = hz;
+    }
+    // Light traffic: lowest latency, capped by packet rate.
+    EXPECT_DOUBLE_EQ(p.updateHz(500, 1e6), 500);
+    EXPECT_DOUBLE_EQ(p.updateHz(50000, 10e6), 20000);
+}
+
+class AicSweep : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(AicSweep, FrequencyAvoidsBufferOverflow)
+{
+    double pps = GetParam();
+    AicItr aic;
+    double hz = aic.updateHz(pps, 0);
+    // Packets arriving between interrupts must fit in bufs (with the
+    // r headroom) unless the lif floor dominates.
+    double per_interval = pps / hz;
+    if (hz > aic.params().lif + 1e-9
+        && hz < aic.params().max_hz - 1e-9) {
+        EXPECT_LE(per_interval,
+                  double(aic.bufs()) / aic.params().r * 1.0001);
+    }
+    EXPECT_GE(hz, aic.params().lif);
+    EXPECT_LE(hz, aic.params().max_hz);
+}
+
+INSTANTIATE_TEST_SUITE_P(PacketRates, AicSweep,
+                         ::testing::Values(0.0, 1e3, 11.3e3, 81.2e3,
+                                           240e3, 2e6));
+
+TEST(ItrPolicy, AicMatchesThePaperExample)
+{
+    // 81.2 kpps (1 GbE of 1472-byte datagrams), bufs=64, r=1.2:
+    // IF = 81200 * 1.2 / 64 = 1522 Hz.
+    AicItr aic;
+    EXPECT_NEAR(aic.updateHz(81200, 957e6), 1522, 1);
+}
+
+class DriverRig : public ::testing::Test
+{
+  protected:
+    DriverRig()
+        : hv(eq), nic(eq, "eth0", pci::Bdf{1, 0, 0}),
+          dom0_kern(hv, hv.dom0())
+    {
+        nic.setIommu(&hv.iommu());
+        pf = std::make_unique<PfDriver>(dom0_kern, nic);
+        pf->enableVfs(2);
+    }
+
+    /** Build an HVM guest with a VF driver on VF @p vf_index. */
+    VfDriver &
+    makeVfGuest(unsigned vf_index, nic::MacAddr mac)
+    {
+        auto &dom = hv.createDomain("vm" + std::to_string(vf_index),
+                                    vmm::DomainType::Hvm, 64 << 20);
+        kernels.push_back(std::make_unique<guest::GuestKernel>(hv, dom));
+        hv.assignDevice(dom, *nic.vf(vf_index));
+        VfDriver::Config cfg;
+        cfg.mac = mac;
+        cfg.name = "eth" + std::to_string(vf_index);
+        drivers.push_back(std::make_unique<VfDriver>(
+            *kernels.back(), nic, nic.vfPool(vf_index), cfg));
+        return *drivers.back();
+    }
+
+    sim::EventQueue eq;
+    vmm::Hypervisor hv;
+    nic::SriovNic nic;
+    guest::GuestKernel dom0_kern;
+    std::unique_ptr<PfDriver> pf;
+    std::vector<std::unique_ptr<guest::GuestKernel>> kernels;
+    std::vector<std::unique_ptr<VfDriver>> drivers;
+};
+
+TEST_F(DriverRig, PfEnableVfsProgramsTheCapability)
+{
+    EXPECT_TRUE(nic.sriovCap().vfEnabled());
+    EXPECT_EQ(nic.numVfs(), 2u);
+}
+
+TEST_F(DriverRig, VfInitBringsLinkUpAndRegistersMac)
+{
+    auto &drv = makeVfGuest(0, nic::MacAddr::make(1, 1));
+    EXPECT_FALSE(drv.linkUp());
+    drv.init();
+    EXPECT_TRUE(drv.linkUp());
+    // Bus mastering enabled through config space.
+    EXPECT_TRUE(nic.vf(0)->busMasterEnabled());
+    // Ring fully posted.
+    EXPECT_EQ(nic.rxRing(nic.vfPool(0)).available(), 1024u);
+    // MAC registered via the mailbox; the PF driver programmed the
+    // on-NIC switch.
+    EXPECT_EQ(pf->mailboxRequests(), 1u);
+    nic::Packet p;
+    p.dst = nic::MacAddr::make(1, 1);
+    p.bytes = nic::frame::udpFrame(100);
+    EXPECT_EQ(*nic.l2().classify(p), nic.vfPool(0));
+}
+
+TEST_F(DriverRig, VfShutdownReleasesEverything)
+{
+    auto &drv = makeVfGuest(0, nic::MacAddr::make(1, 1));
+    drv.init();
+    drv.shutdown();
+    EXPECT_FALSE(drv.linkUp());
+    EXPECT_FALSE(nic.vf(0)->busMasterEnabled());
+    EXPECT_TRUE(nic.rxRing(nic.vfPool(0)).empty());
+    nic::Packet p;
+    p.dst = nic::MacAddr::make(1, 1);
+    p.bytes = nic::frame::udpFrame(100);
+    EXPECT_FALSE(nic.l2().classify(p).has_value());
+}
+
+TEST_F(DriverRig, RxPathDeliversToTheStack)
+{
+    auto &drv = makeVfGuest(0, nic::MacAddr::make(1, 1));
+    drv.init();
+    guest::NetStack stack(*kernels[0]);
+    stack.attachDevice(drv);
+    std::size_t got = 0;
+    stack.setUdpReceiver([&](std::uint64_t, std::size_t n) { got += n; });
+
+    nic::Packet p;
+    p.dst = nic::MacAddr::make(1, 1);
+    p.bytes = nic::frame::udpFrame(1472);
+    p.kind = nic::Packet::Kind::Udp;
+    nic.receive(p);
+    eq.runUntil(eq.now() + sim::Time::ms(200));
+    EXPECT_EQ(got, 1u);
+    // The buffer was recycled into the ring.
+    EXPECT_EQ(nic.rxRing(nic.vfPool(0)).available(), 1024u);
+}
+
+TEST_F(DriverRig, ItrSamplerAppliesThePolicy)
+{
+    auto &drv = makeVfGuest(0, nic::MacAddr::make(1, 1));
+    drv.setItrPolicy(std::make_unique<AdaptiveItr>());
+    drv.init();
+    // Initial rate: light-traffic class.
+    EXPECT_DOUBLE_EQ(drv.currentItrHz(), 20000);
+
+    // Feed ~160 Mb/s for the whole first sampling second; the sampler
+    // should moderate down from latency mode to ~2.2 kHz.
+    for (int i = 0; i < 13500; ++i) {
+        eq.scheduleIn(sim::Time::us(std::int64_t(i) * 74), [this]() {
+            nic::Packet p;
+            p.dst = nic::MacAddr::make(1, 1);
+            p.bytes = nic::frame::udpFrame(1472);
+            p.kind = nic::Packet::Kind::Udp;
+            nic.receive(p);
+        });
+    }
+    eq.runUntil(sim::Time::ms(1100));
+    EXPECT_NEAR(drv.currentItrHz(), 2165, 60);
+}
+
+TEST_F(DriverRig, StopRxLeavesFramesInTheRing)
+{
+    auto &drv = makeVfGuest(0, nic::MacAddr::make(1, 1));
+    drv.init();
+    drv.stopRx();
+    nic::Packet p;
+    p.dst = nic::MacAddr::make(1, 1);
+    p.bytes = nic::frame::udpFrame(1472);
+    nic.receive(p);
+    eq.runUntil(eq.now() + sim::Time::ms(200));
+    // DMA'd but never drained: the driver stopped servicing IRQs.
+    EXPECT_EQ(nic.rxPending(nic.vfPool(0)), 1u);
+}
+
+TEST_F(DriverRig, PfPolicesBlockedVfs)
+{
+    pf->blockVf(1, true);
+    auto &drv = makeVfGuest(1, nic::MacAddr::make(1, 2));
+    drv.init();
+    EXPECT_EQ(pf->rejectedRequests(), 1u);
+    nic::Packet p;
+    p.dst = nic::MacAddr::make(1, 2);
+    p.bytes = nic::frame::udpFrame(100);
+    EXPECT_FALSE(nic.l2().classify(p).has_value());
+}
+
+TEST_F(DriverRig, PfHandlesVlanAndReset)
+{
+    auto &drv = makeVfGuest(0, nic::MacAddr::make(1, 1));
+    drv.init();
+
+    nic::MboxMessage msg;
+    msg.type = nic::MboxMessage::Type::SetVlan;
+    msg.payload = 42;
+    nic.mailbox(0).to_pf.post(msg);
+    nic::Packet p;
+    p.dst = nic::MacAddr::make(1, 1);
+    p.vlan = 42;
+    p.bytes = nic::frame::udpFrame(100);
+    EXPECT_EQ(*nic.l2().classify(p), nic.vfPool(0));
+
+    msg.type = nic::MboxMessage::Type::Reset;
+    nic.mailbox(0).to_pf.post(msg);
+    EXPECT_FALSE(nic.l2().classify(p).has_value());
+}
+
+TEST_F(DriverRig, PfNotifiesLinkChangesThroughMailboxes)
+{
+    pf->notifyLinkChange(false);
+    // Doorbells with no VF driver listening stay pending (busy).
+    EXPECT_TRUE(nic.mailbox(0).to_vf.busy());
+}
+
+class PvRig : public ::testing::Test
+{
+  protected:
+    PvRig()
+        : hv(eq), phys(eq, "peth0", pci::Bdf{1, 0, 0}),
+          dom0_kern(hv, hv.dom0())
+    {
+        phys.setIommu(&hv.iommu());
+        NetbackDriver::Config cfg;
+        cfg.num_threads = 2;
+        nb = std::make_unique<NetbackDriver>(dom0_kern, cfg);
+        nb->attachPhysical(phys);
+    }
+
+    guest::NetStack &
+    makePvGuest(const std::string &name, nic::MacAddr mac)
+    {
+        auto &dom = hv.createDomain(name, vmm::DomainType::Hvm, 64 << 20);
+        kernels.push_back(std::make_unique<guest::GuestKernel>(hv, dom));
+        fronts.push_back(std::make_unique<NetfrontDriver>(
+            *kernels.back(), name + "-eth0", mac));
+        nb->connectGuest(*fronts.back());
+        stacks.push_back(
+            std::make_unique<guest::NetStack>(*kernels.back()));
+        stacks.back()->attachDevice(*fronts.back());
+        return *stacks.back();
+    }
+
+    sim::EventQueue eq;
+    vmm::Hypervisor hv;
+    nic::PlainNic phys;
+    guest::GuestKernel dom0_kern;
+    std::unique_ptr<NetbackDriver> nb;
+    std::vector<std::unique_ptr<guest::GuestKernel>> kernels;
+    std::vector<std::unique_ptr<NetfrontDriver>> fronts;
+    std::vector<std::unique_ptr<guest::NetStack>> stacks;
+};
+
+TEST_F(PvRig, PhysicalRxIsBridgedCopiedAndDelivered)
+{
+    auto &stack = makePvGuest("vm0", nic::MacAddr::make(1, 1));
+    std::size_t got = 0;
+    stack.setUdpReceiver([&](std::uint64_t, std::size_t n) { got += n; });
+
+    nic::Packet p;
+    p.dst = nic::MacAddr::make(1, 1);
+    p.bytes = nic::frame::udpFrame(1472);
+    p.kind = nic::Packet::Kind::Udp;
+    phys.receive(p);
+    eq.runUntil(eq.now() + sim::Time::ms(200));
+    EXPECT_EQ(got, 1u);
+    EXPECT_EQ(nb->copies(), 1u);
+    EXPECT_EQ(fronts[0]->rxPackets(), 1u);
+    EXPECT_EQ(fronts[0]->grants().copies(), 1u);
+}
+
+TEST_F(PvRig, CopiesDirtyTheGuestForMigration)
+{
+    auto &stack = makePvGuest("vm0", nic::MacAddr::make(1, 1));
+    (void)stack;
+    auto &dom = kernels[0]->domain();
+    dom.gpmap().enableDirtyLog();
+    nic::Packet p;
+    p.dst = nic::MacAddr::make(1, 1);
+    p.bytes = nic::frame::udpFrame(1472);
+    phys.receive(p);
+    eq.runUntil(eq.now() + sim::Time::ms(200));
+    EXPECT_EQ(dom.gpmap().dirtyPageCount(), 1u);
+}
+
+TEST_F(PvRig, GuestTxReachesTheWireSideNic)
+{
+    auto &stack = makePvGuest("vm0", nic::MacAddr::make(1, 1));
+    stack.sendUdp(nic::MacAddr::make(7, 7), 1472, 0);
+    eq.runUntil(eq.now() + sim::Time::ms(200));
+    EXPECT_EQ(nb->forwardedToWire(), 1u);
+    EXPECT_EQ(phys.poolStats(0).tx_frames.value(), 1u);
+}
+
+TEST_F(PvRig, InterVmTraversesOneCopy)
+{
+    auto &a = makePvGuest("vm0", nic::MacAddr::make(1, 1));
+    auto &b = makePvGuest("vm1", nic::MacAddr::make(1, 2));
+    std::size_t got = 0;
+    b.setUdpReceiver([&](std::uint64_t, std::size_t n) { got += n; });
+    a.sendUdp(nic::MacAddr::make(1, 2), 1472, 0);
+    eq.runUntil(eq.now() + sim::Time::ms(200));
+    EXPECT_EQ(got, 1u);
+    EXPECT_EQ(nb->forwardedToGuests(), 1u);
+    EXPECT_EQ(nb->forwardedToWire(), 0u);
+}
+
+TEST_F(PvRig, DisconnectDropsLink)
+{
+    auto &stack = makePvGuest("vm0", nic::MacAddr::make(1, 1));
+    EXPECT_TRUE(fronts[0]->linkUp());
+    nb->disconnectGuest(*fronts[0]);
+    EXPECT_FALSE(fronts[0]->linkUp());
+    EXPECT_FALSE(stack.sendUdp(nic::MacAddr::make(7, 7), 100, 0));
+}
+
+TEST_F(PvRig, WorkerBacklogCapDropsBursts)
+{
+    auto &stack = makePvGuest("vm0", nic::MacAddr::make(1, 1));
+    (void)stack;
+    // Far more TX than the worker queue admits, all at once.
+    std::size_t attempted = 6000, accepted = 0;
+    for (std::size_t i = 0; i < attempted; ++i) {
+        nic::Packet p;
+        p.dst = nic::MacAddr::make(7, 7);
+        p.bytes = nic::frame::udpFrame(64);
+        if (fronts[0]->transmit(p))
+            ++accepted;
+    }
+    EXPECT_LT(accepted, attempted);
+    EXPECT_GT(fronts[0]->txDropped(), 0u);
+    eq.runUntil(eq.now() + sim::Time::ms(200));
+}
+
+TEST(VmdqBackendTest, QueueAssignmentExhaustsAtSeven)
+{
+    sim::EventQueue eq;
+    vmm::Hypervisor hv(eq);
+    nic::VmdqNic nic(eq, "vmdq0", pci::Bdf{2, 0, 0});
+    nic.setIommu(&hv.iommu());
+    guest::GuestKernel dom0_kern(hv, hv.dom0());
+    VmdqBackend backend(dom0_kern, nic, VmdqBackend::Config{});
+
+    std::vector<std::unique_ptr<guest::GuestKernel>> kernels;
+    std::vector<std::unique_ptr<NetfrontDriver>> fronts;
+    unsigned granted = 0;
+    for (unsigned i = 0; i < 9; ++i) {
+        auto &dom = hv.createDomain("vm" + std::to_string(i),
+                                    vmm::DomainType::Pvm, 64 << 20);
+        kernels.push_back(std::make_unique<guest::GuestKernel>(hv, dom));
+        fronts.push_back(std::make_unique<NetfrontDriver>(
+            *kernels.back(), "eth0", nic::MacAddr::make(1, i + 1)));
+        if (backend.assignQueue(*fronts.back()))
+            ++granted;
+    }
+    EXPECT_EQ(granted, 7u);    // 8 queues, dom0 keeps queue 0
+    EXPECT_EQ(backend.queuesInUse(), 7u);
+}
+
+TEST(VmdqBackendTest, QueueRxFlowsToTheGuest)
+{
+    sim::EventQueue eq;
+    vmm::Hypervisor hv(eq);
+    nic::VmdqNic nic(eq, "vmdq0", pci::Bdf{2, 0, 0});
+    nic.setIommu(&hv.iommu());
+    guest::GuestKernel dom0_kern(hv, hv.dom0());
+    VmdqBackend backend(dom0_kern, nic, VmdqBackend::Config{});
+
+    auto &dom = hv.createDomain("vm0", vmm::DomainType::Pvm, 64 << 20);
+    guest::GuestKernel kern(hv, dom);
+    NetfrontDriver nf(kern, "eth0", nic::MacAddr::make(1, 1));
+    ASSERT_TRUE(backend.assignQueue(nf));
+    guest::NetStack stack(kern);
+    stack.attachDevice(nf);
+    std::size_t got = 0;
+    stack.setUdpReceiver([&](std::uint64_t, std::size_t n) { got += n; });
+
+    nic::Packet p;
+    p.dst = nic::MacAddr::make(1, 1);
+    p.bytes = nic::frame::udpFrame(1472);
+    p.kind = nic::Packet::Kind::Udp;
+    nic.receive(p);
+    eq.runUntil(eq.now() + sim::Time::ms(200));
+    EXPECT_EQ(got, 1u);
+    EXPECT_EQ(backend.framesServiced(), 1u);
+    // dom0 paid the protection/translation work.
+    EXPECT_GT(hv.dom0Cpu(0).busyTime() + hv.pcpu(0).busyTime(),
+              sim::Time());
+}
+
+/**
+ * Portability property (paper Section 4): the VF driver is identical
+ * code across every domain type — HVM guest, PVM guest, bare metal.
+ * Only the platform's delivery/charging path differs.
+ */
+class VfPortability : public ::testing::TestWithParam<vmm::DomainType>
+{
+};
+
+TEST_P(VfPortability, SameDriverWorksUnmodified)
+{
+    sim::EventQueue eq;
+    vmm::Hypervisor hv(eq);
+    nic::SriovNic nic(eq, "eth0", pci::Bdf{1, 0, 0});
+    nic.setIommu(&hv.iommu());
+    guest::GuestKernel dom0_kern(hv, hv.dom0());
+    PfDriver pf(dom0_kern, nic);
+    pf.enableVfs(1);
+
+    auto &dom = hv.createDomain("vm0", GetParam(), 64 << 20);
+    guest::GuestKernel kern(hv, dom);
+    hv.assignDevice(dom, *nic.vf(0));
+    VfDriver::Config cfg;
+    cfg.mac = nic::MacAddr::make(1, 1);
+    VfDriver drv(kern, nic, nic.vfPool(0), cfg);
+    drv.init();
+
+    guest::NetStack stack(kern);
+    stack.attachDevice(drv);
+    std::size_t got = 0;
+    stack.setUdpReceiver([&](std::uint64_t, std::size_t n) { got += n; });
+
+    nic::Packet p;
+    p.dst = nic::MacAddr::make(1, 1);
+    p.bytes = nic::frame::udpFrame(1472);
+    p.kind = nic::Packet::Kind::Udp;
+    nic.receive(p);
+    eq.runUntil(sim::Time::ms(100));
+    EXPECT_EQ(got, 1u);
+
+    // Virtualization costs appear only where the platform adds them.
+    if (GetParam() == vmm::DomainType::Native)
+        EXPECT_DOUBLE_EQ(dom.exits().totalCount(), 0.0);
+    else
+        EXPECT_GT(dom.exits().totalCount(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(DomainTypes, VfPortability,
+                         ::testing::Values(vmm::DomainType::Hvm,
+                                           vmm::DomainType::Pvm,
+                                           vmm::DomainType::Native));
+
+TEST_F(DriverRig, WatchdogShutsDownMailboxFlooders)
+{
+    PfDriver::WatchdogPolicy wp;
+    wp.enabled = true;
+    wp.max_requests = 8;
+    pf->setWatchdog(wp);
+
+    auto &drv = makeVfGuest(0, nic::MacAddr::make(1, 1));
+    drv.init();
+    EXPECT_FALSE(pf->vfBlocked(0));
+
+    // A compromised guest floods SetVlan requests (Section 4.3).
+    for (int i = 0; i < 20; ++i) {
+        nic::MboxMessage msg;
+        msg.type = nic::MboxMessage::Type::SetVlan;
+        msg.payload = 1;
+        nic.mailbox(0).to_pf.post(msg);
+    }
+    EXPECT_TRUE(pf->vfBlocked(0));
+    EXPECT_EQ(pf->watchdogShutdowns(), 1u);
+    // Its filters are gone: traffic no longer reaches the VF.
+    nic::Packet p;
+    p.dst = nic::MacAddr::make(1, 1);
+    p.bytes = nic::frame::udpFrame(100);
+    EXPECT_FALSE(nic.l2().classify(p).has_value());
+}
+
+TEST_F(DriverRig, WatchdogWindowResetsTheBudget)
+{
+    PfDriver::WatchdogPolicy wp;
+    wp.enabled = true;
+    wp.max_requests = 4;
+    wp.window = sim::Time::ms(100);
+    pf->setWatchdog(wp);
+    auto &drv = makeVfGuest(0, nic::MacAddr::make(1, 1));
+    drv.init();
+
+    // Stay under the budget in each window: never tripped.
+    for (int burst = 0; burst < 5; ++burst) {
+        for (int i = 0; i < 3; ++i) {
+            nic::MboxMessage msg;
+            msg.type = nic::MboxMessage::Type::SetVlan;
+            msg.payload = 1;
+            nic.mailbox(0).to_pf.post(msg);
+        }
+        eq.runUntil(eq.now() + sim::Time::ms(150));
+    }
+    EXPECT_FALSE(pf->vfBlocked(0));
+    EXPECT_EQ(pf->watchdogShutdowns(), 0u);
+}
+
+TEST_F(DriverRig, LinkChangeEventsReachTheVfDriver)
+{
+    auto &drv = makeVfGuest(0, nic::MacAddr::make(1, 1));
+    drv.init();
+    EXPECT_TRUE(drv.linkUp());
+    pf->notifyLinkChange(false);
+    EXPECT_FALSE(drv.linkUp());
+    EXPECT_EQ(drv.pfEvents(), 1u);
+    pf->notifyLinkChange(true);
+    EXPECT_TRUE(drv.linkUp());
+}
+
+TEST_F(DriverRig, PfRemovalQuiescesTheVfDriver)
+{
+    auto &drv = makeVfGuest(0, nic::MacAddr::make(1, 1));
+    drv.init();
+    // disableVfs() warns every VF first (Section 4.2), then clears
+    // VF Enable; the VF driver must have quiesced by then.
+    pf->disableVfs();
+    EXPECT_FALSE(drv.isUp());
+    EXPECT_EQ(nic.numVfs(), 0u);
+}

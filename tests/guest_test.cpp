@@ -1,0 +1,547 @@
+/**
+ * @file
+ * Unit tests for the guest OS layer: socket buffers, the net stack's
+ * receive/ACK behaviour, the kernel interrupt protocol (including the
+ * 2.6.18 mask/unmask behaviour and PV-on-HVM conversion), netperf
+ * workloads and the bonding driver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "guest/bonding.hpp"
+#include "guest/kernel.hpp"
+#include "guest/net_stack.hpp"
+#include "guest/netperf.hpp"
+#include "guest/socket_buffer.hpp"
+#include "nic/sriov_nic.hpp"
+
+using namespace sriov;
+using namespace sriov::guest;
+
+namespace {
+
+nic::Packet
+udpPkt(std::uint32_t payload = 1472)
+{
+    nic::Packet p;
+    p.dst = nic::MacAddr::make(1, 1);
+    p.src = nic::MacAddr::make(2, 1);
+    p.bytes = nic::frame::udpFrame(payload);
+    p.kind = nic::Packet::Kind::Udp;
+    return p;
+}
+
+nic::Packet
+tcpPkt(std::uint64_t end_seq, std::uint32_t payload = 1448)
+{
+    nic::Packet p;
+    p.dst = nic::MacAddr::make(1, 1);
+    p.src = nic::MacAddr::make(2, 1);
+    p.bytes = nic::frame::tcpFrame(payload);
+    p.kind = nic::Packet::Kind::Tcp;
+    p.seq = end_seq;
+    return p;
+}
+
+/** A scriptable NetDevice standing in for a driver. */
+class FakeDevice : public NetDevice
+{
+  public:
+    explicit FakeDevice(std::string name = "fake0")
+        : name_(std::move(name))
+    {}
+
+    bool
+    transmit(const nic::Packet &pkt) override
+    {
+        sent.push_back(pkt);
+        return up;
+    }
+
+    nic::MacAddr mac() const override { return nic::MacAddr::make(1, 1); }
+    bool linkUp() const override { return up; }
+    const std::string &name() const override { return name_; }
+
+    void
+    injectRx(std::vector<nic::Packet> pkts)
+    {
+        deliverUp(std::move(pkts));
+    }
+
+    std::vector<nic::Packet> sent;
+    bool up = true;
+
+  private:
+    std::string name_;
+};
+
+} // namespace
+
+TEST(SocketBuffer, PacketCapDrops)
+{
+    SocketBuffer sb(2, 0);
+    EXPECT_TRUE(sb.push(udpPkt()));
+    EXPECT_TRUE(sb.push(udpPkt()));
+    EXPECT_FALSE(sb.push(udpPkt()));
+    EXPECT_EQ(sb.drops(), 1u);
+    EXPECT_EQ(sb.size(), 2u);
+}
+
+TEST(SocketBuffer, ByteCapDrops)
+{
+    SocketBuffer sb(0, 3000);
+    EXPECT_TRUE(sb.push(udpPkt(1472)));
+    EXPECT_TRUE(sb.push(udpPkt(1472)));
+    EXPECT_FALSE(sb.push(udpPkt(1472)));
+    EXPECT_EQ(sb.bytes(), 2944u);
+}
+
+TEST(SocketBuffer, PopAndDrainAccount)
+{
+    SocketBuffer sb;
+    for (int i = 0; i < 5; ++i)
+        sb.push(udpPkt());
+    EXPECT_EQ(sb.pop(2).size(), 2u);
+    EXPECT_EQ(sb.drain().size(), 3u);
+    EXPECT_TRUE(sb.empty());
+    EXPECT_EQ(sb.bytes(), 0u);
+    EXPECT_EQ(sb.delivered(), 5u);
+}
+
+class StackRig : public ::testing::Test
+{
+  protected:
+    StackRig()
+        : hv(eq), dom(hv.createDomain("vm0", vmm::DomainType::Hvm,
+                                      64 << 20)),
+          kern(hv, dom), stack(kern)
+    {
+        stack.attachDevice(dev);
+    }
+
+    sim::EventQueue eq;
+    vmm::Hypervisor hv;
+    vmm::Domain &dom;
+    GuestKernel kern;
+    NetStack stack;
+    FakeDevice dev;
+};
+
+TEST_F(StackRig, UdpDeliveryReachesApplication)
+{
+    std::uint64_t bytes = 0;
+    std::size_t pkts = 0;
+    stack.setUdpReceiver([&](std::uint64_t b, std::size_t n) {
+        bytes += b;
+        pkts += n;
+    });
+    dev.injectRx({udpPkt(), udpPkt()});
+    eq.runAll();
+    EXPECT_EQ(bytes, 2 * 1472u);
+    EXPECT_EQ(pkts, 2u);
+}
+
+TEST_F(StackRig, UdpSocketOverflowDrops)
+{
+    stack.setUdpSocketCapacity(4);
+    std::size_t delivered = 0;
+    stack.setUdpReceiver(
+        [&](std::uint64_t, std::size_t n) { delivered += n; });
+    std::vector<nic::Packet> burst(10, udpPkt());
+    dev.injectRx(burst);
+    eq.runAll();
+    EXPECT_EQ(delivered, 4u);
+    EXPECT_EQ(stack.udpSocketDrops(), 6u);
+}
+
+TEST_F(StackRig, AppProcessingConsumesGuestCpu)
+{
+    stack.setUdpReceiver([](std::uint64_t, std::size_t) {});
+    auto snap = dom.vcpu(0).pcpu().snapshot();
+    dev.injectRx({udpPkt()});
+    eq.runAll();
+    EXPECT_GT(dom.vcpu(0).pcpu().cyclesSince(snap, "vm0"), 0.0);
+}
+
+TEST_F(StackRig, TcpBatchTriggersCumulativeAck)
+{
+    stack.setTcpReceiver([](std::uint64_t, std::size_t) {});
+    dev.injectRx({tcpPkt(1448), tcpPkt(2896)});
+    eq.runAll();
+    ASSERT_EQ(dev.sent.size(), 1u);    // one cumulative ACK per batch
+    EXPECT_EQ(dev.sent[0].kind, nic::Packet::Kind::TcpAck);
+    EXPECT_EQ(dev.sent[0].ack, 2896u);
+    EXPECT_EQ(dev.sent[0].dst, nic::MacAddr::make(2, 1));
+}
+
+TEST_F(StackRig, AckPacketsBypassSocketAndReachListener)
+{
+    std::uint64_t acked = 0;
+    stack.setAckListener([&](std::uint64_t a) { acked = a; });
+    nic::Packet ack;
+    ack.kind = nic::Packet::Kind::TcpAck;
+    ack.ack = 12345;
+    ack.bytes = 64;
+    dev.injectRx({ack});
+    EXPECT_EQ(acked, 12345u);    // immediate, no app work needed
+}
+
+TEST_F(StackRig, SendHelpersBuildCorrectFrames)
+{
+    EXPECT_TRUE(stack.sendUdp(nic::MacAddr::make(5, 5), 1472, 7));
+    ASSERT_EQ(dev.sent.size(), 1u);
+    EXPECT_EQ(dev.sent[0].payloadBytes(), 1472u);
+    EXPECT_EQ(dev.sent[0].flow, 7u);
+    EXPECT_TRUE(stack.sendTcpSegment(nic::MacAddr::make(5, 5), 1448, 7,
+                                     1448));
+    EXPECT_EQ(dev.sent[1].seq, 1448u);
+
+    dev.up = false;
+    EXPECT_FALSE(stack.sendUdp(nic::MacAddr::make(5, 5), 100, 0));
+}
+
+namespace {
+
+class CountingClient : public GuestKernel::IrqClient
+{
+  public:
+    int tops = 0;
+    int bottoms = 0;
+    double cycles = 1000;
+
+    double
+    irqTop() override
+    {
+        ++tops;
+        return cycles;
+    }
+
+    void irqBottom() override { ++bottoms; }
+};
+
+} // namespace
+
+class KernelIrqRig : public ::testing::Test
+{
+  protected:
+    KernelIrqRig() : hv(eq), nic(eq, "eth0", pci::Bdf{1, 0, 0})
+    {
+        nic.sriovCap().setNumVfs(1);
+        nic.sriovCap().setVfEnable(true);
+    }
+
+    GuestKernel &
+    makeKernel(vmm::DomainType type, KernelVersion kv)
+    {
+        dom_ = &hv.createDomain("vm0", type, 64 << 20);
+        kern_ = std::make_unique<GuestKernel>(hv, *dom_, kv);
+        return *kern_;
+    }
+
+    sim::EventQueue eq;
+    vmm::Hypervisor hv;
+    nic::SriovNic nic;
+    vmm::Domain *dom_ = nullptr;
+    std::unique_ptr<GuestKernel> kern_;
+    CountingClient client;
+};
+
+TEST_F(KernelIrqRig, HvmProtocolRunsTopThenBottomThenEoi)
+{
+    auto &kern = makeKernel(vmm::DomainType::Hvm,
+                            KernelVersion::v2_6_28);
+    kern.attachDeviceIrq(*nic.vf(0), client);
+    nic.vf(0)->signalMsix(0);
+    EXPECT_EQ(client.tops, 1);
+    EXPECT_EQ(client.bottoms, 0);    // work not yet executed
+    eq.runAll();
+    EXPECT_EQ(client.bottoms, 1);
+    // One EOI APIC access + the per-irq noise factor were recorded.
+    EXPECT_GE(dom_->exits().count(vmm::ExitReason::ApicAccess), 1.0);
+    EXPECT_EQ(kern.irqsHandled(), 1u);
+}
+
+TEST_F(KernelIrqRig, Kernel2618MasksAndUnmasksPerInterrupt)
+{
+    hv.opts().mask_unmask_accel = false;
+    auto &kern = makeKernel(vmm::DomainType::Hvm,
+                            KernelVersion::v2_6_18);
+    kern.attachDeviceIrq(*nic.vf(0), client);
+    nic.vf(0)->signalMsix(0);
+    eq.runAll();
+    // Two mask-register writes (mask + unmask) hit the device model.
+    EXPECT_EQ(hv.deviceModel(*dom_).maskWrites(), 2u);
+}
+
+TEST_F(KernelIrqRig, Kernel2628NeverTouchesTheMask)
+{
+    hv.opts().mask_unmask_accel = false;
+    auto &kern = makeKernel(vmm::DomainType::Hvm,
+                            KernelVersion::v2_6_28);
+    kern.attachDeviceIrq(*nic.vf(0), client);
+    nic.vf(0)->signalMsix(0);
+    eq.runAll();
+    EXPECT_EQ(hv.deviceModel(*dom_).maskWrites(), 0u);
+}
+
+TEST_F(KernelIrqRig, PvmProtocolMasksPortAndUnmasksViaHypercall)
+{
+    auto &kern = makeKernel(vmm::DomainType::Pvm,
+                            KernelVersion::v2_6_28);
+    kern.attachDeviceIrq(*nic.vf(0), client);
+    nic.vf(0)->signalMsix(0);
+    // Port masked during processing: a second MSI stays pending.
+    nic.vf(0)->signalMsix(0);
+    EXPECT_EQ(client.tops, 1);
+    eq.runAll();
+    // Unmask hypercall redelivered the pending event.
+    EXPECT_EQ(client.tops, 2);
+    EXPECT_GE(dom_->exits().count(vmm::ExitReason::Hypercall), 1.0);
+}
+
+TEST_F(KernelIrqRig, PausedDomainDefersInterruptHandling)
+{
+    auto &kern = makeKernel(vmm::DomainType::Hvm,
+                            KernelVersion::v2_6_28);
+    kern.attachDeviceIrq(*nic.vf(0), client);
+    dom_->pause();
+    nic.vf(0)->signalMsix(0);
+    eq.runUntil(sim::Time::ms(5));
+    EXPECT_EQ(client.tops, 0);
+    dom_->resume();
+    eq.runUntil(sim::Time::ms(50));
+    EXPECT_EQ(client.tops, 1);
+}
+
+TEST_F(KernelIrqRig, DetachWhileRetryPendingIsSafe)
+{
+    auto &kern = makeKernel(vmm::DomainType::Hvm,
+                            KernelVersion::v2_6_28);
+    kern.attachDeviceIrq(*nic.vf(0), client);
+    dom_->pause();
+    nic.vf(0)->signalMsix(0);
+    kern.detachDeviceIrq(*nic.vf(0));
+    dom_->resume();
+    eq.runUntil(sim::Time::ms(50));
+    EXPECT_EQ(client.tops, 0);    // retry found the IRQ gone
+}
+
+TEST_F(KernelIrqRig, VirtualIrqOnPvUsesEventChannel)
+{
+    auto &kern = makeKernel(vmm::DomainType::Pvm,
+                            KernelVersion::v2_6_28);
+    auto virq = kern.attachVirtualIrq(client);
+    auto &notifier = hv.dom0Cpu(1);
+    auto snap = notifier.snapshot();
+    kern.raiseVirtualIrq(virq, notifier);
+    eq.runAll();
+    EXPECT_EQ(client.bottoms, 1);
+    EXPECT_DOUBLE_EQ(notifier.cyclesSince(snap, "xen"),
+                     hv.costs().evtchn_send);
+    EXPECT_DOUBLE_EQ(dom_->exits().count(vmm::ExitReason::ApicAccess), 0);
+}
+
+TEST_F(KernelIrqRig, VirtualIrqOnHvmPaysLapicConversion)
+{
+    auto &kern = makeKernel(vmm::DomainType::Hvm,
+                            KernelVersion::v2_6_28);
+    auto virq = kern.attachVirtualIrq(client);
+    auto &notifier = hv.dom0Cpu(1);
+    auto snap = notifier.snapshot();
+    kern.raiseVirtualIrq(virq, notifier);
+    eq.runAll();
+    EXPECT_EQ(client.bottoms, 1);
+    EXPECT_DOUBLE_EQ(notifier.cyclesSince(snap, "xen"),
+                     hv.costs().evtchn_send
+                         + hv.costs().evtchn_hvm_conversion);
+    // The PV-on-HVM upcall still EOIs the virtual LAPIC.
+    EXPECT_GE(dom_->exits().count(vmm::ExitReason::ApicAccess), 1.0);
+}
+
+class NetperfRig : public StackRig
+{
+};
+
+TEST_F(NetperfRig, UdpSenderPacesAtOfferedRate)
+{
+    UdpStreamSender snd(eq, stack, nic::MacAddr::make(9, 9), 1e9, 1472);
+    snd.start();
+    eq.runUntil(sim::Time::ms(100));
+    snd.stop();
+    // 1 Gb/s of 1538 wire bytes = 81.27 k frames/s.
+    EXPECT_NEAR(double(snd.sentPackets()), 8127, 90);
+    eq.runUntil(sim::Time::ms(200));
+    auto frozen = snd.sentPackets();
+    eq.runUntil(sim::Time::ms(300));
+    EXPECT_EQ(snd.sentPackets(), frozen);    // stop() stops
+}
+
+TEST_F(NetperfRig, StreamReceiverCountsAndSamples)
+{
+    StreamReceiver rx(eq, stack, StreamReceiver::Proto::Udp);
+    rx.sampleEvery(sim::Time::ms(10));
+    dev.injectRx({udpPkt(), udpPkt()});
+    eq.runUntil(sim::Time::ms(25));
+    rx.stopSampling();
+    EXPECT_EQ(rx.rxPackets(), 2u);
+    EXPECT_EQ(rx.rxBytes(), 2944u);
+    ASSERT_GE(rx.timeline().samples().size(), 2u);
+    // All the traffic landed in the first 10 ms bucket.
+    EXPECT_GT(rx.timeline().samples()[0].second, 0.0);
+    EXPECT_DOUBLE_EQ(rx.timeline().samples()[1].second, 0.0);
+}
+
+TEST_F(NetperfRig, TcpSenderRespectsWindow)
+{
+    TcpStreamSender snd(eq, stack, nic::MacAddr::make(9, 9),
+                        /*window=*/4 * 1448, 1448);
+    snd.start();
+    eq.runUntil(sim::Time::ms(1));
+    EXPECT_EQ(dev.sent.size(), 4u);    // window full, waiting for ACKs
+
+    // ACK two segments: two more flow.
+    nic::Packet ack;
+    ack.kind = nic::Packet::Kind::TcpAck;
+    ack.ack = 2 * 1448;
+    ack.bytes = 64;
+    dev.injectRx({ack});
+    EXPECT_EQ(dev.sent.size(), 6u);
+    EXPECT_EQ(snd.ackedBytes(), 2 * 1448u);
+}
+
+TEST_F(NetperfRig, TcpSenderRetransmitsOnStall)
+{
+    TcpStreamSender snd(eq, stack, nic::MacAddr::make(9, 9),
+                        /*window=*/2 * 1448, 1448);
+    snd.start();
+    eq.runUntil(sim::Time::ms(1));
+    std::size_t first_burst = dev.sent.size();
+    // No ACKs arrive: after two RTO periods a go-back-N resend fires.
+    eq.runUntil(TcpStreamSender::kRto * 3);
+    EXPECT_GE(snd.retransmits(), 1u);
+    EXPECT_GT(dev.sent.size(), first_burst);
+}
+
+TEST(Bonding, TransmitUsesActiveSlave)
+{
+    BondingDriver bond("bond0");
+    FakeDevice a("a"), b("b");
+    bond.addSlave(a);
+    bond.addSlave(b);
+    EXPECT_EQ(bond.active(), &a);
+
+    nic::Packet p = udpPkt();
+    bond.transmit(p);
+    EXPECT_EQ(a.sent.size(), 1u);
+    bond.setActive(b);
+    bond.transmit(p);
+    EXPECT_EQ(b.sent.size(), 1u);
+    EXPECT_EQ(bond.failovers(), 1u);
+}
+
+TEST(Bonding, RxFromBackupSlaveIsDiscarded)
+{
+    BondingDriver bond("bond0");
+    FakeDevice a("a"), b("b");
+    bond.addSlave(a);
+    bond.addSlave(b);
+
+    struct Sink : NetRxSink
+    {
+        std::size_t got = 0;
+        void
+        deviceRx(NetDevice &, std::vector<nic::Packet> &&p) override
+        {
+            got += p.size();
+        }
+    } sink;
+    bond.setRxSink(&sink);
+
+    a.injectRx({udpPkt()});
+    EXPECT_EQ(sink.got, 1u);
+    b.injectRx({udpPkt()});    // backup slave: dropped
+    EXPECT_EQ(sink.got, 1u);
+    EXPECT_EQ(bond.inactiveRxDropped(), 1u);
+}
+
+TEST(Bonding, FailoverSkipsDownSlaves)
+{
+    BondingDriver bond("bond0");
+    FakeDevice a("a"), b("b"), c("c");
+    bond.addSlave(a);
+    bond.addSlave(b);
+    bond.addSlave(c);
+    b.up = false;
+    EXPECT_TRUE(bond.failover());
+    EXPECT_EQ(bond.active(), &c);
+}
+
+TEST(Bonding, LosesCarrierWhenAllSlavesDown)
+{
+    BondingDriver bond("bond0");
+    FakeDevice a("a");
+    bond.addSlave(a);
+    a.up = false;
+    EXPECT_FALSE(bond.failover());
+    EXPECT_FALSE(bond.linkUp());
+    nic::Packet p = udpPkt();
+    EXPECT_FALSE(bond.transmit(p));
+    EXPECT_EQ(bond.txDropped(), 1u);
+}
+
+TEST(Bonding, RemoveSlaveFailsOver)
+{
+    BondingDriver bond("bond0");
+    FakeDevice a("a"), b("b");
+    bond.addSlave(a);
+    bond.addSlave(b);
+    bond.removeSlave(a);
+    EXPECT_EQ(bond.active(), &b);
+    EXPECT_EQ(bond.slaveCount(), 1u);
+}
+
+TEST_F(StackRig, TcpChunkingAcksIncrementally)
+{
+    stack.setTcpReceiver([](std::uint64_t, std::size_t) {});
+    // Three chunks' worth of segments in one batch.
+    std::vector<nic::Packet> batch;
+    std::uint64_t seq = 0;
+    for (std::size_t i = 0; i < NetStack::kTcpAckChunk * 3; ++i) {
+        seq += 1448;
+        batch.push_back(tcpPkt(seq));
+    }
+    dev.injectRx(std::move(batch));
+    eq.runAll();
+    // One cumulative ACK per chunk, each strictly increasing.
+    ASSERT_EQ(dev.sent.size(), 3u);
+    EXPECT_EQ(dev.sent[0].ack, NetStack::kTcpAckChunk * 1448u);
+    EXPECT_EQ(dev.sent[1].ack, NetStack::kTcpAckChunk * 2 * 1448u);
+    EXPECT_EQ(dev.sent[2].ack, seq);
+}
+
+TEST_F(StackRig, MixedTrafficInOneBatch)
+{
+    std::size_t udp_pkts = 0, tcp_pkts = 0;
+    stack.setUdpReceiver(
+        [&](std::uint64_t, std::size_t n) { udp_pkts += n; });
+    stack.setTcpReceiver(
+        [&](std::uint64_t, std::size_t n) { tcp_pkts += n; });
+    dev.injectRx({udpPkt(), tcpPkt(1448), udpPkt(), tcpPkt(2896)});
+    eq.runAll();
+    EXPECT_EQ(udp_pkts, 2u);
+    EXPECT_EQ(tcp_pkts, 2u);
+    // The TCP side still ACKed.
+    ASSERT_EQ(dev.sent.size(), 1u);
+    EXPECT_EQ(dev.sent[0].ack, 2896u);
+}
+
+TEST_F(StackRig, RxDuringAppProcessingIsNotLost)
+{
+    std::size_t got = 0;
+    stack.setUdpReceiver([&](std::uint64_t, std::size_t n) { got += n; });
+    dev.injectRx({udpPkt()});
+    // A second batch lands before the app work completes.
+    dev.injectRx({udpPkt(), udpPkt()});
+    eq.runAll();
+    EXPECT_EQ(got, 3u);
+}

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Unit tests for the interrupt subsystem: vector allocation, LAPIC
+ * priority semantics, virtual LAPIC exits, event channels, router.
+ */
+
+#include <gtest/gtest.h>
+
+#include "intr/event_channel.hpp"
+#include "intr/interrupt_router.hpp"
+#include "intr/lapic.hpp"
+#include "intr/vector_allocator.hpp"
+#include "intr/virtual_lapic.hpp"
+
+using namespace sriov::intr;
+using sriov::pci::MsiMessage;
+
+TEST(VectorAllocator, AllocatesAboveExceptions)
+{
+    VectorAllocator va;
+    auto v = va.allocate();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_GE(*v, VectorAllocator::kFirstDynamic);
+    EXPECT_TRUE(va.inUse(*v));
+}
+
+TEST(VectorAllocator, NoSharing)
+{
+    VectorAllocator va;
+    std::set<Vector> seen;
+    for (int i = 0; i < 50; ++i) {
+        auto v = va.allocate();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_TRUE(seen.insert(*v).second) << "vector reused";
+    }
+}
+
+TEST(VectorAllocator, ExhaustionReturnsNullopt)
+{
+    VectorAllocator va;
+    unsigned n = va.freeCount();
+    for (unsigned i = 0; i < n; ++i)
+        ASSERT_TRUE(va.allocate().has_value());
+    EXPECT_FALSE(va.allocate().has_value());
+}
+
+TEST(VectorAllocator, ReleaseRecycles)
+{
+    VectorAllocator va;
+    Vector v = *va.allocate();
+    va.release(v);
+    EXPECT_FALSE(va.inUse(v));
+    EXPECT_EQ(*va.allocate(), v);
+}
+
+TEST(VectorAllocatorDeathTest, DoubleReleasePanics)
+{
+    VectorAllocator va;
+    Vector v = *va.allocate();
+    va.release(v);
+    EXPECT_DEATH(va.release(v), "double release");
+}
+
+TEST(Lapic, DeliversOnAccept)
+{
+    Lapic lapic;
+    std::vector<Vector> got;
+    lapic.setDeliver([&](Vector v) { got.push_back(v); });
+    lapic.accept(0x41);
+    EXPECT_EQ(got, (std::vector<Vector>{0x41}));
+    EXPECT_TRUE(lapic.inService(0x41));
+}
+
+TEST(Lapic, SamePriorityClassWaitsForEoi)
+{
+    Lapic lapic;
+    std::vector<Vector> got;
+    lapic.setDeliver([&](Vector v) { got.push_back(v); });
+    lapic.accept(0x41);
+    lapic.accept(0x42);    // same class 0x4x: stays in IRR
+    EXPECT_EQ(got.size(), 1u);
+    EXPECT_TRUE(lapic.pending(0x42));
+    lapic.eoi();
+    EXPECT_EQ(got, (std::vector<Vector>{0x41, 0x42}));
+}
+
+TEST(Lapic, HigherPriorityClassPreempts)
+{
+    Lapic lapic;
+    std::vector<Vector> got;
+    lapic.setDeliver([&](Vector v) { got.push_back(v); });
+    lapic.accept(0x41);
+    lapic.accept(0x91);    // higher class: nested delivery
+    EXPECT_EQ(got, (std::vector<Vector>{0x41, 0x91}));
+    EXPECT_EQ(*lapic.highestInService(), 0x91);
+    lapic.eoi();    // clears 0x91
+    EXPECT_EQ(*lapic.highestInService(), 0x41);
+    lapic.eoi();
+    EXPECT_FALSE(lapic.highestInService().has_value());
+    EXPECT_EQ(lapic.eois().value(), 2u);
+}
+
+TEST(Lapic, EoiDispatchesHighestPending)
+{
+    Lapic lapic;
+    std::vector<Vector> got;
+    lapic.setDeliver([&](Vector v) { got.push_back(v); });
+    lapic.accept(0x41);
+    lapic.accept(0x45);
+    lapic.accept(0x43);
+    lapic.eoi();
+    // Highest pending in the class first.
+    EXPECT_EQ(got[1], 0x45);
+    lapic.eoi();
+    EXPECT_EQ(got[2], 0x43);
+}
+
+TEST(VirtualLapic, CountsEoiWritesAndExits)
+{
+    VirtualLapic vl;
+    int hook_calls = 0;
+    std::uint16_t last_off = 0;
+    vl.setExitHook([&](const VirtualLapic::ApicAccessExit &e) {
+        ++hook_calls;
+        last_off = e.offset;
+    });
+    vl.inject(0x41);
+    vl.guestEoiWrite();
+    EXPECT_EQ(vl.eoiWrites(), 1u);
+    EXPECT_EQ(vl.apicAccessExits(), 1u);
+    EXPECT_EQ(last_off, Lapic::kRegEoi);
+    vl.guestApicAccess(Lapic::kRegTpr, true);
+    EXPECT_EQ(vl.apicAccessExits(), 2u);
+    EXPECT_EQ(hook_calls, 2);
+    EXPECT_EQ(last_off, Lapic::kRegTpr);
+}
+
+TEST(VirtualLapic, EoiIgnoresValueAndClearsIsr)
+{
+    VirtualLapic vl;
+    vl.inject(0x41);
+    EXPECT_TRUE(vl.chip().inService(0x41));
+    vl.guestEoiWrite();
+    EXPECT_FALSE(vl.chip().inService(0x41));
+}
+
+TEST(EventChannel, SendDeliversWhenUnmasked)
+{
+    EventChannelBank bank;
+    int upcalls = 0;
+    auto p = bank.bind([&](EventChannelBank::Port) { ++upcalls; });
+    bank.send(p);
+    EXPECT_EQ(upcalls, 1);
+    EXPECT_FALSE(bank.pending(p));
+}
+
+TEST(EventChannel, MaskHoldsPendingUntilUnmask)
+{
+    EventChannelBank bank;
+    int upcalls = 0;
+    auto p = bank.bind([&](EventChannelBank::Port) { ++upcalls; });
+    bank.mask(p);
+    bank.send(p);
+    bank.send(p);    // coalesces into one pending bit
+    EXPECT_EQ(upcalls, 0);
+    EXPECT_TRUE(bank.pending(p));
+    bank.unmask(p);
+    EXPECT_EQ(upcalls, 1);
+    EXPECT_EQ(bank.sends().value(), 2u);
+    EXPECT_EQ(bank.upcalls().value(), 1u);
+}
+
+TEST(EventChannel, PortsAreIndependent)
+{
+    EventChannelBank bank;
+    int a = 0, b = 0;
+    auto pa = bank.bind([&](EventChannelBank::Port) { ++a; });
+    auto pb = bank.bind([&](EventChannelBank::Port) { ++b; });
+    bank.mask(pa);
+    bank.send(pa);
+    bank.send(pb);
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+}
+
+TEST(EventChannel, UnbindFreesPort)
+{
+    EventChannelBank bank;
+    auto p = bank.bind([](EventChannelBank::Port) {});
+    bank.unbind(p);
+    auto p2 = bank.bind([](EventChannelBank::Port) {});
+    EXPECT_EQ(p, p2);    // recycled
+}
+
+TEST(EventChannelDeathTest, SendOnUnboundPanics)
+{
+    EventChannelBank bank;
+    auto p = bank.bind([](EventChannelBank::Port) {});
+    bank.unbind(p);
+    EXPECT_DEATH(bank.send(p), "unbound");
+}
+
+TEST(InterruptRouter, RoutesMsiByVector)
+{
+    InterruptRouter router;
+    std::vector<std::pair<Vector, sriov::pci::Rid>> got;
+    Vector v = router.allocateAndBind(
+        [&](Vector vec, sriov::pci::Rid rid) { got.push_back({vec, rid}); });
+
+    router.deliverMsi(0x123, MsiMessage::forVector(0, v));
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0].first, v);
+    EXPECT_EQ(got[0].second, 0x123);
+    EXPECT_EQ(router.delivered(), 1u);
+}
+
+TEST(InterruptRouter, SpuriousVectorCounted)
+{
+    InterruptRouter router;
+    router.deliverMsi(0x1, MsiMessage::forVector(0, 0x99));
+    EXPECT_EQ(router.spurious(), 1u);
+}
+
+TEST(InterruptRouter, AttachedFunctionSignalsThroughRouter)
+{
+    InterruptRouter router;
+    sriov::pci::PciFunction fn(sriov::pci::Bdf{1, 0, 0}, 0x8086, 0x10ca,
+                               0x020000,
+                               sriov::pci::PciFunction::Kind::Virtual);
+    fn.addMsix(1, 0);
+    router.attachFunction(fn);
+    int hits = 0;
+    Vector v = router.allocateAndBind(
+        [&](Vector, sriov::pci::Rid) { ++hits; });
+    fn.msix()->programEntry(0, MsiMessage::forVector(0, v));
+    fn.msix()->maskEntry(0, false);
+    fn.msix()->setEnable(true);
+    fn.signalMsix(0);
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InterruptRouter, UnbindStopsDelivery)
+{
+    InterruptRouter router;
+    int hits = 0;
+    Vector v = router.allocateAndBind(
+        [&](Vector, sriov::pci::Rid) { ++hits; });
+    router.unbindVector(v);
+    router.deliverMsi(0, MsiMessage::forVector(0, v));
+    EXPECT_EQ(hits, 0);
+    EXPECT_EQ(router.spurious(), 1u);
+}

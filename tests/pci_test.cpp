@@ -1,0 +1,445 @@
+/**
+ * @file
+ * Unit tests for the PCIe subsystem: config space, capability chains,
+ * MSI/MSI-X, the SR-IOV extended capability, ACS routing, buses,
+ * root complex and hot-plug.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pci/acs_cap.hpp"
+#include "pci/bus.hpp"
+#include "pci/capability.hpp"
+#include "pci/config_space.hpp"
+#include "pci/device.hpp"
+#include "pci/function.hpp"
+#include "pci/hotplug_slot.hpp"
+#include "pci/msi_cap.hpp"
+#include "pci/pci_switch.hpp"
+#include "pci/root_complex.hpp"
+#include "pci/sriov_cap.hpp"
+
+using namespace sriov::pci;
+
+TEST(Bdf, RidEncodingRoundTrips)
+{
+    Bdf b{0x12, 0x0a, 0x3};
+    EXPECT_EQ(b.rid(), 0x1253);
+    EXPECT_EQ(Bdf::fromRid(b.rid()), b);
+    EXPECT_EQ(b.toString(), "12:0a.3");
+}
+
+TEST(ConfigSpace, TypedAccess)
+{
+    ConfigSpace cs;
+    cs.setRaw32(0x10, 0xdeadbeef);
+    EXPECT_EQ(cs.raw8(0x10), 0xef);
+    EXPECT_EQ(cs.raw16(0x12), 0xdead);
+    EXPECT_EQ(cs.raw32(0x10), 0xdeadbeefu);
+}
+
+TEST(ConfigSpace, WritesRespectWriteMask)
+{
+    ConfigSpace cs;
+    cs.setRaw32(0x10, 0x11111111);
+    cs.write(0x10, 0x22222222, 4);    // read-only by default
+    EXPECT_EQ(cs.raw32(0x10), 0x11111111u);
+    cs.allowWrite(0x10, 2);
+    cs.write(0x10, 0x33333333, 4);    // only low 2 bytes writable
+    EXPECT_EQ(cs.raw32(0x10), 0x11113333u);
+}
+
+TEST(ConfigSpace, WriteHooksFireOnOverlap)
+{
+    ConfigSpace cs;
+    cs.allowWrite(0x40, 8);
+    int hits = 0;
+    cs.onWrite(0x42, 2, [&](std::uint16_t) { ++hits; });
+    cs.write(0x40, 0, 2);    // below: no overlap
+    EXPECT_EQ(hits, 0);
+    cs.write(0x42, 0, 1);
+    EXPECT_EQ(hits, 1);
+    cs.write(0x40, 0, 4);    // spans 0x40..0x43: overlaps
+    EXPECT_EQ(hits, 2);
+    cs.write(0x44, 0, 4);    // above: no overlap
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(Capability, ClassicChainIsWalkable)
+{
+    ConfigSpace cs;
+    CapabilityAllocator alloc(cs);
+    std::uint16_t a = alloc.addClassic(0x05, 0x18);
+    std::uint16_t b = alloc.addClassic(0x11, 0x0c);
+    EXPECT_TRUE(cs.raw16(cfg::kStatus) & cfg::kStatusCapList);
+    EXPECT_EQ(findClassicCap(cs, 0x05), a);
+    EXPECT_EQ(findClassicCap(cs, 0x11), b);
+    EXPECT_EQ(findClassicCap(cs, 0x01), 0);
+}
+
+TEST(Capability, ExtendedChainIsWalkable)
+{
+    ConfigSpace cs;
+    CapabilityAllocator alloc(cs);
+    std::uint16_t a = alloc.addExtended(capid::kExtSriov, 1, 0x40);
+    std::uint16_t b = alloc.addExtended(capid::kExtAcs, 1, 8);
+    EXPECT_EQ(a, 0x100);
+    EXPECT_EQ(findExtendedCap(cs, capid::kExtSriov), a);
+    EXPECT_EQ(findExtendedCap(cs, capid::kExtAcs), b);
+    EXPECT_EQ(findExtendedCap(cs, 0x001), 0);
+}
+
+class MsiCapTest : public ::testing::Test
+{
+  protected:
+    MsiCapTest() : alloc(cs), msi(cs, alloc) {}
+
+    ConfigSpace cs;
+    CapabilityAllocator alloc;
+    MsiCapability msi;
+};
+
+TEST_F(MsiCapTest, ProgramAndReadBack)
+{
+    auto msg = MsiMessage::forVector(3, 0x51);
+    msi.program(msg);
+    EXPECT_EQ(msi.message().address, msg.address);
+    EXPECT_EQ(msi.message().vector(), 0x51);
+    EXPECT_EQ(msi.message().destApic(), 3);
+}
+
+TEST_F(MsiCapTest, EnableAndMaskBits)
+{
+    EXPECT_FALSE(msi.enabled());
+    msi.setEnable(true);
+    EXPECT_TRUE(msi.enabled());
+    EXPECT_FALSE(msi.masked());
+    msi.setMask(true);
+    EXPECT_TRUE(msi.masked());
+}
+
+TEST_F(MsiCapTest, MaskWriteHookObservesTransitions)
+{
+    std::vector<bool> seen;
+    msi.onMaskWrite([&](bool m) { seen.push_back(m); });
+    msi.setMask(true);
+    msi.setMask(false);
+    EXPECT_EQ(seen, (std::vector<bool>{true, false}));
+}
+
+TEST(MsixCap, EntriesComeUpMasked)
+{
+    ConfigSpace cs;
+    CapabilityAllocator alloc(cs);
+    MsixCapability mx(cs, alloc, 3, 3);
+    EXPECT_EQ(mx.tableSize(), 3u);
+    mx.setEnable(true);
+    EXPECT_FALSE(mx.deliverable(0));
+    mx.maskEntry(0, false);
+    EXPECT_TRUE(mx.deliverable(0));
+    EXPECT_FALSE(mx.deliverable(1));
+}
+
+TEST(MsixCap, MaskHookFiresOnTransitionOnly)
+{
+    ConfigSpace cs;
+    CapabilityAllocator alloc(cs);
+    MsixCapability mx(cs, alloc, 2, 3);
+    int hits = 0;
+    mx.onMaskWrite([&](unsigned, bool) { ++hits; });
+    mx.maskEntry(0, true);    // already masked: no transition
+    EXPECT_EQ(hits, 0);
+    mx.maskEntry(0, false);
+    mx.maskEntry(0, false);
+    EXPECT_EQ(hits, 1);
+}
+
+class SriovCapParam
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(SriovCapParam, VfRidFollowsOffsetAndStride)
+{
+    auto [offset, stride, index] = GetParam();
+    ConfigSpace cs;
+    CapabilityAllocator alloc(cs);
+    SriovCapability::Params p;
+    p.first_vf_offset = std::uint16_t(offset);
+    p.vf_stride = std::uint16_t(stride);
+    SriovCapability cap(cs, alloc, p);
+    Rid pf_rid = Bdf{1, 0, 0}.rid();
+    EXPECT_EQ(cap.vfRid(pf_rid, unsigned(index)),
+              Rid(pf_rid + offset + stride * index));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OffsetsStrides, SriovCapParam,
+    ::testing::Combine(::testing::Values(0x80, 0x10, 0x100),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(0, 1, 6)));
+
+TEST(SriovCap, EnableHookFiresOnTransition)
+{
+    ConfigSpace cs;
+    CapabilityAllocator alloc(cs);
+    SriovCapability cap(cs, alloc, SriovCapability::Params{});
+    int enables = 0, disables = 0;
+    std::uint16_t last_n = 0;
+    cap.onVfEnable([&](bool en, std::uint16_t n) {
+        (en ? enables : disables)++;
+        last_n = n;
+    });
+    cap.setNumVfs(5);
+    EXPECT_EQ(enables, 0);
+    cap.setVfEnable(true);
+    EXPECT_EQ(enables, 1);
+    EXPECT_EQ(last_n, 5);
+    cap.setVfEnable(true);    // no transition
+    EXPECT_EQ(enables, 1);
+    cap.setVfEnable(false);
+    EXPECT_EQ(disables, 1);
+    EXPECT_TRUE(cap.vfMemoryEnabled() == false);
+}
+
+TEST(SriovCapDeathTest, NumVfsAboveTotalIsFatal)
+{
+    ConfigSpace cs;
+    CapabilityAllocator alloc(cs);
+    SriovCapability cap(cs, alloc, SriovCapability::Params{});
+    EXPECT_DEATH(cap.setNumVfs(cap.totalVfs() + 1), "TotalVFs");
+}
+
+TEST(AcsCap, ControlBits)
+{
+    ConfigSpace cs;
+    CapabilityAllocator alloc(cs);
+    AcsCapability acs(cs, alloc);
+    EXPECT_FALSE(acs.requestRedirect());
+    acs.setControl(AcsCapability::kRequestRedirect
+                   | AcsCapability::kUpstreamForwarding);
+    EXPECT_TRUE(acs.requestRedirect());
+    EXPECT_TRUE(acs.upstreamForwarding());
+    EXPECT_FALSE(acs.sourceValidation());
+}
+
+TEST(PciFunction, VfDoesNotAnswerScans)
+{
+    PciFunction pf(Bdf{1, 0, 0}, 0x8086, 0x10c9, 0x020000,
+                   PciFunction::Kind::Physical);
+    PciFunction vf(Bdf{1, 16, 0}, 0x8086, 0x10ca, 0x020000,
+                   PciFunction::Kind::Virtual);
+    EXPECT_TRUE(pf.respondsToScan());
+    EXPECT_FALSE(vf.respondsToScan());
+    EXPECT_TRUE(vf.isVf());
+}
+
+TEST(PciFunction, MsiPendingWhileMaskedDeliversNothing)
+{
+    PciFunction fn(Bdf{1, 0, 0}, 0x8086, 0x10c9, 0x020000,
+                   PciFunction::Kind::Physical);
+    fn.addMsi();
+    int delivered = 0;
+    fn.setMsiSink([&](Rid, const MsiMessage &) { ++delivered; });
+    fn.msi()->setEnable(true);
+    fn.msi()->setMask(true);
+    EXPECT_FALSE(fn.signalMsi());
+    EXPECT_TRUE(fn.msi()->pending());
+    EXPECT_EQ(delivered, 0);
+    fn.msi()->setMask(false);
+    EXPECT_TRUE(fn.signalMsi());
+    EXPECT_EQ(delivered, 1);
+}
+
+TEST(PciFunction, MsixDelivery)
+{
+    PciFunction fn(Bdf{1, 0, 0}, 0x8086, 0x10ca, 0x020000,
+                   PciFunction::Kind::Virtual);
+    fn.addMsix(3, 3);
+    std::vector<std::uint8_t> vecs;
+    fn.setMsiSink([&](Rid, const MsiMessage &m) {
+        vecs.push_back(m.vector());
+    });
+    fn.msix()->programEntry(0, MsiMessage::forVector(0, 0x41));
+    fn.msix()->setEnable(true);
+    EXPECT_FALSE(fn.signalMsix(0));    // masked at reset
+    fn.msix()->maskEntry(0, false);
+    EXPECT_TRUE(fn.signalMsix(0));
+    EXPECT_EQ(vecs, (std::vector<std::uint8_t>{0x41}));
+}
+
+TEST(PciBus, ScanFindsPfsNotVfs)
+{
+    PciBus bus(1);
+    PciFunction pf(Bdf{1, 0, 0}, 0x8086, 0x10c9, 0x020000,
+                   PciFunction::Kind::Physical);
+    PciFunction vf(Bdf{1, 16, 0}, 0x8086, 0x10ca, 0x020000,
+                   PciFunction::Kind::Virtual);
+    bus.attach(pf);
+    bus.attach(vf);
+    auto found = bus.scan();
+    ASSERT_EQ(found.size(), 1u);
+    EXPECT_EQ(found[0], &pf);
+    // But the platform sees both.
+    EXPECT_EQ(bus.allFunctions().size(), 2u);
+    // A probe at the VF's vendor-ID register reads all-ones.
+    EXPECT_EQ(bus.configRead(vf.bdf(), cfg::kVendorId, 2), cfg::kNoDevice);
+    // Non-probe registers answer (the IOVM knows the VF exists).
+    EXPECT_EQ(bus.configRead(vf.bdf(), cfg::kDeviceId, 2), 0x10cau);
+}
+
+TEST(PciBus, ConfigReadOfEmptySlot)
+{
+    PciBus bus(0);
+    EXPECT_EQ(bus.configRead(Bdf{0, 3, 0}, cfg::kVendorId, 2),
+              cfg::kNoDevice);
+}
+
+TEST(PciBus, ByRidAndDetach)
+{
+    PciBus bus(2);
+    PciFunction fn(Bdf{2, 4, 1}, 0x8086, 0x10c9, 0x020000,
+                   PciFunction::Kind::Physical);
+    bus.attach(fn);
+    EXPECT_EQ(bus.byRid(fn.rid()), &fn);
+    bus.detach(fn);
+    EXPECT_EQ(bus.byRid(fn.rid()), nullptr);
+}
+
+TEST(RootComplex, BarAssignmentAndMmioRouting)
+{
+    RootComplex rc;
+    PciFunction fn(Bdf{0, 1, 0}, 0x8086, 0x10c9, 0x020000,
+                   PciFunction::Kind::Physical);
+    fn.declareBar(0, 128 * 1024);
+    rc.plug(fn);
+    EXPECT_GE(fn.bar(0).base, RootComplex::kMmioBase);
+    auto t = rc.resolveMmio(fn.bar(0).base + 0x20);
+    EXPECT_EQ(t.fn, &fn);
+    EXPECT_EQ(t.offset, 0x20u);
+    rc.unplug(fn);
+    EXPECT_EQ(rc.resolveMmio(fn.bar(0).base + 0x20).fn, nullptr);
+}
+
+TEST(RootComplex, BarsDoNotOverlap)
+{
+    RootComplex rc;
+    PciFunction a(Bdf{0, 1, 0}, 0x8086, 1, 0, PciFunction::Kind::Physical);
+    PciFunction b(Bdf{0, 2, 0}, 0x8086, 2, 0, PciFunction::Kind::Physical);
+    a.declareBar(0, 16 * 1024);
+    b.declareBar(0, 16 * 1024);
+    rc.plug(a);
+    rc.plug(b);
+    bool disjoint = a.bar(0).base + a.bar(0).size <= b.bar(0).base
+        || b.bar(0).base + b.bar(0).size <= a.bar(0).base;
+    EXPECT_TRUE(disjoint);
+}
+
+TEST(PciSwitch, AcsRedirectControlsRouting)
+{
+    PciSwitch sw(2);
+    PciFunction a(Bdf{5, 0, 0}, 0x8086, 1, 0, PciFunction::Kind::Virtual);
+    PciFunction b(Bdf{6, 0, 0}, 0x8086, 2, 0, PciFunction::Kind::Virtual);
+    sw.port(0).attach(&a);
+    sw.port(1).attach(&b);
+
+    EXPECT_EQ(sw.accessPeer(a.rid(), b.rid()),
+              PciSwitch::Route::DirectP2P);
+    sw.setRedirectAll(true);
+    EXPECT_EQ(sw.accessPeer(a.rid(), b.rid()),
+              PciSwitch::Route::RedirectedUpstream);
+    sw.setRedirectAll(false);
+    EXPECT_EQ(sw.accessPeer(a.rid(), b.rid()),
+              PciSwitch::Route::DirectP2P);
+}
+
+TEST(PciSwitch, UnknownRidIsBlocked)
+{
+    PciSwitch sw(2);
+    EXPECT_EQ(sw.accessPeer(0x500, 0x600), PciSwitch::Route::Blocked);
+}
+
+TEST(PciSwitch, RedirectIsPerSourcePort)
+{
+    PciSwitch sw(2);
+    PciFunction a(Bdf{5, 0, 0}, 0x8086, 1, 0, PciFunction::Kind::Virtual);
+    PciFunction b(Bdf{6, 0, 0}, 0x8086, 2, 0, PciFunction::Kind::Virtual);
+    sw.port(0).attach(&a);
+    sw.port(1).attach(&b);
+    sw.port(0).acs().setControl(AcsCapability::kRequestRedirect);
+    EXPECT_EQ(sw.accessPeer(a.rid(), b.rid()),
+              PciSwitch::Route::RedirectedUpstream);
+    EXPECT_EQ(sw.accessPeer(b.rid(), a.rid()),
+              PciSwitch::Route::DirectP2P);
+}
+
+TEST(HotplugSlot, InsertNotifiesListener)
+{
+    struct Listener : HotplugListener
+    {
+        int adds = 0;
+        int removes = 0;
+        HotplugSlot *slot = nullptr;
+
+        void hotAdded(PciFunction &) override { ++adds; }
+        void removeRequested(PciFunction &) override
+        {
+            ++removes;
+            slot->eject();    // immediate compliance
+        }
+    } listener;
+
+    HotplugSlot slot("s0");
+    listener.slot = &slot;
+    slot.setListener(&listener);
+    PciFunction fn(Bdf{1, 0, 0}, 0x8086, 1, 0, PciFunction::Kind::Virtual);
+    slot.insert(fn);
+    EXPECT_EQ(listener.adds, 1);
+    EXPECT_TRUE(slot.occupied());
+
+    bool ejected = false;
+    slot.requestRemoval([&]() { ejected = true; });
+    EXPECT_EQ(listener.removes, 1);
+    EXPECT_TRUE(ejected);
+    EXPECT_FALSE(slot.occupied());
+}
+
+TEST(HotplugSlot, DeferredEject)
+{
+    HotplugSlot slot("s0");
+    PciFunction fn(Bdf{1, 0, 0}, 0x8086, 1, 0, PciFunction::Kind::Virtual);
+
+    struct Listener : HotplugListener
+    {
+        void hotAdded(PciFunction &) override {}
+        void removeRequested(PciFunction &) override {}    // defers
+    } listener;
+    slot.setListener(&listener);
+    slot.insert(fn);
+    bool ejected = false;
+    slot.requestRemoval([&]() { ejected = true; });
+    EXPECT_TRUE(slot.removalPending());
+    EXPECT_FALSE(ejected);
+    slot.eject();
+    EXPECT_TRUE(ejected);
+}
+
+TEST(HotplugSlotDeathTest, DoubleInsertPanics)
+{
+    HotplugSlot slot("s0");
+    PciFunction fn(Bdf{1, 0, 0}, 0x8086, 1, 0, PciFunction::Kind::Virtual);
+    slot.insert(fn);
+    EXPECT_DEATH(slot.insert(fn), "occupied");
+}
+
+TEST(PciDevice, FindByRid)
+{
+    PciDevice dev;
+    auto &fn = dev.addFunction(std::make_unique<PciFunction>(
+        Bdf{1, 0, 0}, 0x8086, 0x10c9, 0x020000,
+        PciFunction::Kind::Physical));
+    EXPECT_EQ(dev.findByRid(fn.rid()), &fn);
+    EXPECT_EQ(dev.findByRid(0xffff), nullptr);
+    dev.removeFunction(fn);
+    EXPECT_EQ(dev.functionCount(), 0u);
+}

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Unit tests for the simulation kernel: Time, EventQueue, CpuServer,
+ * stats helpers and the deterministic RNG.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/cpu_server.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/stats.hpp"
+#include "sim/time.hpp"
+
+using namespace sriov::sim;
+
+TEST(Time, UnitConstructorsAgree)
+{
+    EXPECT_EQ(Time::ns(1).picos(), 1000);
+    EXPECT_EQ(Time::us(1), Time::ns(1000));
+    EXPECT_EQ(Time::ms(1), Time::us(1000));
+    EXPECT_EQ(Time::sec(1), Time::ms(1000));
+    EXPECT_DOUBLE_EQ(Time::sec(2).toSeconds(), 2.0);
+}
+
+TEST(Time, CycleArithmeticAt2p8GHz)
+{
+    constexpr double hz = 2.8e9;
+    Time t = Time::cycles(2.8e9, hz);
+    EXPECT_EQ(t, Time::sec(1));
+    EXPECT_NEAR(Time::sec(1).toCycles(hz), 2.8e9, 1);
+    // One cycle is 357.14 ps; integer picoseconds keep it exact enough
+    // that a million cycles round-trips to under a nanosecond of skew.
+    Time million = Time::cycles(1e6, hz);
+    EXPECT_NEAR(million.toCycles(hz), 1e6, 0.01);
+}
+
+TEST(Time, TransferMatchesLineRate)
+{
+    // 1538 bytes at 1 Gb/s = 12.304 us.
+    Time t = Time::transfer(1538 * 8, 1e9);
+    EXPECT_EQ(t, Time::ns(12304));
+}
+
+TEST(Time, ComparisonAndArithmetic)
+{
+    EXPECT_LT(Time::ns(5), Time::us(1));
+    EXPECT_EQ(Time::us(3) - Time::us(1), Time::us(2));
+    EXPECT_EQ(Time::us(1) * 4, Time::us(4));
+    EXPECT_EQ(Time::us(4) / 2, Time::us(2));
+}
+
+TEST(Time, ToStringPicksUnits)
+{
+    EXPECT_EQ(Time::sec(2).toString(), "2s");
+    EXPECT_EQ(Time::ms(3).toString(), "3ms");
+    EXPECT_EQ(Time::us(7).toString(), "7us");
+    EXPECT_EQ(Time::ns(9).toString(), "9ns");
+}
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.scheduleAt(Time::us(3), [&]() { order.push_back(3); });
+    eq.scheduleAt(Time::us(1), [&]() { order.push_back(1); });
+    eq.scheduleAt(Time::us(2), [&]() { order.push_back(2); });
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), Time::us(3));
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleAt(Time::us(1), [&, i]() { order.push_back(i); });
+    eq.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[std::size_t(i)], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline)
+{
+    EventQueue eq;
+    int ran = 0;
+    eq.scheduleAt(Time::us(1), [&]() { ++ran; });
+    eq.scheduleAt(Time::us(10), [&]() { ++ran; });
+    EXPECT_EQ(eq.runUntil(Time::us(5)), 1u);
+    EXPECT_EQ(ran, 1);
+    EXPECT_EQ(eq.now(), Time::us(5));
+    eq.runAll();
+    EXPECT_EQ(ran, 2);
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue eq;
+    int depth = 0;
+    std::function<void()> chain = [&]() {
+        if (++depth < 5)
+            eq.scheduleIn(Time::us(1), chain);
+    };
+    eq.scheduleIn(Time::us(1), chain);
+    eq.runAll();
+    EXPECT_EQ(depth, 5);
+    EXPECT_EQ(eq.now(), Time::us(5));
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue eq;
+    bool ran = false;
+    EventHandle h = eq.scheduleAt(Time::us(1), [&]() { ran = true; });
+    eq.cancel(h);
+    EXPECT_FALSE(h.valid());
+    eq.runAll();
+    EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelIsSelective)
+{
+    EventQueue eq;
+    int ran = 0;
+    EventHandle h1 = eq.scheduleAt(Time::us(1), [&]() { ran += 1; });
+    eq.scheduleAt(Time::us(1), [&]() { ran += 10; });
+    eq.cancel(h1);
+    eq.runAll();
+    EXPECT_EQ(ran, 10);
+}
+
+TEST(EventQueueDeathTest, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.scheduleAt(Time::us(5), []() {});
+    eq.runAll();
+    EXPECT_DEATH(eq.scheduleAt(Time::us(1), []() {}), "past");
+}
+
+TEST(CpuServer, SerializesWork)
+{
+    EventQueue eq;
+    CpuServer cpu(eq, "c0", 1e9);    // 1 GHz: 1 cycle = 1 ns
+    std::vector<int> order;
+    cpu.submit(1000, "a", [&]() { order.push_back(1); });
+    cpu.submit(1000, "a", [&]() { order.push_back(2); });
+    EXPECT_TRUE(cpu.busyNow());
+    EXPECT_EQ(cpu.queueDepth(), 1u);
+    eq.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+    // Two back-to-back 1000-cycle items finish at 2 us.
+    EXPECT_EQ(eq.now(), Time::us(2));
+}
+
+TEST(CpuServer, UtilizationWindow)
+{
+    EventQueue eq;
+    CpuServer cpu(eq, "c0", 1e9);
+    auto snap = cpu.snapshot();
+    cpu.submit(500000, "x");    // 0.5 ms busy
+    eq.runUntil(Time::ms(1));
+    EXPECT_NEAR(cpu.utilizationSince(snap), 0.5, 1e-9);
+}
+
+TEST(CpuServer, TagAccounting)
+{
+    EventQueue eq;
+    CpuServer cpu(eq, "c0", 1e9);
+    auto snap = cpu.snapshot();
+    cpu.submit(100, "alpha");
+    cpu.charge(250, "beta");
+    cpu.charge(50, "alpha");
+    eq.runAll();
+    EXPECT_DOUBLE_EQ(cpu.cyclesSince(snap, "alpha"), 150.0);
+    EXPECT_DOUBLE_EQ(cpu.cyclesSince(snap, "beta"), 250.0);
+    EXPECT_DOUBLE_EQ(cpu.cyclesSince(snap, "gamma"), 0.0);
+}
+
+TEST(CpuServer, ChargeDoesNotDelayCompletion)
+{
+    EventQueue eq;
+    CpuServer cpu(eq, "c0", 1e9);
+    cpu.charge(1e9, "heavy");    // instant accounting
+    bool done = false;
+    cpu.submit(10, "x", [&]() { done = true; });
+    eq.runUntil(Time::us(1));
+    EXPECT_TRUE(done);
+    // Busy time reflects both, though.
+    EXPECT_EQ(cpu.busyTime(), Time::sec(1) + Time::ns(10));
+}
+
+TEST(CpuServerDeathTest, NegativeWorkPanics)
+{
+    EventQueue eq;
+    CpuServer cpu(eq, "c0", 1e9);
+    EXPECT_DEATH(cpu.submit(-1, "x"), "negative");
+    EXPECT_DEATH(cpu.charge(-1, "x"), "negative");
+}
+
+TEST(Stats, RateWindow)
+{
+    EventQueue eq;
+    RateWindow w;
+    w.take(eq.now());
+    w.add(1000);
+    eq.runUntil(Time::sec(2));
+    EXPECT_DOUBLE_EQ(w.take(eq.now()), 500.0);
+    // Window re-marks: nothing new means zero.
+    eq.runUntil(Time::sec(3));
+    EXPECT_DOUBLE_EQ(w.take(eq.now()), 0.0);
+}
+
+TEST(Stats, AccumulatorMean)
+{
+    Accumulator a;
+    a.add(2);
+    a.add(4);
+    EXPECT_DOUBLE_EQ(a.mean(), 3.0);
+    EXPECT_EQ(a.samples(), 2u);
+}
+
+TEST(Random, Deterministic)
+{
+    Random a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    EXPECT_NE(a.next(), b.next());
+}
+
+class RandomDistribution : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(RandomDistribution, UniformInUnitInterval)
+{
+    Random r(GetParam());
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST_P(RandomDistribution, ExponentialMean)
+{
+    Random r(GetParam());
+    double sum = 0;
+    for (int i = 0; i < 20000; ++i)
+        sum += r.exponential(3.0);
+    EXPECT_NEAR(sum / 20000, 3.0, 0.15);
+}
+
+TEST_P(RandomDistribution, UniformIntInRange)
+{
+    Random r(GetParam());
+    for (int i = 0; i < 1000; ++i) {
+        auto v = r.uniformInt(5, 9);
+        ASSERT_GE(v, 5u);
+        ASSERT_LE(v, 9u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomDistribution,
+                         ::testing::Values(1, 7, 42, 1234567, 0xdeadbeef));

@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Unit tests for the Testbed harness itself (topology construction,
+ * guest wiring variants, measurement plumbing) and for the sim::Tracer
+ * diagnostics that thread through it.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dnis.hpp"
+#include "core/testbed.hpp"
+#include "vmm/hotplug_controller.hpp"
+#include "sim/log.hpp"
+#include "sim/trace.hpp"
+
+using namespace sriov;
+using namespace sriov::core;
+
+namespace {
+
+struct QuietLogs
+{
+    QuietLogs() { sim::setLogLevel(sim::LogLevel::Quiet); }
+};
+QuietLogs quiet_logs;
+
+} // namespace
+
+TEST(TestbedTopology, BuildsPaperConfiguration)
+{
+    Testbed::Params p;
+    p.num_ports = 10;
+    Testbed tb(p);
+    EXPECT_EQ(tb.portCount(), 10u);
+    for (unsigned i = 0; i < 10; ++i) {
+        EXPECT_EQ(tb.port(i).numVfs(), 7u);           // Fig. 11
+        EXPECT_TRUE(tb.port(i).sriovCap().vfEnabled());
+    }
+    // dom0: 8 VCPUs pinned per Section 6.1.
+    EXPECT_EQ(tb.server().dom0().vcpuCount(), 8u);
+    // The IOVM hot-added every VF into the host view.
+    EXPECT_EQ(tb.iovm().hostVisibleVfs().size(), 70u);
+}
+
+TEST(TestbedTopology, VfAllocationFollowsFig11)
+{
+    Testbed::Params p;
+    p.num_ports = 10;
+    Testbed tb(p);
+    // Guest i lands on port i%10 taking that port's next VF.
+    for (unsigned i = 0; i < 25; ++i)
+        tb.addGuest(vmm::DomainType::Hvm, Testbed::NetMode::Sriov);
+    EXPECT_EQ(tb.guest(0).port, 0u);
+    EXPECT_EQ(tb.guest(9).port, 9u);
+    EXPECT_EQ(tb.guest(10).port, 0u);
+    // Port 0 now serves guests 0, 10, 20 => VFs 0,1,2 in use.
+    EXPECT_EQ(tb.guest(20).vf->pool(), tb.port(0).vfPool(2));
+}
+
+TEST(TestbedTopology, GuestMacsAreUnique)
+{
+    Testbed::Params p;
+    p.num_ports = 2;
+    Testbed tb(p);
+    auto &a = tb.addGuest(vmm::DomainType::Hvm, Testbed::NetMode::Sriov);
+    auto &b = tb.addGuest(vmm::DomainType::Hvm, Testbed::NetMode::Sriov);
+    EXPECT_NE(a.mac.value, b.mac.value);
+}
+
+TEST(TestbedTopology, PvGuestGetsNetfrontAndBridge)
+{
+    Testbed::Params p;
+    p.num_ports = 1;
+    Testbed tb(p);
+    auto &g = tb.addGuest(vmm::DomainType::Hvm, Testbed::NetMode::Pv);
+    ASSERT_NE(g.pv, nullptr);
+    EXPECT_EQ(g.vf, nullptr);
+    EXPECT_TRUE(g.pv->linkUp());
+    EXPECT_TRUE(tb.netback(0).connected(*g.pv));
+}
+
+TEST(TestbedTopology, BondedGuestHasThreeDevices)
+{
+    Testbed::Params p;
+    p.num_ports = 1;
+    Testbed tb(p);
+    auto &g = tb.addGuest(vmm::DomainType::Hvm, Testbed::NetMode::Sriov,
+                          guest::KernelVersion::v2_6_28,
+                          /*bond_vf_with_pv=*/true);
+    ASSERT_NE(g.vf, nullptr);
+    ASSERT_NE(g.pv, nullptr);
+    ASSERT_NE(g.bond, nullptr);
+    EXPECT_EQ(g.netdev, g.bond.get());
+    EXPECT_EQ(g.bond->slaveCount(), 2u);
+    // Both slaves share the bond MAC (fail_over_mac=none).
+    EXPECT_EQ(g.vf->mac().value, g.pv->mac().value);
+}
+
+TEST(TestbedMeasurement, BreakdownSumsToTotal)
+{
+    Testbed::Params p;
+    p.num_ports = 1;
+    p.opts = OptimizationSet::all();
+    Testbed tb(p);
+    auto &g = tb.addGuest(vmm::DomainType::Hvm, Testbed::NetMode::Sriov);
+    tb.startUdpToGuest(g, 1e9);
+    auto m = tb.measure(sim::Time::sec(1), sim::Time::sec(2));
+    double sum = 0;
+    for (const auto &[tag, pct] : m.cpu_by_tag)
+        sum += pct;
+    EXPECT_NEAR(sum, m.total_pct, 1e-6);
+    EXPECT_NEAR(m.dom0_pct + m.xen_pct + m.guests_pct, m.total_pct, 0.5);
+    ASSERT_EQ(m.per_guest_bps.size(), 1u);
+    EXPECT_NEAR(m.per_guest_bps[0], m.total_goodput_bps, 1.0);
+}
+
+TEST(TestbedMeasurement, Dom0NetIsCreatedOnce)
+{
+    Testbed::Params p;
+    p.num_ports = 1;
+    Testbed tb(p);
+    auto &a = tb.dom0Net(0);
+    auto &b = tb.dom0Net(0);
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Tracer, CategoriesFilterRecords)
+{
+    sim::Tracer t;
+    t.record(sim::TraceCat::Nic, "dropped");    // disabled: ignored
+    EXPECT_EQ(t.size(), 0u);
+    t.enable(sim::TraceCat::Nic);
+    t.record(sim::TraceCat::Nic, "dropped");
+    t.record(sim::TraceCat::Irq, "raise");      // still disabled
+    EXPECT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.ofCategory(sim::TraceCat::Nic).size(), 1u);
+    EXPECT_NE(t.toString().find("nic: dropped"), std::string::npos);
+}
+
+TEST(Tracer, RingBufferBoundsMemory)
+{
+    sim::Tracer t(/*capacity=*/4);
+    t.enable(sim::TraceCat::Irq);
+    for (int i = 0; i < 10; ++i)
+        t.recordf(sim::TraceCat::Irq, "event %d", i);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.totalRecorded(), 10u);
+    EXPECT_EQ(t.droppedRecords(), 6u);
+    // Oldest survivors are 6..9.
+    EXPECT_EQ(t.records().front().text, "event 6");
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(Tracer, TimestampsComeFromTheClock)
+{
+    sim::Tracer t;
+    sim::Time now = sim::Time::us(42);
+    t.setClock(&now);
+    t.enable(sim::TraceCat::Driver);
+    t.record(sim::TraceCat::Driver, "x");
+    EXPECT_EQ(t.records().front().when, sim::Time::us(42));
+    t.setClock(nullptr);
+}
+
+TEST(Tracer, GlobalTracerCapturesNicDrops)
+{
+    auto &gt = sim::Tracer::global();
+    gt.clear();
+    gt.enable(sim::TraceCat::Nic);
+
+    sim::EventQueue eq;
+    nic::SriovNic nic(eq, "tr0", pci::Bdf{1, 0, 0});
+    nic.sriovCap().setNumVfs(1);
+    nic.sriovCap().setVfEnable(true);
+    nic.functionOf(1).config().write(
+        pci::cfg::kCommand,
+        pci::cfg::kCmdMemEnable | pci::cfg::kCmdBusMaster, 2);
+    nic.setPoolFilter(1, nic::MacAddr::make(1, 1));
+    nic::Packet p;
+    p.dst = nic::MacAddr::make(1, 1);
+    p.bytes = nic::frame::udpFrame(64);
+    nic.receive(p);    // no buffers posted: ring-dry drop
+    eq.runAll();
+    EXPECT_GE(gt.ofCategory(sim::TraceCat::Nic).size(), 1u);
+    gt.disableAll();
+    gt.clear();
+}
+
+TEST(Tracer, MigrationTraceNarratesDnis)
+{
+    auto &gt = sim::Tracer::global();
+    gt.clear();
+    gt.enable(sim::TraceCat::Migration);
+
+    Testbed::Params p;
+    p.num_ports = 1;
+    p.guest_mem = 64ull << 20;
+    p.netback_threads = 2;
+    Testbed tb(p);
+    auto &g = tb.addGuest(vmm::DomainType::Hvm, Testbed::NetMode::Sriov,
+                          guest::KernelVersion::v2_6_28, true);
+    vmm::VirtualHotplugController hpc(*g.dom);
+    auto &slot = hpc.addSlot("s");
+    Dnis dnis(tb.server(), tb.migration());
+    dnis.manage(*g.dom, *g.vf, *g.pv, *g.bond, slot);
+    bool done = false;
+    dnis.migrate(Dnis::Params{}, [&](const Dnis::Report &) { done = true; });
+    tb.run(sim::Time::sec(30));
+    ASSERT_TRUE(done);
+
+    std::string log = gt.toString();
+    EXPECT_NE(log.find("quiescing VF"), std::string::npos);
+    EXPECT_NE(log.find("pre-copy round"), std::string::npos);
+    EXPECT_NE(log.find("stop-and-copy"), std::string::npos);
+    EXPECT_NE(log.find("hot-added on target"), std::string::npos);
+    gt.disableAll();
+    gt.clear();
+}

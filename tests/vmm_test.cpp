@@ -1,0 +1,429 @@
+/**
+ * @file
+ * Unit tests for the hypervisor layer: exit stats, VCPUs, domains,
+ * device model, grant table, pciback, hot-plug controller, the
+ * hypervisor's interrupt/emulation cost paths, and live migration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "nic/sriov_nic.hpp"
+#include "vmm/grant_table.hpp"
+#include "vmm/hotplug_controller.hpp"
+#include "vmm/hypervisor.hpp"
+#include "vmm/migration.hpp"
+#include "vmm/pciback.hpp"
+
+using namespace sriov;
+using namespace sriov::vmm;
+
+TEST(ExitStats, RecordsFractionalCounts)
+{
+    ExitStats ex;
+    ex.record(ExitReason::ApicAccess, 8400);
+    ex.record(ExitReason::ApicAccess, 9492, 1.13);
+    EXPECT_DOUBLE_EQ(ex.count(ExitReason::ApicAccess), 2.13);
+    EXPECT_DOUBLE_EQ(ex.cycles(ExitReason::ApicAccess), 17892);
+    EXPECT_DOUBLE_EQ(ex.totalCycles(), 17892);
+    ex.reset();
+    EXPECT_DOUBLE_EQ(ex.totalCount(), 0);
+}
+
+TEST(ExitStats, ToStringListsNonZeroReasons)
+{
+    ExitStats ex;
+    ex.record(ExitReason::ExternalInterrupt, 1900);
+    std::string s = ex.toString();
+    EXPECT_NE(s.find("external-interrupt"), std::string::npos);
+    EXPECT_EQ(s.find("hypercall"), std::string::npos);
+}
+
+class HypervisorTest : public ::testing::Test
+{
+  protected:
+    HypervisorTest() : hv(eq) {}
+
+    sim::EventQueue eq;
+    Hypervisor hv;
+};
+
+TEST_F(HypervisorTest, Dom0PinsToFirstThreads)
+{
+    EXPECT_EQ(hv.dom0().vcpuCount(), 8u);
+    for (unsigned i = 0; i < 8; ++i)
+        EXPECT_EQ(&hv.dom0().vcpu(i).pcpu(), &hv.pcpu(i));
+}
+
+TEST_F(HypervisorTest, GuestVcpusBindToRemainingThreads)
+{
+    auto &a = hv.createDomain("vm0", DomainType::Hvm, 64 << 20);
+    auto &b = hv.createDomain("vm1", DomainType::Hvm, 64 << 20);
+    EXPECT_EQ(&a.vcpu(0).pcpu(), &hv.pcpu(8));
+    EXPECT_EQ(&b.vcpu(0).pcpu(), &hv.pcpu(9));
+}
+
+TEST_F(HypervisorTest, FindDomainAndGuests)
+{
+    hv.createDomain("vm0", DomainType::Pvm, 64 << 20);
+    EXPECT_NE(hv.findDomain("vm0"), nullptr);
+    EXPECT_EQ(hv.findDomain("nope"), nullptr);
+    EXPECT_EQ(hv.guests().size(), 1u);
+}
+
+TEST_F(HypervisorTest, AllocGuestBufferIsMappedAndBacked)
+{
+    auto &dom = hv.createDomain("vm0", DomainType::Hvm, 64 << 20);
+    mem::Addr gpa = hv.allocGuestBuffer(dom, 3 * mem::kPageSize);
+    auto mpa = dom.gpmap().translate(gpa);
+    ASSERT_TRUE(mpa.has_value());
+    EXPECT_EQ(hv.memory().ownerOf(*mpa), "vm0");
+}
+
+TEST_F(HypervisorTest, GuestEoiCostDependsOnAcceleration)
+{
+    auto &dom = hv.createDomain("vm0", DomainType::Hvm, 64 << 20);
+    auto &vcpu = dom.vcpu(0);
+    auto snap = vcpu.pcpu().snapshot();
+
+    hv.opts().eoi_accel = false;
+    hv.guestEoi(vcpu);
+    EXPECT_DOUBLE_EQ(vcpu.pcpu().cyclesSince(snap, "xen"),
+                     hv.costs().apic_access_emulate);
+
+    hv.opts().eoi_accel = true;
+    snap = vcpu.pcpu().snapshot();
+    hv.guestEoi(vcpu);
+    EXPECT_DOUBLE_EQ(vcpu.pcpu().cyclesSince(snap, "xen"),
+                     hv.costs().eoi_accelerated);
+
+    hv.opts().eoi_accel_check = true;
+    snap = vcpu.pcpu().snapshot();
+    hv.guestEoi(vcpu);
+    EXPECT_DOUBLE_EQ(vcpu.pcpu().cyclesSince(snap, "xen"),
+                     hv.costs().eoi_accelerated
+                         + hv.costs().eoi_instr_check);
+}
+
+TEST_F(HypervisorTest, MaskWritePathDependsOnOptimization)
+{
+    auto &dom = hv.createDomain("vm0", DomainType::Hvm, 64 << 20);
+    auto &vcpu = dom.vcpu(0);
+
+    hv.opts().mask_unmask_accel = false;
+    auto snap = vcpu.pcpu().snapshot();
+    hv.guestMsiMaskWrite(dom, vcpu, true);
+    eq.runAll();
+    EXPECT_DOUBLE_EQ(vcpu.pcpu().cyclesSince(snap, "xen"),
+                     hv.costs().msi_mask_devmodel_xen);
+    EXPECT_EQ(hv.deviceModel(dom).maskWrites(), 1u);
+    // Device model work landed on a dom0 CPU under its own tag.
+    EXPECT_GT(hv.deviceModel(dom).hostCpu().busyTime(), sim::Time());
+
+    hv.opts().mask_unmask_accel = true;
+    snap = vcpu.pcpu().snapshot();
+    hv.guestMsiMaskWrite(dom, vcpu, false);
+    eq.runAll();
+    EXPECT_DOUBLE_EQ(vcpu.pcpu().cyclesSince(snap, "xen"),
+                     hv.costs().msi_mask_hyp);
+    EXPECT_EQ(hv.deviceModel(dom).maskWrites(), 1u);    // unchanged
+}
+
+TEST_F(HypervisorTest, PvmSyscallsPayThePageTableSwitch)
+{
+    auto &pvm = hv.createDomain("vm0", DomainType::Pvm, 64 << 20);
+    auto &hvm = hv.createDomain("vm1", DomainType::Hvm, 64 << 20);
+    auto s0 = pvm.vcpu(0).pcpu().snapshot();
+    hv.chargeGuestSyscalls(pvm.vcpu(0), 10);
+    EXPECT_DOUBLE_EQ(pvm.vcpu(0).pcpu().cyclesSince(s0, "xen"),
+                     10 * hv.costs().pvm_syscall_extra);
+
+    auto s1 = hvm.vcpu(0).pcpu().snapshot();
+    hv.chargeGuestSyscalls(hvm.vcpu(0), 10);
+    EXPECT_DOUBLE_EQ(hvm.vcpu(0).pcpu().cyclesSince(s1, "xen"), 0.0);
+}
+
+TEST_F(HypervisorTest, CpuPercentByTagWindowsCorrectly)
+{
+    auto &dom = hv.createDomain("vm0", DomainType::Hvm, 64 << 20);
+    auto snap = hv.snapshot();
+    // Half a second of work on one pcpu over a 1 s window = 50%.
+    dom.vcpu(0).chargeGuest(hv.costs().cpu_hz * 0.5);
+    eq.runUntil(sim::Time::sec(1));
+    auto pct = hv.cpuPercentByTag(snap);
+    EXPECT_NEAR(pct["vm0"], 50.0, 0.1);
+    EXPECT_NEAR(hv.cpuPercent(snap, "vm0"), 50.0, 0.1);
+    EXPECT_DOUBLE_EQ(hv.cpuPercent(snap, "missing"), 0.0);
+}
+
+namespace {
+
+/** An SR-IOV NIC with one VF armed for interrupt tests. */
+struct NicRig
+{
+    nic::SriovNic nic;
+
+    explicit NicRig(sim::EventQueue &eq)
+        : nic(eq, "eth0", pci::Bdf{1, 0, 0})
+    {
+        nic.sriovCap().setNumVfs(1);
+        nic.sriovCap().setVfEnable(true);
+    }
+};
+
+} // namespace
+
+TEST_F(HypervisorTest, HvmIrqPathInjectsAndCharges)
+{
+    NicRig rig(eq);
+    auto &dom = hv.createDomain("vm0", DomainType::Hvm, 64 << 20);
+    auto &vcpu = dom.vcpu(0);
+    int handled = 0;
+    auto h = hv.bindDeviceIrq(dom, *rig.nic.vf(0), vcpu,
+                              [&]() { ++handled; });
+    EXPECT_NE(h.virt_vec, 0);
+    EXPECT_NE(h.host_vec, 0);
+
+    rig.nic.vf(0)->signalMsix(0);
+    EXPECT_EQ(handled, 1);
+    EXPECT_DOUBLE_EQ(dom.exits().count(ExitReason::ExternalInterrupt), 1);
+    // ISR blocks same-vector redelivery until EOI.
+    rig.nic.vf(0)->signalMsix(0);
+    EXPECT_EQ(handled, 1);
+    hv.guestEoi(vcpu);
+    EXPECT_EQ(handled, 2);
+}
+
+TEST_F(HypervisorTest, PvmIrqPathUsesEventChannel)
+{
+    NicRig rig(eq);
+    auto &dom = hv.createDomain("vm0", DomainType::Pvm, 64 << 20);
+    int handled = 0;
+    auto h = hv.bindDeviceIrq(dom, *rig.nic.vf(0), dom.vcpu(0),
+                              [&]() { ++handled; });
+    rig.nic.vf(0)->signalMsix(0);
+    EXPECT_EQ(handled, 1);
+    // Mask at the port; redelivery waits for the unmask hypercall.
+    dom.evtchn().mask(h.port);
+    rig.nic.vf(0)->signalMsix(0);
+    EXPECT_EQ(handled, 1);
+    hv.guestEvtchnUnmask(dom.vcpu(0), h.port);
+    EXPECT_EQ(handled, 2);
+    EXPECT_DOUBLE_EQ(dom.exits().count(ExitReason::Hypercall), 1);
+}
+
+TEST_F(HypervisorTest, NativeIrqPathBypassesVirtualization)
+{
+    NicRig rig(eq);
+    auto &dom = hv.createDomain("os", DomainType::Native, 64 << 20);
+    int handled = 0;
+    hv.bindDeviceIrq(dom, *rig.nic.vf(0), dom.vcpu(0),
+                     [&]() { ++handled; });
+    rig.nic.vf(0)->signalMsix(0);
+    EXPECT_EQ(handled, 1);
+    EXPECT_DOUBLE_EQ(dom.exits().totalCount(), 0);
+}
+
+TEST_F(HypervisorTest, UnbindStopsDeliveryAndFreesVector)
+{
+    NicRig rig(eq);
+    auto &dom = hv.createDomain("vm0", DomainType::Hvm, 64 << 20);
+    int handled = 0;
+    auto h = hv.bindDeviceIrq(dom, *rig.nic.vf(0), dom.vcpu(0),
+                              [&]() { ++handled; });
+    hv.unbindDeviceIrq(*rig.nic.vf(0));
+    rig.nic.vf(0)->signalMsix(0);
+    EXPECT_EQ(handled, 0);
+    EXPECT_FALSE(hv.router().vectors().inUse(h.host_vec));
+}
+
+TEST_F(HypervisorTest, AssignDeviceAttachesIommuContext)
+{
+    NicRig rig(eq);
+    auto &dom = hv.createDomain("vm0", DomainType::Hvm, 64 << 20);
+    hv.assignDevice(dom, *rig.nic.vf(0));
+    EXPECT_TRUE(hv.iommu().attached(rig.nic.vf(0)->rid()));
+    hv.deassignDevice(dom, *rig.nic.vf(0));
+    EXPECT_FALSE(hv.iommu().attached(rig.nic.vf(0)->rid()));
+}
+
+TEST(GrantTable, ValidateEnforcesDomainAndWrite)
+{
+    GrantTable gt;
+    auto ref = gt.grantAccess(0x1000, /*peer=*/0, /*readonly=*/true);
+    EXPECT_EQ(gt.validate(ref, 0, false), std::optional<mem::Addr>(0x1000));
+    EXPECT_FALSE(gt.validate(ref, 1, false).has_value());    // wrong dom
+    EXPECT_FALSE(gt.validate(ref, 0, true).has_value());     // readonly
+    EXPECT_EQ(gt.violations(), 2u);
+}
+
+TEST(GrantTable, EndAccessBlockedWhileMapped)
+{
+    GrantTable gt;
+    auto ref = gt.grantAccess(0x1000, 0, false);
+    EXPECT_TRUE(gt.mapGrant(ref, 0));
+    EXPECT_FALSE(gt.endAccess(ref));
+    gt.unmapGrant(ref);
+    EXPECT_TRUE(gt.endAccess(ref));
+    EXPECT_EQ(gt.activeGrants(), 0u);
+}
+
+TEST(GrantTable, RefsAreRecycled)
+{
+    GrantTable gt;
+    auto a = gt.grantAccess(0x1000, 0, false);
+    gt.endAccess(a);
+    auto b = gt.grantAccess(0x2000, 0, false);
+    EXPECT_EQ(a, b);
+}
+
+TEST(Pciback, FiltersHostOwnedWrites)
+{
+    sim::EventQueue eq;
+    Hypervisor hv(eq);
+    auto &dom = hv.createDomain("vm0", DomainType::Pvm, 64 << 20);
+    pci::PciFunction fn(pci::Bdf{1, 0, 0}, 0x8086, 0x10ca, 0x020000,
+                        pci::PciFunction::Kind::Virtual);
+    fn.declareBar(0, 4096);
+    fn.assignBar(0, 0xc0000000);
+    Pciback pb(dom, fn);
+
+    EXPECT_EQ(pb.configRead(pci::cfg::kVendorId, 2), 0x8086u);
+    pb.configWrite(pci::cfg::kBar0, 0xdead0000, 4);
+    EXPECT_EQ(pb.deniedWrites(), 1u);
+    EXPECT_EQ(fn.config().raw32(pci::cfg::kBar0), 0xc0000000u);
+    pb.configWrite(pci::cfg::kCommand, pci::cfg::kCmdBusMaster, 2);
+    EXPECT_TRUE(fn.busMasterEnabled());
+}
+
+TEST(HotplugController, ManagesNamedSlots)
+{
+    sim::EventQueue eq;
+    Hypervisor hv(eq);
+    auto &dom = hv.createDomain("vm0", DomainType::Hvm, 64 << 20);
+    VirtualHotplugController hpc(dom);
+    auto &slot = hpc.addSlot("vf-slot");
+    EXPECT_EQ(hpc.slot("vf-slot"), &slot);
+    EXPECT_EQ(hpc.slot("other"), nullptr);
+    EXPECT_EQ(hpc.slotCount(), 1u);
+}
+
+class MigrationTest : public ::testing::Test
+{
+  protected:
+    MigrationTest() : hv(eq), mm(hv) {}
+
+    sim::EventQueue eq;
+    Hypervisor hv;
+    MigrationManager mm;
+};
+
+TEST_F(MigrationTest, CompletesWithPauseResumeOrdering)
+{
+    auto &dom = hv.createDomain("vm0", DomainType::Hvm, 64 << 20);
+    MigrationManager::Params p;
+    p.background_dirty_pps = 500;
+
+    std::vector<std::string> events;
+    MigrationManager::Result result{};
+    bool done = false;
+    mm.migrate(
+        dom, p, [&]() { events.push_back("pause"); },
+        [&]() { events.push_back("resume"); },
+        [&](const MigrationManager::Result &r) {
+            result = r;
+            done = true;
+        });
+    EXPECT_TRUE(mm.inProgress());
+    eq.runUntil(sim::Time::sec(30));
+    ASSERT_TRUE(done);
+    EXPECT_FALSE(mm.inProgress());
+    EXPECT_EQ(events, (std::vector<std::string>{"pause", "resume"}));
+    EXPECT_FALSE(dom.paused());
+    EXPECT_FALSE(dom.gpmap().dirtyLogEnabled());
+    EXPECT_GE(result.rounds, 1u);
+    EXPECT_GE(result.pages_sent, (64ull << 20) / mem::kPageSize);
+    // 64 MiB over 1 Gb/s is ~0.54 s; total must exceed that.
+    EXPECT_GT(result.total(), sim::Time::ms(500));
+}
+
+TEST_F(MigrationTest, DowntimeIsBoundedByThresholdPlusOverhead)
+{
+    auto &dom = hv.createDomain("vm0", DomainType::Hvm, 64 << 20);
+    MigrationManager::Params p;
+    p.background_dirty_pps = 500;
+    p.downtime_threshold_pages = 256;
+    p.resume_overhead = sim::Time::ms(400);
+
+    MigrationManager::Result result{};
+    bool done = false;
+    mm.migrate(dom, p, nullptr, nullptr,
+               [&](const MigrationManager::Result &r) {
+                   result = r;
+                   done = true;
+               });
+    eq.runUntil(sim::Time::sec(30));
+    ASSERT_TRUE(done);
+    // Downtime = copying <= threshold pages + fixed overhead.
+    sim::Time max_copy = sim::Time::transfer(
+        double(p.downtime_threshold_pages) * mem::kPageSize * 8, 1e9);
+    EXPECT_LE(result.downtime(), max_copy + p.resume_overhead
+                  + sim::Time::ms(1));
+    EXPECT_GE(result.downtime(), p.resume_overhead);
+}
+
+TEST_F(MigrationTest, TrackedDirtyPagesForceExtraRounds)
+{
+    auto &dom = hv.createDomain("vm0", DomainType::Hvm, 64 << 20);
+    // A "device" keeps dirtying pages during pre-copy.
+    bool keep_dirtying = true;
+    std::function<void()> dirtier = [&]() {
+        if (!keep_dirtying)
+            return;
+        for (mem::Addr p = 0; p < 2048; ++p)
+            dom.gpmap().markDirty(p * mem::kPageSize);
+        eq.scheduleIn(sim::Time::ms(50), dirtier);
+    };
+    eq.scheduleIn(sim::Time::ms(1), dirtier);
+
+    MigrationManager::Params p;
+    p.background_dirty_pps = 0;
+    p.downtime_threshold_pages = 256;    // below the dirtier's rate
+    MigrationManager::Result result{};
+    bool done = false;
+    mm.migrate(dom, p, [&]() { keep_dirtying = false; }, nullptr,
+               [&](const MigrationManager::Result &r) {
+                   result = r;
+                   done = true;
+               });
+    eq.runUntil(sim::Time::sec(60));
+    ASSERT_TRUE(done);
+    EXPECT_GE(result.rounds, 2u);
+}
+
+TEST_F(MigrationTest, DomainIsPausedDuringStopAndCopy)
+{
+    auto &dom = hv.createDomain("vm0", DomainType::Hvm, 64 << 20);
+    MigrationManager::Params p;
+    bool was_paused_at_pause_cb = false;
+    bool done = false;
+    mm.migrate(dom, p,
+               [&]() { was_paused_at_pause_cb = dom.paused(); }, nullptr,
+               [&](const MigrationManager::Result &) { done = true; });
+    eq.runUntil(sim::Time::sec(30));
+    ASSERT_TRUE(done);
+    EXPECT_TRUE(was_paused_at_pause_cb);
+    EXPECT_FALSE(dom.paused());
+}
+
+TEST_F(HypervisorTest, HwOpcodeMakesTheEoiCheckFree)
+{
+    auto &dom = hv.createDomain("vm0", DomainType::Hvm, 64 << 20);
+    auto &vcpu = dom.vcpu(0);
+    hv.opts().eoi_accel = true;
+    hv.opts().eoi_accel_check = true;
+    hv.opts().eoi_hw_opcode = true;    // §5.2 hardware enhancement
+    auto snap = vcpu.pcpu().snapshot();
+    hv.guestEoi(vcpu);
+    EXPECT_DOUBLE_EQ(vcpu.pcpu().cyclesSince(snap, "xen"),
+                     hv.costs().eoi_accelerated);
+}
