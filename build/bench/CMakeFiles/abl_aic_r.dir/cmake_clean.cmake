@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_aic_r.dir/abl_aic_r.cpp.o"
+  "CMakeFiles/abl_aic_r.dir/abl_aic_r.cpp.o.d"
+  "abl_aic_r"
+  "abl_aic_r.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_aic_r.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for abl_aic_r.
+# This may be replaced when dependencies are built.

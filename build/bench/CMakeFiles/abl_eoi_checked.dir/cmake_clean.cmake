@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_eoi_checked.dir/abl_eoi_checked.cpp.o"
+  "CMakeFiles/abl_eoi_checked.dir/abl_eoi_checked.cpp.o.d"
+  "abl_eoi_checked"
+  "abl_eoi_checked.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_eoi_checked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

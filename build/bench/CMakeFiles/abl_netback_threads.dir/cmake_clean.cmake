@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_netback_threads.dir/abl_netback_threads.cpp.o"
+  "CMakeFiles/abl_netback_threads.dir/abl_netback_threads.cpp.o.d"
+  "abl_netback_threads"
+  "abl_netback_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_netback_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_mask_unmask.dir/fig06_mask_unmask.cpp.o"
+  "CMakeFiles/fig06_mask_unmask.dir/fig06_mask_unmask.cpp.o.d"
+  "fig06_mask_unmask"
+  "fig06_mask_unmask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_mask_unmask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

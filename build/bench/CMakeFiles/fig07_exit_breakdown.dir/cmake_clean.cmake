@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_exit_breakdown.dir/fig07_exit_breakdown.cpp.o"
+  "CMakeFiles/fig07_exit_breakdown.dir/fig07_exit_breakdown.cpp.o.d"
+  "fig07_exit_breakdown"
+  "fig07_exit_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_exit_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

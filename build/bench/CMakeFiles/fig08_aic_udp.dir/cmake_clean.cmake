@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_aic_udp.dir/fig08_aic_udp.cpp.o"
+  "CMakeFiles/fig08_aic_udp.dir/fig08_aic_udp.cpp.o.d"
+  "fig08_aic_udp"
+  "fig08_aic_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_aic_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_aic_tcp.dir/fig09_aic_tcp.cpp.o"
+  "CMakeFiles/fig09_aic_tcp.dir/fig09_aic_tcp.cpp.o.d"
+  "fig09_aic_tcp"
+  "fig09_aic_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_aic_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_aic_intervm.dir/fig10_aic_intervm.cpp.o"
+  "CMakeFiles/fig10_aic_intervm.dir/fig10_aic_intervm.cpp.o.d"
+  "fig10_aic_intervm"
+  "fig10_aic_intervm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_aic_intervm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_optimizations.dir/fig12_optimizations.cpp.o"
+  "CMakeFiles/fig12_optimizations.dir/fig12_optimizations.cpp.o.d"
+  "fig12_optimizations"
+  "fig12_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_intervm_sriov.dir/fig13_intervm_sriov.cpp.o"
+  "CMakeFiles/fig13_intervm_sriov.dir/fig13_intervm_sriov.cpp.o.d"
+  "fig13_intervm_sriov"
+  "fig13_intervm_sriov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_intervm_sriov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_intervm_pv.dir/fig14_intervm_pv.cpp.o"
+  "CMakeFiles/fig14_intervm_pv.dir/fig14_intervm_pv.cpp.o.d"
+  "fig14_intervm_pv"
+  "fig14_intervm_pv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_intervm_pv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

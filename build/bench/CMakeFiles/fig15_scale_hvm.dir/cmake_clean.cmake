@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_scale_hvm.dir/fig15_scale_hvm.cpp.o"
+  "CMakeFiles/fig15_scale_hvm.dir/fig15_scale_hvm.cpp.o.d"
+  "fig15_scale_hvm"
+  "fig15_scale_hvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_scale_hvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

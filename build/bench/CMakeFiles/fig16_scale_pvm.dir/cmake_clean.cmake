@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_scale_pvm.dir/fig16_scale_pvm.cpp.o"
+  "CMakeFiles/fig16_scale_pvm.dir/fig16_scale_pvm.cpp.o.d"
+  "fig16_scale_pvm"
+  "fig16_scale_pvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_scale_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

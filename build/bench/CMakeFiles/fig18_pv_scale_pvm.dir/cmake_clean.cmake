@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_pv_scale_pvm.dir/fig18_pv_scale_pvm.cpp.o"
+  "CMakeFiles/fig18_pv_scale_pvm.dir/fig18_pv_scale_pvm.cpp.o.d"
+  "fig18_pv_scale_pvm"
+  "fig18_pv_scale_pvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_pv_scale_pvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_vmdq_scale.dir/fig19_vmdq_scale.cpp.o"
+  "CMakeFiles/fig19_vmdq_scale.dir/fig19_vmdq_scale.cpp.o.d"
+  "fig19_vmdq_scale"
+  "fig19_vmdq_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_vmdq_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

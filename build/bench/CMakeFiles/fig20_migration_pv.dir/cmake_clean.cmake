@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_migration_pv.dir/fig20_migration_pv.cpp.o"
+  "CMakeFiles/fig20_migration_pv.dir/fig20_migration_pv.cpp.o.d"
+  "fig20_migration_pv"
+  "fig20_migration_pv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_migration_pv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_migration_pv.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_migration_dnis.dir/fig21_migration_dnis.cpp.o"
+  "CMakeFiles/fig21_migration_dnis.dir/fig21_migration_dnis.cpp.o.d"
+  "fig21_migration_dnis"
+  "fig21_migration_dnis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_migration_dnis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

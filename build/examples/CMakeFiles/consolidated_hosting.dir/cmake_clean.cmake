@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consolidated_hosting.dir/consolidated_hosting.cpp.o"
+  "CMakeFiles/consolidated_hosting.dir/consolidated_hosting.cpp.o.d"
+  "consolidated_hosting"
+  "consolidated_hosting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consolidated_hosting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/live_migration_dnis.dir/live_migration_dnis.cpp.o"
+  "CMakeFiles/live_migration_dnis.dir/live_migration_dnis.cpp.o.d"
+  "live_migration_dnis"
+  "live_migration_dnis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/live_migration_dnis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sriov_sim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_drivers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_intr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/secure_p2p_acs.dir/secure_p2p_acs.cpp.o"
+  "CMakeFiles/secure_p2p_acs.dir/secure_p2p_acs.cpp.o.d"
+  "secure_p2p_acs"
+  "secure_p2p_acs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/secure_p2p_acs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

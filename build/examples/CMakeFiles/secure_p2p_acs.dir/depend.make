@@ -1,0 +1,2 @@
+# Empty dependencies file for secure_p2p_acs.
+# This may be replaced when dependencies are built.

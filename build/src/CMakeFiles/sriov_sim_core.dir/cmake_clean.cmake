@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sriov_sim_core.dir/core/aic.cpp.o"
+  "CMakeFiles/sriov_sim_core.dir/core/aic.cpp.o.d"
+  "CMakeFiles/sriov_sim_core.dir/core/dnis.cpp.o"
+  "CMakeFiles/sriov_sim_core.dir/core/dnis.cpp.o.d"
+  "CMakeFiles/sriov_sim_core.dir/core/experiment.cpp.o"
+  "CMakeFiles/sriov_sim_core.dir/core/experiment.cpp.o.d"
+  "CMakeFiles/sriov_sim_core.dir/core/iov_manager.cpp.o"
+  "CMakeFiles/sriov_sim_core.dir/core/iov_manager.cpp.o.d"
+  "CMakeFiles/sriov_sim_core.dir/core/optimizations.cpp.o"
+  "CMakeFiles/sriov_sim_core.dir/core/optimizations.cpp.o.d"
+  "CMakeFiles/sriov_sim_core.dir/core/testbed.cpp.o"
+  "CMakeFiles/sriov_sim_core.dir/core/testbed.cpp.o.d"
+  "libsriov_sim_core.a"
+  "libsriov_sim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sriov_sim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drivers/itr_policy.cpp" "src/CMakeFiles/sriov_sim_drivers.dir/drivers/itr_policy.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_drivers.dir/drivers/itr_policy.cpp.o.d"
+  "/root/repo/src/drivers/native_driver.cpp" "src/CMakeFiles/sriov_sim_drivers.dir/drivers/native_driver.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_drivers.dir/drivers/native_driver.cpp.o.d"
+  "/root/repo/src/drivers/netback.cpp" "src/CMakeFiles/sriov_sim_drivers.dir/drivers/netback.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_drivers.dir/drivers/netback.cpp.o.d"
+  "/root/repo/src/drivers/netfront.cpp" "src/CMakeFiles/sriov_sim_drivers.dir/drivers/netfront.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_drivers.dir/drivers/netfront.cpp.o.d"
+  "/root/repo/src/drivers/pf_driver.cpp" "src/CMakeFiles/sriov_sim_drivers.dir/drivers/pf_driver.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_drivers.dir/drivers/pf_driver.cpp.o.d"
+  "/root/repo/src/drivers/vf_driver.cpp" "src/CMakeFiles/sriov_sim_drivers.dir/drivers/vf_driver.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_drivers.dir/drivers/vf_driver.cpp.o.d"
+  "/root/repo/src/drivers/vmdq_driver.cpp" "src/CMakeFiles/sriov_sim_drivers.dir/drivers/vmdq_driver.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_drivers.dir/drivers/vmdq_driver.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sriov_sim_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_intr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sriov_sim_drivers.dir/drivers/itr_policy.cpp.o"
+  "CMakeFiles/sriov_sim_drivers.dir/drivers/itr_policy.cpp.o.d"
+  "CMakeFiles/sriov_sim_drivers.dir/drivers/native_driver.cpp.o"
+  "CMakeFiles/sriov_sim_drivers.dir/drivers/native_driver.cpp.o.d"
+  "CMakeFiles/sriov_sim_drivers.dir/drivers/netback.cpp.o"
+  "CMakeFiles/sriov_sim_drivers.dir/drivers/netback.cpp.o.d"
+  "CMakeFiles/sriov_sim_drivers.dir/drivers/netfront.cpp.o"
+  "CMakeFiles/sriov_sim_drivers.dir/drivers/netfront.cpp.o.d"
+  "CMakeFiles/sriov_sim_drivers.dir/drivers/pf_driver.cpp.o"
+  "CMakeFiles/sriov_sim_drivers.dir/drivers/pf_driver.cpp.o.d"
+  "CMakeFiles/sriov_sim_drivers.dir/drivers/vf_driver.cpp.o"
+  "CMakeFiles/sriov_sim_drivers.dir/drivers/vf_driver.cpp.o.d"
+  "CMakeFiles/sriov_sim_drivers.dir/drivers/vmdq_driver.cpp.o"
+  "CMakeFiles/sriov_sim_drivers.dir/drivers/vmdq_driver.cpp.o.d"
+  "libsriov_sim_drivers.a"
+  "libsriov_sim_drivers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sriov_sim_drivers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

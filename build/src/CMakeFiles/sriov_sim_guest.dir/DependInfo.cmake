@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/guest/bonding.cpp" "src/CMakeFiles/sriov_sim_guest.dir/guest/bonding.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_guest.dir/guest/bonding.cpp.o.d"
+  "/root/repo/src/guest/kernel.cpp" "src/CMakeFiles/sriov_sim_guest.dir/guest/kernel.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_guest.dir/guest/kernel.cpp.o.d"
+  "/root/repo/src/guest/net_stack.cpp" "src/CMakeFiles/sriov_sim_guest.dir/guest/net_stack.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_guest.dir/guest/net_stack.cpp.o.d"
+  "/root/repo/src/guest/netperf.cpp" "src/CMakeFiles/sriov_sim_guest.dir/guest/netperf.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_guest.dir/guest/netperf.cpp.o.d"
+  "/root/repo/src/guest/socket_buffer.cpp" "src/CMakeFiles/sriov_sim_guest.dir/guest/socket_buffer.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_guest.dir/guest/socket_buffer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sriov_sim_vmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_intr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

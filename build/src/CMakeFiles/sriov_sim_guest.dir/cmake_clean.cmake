@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sriov_sim_guest.dir/guest/bonding.cpp.o"
+  "CMakeFiles/sriov_sim_guest.dir/guest/bonding.cpp.o.d"
+  "CMakeFiles/sriov_sim_guest.dir/guest/kernel.cpp.o"
+  "CMakeFiles/sriov_sim_guest.dir/guest/kernel.cpp.o.d"
+  "CMakeFiles/sriov_sim_guest.dir/guest/net_stack.cpp.o"
+  "CMakeFiles/sriov_sim_guest.dir/guest/net_stack.cpp.o.d"
+  "CMakeFiles/sriov_sim_guest.dir/guest/netperf.cpp.o"
+  "CMakeFiles/sriov_sim_guest.dir/guest/netperf.cpp.o.d"
+  "CMakeFiles/sriov_sim_guest.dir/guest/socket_buffer.cpp.o"
+  "CMakeFiles/sriov_sim_guest.dir/guest/socket_buffer.cpp.o.d"
+  "libsriov_sim_guest.a"
+  "libsriov_sim_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sriov_sim_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/intr/event_channel.cpp" "src/CMakeFiles/sriov_sim_intr.dir/intr/event_channel.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_intr.dir/intr/event_channel.cpp.o.d"
+  "/root/repo/src/intr/interrupt_router.cpp" "src/CMakeFiles/sriov_sim_intr.dir/intr/interrupt_router.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_intr.dir/intr/interrupt_router.cpp.o.d"
+  "/root/repo/src/intr/lapic.cpp" "src/CMakeFiles/sriov_sim_intr.dir/intr/lapic.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_intr.dir/intr/lapic.cpp.o.d"
+  "/root/repo/src/intr/vector_allocator.cpp" "src/CMakeFiles/sriov_sim_intr.dir/intr/vector_allocator.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_intr.dir/intr/vector_allocator.cpp.o.d"
+  "/root/repo/src/intr/virtual_lapic.cpp" "src/CMakeFiles/sriov_sim_intr.dir/intr/virtual_lapic.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_intr.dir/intr/virtual_lapic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sriov_sim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sriov_sim_intr.dir/intr/event_channel.cpp.o"
+  "CMakeFiles/sriov_sim_intr.dir/intr/event_channel.cpp.o.d"
+  "CMakeFiles/sriov_sim_intr.dir/intr/interrupt_router.cpp.o"
+  "CMakeFiles/sriov_sim_intr.dir/intr/interrupt_router.cpp.o.d"
+  "CMakeFiles/sriov_sim_intr.dir/intr/lapic.cpp.o"
+  "CMakeFiles/sriov_sim_intr.dir/intr/lapic.cpp.o.d"
+  "CMakeFiles/sriov_sim_intr.dir/intr/vector_allocator.cpp.o"
+  "CMakeFiles/sriov_sim_intr.dir/intr/vector_allocator.cpp.o.d"
+  "CMakeFiles/sriov_sim_intr.dir/intr/virtual_lapic.cpp.o"
+  "CMakeFiles/sriov_sim_intr.dir/intr/virtual_lapic.cpp.o.d"
+  "libsriov_sim_intr.a"
+  "libsriov_sim_intr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sriov_sim_intr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

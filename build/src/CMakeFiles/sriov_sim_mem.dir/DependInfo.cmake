@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/dma_engine.cpp" "src/CMakeFiles/sriov_sim_mem.dir/mem/dma_engine.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_mem.dir/mem/dma_engine.cpp.o.d"
+  "/root/repo/src/mem/guest_phys_map.cpp" "src/CMakeFiles/sriov_sim_mem.dir/mem/guest_phys_map.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_mem.dir/mem/guest_phys_map.cpp.o.d"
+  "/root/repo/src/mem/iommu.cpp" "src/CMakeFiles/sriov_sim_mem.dir/mem/iommu.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_mem.dir/mem/iommu.cpp.o.d"
+  "/root/repo/src/mem/machine_memory.cpp" "src/CMakeFiles/sriov_sim_mem.dir/mem/machine_memory.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_mem.dir/mem/machine_memory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sriov_sim_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

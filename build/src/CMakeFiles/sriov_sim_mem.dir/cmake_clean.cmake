@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sriov_sim_mem.dir/mem/dma_engine.cpp.o"
+  "CMakeFiles/sriov_sim_mem.dir/mem/dma_engine.cpp.o.d"
+  "CMakeFiles/sriov_sim_mem.dir/mem/guest_phys_map.cpp.o"
+  "CMakeFiles/sriov_sim_mem.dir/mem/guest_phys_map.cpp.o.d"
+  "CMakeFiles/sriov_sim_mem.dir/mem/iommu.cpp.o"
+  "CMakeFiles/sriov_sim_mem.dir/mem/iommu.cpp.o.d"
+  "CMakeFiles/sriov_sim_mem.dir/mem/machine_memory.cpp.o"
+  "CMakeFiles/sriov_sim_mem.dir/mem/machine_memory.cpp.o.d"
+  "libsriov_sim_mem.a"
+  "libsriov_sim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sriov_sim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nic/desc_ring.cpp" "src/CMakeFiles/sriov_sim_nic.dir/nic/desc_ring.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_nic.dir/nic/desc_ring.cpp.o.d"
+  "/root/repo/src/nic/l2_switch.cpp" "src/CMakeFiles/sriov_sim_nic.dir/nic/l2_switch.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_nic.dir/nic/l2_switch.cpp.o.d"
+  "/root/repo/src/nic/mailbox.cpp" "src/CMakeFiles/sriov_sim_nic.dir/nic/mailbox.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_nic.dir/nic/mailbox.cpp.o.d"
+  "/root/repo/src/nic/packet.cpp" "src/CMakeFiles/sriov_sim_nic.dir/nic/packet.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_nic.dir/nic/packet.cpp.o.d"
+  "/root/repo/src/nic/plain_nic.cpp" "src/CMakeFiles/sriov_sim_nic.dir/nic/plain_nic.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_nic.dir/nic/plain_nic.cpp.o.d"
+  "/root/repo/src/nic/sriov_nic.cpp" "src/CMakeFiles/sriov_sim_nic.dir/nic/sriov_nic.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_nic.dir/nic/sriov_nic.cpp.o.d"
+  "/root/repo/src/nic/vmdq_nic.cpp" "src/CMakeFiles/sriov_sim_nic.dir/nic/vmdq_nic.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_nic.dir/nic/vmdq_nic.cpp.o.d"
+  "/root/repo/src/nic/wire.cpp" "src/CMakeFiles/sriov_sim_nic.dir/nic/wire.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_nic.dir/nic/wire.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sriov_sim_intr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

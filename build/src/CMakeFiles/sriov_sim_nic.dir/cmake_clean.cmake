@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sriov_sim_nic.dir/nic/desc_ring.cpp.o"
+  "CMakeFiles/sriov_sim_nic.dir/nic/desc_ring.cpp.o.d"
+  "CMakeFiles/sriov_sim_nic.dir/nic/l2_switch.cpp.o"
+  "CMakeFiles/sriov_sim_nic.dir/nic/l2_switch.cpp.o.d"
+  "CMakeFiles/sriov_sim_nic.dir/nic/mailbox.cpp.o"
+  "CMakeFiles/sriov_sim_nic.dir/nic/mailbox.cpp.o.d"
+  "CMakeFiles/sriov_sim_nic.dir/nic/packet.cpp.o"
+  "CMakeFiles/sriov_sim_nic.dir/nic/packet.cpp.o.d"
+  "CMakeFiles/sriov_sim_nic.dir/nic/plain_nic.cpp.o"
+  "CMakeFiles/sriov_sim_nic.dir/nic/plain_nic.cpp.o.d"
+  "CMakeFiles/sriov_sim_nic.dir/nic/sriov_nic.cpp.o"
+  "CMakeFiles/sriov_sim_nic.dir/nic/sriov_nic.cpp.o.d"
+  "CMakeFiles/sriov_sim_nic.dir/nic/vmdq_nic.cpp.o"
+  "CMakeFiles/sriov_sim_nic.dir/nic/vmdq_nic.cpp.o.d"
+  "CMakeFiles/sriov_sim_nic.dir/nic/wire.cpp.o"
+  "CMakeFiles/sriov_sim_nic.dir/nic/wire.cpp.o.d"
+  "libsriov_sim_nic.a"
+  "libsriov_sim_nic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sriov_sim_nic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsriov_sim_nic.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pci/acs_cap.cpp" "src/CMakeFiles/sriov_sim_pci.dir/pci/acs_cap.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_pci.dir/pci/acs_cap.cpp.o.d"
+  "/root/repo/src/pci/bus.cpp" "src/CMakeFiles/sriov_sim_pci.dir/pci/bus.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_pci.dir/pci/bus.cpp.o.d"
+  "/root/repo/src/pci/capability.cpp" "src/CMakeFiles/sriov_sim_pci.dir/pci/capability.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_pci.dir/pci/capability.cpp.o.d"
+  "/root/repo/src/pci/config_space.cpp" "src/CMakeFiles/sriov_sim_pci.dir/pci/config_space.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_pci.dir/pci/config_space.cpp.o.d"
+  "/root/repo/src/pci/device.cpp" "src/CMakeFiles/sriov_sim_pci.dir/pci/device.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_pci.dir/pci/device.cpp.o.d"
+  "/root/repo/src/pci/function.cpp" "src/CMakeFiles/sriov_sim_pci.dir/pci/function.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_pci.dir/pci/function.cpp.o.d"
+  "/root/repo/src/pci/hotplug_slot.cpp" "src/CMakeFiles/sriov_sim_pci.dir/pci/hotplug_slot.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_pci.dir/pci/hotplug_slot.cpp.o.d"
+  "/root/repo/src/pci/msi_cap.cpp" "src/CMakeFiles/sriov_sim_pci.dir/pci/msi_cap.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_pci.dir/pci/msi_cap.cpp.o.d"
+  "/root/repo/src/pci/pci_switch.cpp" "src/CMakeFiles/sriov_sim_pci.dir/pci/pci_switch.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_pci.dir/pci/pci_switch.cpp.o.d"
+  "/root/repo/src/pci/root_complex.cpp" "src/CMakeFiles/sriov_sim_pci.dir/pci/root_complex.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_pci.dir/pci/root_complex.cpp.o.d"
+  "/root/repo/src/pci/sriov_cap.cpp" "src/CMakeFiles/sriov_sim_pci.dir/pci/sriov_cap.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_pci.dir/pci/sriov_cap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sriov_sim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

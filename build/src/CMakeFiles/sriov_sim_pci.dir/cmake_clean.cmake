@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sriov_sim_pci.dir/pci/acs_cap.cpp.o"
+  "CMakeFiles/sriov_sim_pci.dir/pci/acs_cap.cpp.o.d"
+  "CMakeFiles/sriov_sim_pci.dir/pci/bus.cpp.o"
+  "CMakeFiles/sriov_sim_pci.dir/pci/bus.cpp.o.d"
+  "CMakeFiles/sriov_sim_pci.dir/pci/capability.cpp.o"
+  "CMakeFiles/sriov_sim_pci.dir/pci/capability.cpp.o.d"
+  "CMakeFiles/sriov_sim_pci.dir/pci/config_space.cpp.o"
+  "CMakeFiles/sriov_sim_pci.dir/pci/config_space.cpp.o.d"
+  "CMakeFiles/sriov_sim_pci.dir/pci/device.cpp.o"
+  "CMakeFiles/sriov_sim_pci.dir/pci/device.cpp.o.d"
+  "CMakeFiles/sriov_sim_pci.dir/pci/function.cpp.o"
+  "CMakeFiles/sriov_sim_pci.dir/pci/function.cpp.o.d"
+  "CMakeFiles/sriov_sim_pci.dir/pci/hotplug_slot.cpp.o"
+  "CMakeFiles/sriov_sim_pci.dir/pci/hotplug_slot.cpp.o.d"
+  "CMakeFiles/sriov_sim_pci.dir/pci/msi_cap.cpp.o"
+  "CMakeFiles/sriov_sim_pci.dir/pci/msi_cap.cpp.o.d"
+  "CMakeFiles/sriov_sim_pci.dir/pci/pci_switch.cpp.o"
+  "CMakeFiles/sriov_sim_pci.dir/pci/pci_switch.cpp.o.d"
+  "CMakeFiles/sriov_sim_pci.dir/pci/root_complex.cpp.o"
+  "CMakeFiles/sriov_sim_pci.dir/pci/root_complex.cpp.o.d"
+  "CMakeFiles/sriov_sim_pci.dir/pci/sriov_cap.cpp.o"
+  "CMakeFiles/sriov_sim_pci.dir/pci/sriov_cap.cpp.o.d"
+  "libsriov_sim_pci.a"
+  "libsriov_sim_pci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sriov_sim_pci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cpu_server.cpp" "src/CMakeFiles/sriov_sim_sim.dir/sim/cpu_server.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_sim.dir/sim/cpu_server.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/sriov_sim_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/log.cpp" "src/CMakeFiles/sriov_sim_sim.dir/sim/log.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_sim.dir/sim/log.cpp.o.d"
+  "/root/repo/src/sim/random.cpp" "src/CMakeFiles/sriov_sim_sim.dir/sim/random.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_sim.dir/sim/random.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/sriov_sim_sim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_sim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/time.cpp" "src/CMakeFiles/sriov_sim_sim.dir/sim/time.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_sim.dir/sim/time.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/sriov_sim_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sriov_sim_sim.dir/sim/cpu_server.cpp.o"
+  "CMakeFiles/sriov_sim_sim.dir/sim/cpu_server.cpp.o.d"
+  "CMakeFiles/sriov_sim_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/sriov_sim_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/sriov_sim_sim.dir/sim/log.cpp.o"
+  "CMakeFiles/sriov_sim_sim.dir/sim/log.cpp.o.d"
+  "CMakeFiles/sriov_sim_sim.dir/sim/random.cpp.o"
+  "CMakeFiles/sriov_sim_sim.dir/sim/random.cpp.o.d"
+  "CMakeFiles/sriov_sim_sim.dir/sim/stats.cpp.o"
+  "CMakeFiles/sriov_sim_sim.dir/sim/stats.cpp.o.d"
+  "CMakeFiles/sriov_sim_sim.dir/sim/time.cpp.o"
+  "CMakeFiles/sriov_sim_sim.dir/sim/time.cpp.o.d"
+  "CMakeFiles/sriov_sim_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/sriov_sim_sim.dir/sim/trace.cpp.o.d"
+  "libsriov_sim_sim.a"
+  "libsriov_sim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sriov_sim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

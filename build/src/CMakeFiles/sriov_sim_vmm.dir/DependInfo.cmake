@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vmm/cost_model.cpp" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/cost_model.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/cost_model.cpp.o.d"
+  "/root/repo/src/vmm/device_model.cpp" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/device_model.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/device_model.cpp.o.d"
+  "/root/repo/src/vmm/domain.cpp" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/domain.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/domain.cpp.o.d"
+  "/root/repo/src/vmm/grant_table.cpp" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/grant_table.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/grant_table.cpp.o.d"
+  "/root/repo/src/vmm/hotplug_controller.cpp" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/hotplug_controller.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/hotplug_controller.cpp.o.d"
+  "/root/repo/src/vmm/hypervisor.cpp" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/hypervisor.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/hypervisor.cpp.o.d"
+  "/root/repo/src/vmm/migration.cpp" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/migration.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/migration.cpp.o.d"
+  "/root/repo/src/vmm/pciback.cpp" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/pciback.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/pciback.cpp.o.d"
+  "/root/repo/src/vmm/vcpu.cpp" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/vcpu.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/vcpu.cpp.o.d"
+  "/root/repo/src/vmm/vm_exit.cpp" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/vm_exit.cpp.o" "gcc" "src/CMakeFiles/sriov_sim_vmm.dir/vmm/vm_exit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sriov_sim_nic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_intr.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_pci.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sriov_sim_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

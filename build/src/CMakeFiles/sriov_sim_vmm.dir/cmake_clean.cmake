@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/cost_model.cpp.o"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/cost_model.cpp.o.d"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/device_model.cpp.o"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/device_model.cpp.o.d"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/domain.cpp.o"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/domain.cpp.o.d"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/grant_table.cpp.o"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/grant_table.cpp.o.d"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/hotplug_controller.cpp.o"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/hotplug_controller.cpp.o.d"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/hypervisor.cpp.o"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/hypervisor.cpp.o.d"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/migration.cpp.o"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/migration.cpp.o.d"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/pciback.cpp.o"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/pciback.cpp.o.d"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/vcpu.cpp.o"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/vcpu.cpp.o.d"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/vm_exit.cpp.o"
+  "CMakeFiles/sriov_sim_vmm.dir/vmm/vm_exit.cpp.o.d"
+  "libsriov_sim_vmm.a"
+  "libsriov_sim_vmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sriov_sim_vmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

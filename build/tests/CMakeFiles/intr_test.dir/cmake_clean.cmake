@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intr_test.dir/intr_test.cpp.o"
+  "CMakeFiles/intr_test.dir/intr_test.cpp.o.d"
+  "intr_test"
+  "intr_test.pdb"
+  "intr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

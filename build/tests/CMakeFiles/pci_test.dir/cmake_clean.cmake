@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pci_test.dir/pci_test.cpp.o"
+  "CMakeFiles/pci_test.dir/pci_test.cpp.o.d"
+  "pci_test"
+  "pci_test.pdb"
+  "pci_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pci_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/pci_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/intr_test[1]_include.cmake")
+include("/root/repo/build/tests/nic_test[1]_include.cmake")
+include("/root/repo/build/tests/vmm_test[1]_include.cmake")
+include("/root/repo/build/tests/guest_test[1]_include.cmake")
+include("/root/repo/build/tests/drivers_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/testbed_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
