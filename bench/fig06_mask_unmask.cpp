@@ -11,6 +11,7 @@
 
 #include <cstdio>
 
+#include "check/determinism.hpp"
 #include "core/experiment.hpp"
 #include "core/testbed.hpp"
 #include "sim/log.hpp"
@@ -51,6 +52,31 @@ runCase(unsigned vms, bool opt)
                m.guests_pct};
 }
 
+/**
+ * Determinism smoke: a shrunk 2-VM configuration run twice must give
+ * identical event-order digests, or every curve below is suspect.
+ * Aborts (sim::fatal) on mismatch.
+ */
+void
+determinismSmoke()
+{
+    auto digest = check::DeterminismHarness::audit("fig06-smoke", [](unsigned) {
+        core::Testbed::Params p;
+        p.num_ports = 1;
+        p.opts = core::OptimizationSet::maskOnly();
+        core::Testbed tb(p);
+        for (unsigned i = 0; i < 2; ++i) {
+            auto &g = tb.addGuest(vmm::DomainType::Hvm,
+                                  core::Testbed::NetMode::Sriov,
+                                  guest::KernelVersion::v2_6_18);
+            tb.startUdpToGuest(g, 300e6);
+        }
+        tb.run(sim::Time::ms(200));
+        return check::RunDigest::of(tb.eq());
+    });
+    std::printf("determinism smoke: OK (%s)\n", digest.toString().c_str());
+}
+
 } // namespace
 
 int
@@ -59,6 +85,7 @@ main()
     sim::setLogLevel(sim::LogLevel::Quiet);
     core::banner("Fig. 6: SR-IOV, RHEL5U1 (2.6.18) HVM, 1 GbE port, "
                  "MSI mask/unmask acceleration");
+    determinismSmoke();
 
     core::Table t({"case", "throughput(Gb/s)", "dom0 CPU", "Xen CPU",
                    "guest CPU"});

@@ -28,7 +28,7 @@ main()
 
     core::Table t({"policy", "throughput(Mb/s)", "guest CPU", "Xen CPU",
                    "dom0 CPU", "irq/s", "sock drops/s"});
-    for (const std::string &policy : {"20kHz", "2kHz", "AIC", "1kHz"}) {
+    for (const std::string policy : {"20kHz", "2kHz", "AIC", "1kHz"}) {
         core::Testbed::Params p;
         p.num_ports = 1;
         p.opts = core::OptimizationSet::maskEoi();

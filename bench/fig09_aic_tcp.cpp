@@ -26,7 +26,7 @@ main()
     double base_bw = 0;
     core::Table t({"policy", "throughput(Mb/s)", "vs 20kHz", "guest CPU",
                    "Xen CPU", "dom0 CPU", "irq/s"});
-    for (const std::string &policy : {"20kHz", "2kHz", "AIC", "1kHz"}) {
+    for (const std::string policy : {"20kHz", "2kHz", "AIC", "1kHz"}) {
         core::Testbed::Params p;
         p.num_ports = 1;
         p.opts = core::OptimizationSet::maskEoi();

@@ -29,7 +29,7 @@ main()
 
     core::Table t({"policy", "offered(Mb/s)", "TX BW(Mb/s)", "RX BW(Mb/s)",
                    "loss", "guest irq/s", "guest CPU"});
-    for (const std::string &policy : {"20kHz", "2kHz", "AIC", "1kHz"}) {
+    for (const std::string policy : {"20kHz", "2kHz", "AIC", "1kHz"}) {
         for (double offered : {500e6, 1000e6, 1500e6, 2000e6, 2500e6}) {
             core::Testbed::Params p;
             p.num_ports = 1;

@@ -1,0 +1,47 @@
+#include "check/determinism.hpp"
+
+#include <cstdio>
+
+#include "sim/log.hpp"
+
+namespace sriov::check {
+
+std::string
+RunDigest::toString() const
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "digest=%016llx events=%llu",
+                  static_cast<unsigned long long>(digest),
+                  static_cast<unsigned long long>(events));
+    return buf;
+}
+
+std::string
+DeterminismHarness::Result::toString() const
+{
+    if (match())
+        return "deterministic: " + first.toString();
+    return "NON-DETERMINISTIC: run0 " + first.toString() + " vs run1 "
+        + second.toString();
+}
+
+DeterminismHarness::Result
+DeterminismHarness::runTwice(const RunFn &fn)
+{
+    Result r;
+    r.first = fn(0);
+    r.second = fn(1);
+    return r;
+}
+
+RunDigest
+DeterminismHarness::audit(const std::string &label, const RunFn &fn)
+{
+    Result r = runTwice(fn);
+    if (!r.match())
+        sim::fatal("determinism audit '%s' failed: %s", label.c_str(),
+                   r.toString().c_str());
+    return r.first;
+}
+
+} // namespace sriov::check

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * DeterminismHarness: audits that the simulator is deterministic.
+ *
+ * The EventQueue keeps a running order digest — an FNV-1a hash of the
+ * (when, seq, tag) triple of every executed event. The harness runs an
+ * experiment factory twice and compares the digests: any divergence
+ * (unordered-container iteration leaking into event order, tie-breaks
+ * on pointers, uninitialized state) shows up as a mismatch even when
+ * the aggregate statistics happen to agree.
+ */
+
+#ifndef SRIOV_CHECK_DETERMINISM_HPP
+#define SRIOV_CHECK_DETERMINISM_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/event_queue.hpp"
+
+namespace sriov::check {
+
+/** The order fingerprint of one finished run. */
+struct RunDigest
+{
+    std::uint64_t digest = 0;
+    std::uint64_t events = 0;
+
+    static RunDigest of(const sim::EventQueue &eq)
+    {
+        return RunDigest{eq.orderDigest(), eq.executed()};
+    }
+
+    bool operator==(const RunDigest &) const = default;
+    std::string toString() const;
+};
+
+class DeterminismHarness
+{
+  public:
+    struct Result
+    {
+        RunDigest first;
+        RunDigest second;
+
+        bool match() const { return first == second; }
+        std::string toString() const;
+    };
+
+    /**
+     * The experiment under audit: builds its own EventQueue (and
+     * seeds its own RNGs identically on every call), runs to the same
+     * simulated deadline, and returns RunDigest::of(queue).
+     * @p run_index is 0 or 1, for diagnostics only — the experiment
+     * must NOT vary behaviour on it.
+     */
+    using RunFn = std::function<RunDigest(unsigned run_index)>;
+
+    /** Run @p fn twice and compare order digests. */
+    static Result runTwice(const RunFn &fn);
+
+    /**
+     * Convenience for tests: runTwice + fatal report on mismatch.
+     * @return the matching digest.
+     */
+    static RunDigest audit(const std::string &label, const RunFn &fn);
+};
+
+} // namespace sriov::check
+
+#endif // SRIOV_CHECK_DETERMINISM_HPP

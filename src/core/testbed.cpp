@@ -1,5 +1,6 @@
 #include "core/testbed.hpp"
 
+#include "check/invariant_checker.hpp"
 #include "sim/log.hpp"
 
 namespace sriov::core {
@@ -304,6 +305,51 @@ Testbed::measure(sim::Time warmup, sim::Time window)
         }
     }
     return m;
+}
+
+void
+Testbed::watchAll(check::InvariantChecker &chk)
+{
+    for (unsigned i = 0; i < portCount(); ++i) {
+        nic::SriovNic &p = *ports_[i];
+        std::string pn = "port" + std::to_string(i);
+        chk.watchSwitch(pn + ".l2", p.l2());
+        for (unsigned pool = 0; pool < p.poolCount(); ++pool) {
+            chk.watchRing(pn + ".pool" + std::to_string(pool) + ".rx",
+                          p.rxRing(nic::Pool(pool)));
+        }
+        chk.watchFunction(p.pf());
+    }
+    if (vmdq_nic_) {
+        chk.watchSwitch("vmdq.l2", vmdq_nic_->l2());
+        for (unsigned q = 0; q < vmdq_nic_->poolCount(); ++q) {
+            chk.watchRing("vmdq.q" + std::to_string(q) + ".rx",
+                          vmdq_nic_->rxRing(nic::Pool(q)));
+        }
+        chk.watchFunction(vmdq_nic_->pf());
+    }
+    for (std::size_t i = 0; i < wires_.size(); ++i)
+        chk.watchWire("wire" + std::to_string(i), *wires_[i]);
+    chk.watchRouter(server_->router());
+    chk.watchRouter(client_->router());
+    for (const ClientPort &cp : client_ports_) {
+        if (cp.nic)
+            chk.watchFunction(cp.nic->pf());
+    }
+    auto watchDomainLapics = [&chk](vmm::Domain &dom,
+                                    const std::string &name) {
+        for (unsigned v = 0; v < dom.vcpuCount(); ++v) {
+            chk.watchLapic(name + ".vcpu" + std::to_string(v),
+                           dom.vcpu(v).vlapic().chip());
+        }
+    };
+    watchDomainLapics(server_->dom0(), "dom0");
+    for (std::size_t g = 0; g < guests_.size(); ++g) {
+        if (guests_[g]->dom != nullptr) {
+            watchDomainLapics(*guests_[g]->dom,
+                              "guest" + std::to_string(g));
+        }
+    }
 }
 
 } // namespace sriov::core

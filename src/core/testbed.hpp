@@ -35,6 +35,10 @@
 #include "nic/vmdq_nic.hpp"
 #include "vmm/migration.hpp"
 
+namespace sriov::check {
+class InvariantChecker;
+}
+
 namespace sriov::core {
 
 class Testbed
@@ -145,6 +149,16 @@ class Testbed
     /** Run @p warmup, then measure over @p window. */
     Measurement measure(sim::Time warmup, sim::Time window);
     /** @} */
+
+    /**
+     * Register the testbed's components with an invariant checker:
+     * every port's L2 switch and RX rings, every wire, both machines'
+     * interrupt routers, the PF functions, and all current guests'
+     * virtual LAPICs. Call after the fleet is built. VF functions are
+     * NOT auto-watched — their lifetime ends at VF-disable; watch them
+     * explicitly (and unwatchFunction before disabling) if needed.
+     */
+    void watchAll(check::InvariantChecker &chk);
 
     static nic::MacAddr guestMac(unsigned idx)
     {

@@ -37,6 +37,8 @@ InterruptRouter::allocateAndBind(HandlerFn handler)
 void
 InterruptRouter::deliverMsi(pci::Rid source, const pci::MsiMessage &msg)
 {
+    if (tap_)
+        tap_(source, msg);
     auto it = handlers_.find(msg.vector());
     if (it == handlers_.end()) {
         spurious_.inc();

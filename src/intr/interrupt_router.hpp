@@ -43,12 +43,21 @@ class InterruptRouter
     /** Entry point for MSI messages (the function sink). */
     void deliverMsi(pci::Rid source, const pci::MsiMessage &msg);
 
+    /**
+     * Observation hook for correctness tooling: called for every MSI
+     * reaching the router, before handler dispatch. One tap only.
+     */
+    using DeliveryTap =
+        std::function<void(pci::Rid, const pci::MsiMessage &)>;
+    void setDeliveryTap(DeliveryTap tap) { tap_ = std::move(tap); }
+
     std::uint64_t delivered() const { return delivered_.value(); }
     std::uint64_t spurious() const { return spurious_.value(); }
 
   private:
     VectorAllocator alloc_;
     std::unordered_map<Vector, HandlerFn> handlers_;
+    DeliveryTap tap_;
     sim::Counter delivered_;
     sim::Counter spurious_;
 };

@@ -64,6 +64,8 @@ Lapic::eoi()
     eois_.inc();
     if (auto h = highestInService())
         isr_[*h] = false;
+    else
+        spurious_eois_.inc();
     tryDispatch();
 }
 

@@ -54,6 +54,8 @@ class Lapic
     const sim::Counter &accepted() const { return accepted_; }
     const sim::Counter &delivered() const { return delivered_; }
     const sim::Counter &eois() const { return eois_; }
+    /** EOI writes with no vector in service — a simulator bug. */
+    std::uint64_t spuriousEois() const { return spurious_eois_.value(); }
 
   private:
     void tryDispatch();
@@ -64,6 +66,7 @@ class Lapic
     sim::Counter accepted_;
     sim::Counter delivered_;
     sim::Counter eois_;
+    sim::Counter spurious_eois_;
 };
 
 } // namespace sriov::intr

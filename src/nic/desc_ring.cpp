@@ -26,6 +26,7 @@ DescRing::take()
 void
 DescRing::reset()
 {
+    discarded_.inc(buffers_.size());
     buffers_.clear();
 }
 

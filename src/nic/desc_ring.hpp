@@ -48,6 +48,8 @@ class DescRing
     std::uint64_t posted() const { return posted_.value(); }
     std::uint64_t consumed() const { return consumed_.value(); }
     std::uint64_t overflows() const { return overflows_.value(); }
+    /** Buffers thrown away by reset() without being consumed. */
+    std::uint64_t discarded() const { return discarded_.value(); }
 
   private:
     std::size_t capacity_;
@@ -55,6 +57,7 @@ class DescRing
     sim::Counter posted_;
     sim::Counter consumed_;
     sim::Counter overflows_;
+    sim::Counter discarded_;
 };
 
 } // namespace sriov::nic

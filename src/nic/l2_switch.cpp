@@ -29,8 +29,11 @@ L2Switch::classify(const Packet &pkt) const
 {
     lookups_.inc();
     auto it = table_.find(Key{pkt.dst, pkt.vlan});
-    if (it == table_.end())
+    if (it == table_.end()) {
+        unmatched_.inc();
         return std::nullopt;
+    }
+    matched_.inc();
     return it->second;
 }
 

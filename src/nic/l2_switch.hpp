@@ -41,6 +41,8 @@ class L2Switch
 
     std::size_t filterCount() const { return table_.size(); }
     std::uint64_t lookups() const { return lookups_.value(); }
+    std::uint64_t matched() const { return matched_.value(); }
+    std::uint64_t unmatched() const { return unmatched_.value(); }
 
   private:
     struct Key
@@ -63,6 +65,8 @@ class L2Switch
 
     std::unordered_map<Key, Pool, KeyHash> table_;
     mutable sim::Counter lookups_;
+    mutable sim::Counter matched_;
+    mutable sim::Counter unmatched_;
 };
 
 } // namespace sriov::nic

@@ -33,6 +33,7 @@ Wire::send(WireEndpoint &from, const Packet &pkt)
         sim::panic("wire: send from unconnected endpoint");
     }
     Direction &d = dirs_[dir];
+    offered_.inc();
     if (d.q.size() >= kTxQueueCap) {
         dropped_.inc();
         return false;
@@ -62,9 +63,9 @@ Wire::startNext(unsigned dir)
         eq_.scheduleIn(params_.propagation, [this, dir, pkt]() {
             delivered_.inc();
             dirs_[dir].to->receive(pkt);
-        });
+        }, "wire.deliver");
         startNext(dir);
-    });
+    }, "wire.serialized");
 }
 
 } // namespace sriov::nic

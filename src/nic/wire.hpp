@@ -58,6 +58,14 @@ class Wire
 
     std::uint64_t delivered() const { return delivered_.value(); }
     std::uint64_t dropped() const { return dropped_.value(); }
+    /** Frames accepted by send() (conservation: at quiescence,
+     *  offered == delivered + dropped and nothing is queued). */
+    std::uint64_t offered() const { return offered_.value(); }
+    /** Frames in flight: queued or serializing/propagating. */
+    std::uint64_t inFlight() const
+    {
+        return offered_.value() - dropped_.value() - delivered_.value();
+    }
 
     static constexpr std::size_t kTxQueueCap = 4096;
 
@@ -78,6 +86,7 @@ class Wire
     WireEndpoint *end_b_ = nullptr;
     sim::Counter delivered_;
     sim::Counter dropped_;
+    sim::Counter offered_;
 };
 
 } // namespace sriov::nic

@@ -71,6 +71,8 @@ class PciFunction
     /** @name Optional standard capabilities. @{ */
     MsiCapability *msi() { return msi_.get(); }
     MsixCapability *msix() { return msix_.get(); }
+    const MsiCapability *msi() const { return msi_.get(); }
+    const MsixCapability *msix() const { return msix_.get(); }
     MsiCapability &addMsi();
     MsixCapability &addMsix(unsigned table_size, std::uint8_t bar_index);
     /** @} */

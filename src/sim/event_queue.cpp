@@ -1,72 +1,96 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
-
 #include "sim/log.hpp"
 
 namespace sriov::sim {
 
 EventHandle
-EventQueue::scheduleAt(Time when, std::function<void()> fn)
+EventQueue::scheduleAt(Time when, std::function<void()> fn, const char *tag)
 {
-    if (when < now_)
-        panic("event scheduled in the past: %s < %s",
-              when.toString().c_str(), now_.toString().c_str());
+    if (when < now_) {
+        if (observer_ == nullptr)
+            panic("event scheduled in the past: %s < %s",
+                  when.toString().c_str(), now_.toString().c_str());
+        observer_->onSchedulePast(when, now_);
+        when = now_;
+    }
     std::uint64_t seq = next_seq_++;
-    heap_.push(Entry{when, seq, seq, std::move(fn)});
+    heap_.push(Entry{when, seq, seq, tag, std::move(fn)});
+    pending_.insert(seq);
     ++live_events_;
     return EventHandle(seq);
 }
 
 EventHandle
-EventQueue::scheduleIn(Time delay, std::function<void()> fn)
+EventQueue::scheduleIn(Time delay, std::function<void()> fn, const char *tag)
 {
-    return scheduleAt(now_ + delay, std::move(fn));
+    return scheduleAt(now_ + delay, std::move(fn), tag);
 }
 
 void
 EventQueue::cancel(EventHandle &h)
 {
-    if (h.valid()) {
-        cancelled_.push_back(h.id_);
-        h.clear();
+    // Only events that are still pending are recorded as cancelled;
+    // stale handles (already fired) must not grow cancelled_ — scale
+    // experiments cancel throttle timers for hours of simulated time.
+    if (h.valid() && pending_.erase(h.id_) > 0) {
+        cancelled_.insert(h.id_);
+        --live_events_;
     }
+    h.clear();
 }
 
-bool
-EventQueue::isCancelled(std::uint64_t id)
+void
+EventQueue::purgeCancelledTop()
 {
-    auto it = std::find(cancelled_.begin(), cancelled_.end(), id);
-    if (it == cancelled_.end())
-        return false;
-    // Swap-and-pop: cancellation lists stay tiny (pending timers only).
-    *it = cancelled_.back();
-    cancelled_.pop_back();
-    return true;
+    while (!heap_.empty() && cancelled_.erase(heap_.top().id) > 0)
+        heap_.pop();
+}
+
+void
+EventQueue::foldDigest(const Entry &e)
+{
+    constexpr std::uint64_t kPrime = 0x100000001b3ull;
+    auto fold = [this](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            digest_ ^= (v >> (8 * i)) & 0xff;
+            digest_ *= kPrime;
+        }
+    };
+    fold(std::uint64_t(e.when.picos()));
+    fold(e.seq);
+    for (const char *p = e.tag; p != nullptr && *p != '\0'; ++p) {
+        digest_ ^= std::uint64_t(static_cast<unsigned char>(*p));
+        digest_ *= kPrime;
+    }
 }
 
 bool
 EventQueue::runOne()
 {
-    while (!heap_.empty()) {
-        Entry e = heap_.top();
-        heap_.pop();
-        --live_events_;
-        if (isCancelled(e.id))
-            continue;
-        now_ = e.when;
-        ++executed_;
-        e.fn();
-        return true;
-    }
-    return false;
+    purgeCancelledTop();
+    if (heap_.empty())
+        return false;
+    Entry e = heap_.top();
+    heap_.pop();
+    pending_.erase(e.id);
+    --live_events_;
+    if (observer_ != nullptr)
+        observer_->onExecute(e.when, now_, e.seq, e.tag);
+    now_ = e.when;
+    ++executed_;
+    foldDigest(e);
+    e.fn();
+    return true;
 }
 
 std::uint64_t
 EventQueue::runUntil(Time deadline)
 {
     std::uint64_t n = 0;
-    while (!heap_.empty() && heap_.top().when <= deadline) {
+    for (purgeCancelledTop();
+         !heap_.empty() && heap_.top().when <= deadline;
+         purgeCancelledTop()) {
         if (runOne())
             ++n;
     }

@@ -6,6 +6,15 @@
  * scheduled at absolute simulated times; ties are broken by insertion
  * order (FIFO among simultaneous events) so simulations are fully
  * deterministic.
+ *
+ * Two correctness facilities are built in (see src/check/):
+ *  - an Observer that is told about schedule-in-the-past attempts and
+ *    every executed event, so an InvariantChecker can enforce runtime
+ *    invariants without slowing the unobserved queue;
+ *  - an order digest: a running FNV-1a hash over the (when, seq, tag)
+ *    triple of every executed event. Two runs of the same experiment
+ *    with the same seed must produce identical digests; a mismatch
+ *    means non-deterministic event ordering.
  */
 
 #ifndef SRIOV_SIM_EVENT_QUEUE_HPP
@@ -15,6 +24,7 @@
 #include <functional>
 #include <queue>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/time.hpp"
@@ -46,6 +56,27 @@ class EventHandle
 class EventQueue
 {
   public:
+    /**
+     * Hook interface for correctness tooling (check::InvariantChecker).
+     *
+     * With an observer installed, scheduling in the past is reported
+     * through onSchedulePast() and the event is clamped to now()
+     * instead of aborting the process, so negative tests can assert
+     * the violation.
+     */
+    class Observer
+    {
+      public:
+        virtual ~Observer() = default;
+
+        /** scheduleAt() saw @p when < @p now and clamped it. */
+        virtual void onSchedulePast(Time when, Time now) = 0;
+
+        /** An event is about to execute at @p when (queue time @p now). */
+        virtual void onExecute(Time when, Time now, std::uint64_t seq,
+                               const char *tag) = 0;
+    };
+
     EventQueue() = default;
 
     EventQueue(const EventQueue &) = delete;
@@ -57,13 +88,18 @@ class EventQueue
     /**
      * Schedule @p fn to run at absolute time @p when.
      *
+     * @p tag must point to storage that outlives the event (string
+     * literals); it feeds the order digest and violation reports.
+     *
      * @pre when >= now(); scheduling in the past is a simulator bug
-     *      and aborts.
+     *      and aborts (or is reported, when an Observer is installed).
      */
-    EventHandle scheduleAt(Time when, std::function<void()> fn);
+    EventHandle scheduleAt(Time when, std::function<void()> fn,
+                           const char *tag = "");
 
     /** Schedule @p fn to run @p delay after the current time. */
-    EventHandle scheduleIn(Time delay, std::function<void()> fn);
+    EventHandle scheduleIn(Time delay, std::function<void()> fn,
+                           const char *tag = "");
 
     /** Cancel a previously scheduled event. No-op if already fired. */
     void cancel(EventHandle &h);
@@ -82,12 +118,28 @@ class EventQueue
     bool empty() const { return live_events_ == 0; }
     std::uint64_t executed() const { return executed_; }
 
+    /** Scheduled-but-not-yet-fired (and not cancelled) events. */
+    std::uint64_t liveEvents() const { return live_events_; }
+
+    /** Cancelled events whose heap entries have not been popped yet. */
+    std::size_t cancelledPending() const { return cancelled_.size(); }
+
+    /**
+     * Running FNV-1a hash of (when, seq, tag) of every executed event.
+     * Equal seeds + equal workloads must yield equal digests.
+     */
+    std::uint64_t orderDigest() const { return digest_; }
+
+    void setObserver(Observer *o) { observer_ = o; }
+    Observer *observer() const { return observer_; }
+
   private:
     struct Entry
     {
         Time when;
         std::uint64_t seq;
         std::uint64_t id;
+        const char *tag;
         std::function<void()> fn;
 
         bool
@@ -99,15 +151,18 @@ class EventQueue
     };
 
     bool runOne();
+    void purgeCancelledTop();
+    void foldDigest(const Entry &e);
 
     std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-    std::vector<std::uint64_t> cancelled_;
+    std::unordered_set<std::uint64_t> pending_;
+    std::unordered_set<std::uint64_t> cancelled_;
     Time now_;
     std::uint64_t next_seq_ = 1;
     std::uint64_t executed_ = 0;
     std::uint64_t live_events_ = 0;
-
-    bool isCancelled(std::uint64_t id);
+    std::uint64_t digest_ = 0xcbf29ce484222325ull;    // FNV-1a offset basis
+    Observer *observer_ = nullptr;
 };
 
 } // namespace sriov::sim

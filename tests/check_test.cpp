@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Tests for the correctness-tooling layer (src/check/): the
+ * InvariantChecker — including negative tests that deliberately commit
+ * each class of simulator bug and assert it is reported — and the
+ * DeterminismHarness order-digest auditor.
+ */
+
+#include <gtest/gtest.h>
+
+#include "check/determinism.hpp"
+#include "check/invariant_checker.hpp"
+#include "core/testbed.hpp"
+#include "intr/interrupt_router.hpp"
+#include "intr/lapic.hpp"
+#include "nic/desc_ring.hpp"
+#include "nic/l2_switch.hpp"
+#include "nic/wire.hpp"
+#include "pci/function.hpp"
+#include "sim/event_queue.hpp"
+
+using namespace sriov;
+using check::DeterminismHarness;
+using check::Invariant;
+using check::InvariantChecker;
+using check::RunDigest;
+
+// --- Negative tests: commit the bug, assert the report. ------------
+
+TEST(InvariantChecker, ReportsScheduleInThePast)
+{
+    sim::EventQueue eq;
+    InvariantChecker chk(eq);
+    eq.scheduleAt(sim::Time::us(5), []() {});
+    eq.runAll();
+
+    bool ran = false;
+    // Without an observer this would abort; with the checker it is
+    // reported and the event clamps to now().
+    eq.scheduleAt(sim::Time::us(1), [&]() { ran = true; });
+    EXPECT_EQ(chk.count(Invariant::SchedulePast), 1u);
+    eq.runAll();
+    EXPECT_TRUE(ran);
+    EXPECT_EQ(eq.now(), sim::Time::us(5));
+    EXPECT_FALSE(chk.ok());
+    EXPECT_NE(chk.report().find("schedule-in-past"), std::string::npos);
+}
+
+TEST(InvariantChecker, ReportsRingOverflow)
+{
+    sim::EventQueue eq;
+    InvariantChecker chk(eq);
+    nic::DescRing ring(4);
+    chk.watchRing("rx", ring, /*must_not_drop=*/true);
+
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(ring.post(mem::Addr(0x1000 * (i + 1))));
+    EXPECT_FALSE(ring.post(0x9000));    // full: driver would retry
+    // Device side runs dry mid-burst and drops the frame.
+    ring.countOverflow();
+
+    chk.checkNow();
+    EXPECT_EQ(chk.count(Invariant::RingOverflow), 1u);
+    // The violation is edge-triggered: a second poll without new drops
+    // stays quiet.
+    chk.checkNow();
+    EXPECT_EQ(chk.count(Invariant::RingOverflow), 1u);
+}
+
+TEST(InvariantChecker, ReportsSpuriousEoi)
+{
+    sim::EventQueue eq;
+    InvariantChecker chk(eq);
+    intr::Lapic lapic;
+    chk.watchLapic("vcpu0", lapic);
+
+    lapic.eoi();    // nothing accepted, nothing in service: a bug
+    chk.checkNow();
+    EXPECT_EQ(chk.count(Invariant::SpuriousEoi), 1u);
+
+    // A proper accept -> EOI cycle stays clean.
+    chk.clearViolations();
+    lapic.accept(0x41);
+    lapic.eoi();
+    chk.checkNow();
+    EXPECT_TRUE(chk.ok());
+}
+
+TEST(InvariantChecker, ReportsDeliveryOnMaskedVector)
+{
+    sim::EventQueue eq;
+    InvariantChecker chk(eq);
+    intr::InterruptRouter router;
+    chk.watchRouter(router);
+
+    pci::PciFunction fn(pci::Bdf{1, 0, 0}, 0x8086, 0x10ca, 0x020000,
+                        pci::PciFunction::Kind::Virtual);
+    fn.addMsix(3, 0);
+    chk.watchFunction(fn);
+    router.attachFunction(fn);
+
+    intr::Vector v = 0x51;
+    bool handled = false;
+    router.bindVector(v, [&](intr::Vector, pci::Rid) { handled = true; });
+    fn.msix()->programEntry(0, pci::MsiMessage::forVector(0, v));
+    fn.msix()->setEnable(true);
+    // Entry 0 still masked (MSI-X entries come up masked): the
+    // well-behaved path defers.
+    EXPECT_FALSE(fn.signalMsix(0));
+    EXPECT_TRUE(chk.ok());
+
+    // A buggy device model bypasses the mask and injects directly.
+    router.deliverMsi(fn.rid(), fn.msix()->entry(0).msg);
+    EXPECT_TRUE(handled);
+    EXPECT_EQ(chk.count(Invariant::MaskedDelivery), 1u);
+
+    // Unmasked, the same delivery is legitimate.
+    chk.clearViolations();
+    fn.msix()->maskEntry(0, false);
+    EXPECT_TRUE(fn.signalMsix(0));
+    EXPECT_TRUE(chk.ok());
+}
+
+TEST(InvariantChecker, ReportsEventLeakAtQuiescence)
+{
+    sim::EventQueue eq;
+    InvariantChecker chk(eq);
+    eq.scheduleAt(sim::Time::sec(10), []() {});    // never run
+    eq.runUntil(sim::Time::sec(1));
+
+    chk.expectQuiesced();
+    EXPECT_EQ(chk.count(Invariant::EventLeak), 1u);
+}
+
+TEST(InvariantChecker, CleanRunToQuiescenceHasNoViolations)
+{
+    sim::EventQueue eq;
+    InvariantChecker chk(eq);
+    nic::DescRing ring(8);
+    nic::L2Switch sw;
+    chk.watchRing("rx", ring, true);
+    chk.watchSwitch("l2", sw);
+
+    sw.setFilter(nic::MacAddr::make(1, 1), 0, 1);
+    nic::Packet pkt;
+    pkt.dst = nic::MacAddr::make(1, 1);
+    EXPECT_TRUE(sw.classify(pkt).has_value());
+    pkt.dst = nic::MacAddr::make(1, 2);
+    EXPECT_FALSE(sw.classify(pkt).has_value());
+
+    ring.post(0x1000);
+    ring.post(0x2000);
+    EXPECT_TRUE(ring.take().has_value());
+    ring.reset();    // discards one: accounting must still balance
+
+    eq.scheduleIn(sim::Time::us(1), []() {});
+    eq.runAll();
+    chk.expectQuiesced();
+    EXPECT_TRUE(chk.ok()) << chk.report();
+}
+
+// --- Checker over a full testbed experiment. ------------------------
+
+TEST(InvariantChecker, FullSriovExperimentHoldsAllInvariants)
+{
+    core::Testbed::Params p;
+    p.num_ports = 1;
+    core::Testbed tb(p);
+    InvariantChecker chk(tb.eq());
+
+    auto &g = tb.addGuest(vmm::DomainType::Hvm,
+                          core::Testbed::NetMode::Sriov);
+    tb.startUdpToGuest(g, 600e6);
+    tb.watchAll(chk);
+
+    auto m = tb.measure(sim::Time::ms(100), sim::Time::ms(400));
+    EXPECT_GT(m.total_goodput_bps, 100e6);
+    // Deadline-bounded run: periodic timers legitimately stay live, so
+    // poll instantaneous invariants only (no expectQuiesced()).
+    chk.checkNow();
+    EXPECT_TRUE(chk.ok()) << chk.report();
+}
+
+// --- Determinism auditor. -------------------------------------------
+
+namespace {
+
+RunDigest
+smallSriovRun(unsigned)
+{
+    core::Testbed::Params p;
+    p.num_ports = 1;
+    core::Testbed tb(p);
+    auto &g = tb.addGuest(vmm::DomainType::Hvm,
+                          core::Testbed::NetMode::Sriov);
+    tb.startUdpToGuest(g, 400e6);
+    tb.run(sim::Time::ms(200));
+    return RunDigest::of(tb.eq());
+}
+
+} // namespace
+
+TEST(Determinism, SameExperimentTwiceYieldsSameDigest)
+{
+    auto r = DeterminismHarness::runTwice(smallSriovRun);
+    EXPECT_TRUE(r.match()) << r.toString();
+    EXPECT_GT(r.first.events, 0u);
+}
+
+TEST(Determinism, DifferentWorkloadsYieldDifferentDigests)
+{
+    auto with_rate = [](double bps) {
+        core::Testbed::Params p;
+        p.num_ports = 1;
+        core::Testbed tb(p);
+        auto &g = tb.addGuest(vmm::DomainType::Hvm,
+                              core::Testbed::NetMode::Sriov);
+        tb.startUdpToGuest(g, bps);
+        tb.run(sim::Time::ms(50));
+        return RunDigest::of(tb.eq());
+    };
+    EXPECT_NE(with_rate(300e6).digest, with_rate(600e6).digest);
+}
+
+TEST(Determinism, AuditReturnsTheMatchingDigest)
+{
+    sim::EventQueue probe;    // just to prove digests are per-queue
+    EXPECT_EQ(probe.orderDigest(), sim::EventQueue().orderDigest());
+
+    RunDigest d = DeterminismHarness::audit("small-sriov", smallSriovRun);
+    EXPECT_EQ(d, smallSriovRun(2));
+}
+
+TEST(Determinism, DigestCoversTagsAndTimes)
+{
+    auto run = [](const char *tag, std::int64_t at_us) {
+        sim::EventQueue eq;
+        eq.scheduleAt(sim::Time::us(at_us), []() {}, tag);
+        eq.runAll();
+        return eq.orderDigest();
+    };
+    EXPECT_EQ(run("a", 1), run("a", 1));
+    EXPECT_NE(run("a", 1), run("b", 1));
+    EXPECT_NE(run("a", 1), run("a", 2));
+}

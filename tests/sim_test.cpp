@@ -132,6 +132,78 @@ TEST(EventQueue, CancelIsSelective)
     EXPECT_EQ(ran, 10);
 }
 
+TEST(EventQueue, CancelBookkeepingIsPurgedOnPop)
+{
+    EventQueue eq;
+    EventHandle h = eq.scheduleAt(Time::us(1), []() {});
+    eq.scheduleAt(Time::us(2), []() {});
+    eq.cancel(h);
+    EXPECT_EQ(eq.cancelledPending(), 1u);
+    eq.runAll();
+    // The cancelled entry was popped and its bookkeeping purged.
+    EXPECT_EQ(eq.cancelledPending(), 0u);
+}
+
+TEST(EventQueue, CancellingStaleHandlesDoesNotAccumulate)
+{
+    // Regression: long-running scale experiments (fig15-fig19) cancel
+    // throttle timers whose events often fired long ago; the stale
+    // cancellations must not grow the bookkeeping unboundedly.
+    EventQueue eq;
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 1000; ++i)
+        handles.push_back(eq.scheduleIn(Time::us(i), []() {}));
+    eq.runAll();
+    for (auto &h : handles)
+        eq.cancel(h);    // all stale: every event already fired
+    EXPECT_EQ(eq.cancelledPending(), 0u);
+}
+
+TEST(EventQueue, CancelledEventsDoNotCountAsLive)
+{
+    EventQueue eq;
+    EventHandle h = eq.scheduleAt(Time::us(1), []() {});
+    EXPECT_EQ(eq.liveEvents(), 1u);
+    EXPECT_FALSE(eq.empty());
+    eq.cancel(h);
+    EXPECT_EQ(eq.liveEvents(), 0u);
+    EXPECT_TRUE(eq.empty());
+}
+
+TEST(EventQueue, RunUntilIgnoresCancelledTopBeyondDeadline)
+{
+    // Regression: a cancelled event at the heap top must not let
+    // runUntil() execute the *next* event past the deadline.
+    EventQueue eq;
+    bool late_ran = false;
+    EventHandle h = eq.scheduleAt(Time::us(1), []() {});
+    eq.scheduleAt(Time::us(10), [&]() { late_ran = true; });
+    eq.cancel(h);
+    EXPECT_EQ(eq.runUntil(Time::us(5)), 0u);
+    EXPECT_FALSE(late_ran);
+    EXPECT_EQ(eq.now(), Time::us(5));
+    eq.runAll();
+    EXPECT_TRUE(late_ran);
+}
+
+TEST(EventQueue, OrderDigestIsReproducible)
+{
+    auto run = []() {
+        EventQueue eq;
+        for (int i = 0; i < 50; ++i)
+            eq.scheduleAt(Time::us(50 - i), []() {}, "tick");
+        eq.runAll();
+        return eq.orderDigest();
+    };
+    std::uint64_t a = run();
+    EXPECT_EQ(a, run());
+
+    EventQueue other;
+    other.scheduleAt(Time::us(1), []() {}, "tick");
+    other.runAll();
+    EXPECT_NE(a, other.orderDigest());
+}
+
 TEST(EventQueueDeathTest, SchedulingInThePastPanics)
 {
     EventQueue eq;
