@@ -9,6 +9,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/testbed.hpp"
@@ -18,13 +20,20 @@
 using namespace sriov;
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
+    core::FigReport fr(argc, argv, "abl_aic_r",
+                       "Ablation: AIC redundancy rate r (Eq. 2)");
+    if (fr.helpShown())
+        return 0;
     core::banner("Ablation: AIC redundancy rate r (dom0 -> guest "
                  "inter-VM UDP at 2 Gb/s offered)");
+    fr.report().setConfig("offered_gbps", 2.0);
+    fr.report().setConfig("measure_s", 4.0);
 
     core::Table t({"r", "RX BW(Mb/s)", "loss", "irq/s", "guest CPU"});
+    std::vector<double> r_axis, loss_series, irq_series;
     for (double r : {0.8, 1.0, 1.1, 1.2, 1.5, 2.0}) {
         core::Testbed::Params p;
         p.num_ports = 1;
@@ -38,15 +47,29 @@ main()
         g.vf->setItrPolicy(std::make_unique<drivers::AicItr>(ap));
 
         auto &snd = tb.startUdpFromDom0(g, 2e9);
-        tb.run(sim::Time::sec(2));
-        std::uint64_t irqs0 = g.vf->deviceStats().interrupts.value();
-        std::uint64_t sent0 = snd.sentBytes();
-        auto m = tb.measure(sim::Time(), sim::Time::sec(4));
+        fr.instrument(tb);
+        core::Testbed::Measurement m;
+        std::uint64_t irqs0 = 0, sent0 = 0;
+        fr.captureTrace(tb, [&]() {
+            tb.run(sim::Time::sec(2));
+            irqs0 = g.vf->deviceStats().interrupts.value();
+            sent0 = snd.sentBytes();
+            m = tb.measure(sim::Time(), sim::Time::sec(4));
+        });
         double tx = double(snd.sentBytes() - sent0) * 8.0 / m.seconds;
         double loss =
             tx > 0 ? 100.0 * (tx - m.total_goodput_bps) / tx : 0.0;
         double irq_rate =
             (g.vf->deviceStats().interrupts.value() - irqs0) / m.seconds;
+        r_axis.push_back(r);
+        loss_series.push_back(loss);
+        irq_series.push_back(irq_rate);
+        if (r == 1.2) {
+            fr.snapshot("r1.2");
+            // Paper's pick: r = 1.2 keeps up with the offered load.
+            fr.expect("rx_mbps_at_r1.2", m.total_goodput_bps / 1e6,
+                      tx / 1e6, 3);
+        }
 
         t.addRow({core::Table::num(r, 1),
                   core::Table::num(m.total_goodput_bps / 1e6, 0),
@@ -54,9 +77,11 @@ main()
                   core::Table::num(irq_rate, 0),
                   core::cpuPct(m.guests_pct)});
     }
+    fr.report().addSeries("loss_pct_vs_r", r_axis, loss_series);
+    fr.report().addSeries("irq_per_s_vs_r", r_axis, irq_series);
     t.print();
     std::printf("\nexpected: loss at r < ~1 (no headroom for the "
                 "hypervisor), wasted interrupts at large r; the paper "
                 "picks r = 1.2\n");
-    return 0;
+    return fr.finish();
 }

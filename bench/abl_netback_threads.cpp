@@ -8,6 +8,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/testbed.hpp"
@@ -16,14 +18,21 @@
 using namespace sriov;
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
+    core::FigReport fr(argc, argv, "abl_netback",
+                       "Ablation: netback worker threads (section 6.5)");
+    if (fr.helpShown())
+        return 0;
     core::banner("Ablation: netback worker threads, 10 PV (HVM) guests, "
                  "aggregate 10 GbE offered");
+    fr.report().setConfig("ports", 10.0);
+    fr.report().setConfig("measure_s", 4.0);
 
     core::Table t({"threads", "throughput(Gb/s)", "dom0 CPU",
                    "backlog drops/s"});
+    std::vector<double> thread_axis, bw_gbps;
     for (unsigned threads : {1u, 2u, 4u, 7u}) {
         core::Testbed::Params p;
         p.num_ports = 10;
@@ -36,14 +45,26 @@ main()
                                   core::Testbed::NetMode::Pv);
             tb.startUdpToGuest(g, p.line_bps);
         }
-        tb.run(sim::Time::sec(2));
+        fr.instrument(tb);
+        core::Testbed::Measurement m;
         std::uint64_t drops0 = 0;
-        for (unsigned port = 0; port < 10; ++port)
-            drops0 += tb.netback(port).backlogDrops();
-        auto m = tb.measure(sim::Time(), sim::Time::sec(4));
+        fr.captureTrace(tb, [&]() {
+            tb.run(sim::Time::sec(2));
+            for (unsigned port = 0; port < 10; ++port)
+                drops0 += tb.netback(port).backlogDrops();
+            m = tb.measure(sim::Time(), sim::Time::sec(4));
+        });
         std::uint64_t drops = 0;
         for (unsigned port = 0; port < 10; ++port)
             drops += tb.netback(port).backlogDrops();
+        thread_axis.push_back(double(threads));
+        bw_gbps.push_back(m.total_goodput_bps / 1e9);
+        if (threads == 1) {
+            fr.snapshot("1-thread");
+            // Paper §6.5: one thread saturates a core around 3.6 Gb/s.
+            fr.expect("1thread_gbps", m.total_goodput_bps / 1e9, 3.6,
+                      15);
+        }
 
         t.addRow({core::Table::num(threads, 0),
                   core::gbps(m.total_goodput_bps),
@@ -51,8 +72,10 @@ main()
                   core::Table::num(double(drops - drops0) / m.seconds,
                                    0)});
     }
+    fr.report().addSeries("goodput_gbps_vs_threads", thread_axis,
+                          bw_gbps);
     t.print();
     std::printf("\npaper: 1 thread caps at ~3.6 Gb/s with one core "
                 "pegged; threads buy throughput at dom0-CPU cost\n");
-    return 0;
+    return fr.finish();
 }

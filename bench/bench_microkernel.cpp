@@ -8,12 +8,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "intr/lapic.hpp"
 #include "mem/iommu.hpp"
 #include "nic/l2_switch.hpp"
 #include "nic/sriov_nic.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metric.hpp"
+#include "obs/profiler.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
+#include "sim/stats.hpp"
 
 using namespace sriov;
 
@@ -58,6 +65,53 @@ BM_IommuTranslate(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_IommuTranslate);
+
+// The hot-path cost the observability layer adds when a tap IS
+// installed: one log-bucket binary search per sample.
+static void
+BM_HistogramRecord(benchmark::State &state)
+{
+    obs::Histogram h;
+    sim::Random rng;
+    for (auto _ : state)
+        h.record(double(rng.next() % 100000) * 0.01);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+static void
+BM_RegistrySnapshot(benchmark::State &state)
+{
+    obs::MetricRegistry reg;
+    std::vector<sim::Counter> counters(64);
+    for (std::size_t i = 0; i < counters.size(); ++i) {
+        counters[i].inc(i);
+        reg.add("server.nic0.vf" + std::to_string(i) + ".rx_frames",
+                &counters[i]);
+    }
+    for (auto _ : state)
+        benchmark::DoNotOptimize(reg.snapshot());
+    state.SetItemsProcessed(state.iterations() * counters.size());
+}
+BENCHMARK(BM_RegistrySnapshot);
+
+// Per-event overhead of an attached ExecHook vs the bare queue: the
+// disabled path is one null check, the enabled path two virtual calls.
+static void
+BM_EventQueueWithProfiler(benchmark::State &state)
+{
+    for (auto _ : state) {
+        sim::EventQueue eq;
+        obs::SimProfiler prof;
+        if (state.range(0))
+            prof.attach(eq);
+        for (int i = 0; i < 1000; ++i)
+            eq.scheduleIn(sim::Time::ns(i), []() {});
+        benchmark::DoNotOptimize(eq.runAll());
+    }
+    state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueWithProfiler)->Arg(0)->Arg(1);
 
 static void
 BM_L2Classify(benchmark::State &state)

@@ -10,6 +10,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "check/determinism.hpp"
 #include "core/experiment.hpp"
@@ -31,7 +33,7 @@ struct Row
 };
 
 Row
-runCase(unsigned vms, bool opt)
+runCase(core::FigReport &fr, unsigned vms, bool opt)
 {
     core::Testbed::Params p;
     p.num_ports = 1;
@@ -47,7 +49,16 @@ runCase(unsigned vms, bool opt)
                               guest::KernelVersion::v2_6_18);
         tb.startUdpToGuest(g, per_guest);
     }
-    auto m = tb.measure(sim::Time::sec(2), sim::Time::sec(5));
+    fr.instrument(tb);
+    core::Testbed::Measurement m;
+    fr.captureTrace(
+        tb, [&]() { m = tb.measure(sim::Time::sec(2), sim::Time::sec(5)); });
+    char label[32];
+    std::snprintf(label, sizeof(label), "%u-VM%s", vms, opt ? "-opt" : "");
+    fr.snapshot(label);
+    fr.report().addMetric(std::string(label) + ".goodput_gbps",
+                          m.total_goodput_bps / 1e9);
+    fr.report().addMetric(std::string(label) + ".dom0_pct", m.dom0_pct);
     return Row{vms, opt, m.total_goodput_bps / 1e9, m.dom0_pct, m.xen_pct,
                m.guests_pct};
 }
@@ -80,28 +91,49 @@ determinismSmoke()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
+    core::FigReport fr(argc, argv, "fig06",
+                       "SR-IOV mask/unmask acceleration: throughput and "
+                       "CPU vs VM count (Fig. 6)");
+    if (fr.helpShown())
+        return 0;
     core::banner("Fig. 6: SR-IOV, RHEL5U1 (2.6.18) HVM, 1 GbE port, "
                  "MSI mask/unmask acceleration");
     determinismSmoke();
+    fr.report().setConfig("guest_kernel", "2.6.18");
+    fr.report().setConfig("ports", 1.0);
+    fr.report().setConfig("measure_s", 5.0);
 
     core::Table t({"case", "throughput(Gb/s)", "dom0 CPU", "Xen CPU",
                    "guest CPU"});
+    std::vector<double> vm_axis, dom0_unopt, dom0_opt;
     for (bool opt : {false, true}) {
         for (unsigned n : {1u, 2u, 3u, 4u, 5u, 6u, 7u}) {
-            Row r = runCase(n, opt);
+            Row r = runCase(fr, n, opt);
             char label[32];
             std::snprintf(label, sizeof(label), "%u-VM%s", n,
                           opt ? "-opt" : "");
             t.addRow({label, core::Table::num(r.gbps, 3),
                       core::cpuPct(r.dom0), core::cpuPct(r.xen),
                       core::cpuPct(r.guests)});
+            (opt ? dom0_opt : dom0_unopt).push_back(r.dom0);
+            if (!opt)
+                vm_axis.push_back(double(n));
+            // Paper: line rate in every configuration.
+            fr.expect(std::string(label) + ".goodput_gbps", r.gbps, 0.957,
+                      10);
+            if (n == 7) {
+                fr.expect(opt ? "dom0_pct_7vm_opt" : "dom0_pct_7vm_unopt",
+                          r.dom0, opt ? 3.0 : 30.0, opt ? 150 : 60);
+            }
         }
     }
+    fr.report().addSeries("dom0_pct_unopt_vs_vms", vm_axis, dom0_unopt);
+    fr.report().addSeries("dom0_pct_opt_vs_vms", vm_axis, dom0_opt);
     t.print();
     std::printf("\npaper: dom0 17%%..30%% unoptimized, ~3%% optimized; "
                 "throughput flat at line rate\n");
-    return 0;
+    return fr.finish();
 }

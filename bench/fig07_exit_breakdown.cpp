@@ -10,6 +10,7 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "core/experiment.hpp"
 #include "core/testbed.hpp"
@@ -20,7 +21,7 @@ using namespace sriov;
 namespace {
 
 void
-runCase(bool eoi_accel)
+runCase(core::FigReport &fr, bool eoi_accel)
 {
     core::Testbed::Params p;
     p.num_ports = 1;
@@ -32,11 +33,14 @@ runCase(bool eoi_accel)
     auto &g = tb.addGuest(vmm::DomainType::Hvm,
                           core::Testbed::NetMode::Sriov);
     tb.startUdpToGuest(g, p.line_bps);
+    fr.instrument(tb);
 
-    tb.run(sim::Time::sec(2));
-    g.dom->exits().reset();
     sim::Time window = sim::Time::sec(5);
-    tb.run(window);
+    fr.captureTrace(tb, [&]() {
+        tb.run(sim::Time::sec(2));
+        g.dom->exits().reset();
+        tb.run(window);
+    });
 
     double secs = window.toSeconds();
     auto &ex = g.dom->exits();
@@ -61,19 +65,41 @@ runCase(bool eoi_accel)
                 "(paper: 90%% before acceleration; EOI = 47%% of APIC "
                 "exits)\n",
                 apic_pct);
+
+    std::string label = eoi_accel ? "eoi-on" : "eoi-off";
+    fr.snapshot(label);
+    const auto &cm = tb.server().costs();
+    double per_eoi = eoi_accel ? cm.eoi_accelerated
+                               : cm.apic_access_emulate;
+    fr.report().addMetric(label + ".total_mcycles_per_s",
+                          ex.totalCycles() / secs / 1e6);
+    fr.report().addMetric(label + ".apic_pct", apic_pct);
+    // Paper: 154M cycles/s unaccelerated, 111M accelerated; EOI
+    // emulation 8.4K cycles -> 2.5K.
+    fr.expect(label + ".total_mcycles_per_s", ex.totalCycles() / secs / 1e6,
+              eoi_accel ? 111 : 154, 25);
+    fr.expect(label + ".cyc_per_eoi", per_eoi, eoi_accel ? 2500 : 8400,
+              1);
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
+    core::FigReport fr(argc, argv, "fig07",
+                       "Virtualization overhead per second by VM-exit "
+                       "event (Fig. 7)");
+    if (fr.helpShown())
+        return 0;
     core::banner("Fig. 7: virtualization overhead per second by VM-exit "
                  "event (1 VM, 1 GbE, 2.6.28 HVM)");
-    runCase(false);
-    runCase(true);
+    fr.report().setConfig("guest_kernel", "2.6.28");
+    fr.report().setConfig("measure_s", 5.0);
+    runCase(fr, false);
+    runCase(fr, true);
     std::printf("\npaper: 154M cycles/s -> 111M with EOI acceleration "
                 "(8.4K -> 2.5K cycles per EOI)\n");
-    return 0;
+    return fr.finish();
 }

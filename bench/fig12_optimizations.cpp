@@ -33,11 +33,19 @@ struct Case
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
+    core::FigReport fr(argc, argv, "fig12",
+                       "Optimization impact at aggregate 10 GbE "
+                       "(Fig. 12)");
+    if (fr.helpShown())
+        return 0;
     core::banner("Fig. 12: optimization impact at aggregate 10 GbE "
                  "(10 VMs x 1 GbE, UDP_STREAM RX)");
+    fr.report().setConfig("ports", 10.0);
+    fr.report().setConfig("vms", 10.0);
+    fr.report().setConfig("measure_s", 5.0);
 
     std::vector<Case> cases;
     cases.push_back({"2.6.18 HVM baseline", guest::KernelVersion::v2_6_18,
@@ -79,7 +87,23 @@ main()
                                   c.kv);
             tb.startUdpToGuest(g, p.line_bps);
         }
-        auto m = tb.measure(sim::Time::sec(2), sim::Time::sec(5));
+        fr.instrument(tb);
+        core::Testbed::Measurement m;
+        fr.captureTrace(tb, [&]() {
+            m = tb.measure(sim::Time::sec(2), sim::Time::sec(5));
+        });
+        fr.snapshot(c.label);
+        fr.report().addMetric(std::string(c.label) + ".goodput_gbps",
+                              m.total_goodput_bps / 1e9);
+        fr.report().addMetric(std::string(c.label) + ".total_cpu_pct",
+                              m.total_pct);
+        // Paper: line rate in every configuration.
+        fr.expect(std::string(c.label) + ".goodput_gbps",
+                  m.total_goodput_bps / 1e9, 9.57, 5);
+        if (std::string(c.label) == "2.6.18 HVM baseline")
+            fr.expect("baseline_total_cpu_pct", m.total_pct, 499, 20);
+        if (std::string(c.label) == "2.6.18 HVM +MSI")
+            fr.expect("msi_total_cpu_pct", m.total_pct, 227, 20);
         t.addRow({c.label, core::gbps(m.total_goodput_bps),
                   core::cpuPct(m.total_pct), core::cpuPct(m.guests_pct),
                   core::cpuPct(m.xen_pct), core::cpuPct(m.dom0_pct)});
@@ -88,5 +112,5 @@ main()
     std::printf("\npaper: 499%% -> 227%% (MSI, 2.6.18); 2.6.28: -23 pts "
                 "(EOI), -24 pts (AIC) -> 193%%; native 145%%; all at "
                 "9.57 Gb/s\n");
-    return 0;
+    return fr.finish();
 }

@@ -10,6 +10,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/testbed.hpp"
@@ -18,14 +20,21 @@
 using namespace sriov;
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
+    core::FigReport fr(argc, argv, "fig13",
+                       "SR-IOV inter-VM UDP, message-size sweep "
+                       "(Fig. 13)");
+    if (fr.helpShown())
+        return 0;
     core::banner("Fig. 13: SR-IOV inter-VM UDP, single port, message "
                  "size sweep");
+    fr.report().setConfig("measure_s", 4.0);
 
     core::Table t({"msg size(B)", "RX BW(Gb/s)", "total CPU",
                    "Gb/s per 100% CPU"});
+    std::vector<double> size_axis, bw_gbps;
     for (std::uint32_t payload : {1500u, 2000u, 2500u, 3000u, 3500u,
                                   4000u}) {
         core::Testbed::Params p;
@@ -39,17 +48,30 @@ main()
                                core::Testbed::NetMode::Sriov);
         // Offer more than the PCIe path can carry; it saturates.
         tb.startUdpGuestToGuest(tx, rx, 6e9, payload);
+        fr.instrument(tb);
 
-        auto m = tb.measure(sim::Time::sec(2), sim::Time::sec(4));
+        core::Testbed::Measurement m;
+        fr.captureTrace(tb, [&]() {
+            m = tb.measure(sim::Time::sec(2), sim::Time::sec(4));
+        });
         double cpu = m.total_pct;
+        size_axis.push_back(double(payload));
+        bw_gbps.push_back(m.total_goodput_bps / 1e9);
+        if (payload == 4000u) {
+            fr.snapshot("4000B");
+            // Paper: peaks at ~2.8 Gb/s (PCIe-bound).
+            fr.expect("peak_gbps_4000B", m.total_goodput_bps / 1e9, 2.8,
+                      15);
+        }
         t.addRow({core::Table::num(payload, 0),
                   core::gbps(m.total_goodput_bps), core::cpuPct(cpu),
                   core::Table::num(m.total_goodput_bps / 1e9
                                        / (cpu / 100.0),
                                    2)});
     }
+    fr.report().addSeries("rx_gbps_vs_msg_bytes", size_axis, bw_gbps);
     t.print();
     std::printf("\npaper: up to 2.8 Gb/s (PCIe-bound, two DMA "
                 "crossings); throughput/CPU better than PV\n");
-    return 0;
+    return fr.finish();
 }

@@ -10,6 +10,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/testbed.hpp"
@@ -18,13 +20,21 @@
 using namespace sriov;
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
+    core::FigReport fr(argc, argv, "fig14",
+                       "PV NIC inter-VM UDP, message-size sweep "
+                       "(Fig. 14)");
+    if (fr.helpShown())
+        return 0;
     core::banner("Fig. 14: PV NIC inter-VM UDP, message size sweep");
+    fr.report().setConfig("measure_s", 4.0);
+    fr.report().setConfig("netback_threads", 2.0);
 
     core::Table t({"msg size(B)", "RX BW(Gb/s)", "total CPU", "dom0 CPU",
                    "Gb/s per 100% CPU"});
+    std::vector<double> size_axis, bw_gbps;
     for (std::uint32_t payload : {1500u, 2000u, 2500u, 3000u, 3500u,
                                   4000u}) {
         core::Testbed::Params p;
@@ -38,9 +48,20 @@ main()
         auto &rx = tb.addGuest(vmm::DomainType::Hvm,
                                core::Testbed::NetMode::Pv);
         tb.startUdpGuestToGuest(tx, rx, 8e9, payload);
+        fr.instrument(tb);
 
-        auto m = tb.measure(sim::Time::sec(2), sim::Time::sec(4));
+        core::Testbed::Measurement m;
+        fr.captureTrace(tb, [&]() {
+            m = tb.measure(sim::Time::sec(2), sim::Time::sec(4));
+        });
         double cpu = m.total_pct;
+        size_axis.push_back(double(payload));
+        bw_gbps.push_back(m.total_goodput_bps / 1e9);
+        if (payload == 1500u) {
+            fr.snapshot("1500B");
+            // Paper: ~4.3 Gb/s at 1500 B.
+            fr.expect("gbps_1500B", m.total_goodput_bps / 1e9, 4.3, 15);
+        }
         t.addRow({core::Table::num(payload, 0),
                   core::gbps(m.total_goodput_bps), core::cpuPct(cpu),
                   core::cpuPct(m.dom0_pct),
@@ -48,8 +69,9 @@ main()
                                        / (cpu / 100.0),
                                    2)});
     }
+    fr.report().addSeries("rx_gbps_vs_msg_bytes", size_axis, bw_gbps);
     t.print();
     std::printf("\npaper: ~4.3 Gb/s with more CPU than SR-IOV; "
                 "SR-IOV has better throughput per CPU\n");
-    return 0;
+    return fr.finish();
 }

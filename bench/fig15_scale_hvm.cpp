@@ -8,6 +8,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/testbed.hpp"
@@ -28,7 +30,7 @@ struct Point
 };
 
 Point
-runScale(unsigned vms, vmm::DomainType type)
+runScale(core::FigReport &fr, unsigned vms, vmm::DomainType type)
 {
     core::Testbed::Params p;
     p.num_ports = 10;
@@ -45,8 +47,12 @@ runScale(unsigned vms, vmm::DomainType type)
     double per_guest = p.line_bps / (vms / 10);
     for (unsigned i = 0; i < vms; ++i)
         tb.startUdpToGuest(tb.guest(i), per_guest);
+    fr.instrument(tb);
 
-    auto m = tb.measure(sim::Time::sec(2), sim::Time::sec(4));
+    core::Testbed::Measurement m;
+    fr.captureTrace(tb, [&]() {
+        m = tb.measure(sim::Time::sec(2), sim::Time::sec(4));
+    });
     return Point{vms, m.total_goodput_bps / 1e9, m.total_pct,
                  m.guests_pct, m.xen_pct, m.dom0_pct};
 }
@@ -54,41 +60,61 @@ runScale(unsigned vms, vmm::DomainType type)
 } // namespace
 
 int
-runScaleBench(vmm::DomainType type, const char *title, const char *expect)
+runScaleBench(int argc, char **argv, const char *fig,
+              vmm::DomainType type, const char *title, const char *expect,
+              double slope_expected)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
+    core::FigReport fr(argc, argv, fig, title);
+    if (fr.helpShown())
+        return 0;
     core::banner(title);
+    fr.report().setConfig("ports", 10.0);
+    fr.report().setConfig("measure_s", 4.0);
 
     core::Table t({"VMs", "throughput(Gb/s)", "total CPU", "guest", "Xen",
                    "dom0"});
+    std::vector<double> vm_axis, cpu_total, bw_gbps;
     double first = 0, last = 0;
     unsigned n_first = 0, n_last = 0;
     for (unsigned n : {10u, 20u, 30u, 40u, 50u, 60u}) {
-        Point pt = runScale(n, type);
+        Point pt = runScale(fr, n, type);
         if (n_first == 0) {
             first = pt.total;
             n_first = n;
         }
         last = pt.total;
         n_last = n;
+        vm_axis.push_back(double(n));
+        cpu_total.push_back(pt.total);
+        bw_gbps.push_back(pt.gbps);
         t.addRow({core::Table::num(n, 0), core::Table::num(pt.gbps, 2),
                   core::cpuPct(pt.total), core::cpuPct(pt.guests),
                   core::cpuPct(pt.xen), core::cpuPct(pt.dom0)});
+        // Paper: line rate throughout the sweep.
+        fr.expect(std::to_string(n) + "vm.goodput_gbps", pt.gbps, 9.57,
+                  6);
+        if (n == 60)
+            fr.snapshot("60-VM");
     }
+    double slope = (last - first) / double(n_last - n_first);
+    fr.report().addSeries("total_cpu_pct_vs_vms", vm_axis, cpu_total);
+    fr.report().addSeries("goodput_gbps_vs_vms", vm_axis, bw_gbps);
+    fr.expect("cpu_pct_per_vm", slope, slope_expected, 30);
     t.print();
     std::printf("\nmeasured slope: %.2f%% CPU per additional VM   "
                 "(paper: %s)\n",
-                (last - first) / double(n_last - n_first), expect);
-    return 0;
+                slope, expect);
+    return fr.finish();
 }
 
 #ifndef FIG16_PVM
 int
-main()
+main(int argc, char **argv)
 {
-    return runScaleBench(vmm::DomainType::Hvm,
+    return runScaleBench(argc, argv, "fig15", vmm::DomainType::Hvm,
                          "Fig. 15: SR-IOV scalability, HVM, 10-60 VMs, "
                          "aggregate 10 GbE",
-                         "2.8% per VM, line rate throughout");
+                         "2.8% per VM, line rate throughout", 2.8);
 }
 #endif

@@ -14,10 +14,11 @@
 #include "fig15_scale_hvm.cpp"
 
 int
-main()
+main(int argc, char **argv)
 {
-    return runScaleBench(vmm::DomainType::Pvm,
+    return runScaleBench(argc, argv, "fig16", vmm::DomainType::Pvm,
                          "Fig. 16: SR-IOV scalability, PVM, 10-60 VMs, "
                          "aggregate 10 GbE",
-                         "1.76% per VM; PVM slightly above HVM at 10 VMs");
+                         "1.76% per VM; PVM slightly above HVM at 10 VMs",
+                         1.76);
 }

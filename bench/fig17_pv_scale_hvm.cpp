@@ -11,6 +11,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/testbed.hpp"
@@ -30,7 +32,8 @@ struct Point
 };
 
 Point
-runPvScale(unsigned vms, vmm::DomainType type, unsigned threads)
+runPvScale(core::FigReport &fr, unsigned vms, vmm::DomainType type,
+           unsigned threads)
 {
     core::Testbed::Params p;
     p.num_ports = 10;
@@ -43,8 +46,12 @@ runPvScale(unsigned vms, vmm::DomainType type, unsigned threads)
     double per_guest = p.line_bps / std::max(1u, vms / 10);
     for (unsigned i = 0; i < vms; ++i)
         tb.startUdpToGuest(tb.guest(i), per_guest);
+    fr.instrument(tb);
 
-    auto m = tb.measure(sim::Time::sec(2), sim::Time::sec(4));
+    core::Testbed::Measurement m;
+    fr.captureTrace(tb, [&]() {
+        m = tb.measure(sim::Time::sec(2), sim::Time::sec(4));
+    });
     return Point{m.total_goodput_bps / 1e9, m.total_pct, m.dom0_pct,
                  m.guests_pct, m.xen_pct};
 }
@@ -52,41 +59,62 @@ runPvScale(unsigned vms, vmm::DomainType type, unsigned threads)
 } // namespace
 
 int
-runPvScaleBench(vmm::DomainType type, const char *title,
-                const char *expect)
+runPvScaleBench(int argc, char **argv, const char *fig,
+                vmm::DomainType type, const char *title,
+                const char *expect, double dom0_peak_expected)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
+    core::FigReport fr(argc, argv, fig, title);
+    if (fr.helpShown())
+        return 0;
     core::banner(title);
+    fr.report().setConfig("ports", 10.0);
+    fr.report().setConfig("netback_threads", 4.0);
+    fr.report().setConfig("measure_s", 4.0);
 
     {
-        Point pt = runPvScale(10, type, /*threads=*/1);
+        Point pt = runPvScale(fr, 10, type, /*threads=*/1);
         std::printf("single-threaded netback, 10 VMs: %.2f Gb/s, dom0 "
                     "%.0f%%  (paper Section 6.5: ~3.6 Gb/s, one core "
                     "saturated)\n\n",
                     pt.gbps, pt.dom0);
+        // Paper §6.5: the single-threaded netback tops out ~3.6 Gb/s.
+        fr.expect("1thread_10vm.goodput_gbps", pt.gbps, 3.6, 15);
     }
 
     core::Table t({"VMs", "throughput(Gb/s)", "total CPU", "dom0", "Xen",
                    "guest"});
+    std::vector<double> vm_axis, dom0_pct, bw_gbps;
+    double dom0_peak = 0;
     for (unsigned n : {10u, 20u, 30u, 40u, 50u, 60u}) {
-        Point pt = runPvScale(n, type, /*threads=*/4);
+        Point pt = runPvScale(fr, n, type, /*threads=*/4);
+        vm_axis.push_back(double(n));
+        dom0_pct.push_back(pt.dom0);
+        bw_gbps.push_back(pt.gbps);
+        dom0_peak = std::max(dom0_peak, pt.dom0);
         t.addRow({core::Table::num(n, 0), core::Table::num(pt.gbps, 2),
                   core::cpuPct(pt.total), core::cpuPct(pt.dom0),
                   core::cpuPct(pt.xen), core::cpuPct(pt.guests)});
+        if (n == 60)
+            fr.snapshot("60-VM");
     }
+    fr.report().addSeries("dom0_pct_vs_vms", vm_axis, dom0_pct);
+    fr.report().addSeries("goodput_gbps_vs_vms", vm_axis, bw_gbps);
+    fr.expect("dom0_pct_peak", dom0_peak, dom0_peak_expected, 30);
     t.print();
     std::printf("\npaper: %s\n", expect);
-    return 0;
+    return fr.finish();
 }
 
 #ifndef FIG18_PVM
 int
-main()
+main(int argc, char **argv)
 {
     return runPvScaleBench(
-        vmm::DomainType::Hvm,
+        argc, argv, "fig17", vmm::DomainType::Hvm,
         "Fig. 17: PV NIC scalability, HVM guests, 4-thread netback",
         "throughput decays with VM#; dom0 ~431% (event channel converted "
-        "through virtual LAPIC)");
+        "through virtual LAPIC)",
+        431);
 }
 #endif

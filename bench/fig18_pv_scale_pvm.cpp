@@ -11,11 +11,12 @@
 #include "fig17_pv_scale_hvm.cpp"
 
 int
-main()
+main(int argc, char **argv)
 {
     return runPvScaleBench(
-        vmm::DomainType::Pvm,
+        argc, argv, "fig18", vmm::DomainType::Pvm,
         "Fig. 18: PV NIC scalability, PVM guests, multi-threaded netback",
         "dom0 ~324% (lower than HVM's 431%); guest side slightly higher "
-        "than HVM");
+        "than HVM",
+        324);
 }

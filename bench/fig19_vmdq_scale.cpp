@@ -12,6 +12,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/testbed.hpp"
@@ -20,14 +22,22 @@
 using namespace sriov;
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
+    core::FigReport fr(argc, argv, "fig19",
+                       "VMDq scalability, PVM guests (Fig. 19)");
+    if (fr.helpShown())
+        return 0;
     core::banner("Fig. 19: VMDq scalability, PVM guests, one 10 GbE "
                  "82598 (8 queue pairs)");
+    fr.report().setConfig("queue_pairs", 8.0);
+    fr.report().setConfig("measure_s", 4.0);
 
     core::Table t({"VMs", "throughput(Gb/s)", "total CPU", "dom0",
                    "VMDq-served VMs"});
+    std::vector<double> vm_axis, bw_gbps;
+    double peak_gbps = 0, gbps_at_10 = 0, gbps_at_60 = 0;
     for (unsigned n : {2u, 4u, 7u, 10u, 20u, 30u, 40u, 50u, 60u}) {
         core::Testbed::Params p;
         p.use_vmdq_nic = true;
@@ -42,14 +52,31 @@ main()
         for (unsigned i = 0; i < n; ++i)
             tb.startUdpToGuest(tb.guest(i), per_guest);
 
-        auto m = tb.measure(sim::Time::sec(2), sim::Time::sec(4));
+        fr.instrument(tb);
+        core::Testbed::Measurement m;
+        fr.captureTrace(tb, [&]() {
+            m = tb.measure(sim::Time::sec(2), sim::Time::sec(4));
+        });
+        vm_axis.push_back(double(n));
+        bw_gbps.push_back(m.total_goodput_bps / 1e9);
+        peak_gbps = std::max(peak_gbps, m.total_goodput_bps / 1e9);
+        if (n == 10) {
+            gbps_at_10 = m.total_goodput_bps / 1e9;
+            fr.snapshot("10-VM");
+        }
+        if (n == 60)
+            gbps_at_60 = m.total_goodput_bps / 1e9;
         t.addRow({core::Table::num(n, 0),
                   core::gbps(m.total_goodput_bps),
                   core::cpuPct(m.total_pct), core::cpuPct(m.dom0_pct),
                   core::Table::num(tb.vmdqBackend().queuesInUse(), 0)});
     }
+    fr.report().addSeries("goodput_gbps_vs_vms", vm_axis, bw_gbps);
+    fr.report().addMetric("gbps_at_60vm", gbps_at_60);
+    // Paper: throughput peaks around 10 VMs and decays beyond.
+    fr.expect("peak_gbps_at_10vm", gbps_at_10, peak_gbps, 5);
     t.print();
     std::printf("\npaper: peak near 10 VMs, progressive decay beyond "
                 "(only 7 guests get VMDq queues)\n");
-    return 0;
+    return fr.finish();
 }

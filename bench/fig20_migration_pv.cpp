@@ -10,6 +10,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/experiment.hpp"
 #include "core/testbed.hpp"
@@ -18,11 +20,18 @@
 using namespace sriov;
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
+    core::FigReport fr(argc, argv, "fig20",
+                       "Live migration of an HVM guest over the PV NIC "
+                       "(Fig. 20)");
+    if (fr.helpShown())
+        return 0;
     core::banner("Fig. 20: migrating an HVM guest running netperf over "
                  "the PV network driver");
+    fr.report().setConfig("guest_mem_mb", 640.0);
+    fr.report().setConfig("migrate_at_s", 4.5);
 
     core::Testbed::Params p;
     p.num_ports = 1;
@@ -35,6 +44,7 @@ main()
                           core::Testbed::NetMode::Pv);
     tb.startUdpToGuest(g, p.line_bps);
     g.rx->sampleEvery(sim::Time::ms(500));
+    fr.instrument(tb);
 
     vmm::MigrationManager::Params mp;
     vmm::MigrationManager::Result result{};
@@ -53,17 +63,19 @@ main()
                 "dom0 CPU");
     auto snap = tb.server().snapshot();
     std::vector<double> dom0_series;
-    for (int step = 0; step < 32; ++step) {
-        tb.run(sim::Time::ms(500));
-        auto tags = tb.server().cpuPercentByTag(snap);
-        double dom0 = 0;
-        for (const auto &[tag, pct] : tags) {
-            if (tag.rfind("dom0", 0) == 0)
-                dom0 += pct;
+    fr.captureTrace(tb, [&]() {
+        for (int step = 0; step < 32; ++step) {
+            tb.run(sim::Time::ms(500));
+            auto tags = tb.server().cpuPercentByTag(snap);
+            double dom0 = 0;
+            for (const auto &[tag, pct] : tags) {
+                if (tag.rfind("dom0", 0) == 0)
+                    dom0 += pct;
+            }
+            dom0_series.push_back(dom0);
+            snap = tb.server().snapshot();
         }
-        dom0_series.push_back(dom0);
-        snap = tb.server().snapshot();
-    }
+    });
     const auto &tl = g.rx->timeline().samples();
     for (std::size_t i = 0; i < tl.size() && i < dom0_series.size(); ++i) {
         std::printf("%-8.1f %-18.0f %-10.1f\n",
@@ -79,9 +91,25 @@ main()
                     result.resumed_at.toSeconds(),
                     result.downtime().toSeconds(), result.rounds,
                     static_cast<unsigned long long>(result.pages_sent));
+        fr.snapshot("post-migration");
+        std::vector<double> t_axis, mbps;
+        for (const auto &[when, bps] : tl) {
+            t_axis.push_back(when.toSeconds());
+            mbps.push_back(bps / 1e6);
+        }
+        fr.report().addSeries("netperf_mbps_vs_s", t_axis, mbps);
+        std::vector<double> step_axis;
+        for (std::size_t i = 0; i < dom0_series.size(); ++i)
+            step_axis.push_back(0.5 * double(i + 1));
+        fr.report().addSeries("dom0_pct_vs_s", step_axis, dom0_series);
+        // Paper: service down ~10.4 s, restored ~11.8 s.
+        fr.expect("paused_at_s", result.paused_at.toSeconds(), 10.4, 15);
+        fr.expect("resumed_at_s", result.resumed_at.toSeconds(), 11.8,
+                  15);
     } else {
         std::printf("\nmigration did not complete within the window\n");
     }
     std::printf("paper: service down ~10.4 s, restored ~11.8 s\n");
-    return done ? 0 : 1;
+    int rc = fr.finish();
+    return done ? rc : 1;
 }

@@ -12,6 +12,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "core/dnis.hpp"
 #include "vmm/hotplug_controller.hpp"
@@ -22,11 +24,18 @@
 using namespace sriov;
 
 int
-main()
+main(int argc, char **argv)
 {
     sim::setLogLevel(sim::LogLevel::Quiet);
+    core::FigReport fr(argc, argv, "fig21",
+                       "Live migration of an SR-IOV guest with DNIS "
+                       "(Fig. 21)");
+    if (fr.helpShown())
+        return 0;
     core::banner("Fig. 21: migrating an HVM guest running netperf over "
                  "SR-IOV with DNIS");
+    fr.report().setConfig("guest_mem_mb", 640.0);
+    fr.report().setConfig("migrate_at_s", 4.5);
 
     core::Testbed::Params p;
     p.num_ports = 1;
@@ -59,19 +68,22 @@ main()
 
     std::printf("\n%-8s %-18s %-10s\n", "t(s)", "netperf(Mb/s)",
                 "dom0 CPU");
+    fr.instrument(tb);
     auto snap = tb.server().snapshot();
     std::vector<double> dom0_series;
-    for (int step = 0; step < 36; ++step) {
-        tb.run(sim::Time::ms(500));
-        auto tags = tb.server().cpuPercentByTag(snap);
-        double dom0 = 0;
-        for (const auto &[tag, pct] : tags) {
-            if (tag.rfind("dom0", 0) == 0)
-                dom0 += pct;
+    fr.captureTrace(tb, [&]() {
+        for (int step = 0; step < 36; ++step) {
+            tb.run(sim::Time::ms(500));
+            auto tags = tb.server().cpuPercentByTag(snap);
+            double dom0 = 0;
+            for (const auto &[tag, pct] : tags) {
+                if (tag.rfind("dom0", 0) == 0)
+                    dom0 += pct;
+            }
+            dom0_series.push_back(dom0);
+            snap = tb.server().snapshot();
         }
-        dom0_series.push_back(dom0);
-        snap = tb.server().snapshot();
-    }
+    });
     const auto &tl = g.rx->timeline().samples();
     for (std::size_t i = 0; i < tl.size() && i < dom0_series.size(); ++i) {
         std::printf("%-8.1f %-18.0f %-10.1f\n",
@@ -97,10 +109,31 @@ main()
                     static_cast<unsigned long long>(g.bond->failovers()),
                     static_cast<unsigned long long>(
                         g.bond->inactiveRxDropped()));
+        fr.snapshot("post-migration");
+        std::vector<double> t_axis, mbps;
+        for (const auto &[when, bps] : tl) {
+            t_axis.push_back(when.toSeconds());
+            mbps.push_back(bps / 1e6);
+        }
+        fr.report().addSeries("netperf_mbps_vs_s", t_axis, mbps);
+        std::vector<double> step_axis;
+        for (std::size_t i = 0; i < dom0_series.size(); ++i)
+            step_axis.push_back(0.5 * double(i + 1));
+        fr.report().addSeries("dom0_pct_vs_s", step_axis, dom0_series);
+        // Paper: ~0.6 s failover dip; down ~10.3 s, restored ~11.8 s.
+        fr.expect("switch_outage_s",
+                  (report.switched_to_pv - report.switch_started)
+                      .toSeconds(),
+                  0.6, 50);
+        fr.expect("paused_at_s", report.mig.paused_at.toSeconds(), 10.3,
+                  15);
+        fr.expect("resumed_at_s", report.mig.resumed_at.toSeconds(),
+                  11.8, 15);
     } else {
         std::printf("\nDNIS migration did not complete in the window\n");
     }
     std::printf("paper: extra ~0.6 s dip at 4.5 s; down ~10.3 s, "
                 "restored ~11.8 s; dom0 ~0%% before migration\n");
-    return done ? 0 : 1;
+    int rc = fr.finish();
+    return done ? rc : 1;
 }

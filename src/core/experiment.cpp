@@ -2,7 +2,90 @@
 
 #include <cstdio>
 
+#include "obs/chrome_trace.hpp"
+#include "sim/trace.hpp"
+
 namespace sriov::core {
+
+FigReport::FigReport(int argc, char **argv, const std::string &fig,
+                     const std::string &title)
+    : opts_(obs::BenchOptions::parse(argc, argv, fig)), rep_(fig, title)
+{
+    if (opts_.helpRequested()) {
+        std::fputs(obs::BenchOptions::usage(fig).c_str(), stdout);
+        return;
+    }
+    rep_.setConfig("fig", fig);
+    rep_.setConfig("title", title);
+}
+
+obs::MetricRegistry &
+FigReport::instrument(Testbed &tb)
+{
+    reg_ = obs::MetricRegistry();
+    tb.enableObs();
+    tb.registerMetrics(reg_);
+    return reg_;
+}
+
+void
+FigReport::snapshot(const std::string &label, const std::string &prefix)
+{
+    rep_.addSnapshot(label, reg_, prefix);
+}
+
+void
+FigReport::captureTrace(Testbed &tb, const std::function<void()> &drive)
+{
+    if (!opts_.wantTrace() || trace_done_) {
+        drive();
+        return;
+    }
+    trace_done_ = true;
+    auto &tracer = sim::Tracer::global();
+    tracer.clear();
+    opts_.applyTraceCategories(tracer);
+
+    obs::ChromeTraceWriter w;
+    tb.attachObsTrace(w);
+    drive();
+    w.importTracer(tracer);
+    w.detachAll();
+    tracer.disableAll();
+    tracer.clear();
+
+    std::string path = opts_.tracePath();
+    if (w.writeTo(path)) {
+        std::printf("trace: wrote %s (%zu events, %zu tracks)\n",
+                    path.c_str(), w.eventCount(), w.trackCount());
+    } else {
+        std::fprintf(stderr, "trace: FAILED to write %s\n", path.c_str());
+    }
+}
+
+void
+FigReport::expect(const std::string &name, double actual, double expected,
+                  double band_pct)
+{
+    rep_.expect(name, actual, expected, band_pct);
+}
+
+int
+FigReport::finish()
+{
+    if (!opts_.wantReport())
+        return 0;
+    std::string path = opts_.reportPath();
+    if (!rep_.writeTo(path)) {
+        std::fprintf(stderr, "report: FAILED to write %s\n", path.c_str());
+        return 1;
+    }
+    std::printf("report: wrote %s (%zu snapshots, %zu expectations%s)\n",
+                path.c_str(), rep_.snapshotCount(),
+                rep_.expectationCount(),
+                rep_.allPass() ? "" : ", some out of band");
+    return 0;
+}
 
 Table::Table(std::vector<std::string> headers)
     : headers_(std::move(headers))

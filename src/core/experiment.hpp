@@ -7,12 +7,74 @@
 #ifndef SRIOV_CORE_EXPERIMENT_HPP
 #define SRIOV_CORE_EXPERIMENT_HPP
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "core/testbed.hpp"
+#include "obs/bench_options.hpp"
+#include "obs/report.hpp"
 
 namespace sriov::core {
+
+/**
+ * One-stop bench instrumentation: owns the BenchOptions, the Report
+ * and a MetricRegistry, and scopes an optional Chrome-trace capture.
+ * A figXX binary wires the whole observability layer with:
+ *
+ *   core::FigReport fr(argc, argv, "fig06", "SR-IOV mask/unmask");
+ *   if (fr.helpShown()) return 0;
+ *   ...
+ *   auto &reg = fr.instrument(tb);             // per representative case
+ *   fr.captureTrace(tb, [&] { m = tb.measure(w, t); });
+ *   fr.snapshot("7-VM-opt");
+ *   fr.report().expect("dom0_pct_opt", m.dom0_pct, 3.0, 50);
+ *   ...
+ *   return fr.finish();
+ */
+class FigReport
+{
+  public:
+    FigReport(int argc, char **argv, const std::string &fig,
+              const std::string &title);
+
+    /** True when --help was requested; usage is already printed. */
+    bool helpShown() const { return opts_.helpRequested(); }
+
+    obs::BenchOptions &options() { return opts_; }
+    obs::Report &report() { return rep_; }
+
+    /**
+     * Instrument @p tb for this report: enables its latency/cost taps
+     * and registers its metric tree in a fresh registry (valid until
+     * the next instrument() call — benches build one testbed per case).
+     */
+    obs::MetricRegistry &instrument(Testbed &tb);
+
+    /** Snapshot the last instrument()-ed registry under @p label. */
+    void snapshot(const std::string &label,
+                  const std::string &prefix = "");
+
+    /**
+     * Run @p drive; on the first call with --trace set, capture it as
+     * a Chrome trace of @p tb (CPU-server tracks + tagged events +
+     * enabled Tracer categories) and write the file.
+     */
+    void captureTrace(Testbed &tb, const std::function<void()> &drive);
+
+    /** Shorthand for report().expect(...). */
+    void expect(const std::string &name, double actual, double expected,
+                double band_pct);
+
+    /** Write the report if requested; returns the process exit code. */
+    int finish();
+
+  private:
+    obs::BenchOptions opts_;
+    obs::Report rep_;
+    obs::MetricRegistry reg_;
+    bool trace_done_ = false;
+};
 
 /** Simple fixed-width text table. */
 class Table

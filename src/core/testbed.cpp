@@ -192,6 +192,8 @@ Testbed::addGuest(vmm::DomainType type, NetMode mode,
     }
 
     g->stack->attachDevice(*g->netdev);
+    if (obs_)
+        installDomainObs(*g->dom);
     guests_.push_back(std::move(g));
     return *guests_.back();
 }
@@ -223,6 +225,8 @@ Testbed::startTcpToGuest(Guest &g, std::uint32_t window,
     auto &cs = *client_ports_.at(g.port).stack;
     tcp_senders_.push_back(std::make_unique<guest::TcpStreamSender>(
         eq_, cs, g.mac, window, payload));
+    if (obs_)
+        tcp_senders_.back()->setRttTap(&obs_->tcp_rtt_us);
     tcp_senders_.back()->start();
     return *tcp_senders_.back();
 }
@@ -305,6 +309,181 @@ Testbed::measure(sim::Time warmup, sim::Time window)
         }
     }
     return m;
+}
+
+Testbed::ObsHooks::ObsHooks()
+    // Bucket layouts are tuned to each quantity's range: delivery
+    // latency spans sub-µs HVM injection to 10 ms paused-domain
+    // retries; exit costs run from ~10² cycles to the slow emulate
+    // paths; ring occupancy is bounded by the 1024-deep ring.
+    : intr_latency_us(obs::Histogram::Params{0.125, 1.5, 48}),
+      ring_occupancy(obs::Histogram::Params{1.0, 2.0, 14}),
+      tcp_rtt_us(obs::Histogram::Params{10.0, 1.5, 40})
+{
+    exit_cost_cycles.reserve(unsigned(vmm::ExitReason::Count));
+    for (unsigned i = 0; i < unsigned(vmm::ExitReason::Count); ++i) {
+        exit_cost_cycles.emplace_back(
+            obs::Histogram::Params{50.0, 1.3, 48});
+    }
+}
+
+Testbed::ObsHooks &
+Testbed::enableObs()
+{
+    if (obs_)
+        return *obs_;
+    obs_ = std::make_unique<ObsHooks>();
+    server_->setIntrLatencyHistogram(&obs_->intr_latency_us);
+    installDomainObs(server_->dom0());
+    for (auto &g : guests_)
+        installDomainObs(*g->dom);
+    for (auto &p : ports_)
+        installRingObs(*p);
+    if (vmdq_nic_)
+        installRingObs(*vmdq_nic_);
+    for (auto &s : tcp_senders_)
+        s->setRttTap(&obs_->tcp_rtt_us);
+    return *obs_;
+}
+
+void
+Testbed::installDomainObs(vmm::Domain &dom)
+{
+    for (unsigned r = 0; r < unsigned(vmm::ExitReason::Count); ++r) {
+        dom.exits().setCostTap(vmm::ExitReason(r),
+                               &obs_->exit_cost_cycles[r]);
+    }
+}
+
+void
+Testbed::installRingObs(nic::NicPort &nic)
+{
+    // Taps live on the rings; VF disable destroys ring and tap
+    // together, so nothing dangles (the histograms outlive the NIC).
+    for (unsigned p = 0; p < nic.poolCount(); ++p)
+        nic.rxRing(nic::Pool(p)).setOccupancyTap(&obs_->ring_occupancy);
+}
+
+namespace {
+
+/** Metric-path component from an exit-reason name ("I/O" has a '/'). */
+std::string
+metricName(const char *s)
+{
+    std::string out(s);
+    for (char &c : out) {
+        if (c == '/' || c == '.')
+            c = '_';
+    }
+    return out;
+}
+
+} // namespace
+
+void
+Testbed::registerMetrics(obs::MetricRegistry &reg, const std::string &prefix)
+{
+    using Reg = obs::MetricRegistry;
+    auto path = [&prefix](const std::string &rest) {
+        return Reg::join(prefix, rest);
+    };
+
+    reg.addGauge(path("eq.executed"),
+                 [this]() { return double(eq_.executed()); });
+    reg.add(path("intr.delivered"), &server_->router().deliveredCounter());
+    reg.add(path("intr.spurious"), &server_->router().spuriousCounter());
+
+    // Pool statistics register as bounds-checking gauges: VF disable
+    // shrinks the pool vector, and a gauge re-resolves per snapshot.
+    struct Field
+    {
+        const char *suffix;
+        std::function<double(const nic::NicPort::PoolStats &)> get;
+    };
+    static const Field kFields[] = {
+        {"rx_frames",
+         [](const auto &s) { return double(s.rx_frames.value()); }},
+        {"rx_bytes",
+         [](const auto &s) { return double(s.rx_bytes.value()); }},
+        {"rx_drops",
+         [](const auto &s) {
+             return double(s.rx_drop_ring.value()
+                           + s.rx_drop_master.value()
+                           + s.rx_drop_iommu.value());
+         }},
+        {"tx_frames",
+         [](const auto &s) { return double(s.tx_frames.value()); }},
+        {"tx_bytes",
+         [](const auto &s) { return double(s.tx_bytes.value()); }},
+        {"tx_dropped",
+         [](const auto &s) { return double(s.tx_dropped.value()); }},
+        {"interrupts",
+         [](const auto &s) { return double(s.interrupts.value()); }},
+    };
+
+    auto addPort = [&](nic::NicPort &nic, const std::string &nic_name) {
+        reg.addGauge(path(nic_name + ".rx_drop_no_match"),
+                     [&nic]() { return double(nic.rxDropNoMatch()); });
+        for (unsigned p = 0; p < nic.poolCount(); ++p) {
+            std::string pool_name =
+                p == 0 ? "pf" : "vf" + std::to_string(p - 1);
+            for (const Field &f : kFields) {
+                reg.addGauge(
+                    path(nic_name + "." + pool_name + "." + f.suffix),
+                    [&nic, p, get = &f.get]() {
+                        if (p >= nic.poolCount())
+                            return 0.0;
+                        return (*get)(nic.poolStats(nic::Pool(p)));
+                    });
+            }
+        }
+    };
+    for (unsigned i = 0; i < portCount(); ++i)
+        addPort(*ports_[i], "nic" + std::to_string(i));
+    if (vmdq_nic_)
+        addPort(*vmdq_nic_, "vmdq");
+
+    auto addDomain = [&](vmm::Domain &dom, const std::string &name) {
+        reg.addGauge(path(name + ".vm_exits"),
+                     [&dom]() { return dom.exits().totalCount(); });
+        reg.addGauge(path(name + ".vm_exit_cycles"),
+                     [&dom]() { return dom.exits().totalCycles(); });
+    };
+    addDomain(server_->dom0(), "dom0");
+    for (std::size_t g = 0; g < guests_.size(); ++g) {
+        std::string name = "vm" + std::to_string(g);
+        addDomain(*guests_[g]->dom, name);
+        reg.addGauge(path(name + ".rx_bytes"), [this, g]() {
+            const auto &gg = *guests_.at(g);
+            return gg.rx ? double(gg.rx->rxBytes()) : 0.0;
+        });
+        reg.addGauge(path(name + ".rx_packets"), [this, g]() {
+            const auto &gg = *guests_.at(g);
+            return gg.rx ? double(gg.rx->rxPackets()) : 0.0;
+        });
+    }
+
+    if (obs_) {
+        reg.add(path("hist.intr_latency_us"), &obs_->intr_latency_us);
+        reg.add(path("hist.ring_occupancy"), &obs_->ring_occupancy);
+        reg.add(path("hist.tcp_rtt_us"), &obs_->tcp_rtt_us);
+        for (unsigned r = 0; r < unsigned(vmm::ExitReason::Count); ++r) {
+            reg.add(path("hist.exit_cost."
+                         + metricName(
+                             vmm::exitReasonName(vmm::ExitReason(r)))),
+                    &obs_->exit_cost_cycles[r]);
+        }
+    }
+}
+
+void
+Testbed::attachObsTrace(obs::ChromeTraceWriter &w)
+{
+    w.attachEventQueue(eq_, "sim");
+    for (unsigned i = 0; i < server_->pcpuCount(); ++i)
+        w.attachCpu(server_->pcpu(i), "server");
+    for (unsigned i = 0; i < client_->pcpuCount(); ++i)
+        w.attachCpu(client_->pcpu(i), "client");
 }
 
 void

@@ -33,6 +33,9 @@
 #include "guest/bonding.hpp"
 #include "guest/netperf.hpp"
 #include "nic/vmdq_nic.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/histogram.hpp"
+#include "obs/metric.hpp"
 #include "vmm/migration.hpp"
 
 namespace sriov::check {
@@ -151,6 +154,63 @@ class Testbed
     /** @} */
 
     /**
+     * @name Observability (src/obs).
+     *
+     * All instrumentation is pure observation: no events are added or
+     * re-tagged, so the EventQueue's order digest is identical with
+     * observability on, off, or absent.
+     * @{
+     */
+
+    /** The latency/cost distributions an instrumented testbed keeps. */
+    struct ObsHooks
+    {
+        ObsHooks();
+
+        /** MSI raise → guest handler entry, µs (§4.1 delivery path). */
+        obs::Histogram intr_latency_us;
+        /** Per-exit cost in cycles, one histogram per reason (Fig. 7). */
+        std::vector<obs::Histogram> exit_cost_cycles;
+        /** RX-ring occupancy seen by each arriving frame (§5.3). */
+        obs::Histogram ring_occupancy;
+        /** TCP segment send → cumulative ACK, µs. */
+        obs::Histogram tcp_rtt_us;
+
+        obs::Histogram &exitCost(vmm::ExitReason r)
+        {
+            return exit_cost_cycles.at(unsigned(r));
+        }
+    };
+
+    /**
+     * Turn on the latency/cost taps (idempotent): interrupt-delivery
+     * latency on the server hypervisor, VM-exit cost on dom0 and every
+     * guest (current and future), RX-ring occupancy on every pool, TCP
+     * RTT on every netperf TCP sender. Returns the histogram set.
+     */
+    ObsHooks &enableObs();
+    ObsHooks *obsHooks() { return obs_.get(); }
+
+    /**
+     * Register the testbed's statistics in @p reg under @p prefix
+     * ("server" gives the paper-style "server.nic0.vf3.rx_drops"
+     * hierarchy). Pool and guest values register as bounds-checking
+     * gauges — VF disable may destroy the underlying objects, and a
+     * gauge re-resolves at snapshot time instead of dangling.
+     */
+    void registerMetrics(obs::MetricRegistry &reg,
+                         const std::string &prefix = "server");
+
+    /**
+     * Draw this testbed in @p w: the event queue's tagged events plus
+     * one track per server/client CPU. Detach by destroying @p w (or
+     * w.detachAll()) before the testbed dies.
+     */
+    void attachObsTrace(obs::ChromeTraceWriter &w);
+
+    /** @} */
+
+    /**
      * Register the testbed's components with an invariant checker:
      * every port's L2 switch and RX rings, every wire, both machines'
      * interrupt routers, the PF functions, and all current guests'
@@ -183,6 +243,8 @@ class Testbed
 
     nic::NicPort &serverNic(unsigned port);
     std::unique_ptr<drivers::ItrPolicy> makeGuestItr() const;
+    void installDomainObs(vmm::Domain &dom);
+    void installRingObs(nic::NicPort &nic);
 
     Params params_;
     sim::EventQueue eq_;
@@ -203,6 +265,7 @@ class Testbed
     std::vector<std::unique_ptr<guest::UdpStreamSender>> udp_senders_;
     std::vector<std::unique_ptr<guest::TcpStreamSender>> tcp_senders_;
     std::map<unsigned, unsigned> next_vf_on_port_;
+    std::unique_ptr<ObsHooks> obs_;
 };
 
 } // namespace sriov::core

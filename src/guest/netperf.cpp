@@ -84,6 +84,8 @@ TcpStreamSender::pump()
             next_seq_ -= payload_;
             break;
         }
+        if (rtt_tap_ != nullptr)
+            sent_times_.emplace_back(next_seq_, eq_.now());
     }
 }
 
@@ -91,6 +93,13 @@ void
 TcpStreamSender::onAck(std::uint64_t cum)
 {
     acked_ = std::max(acked_, cum);
+    if (rtt_tap_ != nullptr) {
+        while (!sent_times_.empty() && sent_times_.front().first <= cum) {
+            sim::Time rtt = eq_.now() - sent_times_.front().second;
+            rtt_tap_->record(rtt.toSeconds() * 1e6);
+            sent_times_.pop_front();
+        }
+    }
     pump();
 }
 
@@ -105,9 +114,12 @@ TcpStreamSender::armRto()
         bool outstanding = next_seq_ > acked_;
         bool stalled = acked_ == acked_at_last_rto_;
         if (outstanding && stalled) {
-            // Go-back-N: rewind to the last acknowledged byte.
+            // Go-back-N: rewind to the last acknowledged byte. The
+            // rewound bytes will be re-sent, so their pending RTT
+            // samples are ambiguous (Karn) — drop them.
             retx_.inc();
             next_seq_ = acked_;
+            sent_times_.clear();
             pump();
         }
         acked_at_last_rto_ = acked_;

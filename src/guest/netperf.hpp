@@ -7,7 +7,11 @@
 #ifndef SRIOV_GUEST_NETPERF_HPP
 #define SRIOV_GUEST_NETPERF_HPP
 
+#include <deque>
+#include <utility>
+
 #include "guest/net_stack.hpp"
+#include "obs/histogram.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/stats.hpp"
 
@@ -67,6 +71,16 @@ class TcpStreamSender
 
     static constexpr sim::Time kRto = sim::Time::ms(50);
 
+    /**
+     * Observation tap: when set, each segment's send → cumulative-ACK
+     * round-trip is recorded in microseconds. Retransmission rewinds
+     * drop the outstanding samples (Karn's rule: a retransmitted
+     * segment's ACK is ambiguous). Disabled cost: one branch per
+     * segment / ACK.
+     */
+    void setRttTap(obs::Histogram *h) { rtt_tap_ = h; }
+    obs::Histogram *rttTap() const { return rtt_tap_; }
+
   private:
     void pump();
     void onAck(std::uint64_t cum);
@@ -83,6 +97,8 @@ class TcpStreamSender
     std::uint64_t acked_ = 0;
     std::uint64_t acked_at_last_rto_ = 0;
     sim::Counter retx_;
+    obs::Histogram *rtt_tap_ = nullptr;
+    std::deque<std::pair<std::uint64_t, sim::Time>> sent_times_;
 };
 
 /** Receiving netperf endpoint; counts goodput, can sample a timeline. */

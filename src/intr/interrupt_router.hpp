@@ -54,6 +54,10 @@ class InterruptRouter
     std::uint64_t delivered() const { return delivered_.value(); }
     std::uint64_t spurious() const { return spurious_.value(); }
 
+    /** Counter objects, for registration in an obs::MetricRegistry. */
+    const sim::Counter &deliveredCounter() const { return delivered_; }
+    const sim::Counter &spuriousCounter() const { return spurious_; }
+
   private:
     VectorAllocator alloc_;
     std::unordered_map<Vector, HandlerFn> handlers_;

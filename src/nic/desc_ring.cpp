@@ -15,6 +15,8 @@ DescRing::post(mem::Addr gpa)
 std::optional<mem::Addr>
 DescRing::take()
 {
+    if (occupancy_tap_ != nullptr)
+        occupancy_tap_->record(double(buffers_.size()));
     if (buffers_.empty())
         return std::nullopt;
     mem::Addr a = buffers_.front();

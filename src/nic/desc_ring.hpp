@@ -17,6 +17,7 @@
 #include <optional>
 
 #include "mem/machine_memory.hpp"
+#include "obs/histogram.hpp"
 #include "sim/stats.hpp"
 
 namespace sriov::nic {
@@ -51,6 +52,20 @@ class DescRing
     /** Buffers thrown away by reset() without being consumed. */
     std::uint64_t discarded() const { return discarded_.value(); }
 
+    /** Counter objects, for registration in an obs::MetricRegistry. */
+    const sim::Counter &postedCounter() const { return posted_; }
+    const sim::Counter &consumedCounter() const { return consumed_; }
+    const sim::Counter &overflowCounter() const { return overflows_; }
+
+    /**
+     * Observation tap: when set, every take() records the occupancy
+     * the arriving frame sees (posted buffers before consumption, so a
+     * dry ring records 0 — the dd_bufs overflow precondition of §5.3).
+     * Disabled cost: one branch per take().
+     */
+    void setOccupancyTap(obs::Histogram *h) { occupancy_tap_ = h; }
+    obs::Histogram *occupancyTap() const { return occupancy_tap_; }
+
   private:
     std::size_t capacity_;
     std::deque<mem::Addr> buffers_;
@@ -58,6 +73,7 @@ class DescRing
     sim::Counter consumed_;
     sim::Counter overflows_;
     sim::Counter discarded_;
+    obs::Histogram *occupancy_tap_ = nullptr;
 };
 
 } // namespace sriov::nic

@@ -1,0 +1,160 @@
+#include "obs/bench_options.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace sriov::obs {
+
+namespace {
+
+/** "--out=dir" → "dir"; nullptr when @p arg isn't @p flag. */
+const char *
+matchFlag(const char *arg, const char *flag)
+{
+    std::size_t n = std::strlen(flag);
+    if (std::strncmp(arg, flag, n) == 0 && arg[n] == '=')
+        return arg + n + 1;
+    return nullptr;
+}
+
+bool
+parseCat(const std::string &name, sim::TraceCat *out)
+{
+    if (name == "irq") { *out = sim::TraceCat::Irq; return true; }
+    if (name == "nic") { *out = sim::TraceCat::Nic; return true; }
+    if (name == "driver") { *out = sim::TraceCat::Driver; return true; }
+    if (name == "backend") { *out = sim::TraceCat::Backend; return true; }
+    if (name == "migration") {
+        *out = sim::TraceCat::Migration;
+        return true;
+    }
+    return false;
+}
+
+std::vector<std::string>
+splitCommas(const std::string &list)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) {
+            out.push_back(list.substr(pos));
+            break;
+        }
+        out.push_back(list.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+void
+BenchOptions::parseTraceArg(const std::string &arg)
+{
+    trace_requested_ = true;
+    if (arg.empty() || arg == "1") {
+        all_cats_ = true;
+        return;
+    }
+    // A pure category list ("irq,nic") selects what to trace; anything
+    // else ("out/fig.trace.json") is the output path, all categories.
+    std::vector<sim::TraceCat> cats;
+    bool all = false;
+    for (const std::string &tok : splitCommas(arg)) {
+        sim::TraceCat c;
+        if (tok == "all") {
+            all = true;
+        } else if (parseCat(tok, &c)) {
+            cats.push_back(c);
+        } else {
+            trace_path_ = arg;
+            all_cats_ = true;
+            return;
+        }
+    }
+    cats_ = std::move(cats);
+    all_cats_ = all;
+}
+
+BenchOptions
+BenchOptions::parse(int argc, char **argv, const std::string &bench)
+{
+    BenchOptions o;
+    o.bench_ = bench;
+
+    if (const char *env = std::getenv("SRIOV_BENCH_OUT");
+        env != nullptr && *env != '\0')
+        o.out_dir_ = env;
+    if (const char *env = std::getenv("SRIOV_TRACE");
+        env != nullptr && *env != '\0')
+        o.parseTraceArg(env);
+
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (const char *v = matchFlag(arg, "--out")) {
+            o.out_dir_ = v;
+        } else if (const char *v = matchFlag(arg, "--trace")) {
+            o.parseTraceArg(v);
+        } else if (std::strcmp(arg, "--trace") == 0) {
+            o.parseTraceArg("");
+        } else if (std::strcmp(arg, "--help") == 0
+                   || std::strcmp(arg, "-h") == 0) {
+            o.help_ = true;
+        } else {
+            o.extra_.emplace_back(arg);
+        }
+    }
+    return o;
+}
+
+std::string
+BenchOptions::usage(const std::string &bench)
+{
+    return "usage: " + bench + " [options]\n"
+           "  --out=<dir>    write " + bench + ".json report into <dir>\n"
+           "                 (env fallback: SRIOV_BENCH_OUT)\n"
+           "  --trace[=<arg>] capture a Chrome trace_event JSON; <arg>\n"
+           "                 is a category list (irq,nic,driver,\n"
+           "                 backend,migration,all) or an output path\n"
+           "                 (env fallback: SRIOV_TRACE)\n"
+           "  --help         this text\n";
+}
+
+std::string
+BenchOptions::reportPath() const
+{
+    if (out_dir_.empty())
+        return "";
+    std::string p = out_dir_;
+    if (p.back() != '/')
+        p += '/';
+    return p + bench_ + ".json";
+}
+
+std::string
+BenchOptions::tracePath() const
+{
+    if (!trace_requested_)
+        return "";
+    if (!trace_path_.empty())
+        return trace_path_;
+    std::string dir = out_dir_.empty() ? std::string(".") : out_dir_;
+    if (dir.back() != '/')
+        dir += '/';
+    return dir + bench_ + ".trace.json";
+}
+
+void
+BenchOptions::applyTraceCategories(sim::Tracer &t) const
+{
+    if (all_cats_ || cats_.empty()) {
+        t.enableAll();
+        return;
+    }
+    for (sim::TraceCat c : cats_)
+        t.enable(c);
+}
+
+} // namespace sriov::obs

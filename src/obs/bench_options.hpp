@@ -1,0 +1,76 @@
+/**
+ * @file
+ * BenchOptions: the shared CLI/environment contract of the bench
+ * executables.
+ *
+ * Every bench/figXX accepts:
+ *   --out=<dir>    write a machine-readable report (figXX.json) there
+ *   --trace=<arg>  capture a Chrome trace_event JSON. <arg> is either
+ *                  a comma-separated tracer category list (irq, nic,
+ *                  driver, backend, migration, all) — the file then
+ *                  lands next to the report as figXX.trace.json — or
+ *                  an explicit output path (all categories).
+ *   --help         print usage and exit
+ * with environment fallbacks SRIOV_BENCH_OUT and SRIOV_TRACE so CI can
+ * turn on reporting without touching each invocation.
+ */
+
+#ifndef SRIOV_OBS_BENCH_OPTIONS_HPP
+#define SRIOV_OBS_BENCH_OPTIONS_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/trace.hpp"
+
+namespace sriov::obs {
+
+class BenchOptions
+{
+  public:
+    /**
+     * Parse argv (and the environment). Unknown arguments are kept in
+     * extraArgs() for bench-specific handling. @p bench is the figure
+     * name ("fig06") used to derive the report path.
+     */
+    static BenchOptions parse(int argc, char **argv,
+                              const std::string &bench);
+
+    /** Usage text for --help. */
+    static std::string usage(const std::string &bench);
+
+    const std::string &bench() const { return bench_; }
+
+    bool wantReport() const { return !out_dir_.empty(); }
+    const std::string &outDir() const { return out_dir_; }
+
+    /** "<out_dir>/<bench>.json" (empty when reporting is off). */
+    std::string reportPath() const;
+
+    bool wantTrace() const { return trace_requested_; }
+    /** Explicit path, or "<out|.>/<bench>.trace.json" when derived. */
+    std::string tracePath() const;
+
+    /** Enable the requested categories on @p t. */
+    void applyTraceCategories(sim::Tracer &t) const;
+
+    bool helpRequested() const { return help_; }
+
+    const std::vector<std::string> &extraArgs() const { return extra_; }
+
+  private:
+    void parseTraceArg(const std::string &arg);
+
+    std::string bench_;
+    std::string out_dir_;
+    std::string trace_path_;
+    std::vector<sim::TraceCat> cats_;
+    bool trace_requested_ = false;
+    bool all_cats_ = false;
+    bool help_ = false;
+    std::vector<std::string> extra_;
+};
+
+} // namespace sriov::obs
+
+#endif // SRIOV_OBS_BENCH_OPTIONS_HPP

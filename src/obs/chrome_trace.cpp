@@ -1,0 +1,219 @@
+#include "obs/chrome_trace.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/json.hpp"
+
+namespace sriov::obs {
+
+namespace {
+
+/** trace_event timestamps are microseconds; keep sub-µs as fraction. */
+double
+psToUs(std::int64_t ps)
+{
+    return double(ps) / 1e6;
+}
+
+} // namespace
+
+ChromeTraceWriter::ChromeTraceWriter(std::size_t max_events)
+    : max_events_(max_events)
+{}
+
+ChromeTraceWriter::~ChromeTraceWriter()
+{
+    detachAll();
+}
+
+ChromeTraceWriter::Track
+ChromeTraceWriter::track(const std::string &process, const std::string &thread)
+{
+    auto [pit, pnew] = pids_.try_emplace(process, int(pids_.size()) + 1);
+    (void)pnew;
+    int pid = pit->second;
+    auto [tit, tnew] =
+        tids_.try_emplace({pid, thread}, int(tids_.size()) + 1);
+    (void)tnew;
+    return Track{pid, tit->second};
+}
+
+void
+ChromeTraceWriter::push(Event e)
+{
+    if (events_.size() >= max_events_) {
+        ++dropped_;
+        return;
+    }
+    events_.push_back(std::move(e));
+}
+
+void
+ChromeTraceWriter::addSpan(Track t, std::string name, sim::Time start,
+                           sim::Time end)
+{
+    if (end < start)
+        end = start;
+    push(Event{'X', t.pid, t.tid, std::move(name), start.picos(),
+               (end - start).picos()});
+}
+
+void
+ChromeTraceWriter::addInstant(Track t, std::string name, sim::Time when)
+{
+    push(Event{'i', t.pid, t.tid, std::move(name), when.picos(), 0});
+}
+
+void
+ChromeTraceWriter::attachCpu(sim::CpuServer &cpu, const std::string &process)
+{
+    cpu_tracks_[&cpu] = track(process, cpu.name());
+    cpu.setSpanTap(this);
+    if (std::find(attached_cpus_.begin(), attached_cpus_.end(), &cpu)
+        == attached_cpus_.end())
+        attached_cpus_.push_back(&cpu);
+}
+
+void
+ChromeTraceWriter::attachEventQueue(sim::EventQueue &eq,
+                                    const std::string &process)
+{
+    queue_tracks_[&eq] = track(process, "events");
+    eq.addExecHook(this);
+    if (std::find(attached_queues_.begin(), attached_queues_.end(), &eq)
+        == attached_queues_.end())
+        attached_queues_.push_back(&eq);
+}
+
+void
+ChromeTraceWriter::importTracer(const sim::Tracer &t,
+                                const std::string &process)
+{
+    for (const sim::TraceRecord &r : t.records()) {
+        Track tr = track(process, sim::traceCatName(r.cat));
+        addInstant(tr, r.text, r.when);
+    }
+}
+
+void
+ChromeTraceWriter::detachAll()
+{
+    for (sim::CpuServer *cpu : attached_cpus_) {
+        if (cpu->spanTap() == this)
+            cpu->setSpanTap(nullptr);
+    }
+    attached_cpus_.clear();
+    for (sim::EventQueue *eq : attached_queues_)
+        eq->removeExecHook(this);
+    attached_queues_.clear();
+}
+
+void
+ChromeTraceWriter::onCpuSpan(const sim::CpuServer &cpu, const std::string &tag,
+                             sim::Time start, sim::Time end)
+{
+    auto it = cpu_tracks_.find(&cpu);
+    if (it == cpu_tracks_.end())
+        return;
+    addSpan(it->second, tag.empty() ? std::string("work") : tag, start, end);
+}
+
+void
+ChromeTraceWriter::onEventStart(sim::Time when, std::uint64_t seq,
+                                const char *tag)
+{
+    (void)when;
+    (void)seq;
+    (void)tag;
+}
+
+void
+ChromeTraceWriter::onEventEnd(sim::Time when, std::uint64_t seq,
+                              const char *tag)
+{
+    (void)seq;
+    // One instant per executed event would swamp the viewer and the
+    // buffer; only tagged events (interrupts, timers, migration steps)
+    // are interesting enough to mark.
+    if (tag == nullptr || *tag == '\0')
+        return;
+    for (const auto &[eq, tr] : queue_tracks_) {
+        (void)eq;
+        addInstant(tr, tag, when);
+        break;
+    }
+}
+
+std::string
+ChromeTraceWriter::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("traceEvents");
+    w.beginArray();
+
+    // Metadata first: name the process and thread rows.
+    for (const auto &[name, pid] : pids_) {
+        w.beginObject();
+        w.key("ph").value("M");
+        w.key("pid").value(std::int64_t(pid));
+        w.key("tid").value(std::int64_t(0));
+        w.key("name").value("process_name");
+        w.key("args");
+        w.beginObject();
+        w.key("name").value(name);
+        w.endObject();
+        w.endObject();
+    }
+    for (const auto &[key, tid] : tids_) {
+        w.beginObject();
+        w.key("ph").value("M");
+        w.key("pid").value(std::int64_t(key.first));
+        w.key("tid").value(std::int64_t(tid));
+        w.key("name").value("thread_name");
+        w.key("args");
+        w.beginObject();
+        w.key("name").value(key.second);
+        w.endObject();
+        w.endObject();
+    }
+
+    for (const Event &e : events_) {
+        w.beginObject();
+        w.key("ph").value(std::string(1, e.phase));
+        w.key("pid").value(std::int64_t(e.pid));
+        w.key("tid").value(std::int64_t(e.tid));
+        w.key("name").value(e.name);
+        w.key("ts").value(psToUs(e.ts_ps));
+        if (e.phase == 'X')
+            w.key("dur").value(psToUs(e.dur_ps));
+        else if (e.phase == 'i')
+            w.key("s").value("t");
+        w.endObject();
+    }
+
+    w.endArray();
+    w.key("displayTimeUnit").value("ns");
+    if (dropped_ > 0)
+        w.key("sriovDroppedEvents").value(std::uint64_t(dropped_));
+    w.endObject();
+    return w.str();
+}
+
+bool
+ChromeTraceWriter::writeTo(const std::string &path) const
+{
+    std::error_code ec;
+    std::filesystem::path p(path);
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << toJson() << '\n';
+    return bool(out);
+}
+
+} // namespace sriov::obs

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * ChromeTraceWriter: exports simulator activity as Chrome
+ * `trace_event` JSON, loadable in Perfetto / chrome://tracing.
+ *
+ * Three sources feed one timeline (simulated time on the horizontal
+ * axis, microsecond resolution):
+ *  - CpuServer work spans — complete ("X") slices on one track per
+ *    CPU server, named by the work's accounting tag ("guest-1",
+ *    "xen", "dom0", ...). This is the paper's CPU breakdown, drawn.
+ *  - EventQueue executions — instant ("i") marks on a per-queue track
+ *    (named by the event tag where present), via ExecHook.
+ *  - Tracer records — instant marks on one track per trace category
+ *    (irq / nic / driver / backend / migration), imported from the
+ *    ring buffer after a run.
+ *
+ * The writer buffers events in memory up to a cap (keeping the oldest,
+ * counting drops) and serializes on demand. Taps attached to
+ * CpuServers / EventQueues must be detached (detachAll()) before the
+ * writer is destroyed unless the sources die first.
+ */
+
+#ifndef SRIOV_OBS_CHROME_TRACE_HPP
+#define SRIOV_OBS_CHROME_TRACE_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sim/cpu_server.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/trace.hpp"
+
+namespace sriov::obs {
+
+class ChromeTraceWriter : public sim::CpuServer::SpanTap,
+                          public sim::EventQueue::ExecHook
+{
+  public:
+    /** A (process row, thread row) pair in the trace viewer. */
+    struct Track
+    {
+        int pid = 0;
+        int tid = 0;
+    };
+
+    static constexpr std::size_t kDefaultMaxEvents = 200000;
+
+    explicit ChromeTraceWriter(std::size_t max_events = kDefaultMaxEvents);
+    ~ChromeTraceWriter() override;
+
+    ChromeTraceWriter(const ChromeTraceWriter &) = delete;
+    ChromeTraceWriter &operator=(const ChromeTraceWriter &) = delete;
+
+    /** @name Manual event emission. @{ */
+    Track track(const std::string &process, const std::string &thread);
+    void addSpan(Track t, std::string name, sim::Time start, sim::Time end);
+    void addInstant(Track t, std::string name, sim::Time when);
+    /** @} */
+
+    /** @name Source attachment. @{ */
+
+    /** Draw @p cpu's work spans on track (@p process, cpu name). */
+    void attachCpu(sim::CpuServer &cpu, const std::string &process);
+
+    /** Mark every executed event on track (@p process, "events"). */
+    void attachEventQueue(sim::EventQueue &eq,
+                          const std::string &process = "sim");
+
+    /** Convert the tracer's ring into instants, one track per category. */
+    void importTracer(const sim::Tracer &t,
+                      const std::string &process = "trace");
+
+    /** Remove this writer's taps from every attached source. */
+    void detachAll();
+
+    /** @} */
+
+    /** @name Tap interfaces (called by the attached sources). @{ */
+    void onCpuSpan(const sim::CpuServer &cpu, const std::string &tag,
+                   sim::Time start, sim::Time end) override;
+    void onEventStart(sim::Time when, std::uint64_t seq,
+                      const char *tag) override;
+    void onEventEnd(sim::Time when, std::uint64_t seq,
+                    const char *tag) override;
+    /** @} */
+
+    std::size_t eventCount() const { return events_.size(); }
+    std::uint64_t droppedEvents() const { return dropped_; }
+    std::size_t trackCount() const { return tids_.size(); }
+
+    /** The complete `{"traceEvents": [...]}` document. */
+    std::string toJson() const;
+
+    /** Write toJson() to @p path, creating parent directories. */
+    bool writeTo(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        char phase;          // 'X' = complete, 'i' = instant
+        int pid;
+        int tid;
+        std::string name;
+        std::int64_t ts_ps;
+        std::int64_t dur_ps; // complete events only
+    };
+
+    void push(Event e);
+
+    std::size_t max_events_;
+    std::uint64_t dropped_ = 0;
+    std::vector<Event> events_;
+    std::map<std::string, int> pids_;
+    std::map<std::pair<int, std::string>, int> tids_;
+    std::vector<sim::CpuServer *> attached_cpus_;
+    std::vector<sim::EventQueue *> attached_queues_;
+    std::map<const sim::CpuServer *, Track> cpu_tracks_;
+    std::map<const sim::EventQueue *, Track> queue_tracks_;
+};
+
+} // namespace sriov::obs
+
+#endif // SRIOV_OBS_CHROME_TRACE_HPP

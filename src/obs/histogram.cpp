@@ -1,0 +1,104 @@
+#include "obs/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "sim/log.hpp"
+
+namespace sriov::obs {
+
+Histogram::Histogram() : Histogram(Params{}) {}
+
+Histogram::Histogram(Params p) : params_(p)
+{
+    if (params_.lo <= 0 || params_.growth <= 1.0 || params_.buckets < 2)
+        sim::fatal("Histogram: need lo > 0, growth > 1, buckets >= 2");
+    bounds_.reserve(params_.buckets - 1);
+    double b = params_.lo;
+    for (std::size_t i = 0; i + 1 < params_.buckets; ++i) {
+        bounds_.push_back(b);
+        b *= params_.growth;
+    }
+    weights_.assign(params_.buckets, 0.0);
+}
+
+Histogram::Histogram(double lo, double growth, std::size_t buckets)
+    : Histogram(Params{lo, growth, buckets})
+{
+}
+
+std::size_t
+Histogram::bucketIndex(double v) const
+{
+    // First bound >= v; everything above the last bound lands in the
+    // unbounded tail bucket.
+    auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+    return std::size_t(it - bounds_.begin());
+}
+
+double
+Histogram::bucketUpperBound(std::size_t i) const
+{
+    if (i + 1 == weights_.size())
+        return std::numeric_limits<double>::infinity();
+    return bounds_.at(i);
+}
+
+void
+Histogram::record(double v, double w)
+{
+    if (w <= 0)
+        return;
+    weights_[bucketIndex(v)] += w;
+    if (count_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        min_ = std::min(min_, v);
+        max_ = std::max(max_, v);
+    }
+    count_ += w;
+    sum_ += v * w;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (count_ <= 0)
+        return 0.0;
+    p = std::clamp(p, 0.0, 100.0);
+    double target = count_ * p / 100.0;
+    double cum = 0;
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+        cum += weights_[i];
+        if (cum >= target && weights_[i] > 0) {
+            double hi = bucketUpperBound(i);
+            return std::clamp(hi, min_, max_);
+        }
+    }
+    return max_;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(weights_.begin(), weights_.end(), 0.0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+}
+
+std::string
+Histogram::summary() const
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "n=%.6g mean=%.6g p50=%.6g p99=%.6g min=%.6g max=%.6g",
+                  count_, mean(), percentile(50), percentile(99), min(),
+                  max());
+    return buf;
+}
+
+} // namespace sriov::obs

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Histogram: a log-bucketed distribution recorder.
+ *
+ * The paper reports most quantities as means; the observability layer
+ * keeps full distributions for the ones that matter for tail behavior
+ * (interrupt-delivery latency, VM-exit cost, ring occupancy, TCP RTT)
+ * at a fixed, tiny cost: bucket bounds grow geometrically, so 64
+ * buckets cover twelve decades and record() is a binary search over a
+ * precomputed bound table — no allocation, no per-sample storage.
+ *
+ * Weighted recording supports the simulator's amortized accounting
+ * (e.g. 1.13 non-EOI APIC accesses per interrupt recorded as one
+ * sample of the per-access cost with weight 1.13).
+ */
+
+#ifndef SRIOV_OBS_HISTOGRAM_HPP
+#define SRIOV_OBS_HISTOGRAM_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sriov::obs {
+
+class Histogram
+{
+  public:
+    struct Params
+    {
+        /** Upper bound of the first bucket (which also catches <= 0). */
+        double lo = 1.0;
+        /** Geometric growth factor between consecutive bounds. */
+        double growth = 2.0;
+        /** Total bucket count; the last bucket is unbounded above. */
+        std::size_t buckets = 64;
+    };
+
+    Histogram();
+    explicit Histogram(Params p);
+    Histogram(double lo, double growth, std::size_t buckets);
+
+    /** Record one sample of value @p v with weight @p w. */
+    void record(double v, double w = 1.0);
+
+    /** Total recorded weight. */
+    double count() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    /** Weighted sum of sample values. */
+    double sum() const { return sum_; }
+    double mean() const { return count_ > 0 ? sum_ / count_ : 0.0; }
+    /** Smallest / largest recorded value (0 when empty). */
+    double min() const { return count_ > 0 ? min_ : 0.0; }
+    double max() const { return count_ > 0 ? max_ : 0.0; }
+
+    std::size_t bucketCount() const { return weights_.size(); }
+    /** Inclusive upper bound of bucket @p i (infinity for the last). */
+    double bucketUpperBound(std::size_t i) const;
+    double bucketWeight(std::size_t i) const { return weights_.at(i); }
+    /** Index of the bucket @p v falls into. */
+    std::size_t bucketIndex(double v) const;
+
+    /**
+     * Weighted percentile, @p p in [0, 100]: the upper bound of the
+     * bucket where the cumulative weight first reaches p% of the
+     * total, clamped to the observed [min, max]. Exact when all
+     * samples share one value; otherwise accurate to one bucket.
+     */
+    double percentile(double p) const;
+
+    void reset();
+
+    /** One-line summary: "n=.. mean=.. p50=.. p99=.. max=..". */
+    std::string summary() const;
+
+  private:
+    Params params_;
+    std::vector<double> bounds_;     ///< finite bounds; size = buckets-1
+    std::vector<double> weights_;    ///< size = buckets
+    double count_ = 0;
+    double sum_ = 0;
+    double min_ = 0;
+    double max_ = 0;
+};
+
+} // namespace sriov::obs
+
+#endif // SRIOV_OBS_HISTOGRAM_HPP

@@ -1,0 +1,459 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "sim/log.hpp"
+
+namespace sriov::obs {
+
+std::string
+jsonEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += char(c);
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[32];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v);
+    return std::string(buf, res.ptr);
+}
+
+// --- JsonWriter ---------------------------------------------------------
+
+void
+JsonWriter::beforeValue()
+{
+    if (stack_.empty()) {
+        if (!out_.empty())
+            sim::fatal("JsonWriter: multiple top-level values");
+        return;
+    }
+    if (stack_.back() == Scope::Object && !key_pending_)
+        sim::fatal("JsonWriter: object value without a key");
+    if (stack_.back() == Scope::Array || !key_pending_) {
+        if (!first_.back())
+            out_ += ',';
+    }
+    first_.back() = false;
+    key_pending_ = false;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view k)
+{
+    if (stack_.empty() || stack_.back() != Scope::Object)
+        sim::fatal("JsonWriter: key outside an object");
+    if (key_pending_)
+        sim::fatal("JsonWriter: two keys in a row");
+    if (!first_.back())
+        out_ += ',';
+    first_.back() = false;
+    out_ += '"';
+    out_ += jsonEscape(k);
+    out_ += "\":";
+    key_pending_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    beforeValue();
+    out_ += '{';
+    stack_.push_back(Scope::Object);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty() || stack_.back() != Scope::Object || key_pending_)
+        sim::fatal("JsonWriter: unbalanced endObject");
+    out_ += '}';
+    stack_.pop_back();
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    beforeValue();
+    out_ += '[';
+    stack_.push_back(Scope::Array);
+    first_.push_back(true);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty() || stack_.back() != Scope::Array)
+        sim::fatal("JsonWriter: unbalanced endArray");
+    out_ += ']';
+    stack_.pop_back();
+    first_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    beforeValue();
+    out_ += jsonNumber(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    beforeValue();
+    out_ += std::to_string(v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    beforeValue();
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view v)
+{
+    beforeValue();
+    out_ += '"';
+    out_ += jsonEscape(v);
+    out_ += '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    beforeValue();
+    out_ += "null";
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    if (!stack_.empty())
+        sim::fatal("JsonWriter: %zu unclosed scope(s)", stack_.size());
+    return out_;
+}
+
+// --- JsonValue parser ---------------------------------------------------
+
+namespace {
+
+class Parser
+{
+  public:
+    Parser(std::string_view text, std::string *err)
+        : text_(text), err_(err)
+    {}
+
+    std::optional<JsonValue>
+    run()
+    {
+        JsonValue v;
+        if (!parseValue(v))
+            return std::nullopt;
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing characters after document");
+        return v;
+    }
+
+  private:
+    std::optional<JsonValue>
+    fail(const std::string &why)
+    {
+        if (err_ && err_->empty())
+            *err_ = why + " (at offset " + std::to_string(pos_) + ")";
+        return std::nullopt;
+    }
+
+    bool
+    error(const std::string &why)
+    {
+        fail(why);
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size()
+               && (text_[pos_] == ' ' || text_[pos_] == '\t'
+                   || text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char c)
+    {
+        if (pos_ < text_.size() && text_[pos_] == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    literal(std::string_view lit)
+    {
+        if (text_.substr(pos_, lit.size()) == lit) {
+            pos_ += lit.size();
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        if (++depth_ > kMaxDepth)
+            return error("nesting too deep");
+        skipWs();
+        if (pos_ >= text_.size())
+            return error("unexpected end of input");
+        bool ok = false;
+        char c = text_[pos_];
+        switch (c) {
+          case '{': ok = parseObject(out); break;
+          case '[': ok = parseArray(out); break;
+          case '"':
+            out.type = JsonValue::Type::String;
+            ok = parseString(out.str);
+            break;
+          case 't':
+            out.type = JsonValue::Type::Bool;
+            out.boolean = true;
+            ok = literal("true") || error("bad literal");
+            break;
+          case 'f':
+            out.type = JsonValue::Type::Bool;
+            out.boolean = false;
+            ok = literal("false") || error("bad literal");
+            break;
+          case 'n':
+            out.type = JsonValue::Type::Null;
+            ok = literal("null") || error("bad literal");
+            break;
+          default:
+            ok = parseNumber(out);
+        }
+        --depth_;
+        return ok;
+    }
+
+    bool
+    parseNumber(JsonValue &out)
+    {
+        std::size_t start = pos_;
+        if (consume('-')) {}
+        while (pos_ < text_.size()
+               && (std::isdigit(static_cast<unsigned char>(text_[pos_]))
+                   || text_[pos_] == '.' || text_[pos_] == 'e'
+                   || text_[pos_] == 'E' || text_[pos_] == '+'
+                   || text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return error("expected a value");
+        double v = 0;
+        auto res = std::from_chars(text_.data() + start,
+                                   text_.data() + pos_, v);
+        if (res.ec != std::errc() || res.ptr != text_.data() + pos_)
+            return error("malformed number");
+        out.type = JsonValue::Type::Number;
+        out.number = v;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!consume('"'))
+            return error("expected string");
+        while (pos_ < text_.size()) {
+            char c = text_[pos_++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= text_.size())
+                break;
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                if (pos_ + 4 > text_.size())
+                    return error("truncated \\u escape");
+                unsigned cp = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = text_[pos_++];
+                    cp <<= 4;
+                    if (h >= '0' && h <= '9')
+                        cp |= unsigned(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        cp |= unsigned(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        cp |= unsigned(h - 'A' + 10);
+                    else
+                        return error("bad \\u escape");
+                }
+                // UTF-8 encode (surrogate pairs not needed for the
+                // escapes this layer emits; encode them verbatim).
+                if (cp < 0x80) {
+                    out += char(cp);
+                } else if (cp < 0x800) {
+                    out += char(0xc0 | (cp >> 6));
+                    out += char(0x80 | (cp & 0x3f));
+                } else {
+                    out += char(0xe0 | (cp >> 12));
+                    out += char(0x80 | ((cp >> 6) & 0x3f));
+                    out += char(0x80 | (cp & 0x3f));
+                }
+                break;
+              }
+              default:
+                return error("unknown escape");
+            }
+        }
+        return error("unterminated string");
+    }
+
+    bool
+    parseObject(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Object;
+        consume('{');
+        skipWs();
+        if (consume('}'))
+            return true;
+        while (true) {
+            skipWs();
+            std::string key;
+            if (!parseString(key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return error("expected ':' in object");
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.members.emplace_back(std::move(key), std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume('}'))
+                return true;
+            return error("expected ',' or '}' in object");
+        }
+    }
+
+    bool
+    parseArray(JsonValue &out)
+    {
+        out.type = JsonValue::Type::Array;
+        consume('[');
+        skipWs();
+        if (consume(']'))
+            return true;
+        while (true) {
+            JsonValue v;
+            if (!parseValue(v))
+                return false;
+            out.items.push_back(std::move(v));
+            skipWs();
+            if (consume(','))
+                continue;
+            if (consume(']'))
+                return true;
+            return error("expected ',' or ']' in array");
+        }
+    }
+
+    static constexpr int kMaxDepth = 64;
+
+    std::string_view text_;
+    std::string *err_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    if (type != Type::Object)
+        return nullptr;
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+std::optional<JsonValue>
+JsonValue::parse(std::string_view text, std::string *err)
+{
+    if (err)
+        err->clear();
+    return Parser(text, err).run();
+}
+
+} // namespace sriov::obs

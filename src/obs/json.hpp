@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a stream-style
+ * writer (reports, Chrome traces) and a small recursive-descent parser
+ * (schema validation tools and tests that must re-read what the layer
+ * emitted). No external dependency; numbers round-trip via
+ * std::to_chars shortest form.
+ */
+
+#ifndef SRIOV_OBS_JSON_HPP
+#define SRIOV_OBS_JSON_HPP
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace sriov::obs {
+
+/** Escape @p s for inclusion inside a JSON string literal. */
+std::string jsonEscape(std::string_view s);
+
+/** Shortest-round-trip rendering; NaN/Inf degrade to null. */
+std::string jsonNumber(double v);
+
+/**
+ * A stack-based JSON emitter. The caller opens objects/arrays and the
+ * writer inserts commas; misuse (value without a key inside an object,
+ * unbalanced close) aborts, so malformed output cannot be emitted
+ * silently.
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Key for the next value (only valid inside an object). */
+    JsonWriter &key(std::string_view k);
+
+    JsonWriter &value(double v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(bool v);
+    JsonWriter &value(std::string_view v);
+    JsonWriter &value(const char *v) { return value(std::string_view(v)); }
+    JsonWriter &null();
+
+    /** Shorthand: key(k) + value(v). */
+    template <typename T>
+    JsonWriter &
+    kv(std::string_view k, T v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** The finished document; all scopes must be closed. */
+    std::string str() const;
+
+  private:
+    enum class Scope { Object, Array };
+
+    void beforeValue();
+
+    std::string out_;
+    std::vector<Scope> stack_;
+    std::vector<bool> first_;
+    bool key_pending_ = false;
+};
+
+/** A parsed JSON document (tree of tagged values). */
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0;
+    std::string str;
+    std::vector<JsonValue> items;                            ///< Array
+    std::vector<std::pair<std::string, JsonValue>> members;  ///< Object
+
+    bool isObject() const { return type == Type::Object; }
+    bool isArray() const { return type == Type::Array; }
+    bool isNumber() const { return type == Type::Number; }
+    bool isString() const { return type == Type::String; }
+    bool isBool() const { return type == Type::Bool; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(std::string_view key) const;
+
+    /**
+     * Parse a complete document (trailing garbage is an error).
+     * @return nullopt on malformed input, with @p err describing why.
+     */
+    static std::optional<JsonValue> parse(std::string_view text,
+                                          std::string *err = nullptr);
+};
+
+} // namespace sriov::obs
+
+#endif // SRIOV_OBS_JSON_HPP

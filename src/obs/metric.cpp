@@ -1,0 +1,221 @@
+#include "obs/metric.hpp"
+
+#include <algorithm>
+
+#include "sim/log.hpp"
+
+namespace sriov::obs {
+
+const char *
+metricKindName(MetricKind k)
+{
+    switch (k) {
+      case MetricKind::Counter: return "counter";
+      case MetricKind::Accumulator: return "accumulator";
+      case MetricKind::Gauge: return "gauge";
+      case MetricKind::Rate: return "rate";
+      case MetricKind::Series: return "series";
+      case MetricKind::Histogram: return "histogram";
+    }
+    return "?";
+}
+
+const MetricSample *
+MetricSnapshot::find(const std::string &name) const
+{
+    for (const auto &s : samples) {
+        if (s.name == name)
+            return &s;
+    }
+    return nullptr;
+}
+
+double
+MetricSnapshot::value(const std::string &name, double fallback) const
+{
+    const MetricSample *s = find(name);
+    return s != nullptr ? s->value : fallback;
+}
+
+bool
+MetricRegistry::matchesPrefix(const std::string &name,
+                              const std::string &prefix)
+{
+    if (prefix.empty())
+        return true;
+    if (name.size() < prefix.size()
+        || name.compare(0, prefix.size(), prefix) != 0)
+        return false;
+    return name.size() == prefix.size() || name[prefix.size()] == '.';
+}
+
+std::string
+MetricRegistry::join(const std::string &a, const std::string &b)
+{
+    if (a.empty())
+        return b;
+    if (b.empty())
+        return a;
+    return a + "." + b;
+}
+
+void
+MetricRegistry::insert(std::string name, Entry e)
+{
+    if (name.empty())
+        sim::fatal("MetricRegistry: empty metric name");
+    auto [it, inserted] = entries_.emplace(std::move(name), std::move(e));
+    if (!inserted)
+        sim::fatal("MetricRegistry: duplicate metric '%s'",
+                   it->first.c_str());
+}
+
+void
+MetricRegistry::add(std::string name, const sim::Counter *c)
+{
+    Entry e;
+    e.kind = MetricKind::Counter;
+    e.counter = c;
+    insert(std::move(name), std::move(e));
+}
+
+void
+MetricRegistry::add(std::string name, const sim::Accumulator *a)
+{
+    Entry e;
+    e.kind = MetricKind::Accumulator;
+    e.accum = a;
+    insert(std::move(name), std::move(e));
+}
+
+void
+MetricRegistry::add(std::string name, const sim::RateWindow *r)
+{
+    Entry e;
+    e.kind = MetricKind::Rate;
+    e.rate = r;
+    insert(std::move(name), std::move(e));
+}
+
+void
+MetricRegistry::add(std::string name, const sim::Series *s)
+{
+    Entry e;
+    e.kind = MetricKind::Series;
+    e.series = s;
+    insert(std::move(name), std::move(e));
+}
+
+void
+MetricRegistry::add(std::string name, const Histogram *h)
+{
+    Entry e;
+    e.kind = MetricKind::Histogram;
+    e.hist = h;
+    insert(std::move(name), std::move(e));
+}
+
+void
+MetricRegistry::addGauge(std::string name, GaugeFn fn)
+{
+    Entry e;
+    e.kind = MetricKind::Gauge;
+    e.gauge = std::move(fn);
+    insert(std::move(name), std::move(e));
+}
+
+bool
+MetricRegistry::contains(const std::string &name) const
+{
+    return entries_.count(name) > 0;
+}
+
+void
+MetricRegistry::remove(const std::string &name)
+{
+    entries_.erase(name);
+}
+
+void
+MetricRegistry::removePrefix(const std::string &prefix)
+{
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        if (matchesPrefix(it->first, prefix))
+            it = entries_.erase(it);
+        else
+            ++it;
+    }
+}
+
+std::vector<std::string>
+MetricRegistry::names(const std::string &prefix) const
+{
+    std::vector<std::string> out;
+    for (const auto &[name, e] : entries_) {
+        if (matchesPrefix(name, prefix))
+            out.push_back(name);
+    }
+    return out;
+}
+
+MetricSnapshot
+MetricRegistry::snapshot(const std::string &prefix) const
+{
+    MetricSnapshot snap;
+    for (const auto &[name, e] : entries_) {
+        if (!matchesPrefix(name, prefix))
+            continue;
+        MetricSample s;
+        s.name = name;
+        s.kind = e.kind;
+        switch (e.kind) {
+          case MetricKind::Counter:
+            s.value = double(e.counter->value());
+            break;
+          case MetricKind::Accumulator:
+            s.value = e.accum->value();
+            s.count = double(e.accum->samples());
+            s.mean = e.accum->mean();
+            break;
+          case MetricKind::Gauge:
+            s.value = e.gauge ? e.gauge() : 0.0;
+            break;
+          case MetricKind::Rate:
+            s.value = e.rate->total();
+            break;
+          case MetricKind::Series:
+            s.count = double(e.series->samples().size());
+            s.value = e.series->samples().empty()
+                          ? 0.0
+                          : e.series->samples().back().second;
+            break;
+          case MetricKind::Histogram:
+            s.value = e.hist->sum();
+            s.count = e.hist->count();
+            s.mean = e.hist->mean();
+            s.min = e.hist->min();
+            s.max = e.hist->max();
+            s.p50 = e.hist->percentile(50);
+            s.p99 = e.hist->percentile(99);
+            break;
+        }
+        snap.samples.push_back(std::move(s));
+    }
+    return snap;
+}
+
+const Histogram *
+MetricRegistry::histogram(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    return it != entries_.end() ? it->second.hist : nullptr;
+}
+
+const sim::Series *
+MetricRegistry::series(const std::string &name) const
+{
+    auto it = entries_.find(name);
+    return it != entries_.end() ? it->second.series : nullptr;
+}
+
+} // namespace sriov::obs

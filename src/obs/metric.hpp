@@ -1,0 +1,129 @@
+/**
+ * @file
+ * MetricRegistry: hierarchically named views over the simulator's
+ * existing statistics objects.
+ *
+ * Components keep owning their sim::Counter / Accumulator / Series /
+ * RateWindow members exactly as before — the registry adapts them *by
+ * registration* (a name → pointer table), so the hot paths that
+ * increment them pay nothing for being observable. Names are
+ * dot-separated paths ("server.nic0.vf3.rx_drops"); prefix queries
+ * respect component boundaries, so "server.nic0" matches
+ * "server.nic0.pf.rx_frames" but not "server.nic00.x".
+ *
+ * Gauges (callables evaluated at snapshot time) cover values that are
+ * derived or whose owner may be resized/destroyed: the closure can
+ * re-resolve and bounds-check at sample time.
+ */
+
+#ifndef SRIOV_OBS_METRIC_HPP
+#define SRIOV_OBS_METRIC_HPP
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/histogram.hpp"
+#include "sim/stats.hpp"
+
+namespace sriov::obs {
+
+enum class MetricKind
+{
+    Counter,
+    Accumulator,
+    Gauge,
+    Rate,
+    Series,
+    Histogram,
+};
+
+const char *metricKindName(MetricKind k);
+
+/** One metric flattened at snapshot time. */
+struct MetricSample
+{
+    std::string name;
+    MetricKind kind = MetricKind::Gauge;
+    /** Counter value / accumulator sum / gauge / rate total / histogram
+     *  sum / last series sample. */
+    double value = 0;
+    /** Accumulator samples / histogram weight / series length. */
+    double count = 0;
+    /** Histogram and accumulator extras (0 otherwise). */
+    double mean = 0;
+    double min = 0;
+    double max = 0;
+    double p50 = 0;
+    double p99 = 0;
+};
+
+/** A point-in-time flattening of (a subtree of) the registry. */
+struct MetricSnapshot
+{
+    std::vector<MetricSample> samples;    ///< sorted by name
+
+    const MetricSample *find(const std::string &name) const;
+    double value(const std::string &name, double fallback = 0) const;
+};
+
+class MetricRegistry
+{
+  public:
+    using GaugeFn = std::function<double()>;
+
+    /** @name Registration. Duplicate names abort. @{ */
+    void add(std::string name, const sim::Counter *c);
+    void add(std::string name, const sim::Accumulator *a);
+    void add(std::string name, const sim::RateWindow *r);
+    void add(std::string name, const sim::Series *s);
+    void add(std::string name, const Histogram *h);
+    void addGauge(std::string name, GaugeFn fn);
+    /** @} */
+
+    bool contains(const std::string &name) const;
+    std::size_t size() const { return entries_.size(); }
+
+    /** Drop one metric / a whole subtree (component teardown). */
+    void remove(const std::string &name);
+    void removePrefix(const std::string &prefix);
+
+    /** Registered names under @p prefix ("" = all), sorted. */
+    std::vector<std::string> names(const std::string &prefix = "") const;
+
+    /** Flatten current values under @p prefix ("" = all). */
+    MetricSnapshot snapshot(const std::string &prefix = "") const;
+
+    /** Direct histogram lookup (percentile queries in tests/benches). */
+    const Histogram *histogram(const std::string &name) const;
+    /** Direct series lookup (reports export full timelines). */
+    const sim::Series *series(const std::string &name) const;
+
+    /** Does @p name match @p prefix at a component boundary? */
+    static bool matchesPrefix(const std::string &name,
+                              const std::string &prefix);
+
+    /** Join non-empty path components with dots. */
+    static std::string join(const std::string &a, const std::string &b);
+
+  private:
+    struct Entry
+    {
+        MetricKind kind;
+        const sim::Counter *counter = nullptr;
+        const sim::Accumulator *accum = nullptr;
+        const sim::RateWindow *rate = nullptr;
+        const sim::Series *series = nullptr;
+        const Histogram *hist = nullptr;
+        GaugeFn gauge;
+    };
+
+    void insert(std::string name, Entry e);
+
+    std::map<std::string, Entry> entries_;
+};
+
+} // namespace sriov::obs
+
+#endif // SRIOV_OBS_METRIC_HPP

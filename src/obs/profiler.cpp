@@ -1,0 +1,136 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sriov::obs {
+
+SimProfiler::~SimProfiler()
+{
+    detach();
+}
+
+void
+SimProfiler::attach(sim::EventQueue &eq)
+{
+    detach();
+    attached_ = &eq;
+    eq.addExecHook(this);
+}
+
+void
+SimProfiler::detach()
+{
+    if (attached_ != nullptr) {
+        attached_->removeExecHook(this);
+        attached_ = nullptr;
+    }
+}
+
+void
+SimProfiler::onEventStart(sim::Time when, std::uint64_t seq, const char *tag)
+{
+    (void)when;
+    (void)seq;
+    current_tag_ = tag;
+    in_event_ = true;
+    start_ = Clock::now();
+}
+
+void
+SimProfiler::onEventEnd(sim::Time when, std::uint64_t seq, const char *tag)
+{
+    (void)when;
+    (void)seq;
+    if (!in_event_)
+        return;
+    auto ns = std::uint64_t(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                Clock::now() - start_)
+                                .count());
+    in_event_ = false;
+    TagStats &s = stats_[tag != nullptr ? tag : current_tag_];
+    ++s.events;
+    s.host_ns += ns;
+    ++total_events_;
+    total_ns_ += ns;
+}
+
+namespace {
+
+std::vector<SimProfiler::TagStats>
+mergeBy(const std::map<const char *, SimProfiler::TagStats> &stats,
+        bool component_only)
+{
+    std::map<std::string, SimProfiler::TagStats> merged;
+    for (const auto &[tag, s] : stats) {
+        std::string name = tag != nullptr ? tag : "";
+        if (name.empty())
+            name = "(untagged)";
+        if (component_only) {
+            std::size_t dot = name.find('.');
+            if (dot != std::string::npos)
+                name = name.substr(0, dot);
+        }
+        SimProfiler::TagStats &m = merged[name];
+        m.tag = name;
+        m.events += s.events;
+        m.host_ns += s.host_ns;
+    }
+    std::vector<SimProfiler::TagStats> out;
+    out.reserve(merged.size());
+    for (auto &[name, s] : merged) {
+        (void)name;
+        out.push_back(std::move(s));
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SimProfiler::TagStats &a,
+                 const SimProfiler::TagStats &b) {
+                  if (a.host_ns != b.host_ns)
+                      return a.host_ns > b.host_ns;
+                  return a.tag < b.tag;
+              });
+    return out;
+}
+
+} // namespace
+
+std::vector<SimProfiler::TagStats>
+SimProfiler::byTag() const
+{
+    return mergeBy(stats_, false);
+}
+
+std::vector<SimProfiler::TagStats>
+SimProfiler::byComponent() const
+{
+    return mergeBy(stats_, true);
+}
+
+std::string
+SimProfiler::toString() const
+{
+    std::string out = "sim profile: " + std::to_string(total_events_)
+                      + " events, "
+                      + std::to_string(total_ns_ / 1000000) + " ms host\n";
+    char line[160];
+    for (const TagStats &s : byTag()) {
+        std::snprintf(line, sizeof(line),
+                      "  %-28s %12llu ev %10.3f ms %8.0f ns/ev\n",
+                      s.tag.c_str(),
+                      static_cast<unsigned long long>(s.events),
+                      double(s.host_ns) / 1e6, s.meanNs());
+        out += line;
+    }
+    return out;
+}
+
+void
+SimProfiler::reset()
+{
+    stats_.clear();
+    total_events_ = 0;
+    total_ns_ = 0;
+    in_event_ = false;
+}
+
+} // namespace sriov::obs

@@ -1,0 +1,196 @@
+#include "obs/report.hpp"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "obs/json.hpp"
+
+namespace sriov::obs {
+
+Report::Report(std::string bench, std::string title)
+    : bench_(std::move(bench)), title_(std::move(title))
+{}
+
+void
+Report::setConfig(const std::string &key, const std::string &value)
+{
+    config_str_.emplace_back(key, value);
+}
+
+void
+Report::setConfig(const std::string &key, double value)
+{
+    config_num_.emplace_back(key, value);
+}
+
+void
+Report::addMetric(const std::string &name, double value)
+{
+    metrics_.emplace_back(name, value);
+}
+
+void
+Report::addSnapshot(const std::string &label, const MetricRegistry &reg,
+                    const std::string &prefix)
+{
+    snapshots_.push_back(Snapshot{label, reg.snapshot(prefix)});
+}
+
+void
+Report::addSeries(const std::string &name, const sim::Series &s)
+{
+    SeriesData d;
+    d.name = name;
+    d.xs.reserve(s.samples().size());
+    d.ys.reserve(s.samples().size());
+    for (const auto &[t, v] : s.samples()) {
+        d.xs.push_back(t.toSeconds());
+        d.ys.push_back(v);
+    }
+    series_.push_back(std::move(d));
+}
+
+void
+Report::addSeries(const std::string &name, const std::vector<double> &xs,
+                  const std::vector<double> &ys)
+{
+    series_.push_back(SeriesData{name, xs, ys});
+}
+
+const Report::Expectation &
+Report::expect(const std::string &name, double actual, double expected,
+               double band_pct)
+{
+    Expectation e;
+    e.name = name;
+    e.actual = actual;
+    e.expected = expected;
+    e.band_pct = band_pct;
+    e.delta = actual - expected;
+    e.delta_pct = expected != 0 ? e.delta / expected * 100.0 : 0.0;
+    // A zero expected value passes only on an exact match.
+    e.pass = expected != 0 ? std::fabs(e.delta_pct) <= band_pct
+                           : e.delta == 0.0;
+    expectations_.push_back(std::move(e));
+    return expectations_.back();
+}
+
+bool
+Report::allPass() const
+{
+    for (const Expectation &e : expectations_) {
+        if (!e.pass)
+            return false;
+    }
+    return true;
+}
+
+namespace {
+
+void
+writeSample(JsonWriter &w, const MetricSample &s)
+{
+    w.beginObject();
+    w.kv("kind", metricKindName(s.kind));
+    w.kv("value", s.value);
+    if (s.count > 0)
+        w.kv("count", std::uint64_t(s.count));
+    if (s.kind == MetricKind::Histogram) {
+        w.kv("mean", s.mean);
+        w.kv("min", s.min);
+        w.kv("max", s.max);
+        w.kv("p50", s.p50);
+        w.kv("p99", s.p99);
+    }
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+Report::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", kSchema);
+    w.kv("bench", bench_);
+    w.kv("title", title_);
+
+    w.key("config").beginObject();
+    for (const auto &[k, v] : config_str_)
+        w.kv(k, v);
+    for (const auto &[k, v] : config_num_)
+        w.kv(k, v);
+    w.endObject();
+
+    w.key("metrics").beginObject();
+    for (const auto &[k, v] : metrics_)
+        w.kv(k, v);
+    w.endObject();
+
+    w.key("snapshots").beginArray();
+    for (const Snapshot &snap : snapshots_) {
+        w.beginObject();
+        w.kv("label", snap.label);
+        w.key("metrics").beginObject();
+        for (const MetricSample &s : snap.data.samples) {
+            w.key(s.name);
+            writeSample(w, s);
+        }
+        w.endObject();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("series").beginArray();
+    for (const SeriesData &s : series_) {
+        w.beginObject();
+        w.kv("name", s.name);
+        w.key("x").beginArray();
+        for (double v : s.xs)
+            w.value(v);
+        w.endArray();
+        w.key("y").beginArray();
+        for (double v : s.ys)
+            w.value(v);
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
+
+    w.key("expectations").beginArray();
+    for (const Expectation &e : expectations_) {
+        w.beginObject();
+        w.kv("name", e.name);
+        w.kv("actual", e.actual);
+        w.kv("expected", e.expected);
+        w.kv("band_pct", e.band_pct);
+        w.kv("delta", e.delta);
+        w.kv("delta_pct", e.delta_pct);
+        w.kv("pass", e.pass);
+        w.endObject();
+    }
+    w.endArray();
+
+    w.kv("all_pass", allPass());
+    w.endObject();
+    return w.str();
+}
+
+bool
+Report::writeTo(const std::string &path) const
+{
+    std::error_code ec;
+    std::filesystem::path p(path);
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << toJson() << '\n';
+    return bool(out);
+}
+
+} // namespace sriov::obs

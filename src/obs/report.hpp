@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Report: the machine-readable result document every bench/figXX
+ * writes when invoked with --out=<dir>.
+ *
+ * A report carries (1) the experiment configuration, (2) metric
+ * snapshots taken from a MetricRegistry at labelled points, (3) named
+ * time series, and (4) expectations — paper-reported values compared
+ * against simulated ones with a tolerance band, each yielding a delta
+ * and a pass flag. The JSON schema is versioned
+ * ("sriov-bench-report/v1") so downstream tooling (tools/report_check,
+ * tools/bench_summary, plotting scripts) can validate what it reads.
+ */
+
+#ifndef SRIOV_OBS_REPORT_HPP
+#define SRIOV_OBS_REPORT_HPP
+
+#include <string>
+#include <vector>
+
+#include "obs/metric.hpp"
+#include "sim/stats.hpp"
+
+namespace sriov::obs {
+
+class Report
+{
+  public:
+    static constexpr const char *kSchema = "sriov-bench-report/v1";
+
+    /** One paper-expected-vs-simulated comparison. */
+    struct Expectation
+    {
+        std::string name;
+        double actual = 0;
+        double expected = 0;
+        double band_pct = 0;    ///< allowed |delta_pct|
+        double delta = 0;       ///< actual - expected
+        double delta_pct = 0;   ///< delta / expected * 100 (0 if expected==0)
+        bool pass = false;
+    };
+
+    Report(std::string bench, std::string title);
+
+    /** @name Experiment configuration (flat key/value). @{ */
+    void setConfig(const std::string &key, const std::string &value);
+    void setConfig(const std::string &key, double value);
+    /** @} */
+
+    /** Record a single scalar metric under the top-level metrics map. */
+    void addMetric(const std::string &name, double value);
+
+    /**
+     * Snapshot @p reg (optionally filtered by hierarchical @p prefix)
+     * under @p label. Multiple labelled snapshots let a bench record
+     * state per phase (per VF count, per migration round, ...).
+     */
+    void addSnapshot(const std::string &label, const MetricRegistry &reg,
+                     const std::string &prefix = "");
+
+    /** Attach a named time series (copied). */
+    void addSeries(const std::string &name, const sim::Series &s);
+    void addSeries(const std::string &name,
+                   const std::vector<double> &xs,
+                   const std::vector<double> &ys);
+
+    /**
+     * Compare @p actual against the paper's @p expected value,
+     * tolerating |delta| up to @p band_pct percent of expected.
+     * @return the computed expectation (also stored in the report).
+     */
+    const Expectation &expect(const std::string &name, double actual,
+                              double expected, double band_pct);
+
+    bool allPass() const;
+    std::size_t expectationCount() const { return expectations_.size(); }
+    std::size_t snapshotCount() const { return snapshots_.size(); }
+
+    std::string toJson() const;
+
+    /** Write toJson() to @p path, creating parent directories. */
+    bool writeTo(const std::string &path) const;
+
+  private:
+    struct Snapshot
+    {
+        std::string label;
+        MetricSnapshot data;
+    };
+
+    struct SeriesData
+    {
+        std::string name;
+        std::vector<double> xs;
+        std::vector<double> ys;
+    };
+
+    std::string bench_;
+    std::string title_;
+    std::vector<std::pair<std::string, std::string>> config_str_;
+    std::vector<std::pair<std::string, double>> config_num_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    std::vector<Snapshot> snapshots_;
+    std::vector<SeriesData> series_;
+    std::vector<Expectation> expectations_;
+};
+
+} // namespace sriov::obs
+
+#endif // SRIOV_OBS_REPORT_HPP

@@ -46,7 +46,11 @@ CpuServer::startNext()
     Time service = Time::cycles(w.cycles, hz_);
     busy_ += service;
     cycles_by_tag_[w.tag] += w.cycles;
-    eq_.scheduleIn(service, [this, done = std::move(w.on_done)]() {
+    Time start = eq_.now();
+    eq_.scheduleIn(service, [this, start, tag = std::move(w.tag),
+                             done = std::move(w.on_done)]() {
+        if (span_tap_ != nullptr)
+            span_tap_->onCpuSpan(*this, tag, start, eq_.now());
         if (done)
             done();
         startNext();

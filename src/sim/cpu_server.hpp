@@ -40,6 +40,23 @@ struct CpuSnapshot
 class CpuServer
 {
   public:
+    /**
+     * Observation tap for executed work spans (obs::ChromeTraceWriter
+     * draws them as per-CPU track slices). Called at work completion
+     * with the service interval [start, end]; charge()-d work is
+     * instantaneous and produces no span. One tap per server; the tap
+     * must outlive the server or be detached first. Disabled cost: one
+     * branch per completed work item.
+     */
+    class SpanTap
+    {
+      public:
+        virtual ~SpanTap() = default;
+
+        virtual void onCpuSpan(const CpuServer &cpu, const std::string &tag,
+                               Time start, Time end) = 0;
+    };
+
     CpuServer(EventQueue &eq, std::string name, double hz);
 
     CpuServer(const CpuServer &) = delete;
@@ -84,6 +101,9 @@ class CpuServer
     double cyclesSince(const CpuSnapshot &before,
                        const std::string &tag) const;
 
+    void setSpanTap(SpanTap *t) { span_tap_ = t; }
+    SpanTap *spanTap() const { return span_tap_; }
+
   private:
     struct Work
     {
@@ -101,6 +121,7 @@ class CpuServer
     bool in_service_ = false;
     Time busy_;
     std::map<std::string, double> cycles_by_tag_;
+    SpanTap *span_tap_ = nullptr;
 };
 
 } // namespace sriov::sim

@@ -1,8 +1,38 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+
 #include "sim/log.hpp"
+#include "sim/trace.hpp"
 
 namespace sriov::sim {
+
+EventQueue::EventQueue()
+{
+    Tracer::global().adoptClock(&now_);
+}
+
+EventQueue::~EventQueue()
+{
+    Tracer::global().disownClock(&now_);
+}
+
+void
+EventQueue::addExecHook(ExecHook *h)
+{
+    if (h != nullptr
+        && std::find(exec_hooks_.begin(), exec_hooks_.end(), h)
+               == exec_hooks_.end())
+        exec_hooks_.push_back(h);
+}
+
+void
+EventQueue::removeExecHook(ExecHook *h)
+{
+    exec_hooks_.erase(
+        std::remove(exec_hooks_.begin(), exec_hooks_.end(), h),
+        exec_hooks_.end());
+}
 
 EventHandle
 EventQueue::scheduleAt(Time when, std::function<void()> fn, const char *tag)
@@ -80,7 +110,17 @@ EventQueue::runOne()
     now_ = e.when;
     ++executed_;
     foldDigest(e);
-    e.fn();
+    if (!exec_hooks_.empty()) {
+        // Iterate by index: the callback (or a hook) may add or remove
+        // hooks mid-event, e.g. a tracer detaching at a record limit.
+        for (std::size_t i = 0; i < exec_hooks_.size(); ++i)
+            exec_hooks_[i]->onEventStart(e.when, e.seq, e.tag);
+        e.fn();
+        for (std::size_t i = 0; i < exec_hooks_.size(); ++i)
+            exec_hooks_[i]->onEventEnd(e.when, e.seq, e.tag);
+    } else {
+        e.fn();
+    }
     return true;
 }
 

@@ -77,7 +77,36 @@ class EventQueue
                                const char *tag) = 0;
     };
 
-    EventQueue() = default;
+    /**
+     * Execution hook for observability tooling (obs::SimProfiler,
+     * obs::ChromeTraceWriter). Unlike the Observer — which is part of
+     * the correctness machinery and changes schedule-in-the-past
+     * handling — hooks are pure bystanders: they bracket every
+     * executed event and cannot alter queue behaviour. With no hooks
+     * installed the per-event cost is one branch.
+     */
+    class ExecHook
+    {
+      public:
+        virtual ~ExecHook() = default;
+
+        /** Called just before the event's callback runs. */
+        virtual void onEventStart(Time when, std::uint64_t seq,
+                                  const char *tag) = 0;
+
+        /** Called right after the event's callback returns. */
+        virtual void onEventEnd(Time when, std::uint64_t seq,
+                                const char *tag) = 0;
+    };
+
+    /**
+     * Constructs the queue and offers `&now()` to Tracer::global() as
+     * its timestamp clock (adopted only if none is bound; the
+     * destructor disowns it again, so the global tracer never dangles
+     * into a destroyed queue).
+     */
+    EventQueue();
+    ~EventQueue();
 
     EventQueue(const EventQueue &) = delete;
     EventQueue &operator=(const EventQueue &) = delete;
@@ -133,6 +162,12 @@ class EventQueue
     void setObserver(Observer *o) { observer_ = o; }
     Observer *observer() const { return observer_; }
 
+    /** @name Execution hooks (multiple allowed, called in add order). @{ */
+    void addExecHook(ExecHook *h);
+    void removeExecHook(ExecHook *h);
+    std::size_t execHookCount() const { return exec_hooks_.size(); }
+    /** @} */
+
   private:
     struct Entry
     {
@@ -163,6 +198,7 @@ class EventQueue
     std::uint64_t live_events_ = 0;
     std::uint64_t digest_ = 0xcbf29ce484222325ull;    // FNV-1a offset basis
     Observer *observer_ = nullptr;
+    std::vector<ExecHook *> exec_hooks_;
 };
 
 } // namespace sriov::sim

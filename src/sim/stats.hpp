@@ -66,13 +66,21 @@ class RateWindow
   public:
     void add(double v) { total_ += v; }
 
-    /** Rate per second over [mark, now]; then re-marks the window. */
+    /**
+     * Rate per second over [mark, now]; then re-marks the window.
+     *
+     * A zero-width (or backwards) window returns 0 and does NOT
+     * re-mark: counts added since the last mark stay in the open
+     * window instead of being silently discarded, so a caller that
+     * samples twice at the same instant loses nothing.
+     */
     double
     take(Time now)
     {
         Time w = now - mark_;
-        double rate =
-            w > Time() ? (total_ - marked_total_) / w.toSeconds() : 0.0;
+        if (w <= Time())
+            return 0.0;
+        double rate = (total_ - marked_total_) / w.toSeconds();
         mark_ = now;
         marked_total_ = total_;
         return rate;

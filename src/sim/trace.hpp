@@ -60,8 +60,41 @@ class Tracer
     bool enabled(TraceCat c) const { return enabled_[unsigned(c)]; }
     bool anyEnabled() const;
 
-    /** The clock used for timestamps (set by the harness; optional). */
+    /**
+     * @name Timestamp clock.
+     *
+     * The tracer reads `*clock_` when recording; the pointee is owned
+     * by whoever binds it (in practice an EventQueue's `now_`). To
+     * keep Tracer::global() from dangling into a destroyed queue —
+     * testbeds are routinely built and torn down per bench case — the
+     * owner must disown the clock on destruction; EventQueue does both
+     * automatically via adoptClock()/disownClock().
+     * @{
+     */
+
+    /** Bind explicitly (harness override; replaces any binding). */
     void setClock(const Time *now) { clock_ = now; }
+
+    /** Bind @p now only if no clock is currently bound. */
+    void
+    adoptClock(const Time *now)
+    {
+        if (clock_ == nullptr)
+            clock_ = now;
+    }
+
+    /** Clear the binding iff @p now is the bound clock. */
+    void
+    disownClock(const Time *now)
+    {
+        if (clock_ == now)
+            clock_ = nullptr;
+    }
+
+    /** The currently bound clock (nullptr = timestamps read 0). */
+    const Time *clock() const { return clock_; }
+
+    /** @} */
 
     void record(TraceCat c, std::string text);
     void recordf(TraceCat c, const char *fmt, ...)

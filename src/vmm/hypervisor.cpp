@@ -143,14 +143,19 @@ Hypervisor::bindDeviceIrq(Domain &dom, pci::PciFunction &fn, Vcpu &vcpu,
         if (next == 0)
             next = intr::VectorAllocator::kFirstDynamic;
         b->virt_vec = next++;
-        vcpu.bindVirtualVector(b->virt_vec,
-                               [bp]() { bp->handler(); });
+        vcpu.bindVirtualVector(b->virt_vec, [this, bp]() {
+            noteDelivered(*bp);
+            bp->handler();
+        });
         break;
       }
       case DomainType::Pvm:
       case DomainType::Dom0: {
         b->port = dom.evtchn().bind(
-            [bp](intr::EventChannelBank::Port) { bp->handler(); });
+            [this, bp](intr::EventChannelBank::Port) {
+                noteDelivered(*bp);
+                bp->handler();
+            });
         break;
       }
       case DomainType::Native:
@@ -210,8 +215,25 @@ Hypervisor::unbindAllDeviceIrqs(pci::PciFunction &fn)
 }
 
 void
+Hypervisor::noteDelivered(IrqBinding &b)
+{
+    if (intr_latency_ == nullptr || !b.raise_pending)
+        return;
+    b.raise_pending = false;
+    intr_latency_->record((eq_.now() - b.raise_time).toSeconds() * 1e6);
+}
+
+void
 Hypervisor::physIrq(IrqBinding &b)
 {
+    // Latency tap: stamp the raise; the delivery wrappers installed by
+    // bindDeviceIrq() close the interval at guest-handler entry. A
+    // raise while one is already outstanding (IRR coalescing) keeps the
+    // oldest stamp — the guest-visible worst case.
+    if (intr_latency_ != nullptr && !b.raise_pending) {
+        b.raise_pending = true;
+        b.raise_time = eq_.now();
+    }
     Domain &dom = *b.dom;
     Vcpu &vcpu = *b.vcpu;
     switch (dom.type()) {
@@ -229,6 +251,7 @@ Hypervisor::physIrq(IrqBinding &b)
         break;
       case DomainType::Native:
         vcpu.chargeGuest(cm_.native_irq);
+        noteDelivered(b);
         b.handler();
         break;
     }

@@ -28,6 +28,7 @@
 
 #include "intr/interrupt_router.hpp"
 #include "mem/iommu.hpp"
+#include "obs/histogram.hpp"
 #include "mem/machine_memory.hpp"
 #include "pci/root_complex.hpp"
 #include "sim/cpu_server.hpp"
@@ -148,6 +149,19 @@ class Hypervisor
                              bool include_guest_cycles = true);
     /** @} */
 
+    /**
+     * Observation tap: when set, every device-IRQ delivery records the
+     * MSI-raise → guest-handler latency into @p h in microseconds. For
+     * HVM guests this spans the external-interrupt exit, the virtual
+     * LAPIC's IRR wait (an in-service vector blocks successors until
+     * EOI) and any paused-domain retries; for PV, the event-channel
+     * upcall; Native delivery is synchronous (0 µs). May be installed
+     * or cleared at any time (an in-flight raise is simply not
+     * stamped). Disabled cost: one branch per IRQ.
+     */
+    void setIntrLatencyHistogram(obs::Histogram *h) { intr_latency_ = h; }
+    obs::Histogram *intrLatencyHistogram() const { return intr_latency_; }
+
     /** @name CPU utilization reporting. @{ */
     struct UtilSnapshot
     {
@@ -175,9 +189,12 @@ class Hypervisor
         intr::Vector virt_vec = 0;                      // HVM
         intr::EventChannelBank::Port port = 0;          // PVM
         std::function<void()> handler;                  // Native path
+        sim::Time raise_time;                           // latency tap
+        bool raise_pending = false;
     };
 
     void physIrq(IrqBinding &b);
+    void noteDelivered(IrqBinding &b);
 
     sim::EventQueue &eq_;
     CostModel cm_;
@@ -198,6 +215,7 @@ class Hypervisor
              std::unique_ptr<IrqBinding>>
         bindings_;
     std::map<unsigned, intr::Vector> next_virt_vec_;    // per-domain
+    obs::Histogram *intr_latency_ = nullptr;
 };
 
 } // namespace sriov::vmm

@@ -41,7 +41,12 @@ ExitStats::totalCycles() const
 void
 ExitStats::reset()
 {
-    entries_ = {};
+    // Counters clear; installed cost taps survive the reset (benches
+    // reset stats between warmup and measurement).
+    for (auto &e : entries_) {
+        e.count = 0;
+        e.cycles = 0;
+    }
 }
 
 std::string

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.hpp"
+
 namespace sriov::vmm {
 
 enum class ExitReason : unsigned
@@ -41,6 +43,25 @@ class ExitStats
         auto &e = entries_[unsigned(r)];
         e.count += n;
         e.cycles += cycles;
+        if (e.cost_tap != nullptr && n > 0)
+            e.cost_tap->record(cycles / n, n);
+    }
+
+    /**
+     * Observation tap: when set, every record() for @p r also lands in
+     * @p h as a weighted sample of the per-exit cost (cycles / n,
+     * weight n), giving the cost *distribution* behind Fig. 7's means.
+     * Disabled cost: one branch per record(). The histogram must
+     * outlive the stats or be cleared first.
+     */
+    void setCostTap(ExitReason r, obs::Histogram *h)
+    {
+        entries_[unsigned(r)].cost_tap = h;
+    }
+
+    obs::Histogram *costTap(ExitReason r) const
+    {
+        return entries_[unsigned(r)].cost_tap;
     }
 
     double count(ExitReason r) const
@@ -66,6 +87,7 @@ class ExitStats
     {
         double count = 0;
         double cycles = 0;
+        obs::Histogram *cost_tap = nullptr;
     };
 
     std::array<Entry, unsigned(ExitReason::Count)> entries_{};

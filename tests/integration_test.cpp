@@ -10,6 +10,9 @@
 
 #include "core/experiment.hpp"
 #include "core/testbed.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/metric.hpp"
+#include "obs/profiler.hpp"
 #include "sim/log.hpp"
 
 using namespace sriov;
@@ -240,4 +243,107 @@ TEST(Integration, NativeBaselineMatchesPaperCpu)
     // Paper Fig. 12: native ~145% for the ten flows.
     EXPECT_NEAR(m.total_pct, 145, 30);
     EXPECT_DOUBLE_EQ(m.xen_pct, 0.0);
+}
+
+TEST(Integration, ObsHistogramsTrackCostModelConstants)
+{
+    Testbed::Params p;
+    p.num_ports = 1;
+    p.itr = "adaptive";
+    p.opts = OptimizationSet::none();
+    Testbed tb(p);
+    auto &hooks = tb.enableObs();
+    auto &g = tb.addGuest(vmm::DomainType::Hvm, Testbed::NetMode::Sriov,
+                          guest::KernelVersion::v2_6_18);
+    tb.startUdpToGuest(g, 1e9);
+    tb.measure(sim::Time::sec(1), sim::Time::sec(2));
+
+    const vmm::CostModel &cm = tb.server().costs();
+    // Without EOI acceleration every APIC access pays the full
+    // fetch-decode-emulate exit, so the distribution collapses to a
+    // single point at apic_access_emulate.
+    const obs::Histogram &apic = hooks.exitCost(vmm::ExitReason::ApicAccess);
+    ASSERT_GT(apic.count(), 100);
+    EXPECT_DOUBLE_EQ(apic.percentile(50), cm.apic_access_emulate);
+    EXPECT_DOUBLE_EQ(apic.percentile(99), cm.apic_access_emulate);
+
+    const obs::Histogram &ext =
+        hooks.exitCost(vmm::ExitReason::ExternalInterrupt);
+    ASSERT_GT(ext.count(), 0);
+    EXPECT_DOUBLE_EQ(ext.percentile(50), cm.extint_exit);
+    EXPECT_DOUBLE_EQ(ext.percentile(99), cm.extint_exit);
+
+    // Uncontended direct injection delivers at raise time: the latency
+    // histogram is populated, and every sample is zero.
+    const obs::Histogram &lat = hooks.intr_latency_us;
+    ASSERT_GT(lat.count(), 100);
+    EXPECT_DOUBLE_EQ(lat.max(), 0.0);
+}
+
+TEST(Integration, IntrLatencyHistogramSeesEoiDeferral)
+{
+    // Make the guest's per-interrupt work (500 us) outrun the fixed
+    // 20 kHz ITR window (50 us): every subsequent raise lands while the
+    // previous vector is still in service, so delivery is deferred to
+    // EOI and the latency histogram fills with positive samples bounded
+    // below by (irq work - ITR window).
+    Testbed::Params p;
+    p.num_ports = 1;
+    p.itr = "20kHz";
+    p.opts = OptimizationSet::maskEoi();
+    p.costs.guest_irq_entry = 1.4e6;
+    Testbed tb(p);
+    auto &hooks = tb.enableObs();
+    auto &g = tb.addGuest(vmm::DomainType::Hvm, Testbed::NetMode::Sriov);
+    tb.startUdpToGuest(g, 1e9);
+    tb.measure(sim::Time::ms(200), sim::Time::ms(300));
+
+    const vmm::CostModel &cm = tb.server().costs();
+    double work_us = cm.guest_irq_entry / cm.cpu_hz * 1e6;
+    double itr_us = 1e6 / 20e3;
+    const obs::Histogram &lat = hooks.intr_latency_us;
+    ASSERT_GT(lat.count(), 100);
+    EXPECT_GE(lat.percentile(50), work_us - itr_us);
+    EXPECT_GE(lat.percentile(99), lat.percentile(50));
+    EXPECT_LE(lat.percentile(99), 2 * work_us);
+}
+
+TEST(Integration, ObservabilityDoesNotPerturbDeterminism)
+{
+    auto run = [](bool obs_on) {
+        Testbed::Params p;
+        p.num_ports = 1;
+        p.opts = OptimizationSet::all();
+        Testbed tb(p);
+        obs::MetricRegistry reg;
+        obs::SimProfiler prof;
+        obs::ChromeTraceWriter trace;
+        if (obs_on) {
+            tb.enableObs();
+            tb.registerMetrics(reg);
+            prof.attach(tb.eq());
+            tb.attachObsTrace(trace);
+        }
+        auto &g = tb.addGuest(vmm::DomainType::Hvm,
+                              Testbed::NetMode::Sriov);
+        tb.startUdpToGuest(g, 1e9);
+        auto m = tb.measure(sim::Time::sec(1), sim::Time::sec(2));
+        trace.detachAll();
+        prof.detach();
+        struct R
+        {
+            std::uint64_t digest;
+            std::uint64_t executed;
+            double goodput;
+        };
+        return R{tb.eq().orderDigest(), tb.eq().executed(),
+                 m.total_goodput_bps};
+    };
+    auto off = run(false);
+    auto on = run(true);
+    // The whole obs layer is a bystander: same event order, same event
+    // count, same measured result, whether it watches or not.
+    EXPECT_EQ(on.digest, off.digest);
+    EXPECT_EQ(on.executed, off.executed);
+    EXPECT_DOUBLE_EQ(on.goodput, off.goodput);
 }

@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Unit tests for the observability layer: histogram bucket math,
+ * metric registry, JSON writer/parser round-trips, Chrome trace
+ * export, bench reports and the shared bench CLI contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/bench_options.hpp"
+#include "obs/chrome_trace.hpp"
+#include "obs/histogram.hpp"
+#include "obs/json.hpp"
+#include "obs/metric.hpp"
+#include "obs/profiler.hpp"
+#include "obs/report.hpp"
+#include "sim/cpu_server.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/stats.hpp"
+#include "sim/trace.hpp"
+
+using namespace sriov;
+using namespace sriov::obs;
+
+// ---------------------------------------------------------------- Histogram
+
+TEST(Histogram, BucketBoundaries)
+{
+    Histogram h(Histogram::Params{1.0, 2.0, 4});
+    ASSERT_EQ(h.bucketCount(), 4u);
+    EXPECT_DOUBLE_EQ(h.bucketUpperBound(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.bucketUpperBound(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketUpperBound(2), 4.0);
+    EXPECT_TRUE(std::isinf(h.bucketUpperBound(3)));
+
+    // Bounds are inclusive upper bounds; <= 0 lands in bucket 0.
+    EXPECT_EQ(h.bucketIndex(-5.0), 0u);
+    EXPECT_EQ(h.bucketIndex(1.0), 0u);
+    EXPECT_EQ(h.bucketIndex(1.0001), 1u);
+    EXPECT_EQ(h.bucketIndex(2.0), 1u);
+    EXPECT_EQ(h.bucketIndex(4.0), 2u);
+    EXPECT_EQ(h.bucketIndex(1e9), 3u);
+}
+
+TEST(Histogram, RecordAndSummaryStats)
+{
+    Histogram h(Histogram::Params{1.0, 2.0, 8});
+    h.record(3.0);
+    h.record(5.0);
+    h.record(7.0);
+    EXPECT_DOUBLE_EQ(h.count(), 3.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(h.min(), 3.0);
+    EXPECT_DOUBLE_EQ(h.max(), 7.0);
+    EXPECT_DOUBLE_EQ(h.bucketWeight(h.bucketIndex(3.0)), 1.0);
+    EXPECT_DOUBLE_EQ(h.bucketWeight(h.bucketIndex(5.0)), 2.0);
+}
+
+TEST(Histogram, WeightedRecording)
+{
+    Histogram h;
+    h.record(10.0, 1.13);
+    h.record(20.0, 0.87);
+    EXPECT_DOUBLE_EQ(h.count(), 2.0);
+    EXPECT_DOUBLE_EQ(h.sum(), 10.0 * 1.13 + 20.0 * 0.87);
+    // Non-positive weights are ignored.
+    h.record(30.0, 0.0);
+    h.record(30.0, -1.0);
+    EXPECT_DOUBLE_EQ(h.count(), 2.0);
+}
+
+TEST(Histogram, PercentileExactForSingleValue)
+{
+    // All samples share one value: the percentile clamps to [min, max]
+    // and must be exact — this is what lets the integration tests
+    // assert CostModel constants through the histogram.
+    Histogram h(Histogram::Params{50.0, 1.3, 48});
+    for (int i = 0; i < 100; ++i)
+        h.record(2500.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50), 2500.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99), 2500.0);
+}
+
+TEST(Histogram, PercentileMonotoneAndBucketAccurate)
+{
+    Histogram h(Histogram::Params{1.0, 2.0, 16});
+    for (int i = 1; i <= 100; ++i)
+        h.record(double(i));
+    double p50 = h.percentile(50);
+    double p99 = h.percentile(99);
+    EXPECT_LE(p50, p99);
+    // Accurate to one log-bucket: p50 of 1..100 is <= 64 (bucket bound
+    // above 50), p99 within [max/2, max].
+    EXPECT_GE(p50, 25.0);
+    EXPECT_LE(p50, 64.0);
+    EXPECT_GE(p99, 50.0);
+    EXPECT_LE(p99, 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100), 100.0);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h;
+    h.record(5.0);
+    h.reset();
+    EXPECT_TRUE(h.empty());
+    EXPECT_DOUBLE_EQ(h.percentile(50), 0.0);
+}
+
+// ----------------------------------------------------------- MetricRegistry
+
+TEST(MetricRegistry, PrefixMatchesComponentBoundaries)
+{
+    EXPECT_TRUE(MetricRegistry::matchesPrefix("server.nic0.pf.rx", ""));
+    EXPECT_TRUE(
+        MetricRegistry::matchesPrefix("server.nic0.pf.rx", "server.nic0"));
+    EXPECT_TRUE(MetricRegistry::matchesPrefix("server.nic0", "server.nic0"));
+    EXPECT_FALSE(
+        MetricRegistry::matchesPrefix("server.nic00.pf", "server.nic0"));
+    EXPECT_FALSE(MetricRegistry::matchesPrefix("server", "server.nic0"));
+}
+
+TEST(MetricRegistry, AdaptsExistingStatsByRegistration)
+{
+    sim::Counter c;
+    sim::Accumulator a;
+    Histogram h;
+    MetricRegistry reg;
+    reg.add("srv.rx_frames", &c);
+    reg.add("srv.rx_bytes", &a);
+    reg.add("hist.latency", &h);
+    reg.addGauge("srv.derived", []() { return 42.0; });
+
+    // Values flow through with no re-registration.
+    c.inc(7);
+    a.add(1500);
+    h.record(10.0);
+
+    auto snap = reg.snapshot();
+    ASSERT_EQ(snap.samples.size(), 4u);
+    EXPECT_DOUBLE_EQ(snap.value("srv.rx_frames"), 7.0);
+    EXPECT_DOUBLE_EQ(snap.value("srv.rx_bytes"), 1500.0);
+    EXPECT_DOUBLE_EQ(snap.value("srv.derived"), 42.0);
+    const MetricSample *s = snap.find("hist.latency");
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->kind, MetricKind::Histogram);
+    EXPECT_DOUBLE_EQ(s->count, 1.0);
+    EXPECT_DOUBLE_EQ(s->p50, 10.0);
+
+    // Subtree snapshot.
+    auto sub = reg.snapshot("srv");
+    EXPECT_EQ(sub.samples.size(), 3u);
+    EXPECT_EQ(snap.find("nope"), nullptr);
+    EXPECT_DOUBLE_EQ(snap.value("nope", -1.0), -1.0);
+}
+
+TEST(MetricRegistry, RemovePrefixDropsSubtree)
+{
+    sim::Counter c1, c2, c3;
+    MetricRegistry reg;
+    reg.add("a.b.x", &c1);
+    reg.add("a.b.y", &c2);
+    reg.add("a.bc", &c3);
+    reg.removePrefix("a.b");
+    EXPECT_FALSE(reg.contains("a.b.x"));
+    EXPECT_FALSE(reg.contains("a.b.y"));
+    EXPECT_TRUE(reg.contains("a.bc"));
+}
+
+TEST(MetricRegistryDeathTest, DuplicateNameAborts)
+{
+    sim::Counter c;
+    MetricRegistry reg;
+    reg.add("dup", &c);
+    EXPECT_DEATH(reg.add("dup", &c), "dup");
+}
+
+// ------------------------------------------------------------------- JSON
+
+TEST(Json, WriterParserRoundTrip)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("name", "q\"uo\\te\n");
+    w.kv("num", 1.5);
+    w.kv("neg", std::int64_t(-3));
+    w.kv("flag", true);
+    w.key("arr").beginArray();
+    w.value(1.0).value(2.0).null();
+    w.endArray();
+    w.endObject();
+
+    std::string err;
+    auto doc = JsonValue::parse(w.str(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    EXPECT_EQ(doc->find("name")->str, "q\"uo\\te\n");
+    EXPECT_DOUBLE_EQ(doc->find("num")->number, 1.5);
+    EXPECT_DOUBLE_EQ(doc->find("neg")->number, -3.0);
+    EXPECT_TRUE(doc->find("flag")->boolean);
+    const JsonValue *arr = doc->find("arr");
+    ASSERT_TRUE(arr != nullptr && arr->isArray());
+    ASSERT_EQ(arr->items.size(), 3u);
+    EXPECT_EQ(arr->items[2].type, JsonValue::Type::Null);
+}
+
+TEST(Json, ParserRejectsMalformed)
+{
+    EXPECT_FALSE(JsonValue::parse("{").has_value());
+    EXPECT_FALSE(JsonValue::parse("{} trailing").has_value());
+    EXPECT_FALSE(JsonValue::parse("[1,]").has_value());
+    EXPECT_FALSE(JsonValue::parse("'single'").has_value());
+}
+
+TEST(Json, NonFiniteNumbersDegradeToNull)
+{
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()),
+              "null");
+    EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()),
+              "null");
+}
+
+// ----------------------------------------------------------- Chrome trace
+
+TEST(ChromeTrace, ExportsSpansInstantsAndMetadata)
+{
+    ChromeTraceWriter w;
+    auto cpu_track = w.track("server", "cpu0");
+    auto irq_track = w.track("trace", "irq");
+    w.addSpan(cpu_track, "guest-1", sim::Time::us(10), sim::Time::us(30));
+    w.addInstant(irq_track, "msi", sim::Time::us(15));
+
+    std::string err;
+    auto doc = JsonValue::parse(w.toJson(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    const JsonValue *events = doc->find("traceEvents");
+    ASSERT_TRUE(events != nullptr && events->isArray());
+
+    std::set<std::pair<double, double>> tracks;
+    bool saw_span = false, saw_instant = false, saw_meta = false;
+    for (const JsonValue &e : events->items) {
+        const std::string &ph = e.find("ph")->str;
+        if (ph == "M") {
+            saw_meta = true;
+            continue;
+        }
+        tracks.insert({e.find("pid")->number, e.find("tid")->number});
+        if (ph == "X") {
+            saw_span = true;
+            EXPECT_DOUBLE_EQ(e.find("ts")->number, 10.0);
+            EXPECT_DOUBLE_EQ(e.find("dur")->number, 20.0);
+            EXPECT_EQ(e.find("name")->str, "guest-1");
+        } else if (ph == "i") {
+            saw_instant = true;
+            EXPECT_DOUBLE_EQ(e.find("ts")->number, 15.0);
+        }
+    }
+    EXPECT_TRUE(saw_span);
+    EXPECT_TRUE(saw_instant);
+    EXPECT_TRUE(saw_meta);
+    // Acceptance: at least two distinct (pid, tid) tracks.
+    EXPECT_GE(tracks.size(), 2u);
+}
+
+TEST(ChromeTrace, CapturesCpuServerSpans)
+{
+    sim::EventQueue eq;
+    sim::CpuServer cpu(eq, "pcpu0", 1e9);
+    ChromeTraceWriter w;
+    w.attachCpu(cpu, "server");
+    cpu.submit(100, "xen");
+    eq.runAll();
+    w.detachAll();
+    EXPECT_EQ(cpu.spanTap(), nullptr);
+    ASSERT_GE(w.eventCount(), 1u);
+
+    auto doc = JsonValue::parse(w.toJson());
+    ASSERT_TRUE(doc.has_value());
+    bool found = false;
+    for (const JsonValue &e : doc->find("traceEvents")->items) {
+        if (e.find("ph")->str == "X" && e.find("name")->str == "xen")
+            found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(ChromeTrace, ImportsTracerRecordsPerCategoryTracks)
+{
+    sim::Tracer t(16);
+    t.enable(sim::TraceCat::Irq);
+    t.enable(sim::TraceCat::Nic);
+    t.record(sim::TraceCat::Irq, "vector 0x41");
+    t.record(sim::TraceCat::Nic, "rx frame");
+
+    ChromeTraceWriter w;
+    w.importTracer(t);
+    auto doc = JsonValue::parse(w.toJson());
+    ASSERT_TRUE(doc.has_value());
+    std::set<double> tids;
+    for (const JsonValue &e : doc->find("traceEvents")->items) {
+        if (e.find("ph")->str == "i")
+            tids.insert(e.find("tid")->number);
+    }
+    EXPECT_EQ(tids.size(), 2u); // one track per category
+}
+
+TEST(ChromeTrace, DropsAtCapacityKeepingOldest)
+{
+    ChromeTraceWriter w(/*max_events=*/3);
+    auto tr = w.track("p", "t");
+    for (int i = 0; i < 5; ++i)
+        w.addInstant(tr, "e" + std::to_string(i), sim::Time::us(i));
+    EXPECT_EQ(w.eventCount(), 3u);
+    EXPECT_EQ(w.droppedEvents(), 2u);
+    auto doc = JsonValue::parse(w.toJson());
+    ASSERT_TRUE(doc.has_value());
+    EXPECT_NE(doc->find("sriovDroppedEvents"), nullptr);
+}
+
+// ----------------------------------------------------------------- Report
+
+TEST(Report, JsonCarriesSnapshotsSeriesAndExpectations)
+{
+    sim::Counter c;
+    c.inc(5);
+    Histogram h;
+    h.record(2.0);
+    MetricRegistry reg;
+    reg.add("srv.frames", &c);
+    reg.add("hist.lat", &h);
+
+    Report rep("fig99", "unit test");
+    rep.setConfig("vms", 7.0);
+    rep.setConfig("kernel", "2.6.28");
+    rep.addSnapshot("case-a", reg);
+    rep.addMetric("derived.gbps", 9.57);
+    rep.addSeries("y_vs_x", {1, 2}, {10, 20});
+    rep.expect("in_band", 100.0, 95.0, 10);
+    rep.expect("out_of_band", 100.0, 50.0, 10);
+    EXPECT_FALSE(rep.allPass());
+
+    std::string err;
+    auto doc = JsonValue::parse(rep.toJson(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    EXPECT_EQ(doc->find("schema")->str, Report::kSchema);
+    EXPECT_EQ(doc->find("bench")->str, "fig99");
+    EXPECT_DOUBLE_EQ(doc->find("config")->find("vms")->number, 7.0);
+
+    const JsonValue *snaps = doc->find("snapshots");
+    ASSERT_TRUE(snaps != nullptr && snaps->items.size() == 1);
+    const JsonValue *metrics = snaps->items[0].find("metrics");
+    ASSERT_NE(metrics, nullptr);
+    const JsonValue *hist = metrics->find("hist.lat");
+    ASSERT_NE(hist, nullptr);
+    EXPECT_DOUBLE_EQ(hist->find("p99")->number, 2.0);
+
+    const JsonValue *exps = doc->find("expectations");
+    ASSERT_TRUE(exps != nullptr && exps->items.size() == 2);
+    EXPECT_TRUE(exps->items[0].find("pass")->boolean);
+    EXPECT_FALSE(exps->items[1].find("pass")->boolean);
+    EXPECT_DOUBLE_EQ(exps->items[1].find("delta_pct")->number, 100.0);
+    EXPECT_FALSE(doc->find("all_pass")->boolean);
+
+    const JsonValue *series = doc->find("series");
+    ASSERT_TRUE(series != nullptr && series->items.size() == 1);
+    EXPECT_EQ(series->items[0].find("x")->items.size(), 2u);
+}
+
+TEST(Report, ZeroExpectedPassesOnlyOnExactMatch)
+{
+    Report rep("fig99", "t");
+    EXPECT_TRUE(rep.expect("zero_ok", 0.0, 0.0, 10).pass);
+    EXPECT_FALSE(rep.expect("zero_bad", 0.001, 0.0, 10).pass);
+}
+
+// ----------------------------------------------------------- BenchOptions
+
+namespace {
+
+BenchOptions
+parseArgs(std::vector<std::string> args, const std::string &bench = "figXX")
+{
+    std::vector<char *> argv;
+    static std::string prog = "bench";
+    argv.push_back(prog.data());
+    for (auto &a : args)
+        argv.push_back(a.data());
+    return BenchOptions::parse(int(argv.size()), argv.data(), bench);
+}
+
+} // namespace
+
+TEST(BenchOptions, DefaultsOff)
+{
+    auto o = parseArgs({});
+    EXPECT_FALSE(o.wantReport());
+    EXPECT_FALSE(o.wantTrace());
+    EXPECT_FALSE(o.helpRequested());
+}
+
+TEST(BenchOptions, OutDirDerivesReportAndTracePaths)
+{
+    auto o = parseArgs({"--out=bench/out", "--trace=irq,nic"}, "fig06");
+    EXPECT_TRUE(o.wantReport());
+    EXPECT_EQ(o.reportPath(), "bench/out/fig06.json");
+    EXPECT_TRUE(o.wantTrace());
+    EXPECT_EQ(o.tracePath(), "bench/out/fig06.trace.json");
+
+    sim::Tracer t;
+    o.applyTraceCategories(t);
+    EXPECT_TRUE(t.enabled(sim::TraceCat::Irq));
+    EXPECT_TRUE(t.enabled(sim::TraceCat::Nic));
+    EXPECT_FALSE(t.enabled(sim::TraceCat::Migration));
+}
+
+TEST(BenchOptions, TraceArgAsExplicitPathEnablesAll)
+{
+    auto o = parseArgs({"--trace=/tmp/x.json"});
+    EXPECT_TRUE(o.wantTrace());
+    EXPECT_EQ(o.tracePath(), "/tmp/x.json");
+    sim::Tracer t;
+    o.applyTraceCategories(t);
+    EXPECT_TRUE(t.anyEnabled());
+    EXPECT_TRUE(t.enabled(sim::TraceCat::Migration));
+}
+
+TEST(BenchOptions, UnknownArgsAreKept)
+{
+    auto o = parseArgs({"--custom=1", "--help"});
+    EXPECT_TRUE(o.helpRequested());
+    ASSERT_EQ(o.extraArgs().size(), 1u);
+    EXPECT_EQ(o.extraArgs()[0], "--custom=1");
+}
+
+TEST(BenchOptions, EnvironmentFallback)
+{
+    ::setenv("SRIOV_BENCH_OUT", "/tmp/envout", 1);
+    ::setenv("SRIOV_TRACE", "migration", 1);
+    auto o = parseArgs({}, "fig20");
+    ::unsetenv("SRIOV_BENCH_OUT");
+    ::unsetenv("SRIOV_TRACE");
+    EXPECT_EQ(o.reportPath(), "/tmp/envout/fig20.json");
+    EXPECT_TRUE(o.wantTrace());
+    sim::Tracer t;
+    o.applyTraceCategories(t);
+    EXPECT_TRUE(t.enabled(sim::TraceCat::Migration));
+    EXPECT_FALSE(t.enabled(sim::TraceCat::Irq));
+}
+
+// ------------------------------------------------------------ SimProfiler
+
+TEST(SimProfiler, AttributesHostTimeByTag)
+{
+    sim::EventQueue eq;
+    SimProfiler prof;
+    prof.attach(eq);
+    for (int i = 0; i < 10; ++i)
+        eq.scheduleIn(sim::Time::ns(i), []() {}, "nic.rx");
+    eq.scheduleIn(sim::Time::us(1), []() {}, "intr.timer");
+    eq.runAll();
+    prof.detach();
+    EXPECT_EQ(eq.execHookCount(), 0u);
+
+    EXPECT_EQ(prof.totalEvents(), 11u);
+    auto tags = prof.byTag();
+    ASSERT_FALSE(tags.empty());
+    std::uint64_t nic = 0, intr = 0;
+    for (const auto &t : tags) {
+        if (t.tag == "nic.rx")
+            nic = t.events;
+        if (t.tag == "intr.timer")
+            intr = t.events;
+    }
+    EXPECT_EQ(nic, 10u);
+    EXPECT_EQ(intr, 1u);
+
+    auto comps = prof.byComponent();
+    bool nic_comp = false;
+    for (const auto &c : comps)
+        nic_comp = nic_comp || (c.tag == "nic" && c.events == 10);
+    EXPECT_TRUE(nic_comp);
+    EXPECT_FALSE(prof.toString().empty());
+}

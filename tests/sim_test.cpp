@@ -13,6 +13,7 @@
 #include "sim/random.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
+#include "sim/trace.hpp"
 
 using namespace sriov::sim;
 
@@ -283,6 +284,196 @@ TEST(Stats, RateWindow)
     // Window re-marks: nothing new means zero.
     eq.runUntil(Time::sec(3));
     EXPECT_DOUBLE_EQ(w.take(eq.now()), 0.0);
+}
+
+TEST(Stats, RateWindowZeroWidthDoesNotDiscard)
+{
+    RateWindow w;
+    w.take(Time::sec(1));
+    w.add(100);
+    // Sampling again at the same instant (or earlier) yields 0 and
+    // must NOT re-mark: the 100 stays in the open window.
+    EXPECT_DOUBLE_EQ(w.take(Time::sec(1)), 0.0);
+    EXPECT_DOUBLE_EQ(w.take(Time::ms(500)), 0.0);
+    EXPECT_DOUBLE_EQ(w.take(Time::sec(2)), 100.0);
+}
+
+TEST(Trace, RingWraparoundCountsDrops)
+{
+    Tracer t(/*capacity=*/4);
+    t.enable(TraceCat::Nic);
+    for (int i = 0; i < 10; ++i)
+        t.recordf(TraceCat::Nic, "r%d", i);
+    EXPECT_EQ(t.size(), 4u);
+    EXPECT_EQ(t.totalRecorded(), 10u);
+    EXPECT_EQ(t.droppedRecords(), 6u);
+    // The ring keeps the NEWEST records.
+    EXPECT_EQ(t.records().front().text, "r6");
+    EXPECT_EQ(t.records().back().text, "r9");
+    t.clear();
+    EXPECT_EQ(t.size(), 0u);
+    EXPECT_EQ(t.droppedRecords(), 0u);
+}
+
+TEST(Trace, DisabledCategoryRecordsNothing)
+{
+    Tracer t;
+    t.enable(TraceCat::Irq);
+    t.record(TraceCat::Nic, "dropped");
+    t.record(TraceCat::Irq, "kept");
+    ASSERT_EQ(t.size(), 1u);
+    EXPECT_EQ(t.records().front().text, "kept");
+}
+
+TEST(Trace, GlobalClockAdoptedAndDisownedByQueue)
+{
+    auto &g = Tracer::global();
+    const Time *before = g.clock();
+    {
+        EventQueue eq;
+        const Time *bound = g.clock();
+        // A fresh queue adopts the clock only when none is bound.
+        if (before == nullptr)
+            EXPECT_NE(bound, nullptr);
+        else
+            EXPECT_EQ(bound, before);
+        {
+            EventQueue second;
+            // A second queue must not steal an existing binding...
+            EXPECT_EQ(g.clock(), bound);
+        }
+        // ...and destroying it must not clear someone else's binding.
+        EXPECT_EQ(g.clock(), bound);
+    }
+    // Regression for the dangling-clock hazard: after the owning queue
+    // dies, the global tracer must not keep pointing into it.
+    EXPECT_EQ(g.clock(), before);
+}
+
+TEST(Trace, RecordAfterQueueDestructionIsSafe)
+{
+    auto &g = Tracer::global();
+    const Time *before = g.clock();
+    if (before != nullptr)
+        GTEST_SKIP() << "another queue owns the global clock";
+    {
+        EventQueue eq;
+        eq.scheduleAt(Time::us(5), []() {});
+        eq.runAll();
+        g.enable(TraceCat::Irq);
+        g.record(TraceCat::Irq, "live");
+        EXPECT_EQ(g.records().back().when, Time::us(5));
+    }
+    // The queue is gone; recording must not touch freed memory and
+    // timestamps degrade to 0.
+    g.record(TraceCat::Irq, "after");
+    EXPECT_EQ(g.records().back().when, Time());
+    g.disable(TraceCat::Irq);
+    g.clear();
+}
+
+namespace {
+
+class CountingHook : public EventQueue::ExecHook
+{
+  public:
+    void
+    onEventStart(Time, std::uint64_t, const char *tag) override
+    {
+        ++starts;
+        if (tag != nullptr && tag[0] != '\0')
+            last_tag = tag;
+    }
+    void
+    onEventEnd(Time when, std::uint64_t, const char *) override
+    {
+        ++ends;
+        last_end = when;
+    }
+
+    int starts = 0;
+    int ends = 0;
+    std::string last_tag;
+    Time last_end;
+};
+
+} // namespace
+
+TEST(EventQueueHooks, BracketEveryExecutedEvent)
+{
+    EventQueue eq;
+    CountingHook hook;
+    eq.addExecHook(&hook);
+    EXPECT_EQ(eq.execHookCount(), 1u);
+    eq.scheduleAt(Time::us(1), []() {}, "alpha");
+    eq.scheduleAt(Time::us(2), []() {});
+    eq.runAll();
+    EXPECT_EQ(hook.starts, 2);
+    EXPECT_EQ(hook.ends, 2);
+    EXPECT_EQ(hook.last_tag, "alpha");
+    EXPECT_EQ(hook.last_end, Time::us(2));
+
+    eq.removeExecHook(&hook);
+    EXPECT_EQ(eq.execHookCount(), 0u);
+    eq.scheduleAt(Time::us(3), []() {});
+    eq.runAll();
+    EXPECT_EQ(hook.starts, 2);
+}
+
+TEST(EventQueueHooks, HookDoesNotPerturbOrderOrClock)
+{
+    auto run = [](bool hooked) {
+        EventQueue eq;
+        CountingHook hook;
+        if (hooked)
+            eq.addExecHook(&hook);
+        std::vector<int> order;
+        for (int i = 0; i < 5; ++i)
+            eq.scheduleAt(Time::us(5 - i), [&order, i]() {
+                order.push_back(i);
+            });
+        eq.runAll();
+        return order;
+    };
+    EXPECT_EQ(run(false), run(true));
+}
+
+namespace {
+
+class RecordingTap : public CpuServer::SpanTap
+{
+  public:
+    void
+    onCpuSpan(const CpuServer &, const std::string &tag, Time start,
+              Time end) override
+    {
+        spans.emplace_back(tag, end - start);
+    }
+
+    std::vector<std::pair<std::string, Time>> spans;
+};
+
+} // namespace
+
+TEST(CpuServerSpanTap, ReportsWorkSpans)
+{
+    EventQueue eq;
+    CpuServer cpu(eq, "c0", 1e9); // 1 GHz: 1 cycle = 1 ns
+    RecordingTap tap;
+    cpu.setSpanTap(&tap);
+    cpu.submit(100, "guest-1");
+    cpu.submit(50, "xen");
+    eq.runAll();
+    ASSERT_EQ(tap.spans.size(), 2u);
+    EXPECT_EQ(tap.spans[0].first, "guest-1");
+    EXPECT_EQ(tap.spans[0].second, Time::ns(100));
+    EXPECT_EQ(tap.spans[1].first, "xen");
+    EXPECT_EQ(tap.spans[1].second, Time::ns(50));
+
+    cpu.setSpanTap(nullptr);
+    cpu.submit(10, "dom0");
+    eq.runAll();
+    EXPECT_EQ(tap.spans.size(), 2u);
 }
 
 TEST(Stats, AccumulatorMean)

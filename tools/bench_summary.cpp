@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Merge every bench report in a directory into one machine-readable
+ * BENCH_summary.json: per-figure pass/fail plus every expectation's
+ * actual/expected/delta. This is the repo-level trajectory file — one
+ * line per figure of how close the simulation tracks the paper.
+ *
+ *   bench_summary <dir-with-figXX.json> [out.json]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+using sriov::obs::JsonValue;
+using sriov::obs::JsonWriter;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: bench_summary <dir> [out.json]\n");
+        return 2;
+    }
+    std::string dir = argv[1];
+    std::string out_path = argc > 2 ? argv[2] : "BENCH_summary.json";
+
+    std::vector<std::string> files;
+    std::error_code ec;
+    for (const auto &ent :
+         std::filesystem::directory_iterator(dir, ec)) {
+        const auto &p = ent.path();
+        if (p.extension() == ".json"
+            && p.string().find(".trace.") == std::string::npos)
+            files.push_back(p.string());
+    }
+    if (ec || files.empty()) {
+        std::fprintf(stderr, "bench_summary: no reports in %s\n",
+                     dir.c_str());
+        return 1;
+    }
+    std::sort(files.begin(), files.end());
+
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "sriov-bench-summary/v1");
+    w.key("benches").beginArray();
+    std::size_t total = 0, passed = 0, figures_ok = 0;
+    for (const std::string &path : files) {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        std::string err;
+        auto doc = JsonValue::parse(ss.str(), &err);
+        if (!doc) {
+            std::fprintf(stderr, "bench_summary: %s: %s\n", path.c_str(),
+                         err.c_str());
+            return 1;
+        }
+        const JsonValue *schema = doc->find("schema");
+        if (schema == nullptr
+            || schema->str != sriov::obs::Report::kSchema) {
+            std::fprintf(stderr, "bench_summary: %s: not a bench report\n",
+                         path.c_str());
+            continue;
+        }
+        const JsonValue *bench = doc->find("bench");
+        const JsonValue *all = doc->find("all_pass");
+        const JsonValue *exps = doc->find("expectations");
+        bool fig_ok = all != nullptr && all->boolean;
+        w.beginObject();
+        w.kv("bench", bench != nullptr ? bench->str : path);
+        w.kv("all_pass", fig_ok);
+        w.key("expectations").beginArray();
+        if (exps != nullptr) {
+            auto num = [](const JsonValue &v, const char *k) {
+                const JsonValue *f = v.find(k);
+                return f != nullptr ? f->number : 0.0;
+            };
+            for (const JsonValue &e : exps->items) {
+                ++total;
+                const JsonValue *pass = e.find("pass");
+                const JsonValue *name = e.find("name");
+                if (pass != nullptr && pass->boolean)
+                    ++passed;
+                w.beginObject();
+                w.kv("name", name != nullptr ? name->str : "");
+                w.kv("actual", num(e, "actual"));
+                w.kv("expected", num(e, "expected"));
+                w.kv("delta_pct", num(e, "delta_pct"));
+                w.kv("pass", pass != nullptr && pass->boolean);
+                w.endObject();
+            }
+        }
+        w.endArray();
+        w.endObject();
+        if (fig_ok)
+            ++figures_ok;
+    }
+    w.endArray();
+    w.kv("figures", std::uint64_t(files.size()));
+    w.kv("figures_pass", std::uint64_t(figures_ok));
+    w.kv("expectations", std::uint64_t(total));
+    w.kv("expectations_pass", std::uint64_t(passed));
+    w.endObject();
+
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+        std::fprintf(stderr, "bench_summary: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    out << w.str() << "\n";
+    std::printf("bench_summary: %s: %zu figures (%zu pass), %zu/%zu "
+                "expectations in band\n",
+                out_path.c_str(), files.size(), figures_ok, passed,
+                total);
+    return 0;
+}

@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Schema validator for the artifacts the observability layer emits:
+ *
+ *   report_check report <figXX.json> [...]   validate bench reports
+ *   report_check trace  <x.trace.json> [...] validate Chrome traces
+ *
+ * Exit code 0 when every file parses, carries the required fields and
+ * (for reports) every expectation is within its band; 1 otherwise.
+ * CI runs this over bench/out/ so a drifting simulation or a malformed
+ * writer fails the build rather than producing quietly-wrong JSON.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+using sriov::obs::JsonValue;
+
+namespace {
+
+bool
+readFile(const std::string &path, std::string &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    out = ss.str();
+    return true;
+}
+
+bool
+fail(const std::string &path, const std::string &why)
+{
+    std::fprintf(stderr, "report_check: %s: %s\n", path.c_str(),
+                 why.c_str());
+    return false;
+}
+
+bool
+checkReport(const std::string &path)
+{
+    std::string text, err;
+    if (!readFile(path, text))
+        return fail(path, "cannot read");
+    auto doc = JsonValue::parse(text, &err);
+    if (!doc)
+        return fail(path, "malformed JSON: " + err);
+
+    const JsonValue *schema = doc->find("schema");
+    if (schema == nullptr || !schema->isString()
+        || schema->str != sriov::obs::Report::kSchema)
+        return fail(path, "missing/unknown schema (want "
+                              + std::string(sriov::obs::Report::kSchema)
+                              + ")");
+    for (const char *k : {"bench", "title"}) {
+        const JsonValue *v = doc->find(k);
+        if (v == nullptr || !v->isString() || v->str.empty())
+            return fail(path, std::string("missing string field '") + k
+                                  + "'");
+    }
+    const JsonValue *snaps = doc->find("snapshots");
+    if (snaps == nullptr || !snaps->isArray())
+        return fail(path, "missing snapshots array");
+    std::size_t metrics = 0;
+    for (const JsonValue &s : snaps->items) {
+        const JsonValue *label = s.find("label");
+        const JsonValue *m = s.find("metrics");
+        if (label == nullptr || !label->isString() || m == nullptr
+            || !m->isObject())
+            return fail(path, "snapshot without label/metrics");
+        metrics += m->members.size();
+    }
+    if (metrics == 0)
+        return fail(path, "no metric samples in any snapshot");
+
+    const JsonValue *exps = doc->find("expectations");
+    if (exps == nullptr || !exps->isArray() || exps->items.empty())
+        return fail(path, "no paper expectations recorded");
+    std::size_t failed = 0;
+    for (const JsonValue &e : exps->items) {
+        for (const char *k : {"actual", "expected", "band_pct", "delta",
+                              "delta_pct"}) {
+            const JsonValue *v = e.find(k);
+            if (v == nullptr || !v->isNumber())
+                return fail(path, std::string("expectation missing '") + k
+                                      + "'");
+        }
+        const JsonValue *name = e.find("name");
+        const JsonValue *pass = e.find("pass");
+        if (name == nullptr || !name->isString() || pass == nullptr
+            || !pass->isBool())
+            return fail(path, "expectation missing name/pass");
+        if (!pass->boolean) {
+            std::fprintf(stderr,
+                         "report_check: %s: OUT OF BAND %s: actual %g vs "
+                         "expected %g (+-%g%%)\n",
+                         path.c_str(), name->str.c_str(),
+                         e.find("actual")->number,
+                         e.find("expected")->number,
+                         e.find("band_pct")->number);
+            ++failed;
+        }
+    }
+    const JsonValue *all = doc->find("all_pass");
+    if (all == nullptr || !all->isBool()
+        || all->boolean != (failed == 0))
+        return fail(path, "all_pass missing or inconsistent");
+    if (failed != 0)
+        return fail(path,
+                    std::to_string(failed) + " expectation(s) out of band");
+    std::printf("report_check: %s: OK (%zu snapshots, %zu expectations)\n",
+                path.c_str(), snaps->items.size(), exps->items.size());
+    return true;
+}
+
+bool
+checkTrace(const std::string &path)
+{
+    std::string text, err;
+    if (!readFile(path, text))
+        return fail(path, "cannot read");
+    auto doc = JsonValue::parse(text, &err);
+    if (!doc)
+        return fail(path, "malformed JSON: " + err);
+
+    const JsonValue *events = doc->find("traceEvents");
+    if (events == nullptr || !events->isArray() || events->items.empty())
+        return fail(path, "missing/empty traceEvents");
+    std::set<std::pair<double, double>> tracks;
+    std::size_t spans = 0;
+    for (const JsonValue &e : events->items) {
+        const JsonValue *ph = e.find("ph");
+        const JsonValue *pid = e.find("pid");
+        const JsonValue *tid = e.find("tid");
+        if (ph == nullptr || !ph->isString() || pid == nullptr
+            || !pid->isNumber() || tid == nullptr || !tid->isNumber())
+            return fail(path, "event missing ph/pid/tid");
+        if (ph->str == "M")
+            continue;
+        tracks.insert({pid->number, tid->number});
+        if (ph->str == "X") {
+            ++spans;
+            const JsonValue *dur = e.find("dur");
+            const JsonValue *ts = e.find("ts");
+            if (dur == nullptr || !dur->isNumber() || dur->number < 0
+                || ts == nullptr || !ts->isNumber())
+                return fail(path, "complete event missing ts/dur");
+        }
+    }
+    if (tracks.size() < 2)
+        return fail(path, "fewer than 2 tracks ("
+                              + std::to_string(tracks.size()) + ")");
+    std::printf("report_check: %s: OK (%zu events, %zu spans, %zu "
+                "tracks)\n",
+                path.c_str(), events->items.size(), spans, tracks.size());
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3
+        || (std::string(argv[1]) != "report"
+            && std::string(argv[1]) != "trace")) {
+        std::fprintf(stderr,
+                     "usage: report_check report <figXX.json> [...]\n"
+                     "       report_check trace <x.trace.json> [...]\n");
+        return 2;
+    }
+    bool trace = std::string(argv[1]) == "trace";
+    bool ok = true;
+    for (int i = 2; i < argc; ++i)
+        ok = (trace ? checkTrace(argv[i]) : checkReport(argv[i])) && ok;
+    return ok ? 0 : 1;
+}
