@@ -9,12 +9,14 @@
  * to ~3% with the acceleration.
  */
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "check/determinism.hpp"
 #include "core/experiment.hpp"
+#include "core/sweep_runner.hpp"
 #include "core/testbed.hpp"
 #include "sim/log.hpp"
 
@@ -33,7 +35,7 @@ struct Row
 };
 
 Row
-runCase(core::FigReport &fr, unsigned vms, bool opt)
+runCase(core::FigReport &fr, core::FigCase &c, unsigned vms, bool opt)
 {
     core::Testbed::Params p;
     p.num_ports = 1;
@@ -49,16 +51,15 @@ runCase(core::FigReport &fr, unsigned vms, bool opt)
                               guest::KernelVersion::v2_6_18);
         tb.startUdpToGuest(g, per_guest);
     }
-    fr.instrument(tb);
+    c.instrument(tb);
     core::Testbed::Measurement m;
-    fr.captureTrace(
-        tb, [&]() { m = tb.measure(sim::Time::sec(2), sim::Time::sec(5)); });
-    char label[32];
-    std::snprintf(label, sizeof(label), "%u-VM%s", vms, opt ? "-opt" : "");
-    fr.snapshot(label);
-    fr.report().addMetric(std::string(label) + ".goodput_gbps",
-                          m.total_goodput_bps / 1e9);
-    fr.report().addMetric(std::string(label) + ".dom0_pct", m.dom0_pct);
+    fr.caseDrive(
+        c, tb,
+        [&]() { m = tb.measure(sim::Time::sec(2), sim::Time::sec(5)); });
+    const std::string &label = c.label();
+    c.snapshot(label);
+    c.addMetric(label + ".goodput_gbps", m.total_goodput_bps / 1e9);
+    c.addMetric(label + ".dom0_pct", m.dom0_pct);
     return Row{vms, opt, m.total_goodput_bps / 1e9, m.dom0_pct, m.xen_pct,
                m.guests_pct};
 }
@@ -106,28 +107,46 @@ main(int argc, char **argv)
     fr.report().setConfig("ports", 1.0);
     fr.report().setConfig("measure_s", 5.0);
 
-    core::Table t({"case", "throughput(Gb/s)", "dom0 CPU", "Xen CPU",
-                   "guest CPU"});
-    std::vector<double> vm_axis, dom0_unopt, dom0_opt;
+    // The 14 (optimization × VM-count) cells are independent
+    // simulations; run them under SweepRunner and merge per-case
+    // recorders in declaration order, so the report is byte-identical
+    // whatever --jobs says.
+    std::vector<core::FigCase> cases;
+    cases.reserve(14);
     for (bool opt : {false, true}) {
-        for (unsigned n : {1u, 2u, 3u, 4u, 5u, 6u, 7u}) {
-            Row r = runCase(fr, n, opt);
+        for (unsigned n = 1; n <= 7; ++n) {
             char label[32];
             std::snprintf(label, sizeof(label), "%u-VM%s", n,
                           opt ? "-opt" : "");
-            t.addRow({label, core::Table::num(r.gbps, 3),
-                      core::cpuPct(r.dom0), core::cpuPct(r.xen),
-                      core::cpuPct(r.guests)});
-            (opt ? dom0_opt : dom0_unopt).push_back(r.dom0);
-            if (!opt)
-                vm_axis.push_back(double(n));
-            // Paper: line rate in every configuration.
-            fr.expect(std::string(label) + ".goodput_gbps", r.gbps, 0.957,
-                      10);
-            if (n == 7) {
-                fr.expect(opt ? "dom0_pct_7vm_opt" : "dom0_pct_7vm_unopt",
-                          r.dom0, opt ? 3.0 : 30.0, opt ? 150 : 60);
-            }
+            cases.emplace_back(label);
+        }
+    }
+    std::vector<Row> rows(cases.size());
+    core::SweepRunner(fr.sweepJobs())
+        .run(cases.size(), [&](std::size_t i) {
+            bool opt = i >= 7;
+            unsigned n = unsigned(i % 7) + 1;
+            rows[i] = runCase(fr, cases[i], n, opt);
+        });
+    for (core::FigCase &c : cases)
+        fr.mergeCase(c);
+
+    core::Table t({"case", "throughput(Gb/s)", "dom0 CPU", "Xen CPU",
+                   "guest CPU"});
+    std::vector<double> vm_axis, dom0_unopt, dom0_opt;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        t.addRow({cases[i].label(), core::Table::num(r.gbps, 3),
+                  core::cpuPct(r.dom0), core::cpuPct(r.xen),
+                  core::cpuPct(r.guests)});
+        (r.opt ? dom0_opt : dom0_unopt).push_back(r.dom0);
+        if (!r.opt)
+            vm_axis.push_back(double(r.vms));
+        // Paper: line rate in every configuration.
+        fr.expect(cases[i].label() + ".goodput_gbps", r.gbps, 0.957, 10);
+        if (r.vms == 7) {
+            fr.expect(r.opt ? "dom0_pct_7vm_opt" : "dom0_pct_7vm_unopt",
+                      r.dom0, r.opt ? 3.0 : 30.0, r.opt ? 150 : 60);
         }
     }
     fr.report().addSeries("dom0_pct_unopt_vs_vms", vm_axis, dom0_unopt);

@@ -11,15 +11,56 @@
  * reproduce the peak-and-decay, not the defect.)
  */
 
+#include <cstddef>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/experiment.hpp"
+#include "core/sweep_runner.hpp"
 #include "core/testbed.hpp"
 #include "sim/log.hpp"
 
 using namespace sriov;
+
+namespace {
+
+struct Point
+{
+    unsigned vms;
+    double gbps;
+    double total;
+    double dom0;
+    unsigned queues_in_use;
+};
+
+Point
+runVmdq(core::FigReport &fr, core::FigCase &c, unsigned vms)
+{
+    core::Testbed::Params p;
+    p.use_vmdq_nic = true;
+    p.opts = core::OptimizationSet::maskEoi();
+    p.netback_threads = 4;
+    core::Testbed tb(p);
+
+    for (unsigned i = 0; i < vms; ++i)
+        tb.addGuest(vmm::DomainType::Pvm, core::Testbed::NetMode::Vmdq);
+    double per_guest = 10e9 / vms;
+    for (unsigned i = 0; i < vms; ++i)
+        tb.startUdpToGuest(tb.guest(i), per_guest);
+
+    c.instrument(tb);
+    core::Testbed::Measurement m;
+    fr.caseDrive(c, tb, [&]() {
+        m = tb.measure(sim::Time::sec(2), sim::Time::sec(4));
+    });
+    if (vms == 10)
+        c.snapshot("10-VM");
+    return Point{vms, m.total_goodput_bps / 1e9, m.total_pct, m.dom0_pct,
+                 unsigned(tb.vmdqBackend().queuesInUse())};
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -34,42 +75,39 @@ main(int argc, char **argv)
     fr.report().setConfig("queue_pairs", 8.0);
     fr.report().setConfig("measure_s", 4.0);
 
+    // Every VM count is an independent simulation: fan the sweep out
+    // on SweepRunner threads and merge in declaration order so the
+    // report does not depend on --jobs.
+    const std::vector<unsigned> counts{2u, 4u, 7u, 10u, 20u,
+                                       30u, 40u, 50u, 60u};
+    std::vector<core::FigCase> cases;
+    cases.reserve(counts.size());
+    for (unsigned n : counts)
+        cases.emplace_back(std::to_string(n) + "vm");
+    std::vector<Point> pts(counts.size());
+    core::SweepRunner(fr.sweepJobs())
+        .run(counts.size(), [&](std::size_t i) {
+            pts[i] = runVmdq(fr, cases[i], counts[i]);
+        });
+    for (core::FigCase &c : cases)
+        fr.mergeCase(c);
+
     core::Table t({"VMs", "throughput(Gb/s)", "total CPU", "dom0",
                    "VMDq-served VMs"});
     std::vector<double> vm_axis, bw_gbps;
     double peak_gbps = 0, gbps_at_10 = 0, gbps_at_60 = 0;
-    for (unsigned n : {2u, 4u, 7u, 10u, 20u, 30u, 40u, 50u, 60u}) {
-        core::Testbed::Params p;
-        p.use_vmdq_nic = true;
-        p.opts = core::OptimizationSet::maskEoi();
-        p.netback_threads = 4;
-        core::Testbed tb(p);
-
-        for (unsigned i = 0; i < n; ++i)
-            tb.addGuest(vmm::DomainType::Pvm,
-                        core::Testbed::NetMode::Vmdq);
-        double per_guest = 10e9 / n;
-        for (unsigned i = 0; i < n; ++i)
-            tb.startUdpToGuest(tb.guest(i), per_guest);
-
-        fr.instrument(tb);
-        core::Testbed::Measurement m;
-        fr.captureTrace(tb, [&]() {
-            m = tb.measure(sim::Time::sec(2), sim::Time::sec(4));
-        });
-        vm_axis.push_back(double(n));
-        bw_gbps.push_back(m.total_goodput_bps / 1e9);
-        peak_gbps = std::max(peak_gbps, m.total_goodput_bps / 1e9);
-        if (n == 10) {
-            gbps_at_10 = m.total_goodput_bps / 1e9;
-            fr.snapshot("10-VM");
-        }
-        if (n == 60)
-            gbps_at_60 = m.total_goodput_bps / 1e9;
-        t.addRow({core::Table::num(n, 0),
-                  core::gbps(m.total_goodput_bps),
-                  core::cpuPct(m.total_pct), core::cpuPct(m.dom0_pct),
-                  core::Table::num(tb.vmdqBackend().queuesInUse(), 0)});
+    for (const Point &pt : pts) {
+        vm_axis.push_back(double(pt.vms));
+        bw_gbps.push_back(pt.gbps);
+        peak_gbps = std::max(peak_gbps, pt.gbps);
+        if (pt.vms == 10)
+            gbps_at_10 = pt.gbps;
+        if (pt.vms == 60)
+            gbps_at_60 = pt.gbps;
+        t.addRow({core::Table::num(pt.vms, 0),
+                  core::gbps(pt.gbps * 1e9), core::cpuPct(pt.total),
+                  core::cpuPct(pt.dom0),
+                  core::Table::num(pt.queues_in_use, 0)});
     }
     fr.report().addSeries("goodput_gbps_vs_vms", vm_axis, bw_gbps);
     fr.report().addMetric("gbps_at_60vm", gbps_at_60);

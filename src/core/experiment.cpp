@@ -1,11 +1,56 @@
 #include "core/experiment.hpp"
 
+#include <chrono>
 #include <cstdio>
 
 #include "obs/chrome_trace.hpp"
+#include "obs/json.hpp"
 #include "sim/trace.hpp"
 
 namespace sriov::core {
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                         - t0)
+        .count();
+}
+
+} // namespace
+
+obs::MetricRegistry &
+FigCase::instrument(Testbed &tb)
+{
+    reg_ = obs::MetricRegistry();
+    tb.enableObs();
+    tb.registerMetrics(reg_);
+    return reg_;
+}
+
+void
+FigCase::snapshot(const std::string &label, const std::string &prefix)
+{
+    snaps_.push_back(Snap{label, reg_.snapshot(prefix)});
+}
+
+void
+FigCase::addMetric(const std::string &name, double value)
+{
+    metrics_.emplace_back(name, value);
+}
+
+void
+FigCase::drive(Testbed &tb, const std::function<void()> &fn)
+{
+    std::uint64_t before = tb.eq().executed();
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    wall_s_ += secondsSince(t0);
+    events_ += tb.eq().executed() - before;
+}
 
 FigReport::FigReport(int argc, char **argv, const std::string &fig,
                      const std::string &title)
@@ -32,13 +77,29 @@ void
 FigReport::snapshot(const std::string &label, const std::string &prefix)
 {
     rep_.addSnapshot(label, reg_, prefix);
+    // Name the perf entry the drive just produced after this case.
+    if (last_perf_unlabelled_ && !perf_.empty()) {
+        perf_.back().label = label;
+        last_perf_unlabelled_ = false;
+    }
+}
+
+void
+FigReport::notePerf(const std::string &label, std::uint64_t events,
+                    double wall_s)
+{
+    perf_.push_back(CasePerf{label, events, wall_s});
 }
 
 void
 FigReport::captureTrace(Testbed &tb, const std::function<void()> &drive)
 {
     if (!opts_.wantTrace() || trace_done_) {
+        std::uint64_t before = tb.eq().executed();
+        auto t0 = std::chrono::steady_clock::now();
         drive();
+        notePerf("", tb.eq().executed() - before, secondsSince(t0));
+        last_perf_unlabelled_ = true;
         return;
     }
     trace_done_ = true;
@@ -48,7 +109,11 @@ FigReport::captureTrace(Testbed &tb, const std::function<void()> &drive)
 
     obs::ChromeTraceWriter w;
     tb.attachObsTrace(w);
+    std::uint64_t before = tb.eq().executed();
+    auto t0 = std::chrono::steady_clock::now();
     drive();
+    notePerf("", tb.eq().executed() - before, secondsSince(t0));
+    last_perf_unlabelled_ = true;
     w.importTracer(tracer);
     w.detachAll();
     tracer.disableAll();
@@ -63,11 +128,112 @@ FigReport::captureTrace(Testbed &tb, const std::function<void()> &drive)
     }
 }
 
+unsigned
+FigReport::sweepJobs() const
+{
+    if (opts_.wantTrace() && opts_.jobs() > 1) {
+        std::fprintf(stderr,
+                     "note: --trace forces --jobs=1 (trace capture is a "
+                     "single global stream)\n");
+        return 1;
+    }
+    return opts_.jobs();
+}
+
+void
+FigReport::caseDrive(FigCase &c, Testbed &tb,
+                     const std::function<void()> &fn)
+{
+    if (opts_.wantTrace() && !trace_done_ && sweepJobs() == 1) {
+        // Reuse the shared-trace path, but account the drive to the
+        // case so its perf entry carries the case label.
+        trace_done_ = true;
+        auto &tracer = sim::Tracer::global();
+        tracer.clear();
+        opts_.applyTraceCategories(tracer);
+
+        obs::ChromeTraceWriter w;
+        tb.attachObsTrace(w);
+        c.drive(tb, fn);
+        w.importTracer(tracer);
+        w.detachAll();
+        tracer.disableAll();
+        tracer.clear();
+
+        std::string path = opts_.tracePath();
+        if (w.writeTo(path)) {
+            std::printf("trace: wrote %s (%zu events, %zu tracks)\n",
+                        path.c_str(), w.eventCount(), w.trackCount());
+        } else {
+            std::fprintf(stderr, "trace: FAILED to write %s\n",
+                         path.c_str());
+        }
+        return;
+    }
+    c.drive(tb, fn);
+}
+
+void
+FigReport::mergeCase(FigCase &c)
+{
+    for (FigCase::Snap &s : c.snaps_)
+        rep_.addSnapshot(s.label, std::move(s.data));
+    c.snaps_.clear();
+    for (const auto &[name, value] : c.metrics_)
+        rep_.addMetric(name, value);
+    c.metrics_.clear();
+    notePerf(c.label_, c.events_, c.wall_s_);
+}
+
 void
 FigReport::expect(const std::string &name, double actual, double expected,
                   double band_pct)
 {
     rep_.expect(name, actual, expected, band_pct);
+}
+
+void
+FigReport::addPerf(const std::string &label, std::uint64_t events,
+                   double wall_s)
+{
+    notePerf(label, events, wall_s);
+}
+
+bool
+FigReport::writePerfSidecar(const std::string &path) const
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "sriov-bench-perf/v1");
+    w.kv("bench", opts_.bench());
+    w.kv("jobs", std::uint64_t(opts_.jobs()));
+    std::uint64_t total_events = 0;
+    double total_wall = 0;
+    w.key("cases").beginArray();
+    for (std::size_t i = 0; i < perf_.size(); ++i) {
+        const CasePerf &p = perf_[i];
+        w.beginObject();
+        w.kv("label", p.label.empty()
+                          ? "case" + std::to_string(i)
+                          : p.label);
+        w.kv("events", p.events);
+        w.kv("host_wall_s", p.wall_s);
+        w.kv("events_per_sec",
+             p.wall_s > 0 ? double(p.events) / p.wall_s : 0.0);
+        w.endObject();
+        total_events += p.events;
+        total_wall += p.wall_s;
+    }
+    w.endArray();
+    w.key("total").beginObject();
+    w.kv("events", total_events);
+    w.kv("host_wall_s", total_wall);
+    w.kv("events_per_sec",
+         total_wall > 0 ? double(total_events) / total_wall : 0.0);
+    w.endObject();
+    w.endObject();
+
+    return obs::writeTextFile(path, w.str());
 }
 
 int
@@ -84,6 +250,16 @@ FigReport::finish()
                 path.c_str(), rep_.snapshotCount(),
                 rep_.expectationCount(),
                 rep_.allPass() ? "" : ", some out of band");
+    if (!perf_.empty()) {
+        std::string ppath = opts_.perfPath();
+        if (!writePerfSidecar(ppath)) {
+            std::fprintf(stderr, "perf: FAILED to write %s\n",
+                         ppath.c_str());
+            return 1;
+        }
+        std::printf("perf: wrote %s (%zu cases)\n", ppath.c_str(),
+                    perf_.size());
+    }
     return 0;
 }
 

@@ -7,8 +7,10 @@
 #ifndef SRIOV_CORE_EXPERIMENT_HPP
 #define SRIOV_CORE_EXPERIMENT_HPP
 
+#include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/testbed.hpp"
@@ -16,6 +18,55 @@
 #include "obs/report.hpp"
 
 namespace sriov::core {
+
+/**
+ * Thread-confined recorder for one sweep case.
+ *
+ * A parallel sweep (core::SweepRunner) cannot let worker threads touch
+ * the shared FigReport, so each case instruments its testbed into its
+ * own registry, snapshots into its own storage, and the bench merges
+ * the finished cases into the report *in declaration order* with
+ * FigReport::mergeCase() — making the report byte-identical to a
+ * sequential run. drive() additionally records host wall time and
+ * executed events for the perf sidecar (<bench>.perf.json), which is
+ * the one artefact that legitimately differs between --jobs values.
+ */
+class FigCase
+{
+  public:
+    explicit FigCase(std::string label) : label_(std::move(label)) {}
+
+    const std::string &label() const { return label_; }
+
+    /** Per-case analogue of FigReport::instrument(). */
+    obs::MetricRegistry &instrument(Testbed &tb);
+
+    /** Per-case analogue of FigReport::snapshot(). */
+    void snapshot(const std::string &label,
+                  const std::string &prefix = "");
+
+    /** Per-case analogue of report().addMetric(). */
+    void addMetric(const std::string &name, double value);
+
+    /** Run @p fn, accumulating wall time and @p tb's executed events. */
+    void drive(Testbed &tb, const std::function<void()> &fn);
+
+  private:
+    friend class FigReport;
+
+    struct Snap
+    {
+        std::string label;
+        obs::MetricSnapshot data;
+    };
+
+    std::string label_;
+    obs::MetricRegistry reg_;
+    std::vector<Snap> snaps_;
+    std::vector<std::pair<std::string, double>> metrics_;
+    std::uint64_t events_ = 0;
+    double wall_s_ = 0;
+};
 
 /**
  * One-stop bench instrumentation: owns the BenchOptions, the Report
@@ -58,21 +109,69 @@ class FigReport
     /**
      * Run @p drive; on the first call with --trace set, capture it as
      * a Chrome trace of @p tb (CPU-server tracks + tagged events +
-     * enabled Tracer categories) and write the file.
+     * enabled Tracer categories) and write the file. Every call also
+     * times the drive and records @p tb's executed events for the perf
+     * sidecar; the entry is labelled by the next snapshot() call.
      */
     void captureTrace(Testbed &tb, const std::function<void()> &drive);
+
+    /**
+     * Threads to hand core::SweepRunner: --jobs, forced to 1 when a
+     * trace was requested (trace capture is a single global stream).
+     */
+    unsigned sweepJobs() const;
+
+    /**
+     * Sequential-path drive for a sweep case: captures the Chrome
+     * trace through @p c when tracing is on (only possible with
+     * sweepJobs() == 1), a plain timed drive otherwise. Safe to call
+     * from SweepRunner workers, where tracing is off by construction.
+     */
+    void caseDrive(FigCase &c, Testbed &tb,
+                   const std::function<void()> &fn);
+
+    /**
+     * Fold a completed case into the report: snapshots, metrics, and
+     * its perf entry, in the order recorded. Call sequentially, in
+     * case-declaration order, after SweepRunner::run() returns.
+     */
+    void mergeCase(FigCase &c);
 
     /** Shorthand for report().expect(...). */
     void expect(const std::string &name, double actual, double expected,
                 double band_pct);
 
-    /** Write the report if requested; returns the process exit code. */
+    /**
+     * Record a host-performance entry for the perf sidecar directly,
+     * for benches that time their own kernels (bench_microkernel)
+     * instead of driving a Testbed through captureTrace()/caseDrive().
+     */
+    void addPerf(const std::string &label, std::uint64_t events,
+                 double wall_s);
+
+    /**
+     * Write the report (and the <bench>.perf.json host-performance
+     * sidecar) if requested; returns the process exit code.
+     */
     int finish();
 
   private:
+    struct CasePerf
+    {
+        std::string label;
+        std::uint64_t events = 0;
+        double wall_s = 0;
+    };
+
+    void notePerf(const std::string &label, std::uint64_t events,
+                  double wall_s);
+    bool writePerfSidecar(const std::string &path) const;
+
     obs::BenchOptions opts_;
     obs::Report rep_;
     obs::MetricRegistry reg_;
+    std::vector<CasePerf> perf_;
+    bool last_perf_unlabelled_ = false;
     bool trace_done_ = false;
 };
 

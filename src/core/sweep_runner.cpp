@@ -1,0 +1,50 @@
+#include "core/sweep_runner.hpp"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+#include <vector>
+
+namespace sriov::core {
+
+void
+SweepRunner::run(std::size_t n,
+                 const std::function<void(std::size_t)> &body) const
+{
+    if (n == 0)
+        return;
+    if (jobs_ <= 1 || n == 1) {
+        for (std::size_t i = 0; i < n; ++i)
+            body(i);
+        return;
+    }
+
+    std::size_t workers = jobs_ < n ? jobs_ : n;
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(n);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&]() {
+            for (;;) {
+                std::size_t i = next.fetch_add(1,
+                                               std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                try {
+                    body(i);
+                } catch (...) {
+                    errors[i] = std::current_exception();
+                }
+            }
+        });
+    }
+    for (std::thread &t : pool)
+        t.join();
+    // Surface what a sequential loop would have hit first.
+    for (std::size_t i = 0; i < n; ++i)
+        if (errors[i])
+            std::rethrow_exception(errors[i]);
+}
+
+} // namespace sriov::core

@@ -48,6 +48,17 @@ splitCommas(const std::string &list)
     return out;
 }
 
+/** "--jobs" values: anything unparsable or zero degrades to 1. */
+unsigned
+parseJobs(const char *s)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(s, &end, 10);
+    if (end == s || *end != '\0' || v == 0)
+        return 1;
+    return static_cast<unsigned>(v);
+}
+
 } // namespace
 
 void
@@ -90,11 +101,16 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench)
     if (const char *env = std::getenv("SRIOV_TRACE");
         env != nullptr && *env != '\0')
         o.parseTraceArg(env);
+    if (const char *env = std::getenv("SRIOV_BENCH_JOBS");
+        env != nullptr && *env != '\0')
+        o.jobs_ = parseJobs(env);
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
         if (const char *v = matchFlag(arg, "--out")) {
             o.out_dir_ = v;
+        } else if (const char *v = matchFlag(arg, "--jobs")) {
+            o.jobs_ = parseJobs(v);
         } else if (const char *v = matchFlag(arg, "--trace")) {
             o.parseTraceArg(v);
         } else if (std::strcmp(arg, "--trace") == 0) {
@@ -119,6 +135,10 @@ BenchOptions::usage(const std::string &bench)
            "                 is a category list (irq,nic,driver,\n"
            "                 backend,migration,all) or an output path\n"
            "                 (env fallback: SRIOV_TRACE)\n"
+           "  --jobs=<n>     run independent sweep cases on <n> host\n"
+           "                 threads; results and reports are identical\n"
+           "                 to --jobs=1, just faster\n"
+           "                 (env fallback: SRIOV_BENCH_JOBS)\n"
            "  --help         this text\n";
 }
 
@@ -131,6 +151,17 @@ BenchOptions::reportPath() const
     if (p.back() != '/')
         p += '/';
     return p + bench_ + ".json";
+}
+
+std::string
+BenchOptions::perfPath() const
+{
+    if (out_dir_.empty())
+        return "";
+    std::string p = out_dir_;
+    if (p.back() != '/')
+        p += '/';
+    return p + bench_ + ".perf.json";
 }
 
 std::string

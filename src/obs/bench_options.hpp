@@ -10,9 +10,13 @@
  *                  driver, backend, migration, all) — the file then
  *                  lands next to the report as figXX.trace.json — or
  *                  an explicit output path (all categories).
+ *   --jobs=<n>     run independent sweep cases on <n> host threads
+ *                  (core::SweepRunner; default 1 = sequential, and
+ *                  reports are byte-identical either way)
  *   --help         print usage and exit
- * with environment fallbacks SRIOV_BENCH_OUT and SRIOV_TRACE so CI can
- * turn on reporting without touching each invocation.
+ * with environment fallbacks SRIOV_BENCH_OUT, SRIOV_TRACE and
+ * SRIOV_BENCH_JOBS so CI can turn on reporting without touching each
+ * invocation.
  */
 
 #ifndef SRIOV_OBS_BENCH_OPTIONS_HPP
@@ -51,6 +55,12 @@ class BenchOptions
     /** Explicit path, or "<out|.>/<bench>.trace.json" when derived. */
     std::string tracePath() const;
 
+    /** Host threads for embarrassingly-parallel sweep cases (>= 1). */
+    unsigned jobs() const { return jobs_; }
+
+    /** "<out_dir>/<bench>.perf.json" (empty when reporting is off). */
+    std::string perfPath() const;
+
     /** Enable the requested categories on @p t. */
     void applyTraceCategories(sim::Tracer &t) const;
 
@@ -65,6 +75,7 @@ class BenchOptions
     std::string out_dir_;
     std::string trace_path_;
     std::vector<sim::TraceCat> cats_;
+    unsigned jobs_ = 1;
     bool trace_requested_ = false;
     bool all_cats_ = false;
     bool help_ = false;

@@ -1,8 +1,6 @@
 #include "obs/chrome_trace.hpp"
 
 #include <algorithm>
-#include <filesystem>
-#include <fstream>
 
 #include "obs/json.hpp"
 
@@ -205,15 +203,7 @@ ChromeTraceWriter::toJson() const
 bool
 ChromeTraceWriter::writeTo(const std::string &path) const
 {
-    std::error_code ec;
-    std::filesystem::path p(path);
-    if (p.has_parent_path())
-        std::filesystem::create_directories(p.parent_path(), ec);
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        return false;
-    out << toJson() << '\n';
-    return bool(out);
+    return writeTextFile(path, toJson());
 }
 
 } // namespace sriov::obs

@@ -5,10 +5,26 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 
 #include "sim/log.hpp"
 
 namespace sriov::obs {
+
+bool
+writeTextFile(const std::string &path, const std::string &content)
+{
+    std::error_code ec;
+    std::filesystem::path p(path);
+    if (p.has_parent_path())
+        std::filesystem::create_directories(p.parent_path(), ec);
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        return false;
+    out << content << '\n';
+    return bool(out);
+}
 
 std::string
 jsonEscape(std::string_view s)

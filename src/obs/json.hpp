@@ -23,6 +23,13 @@ namespace sriov::obs {
 /** Escape @p s for inclusion inside a JSON string literal. */
 std::string jsonEscape(std::string_view s);
 
+/**
+ * Write @p content (plus a trailing newline) to @p path, creating
+ * parent directories. Shared by every JSON-emitting artefact writer
+ * (reports, traces, perf sidecars).
+ */
+bool writeTextFile(const std::string &path, const std::string &content);
+
 /** Shortest-round-trip rendering; NaN/Inf degrade to null. */
 std::string jsonNumber(double v);
 

@@ -1,8 +1,6 @@
 #include "obs/report.hpp"
 
 #include <cmath>
-#include <filesystem>
-#include <fstream>
 #include <utility>
 
 #include "obs/json.hpp"
@@ -36,6 +34,12 @@ Report::addSnapshot(const std::string &label, const MetricRegistry &reg,
                     const std::string &prefix)
 {
     snapshots_.push_back(Snapshot{label, reg.snapshot(prefix)});
+}
+
+void
+Report::addSnapshot(const std::string &label, MetricSnapshot snap)
+{
+    snapshots_.push_back(Snapshot{label, std::move(snap)});
 }
 
 void
@@ -182,15 +186,7 @@ Report::toJson() const
 bool
 Report::writeTo(const std::string &path) const
 {
-    std::error_code ec;
-    std::filesystem::path p(path);
-    if (p.has_parent_path())
-        std::filesystem::create_directories(p.parent_path(), ec);
-    std::ofstream out(path, std::ios::trunc);
-    if (!out)
-        return false;
-    out << toJson() << '\n';
-    return bool(out);
+    return writeTextFile(path, toJson());
 }
 
 } // namespace sriov::obs

@@ -58,6 +58,15 @@ class Report
     void addSnapshot(const std::string &label, const MetricRegistry &reg,
                      const std::string &prefix = "");
 
+    /**
+     * Attach an already-flattened snapshot. Parallel sweeps snapshot
+     * their per-case registries on worker threads and hand the frozen
+     * data to the (single-threaded) report afterward; since a
+     * MetricSnapshot is a pure value, the resulting JSON is
+     * byte-identical to the sequential addSnapshot() path.
+     */
+    void addSnapshot(const std::string &label, MetricSnapshot snap);
+
     /** Attach a named time series (copied). */
     void addSeries(const std::string &name, const sim::Series &s);
     void addSeries(const std::string &name,

@@ -19,7 +19,7 @@ CpuServer::submit(double cycles, const std::string &tag,
 {
     if (cycles < 0)
         panic("negative work submitted to %s", name_.c_str());
-    queue_.push_back(Work{cycles, tag, std::move(on_done)});
+    queue_.push_back(Work{cycles, tag, std::move(on_done), Time()});
     if (!in_service_)
         startNext();
 }
@@ -41,20 +41,26 @@ CpuServer::startNext()
         return;
     }
     in_service_ = true;
-    Work w = std::move(queue_.front());
+    current_ = std::move(queue_.front());
     queue_.pop_front();
-    Time service = Time::cycles(w.cycles, hz_);
+    Time service = Time::cycles(current_.cycles, hz_);
     busy_ += service;
-    cycles_by_tag_[w.tag] += w.cycles;
-    Time start = eq_.now();
-    eq_.scheduleIn(service, [this, start, tag = std::move(w.tag),
-                             done = std::move(w.on_done)]() {
-        if (span_tap_ != nullptr)
-            span_tap_->onCpuSpan(*this, tag, start, eq_.now());
-        if (done)
-            done();
-        startNext();
-    });
+    cycles_by_tag_[current_.tag] += current_.cycles;
+    current_.start = eq_.now();
+    eq_.scheduleIn(service, [this]() { finishCurrent(); });
+}
+
+void
+CpuServer::finishCurrent()
+{
+    // Move the item out first: the completion closure may submit more
+    // work (reentrancy), and startNext() overwrites current_.
+    Work w = std::move(current_);
+    if (span_tap_ != nullptr)
+        span_tap_->onCpuSpan(*this, w.tag, w.start, eq_.now());
+    if (w.on_done)
+        w.on_done();
+    startNext();
 }
 
 CpuSnapshot

@@ -110,14 +110,23 @@ class CpuServer
         double cycles;
         std::string tag;
         std::function<void()> on_done;
+        Time start;
     };
 
     void startNext();
+    void finishCurrent();
 
     EventQueue &eq_;
     std::string name_;
     double hz_;
     std::deque<Work> queue_;
+    /**
+     * The item in service. Kept as a member so the completion event
+     * captures only `this` (8 bytes inline in InplaceFn) instead of
+     * moving the tag string and completion closure into the event —
+     * the server is strictly FIFO, so at most one item is in service.
+     */
+    Work current_;
     bool in_service_ = false;
     Time busy_;
     std::map<std::string, double> cycles_by_tag_;

@@ -1,0 +1,102 @@
+#include "sim/inplace_fn.hpp"
+
+#include <vector>
+
+namespace sriov::sim::detail {
+
+namespace {
+
+/**
+ * Size-class free lists for oversized captures. Classes are powers of
+ * two from 128 bytes to 4 KiB; anything larger falls through to plain
+ * operator new/delete (no simulator capture is that big — the
+ * static_assert in InplaceFn catches runaways at 64 KiB).
+ *
+ * The pool is thread-local: parallel bench sweeps run one EventQueue
+ * per worker thread, and a lock-free-by-construction pool keeps the
+ * oversized-capture path allocation-free and contention-free at
+ * steady state on every worker independently.
+ */
+constexpr std::size_t kMinClass = 128;
+constexpr std::size_t kMaxClass = 4096;
+constexpr std::size_t kClassCount = 6;    // 128..4096
+/** Retention cap per class; beyond this, frees go to the heap. */
+constexpr std::size_t kMaxRetained = 1024;
+
+struct Pool
+{
+    std::vector<void *> free_lists[kClassCount];
+    CapturePoolStats stats;
+
+    ~Pool()
+    {
+        for (auto &list : free_lists)
+            for (void *p : list)
+                ::operator delete(p);
+    }
+};
+
+Pool &
+pool()
+{
+    thread_local Pool p;
+    return p;
+}
+
+/** Class index for @p bytes, or kClassCount when unpooled. */
+std::size_t
+classIndex(std::size_t bytes)
+{
+    std::size_t cls = kMinClass;
+    for (std::size_t i = 0; i < kClassCount; ++i, cls <<= 1) {
+        if (bytes <= cls)
+            return i;
+    }
+    return kClassCount;
+}
+
+std::size_t
+classBytes(std::size_t idx)
+{
+    return kMinClass << idx;
+}
+
+} // namespace
+
+void *
+captureAlloc(std::size_t bytes)
+{
+    Pool &p = pool();
+    ++p.stats.allocs;
+    ++p.stats.live;
+    std::size_t idx = classIndex(bytes);
+    if (idx < kClassCount && !p.free_lists[idx].empty()) {
+        void *block = p.free_lists[idx].back();
+        p.free_lists[idx].pop_back();
+        return block;
+    }
+    ++p.stats.fresh;
+    return ::operator new(idx < kClassCount ? classBytes(idx) : bytes);
+}
+
+void
+captureFree(void *block, std::size_t bytes) noexcept
+{
+    Pool &p = pool();
+    ++p.stats.frees;
+    --p.stats.live;
+    std::size_t idx = classIndex(bytes);
+    if (idx < kClassCount && p.free_lists[idx].size() < kMaxRetained) {
+        p.free_lists[idx].push_back(block);
+        return;
+    }
+    ::operator delete(block);
+}
+
+CapturePoolStats
+capturePoolStats()
+{
+    return pool().stats;
+}
+
+} // namespace sriov::sim::detail

@@ -60,7 +60,8 @@ Tracer::record(TraceCat c, std::string text)
         records_.pop_front();
         ++dropped_;
     }
-    Time when = clock_ ? *clock_ : Time();
+    const Time *clk = clock();
+    Time when = clk != nullptr ? *clk : Time();
     records_.push_back(TraceRecord{when, c, std::move(text)});
 }
 

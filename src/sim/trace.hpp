@@ -13,6 +13,7 @@
 #ifndef SRIOV_SIM_TRACE_HPP
 #define SRIOV_SIM_TRACE_HPP
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <string>
@@ -69,30 +70,46 @@ class Tracer
      * testbeds are routinely built and torn down per bench case — the
      * owner must disown the clock on destruction; EventQueue does both
      * automatically via adoptClock()/disownClock().
+     *
+     * Adopt/disown are atomic compare-exchanges: parallel bench
+     * sweeps (core::SweepRunner) construct one EventQueue per worker
+     * thread, and every one of them races to offer its clock to the
+     * global tracer. First wins; the rest are no-ops. (Recording
+     * itself stays single-threaded — trace capture forces a
+     * sequential sweep.)
      * @{
      */
 
     /** Bind explicitly (harness override; replaces any binding). */
-    void setClock(const Time *now) { clock_ = now; }
+    void
+    setClock(const Time *now)
+    {
+        clock_.store(now, std::memory_order_relaxed);
+    }
 
     /** Bind @p now only if no clock is currently bound. */
     void
     adoptClock(const Time *now)
     {
-        if (clock_ == nullptr)
-            clock_ = now;
+        const Time *expected = nullptr;
+        clock_.compare_exchange_strong(expected, now,
+                                       std::memory_order_relaxed);
     }
 
     /** Clear the binding iff @p now is the bound clock. */
     void
     disownClock(const Time *now)
     {
-        if (clock_ == now)
-            clock_ = nullptr;
+        const Time *expected = now;
+        clock_.compare_exchange_strong(expected, nullptr,
+                                       std::memory_order_relaxed);
     }
 
     /** The currently bound clock (nullptr = timestamps read 0). */
-    const Time *clock() const { return clock_; }
+    const Time *clock() const
+    {
+        return clock_.load(std::memory_order_relaxed);
+    }
 
     /** @} */
 
@@ -115,7 +132,7 @@ class Tracer
   private:
     std::size_t capacity_;
     bool enabled_[unsigned(TraceCat::Count)] = {};
-    const Time *clock_ = nullptr;
+    std::atomic<const Time *> clock_{nullptr};
     std::deque<TraceRecord> records_;
     std::uint64_t total_ = 0;
     std::uint64_t dropped_ = 0;

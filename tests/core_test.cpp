@@ -7,11 +7,19 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "check/determinism.hpp"
 #include "core/aic.hpp"
 #include "core/dnis.hpp"
 #include "core/experiment.hpp"
 #include "core/iov_manager.hpp"
 #include "core/optimizations.hpp"
+#include "core/sweep_runner.hpp"
 #include "core/testbed.hpp"
 #include "vmm/hotplug_controller.hpp"
 
@@ -229,4 +237,153 @@ TEST_F(DnisRig, ConnectivitySurvivesTheSwitch)
     EXPECT_GT(g->rx->rxBytes(), before);
     tb->run(sim::Time::sec(40));
     EXPECT_TRUE(done);
+}
+
+// --- SweepRunner ---------------------------------------------------------
+
+TEST(SweepRunner, SequentialWhenJobsIsOne)
+{
+    SweepRunner sr(1);
+    std::vector<int> order;
+    sr.run(5, [&](std::size_t i) { order.push_back(int(i)); });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SweepRunner, ZeroJobsDegradesToSequential)
+{
+    SweepRunner sr(0);
+    EXPECT_EQ(sr.jobs(), 1u);
+    int calls = 0;
+    sr.run(3, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 3);
+}
+
+TEST(SweepRunner, ParallelCoversEveryIndexExactlyOnce)
+{
+    SweepRunner sr(4);
+    std::vector<std::atomic<int>> hits(64);
+    sr.run(hits.size(), [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(SweepRunner, ParallelSimulationsMatchSequentialDigests)
+{
+    // The determinism contract: each case is an independent simulation,
+    // so its event-order digest cannot depend on which host thread (or
+    // how many) ran it.
+    auto runCase = [](std::size_t i) {
+        core::Testbed::Params p;
+        p.num_ports = 1;
+        p.opts = OptimizationSet::maskOnly();
+        core::Testbed tb(p);
+        for (std::size_t v = 0; v <= i % 2; ++v) {
+            auto &g = tb.addGuest(vmm::DomainType::Hvm,
+                                  core::Testbed::NetMode::Sriov);
+            tb.startUdpToGuest(g, 200e6);
+        }
+        tb.run(sim::Time::ms(50));
+        return check::RunDigest::of(tb.eq());
+    };
+
+    constexpr std::size_t kCases = 4;
+    std::vector<check::RunDigest> seq(kCases), par(kCases);
+    SweepRunner(1).run(kCases, [&](std::size_t i) { seq[i] = runCase(i); });
+    SweepRunner(3).run(kCases, [&](std::size_t i) { par[i] = runCase(i); });
+    for (std::size_t i = 0; i < kCases; ++i)
+        EXPECT_EQ(seq[i], par[i]) << "case " << i;
+}
+
+TEST(SweepRunner, RethrowsLowestIndexError)
+{
+    SweepRunner sr(4);
+    try {
+        sr.run(8, [&](std::size_t i) {
+            if (i == 2)
+                throw std::runtime_error("case-2");
+            if (i == 5)
+                throw std::runtime_error("case-5");
+        });
+        FAIL() << "expected an exception";
+    } catch (const std::runtime_error &e) {
+        // What a sequential loop would have surfaced first.
+        EXPECT_STREQ(e.what(), "case-2");
+    }
+}
+
+// --- FigCase / parallel report merging -----------------------------------
+
+namespace {
+
+/** Build a report over 3 small cases with the given job count. */
+std::string
+sweepReportJson(unsigned jobs)
+{
+    const char *argv[] = {"core_test"};
+    core::FigReport fr(1, const_cast<char **>(argv), "figtest",
+                       "sweep determinism test");
+    std::vector<core::FigCase> cases;
+    for (unsigned n = 1; n <= 3; ++n)
+        cases.emplace_back(std::to_string(n) + "vm");
+    SweepRunner(jobs).run(cases.size(), [&](std::size_t i) {
+        core::Testbed::Params p;
+        p.num_ports = 1;
+        p.opts = OptimizationSet::maskOnly();
+        core::Testbed tb(p);
+        for (std::size_t v = 0; v <= i; ++v) {
+            auto &g = tb.addGuest(vmm::DomainType::Hvm,
+                                  core::Testbed::NetMode::Sriov);
+            tb.startUdpToGuest(g, 200e6);
+        }
+        cases[i].instrument(tb);
+        fr.caseDrive(cases[i], tb,
+                     [&]() { tb.run(sim::Time::ms(50)); });
+        cases[i].snapshot(cases[i].label());
+        cases[i].addMetric(cases[i].label() + ".events",
+                           double(tb.eq().executed()));
+    });
+    for (core::FigCase &c : cases)
+        fr.mergeCase(c);
+    return fr.report().toJson();
+}
+
+} // namespace
+
+TEST(FigCaseSweep, ParallelReportIsByteIdenticalToSequential)
+{
+    std::string seq = sweepReportJson(1);
+    std::string par = sweepReportJson(4);
+    EXPECT_FALSE(seq.empty());
+    EXPECT_EQ(seq, par);
+}
+
+TEST(FigCaseSweep, MergePreservesDeclarationOrder)
+{
+    const char *argv[] = {"core_test"};
+    core::FigReport fr(1, const_cast<char **>(argv), "figtest", "order");
+    std::vector<core::FigCase> cases;
+    for (int i = 0; i < 4; ++i)
+        cases.emplace_back("case" + std::to_string(i));
+    // Record snapshots from workers in whatever order; merge must
+    // restore declaration order in the report.
+    SweepRunner(4).run(cases.size(), [&](std::size_t i) {
+        core::Testbed::Params p;
+        p.num_ports = 1;
+        core::Testbed tb(p);
+        cases[i].instrument(tb);
+        cases[i].snapshot(cases[i].label());
+    });
+    for (core::FigCase &c : cases)
+        fr.mergeCase(c);
+    std::string json = fr.report().toJson();
+    std::size_t p0 = json.find("case0");
+    std::size_t p1 = json.find("case1");
+    std::size_t p2 = json.find("case2");
+    std::size_t p3 = json.find("case3");
+    ASSERT_NE(p0, std::string::npos);
+    EXPECT_LT(p0, p1);
+    EXPECT_LT(p1, p2);
+    EXPECT_LT(p2, p3);
 }

@@ -6,12 +6,21 @@
  * line per figure of how close the simulation tracks the paper.
  *
  *   bench_summary <dir-with-figXX.json> [out.json]
+ *
+ * With --perf, merge the <bench>.perf.json host-performance sidecars
+ * instead (schema sriov-bench-perf/v1) into BENCH_perf.json: per-bench
+ * events/host-seconds/events-per-second — the repo's wall-clock
+ * trajectory, tracking how fast the simulator itself runs.
+ *
+ *   bench_summary --perf <dir-with-*.perf.json> [out.json]
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -22,49 +31,148 @@
 using sriov::obs::JsonValue;
 using sriov::obs::JsonWriter;
 
+namespace {
+
+std::optional<JsonValue>
+loadJson(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    auto doc = JsonValue::parse(ss.str(), &err);
+    if (!doc)
+        std::fprintf(stderr, "bench_summary: %s: %s\n", path.c_str(),
+                     err.c_str());
+    return doc;
+}
+
+double
+num(const JsonValue &v, const char *k)
+{
+    const JsonValue *f = v.find(k);
+    return f != nullptr ? f->number : 0.0;
+}
+
+/** Merge *.perf.json sidecars into a BENCH_perf.json trajectory. */
+int
+summarizePerf(const std::vector<std::string> &files,
+              const std::string &out_path)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "sriov-bench-perf-summary/v1");
+    w.key("benches").beginArray();
+    std::size_t benches = 0;
+    double grand_events = 0, grand_wall = 0;
+    for (const std::string &path : files) {
+        auto doc = loadJson(path);
+        if (!doc)
+            return 1;
+        const JsonValue *schema = doc->find("schema");
+        if (schema == nullptr || schema->str != "sriov-bench-perf/v1") {
+            std::fprintf(stderr,
+                         "bench_summary: %s: not a perf sidecar\n",
+                         path.c_str());
+            continue;
+        }
+        const JsonValue *bench = doc->find("bench");
+        const JsonValue *total = doc->find("total");
+        const JsonValue *cases = doc->find("cases");
+        w.beginObject();
+        w.kv("bench", bench != nullptr ? bench->str : path);
+        w.kv("jobs", num(*doc, "jobs"));
+        w.kv("cases",
+             double(cases != nullptr ? cases->items.size() : 0));
+        if (total != nullptr) {
+            w.kv("events", num(*total, "events"));
+            w.kv("host_wall_s", num(*total, "host_wall_s"));
+            w.kv("events_per_sec", num(*total, "events_per_sec"));
+            grand_events += num(*total, "events");
+            grand_wall += num(*total, "host_wall_s");
+        }
+        w.endObject();
+        ++benches;
+    }
+    w.endArray();
+    w.key("total").beginObject();
+    w.kv("benches", double(benches));
+    w.kv("events", grand_events);
+    w.kv("host_wall_s", grand_wall);
+    w.kv("events_per_sec",
+         grand_wall > 0 ? grand_events / grand_wall : 0.0);
+    w.endObject();
+    w.endObject();
+
+    if (!sriov::obs::writeTextFile(out_path, w.str())) {
+        std::fprintf(stderr, "bench_summary: cannot write %s\n",
+                     out_path.c_str());
+        return 1;
+    }
+    std::printf("bench_summary: %s: %zu perf sidecars, %.0f events in "
+                "%.2fs host time (%.2f M events/s)\n",
+                out_path.c_str(), benches, grand_events, grand_wall,
+                grand_wall > 0 ? grand_events / grand_wall / 1e6 : 0.0);
+    return 0;
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
-    if (argc < 2) {
+    bool perf_mode = false;
+    std::vector<const char *> pos;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--perf") == 0)
+            perf_mode = true;
+        else
+            pos.push_back(argv[i]);
+    }
+    if (pos.empty()) {
         std::fprintf(stderr,
-                     "usage: bench_summary <dir> [out.json]\n");
+                     "usage: bench_summary [--perf] <dir> [out.json]\n");
         return 2;
     }
-    std::string dir = argv[1];
-    std::string out_path = argc > 2 ? argv[2] : "BENCH_summary.json";
+    std::string dir = pos[0];
+    std::string out_path =
+        pos.size() > 1 ? pos[1]
+                       : (perf_mode ? "BENCH_perf.json"
+                                    : "BENCH_summary.json");
 
     std::vector<std::string> files;
     std::error_code ec;
     for (const auto &ent :
          std::filesystem::directory_iterator(dir, ec)) {
         const auto &p = ent.path();
-        if (p.extension() == ".json"
-            && p.string().find(".trace.") == std::string::npos)
+        if (p.extension() != ".json"
+            || p.string().find(".trace.") != std::string::npos)
+            continue;
+        bool is_perf =
+            p.string().find(".perf.") != std::string::npos;
+        if (is_perf == perf_mode)
             files.push_back(p.string());
     }
     if (ec || files.empty()) {
-        std::fprintf(stderr, "bench_summary: no reports in %s\n",
+        std::fprintf(stderr, "bench_summary: no %s in %s\n",
+                     perf_mode ? "perf sidecars" : "reports",
                      dir.c_str());
         return 1;
     }
     std::sort(files.begin(), files.end());
 
+    if (perf_mode)
+        return summarizePerf(files, out_path);
+
     JsonWriter w;
     w.beginObject();
     w.kv("schema", "sriov-bench-summary/v1");
     w.key("benches").beginArray();
-    std::size_t total = 0, passed = 0, figures_ok = 0;
+    std::size_t total = 0, passed = 0, figures = 0, figures_ok = 0;
     for (const std::string &path : files) {
-        std::ifstream in(path, std::ios::binary);
-        std::ostringstream ss;
-        ss << in.rdbuf();
-        std::string err;
-        auto doc = JsonValue::parse(ss.str(), &err);
-        if (!doc) {
-            std::fprintf(stderr, "bench_summary: %s: %s\n", path.c_str(),
-                         err.c_str());
+        auto doc = loadJson(path);
+        if (!doc)
             return 1;
-        }
         const JsonValue *schema = doc->find("schema");
         if (schema == nullptr
             || schema->str != sriov::obs::Report::kSchema) {
@@ -72,6 +180,7 @@ main(int argc, char **argv)
                          path.c_str());
             continue;
         }
+        ++figures;
         const JsonValue *bench = doc->find("bench");
         const JsonValue *all = doc->find("all_pass");
         const JsonValue *exps = doc->find("expectations");
@@ -81,10 +190,6 @@ main(int argc, char **argv)
         w.kv("all_pass", fig_ok);
         w.key("expectations").beginArray();
         if (exps != nullptr) {
-            auto num = [](const JsonValue &v, const char *k) {
-                const JsonValue *f = v.find(k);
-                return f != nullptr ? f->number : 0.0;
-            };
             for (const JsonValue &e : exps->items) {
                 ++total;
                 const JsonValue *pass = e.find("pass");
@@ -106,22 +211,20 @@ main(int argc, char **argv)
             ++figures_ok;
     }
     w.endArray();
-    w.kv("figures", std::uint64_t(files.size()));
+    w.kv("figures", std::uint64_t(figures));
     w.kv("figures_pass", std::uint64_t(figures_ok));
     w.kv("expectations", std::uint64_t(total));
     w.kv("expectations_pass", std::uint64_t(passed));
     w.endObject();
 
-    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
-    if (!out) {
+    if (!sriov::obs::writeTextFile(out_path, w.str())) {
         std::fprintf(stderr, "bench_summary: cannot write %s\n",
                      out_path.c_str());
         return 1;
     }
-    out << w.str() << "\n";
     std::printf("bench_summary: %s: %zu figures (%zu pass), %zu/%zu "
                 "expectations in band\n",
-                out_path.c_str(), files.size(), figures_ok, passed,
+                out_path.c_str(), figures, figures_ok, passed,
                 total);
     return 0;
 }

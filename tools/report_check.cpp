@@ -2,8 +2,9 @@
  * @file
  * Schema validator for the artifacts the observability layer emits:
  *
- *   report_check report <figXX.json> [...]   validate bench reports
- *   report_check trace  <x.trace.json> [...] validate Chrome traces
+ *   report_check report <figXX.json> [...]     validate bench reports
+ *   report_check trace  <x.trace.json> [...]   validate Chrome traces
+ *   report_check perf   <x.perf.json> [...]    validate perf sidecars
  *
  * Exit code 0 when every file parses, carries the required fields and
  * (for reports) every expectation is within its band; 1 otherwise.
@@ -164,22 +165,76 @@ checkTrace(const std::string &path)
     return true;
 }
 
+bool
+checkPerf(const std::string &path)
+{
+    std::string text, err;
+    if (!readFile(path, text))
+        return fail(path, "cannot read");
+    auto doc = JsonValue::parse(text, &err);
+    if (!doc)
+        return fail(path, "malformed JSON: " + err);
+
+    const JsonValue *schema = doc->find("schema");
+    if (schema == nullptr || !schema->isString()
+        || schema->str != "sriov-bench-perf/v1")
+        return fail(path,
+                    "missing/unknown schema (want sriov-bench-perf/v1)");
+    const JsonValue *bench = doc->find("bench");
+    if (bench == nullptr || !bench->isString() || bench->str.empty())
+        return fail(path, "missing string field 'bench'");
+    const JsonValue *jobs = doc->find("jobs");
+    if (jobs == nullptr || !jobs->isNumber() || jobs->number < 1)
+        return fail(path, "missing/invalid 'jobs'");
+
+    const JsonValue *cases = doc->find("cases");
+    if (cases == nullptr || !cases->isArray() || cases->items.empty())
+        return fail(path, "missing/empty cases array");
+    double sum_events = 0;
+    for (const JsonValue &c : cases->items) {
+        const JsonValue *label = c.find("label");
+        if (label == nullptr || !label->isString() || label->str.empty())
+            return fail(path, "case without label");
+        for (const char *k : {"events", "host_wall_s", "events_per_sec"}) {
+            const JsonValue *v = c.find(k);
+            if (v == nullptr || !v->isNumber() || v->number < 0)
+                return fail(path, std::string("case missing '") + k + "'");
+        }
+        sum_events += c.find("events")->number;
+    }
+    const JsonValue *total = doc->find("total");
+    if (total == nullptr || !total->isObject())
+        return fail(path, "missing total object");
+    const JsonValue *tev = total->find("events");
+    if (tev == nullptr || !tev->isNumber()
+        || tev->number != sum_events)
+        return fail(path, "total.events inconsistent with case sum");
+    std::printf("report_check: %s: OK (%zu cases, %.0f events)\n",
+                path.c_str(), cases->items.size(), sum_events);
+    return true;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    std::string mode = argc >= 2 ? argv[1] : "";
     if (argc < 3
-        || (std::string(argv[1]) != "report"
-            && std::string(argv[1]) != "trace")) {
+        || (mode != "report" && mode != "trace" && mode != "perf")) {
         std::fprintf(stderr,
                      "usage: report_check report <figXX.json> [...]\n"
-                     "       report_check trace <x.trace.json> [...]\n");
+                     "       report_check trace <x.trace.json> [...]\n"
+                     "       report_check perf <x.perf.json> [...]\n");
         return 2;
     }
-    bool trace = std::string(argv[1]) == "trace";
     bool ok = true;
-    for (int i = 2; i < argc; ++i)
-        ok = (trace ? checkTrace(argv[i]) : checkReport(argv[i])) && ok;
+    for (int i = 2; i < argc; ++i) {
+        bool one = mode == "trace"
+                       ? checkTrace(argv[i])
+                       : mode == "perf" ? checkPerf(argv[i])
+                                        : checkReport(argv[i]);
+        ok = one && ok;
+    }
     return ok ? 0 : 1;
 }
