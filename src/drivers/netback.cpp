@@ -76,7 +76,7 @@ NetbackDriver::guestByMac(nic::MacAddr mac)
 double
 NetbackDriver::irqTop()
 {
-    pending_ = nic_->drainRx(0);
+    nic_->drainRxInto(0, pending_);
     return double(pending_.size())
         * kern_.hv().costs().dom0_bridge_per_packet;
 }
@@ -141,7 +141,7 @@ NetbackDriver::deliverToGuest(GuestCtx &g, std::vector<nic::Packet> &&pkts)
                        dom_map.markDirty(nf->nextRxPageGpa());
                    }
                    to_guests_.inc(pkts.size());
-                   nf->backendDeliver(std::move(pkts));
+                   nf->backendDeliver(pkts);
                    nf->raiseRxIrq(cpu);
                });
 }
@@ -167,7 +167,7 @@ NetbackDriver::guestTx(NetfrontDriver &src, const nic::Packet &pkt)
             // Inter-VM: one grant copy moved the payload; deliver.
             to_guests_.inc();
             std::vector<nic::Packet> batch{pkt};
-            dst->nf->backendDeliver(std::move(batch));
+            dst->nf->backendDeliver(batch);
             dst->nf->raiseRxIrq(workerCpu(dst->worker));
         } else if (nic_) {
             to_wire_.inc();

@@ -17,9 +17,9 @@ NetfrontDriver::NetfrontDriver(guest::GuestKernel &kern, std::string name,
 }
 
 void
-NetfrontDriver::backendDeliver(std::vector<nic::Packet> &&pkts)
+NetfrontDriver::backendDeliver(const std::vector<nic::Packet> &pkts)
 {
-    for (auto &p : pkts)
+    for (const auto &p : pkts)
         rx_queue_.push_back(p);
 }
 
@@ -62,8 +62,12 @@ NetfrontDriver::linkUp() const
 double
 NetfrontDriver::irqTop()
 {
-    pending_.assign(rx_queue_.begin(), rx_queue_.end());
-    rx_queue_.clear();
+    pending_.clear();
+    pending_.reserve(rx_queue_.size());
+    while (!rx_queue_.empty()) {
+        pending_.push_back(rx_queue_.front());
+        rx_queue_.pop_front();
+    }
     return double(pending_.size())
         * kern_.hv().costs().netfront_per_packet;
 }
@@ -74,7 +78,7 @@ NetfrontDriver::irqBottom()
     if (pending_.empty())
         return;
     rx_packets_.inc(pending_.size());
-    deliverUp(std::move(pending_));
+    deliverUp(pending_);
     pending_.clear();
 }
 

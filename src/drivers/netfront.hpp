@@ -12,9 +12,8 @@
 #ifndef SRIOV_DRIVERS_NETFRONT_HPP
 #define SRIOV_DRIVERS_NETFRONT_HPP
 
-#include <deque>
-
 #include "guest/net_stack.hpp"
+#include "sim/ring_buf.hpp"
 #include "vmm/grant_table.hpp"
 
 namespace sriov::drivers {
@@ -39,7 +38,7 @@ class NetfrontDriver : public guest::NetDevice,
     void setBackend(NetbackDriver *nb) { backend_ = nb; }
     NetbackDriver *backend() { return backend_; }
     /** Queue copied-in frames; follow with a raiseRxIrq(). */
-    void backendDeliver(std::vector<nic::Packet> &&pkts);
+    void backendDeliver(const std::vector<nic::Packet> &pkts);
     void raiseRxIrq(sim::CpuServer &notifier_cpu);
     /** Round-robin over the granted RX pages (for dirty logging). */
     mem::Addr nextRxPageGpa();
@@ -71,7 +70,7 @@ class NetfrontDriver : public guest::NetDevice,
     mem::Addr rx_base_;
     vmm::GrantTable::Ref rx_ref_;
     std::size_t rx_page_cursor_ = 0;
-    std::deque<nic::Packet> rx_queue_;
+    sim::RingBuf<nic::Packet> rx_queue_;
     guest::GuestKernel::VirtualIrq rx_irq_;
     std::vector<nic::Packet> pending_;
     sim::Counter rx_packets_;

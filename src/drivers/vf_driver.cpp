@@ -166,7 +166,7 @@ VfDriver::transmit(const nic::Packet &pkt)
 double
 VfDriver::irqTop()
 {
-    pending_ = nic_.drainRx(pool_);
+    nic_.drainRxInto(pool_, pending_);
     return double(pending_.size()) * kern_.hv().costs().guest_per_packet;
 }
 
@@ -176,16 +176,16 @@ VfDriver::irqBottom()
     if (pending_.empty())
         return;
     auto &ring = nic_.rxRing(pool_);
-    std::vector<nic::Packet> up;
-    up.reserve(pending_.size());
+    up_batch_.clear();
+    up_batch_.reserve(pending_.size());
     for (const auto &c : pending_) {
         ring.post(c.buffer_gpa);    // recycle the buffer
-        up.push_back(c.pkt);
+        up_batch_.push_back(c.pkt);
         period_pkts_ += 1;
         period_bits_ += double(c.pkt.payloadBytes()) * 8.0;
     }
     pending_.clear();
-    deliverUp(std::move(up));
+    deliverUp(up_batch_);
 }
 
 void

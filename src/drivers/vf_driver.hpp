@@ -104,6 +104,7 @@ class VfDriver : public guest::NetDevice,
     std::uint64_t epoch_ = 0;    ///< invalidates stale sampler events
     sim::Counter pf_events_;
     std::vector<nic::RxCompletion> pending_;
+    std::vector<nic::Packet> up_batch_;    ///< reused across interrupts
     double period_pkts_ = 0;
     double period_bits_ = 0;
 };

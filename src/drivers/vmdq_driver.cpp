@@ -49,7 +49,7 @@ VmdqBackend::assignQueue(NetfrontDriver &nf)
 double
 VmdqBackend::QueueCtx::irqTop()
 {
-    pending_ = owner_.nic_.drainRx(nic::Pool(q_));
+    owner_.nic_.drainRxInto(nic::Pool(q_), pending_);
     // dom0 performs protection + translation per frame (no copy).
     return double(pending_.size())
         * owner_.kern_.hv().costs().vmdq_dom0_per_packet;
@@ -61,15 +61,15 @@ VmdqBackend::QueueCtx::irqBottom()
     if (pending_.empty())
         return;
     auto &ring = owner_.nic_.rxRing(nic::Pool(q_));
-    std::vector<nic::Packet> up;
-    up.reserve(pending_.size());
+    up_batch_.clear();
+    up_batch_.reserve(pending_.size());
     for (const auto &c : pending_) {
         ring.post(c.buffer_gpa);
-        up.push_back(c.pkt);
+        up_batch_.push_back(c.pkt);
     }
     pending_.clear();
-    owner_.serviced_.inc(up.size());
-    nf_.backendDeliver(std::move(up));
+    owner_.serviced_.inc(up_batch_.size());
+    nf_.backendDeliver(up_batch_);
     nf_.raiseRxIrq(owner_.kern_.vcpu0().pcpu());
 }
 

@@ -64,6 +64,7 @@ class VmdqBackend
         unsigned q_;
         NetfrontDriver &nf_;
         std::vector<nic::RxCompletion> pending_;
+        std::vector<nic::Packet> up_batch_;    ///< reused across IRQs
     };
 
     guest::GuestKernel &kern_;

@@ -78,13 +78,13 @@ BondingDriver::linkUp() const
 }
 
 void
-BondingDriver::deviceRx(NetDevice &from, std::vector<nic::Packet> &&pkts)
+BondingDriver::deviceRx(NetDevice &from, const std::vector<nic::Packet> &pkts)
 {
     if (&from != active_) {
         inactive_rx_dropped_.inc(pkts.size());
         return;
     }
-    deliverUp(std::move(pkts));
+    deliverUp(pkts);
 }
 
 } // namespace sriov::guest

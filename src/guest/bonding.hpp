@@ -55,7 +55,8 @@ class BondingDriver : public NetDevice, public NetRxSink
      * like Linux active-backup mode (this is the packet loss window
      * at DNIS interface-switch time, Fig. 21).
      */
-    void deviceRx(NetDevice &from, std::vector<nic::Packet> &&pkts) override;
+    void deviceRx(NetDevice &from,
+                  const std::vector<nic::Packet> &pkts) override;
 
     std::uint64_t failovers() const { return failovers_.value(); }
     std::uint64_t txDropped() const { return tx_dropped_.value(); }

@@ -14,25 +14,40 @@ void
 GuestKernel::attachDeviceIrq(pci::PciFunction &fn, IrqClient &client,
                              unsigned msix_entry)
 {
-    IrqKey key{&fn, msix_entry};
-    auto [it, inserted] = irqs_by_fn_.emplace(key, IrqState{&client, {}});
-    if (!inserted)
-        sim::fatal("IRQ for %s entry %u already attached",
-                   fn.name().c_str(), msix_entry);
-    it->second.handle = hv_.bindDeviceIrq(
-        dom_, fn, vcpu0(), [this, key]() { handleIrqFor(key); },
-        msix_entry);
+    std::size_t idx = irq_slots_.size();
+    for (std::size_t i = 0; i < irq_slots_.size(); ++i) {
+        IrqSlot &s = irq_slots_[i];
+        if (s.used && s.fn == &fn && s.msix_entry == msix_entry)
+            sim::fatal("IRQ for %s entry %u already attached",
+                       fn.name().c_str(), msix_entry);
+        if (!s.used && idx == irq_slots_.size())
+            idx = i;
+    }
+    if (idx == irq_slots_.size())
+        irq_slots_.emplace_back();
+    IrqSlot &s = irq_slots_[idx];
+    s.fn = &fn;
+    s.msix_entry = msix_entry;
+    s.client = &client;
+    s.used = true;
+    std::uint32_t gen = s.gen;
+    s.handle = hv_.bindDeviceIrq(
+        dom_, fn, vcpu0(),
+        [this, idx, gen]() { handleIrqFor(idx, gen); }, msix_entry);
 }
 
 void
 GuestKernel::detachDeviceIrq(pci::PciFunction &fn, unsigned msix_entry)
 {
-    IrqKey key{&fn, msix_entry};
-    auto it = irqs_by_fn_.find(key);
-    if (it == irqs_by_fn_.end())
-        return;
-    hv_.unbindDeviceIrq(fn, msix_entry);
-    irqs_by_fn_.erase(it);
+    for (IrqSlot &s : irq_slots_) {
+        if (s.used && s.fn == &fn && s.msix_entry == msix_entry) {
+            hv_.unbindDeviceIrq(fn, msix_entry);
+            s.used = false;
+            // Invalidate bound handlers and in-flight retry events.
+            ++s.gen;
+            return;
+        }
+    }
 }
 
 GuestKernel::VirtualIrq
@@ -72,19 +87,21 @@ GuestKernel::raiseVirtualIrq(VirtualIrq irq, sim::CpuServer &notifier_cpu)
 }
 
 void
-GuestKernel::handleIrqFor(IrqKey key)
+GuestKernel::handleIrqFor(std::size_t slot, std::uint32_t gen)
 {
-    // Re-resolve on every (re)entry: the device may have been hot
-    // removed while a retry was pending.
-    auto it = irqs_by_fn_.find(key);
-    if (it == irqs_by_fn_.end())
+    // Re-validate on every (re)entry: the device may have been hot
+    // removed (generation bumped) while a retry was pending.
+    if (slot >= irq_slots_.size())
         return;
-    IrqState &st = it->second;
+    IrqSlot &st = irq_slots_[slot];
+    if (!st.used || st.gen != gen)
+        return;
 
     if (dom_.paused()) {
         // The VCPU is not running (stop-and-copy); retry after resume.
-        hv_.eq().scheduleIn(sim::Time::ms(10),
-                            [this, key]() { handleIrqFor(key); });
+        hv_.eq().scheduleIn(sim::Time::ms(10), [this, slot, gen]() {
+            handleIrqFor(slot, gen);
+        });
         return;
     }
     bool hvm = dom_.isHvm();

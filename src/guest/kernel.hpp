@@ -19,8 +19,9 @@
 #ifndef SRIOV_GUEST_KERNEL_HPP
 #define SRIOV_GUEST_KERNEL_HPP
 
+#include <cstdint>
 #include <functional>
-#include <map>
+#include <vector>
 
 #include "vmm/hypervisor.hpp"
 
@@ -106,10 +107,22 @@ class GuestKernel
     std::uint64_t irqsHandled() const { return irqs_.value(); }
 
   private:
-    struct IrqState
+    /**
+     * One bound device IRQ. Dispatch is dense: the bound handler
+     * captures the slot index plus a generation, and every delivery
+     * (including a paused-domain retry event still in flight) is an
+     * array index + generation compare — stale after detach — instead
+     * of the old per-delivery std::map walk keyed on (function, entry).
+     * Attach/detach are control-path rare and scan linearly.
+     */
+    struct IrqSlot
     {
-        IrqClient *client;
+        pci::PciFunction *fn = nullptr;
+        unsigned msix_entry = 0;
+        IrqClient *client = nullptr;
         vmm::Hypervisor::GuestIrqHandle handle;
+        std::uint32_t gen = 0;
+        bool used = false;
     };
 
     struct VirtIrqState
@@ -119,9 +132,7 @@ class GuestKernel
         intr::Vector virt_vec = 0;    // HVM conversion vector
     };
 
-    using IrqKey = std::pair<pci::PciFunction *, unsigned>;
-
-    void handleIrqFor(IrqKey key);
+    void handleIrqFor(std::size_t slot, std::uint32_t gen);
     void handleVirtualIrq(unsigned id);
     void runIrqWork(IrqClient *client, bool do_eoi, bool mask_msi,
                     bool pv_port, intr::EventChannelBank::Port port);
@@ -129,7 +140,7 @@ class GuestKernel
     vmm::Hypervisor &hv_;
     vmm::Domain &dom_;
     KernelVersion kv_;
-    std::map<IrqKey, IrqState> irqs_by_fn_;
+    std::vector<IrqSlot> irq_slots_;
     std::vector<VirtIrqState> virt_irqs_;
     sim::Counter irqs_;
 };

@@ -57,7 +57,7 @@ NetStack::sendTcpSegment(nic::MacAddr dst, std::uint32_t payload,
 }
 
 void
-NetStack::deviceRx(NetDevice &, std::vector<nic::Packet> &&pkts)
+NetStack::deviceRx(NetDevice &, const std::vector<nic::Packet> &pkts)
 {
     bool need_app = false;
     for (const auto &pkt : pkts) {
@@ -104,15 +104,15 @@ NetStack::appPump()
     const auto &cm = kern_.hv().costs();
 
     // UDP: datagrams are consumed in one read burst.
-    auto udp = udp_sock_.drain();
-    if (!udp.empty()) {
+    udp_sock_.drainInto(read_buf_);
+    if (!read_buf_.empty()) {
         kern_.accountRecvSyscalls(
-            std::ceil(double(udp.size()) / cm.packets_per_syscall));
+            std::ceil(double(read_buf_.size()) / cm.packets_per_syscall));
         if (udp_rx_) {
             std::uint64_t bytes = 0;
-            for (const auto &p : udp)
+            for (const auto &p : read_buf_)
                 bytes += p.payloadBytes();
-            udp_rx_(bytes, udp.size());
+            udp_rx_(bytes, read_buf_.size());
         }
     }
     processTcpChunk();
@@ -132,16 +132,16 @@ NetStack::processTcpChunk()
         return;
     }
     const auto &cm = kern_.hv().costs();
-    auto chunk = tcp_sock_.pop(kTcpAckChunk);
+    tcp_sock_.popInto(kTcpAckChunk, read_buf_);
     std::uint64_t bytes = 0;
-    for (const auto &p : chunk)
+    for (const auto &p : read_buf_)
         bytes += p.payloadBytes();
     double syscalls =
-        std::ceil(double(chunk.size()) / cm.packets_per_syscall);
+        std::ceil(double(read_buf_.size()) / cm.packets_per_syscall);
     // The PVM page-table-switch surcharge is accounted immediately;
     // the syscall bodies serialize as guest work before the ACK.
     kern_.accountRecvSyscallTransitions(syscalls);
-    std::size_t n = chunk.size();
+    std::size_t n = read_buf_.size();
     kern_.vcpu0().submitGuestWork(
         syscalls * cm.guest_syscall, [this, bytes, n]() {
             tcp_cum_rx_ += bytes;

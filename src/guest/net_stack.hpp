@@ -39,9 +39,13 @@ class NetRxSink
   public:
     virtual ~NetRxSink() = default;
 
-    /** @p from identifies the delivering device (bonding needs it). */
+    /**
+     * @p from identifies the delivering device (bonding needs it).
+     * The batch is only valid for the duration of the call — drivers
+     * reuse the backing storage across interrupts.
+     */
     virtual void deviceRx(NetDevice &from,
-                          std::vector<nic::Packet> &&pkts) = 0;
+                          const std::vector<nic::Packet> &pkts) = 0;
 };
 
 /** A guest-visible network interface. */
@@ -60,10 +64,10 @@ class NetDevice
 
   protected:
     void
-    deliverUp(std::vector<nic::Packet> &&pkts)
+    deliverUp(const std::vector<nic::Packet> &pkts)
     {
         if (sink_ && !pkts.empty())
-            sink_->deviceRx(*this, std::move(pkts));
+            sink_->deviceRx(*this, pkts);
     }
 
   private:
@@ -99,7 +103,8 @@ class NetStack : public NetRxSink
     /** @} */
 
     /** NetRxSink: a driver delivered a batch. */
-    void deviceRx(NetDevice &from, std::vector<nic::Packet> &&pkts) override;
+    void deviceRx(NetDevice &from,
+                  const std::vector<nic::Packet> &pkts) override;
 
     SocketBuffer &udpSocket() { return udp_sock_; }
     SocketBuffer &tcpSocket() { return tcp_sock_; }
@@ -128,6 +133,8 @@ class NetStack : public NetRxSink
     std::uint64_t tcp_cum_rx_ = 0;      ///< cumulative TCP bytes received
     nic::MacAddr tcp_peer_{};
     bool tcp_ack_due_ = false;
+    /** Scratch for socket reads, reused across app wakeups. */
+    std::vector<nic::Packet> read_buf_;
 };
 
 } // namespace sriov::guest

@@ -84,8 +84,14 @@ TcpStreamSender::pump()
             next_seq_ -= payload_;
             break;
         }
-        if (rtt_tap_ != nullptr)
+        if (rtt_tap_ != nullptr) {
+            // Bound the tracker at the window: a stalled flow stops
+            // reclaiming entries, so shed the oldest sample instead of
+            // growing for the rest of the run.
+            if (sent_times_.size() >= rttTrackerCap())
+                sent_times_.pop_front();
             sent_times_.emplace_back(next_seq_, eq_.now());
+        }
     }
 }
 

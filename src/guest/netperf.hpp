@@ -7,12 +7,12 @@
 #ifndef SRIOV_GUEST_NETPERF_HPP
 #define SRIOV_GUEST_NETPERF_HPP
 
-#include <deque>
 #include <utility>
 
 #include "guest/net_stack.hpp"
 #include "obs/histogram.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/ring_buf.hpp"
 #include "sim/stats.hpp"
 
 namespace sriov::guest {
@@ -81,6 +81,15 @@ class TcpStreamSender
     void setRttTap(obs::Histogram *h) { rtt_tap_ = h; }
     obs::Histogram *rttTap() const { return rtt_tap_; }
 
+    /**
+     * Outstanding RTT samples. Bounded by the window (in segments):
+     * entries are reclaimed on ACK arrival, so a flow whose ACKs stop
+     * (receiver torn down mid-run) would otherwise grow the tracker
+     * for the rest of the run; overflow drops the oldest sample.
+     */
+    std::size_t rttTrackerDepth() const { return sent_times_.size(); }
+    std::size_t rttTrackerCap() const { return window_ / payload_ + 1; }
+
   private:
     void pump();
     void onAck(std::uint64_t cum);
@@ -98,7 +107,7 @@ class TcpStreamSender
     std::uint64_t acked_at_last_rto_ = 0;
     sim::Counter retx_;
     obs::Histogram *rtt_tap_ = nullptr;
-    std::deque<std::pair<std::uint64_t, sim::Time>> sent_times_;
+    sim::RingBuf<std::pair<std::uint64_t, sim::Time>> sent_times_;
 };
 
 /** Receiving netperf endpoint; counts goodput, can sample a timeline. */

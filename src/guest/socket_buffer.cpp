@@ -21,12 +21,7 @@ std::vector<nic::Packet>
 SocketBuffer::pop(std::size_t n)
 {
     std::vector<nic::Packet> out;
-    while (n-- > 0 && !q_.empty()) {
-        out.push_back(q_.front());
-        bytes_ -= q_.front().payloadBytes();
-        q_.pop_front();
-        delivered_.inc();
-    }
+    popInto(n, out);
     return out;
 }
 
@@ -34,6 +29,19 @@ std::vector<nic::Packet>
 SocketBuffer::drain()
 {
     return pop(q_.size());
+}
+
+void
+SocketBuffer::popInto(std::size_t n, std::vector<nic::Packet> &out)
+{
+    out.clear();
+    out.reserve(n < q_.size() ? n : q_.size());
+    while (n-- > 0 && !q_.empty()) {
+        bytes_ -= q_.front().payloadBytes();
+        out.push_back(q_.front());
+        q_.pop_front();
+        delivered_.inc();
+    }
 }
 
 } // namespace sriov::guest

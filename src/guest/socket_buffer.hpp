@@ -11,9 +11,10 @@
 #ifndef SRIOV_GUEST_SOCKET_BUFFER_HPP
 #define SRIOV_GUEST_SOCKET_BUFFER_HPP
 
-#include <deque>
+#include <vector>
 
 #include "nic/packet.hpp"
+#include "sim/ring_buf.hpp"
 #include "sim/stats.hpp"
 
 namespace sriov::guest {
@@ -46,6 +47,11 @@ class SocketBuffer
     /** Drain everything (one application read burst). */
     std::vector<nic::Packet> drain();
 
+    /** @name Allocation-free forms: @p out is cleared, capacity kept. @{ */
+    void popInto(std::size_t n, std::vector<nic::Packet> &out);
+    void drainInto(std::vector<nic::Packet> &out) { popInto(q_.size(), out); }
+    /** @} */
+
     std::uint64_t drops() const { return drops_.value(); }
     std::uint64_t delivered() const { return delivered_.value(); }
 
@@ -53,7 +59,7 @@ class SocketBuffer
     std::size_t cap_packets_;
     std::size_t cap_bytes_;
     std::size_t bytes_ = 0;
-    std::deque<nic::Packet> q_;
+    sim::RingBuf<nic::Packet> q_;
     sim::Counter drops_;
     sim::Counter delivered_;
 };

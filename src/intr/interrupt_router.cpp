@@ -4,6 +4,11 @@
 
 namespace sriov::intr {
 
+InterruptRouter::InterruptRouter()
+    : handlers_(std::size_t(VectorAllocator::kLast) + 1)
+{
+}
+
 void
 InterruptRouter::attachFunction(pci::PciFunction &fn)
 {
@@ -21,7 +26,7 @@ InterruptRouter::bindVector(Vector v, HandlerFn handler)
 void
 InterruptRouter::unbindVector(Vector v)
 {
-    handlers_.erase(v);
+    handlers_[v] = nullptr;
 }
 
 Vector
@@ -39,15 +44,15 @@ InterruptRouter::deliverMsi(pci::Rid source, const pci::MsiMessage &msg)
 {
     if (tap_)
         tap_(source, msg);
-    auto it = handlers_.find(msg.vector());
-    if (it == handlers_.end()) {
+    HandlerFn &h = handlers_[msg.vector()];
+    if (!h) {
         spurious_.inc();
         sim::warn("spurious MSI vector %u from rid %04x", msg.vector(),
                   source);
         return;
     }
     delivered_.inc();
-    it->second(msg.vector(), source);
+    h(msg.vector(), source);
 }
 
 } // namespace sriov::intr

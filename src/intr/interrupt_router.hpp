@@ -14,7 +14,7 @@
 #define SRIOV_INTR_INTERRUPT_ROUTER_HPP
 
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "intr/vector_allocator.hpp"
 #include "pci/function.hpp"
@@ -27,6 +27,8 @@ class InterruptRouter
 {
   public:
     using HandlerFn = std::function<void(Vector, pci::Rid source)>;
+
+    InterruptRouter();
 
     VectorAllocator &vectors() { return alloc_; }
 
@@ -60,7 +62,9 @@ class InterruptRouter
 
   private:
     VectorAllocator alloc_;
-    std::unordered_map<Vector, HandlerFn> handlers_;
+    /** Dense dispatch: indexed by vector (Vector is 8-bit), so
+     *  deliverMsi is an array load instead of a hash probe. */
+    std::vector<HandlerFn> handlers_;
     DeliveryTap tap_;
     sim::Counter delivered_;
     sim::Counter spurious_;

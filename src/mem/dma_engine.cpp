@@ -26,7 +26,7 @@ DmaEngine::serviceTime(std::uint64_t bytes) const
 }
 
 void
-DmaEngine::transfer(std::uint64_t bytes, std::function<void()> on_done)
+DmaEngine::transfer(std::uint64_t bytes, sim::InplaceFn on_done)
 {
     queue_.push_back(Xfer{bytes, std::move(on_done)});
     if (!in_service_)
@@ -47,11 +47,19 @@ DmaEngine::startNext()
     busy_ += t;
     bytes_moved_.inc(x.bytes);
     transfers_.inc();
-    eq_.scheduleIn(t, [this, done = std::move(x.on_done)]() {
-        if (done)
-            done();
-        startNext();
-    });
+    current_done_ = std::move(x.on_done);
+    eq_.scheduleIn(t, [this]() { finishCurrent(); });
+}
+
+void
+DmaEngine::finishCurrent()
+{
+    // Move the completion out first: it may queue more transfers
+    // (reentrancy), and startNext() overwrites current_done_.
+    sim::InplaceFn done = std::move(current_done_);
+    if (done)
+        done();
+    startNext();
 }
 
 } // namespace sriov::mem

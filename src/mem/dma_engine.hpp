@@ -13,11 +13,11 @@
 #define SRIOV_MEM_DMA_ENGINE_HPP
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <string>
 
 #include "sim/event_queue.hpp"
+#include "sim/inplace_fn.hpp"
+#include "sim/ring_buf.hpp"
 #include "sim/stats.hpp"
 
 namespace sriov::mem {
@@ -46,7 +46,7 @@ class DmaEngine
      * Queue a transfer of @p bytes; @p on_done fires when the payload
      * has fully crossed the link.
      */
-    void transfer(std::uint64_t bytes, std::function<void()> on_done);
+    void transfer(std::uint64_t bytes, sim::InplaceFn on_done);
 
     /** Time one transfer of @p bytes takes in isolation. */
     sim::Time serviceTime(std::uint64_t bytes) const;
@@ -60,15 +60,23 @@ class DmaEngine
     struct Xfer
     {
         std::uint64_t bytes;
-        std::function<void()> on_done;
+        sim::InplaceFn on_done;
     };
 
     void startNext();
+    void finishCurrent();
 
     sim::EventQueue &eq_;
     std::string name_;
     Params params_;
-    std::deque<Xfer> queue_;
+    sim::RingBuf<Xfer> queue_;
+    /**
+     * Completion of the transfer in service. Kept as a member so the
+     * completion event captures only `this` (inline in the event slot)
+     * instead of moving the closure into the event; the link is
+     * strictly FIFO, so at most one transfer is in service.
+     */
+    sim::InplaceFn current_done_;
     bool in_service_ = false;
     sim::Time busy_;
     sim::Counter bytes_moved_;

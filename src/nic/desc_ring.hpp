@@ -13,11 +13,11 @@
 #define SRIOV_NIC_DESC_RING_HPP
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 
 #include "mem/machine_memory.hpp"
 #include "obs/histogram.hpp"
+#include "sim/ring_buf.hpp"
 #include "sim/stats.hpp"
 
 namespace sriov::nic {
@@ -25,7 +25,10 @@ namespace sriov::nic {
 class DescRing
 {
   public:
-    explicit DescRing(std::size_t capacity = 1024) : capacity_(capacity) {}
+    explicit DescRing(std::size_t capacity = 1024)
+        : capacity_(capacity), buffers_(capacity)
+    {
+    }
 
     std::size_t capacity() const { return capacity_; }
     std::size_t available() const { return buffers_.size(); }
@@ -68,7 +71,7 @@ class DescRing
 
   private:
     std::size_t capacity_;
-    std::deque<mem::Addr> buffers_;
+    sim::RingBuf<mem::Addr> buffers_;
     sim::Counter posted_;
     sim::Counter consumed_;
     sim::Counter overflows_;

@@ -1,40 +1,130 @@
 #include "nic/l2_switch.hpp"
 
-#include <algorithm>
-
 namespace sriov::nic {
+
+namespace {
+
+/** A port has one filter per pool (≤ 8 on the 82576); 16 slots keep
+ *  the whole table in one cache line pair and the load factor low. */
+constexpr std::size_t kInitialSlots = 16;
+
+} // namespace
+
+L2Switch::L2Switch() : slots_(kInitialSlots), mask_(kInitialSlots - 1) {}
+
+L2Switch::Slot &
+L2Switch::findSlot(std::uint64_t key)
+{
+    std::size_t i = hashKey(key) & mask_;
+    Slot *first_free = nullptr;
+    for (;;) {
+        Slot &s = slots_[i];
+        if (s.state == SlotState::Used && s.key == key)
+            return s;
+        if (s.state == SlotState::Tombstone) {
+            if (first_free == nullptr)
+                first_free = &s;
+        } else if (s.state == SlotState::Empty) {
+            return first_free != nullptr ? *first_free : s;
+        }
+        i = (i + 1) & mask_;
+    }
+}
+
+const L2Switch::Slot *
+L2Switch::findUsed(std::uint64_t key) const
+{
+    std::size_t i = hashKey(key) & mask_;
+    for (;;) {
+        const Slot &s = slots_[i];
+        if (s.state == SlotState::Used && s.key == key)
+            return &s;
+        if (s.state == SlotState::Empty)
+            return nullptr;
+        i = (i + 1) & mask_;
+    }
+}
+
+void
+L2Switch::growRehash()
+{
+    std::vector<Slot> old = std::move(slots_);
+    // Doubling also reclaims tombstones, keeping probe chains short.
+    slots_.assign(old.size() * 2, Slot{});
+    mask_ = slots_.size() - 1;
+    occupied_ = size_;
+    for (const Slot &s : old) {
+        if (s.state != SlotState::Used)
+            continue;
+        std::size_t i = hashKey(s.key) & mask_;
+        while (slots_[i].state == SlotState::Used)
+            i = (i + 1) & mask_;
+        slots_[i] = s;
+    }
+}
 
 void
 L2Switch::setFilter(MacAddr mac, std::uint16_t vlan, Pool pool)
 {
-    table_[Key{mac, vlan}] = pool;
+    std::uint64_t key = packKey(mac, vlan);
+    Slot &s = findSlot(key);
+    if (s.state != SlotState::Used) {
+        if (s.state == SlotState::Empty)
+            ++occupied_;
+        ++size_;
+        s.key = key;
+        s.state = SlotState::Used;
+    }
+    s.pool = pool;
+    invalidateCache();
+    // Keep at least one Empty slot per probe chain (load < 3/4,
+    // tombstones included) so unmatched lookups terminate.
+    if (occupied_ * 4 >= slots_.size() * 3)
+        growRehash();
 }
 
 void
 L2Switch::clearFilter(MacAddr mac, std::uint16_t vlan)
 {
-    table_.erase(Key{mac, vlan});
+    Slot &s = findSlot(packKey(mac, vlan));
+    if (s.state == SlotState::Used) {
+        s.state = SlotState::Tombstone;
+        --size_;
+    }
+    invalidateCache();
 }
 
 void
 L2Switch::clearPool(Pool pool)
 {
-    std::erase_if(table_, [pool](const auto &kv) {
-        return kv.second == pool;
-    });
+    for (Slot &s : slots_) {
+        if (s.state == SlotState::Used && s.pool == pool) {
+            s.state = SlotState::Tombstone;
+            --size_;
+        }
+    }
+    invalidateCache();
 }
 
 std::optional<L2Switch::Pool>
 L2Switch::classify(const Packet &pkt) const
 {
     lookups_.inc();
-    auto it = table_.find(Key{pkt.dst, pkt.vlan});
-    if (it == table_.end()) {
+    std::uint64_t key = packKey(pkt.dst, pkt.vlan);
+    if (cache_valid_ && cache_key_ == key) {
+        matched_.inc();
+        return cache_pool_;
+    }
+    const Slot *s = findUsed(key);
+    if (s == nullptr) {
         unmatched_.inc();
         return std::nullopt;
     }
     matched_.inc();
-    return it->second;
+    cache_valid_ = true;
+    cache_key_ = key;
+    cache_pool_ = s->pool;
+    return s->pool;
 }
 
 } // namespace sriov::nic

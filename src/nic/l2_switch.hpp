@@ -5,6 +5,15 @@
  * per pool (VF or PF); incoming frames — from the physical line or
  * from a transmitting sibling VF — are steered to the matching pool,
  * or to the default (PF) pool if nothing matches.
+ *
+ * classify() runs once per frame on both the RX and the TX (loopback
+ * probe) path, so the table is built for that access pattern: the
+ * (MAC, VLAN) pair packs into one 64-bit key (MacAddr occupies the low
+ * 48 bits), probed through a small open-addressing flat table —
+ * Fibonacci-hashed, linear probing, tombstone deletion — fronted by a
+ * one-entry last-lookup cache, since steady traffic is heavily
+ * repeat-destination. Mutations (setFilter/clearFilter/clearPool) are
+ * control-path rare and just invalidate the cache.
  */
 
 #ifndef SRIOV_NIC_L2_SWITCH_HPP
@@ -12,7 +21,6 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "nic/packet.hpp"
@@ -24,6 +32,8 @@ class L2Switch
 {
   public:
     using Pool = std::uint16_t;
+
+    L2Switch();
 
     /** Program (or move) a MAC+VLAN filter to @p pool. */
     void setFilter(MacAddr mac, std::uint16_t vlan, Pool pool);
@@ -39,31 +49,51 @@ class L2Switch
         return classify(pkt).has_value();
     }
 
-    std::size_t filterCount() const { return table_.size(); }
+    std::size_t filterCount() const { return size_; }
     std::uint64_t lookups() const { return lookups_.value(); }
     std::uint64_t matched() const { return matched_.value(); }
     std::uint64_t unmatched() const { return unmatched_.value(); }
 
   private:
-    struct Key
+    /** MacAddr is 48-bit, so the VLAN packs into the top 16. */
+    static std::uint64_t
+    packKey(MacAddr mac, std::uint16_t vlan)
     {
-        MacAddr mac;
-        std::uint16_t vlan;
+        return mac.value | (std::uint64_t(vlan) << 48);
+    }
 
-        bool operator==(const Key &) const = default;
+    /** Key 0 (zero MAC, VLAN 0) is programmable, so slots carry an
+     *  explicit state instead of a reserved empty key. */
+    enum class SlotState : std::uint8_t { Empty, Used, Tombstone };
+
+    struct Slot
+    {
+        std::uint64_t key = 0;
+        Pool pool = 0;
+        SlotState state = SlotState::Empty;
     };
 
-    struct KeyHash
+    static std::size_t
+    hashKey(std::uint64_t key)
     {
-        std::size_t
-        operator()(const Key &k) const
-        {
-            return std::hash<std::uint64_t>()(k.mac.value
-                                              ^ (std::uint64_t(k.vlan) << 48));
-        }
-    };
+        // Fibonacci multiplicative hash; the table mask keeps the
+        // useful high bits.
+        return std::size_t((key * 0x9E3779B97F4A7C15ULL) >> 32);
+    }
 
-    std::unordered_map<Key, Pool, KeyHash> table_;
+    /** Slot holding @p key, or the first free slot of its probe chain. */
+    Slot &findSlot(std::uint64_t key);
+    const Slot *findUsed(std::uint64_t key) const;
+    void growRehash();
+    void invalidateCache() const { cache_valid_ = false; }
+
+    std::vector<Slot> slots_;
+    std::size_t mask_;
+    std::size_t size_ = 0;         ///< Used slots.
+    std::size_t occupied_ = 0;     ///< Used + tombstones (probe-chain load).
+    mutable bool cache_valid_ = false;
+    mutable std::uint64_t cache_key_ = 0;
+    mutable Pool cache_pool_ = 0;
     mutable sim::Counter lookups_;
     mutable sim::Counter matched_;
     mutable sim::Counter unmatched_;

@@ -59,10 +59,21 @@ NicPort::rxRing(Pool pool)
 std::vector<RxCompletion>
 NicPort::drainRx(Pool pool)
 {
-    PoolState &ps = poolState(pool);
-    std::vector<RxCompletion> out(ps.completed.begin(), ps.completed.end());
-    ps.completed.clear();
+    std::vector<RxCompletion> out;
+    drainRxInto(pool, out);
     return out;
+}
+
+void
+NicPort::drainRxInto(Pool pool, std::vector<RxCompletion> &out)
+{
+    PoolState &ps = poolState(pool);
+    out.clear();
+    out.reserve(ps.completed.size());
+    while (!ps.completed.empty()) {
+        out.push_back(ps.completed.front());
+        ps.completed.pop_front();
+    }
 }
 
 std::size_t

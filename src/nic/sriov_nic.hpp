@@ -25,7 +25,6 @@
 #ifndef SRIOV_NIC_SRIOV_NIC_HPP
 #define SRIOV_NIC_SRIOV_NIC_HPP
 
-#include <deque>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -41,6 +40,7 @@
 #include "nic/wire.hpp"
 #include "pci/device.hpp"
 #include "pci/function.hpp"
+#include "sim/ring_buf.hpp"
 
 namespace sriov::nic {
 
@@ -86,6 +86,11 @@ class NicPort : public WireEndpoint, public pci::PciDevice
     /** @name Driver-facing pool interface. @{ */
     DescRing &rxRing(Pool pool);
     std::vector<RxCompletion> drainRx(Pool pool);
+    /**
+     * Drain pending completions into @p out (cleared first, capacity
+     * retained) — the allocation-free form drivers use per IRQ.
+     */
+    void drainRxInto(Pool pool, std::vector<RxCompletion> &out);
     std::size_t rxPending(Pool pool) const;
     void setItr(Pool pool, double hz);
     double itr(Pool pool) const;
@@ -124,7 +129,7 @@ class NicPort : public WireEndpoint, public pci::PciDevice
     struct PoolState
     {
         DescRing ring;
-        std::deque<RxCompletion> completed;
+        sim::RingBuf<RxCompletion> completed;
         double itr_hz = 0.0;
         bool throttle_armed = false;
         bool intr_pending = false;

@@ -11,10 +11,9 @@
 #ifndef SRIOV_NIC_WIRE_HPP
 #define SRIOV_NIC_WIRE_HPP
 
-#include <deque>
-
 #include "nic/packet.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/ring_buf.hpp"
 #include "sim/stats.hpp"
 
 namespace sriov::nic {
@@ -73,7 +72,7 @@ class Wire
     struct Direction
     {
         WireEndpoint *to = nullptr;
-        std::deque<Packet> q;
+        sim::RingBuf<Packet> q;
         bool busy = false;
     };
 

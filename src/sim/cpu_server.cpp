@@ -14,23 +14,40 @@ CpuServer::CpuServer(EventQueue &eq, std::string name, double hz)
 }
 
 void
-CpuServer::submit(double cycles, const std::string &tag,
-                  std::function<void()> on_done)
+CpuServer::submit(double cycles, std::string_view tag, InplaceFn on_done)
 {
     if (cycles < 0)
         panic("negative work submitted to %s", name_.c_str());
-    queue_.push_back(Work{cycles, tag, std::move(on_done), Time()});
+    queue_.push_back(
+        Work{cycles, std::string(tag), std::move(on_done), Time()});
     if (!in_service_)
         startNext();
 }
 
 void
-CpuServer::charge(double cycles, const std::string &tag)
+CpuServer::charge(double cycles, std::string_view tag)
 {
     if (cycles < 0)
         panic("negative charge on %s", name_.c_str());
     busy_ += Time::cycles(cycles, hz_);
-    cycles_by_tag_[tag] += cycles;
+    tagCycles(tag) += cycles;
+}
+
+double &
+CpuServer::tagCycles(std::string_view tag)
+{
+    if (last_tag_idx_ < cycles_by_tag_.size()
+        && cycles_by_tag_[last_tag_idx_].first == tag)
+        return cycles_by_tag_[last_tag_idx_].second;
+    for (std::size_t i = 0; i < cycles_by_tag_.size(); ++i) {
+        if (cycles_by_tag_[i].first == tag) {
+            last_tag_idx_ = i;
+            return cycles_by_tag_[i].second;
+        }
+    }
+    last_tag_idx_ = cycles_by_tag_.size();
+    cycles_by_tag_.emplace_back(std::string(tag), 0.0);
+    return cycles_by_tag_.back().second;
 }
 
 void
@@ -45,7 +62,7 @@ CpuServer::startNext()
     queue_.pop_front();
     Time service = Time::cycles(current_.cycles, hz_);
     busy_ += service;
-    cycles_by_tag_[current_.tag] += current_.cycles;
+    tagCycles(current_.tag) += current_.cycles;
     current_.start = eq_.now();
     eq_.scheduleIn(service, [this]() { finishCurrent(); });
 }
@@ -66,7 +83,10 @@ CpuServer::finishCurrent()
 CpuSnapshot
 CpuServer::snapshot() const
 {
-    return CpuSnapshot{busy_, eq_.now(), cycles_by_tag_};
+    std::map<std::string, double> by_tag;
+    for (const auto &[tag, cycles] : cycles_by_tag_)
+        by_tag.emplace(tag, cycles);
+    return CpuSnapshot{busy_, eq_.now(), std::move(by_tag)};
 }
 
 double
@@ -82,8 +102,13 @@ double
 CpuServer::cyclesSince(const CpuSnapshot &before,
                        const std::string &tag) const
 {
-    auto now_it = cycles_by_tag_.find(tag);
-    double now_v = now_it == cycles_by_tag_.end() ? 0.0 : now_it->second;
+    double now_v = 0.0;
+    for (const auto &[t, cycles] : cycles_by_tag_) {
+        if (t == tag) {
+            now_v = cycles;
+            break;
+        }
+    }
     auto old_it = before.cycles_by_tag.find(tag);
     double old_v = old_it == before.cycles_by_tag.end() ? 0.0
                                                         : old_it->second;

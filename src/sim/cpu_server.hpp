@@ -19,12 +19,14 @@
 #define SRIOV_SIM_CPU_SERVER_HPP
 
 #include <cstdint>
-#include <deque>
-#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/inplace_fn.hpp"
+#include "sim/ring_buf.hpp"
 #include "sim/time.hpp"
 
 namespace sriov::sim {
@@ -70,8 +72,8 @@ class CpuServer
      * empty) runs when the work completes, i.e. after queueing plus
      * service time.
      */
-    void submit(double cycles, const std::string &tag,
-                std::function<void()> on_done = nullptr);
+    void submit(double cycles, std::string_view tag,
+                InplaceFn on_done = {});
 
     /**
      * Account @p cycles as consumed instantly (no serialization, no
@@ -79,7 +81,7 @@ class CpuServer
      * relative to the event granularity, where modelling queueing would
      * add nothing but events.
      */
-    void charge(double cycles, const std::string &tag);
+    void charge(double cycles, std::string_view tag);
 
     /** Number of work items waiting (excluding the one in service). */
     std::size_t queueDepth() const { return queue_.size(); }
@@ -109,17 +111,19 @@ class CpuServer
     {
         double cycles;
         std::string tag;
-        std::function<void()> on_done;
+        InplaceFn on_done;
         Time start;
     };
 
     void startNext();
     void finishCurrent();
+    /** Accumulator cell for @p tag (creates it on first use). */
+    double &tagCycles(std::string_view tag);
 
     EventQueue &eq_;
     std::string name_;
     double hz_;
-    std::deque<Work> queue_;
+    RingBuf<Work> queue_;
     /**
      * The item in service. Kept as a member so the completion event
      * captures only `this` (8 bytes inline in InplaceFn) instead of
@@ -129,7 +133,15 @@ class CpuServer
     Work current_;
     bool in_service_ = false;
     Time busy_;
-    std::map<std::string, double> cycles_by_tag_;
+    /**
+     * Per-tag cycle accounting. A server sees a handful of distinct
+     * tags over a whole run, but charges one on every packet — a flat
+     * array scanned linearly (plus a last-hit cache, since bursts
+     * charge the same tag repeatedly) beats a std::map node walk.
+     * snapshot() converts to a map on the cold query path.
+     */
+    std::vector<std::pair<std::string, double>> cycles_by_tag_;
+    std::size_t last_tag_idx_ = 0;
     SpanTap *span_tap_ = nullptr;
 };
 

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * RingBuf: a flat, power-of-two, index-masked circular buffer.
+ *
+ * The simulator's hot queues (wire FIFOs, descriptor rings, RX
+ * completion queues, socket buffers, DMA/CPU work queues) are strict
+ * FIFOs with bursty occupancy. std::deque serves them with node-based
+ * chunk hops: every ~8 packets crossing a queue costs a chunk
+ * allocation/free plus a pointer chase on each access. RingBuf keeps
+ * the elements in one contiguous power-of-two array indexed by masked
+ * head/size counters, so steady-state push/pop touches exactly one
+ * cache line and never allocates — capacity grows by doubling (moving
+ * elements in FIFO order) and then sticks at the high-water mark.
+ *
+ * The container is deliberately minimal: FIFO push_back/pop_front,
+ * indexed access from the front (operator[]), clear(). Move-only
+ * element types are supported; growth and RingBuf moves require T to
+ * be (nothrow-)move-constructible.
+ */
+
+#ifndef SRIOV_SIM_RING_BUF_HPP
+#define SRIOV_SIM_RING_BUF_HPP
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace sriov::sim {
+
+template <typename T>
+class RingBuf
+{
+  public:
+    RingBuf() noexcept = default;
+
+    /** Pre-size the buffer (rounded up to a power of two). */
+    explicit RingBuf(std::size_t capacity) { reserve(capacity); }
+
+    RingBuf(RingBuf &&o) noexcept
+        : data_(o.data_), mask_(o.mask_), head_(o.head_), size_(o.size_)
+    {
+        o.data_ = nullptr;
+        o.mask_ = 0;
+        o.head_ = 0;
+        o.size_ = 0;
+    }
+
+    RingBuf &
+    operator=(RingBuf &&o) noexcept
+    {
+        if (this != &o) {
+            destroyAll();
+            data_ = o.data_;
+            mask_ = o.mask_;
+            head_ = o.head_;
+            size_ = o.size_;
+            o.data_ = nullptr;
+            o.mask_ = 0;
+            o.head_ = 0;
+            o.size_ = 0;
+        }
+        return *this;
+    }
+
+    RingBuf(const RingBuf &) = delete;
+    RingBuf &operator=(const RingBuf &) = delete;
+
+    ~RingBuf() { destroyAll(); }
+
+    std::size_t size() const noexcept { return size_; }
+    bool empty() const noexcept { return size_ == 0; }
+
+    /** Allocated slots (a power of two, or 0 before first use). */
+    std::size_t capacity() const noexcept
+    {
+        return data_ != nullptr ? mask_ + 1 : 0;
+    }
+
+    /**
+     * Ensure capacity for at least @p n elements without further
+     * allocation. Rounds up to the next power of two.
+     */
+    void
+    reserve(std::size_t n)
+    {
+        if (n > capacity())
+            regrow(roundUpPow2(n));
+    }
+
+    void
+    push_back(const T &v)
+    {
+        emplace_back(v);
+    }
+
+    void
+    push_back(T &&v)
+    {
+        emplace_back(std::move(v));
+    }
+
+    template <typename... Args>
+    T &
+    emplace_back(Args &&...args)
+    {
+        if (size_ == capacity())
+            regrow(capacity() == 0 ? kMinCapacity : capacity() * 2);
+        T *slot = data_ + ((head_ + size_) & mask_);
+        ::new (static_cast<void *>(slot)) T(std::forward<Args>(args)...);
+        ++size_;
+        return *slot;
+    }
+
+    /** @pre !empty() */
+    T &front() noexcept { return data_[head_]; }
+    const T &front() const noexcept { return data_[head_]; }
+
+    /** @pre !empty() */
+    T &back() noexcept { return data_[(head_ + size_ - 1) & mask_]; }
+    const T &back() const noexcept
+    {
+        return data_[(head_ + size_ - 1) & mask_];
+    }
+
+    /** Element @p i counted from the front. @pre i < size() */
+    T &operator[](std::size_t i) noexcept
+    {
+        return data_[(head_ + i) & mask_];
+    }
+    const T &operator[](std::size_t i) const noexcept
+    {
+        return data_[(head_ + i) & mask_];
+    }
+
+    /** @pre !empty() */
+    void
+    pop_front() noexcept
+    {
+        data_[head_].~T();
+        head_ = (head_ + 1) & mask_;
+        --size_;
+    }
+
+    /** Destroy all elements; capacity is retained. */
+    void
+    clear() noexcept
+    {
+        while (size_ > 0)
+            pop_front();
+        head_ = 0;
+    }
+
+  private:
+    static constexpr std::size_t kMinCapacity = 8;
+
+    static std::size_t
+    roundUpPow2(std::size_t n)
+    {
+        std::size_t c = kMinCapacity;
+        while (c < n)
+            c *= 2;
+        return c;
+    }
+
+    void
+    regrow(std::size_t new_cap)
+    {
+        static_assert(std::is_move_constructible_v<T>,
+                      "RingBuf growth moves elements");
+        T *fresh = static_cast<T *>(::operator new(
+            new_cap * sizeof(T), std::align_val_t(alignof(T))));
+        for (std::size_t i = 0; i < size_; ++i) {
+            T *src = data_ + ((head_ + i) & mask_);
+            ::new (static_cast<void *>(fresh + i)) T(std::move(*src));
+            src->~T();
+        }
+        if (data_ != nullptr)
+            ::operator delete(data_, std::align_val_t(alignof(T)));
+        data_ = fresh;
+        mask_ = new_cap - 1;
+        head_ = 0;
+    }
+
+    void
+    destroyAll() noexcept
+    {
+        clear();
+        if (data_ != nullptr) {
+            ::operator delete(data_, std::align_val_t(alignof(T)));
+            data_ = nullptr;
+            mask_ = 0;
+        }
+    }
+
+    T *data_ = nullptr;
+    std::size_t mask_ = 0;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace sriov::sim
+
+#endif // SRIOV_SIM_RING_BUF_HPP

@@ -11,7 +11,7 @@ DeviceModel::DeviceModel(Domain &guest, sim::CpuServer &host_cpu,
 }
 
 void
-DeviceModel::submitEmulation(double cycles, std::function<void()> on_done)
+DeviceModel::submitEmulation(double cycles, sim::InplaceFn on_done)
 {
     requests_.inc();
     host_cpu_.submit(cycles, tag(), std::move(on_done));

@@ -13,10 +13,10 @@
 #ifndef SRIOV_VMM_DEVICE_MODEL_HPP
 #define SRIOV_VMM_DEVICE_MODEL_HPP
 
-#include <functional>
 #include <string>
 
 #include "sim/cpu_server.hpp"
+#include "sim/inplace_fn.hpp"
 #include "sim/stats.hpp"
 #include "vmm/cost_model.hpp"
 
@@ -40,8 +40,7 @@ class DeviceModel
      * Forward an emulation request costing @p cycles of dom0 time.
      * @p on_done (optional) runs when emulation completes.
      */
-    void submitEmulation(double cycles,
-                         std::function<void()> on_done = nullptr);
+    void submitEmulation(double cycles, sim::InplaceFn on_done = {});
 
     /** Emulate a guest write to the virtual MSI mask register. */
     void emulateMsiMaskWrite(bool masked);

@@ -6,13 +6,14 @@
 namespace sriov::vmm {
 
 Vcpu::Vcpu(unsigned id, Domain &dom, sim::CpuServer &pcpu)
-    : id_(id), dom_(dom), pcpu_(pcpu)
+    : id_(id), dom_(dom), pcpu_(pcpu),
+      handlers_(std::size_t(intr::VectorAllocator::kLast) + 1)
 {
     vlapic_.chip().setDeliver([this](intr::Vector v) { dispatch(v); });
 }
 
 void
-Vcpu::submitGuestWork(double cycles, std::function<void()> on_done)
+Vcpu::submitGuestWork(double cycles, sim::InplaceFn on_done)
 {
     pcpu_.submit(cycles, dom_.name(), std::move(on_done));
 }
@@ -38,19 +39,19 @@ Vcpu::bindVirtualVector(intr::Vector v, IrqHandler h)
 void
 Vcpu::unbindVirtualVector(intr::Vector v)
 {
-    handlers_.erase(v);
+    handlers_[v] = nullptr;
 }
 
 void
 Vcpu::dispatch(intr::Vector v)
 {
-    auto it = handlers_.find(v);
-    if (it == handlers_.end()) {
+    IrqHandler &h = handlers_[v];
+    if (!h) {
         sim::warn("%s vcpu%u: unhandled virtual vector %u",
                   dom_.name().c_str(), id_, v);
         return;
     }
-    it->second();
+    h();
 }
 
 } // namespace sriov::vmm

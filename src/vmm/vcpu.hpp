@@ -12,10 +12,11 @@
 #define SRIOV_VMM_VCPU_HPP
 
 #include <functional>
-#include <unordered_map>
+#include <vector>
 
 #include "intr/virtual_lapic.hpp"
 #include "sim/cpu_server.hpp"
+#include "sim/inplace_fn.hpp"
 
 namespace sriov::vmm {
 
@@ -32,7 +33,7 @@ class Vcpu
     intr::VirtualLapic &vlapic() { return vlapic_; }
 
     /** Submit guest-context work (serialized on the physical CPU). */
-    void submitGuestWork(double cycles, std::function<void()> on_done);
+    void submitGuestWork(double cycles, sim::InplaceFn on_done);
 
     /** Charge guest-context cycles without serialization. */
     void chargeGuest(double cycles);
@@ -53,7 +54,8 @@ class Vcpu
     Domain &dom_;
     sim::CpuServer &pcpu_;
     intr::VirtualLapic vlapic_;
-    std::unordered_map<intr::Vector, IrqHandler> handlers_;
+    /** Dense dispatch: indexed by vector (intr::Vector is 8-bit). */
+    std::vector<IrqHandler> handlers_;
 };
 
 } // namespace sriov::vmm

@@ -65,7 +65,7 @@ class FakeDevice : public NetDevice
     void
     injectRx(std::vector<nic::Packet> pkts)
     {
-        deliverUp(std::move(pkts));
+        deliverUp(pkts);
     }
 
     std::vector<nic::Packet> sent;
@@ -422,6 +422,36 @@ TEST_F(NetperfRig, TcpSenderRetransmitsOnStall)
     EXPECT_GT(dev.sent.size(), first_burst);
 }
 
+TEST_F(NetperfRig, TcpRttTrackerStaysBoundedByWindow)
+{
+    obs::Histogram rtt;
+    TcpStreamSender snd(eq, stack, nic::MacAddr::make(9, 9),
+                        /*window=*/4 * 1448, 1448);
+    snd.setRttTap(&rtt);
+    snd.start();
+    EXPECT_EQ(snd.rttTrackerCap(), 5u);    // window in segments + 1
+    eq.runUntil(sim::Time::ms(1));
+    EXPECT_LE(snd.rttTrackerDepth(), snd.rttTrackerCap());
+
+    // Sustained ack-and-refill cycles reclaim samples as they complete;
+    // the tracker must never outgrow the window.
+    for (int round = 1; round <= 50; ++round) {
+        nic::Packet ack;
+        ack.kind = nic::Packet::Kind::TcpAck;
+        ack.ack = std::uint64_t(round) * 2 * 1448;
+        ack.bytes = 64;
+        dev.injectRx({ack});
+        EXPECT_LE(snd.rttTrackerDepth(), snd.rttTrackerCap());
+    }
+    EXPECT_GT(rtt.count(), 0.0);
+
+    // An ACK stall (receiver torn down) must not grow the tracker
+    // either: RTO rewinds resend without accumulating samples.
+    eq.runUntil(TcpStreamSender::kRto * 6);
+    EXPECT_GE(snd.retransmits(), 1u);
+    EXPECT_LE(snd.rttTrackerDepth(), snd.rttTrackerCap());
+}
+
 TEST(Bonding, TransmitUsesActiveSlave)
 {
     BondingDriver bond("bond0");
@@ -450,7 +480,7 @@ TEST(Bonding, RxFromBackupSlaveIsDiscarded)
     {
         std::size_t got = 0;
         void
-        deviceRx(NetDevice &, std::vector<nic::Packet> &&p) override
+        deviceRx(NetDevice &, const std::vector<nic::Packet> &p) override
         {
             got += p.size();
         }

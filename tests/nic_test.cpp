@@ -171,6 +171,26 @@ TEST(DescRing, ResetEmpties)
     EXPECT_TRUE(ring.empty());
 }
 
+TEST(DescRing, ResetCountsDiscardedBuffers)
+{
+    DescRing ring(8);
+    for (int i = 0; i < 5; ++i)
+        ring.post(mem::Addr(i) * 0x1000);
+    (void)ring.take();
+    (void)ring.take();
+    ring.reset();
+    EXPECT_EQ(ring.discarded(), 3u);    // posted but never consumed
+    EXPECT_EQ(ring.posted(), 5u);
+    EXPECT_EQ(ring.consumed(), 2u);
+    EXPECT_TRUE(ring.empty());
+    // The ring stays usable at full capacity after a reset.
+    for (int i = 0; i < 8; ++i)
+        EXPECT_TRUE(ring.post(mem::Addr(i)));
+    EXPECT_FALSE(ring.post(0x9000));
+    ring.reset();
+    EXPECT_EQ(ring.discarded(), 11u);
+}
+
 TEST(L2Switch, ClassifiesByMacAndVlan)
 {
     L2Switch l2;
@@ -195,6 +215,73 @@ TEST(L2Switch, ClearPoolRemovesAllItsFilters)
     EXPECT_EQ(l2.filterCount(), 1u);
     EXPECT_FALSE(l2.classify(udpPacket(MacAddr::make(1, 1))).has_value());
     EXPECT_TRUE(l2.classify(udpPacket(MacAddr::make(1, 3))).has_value());
+}
+
+TEST(L2Switch, ManyFiltersSurviveGrowthAndProbing)
+{
+    L2Switch l2;
+    // Enough filters to force several grow/rehash cycles from the
+    // 16-slot initial table, with colliding probe chains on the way.
+    for (std::uint16_t i = 0; i < 200; ++i)
+        l2.setFilter(MacAddr::make(3, i), i % 5, L2Switch::Pool(i % 7));
+    EXPECT_EQ(l2.filterCount(), 200u);
+    for (std::uint16_t i = 0; i < 200; ++i) {
+        Packet p = udpPacket(MacAddr::make(3, i));
+        p.vlan = i % 5;
+        ASSERT_TRUE(l2.classify(p).has_value()) << i;
+        EXPECT_EQ(*l2.classify(p), L2Switch::Pool(i % 7));
+    }
+    // Clear every even filter: odd ones must still resolve through
+    // the tombstones left in their probe chains.
+    for (std::uint16_t i = 0; i < 200; i += 2)
+        l2.clearFilter(MacAddr::make(3, i), i % 5);
+    EXPECT_EQ(l2.filterCount(), 100u);
+    for (std::uint16_t i = 0; i < 200; ++i) {
+        Packet p = udpPacket(MacAddr::make(3, i));
+        p.vlan = i % 5;
+        EXPECT_EQ(l2.classify(p).has_value(), i % 2 == 1) << i;
+    }
+}
+
+TEST(L2Switch, ReprogramAfterClearReusesSlot)
+{
+    L2Switch l2;
+    l2.setFilter(MacAddr::make(1, 1), 0, 3);
+    l2.clearFilter(MacAddr::make(1, 1), 0);
+    EXPECT_EQ(l2.filterCount(), 0u);
+    EXPECT_FALSE(l2.classify(udpPacket(MacAddr::make(1, 1))).has_value());
+    l2.setFilter(MacAddr::make(1, 1), 0, 5);
+    EXPECT_EQ(l2.filterCount(), 1u);
+    EXPECT_EQ(*l2.classify(udpPacket(MacAddr::make(1, 1))), 5);
+}
+
+TEST(L2Switch, RepeatLookupCacheFollowsMutations)
+{
+    L2Switch l2;
+    l2.setFilter(MacAddr::make(1, 1), 0, 3);
+    Packet p = udpPacket(MacAddr::make(1, 1));
+    EXPECT_EQ(*l2.classify(p), 3);
+    EXPECT_EQ(*l2.classify(p), 3);    // repeat: last-lookup cache path
+    l2.setFilter(MacAddr::make(1, 1), 0, 4);
+    EXPECT_EQ(*l2.classify(p), 4);    // move must invalidate the cache
+    l2.clearFilter(MacAddr::make(1, 1), 0);
+    EXPECT_FALSE(l2.classify(p).has_value());
+    EXPECT_EQ(l2.lookups(), 4u);
+    EXPECT_EQ(l2.matched(), 3u);
+    EXPECT_EQ(l2.unmatched(), 1u);
+}
+
+TEST(L2Switch, ZeroMacZeroVlanIsProgrammable)
+{
+    // Key 0 must be a regular key, not a sentinel for an empty slot.
+    L2Switch l2;
+    l2.setFilter(MacAddr{0}, 0, 2);
+    Packet p;
+    p.dst = MacAddr{0};
+    p.bytes = 64;
+    EXPECT_EQ(*l2.classify(p), 2);
+    l2.clearFilter(MacAddr{0}, 0);
+    EXPECT_FALSE(l2.classify(p).has_value());
 }
 
 TEST(Mailbox, PostRingAckCycle)

@@ -16,6 +16,7 @@
 #include "sim/event_queue.hpp"
 #include "sim/inplace_fn.hpp"
 #include "sim/random.hpp"
+#include "sim/ring_buf.hpp"
 #include "sim/stats.hpp"
 #include "sim/time.hpp"
 #include "sim/trace.hpp"
@@ -797,4 +798,100 @@ TEST(EventQueue, DigestHashesTagContentNotPointer)
         return eq.orderDigest();
     };
     EXPECT_EQ(run(tag_a), run(tag_b));
+}
+
+TEST(RingBuf, FifoAcrossWraparound)
+{
+    RingBuf<int> rb(8);
+    EXPECT_EQ(rb.capacity(), 8u);
+    for (int i = 0; i < 6; ++i)
+        rb.push_back(i);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_EQ(rb.front(), i);
+        rb.pop_front();
+    }
+    // The next pushes wrap past the end of the array.
+    for (int i = 6; i < 12; ++i)
+        rb.push_back(i);
+    EXPECT_EQ(rb.capacity(), 8u);    // exactly full, no growth
+    ASSERT_EQ(rb.size(), 8u);
+    for (std::size_t i = 0; i < rb.size(); ++i)
+        EXPECT_EQ(rb[i], int(4 + i));
+    EXPECT_EQ(rb.front(), 4);
+    EXPECT_EQ(rb.back(), 11);
+}
+
+TEST(RingBuf, GrowthAtPowerOfTwoBoundariesPreservesOrder)
+{
+    RingBuf<int> rb;
+    EXPECT_EQ(rb.capacity(), 0u);
+    // Stagger the head so every regrow starts from a wrapped layout.
+    for (int i = 0; i < 5; ++i)
+        rb.push_back(-1);
+    for (int i = 0; i < 5; ++i)
+        rb.pop_front();
+    int next = 0;
+    for (std::size_t target : {std::size_t(8), std::size_t(16),
+                               std::size_t(32), std::size_t(64)}) {
+        while (rb.size() < target)
+            rb.push_back(next++);
+        EXPECT_EQ(rb.capacity(), target);
+    }
+    ASSERT_EQ(rb.size(), 64u);
+    for (std::size_t i = 0; i < rb.size(); ++i)
+        EXPECT_EQ(rb[i], int(i));
+}
+
+TEST(RingBuf, MoveOnlyPayloads)
+{
+    RingBuf<std::unique_ptr<int>> rb;
+    for (int i = 0; i < 20; ++i)    // growth must move, not copy
+        rb.emplace_back(std::make_unique<int>(i));
+    for (int i = 0; i < 20; ++i) {
+        std::unique_ptr<int> p = std::move(rb.front());
+        rb.pop_front();
+        ASSERT_NE(p, nullptr);
+        EXPECT_EQ(*p, i);
+    }
+    EXPECT_TRUE(rb.empty());
+}
+
+TEST(RingBuf, ClearRetainsCapacityForReuse)
+{
+    RingBuf<int> rb;
+    for (int i = 0; i < 100; ++i)
+        rb.push_back(i);
+    std::size_t cap = rb.capacity();
+    EXPECT_EQ(cap, 128u);
+    rb.clear();
+    EXPECT_TRUE(rb.empty());
+    EXPECT_EQ(rb.capacity(), cap);    // storage sticks at the high-water mark
+    for (int i = 0; i < 100; ++i)
+        rb.push_back(i);
+    EXPECT_EQ(rb.capacity(), cap);
+    EXPECT_EQ(rb.front(), 0);
+    EXPECT_EQ(rb.back(), 99);
+}
+
+TEST(RingBuf, ReserveRoundsUpToPowerOfTwoAndNeverShrinks)
+{
+    RingBuf<int> rb;
+    rb.reserve(1000);
+    EXPECT_EQ(rb.capacity(), 1024u);
+    rb.reserve(10);
+    EXPECT_EQ(rb.capacity(), 1024u);
+}
+
+TEST(RingBuf, MoveTransfersStorage)
+{
+    RingBuf<int> a(4);
+    a.push_back(1);
+    a.push_back(2);
+    RingBuf<int> b(std::move(a));
+    EXPECT_EQ(b.size(), 2u);
+    EXPECT_EQ(b.front(), 1);
+    RingBuf<int> c;
+    c = std::move(b);
+    EXPECT_EQ(c.size(), 2u);
+    EXPECT_EQ(c.back(), 2);
 }

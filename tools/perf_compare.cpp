@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Compare a freshly measured BENCH_perf.json against the committed
+ * baseline and fail when the simulator got slower — the perf-regression
+ * gate of the CI perf-smoke job.
+ *
+ *   perf_compare <baseline.json> <fresh.json> [comparison.json]
+ *
+ * Both inputs follow schema sriov-bench-perf-summary/v1 (the output of
+ * bench_summary --perf). For every bench present in both files the
+ * events-per-second ratio fresh/baseline is computed; any bench below
+ * the minimum ratio fails the run. Benches present on only one side
+ * are reported but never fail — benches come and go across PRs.
+ *
+ * The minimum ratio defaults to 0.8 (CI hosts jitter; a >20% drop is a
+ * real regression) and can be overridden with SRIOV_PERF_MIN_RATIO or
+ * --min-ratio=<x>. The per-bench verdicts are also written as a JSON
+ * comparison file so CI can archive them as an artifact.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+using sriov::obs::JsonValue;
+using sriov::obs::JsonWriter;
+
+namespace {
+
+constexpr const char *kSummarySchema = "sriov-bench-perf-summary/v1";
+
+std::optional<JsonValue>
+loadJson(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "perf_compare: cannot open %s\n",
+                     path.c_str());
+        return std::nullopt;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    auto doc = JsonValue::parse(ss.str(), &err);
+    if (!doc)
+        std::fprintf(stderr, "perf_compare: %s: %s\n", path.c_str(),
+                     err.c_str());
+    return doc;
+}
+
+double
+num(const JsonValue &v, const char *k)
+{
+    const JsonValue *f = v.find(k);
+    return f != nullptr ? f->number : 0.0;
+}
+
+struct BenchRate
+{
+    std::string name;
+    double events_per_sec = 0.0;
+};
+
+/** Extract per-bench events/s from a perf summary; nullopt on error. */
+std::optional<std::vector<BenchRate>>
+loadRates(const std::string &path)
+{
+    auto doc = loadJson(path);
+    if (!doc)
+        return std::nullopt;
+    const JsonValue *schema = doc->find("schema");
+    if (schema == nullptr || schema->str != kSummarySchema) {
+        std::fprintf(stderr, "perf_compare: %s: not a %s document\n",
+                     path.c_str(), kSummarySchema);
+        return std::nullopt;
+    }
+    std::vector<BenchRate> rates;
+    const JsonValue *benches = doc->find("benches");
+    if (benches != nullptr) {
+        for (const JsonValue &b : benches->items) {
+            const JsonValue *name = b.find("bench");
+            rates.push_back({name != nullptr ? name->str : "?",
+                             num(b, "events_per_sec")});
+        }
+    }
+    return rates;
+}
+
+const BenchRate *
+findRate(const std::vector<BenchRate> &rates, const std::string &name)
+{
+    for (const BenchRate &r : rates)
+        if (r.name == name)
+            return &r;
+    return nullptr;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double min_ratio = 0.8;
+    if (const char *env = std::getenv("SRIOV_PERF_MIN_RATIO"))
+        min_ratio = std::atof(env);
+
+    std::vector<const char *> pos;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strncmp(argv[i], "--min-ratio=", 12) == 0)
+            min_ratio = std::atof(argv[i] + 12);
+        else
+            pos.push_back(argv[i]);
+    }
+    if (pos.size() < 2) {
+        std::fprintf(stderr,
+                     "usage: perf_compare [--min-ratio=<x>] "
+                     "<baseline.json> <fresh.json> [comparison.json]\n");
+        return 2;
+    }
+    if (min_ratio <= 0 || min_ratio > 1.0) {
+        std::fprintf(stderr,
+                     "perf_compare: min ratio %.3f out of (0, 1]\n",
+                     min_ratio);
+        return 2;
+    }
+
+    auto baseline = loadRates(pos[0]);
+    auto fresh = loadRates(pos[1]);
+    if (!baseline || !fresh)
+        return 1;
+
+    JsonWriter w;
+    w.beginObject();
+    w.kv("schema", "sriov-perf-compare/v1");
+    w.kv("baseline", std::string(pos[0]));
+    w.kv("fresh", std::string(pos[1]));
+    w.kv("min_ratio", min_ratio);
+    w.key("benches").beginArray();
+
+    std::size_t compared = 0, failed = 0;
+    for (const BenchRate &base : *baseline) {
+        const BenchRate *now = findRate(*fresh, base.name);
+        w.beginObject();
+        w.kv("bench", base.name);
+        w.kv("baseline_events_per_sec", base.events_per_sec);
+        if (now == nullptr) {
+            w.kv("status", "missing");
+            std::printf("perf_compare: %-16s missing from fresh run "
+                        "(informational)\n",
+                        base.name.c_str());
+        } else if (base.events_per_sec <= 0) {
+            w.kv("status", "no-baseline-rate");
+        } else {
+            double ratio = now->events_per_sec / base.events_per_sec;
+            bool ok = ratio >= min_ratio;
+            ++compared;
+            if (!ok)
+                ++failed;
+            w.kv("fresh_events_per_sec", now->events_per_sec);
+            w.kv("ratio", ratio);
+            w.kv("status", ok ? "ok" : "regressed");
+            std::printf("perf_compare: %-16s %8.2f -> %8.2f M events/s "
+                        "(%.2fx) %s\n",
+                        base.name.c_str(), base.events_per_sec / 1e6,
+                        now->events_per_sec / 1e6, ratio,
+                        ok ? "ok" : "REGRESSED");
+        }
+        w.endObject();
+    }
+    for (const BenchRate &now : *fresh) {
+        if (findRate(*baseline, now.name) != nullptr)
+            continue;
+        w.beginObject();
+        w.kv("bench", now.name);
+        w.kv("fresh_events_per_sec", now.events_per_sec);
+        w.kv("status", "new");
+        w.endObject();
+        std::printf("perf_compare: %-16s new bench at %.2f M events/s "
+                    "(no baseline)\n",
+                    now.name.c_str(), now.events_per_sec / 1e6);
+    }
+    w.endArray();
+    w.kv("compared", std::uint64_t(compared));
+    w.kv("regressed", std::uint64_t(failed));
+    w.endObject();
+
+    if (pos.size() > 2
+        && !sriov::obs::writeTextFile(pos[2], w.str())) {
+        std::fprintf(stderr, "perf_compare: cannot write %s\n", pos[2]);
+        return 1;
+    }
+
+    if (failed != 0) {
+        std::fprintf(stderr,
+                     "perf_compare: FAIL: %zu of %zu benches below "
+                     "%.2fx of the committed baseline\n",
+                     failed, compared, min_ratio);
+        return 1;
+    }
+    std::printf("perf_compare: %zu benches at or above %.2fx of the "
+                "committed baseline\n",
+                compared, min_ratio);
+    return 0;
+}
