@@ -10,6 +10,7 @@
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -56,6 +57,11 @@ runCase(core::FigReport &fr, core::FigCase &c, unsigned vms, bool opt)
     fr.caseDrive(
         c, tb,
         [&]() { m = tb.measure(sim::Time::sec(2), sim::Time::sec(5)); });
+    std::uint64_t pkts = 0;
+    for (std::size_t i = 0; i < tb.guestCount(); ++i)
+        if (tb.guest(i).rx)
+            pkts += tb.guest(i).rx->rxPackets();
+    c.addPackets(pkts);
     const std::string &label = c.label();
     c.snapshot(label);
     c.addMetric(label + ".goodput_gbps", m.total_goodput_bps / 1e9);

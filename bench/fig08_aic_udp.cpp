@@ -57,6 +57,7 @@ main(int argc, char **argv)
             drops0 = g.stack->udpSocketDrops();
             m = tb.measure(sim::Time(), sim::Time::sec(5));
         });
+        fr.notePackets(g.rx ? g.rx->rxPackets() : 0);
         double irq_rate =
             (g.vf->deviceStats().interrupts.value() - irqs0) / m.seconds;
         double drop_rate =

@@ -20,5 +20,5 @@ main(int argc, char **argv)
                          "Fig. 16: SR-IOV scalability, PVM, 10-60 VMs, "
                          "aggregate 10 GbE",
                          "1.76% per VM; PVM slightly above HVM at 10 VMs",
-                         1.76);
+                         0.43);
 }

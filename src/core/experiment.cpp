@@ -86,9 +86,16 @@ FigReport::snapshot(const std::string &label, const std::string &prefix)
 
 void
 FigReport::notePerf(const std::string &label, std::uint64_t events,
-                    double wall_s)
+                    double wall_s, std::uint64_t packets)
 {
-    perf_.push_back(CasePerf{label, events, wall_s});
+    perf_.push_back(CasePerf{label, events, packets, wall_s});
+}
+
+void
+FigReport::notePackets(std::uint64_t n)
+{
+    if (!perf_.empty())
+        perf_.back().packets += n;
 }
 
 void
@@ -182,7 +189,7 @@ FigReport::mergeCase(FigCase &c)
     for (const auto &[name, value] : c.metrics_)
         rep_.addMetric(name, value);
     c.metrics_.clear();
-    notePerf(c.label_, c.events_, c.wall_s_);
+    notePerf(c.label_, c.events_, c.wall_s_, c.packets_);
 }
 
 void
@@ -207,7 +214,9 @@ FigReport::writePerfSidecar(const std::string &path) const
     w.kv("schema", "sriov-bench-perf/v1");
     w.kv("bench", opts_.bench());
     w.kv("jobs", std::uint64_t(opts_.jobs()));
+    w.kv("thin", !opts_.noThin());
     std::uint64_t total_events = 0;
+    std::uint64_t total_packets = 0;
     double total_wall = 0;
     w.key("cases").beginArray();
     for (std::size_t i = 0; i < perf_.size(); ++i) {
@@ -220,8 +229,14 @@ FigReport::writePerfSidecar(const std::string &path) const
         w.kv("host_wall_s", p.wall_s);
         w.kv("events_per_sec",
              p.wall_s > 0 ? double(p.events) / p.wall_s : 0.0);
+        if (p.packets > 0) {
+            w.kv("packets", p.packets);
+            w.kv("events_per_packet",
+                 double(p.events) / double(p.packets));
+        }
         w.endObject();
         total_events += p.events;
+        total_packets += p.packets;
         total_wall += p.wall_s;
     }
     w.endArray();
@@ -230,6 +245,11 @@ FigReport::writePerfSidecar(const std::string &path) const
     w.kv("host_wall_s", total_wall);
     w.kv("events_per_sec",
          total_wall > 0 ? double(total_events) / total_wall : 0.0);
+    if (total_packets > 0) {
+        w.kv("packets", total_packets);
+        w.kv("events_per_packet",
+             double(total_events) / double(total_packets));
+    }
     w.endObject();
     w.endObject();
 

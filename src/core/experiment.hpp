@@ -51,6 +51,10 @@ class FigCase
     /** Run @p fn, accumulating wall time and @p tb's executed events. */
     void drive(Testbed &tb, const std::function<void()> &fn);
 
+    /** Count simulated packets handled by the drive (the perf sidecar
+     *  reports events-per-packet, the thinning figure of merit). */
+    void addPackets(std::uint64_t n) { packets_ += n; }
+
   private:
     friend class FigReport;
 
@@ -65,6 +69,7 @@ class FigCase
     std::vector<Snap> snaps_;
     std::vector<std::pair<std::string, double>> metrics_;
     std::uint64_t events_ = 0;
+    std::uint64_t packets_ = 0;
     double wall_s_ = 0;
 };
 
@@ -149,6 +154,10 @@ class FigReport
     void addPerf(const std::string &label, std::uint64_t events,
                  double wall_s);
 
+    /** Attribute @p n simulated packets to the most recent perf entry
+     *  (for benches using captureTrace() rather than FigCase). */
+    void notePackets(std::uint64_t n);
+
     /**
      * Write the report (and the <bench>.perf.json host-performance
      * sidecar) if requested; returns the process exit code.
@@ -160,11 +169,12 @@ class FigReport
     {
         std::string label;
         std::uint64_t events = 0;
+        std::uint64_t packets = 0;
         double wall_s = 0;
     };
 
     void notePerf(const std::string &label, std::uint64_t events,
-                  double wall_s);
+                  double wall_s, std::uint64_t packets = 0);
     bool writePerfSidecar(const std::string &path) const;
 
     obs::BenchOptions opts_;

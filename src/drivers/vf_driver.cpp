@@ -8,8 +8,10 @@ namespace sriov::drivers {
 VfDriver::VfDriver(guest::GuestKernel &kern, nic::NicPort &nic,
                    nic::Pool pool, Config cfg)
     : kern_(kern), nic_(nic), pool_(pool), cfg_(std::move(cfg)),
-      itr_(std::make_unique<StaticItr>(2000))
+      itr_(std::make_unique<StaticItr>(2000)),
+      sample_timer_(kern.hv().eq(), "driver.itr_sample")
 {
+    sample_timer_.setCallback([this]() { onItrSample(); });
 }
 
 VfDriver::~VfDriver()
@@ -55,8 +57,7 @@ VfDriver::init()
     installPfEventHandler();
     nic_.setItr(pool_, itr_->updateHz(0, 0));
     up_ = true;
-    ++epoch_;
-    sampleItr();
+    sample_timer_.armIn(cfg_.sample_period);
 }
 
 void
@@ -111,7 +112,7 @@ VfDriver::shutdown()
     if (!up_)
         return;
     up_ = false;
-    ++epoch_;    // kills the in-flight sampler
+    sample_timer_.disarm();
     pci::PciFunction &fn = nic_.functionOf(pool_);
     kern_.detachDeviceIrq(fn);
     unregisterMac();
@@ -189,24 +190,20 @@ VfDriver::irqBottom()
 }
 
 void
-VfDriver::sampleItr()
+VfDriver::onItrSample()
 {
-    std::uint64_t epoch = epoch_;
-    kern_.hv().eq().scheduleIn(cfg_.sample_period, [this, epoch]() {
-        if (!up_ || epoch != epoch_)
-            return;
-        double secs = cfg_.sample_period.toSeconds();
-        double hz = itr_->updateHz(period_pkts_ / secs,
-                                   period_bits_ / secs);
-        SRIOV_TRACE(sim::TraceCat::Driver,
-                    "%s: %s retune to %.0f Hz (%.0f pps)",
-                    cfg_.name.c_str(), itr_->name().c_str(), hz,
-                    period_pkts_ / secs);
-        nic_.setItr(pool_, hz);
-        period_pkts_ = 0;
-        period_bits_ = 0;
-        sampleItr();
-    });
+    if (!up_)
+        return;
+    double secs = cfg_.sample_period.toSeconds();
+    double hz = itr_->updateHz(period_pkts_ / secs, period_bits_ / secs);
+    SRIOV_TRACE(sim::TraceCat::Driver,
+                "%s: %s retune to %.0f Hz (%.0f pps)",
+                cfg_.name.c_str(), itr_->name().c_str(), hz,
+                period_pkts_ / secs);
+    nic_.setItr(pool_, hz);
+    period_pkts_ = 0;
+    period_bits_ = 0;
+    sample_timer_.armIn(cfg_.sample_period);
 }
 
 } // namespace sriov::drivers

@@ -24,6 +24,7 @@
 #include "drivers/itr_policy.hpp"
 #include "guest/net_stack.hpp"
 #include "nic/sriov_nic.hpp"
+#include "sim/deferred_timer.hpp"
 
 namespace sriov::drivers {
 
@@ -90,7 +91,7 @@ class VfDriver : public guest::NetDevice,
   private:
     void registerMac();
     void unregisterMac();
-    void sampleItr();
+    void onItrSample();
     void installPfEventHandler();
     void handlePfEvent(const nic::MboxMessage &msg);
 
@@ -101,7 +102,9 @@ class VfDriver : public guest::NetDevice,
     std::unique_ptr<ItrPolicy> itr_;
     bool up_ = false;
     bool phys_link_ = true;
-    std::uint64_t epoch_ = 0;    ///< invalidates stale sampler events
+    /** Periodic ITR retune; disarmed across shutdown()/init() cycles
+     *  (replaces the old epoch-guarded self-rescheduling event). */
+    sim::DeferredTimer sample_timer_;
     sim::Counter pf_events_;
     std::vector<nic::RxCompletion> pending_;
     std::vector<nic::Packet> up_batch_;    ///< reused across interrupts

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/log.hpp"
+#include "sim/thinning.hpp"
 
 namespace sriov::guest {
 
@@ -14,6 +15,16 @@ UdpStreamSender::UdpStreamSender(sim::EventQueue &eq, NetStack &stack,
 {
     if (offered_bps <= 0)
         sim::fatal("UdpStreamSender: non-positive offered load");
+    recomputeGap();
+}
+
+void
+UdpStreamSender::recomputeGap()
+{
+    nic::Packet probe;
+    probe.bytes = nic::frame::udpFrame(payload_);
+    double wire_bits = double(probe.wireBytes()) * 8.0;
+    gap_ = sim::Time::transfer(wire_bits, offered_bps_);
 }
 
 void
@@ -39,12 +50,7 @@ UdpStreamSender::emit()
     stack_.sendUdp(dst_, payload_, flow_);
     sent_bytes_ += payload_;
     sent_packets_.inc();
-
-    nic::Packet probe;
-    probe.bytes = nic::frame::udpFrame(payload_);
-    double wire_bits = double(probe.wireBytes()) * 8.0;
-    eq_.scheduleIn(sim::Time::transfer(wire_bits, offered_bps_),
-                   [this]() { emit(); });
+    eq_.scheduleIn(gap_, [this]() { emit(); }, "netperf.emit");
 }
 
 TcpStreamSender::TcpStreamSender(sim::EventQueue &eq, NetStack &stack,
@@ -52,9 +58,11 @@ TcpStreamSender::TcpStreamSender(sim::EventQueue &eq, NetStack &stack,
                                  std::uint32_t window_bytes,
                                  std::uint32_t payload, std::uint32_t flow)
     : eq_(eq), stack_(stack), dst_(dst), window_(window_bytes),
-      payload_(payload), flow_(flow)
+      payload_(payload), flow_(flow), thin_(sim::thinningEnabled()),
+      rto_timer_(eq, "netperf.rto")
 {
     stack_.setAckListener([this](std::uint64_t cum) { onAck(cum); });
+    rto_timer_.setCallback([this]() { onRto(); });
 }
 
 void
@@ -63,6 +71,7 @@ TcpStreamSender::start()
     if (running_)
         return;
     running_ = true;
+    rto_origin_ = eq_.now();
     pump();
     armRto();
 }
@@ -71,6 +80,60 @@ void
 TcpStreamSender::stop()
 {
     running_ = false;
+    rto_timer_.disarm();
+}
+
+/** First grid point origin + k*kRto strictly after now. */
+sim::Time
+TcpStreamSender::nextRtoDeadline() const
+{
+    std::int64_t elapsed = (eq_.now() - rto_origin_).picos();
+    std::int64_t period = kRto.picos();
+    std::int64_t k = elapsed / period + 1;
+    return rto_origin_ + kRto * k;
+}
+
+void
+TcpStreamSender::armRto()
+{
+    if (!running_)
+        return;
+    if (thin_) {
+        // Deadline-deferred: the timer only runs while data is
+        // outstanding. Skipped grid points are no-ops in the exact
+        // model too — with nothing in flight no ACK can arrive, so
+        // acked_ (and hence acked_at_last_rto_) cannot change.
+        if (next_seq_ > acked_ && !rto_timer_.armed()) {
+            acked_at_last_rto_ = acked_;
+            rto_timer_.armAt(nextRtoDeadline());
+        }
+        return;
+    }
+    eq_.scheduleIn(kRto, [this]() {
+        if (!running_)
+            return;
+        onRto();
+        armRto();
+    }, "netperf.rto");
+}
+
+void
+TcpStreamSender::onRto()
+{
+    bool outstanding = next_seq_ > acked_;
+    bool stalled = acked_ == acked_at_last_rto_;
+    if (outstanding && stalled) {
+        // Go-back-N: rewind to the last acknowledged byte. The
+        // rewound bytes will be re-sent, so their pending RTT
+        // samples are ambiguous (Karn) — drop them.
+        retx_.inc();
+        next_seq_ = acked_;
+        sent_times_.clear();
+        pump();
+    }
+    acked_at_last_rto_ = acked_;
+    if (thin_ && running_ && next_seq_ > acked_)
+        rto_timer_.armAt(nextRtoDeadline());
 }
 
 void
@@ -93,6 +156,8 @@ TcpStreamSender::pump()
             sent_times_.emplace_back(next_seq_, eq_.now());
         }
     }
+    if (thin_)
+        armRto();    // re-arm after going idle (no-op when armed)
 }
 
 void
@@ -109,33 +174,9 @@ TcpStreamSender::onAck(std::uint64_t cum)
     pump();
 }
 
-void
-TcpStreamSender::armRto()
-{
-    if (!running_)
-        return;
-    eq_.scheduleIn(kRto, [this]() {
-        if (!running_)
-            return;
-        bool outstanding = next_seq_ > acked_;
-        bool stalled = acked_ == acked_at_last_rto_;
-        if (outstanding && stalled) {
-            // Go-back-N: rewind to the last acknowledged byte. The
-            // rewound bytes will be re-sent, so their pending RTT
-            // samples are ambiguous (Karn) — drop them.
-            retx_.inc();
-            next_seq_ = acked_;
-            sent_times_.clear();
-            pump();
-        }
-        acked_at_last_rto_ = acked_;
-        armRto();
-    });
-}
-
 StreamReceiver::StreamReceiver(sim::EventQueue &eq, NetStack &stack,
                                Proto proto)
-    : eq_(eq), proto_(proto)
+    : eq_(eq), proto_(proto), sample_timer_(eq, "netperf.sample")
 {
     auto fn = [this](std::uint64_t bytes, std::size_t pkts) {
         onBytes(bytes, pkts);
@@ -144,6 +185,10 @@ StreamReceiver::StreamReceiver(sim::EventQueue &eq, NetStack &stack,
         stack.setUdpReceiver(fn);
     else
         stack.setTcpReceiver(fn);
+    sample_timer_.setCallback([this]() {
+        timeline_.record(eq_.now(), sample_window_.take(eq_.now()));
+        sample_timer_.armIn(sample_dt_);
+    });
 }
 
 void
@@ -164,14 +209,9 @@ StreamReceiver::takeThroughputBps()
 void
 StreamReceiver::sampleEvery(sim::Time dt)
 {
-    sampling_ = true;
+    sample_dt_ = dt;
     sample_window_.take(eq_.now());
-    eq_.scheduleIn(dt, [this, dt]() {
-        if (!sampling_)
-            return;
-        timeline_.record(eq_.now(), sample_window_.take(eq_.now()));
-        sampleEvery(dt);
-    });
+    sample_timer_.armIn(dt);
 }
 
 } // namespace sriov::guest

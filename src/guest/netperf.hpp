@@ -11,6 +11,7 @@
 
 #include "guest/net_stack.hpp"
 #include "obs/histogram.hpp"
+#include "sim/deferred_timer.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/ring_buf.hpp"
 #include "sim/stats.hpp"
@@ -35,13 +36,18 @@ class UdpStreamSender
 
     void start();
     void stop();
-    void setOfferedBps(double bps) { offered_bps_ = bps; }
+    void setOfferedBps(double bps)
+    {
+        offered_bps_ = bps;
+        recomputeGap();
+    }
 
     std::uint64_t sentBytes() const { return sent_bytes_; }
     std::uint64_t sentPackets() const { return sent_packets_.value(); }
 
   private:
     void emit();
+    void recomputeGap();
 
     sim::EventQueue &eq_;
     NetStack &stack_;
@@ -49,6 +55,7 @@ class UdpStreamSender
     double offered_bps_;
     std::uint32_t payload_;
     std::uint32_t flow_;
+    sim::Time gap_;    ///< inter-datagram spacing at the offered load
     bool running_ = false;
     std::uint64_t sent_bytes_ = 0;
     sim::Counter sent_packets_;
@@ -94,6 +101,8 @@ class TcpStreamSender
     void pump();
     void onAck(std::uint64_t cum);
     void armRto();
+    void onRto();
+    sim::Time nextRtoDeadline() const;
 
     sim::EventQueue &eq_;
     NetStack &stack_;
@@ -102,9 +111,12 @@ class TcpStreamSender
     std::uint32_t payload_;
     std::uint32_t flow_;
     bool running_ = false;
+    bool thin_;    ///< deadline-deferred RTO vs per-period event
     std::uint64_t next_seq_ = 0;
     std::uint64_t acked_ = 0;
     std::uint64_t acked_at_last_rto_ = 0;
+    sim::Time rto_origin_;    ///< start(); RTO checks sit on its grid
+    sim::DeferredTimer rto_timer_;
     sim::Counter retx_;
     obs::Histogram *rtt_tap_ = nullptr;
     sim::RingBuf<std::pair<std::uint64_t, sim::Time>> sent_times_;
@@ -126,7 +138,7 @@ class StreamReceiver
 
     /** Record a (time, bps) sample every @p dt into timeline(). */
     void sampleEvery(sim::Time dt);
-    void stopSampling() { sampling_ = false; }
+    void stopSampling() { sample_timer_.disarm(); }
     const sim::Series &timeline() const { return timeline_; }
 
   private:
@@ -139,7 +151,8 @@ class StreamReceiver
     sim::RateWindow window_;
     sim::RateWindow sample_window_;
     sim::Series timeline_;
-    bool sampling_ = false;
+    sim::Time sample_dt_;
+    sim::DeferredTimer sample_timer_;
 };
 
 } // namespace sriov::guest

@@ -1,5 +1,7 @@
 #include "intr/lapic.hpp"
 
+#include <bit>
+
 namespace sriov::intr {
 
 namespace {
@@ -11,37 +13,44 @@ prioClass(Vector v)
 }
 } // namespace
 
+int
+Lapic::highestBit(const Reg &r)
+{
+    for (int i = 3; i >= 0; --i) {
+        if (r[i])
+            return i * 64 + 63 - std::countl_zero(r[i]);
+    }
+    return -1;
+}
+
 void
 Lapic::accept(Vector v)
 {
     accepted_.inc();
-    irr_[v] = true;
+    setBit(irr_, v);
     tryDispatch();
 }
 
 std::optional<Vector>
 Lapic::highestInService() const
 {
-    for (int v = 255; v >= 0; --v) {
-        if (isr_[std::size_t(v)])
-            return Vector(v);
-    }
-    return std::nullopt;
+    int v = highestBit(isr_);
+    if (v < 0)
+        return std::nullopt;
+    return Vector(v);
 }
 
 std::optional<Vector>
 Lapic::nextDeliverable() const
 {
+    int v = highestBit(irr_);
+    if (v < 0)
+        return std::nullopt;
     int in_service_class = -1;
-    if (auto h = highestInService())
-        in_service_class = prioClass(*h);
-    for (int v = 255; v >= 0; --v) {
-        if (irr_[std::size_t(v)]) {
-            if (prioClass(Vector(v)) > in_service_class)
-                return Vector(v);
-            return std::nullopt;
-        }
-    }
+    if (int h = highestBit(isr_); h >= 0)
+        in_service_class = prioClass(Vector(h));
+    if (prioClass(Vector(v)) > in_service_class)
+        return Vector(v);
     return std::nullopt;
 }
 
@@ -51,8 +60,8 @@ Lapic::tryDispatch()
     auto v = nextDeliverable();
     if (!v)
         return;
-    irr_[*v] = false;
-    isr_[*v] = true;
+    clearBit(irr_, *v);
+    setBit(isr_, *v);
     delivered_.inc();
     if (deliver_)
         deliver_(*v);
@@ -63,7 +72,7 @@ Lapic::eoi()
 {
     eois_.inc();
     if (auto h = highestInService())
-        isr_[*h] = false;
+        clearBit(isr_, *h);
     else
         spurious_eois_.inc();
     tryDispatch();

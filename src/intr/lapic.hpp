@@ -13,7 +13,7 @@
 #ifndef SRIOV_INTR_LAPIC_HPP
 #define SRIOV_INTR_LAPIC_HPP
 
-#include <bitset>
+#include <cstdint>
 #include <functional>
 #include <optional>
 
@@ -47,8 +47,8 @@ class Lapic
      */
     void eoi();
 
-    bool inService(Vector v) const { return isr_[v]; }
-    bool pending(Vector v) const { return irr_[v]; }
+    bool inService(Vector v) const { return testBit(isr_, v); }
+    bool pending(Vector v) const { return testBit(irr_, v); }
     std::optional<Vector> highestInService() const;
 
     const sim::Counter &accepted() const { return accepted_; }
@@ -58,10 +58,26 @@ class Lapic
     std::uint64_t spuriousEois() const { return spurious_eois_.value(); }
 
   private:
+    /** 256-entry register as four words, so the priority scans are a
+     *  word test + count-leading-zeros instead of 256 bit probes. */
+    using Reg = std::uint64_t[4];
+
+    static bool testBit(const Reg &r, Vector v)
+    {
+        return (r[v >> 6] >> (v & 63)) & 1u;
+    }
+    static void setBit(Reg &r, Vector v) { r[v >> 6] |= 1ull << (v & 63); }
+    static void clearBit(Reg &r, Vector v)
+    {
+        r[v >> 6] &= ~(1ull << (v & 63));
+    }
+    /** Index of the highest set bit, or -1 when empty. */
+    static int highestBit(const Reg &r);
+
     void tryDispatch();
 
-    std::bitset<256> irr_;
-    std::bitset<256> isr_;
+    Reg irr_ = {};
+    Reg isr_ = {};
     DeliverFn deliver_;
     sim::Counter accepted_;
     sim::Counter delivered_;

@@ -1,13 +1,16 @@
 #include "mem/dma_engine.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/log.hpp"
+#include "sim/thinning.hpp"
 
 namespace sriov::mem {
 
 DmaEngine::DmaEngine(sim::EventQueue &eq, std::string name, Params p)
-    : eq_(eq), name_(std::move(name)), params_(p)
+    : eq_(eq), name_(std::move(name)), params_(p),
+      thin_(sim::thinningEnabled())
 {
     if (params_.link_bps <= 0)
         sim::fatal("DmaEngine %s: bad link rate", name_.c_str());
@@ -25,12 +28,51 @@ DmaEngine::serviceTime(std::uint64_t bytes) const
         + sim::Time::transfer(double(bytes) * 8.0, params_.link_bps);
 }
 
+sim::Time
+DmaEngine::reserve(std::uint64_t bytes)
+{
+    if (!thin_)
+        sim::panic("DmaEngine %s: reserve() in exact mode", name_.c_str());
+    sim::Time start = std::max(free_at_, eq_.now());
+    sim::Time t = serviceTime(bytes);
+    // Same accounting the exact path does at service start; these
+    // totals are only read at quiescence, where both modes agree.
+    busy_ += t;
+    bytes_moved_.inc(bytes);
+    transfers_.inc();
+    // Settle the started prefix here too, not just in queueDepth():
+    // an RX-only workload never asks for the depth, and the ring must
+    // stay bounded by the in-flight high-water mark, not grow by one
+    // entry per transfer forever.
+    while (!starts_.empty() && starts_.front() <= eq_.now())
+        starts_.pop_front();
+    starts_.push_back(start);
+    free_at_ = start + t;
+    return free_at_;
+}
+
 void
 DmaEngine::transfer(std::uint64_t bytes, sim::InplaceFn on_done)
 {
+    if (thin_) {
+        sim::Time done_at = reserve(bytes);
+        eq_.scheduleAt(done_at, std::move(on_done), "dma.done");
+        return;
+    }
     queue_.push_back(Xfer{bytes, std::move(on_done)});
     if (!in_service_)
         startNext();
+}
+
+std::size_t
+DmaEngine::queueDepth() const
+{
+    if (!thin_)
+        return queue_.size();
+    // Transfers whose service has not begun; settle the started prefix.
+    while (!starts_.empty() && starts_.front() <= eq_.now())
+        starts_.pop_front();
+    return starts_.size();
 }
 
 void
@@ -48,7 +90,7 @@ DmaEngine::startNext()
     bytes_moved_.inc(x.bytes);
     transfers_.inc();
     current_done_ = std::move(x.on_done);
-    eq_.scheduleIn(t, [this]() { finishCurrent(); });
+    eq_.scheduleIn(t, [this]() { finishCurrent(); }, "dma.done");
 }
 
 void

@@ -7,6 +7,15 @@
  * at the link's effective data rate. Inter-VM traffic on an SR-IOV
  * port crosses the link twice (memory → NIC FIFO → memory), which is
  * what caps it near 2.8 Gb/s in paper Section 6.3.
+ *
+ * Thin mode (default, see sim/thinning.hpp): the FIFO is strict and
+ * service times are deterministic, so each transfer's completion
+ * instant is known at submit time — the completion callback is
+ * scheduled directly at that instant (one event per transfer, no
+ * start/finish bookkeeping events), and reserve() exposes the instant
+ * to callers that can settle their own accounting analytically and
+ * need no completion event at all. Exact mode (--no-thin) keeps the
+ * reference one-transfer-in-service implementation.
  */
 
 #ifndef SRIOV_MEM_DMA_ENGINE_HPP
@@ -48,13 +57,25 @@ class DmaEngine
      */
     void transfer(std::uint64_t bytes, sim::InplaceFn on_done);
 
+    /**
+     * Thin-mode only: account a transfer of @p bytes and return its
+     * completion instant without scheduling any event. The caller owns
+     * making every externally visible effect appear at the returned
+     * time (ledgers settled on read, timed hand-over to the wire).
+     */
+    sim::Time reserve(std::uint64_t bytes);
+
+    /** Is the analytic path active (reserve() usable)? */
+    bool thin() const { return thin_; }
+
     /** Time one transfer of @p bytes takes in isolation. */
     sim::Time serviceTime(std::uint64_t bytes) const;
 
     std::uint64_t bytesMoved() const { return bytes_moved_.value(); }
     std::uint64_t transfers() const { return transfers_.value(); }
     sim::Time busyTime() const { return busy_; }
-    std::size_t queueDepth() const { return queue_.size(); }
+    /** Transfers waiting behind the one in service. */
+    std::size_t queueDepth() const;
 
   private:
     struct Xfer
@@ -69,6 +90,7 @@ class DmaEngine
     sim::EventQueue &eq_;
     std::string name_;
     Params params_;
+    bool thin_;
     sim::RingBuf<Xfer> queue_;
     /**
      * Completion of the transfer in service. Kept as a member so the
@@ -78,6 +100,14 @@ class DmaEngine
      */
     sim::InplaceFn current_done_;
     bool in_service_ = false;
+    /** Thin mode: when the link frees up after all accepted work. */
+    sim::Time free_at_;
+    /**
+     * Thin mode: start instants of accepted transfers, pending until
+     * their start passes — queueDepth() counts the un-started suffix
+     * and lazily pops the settled prefix (hence mutable).
+     */
+    mutable sim::RingBuf<sim::Time> starts_;
     sim::Time busy_;
     sim::Counter bytes_moved_;
     sim::Counter transfers_;

@@ -1,6 +1,7 @@
 #include "nic/sriov_nic.hpp"
 
 #include "sim/log.hpp"
+#include "sim/thinning.hpp"
 #include "sim/trace.hpp"
 
 namespace sriov::nic {
@@ -8,7 +9,7 @@ namespace sriov::nic {
 NicPort::NicPort(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf,
                  Params p, unsigned num_pools)
     : eq_(eq), name_(std::move(name)), params_(p),
-      dma_(eq, name_ + ".dma", p.dma)
+      thin_(sim::thinningEnabled()), dma_(eq, name_ + ".dma", p.dma)
 {
     auto pf = std::make_unique<pci::PciFunction>(
         pf_bdf, p.vendor_id, p.pf_device_id, 0x020000,
@@ -24,8 +25,12 @@ NicPort::~NicPort() = default;
 void
 NicPort::resizePools(unsigned n)
 {
-    while (pools_.size() < n)
-        pools_.push_back(std::make_unique<PoolState>(params_.rx_ring_size));
+    while (pools_.size() < n) {
+        Pool idx = Pool(pools_.size());
+        auto ps = std::make_unique<PoolState>(eq_, params_.rx_ring_size);
+        ps->itr_timer.setCallback([this, idx]() { itrExpired(idx); });
+        pools_.push_back(std::move(ps));
+    }
     while (pools_.size() > n)
         pools_.pop_back();
     for (auto &ps : pools_) {
@@ -70,8 +75,11 @@ NicPort::drainRxInto(Pool pool, std::vector<RxCompletion> &out)
     PoolState &ps = poolState(pool);
     out.clear();
     out.reserve(ps.completed.size());
-    while (!ps.completed.empty()) {
-        out.push_back(ps.completed.front());
+    // `completed` is sorted by readiness; thin mode may hold frames
+    // whose DMA has not finished yet — they stay behind.
+    while (!ps.completed.empty()
+           && ps.completed.front().ready <= eq_.now()) {
+        out.push_back(std::move(ps.completed.front().rc));
         ps.completed.pop_front();
     }
 }
@@ -79,7 +87,17 @@ NicPort::drainRxInto(Pool pool, std::vector<RxCompletion> &out)
 std::size_t
 NicPort::rxPending(Pool pool) const
 {
-    return poolState(pool).completed.size();
+    const PoolState &ps = poolState(pool);
+    sim::Time now = eq_.now();
+    std::size_t lo = 0, hi = ps.completed.size();
+    while (lo < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (ps.completed[mid].ready > now)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
 }
 
 void
@@ -102,10 +120,32 @@ NicPort::setPoolFilter(Pool pool, MacAddr mac, std::uint16_t vlan)
     l2_.setFilter(mac, vlan, pool);
 }
 
+void
+NicPort::settleStats(PoolState &ps) const
+{
+    sim::Time now = eq_.now();
+    while (!ps.rx_ledger.empty() && ps.rx_ledger.front().at <= now) {
+        ps.stats.rx_frames.inc();
+        ps.stats.rx_bytes.inc(ps.rx_ledger.front().bytes);
+        ps.rx_ledger.pop_front();
+    }
+    while (!ps.tx_ledger.empty() && ps.tx_ledger.front().at <= now) {
+        ps.stats.tx_frames.inc();
+        ps.stats.tx_bytes.inc(ps.tx_ledger.front().bytes);
+        ps.tx_ledger.pop_front();
+    }
+}
+
 const NicPort::PoolStats &
 NicPort::poolStats(Pool pool) const
 {
-    return poolState(pool).stats;
+    if (pool >= pools_.size())
+        sim::panic("%s: pool %u out of range", name_.c_str(), pool);
+    // unique_ptr does not propagate constness: settle the ledgers so
+    // a mid-run reader sees each frame's stats at its exact DMA time.
+    PoolState &ps = *pools_[pool];
+    settleStats(ps);
+    return ps.stats;
 }
 
 void
@@ -147,19 +187,69 @@ NicPort::deliverToPool(Pool pool, const Packet &pkt)
             return;
         }
     }
+    if (thin_) {
+        settleStats(ps);    // keeps the ledger ring short and hot
+        sim::Time c = dma_.reserve(pkt.bytes);
+        // Early completion: when the frame completes strictly inside
+        // the current ITR window, the exact model would only set
+        // intr_pending at c — every visible effect is reproducible
+        // without an event (stats ledgered at c, frame queued with
+        // ready=c, window expiry woken by the deferred timer). The
+        // strict `<` matters: no drain can run at c, so queueing the
+        // frame ahead of time is unobservable. The real_inflight gate
+        // keeps `completed` ready-sorted across the two push paths.
+        if (c < ps.armed_until && ps.real_inflight == 0) {
+            ps.completed.push_back(PendingRx{RxCompletion{pkt, gpa}, c});
+            ps.rx_ledger.push_back(StatDelta{c, pkt.bytes});
+            ps.intr_pending = true;
+            ps.itr_timer.armAt(ps.armed_until);
+            return;
+        }
+        ++ps.real_inflight;
+        eq_.scheduleAt(c, [this, pool, pkt, gpa]() {
+            finishRx(pool, pkt, gpa);
+        }, "dma.done");
+        return;
+    }
     dma_.transfer(pkt.bytes, [this, pool, pkt, gpa]() {
-        PoolState &p = poolState(pool);
-        p.completed.push_back(RxCompletion{pkt, gpa});
-        p.stats.rx_frames.inc();
-        p.stats.rx_bytes.inc(pkt.bytes);
-        requestInterrupt(pool);
+        finishRx(pool, pkt, gpa);
     });
+}
+
+void
+NicPort::finishRx(Pool pool, const Packet &pkt, mem::Addr gpa)
+{
+    PoolState &p = poolState(pool);
+    if (p.real_inflight > 0)
+        --p.real_inflight;
+    p.completed.push_back(PendingRx{RxCompletion{pkt, gpa}, eq_.now()});
+    p.stats.rx_frames.inc();
+    p.stats.rx_bytes.inc(pkt.bytes);
+    requestInterrupt(pool);
 }
 
 void
 NicPort::requestInterrupt(Pool pool)
 {
     PoolState &ps = poolState(pool);
+    if (thin_) {
+        if (eq_.now() < ps.armed_until) {
+            ps.intr_pending = true;
+            ps.itr_timer.armAt(ps.armed_until);
+            return;
+        }
+        ps.stats.interrupts.inc();
+        SRIOV_TRACE(sim::TraceCat::Irq, "%s pool %u: raise (itr %.0f Hz)",
+                    name_.c_str(), pool, ps.itr_hz);
+        signalPool(pool);
+        if (ps.itr_hz > 0) {
+            // Lazy throttle window: no expiry event unless a deferred
+            // raise actually needs one (itr_timer armed on demand).
+            ps.armed_until =
+                eq_.now() + sim::Time::seconds(1.0 / ps.itr_hz);
+        }
+        return;
+    }
     if (ps.throttle_armed) {
         ps.intr_pending = true;
         return;
@@ -181,7 +271,17 @@ NicPort::requestInterrupt(Pool pool)
             p.intr_pending = false;
             requestInterrupt(pool);
         }
-    });
+    }, "nic.itr");
+}
+
+void
+NicPort::itrExpired(Pool pool)
+{
+    PoolState &ps = poolState(pool);
+    if (ps.intr_pending) {
+        ps.intr_pending = false;
+        requestInterrupt(pool);
+    }
 }
 
 void
@@ -199,21 +299,45 @@ NicPort::transmit(Pool pool, const Packet &pkt)
         ps.stats.tx_dropped.inc();
         return;
     }
-    // Fetch the frame from memory across the PCIe link, then route.
-    dma_.transfer(pkt.bytes, [this, pool, pkt]() {
-        PoolState &p = poolState(pool);
-        p.stats.tx_frames.inc();
-        p.stats.tx_bytes.inc(pkt.bytes);
+    if (thin_) {
+        // Flow-through: a wire-bound frame needs no completion event —
+        // TX stats are ledgered at the DMA-done instant c and the wire
+        // takes the frame with release=c. Classification moves from c
+        // to now, a window in which filter reprogramming is assumed
+        // quiescent (control-plane changes during line-rate TX);
+        // local/unmatched frames keep the exact-time completion event.
         auto local = l2_.classify(pkt);
-        if (local) {
-            // Internal switch: loop back through a second DMA crossing.
-            deliverToPool(*local, pkt);
-        } else if (wire_) {
-            wire_->send(*this, pkt);
-        } else {
-            drop_no_match_.inc();
+        if (!local && wire_ != nullptr) {
+            settleStats(ps);    // keeps the ledger ring short and hot
+            sim::Time c = dma_.reserve(pkt.bytes);
+            ps.tx_ledger.push_back(StatDelta{c, pkt.bytes});
+            wire_->sendAt(*this, pkt, c);
+            return;
         }
-    });
+        sim::Time c = dma_.reserve(pkt.bytes);
+        eq_.scheduleAt(c, [this, pool, pkt]() { finishTx(pool, pkt); },
+                       "dma.done");
+        return;
+    }
+    // Fetch the frame from memory across the PCIe link, then route.
+    dma_.transfer(pkt.bytes, [this, pool, pkt]() { finishTx(pool, pkt); });
+}
+
+void
+NicPort::finishTx(Pool pool, const Packet &pkt)
+{
+    PoolState &p = poolState(pool);
+    p.stats.tx_frames.inc();
+    p.stats.tx_bytes.inc(pkt.bytes);
+    auto local = l2_.classify(pkt);
+    if (local) {
+        // Internal switch: loop back through a second DMA crossing.
+        deliverToPool(*local, pkt);
+    } else if (wire_) {
+        wire_->send(*this, pkt);
+    } else {
+        drop_no_match_.inc();
+    }
 }
 
 SriovNic::SriovNic(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf,

@@ -40,6 +40,7 @@
 #include "nic/wire.hpp"
 #include "pci/device.hpp"
 #include "pci/function.hpp"
+#include "sim/deferred_timer.hpp"
 #include "sim/ring_buf.hpp"
 
 namespace sriov::nic {
@@ -126,17 +127,47 @@ class NicPort : public WireEndpoint, public pci::PciDevice
     std::uint64_t rxDropNoMatch() const { return drop_no_match_.value(); }
 
   protected:
+    /** A DMA-completed frame; `ready` is its completion instant (thin
+     *  mode queues some entries ahead of time; drains filter on it). */
+    struct PendingRx
+    {
+        RxCompletion rc;
+        sim::Time ready;
+    };
+
+    /** One frame's stat increment, visible once `at` passes (thin
+     *  mode settles these into PoolStats on read). */
+    struct StatDelta
+    {
+        sim::Time at;
+        std::uint32_t bytes = 0;
+    };
+
     struct PoolState
     {
         DescRing ring;
-        sim::RingBuf<RxCompletion> completed;
+        sim::RingBuf<PendingRx> completed;
         double itr_hz = 0.0;
-        bool throttle_armed = false;
+        bool throttle_armed = false;    ///< exact mode: window event out
         bool intr_pending = false;
+        /** Thin mode: ITR window end; raises before it are deferred. */
+        sim::Time armed_until;
+        /** Thin mode: fires at armed_until when a raise is pending. */
+        sim::DeferredTimer itr_timer;
+        /** Thin mode: RX completion events in flight — while nonzero,
+         *  early completion is off so `completed` stays ready-sorted
+         *  and same-instant drains see exactly what exact mode sees. */
+        unsigned real_inflight = 0;
+        /** Thin mode: not-yet-visible per-frame stat increments. */
+        sim::RingBuf<StatDelta> rx_ledger;
+        sim::RingBuf<StatDelta> tx_ledger;
         PoolStats stats;
         bool enabled = true;
 
-        explicit PoolState(std::size_t ring_size) : ring(ring_size) {}
+        PoolState(sim::EventQueue &eq, std::size_t ring_size)
+            : ring(ring_size), itr_timer(eq, "nic.itr")
+        {
+        }
     };
 
     /** Function whose RID/bus-mastering governs DMA for @p pool. */
@@ -151,10 +182,19 @@ class NicPort : public WireEndpoint, public pci::PciDevice
     /** Deliver a classified frame into a pool (ring + IOMMU + DMA). */
     void deliverToPool(Pool pool, const Packet &pkt);
     void requestInterrupt(Pool pool);
+    /** RX DMA completed for @p pool: queue the frame, raise. */
+    void finishRx(Pool pool, const Packet &pkt, mem::Addr gpa);
+    /** TX DMA completed for @p pool: account, classify, route. */
+    void finishTx(Pool pool, const Packet &pkt);
+    /** Thin mode: the pool's ITR window expired. */
+    void itrExpired(Pool pool);
+    /** Thin mode: fold matured ledger entries into the stats. */
+    void settleStats(PoolState &ps) const;
 
     sim::EventQueue &eq_;
     std::string name_;
     Params params_;
+    bool thin_;
     pci::PciFunction *pf_ = nullptr;    // owned by PciDevice base
     mem::DmaEngine dma_;
     L2Switch l2_;

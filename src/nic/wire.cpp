@@ -1,10 +1,14 @@
 #include "nic/wire.hpp"
 
+#include <algorithm>
+
 #include "sim/log.hpp"
+#include "sim/thinning.hpp"
 
 namespace sriov::nic {
 
-Wire::Wire(sim::EventQueue &eq, Params p) : eq_(eq), params_(p)
+Wire::Wire(sim::EventQueue &eq, Params p)
+    : eq_(eq), params_(p), thin_(sim::thinningEnabled())
 {
     if (params_.line_bps <= 0)
         sim::fatal("wire: bad line rate");
@@ -21,18 +25,23 @@ Wire::connect(WireEndpoint &a, WireEndpoint &b)
     dirs_[1].to = &a;    // b -> a
 }
 
+unsigned
+Wire::dirOf(WireEndpoint &from) const
+{
+    if (&from == end_a_)
+        return 0;
+    if (&from == end_b_)
+        return 1;
+    sim::panic("wire: send from unconnected endpoint");
+}
+
 bool
 Wire::send(WireEndpoint &from, const Packet &pkt)
 {
-    unsigned dir;
-    if (&from == end_a_) {
-        dir = 0;
-    } else if (&from == end_b_) {
-        dir = 1;
-    } else {
-        sim::panic("wire: send from unconnected endpoint");
-    }
-    Direction &d = dirs_[dir];
+    if (thin_)
+        return sendAt(from, pkt, eq_.now());
+
+    Direction &d = dirs_[dirOf(from)];
     offered_.inc();
     if (d.q.size() >= kTxQueueCap) {
         dropped_.inc();
@@ -40,8 +49,92 @@ Wire::send(WireEndpoint &from, const Packet &pkt)
     }
     d.q.push_back(pkt);
     if (!d.busy)
-        startNext(dir);
+        startNext(dirOf(from));
     return true;
+}
+
+bool
+Wire::sendAt(WireEndpoint &from, const Packet &pkt, sim::Time release)
+{
+    unsigned dir = dirOf(from);
+    if (!thin_) {
+        // Exact mode has no early hand-over; callers there invoke
+        // send() at the release instant instead.
+        if (release != eq_.now())
+            sim::panic("wire: sendAt in exact mode");
+        return send(from, pkt);
+    }
+    Direction &d = dirs_[dir];
+    offered_.inc();
+
+    // TX-queue occupancy as of `release`: accepted frames whose
+    // serialization has not started by then. Starts are monotone, so
+    // the un-started suffix of the in-flight ring is found by binary
+    // search (frames already delivered/popped all started earlier).
+    std::size_t lo = 0, hi = d.fl.size();
+    while (lo < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (d.fl[mid].start > release)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    if (d.fl.size() - lo >= kTxQueueCap) {
+        dropped_.inc();
+        return false;
+    }
+
+    sim::Time start = std::max(d.line_free_at, release);
+    sim::Time ser =
+        sim::Time::transfer(double(pkt.wireBytes()) * 8.0, params_.line_bps);
+    d.line_free_at = start + ser;
+    d.fl.push_back(InFlight{pkt, start, d.line_free_at
+                                            + params_.propagation});
+    if (!d.drain_armed) {
+        d.drain_armed = true;
+        eq_.scheduleAt(d.fl.back().deliver_at,
+                       [this, dir]() { drain(dir); }, "wire.burst");
+    }
+    return true;
+}
+
+void
+Wire::drain(unsigned dir)
+{
+    Direction &d = dirs_[dir];
+    // Deliver everything due (deliver_at is monotone per direction);
+    // receive() may reentrantly append, which lands at the back.
+    while (!d.fl.empty() && d.fl.front().deliver_at <= eq_.now()) {
+        Packet pkt = std::move(d.fl.front().pkt);
+        d.fl.pop_front();
+        delivered_.inc();
+        d.to->receive(pkt);
+    }
+    if (!d.fl.empty()) {
+        eq_.scheduleAt(d.fl.front().deliver_at,
+                       [this, dir]() { drain(dir); }, "wire.burst");
+    } else {
+        d.drain_armed = false;
+    }
+}
+
+std::size_t
+Wire::queued(unsigned dir) const
+{
+    const Direction &d = dirs_[dir];
+    if (!thin_)
+        return d.q.size();
+    // Frames not yet begun serializing as of now.
+    sim::Time now = eq_.now();
+    std::size_t lo = 0, hi = d.fl.size();
+    while (lo < hi) {
+        std::size_t mid = (lo + hi) / 2;
+        if (d.fl[mid].start > now)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return d.fl.size() - lo;
 }
 
 void
@@ -53,14 +146,15 @@ Wire::startNext(unsigned dir)
         return;
     }
     d.busy = true;
-    Packet pkt = d.q.front();
+    Packet pkt = std::move(d.q.front());
     d.q.pop_front();
     sim::Time ser =
         sim::Time::transfer(double(pkt.wireBytes()) * 8.0, params_.line_bps);
     // The receiver sees the frame after serialization + propagation;
     // the line is free for the next frame after serialization alone.
-    eq_.scheduleIn(ser, [this, dir, pkt]() {
-        eq_.scheduleIn(params_.propagation, [this, dir, pkt]() {
+    eq_.scheduleIn(ser, [this, dir, pkt = std::move(pkt)]() mutable {
+        eq_.scheduleIn(params_.propagation,
+                       [this, dir, pkt = std::move(pkt)]() {
             delivered_.inc();
             dirs_[dir].to->receive(pkt);
         }, "wire.deliver");

@@ -6,6 +6,20 @@
  * rate (wireBytes() includes preamble + IFG, so a saturated 10 GbE
  * line yields exactly the paper's 9.57 Gb/s of UDP goodput). Endpoints
  * implement WireEndpoint::receive().
+ *
+ * Two timing implementations share the same model:
+ *
+ *  - Exact (--no-thin): one "wire.serialized" event per frame pops the
+ *    next frame off the queue, one "wire.deliver" event hands it to
+ *    the receiver — the reference FIFO server.
+ *
+ *  - Thin (default): start and delivery times are computed
+ *    analytically at send time (start_i = max(finish_{i-1}, release_i),
+ *    both monotone per direction) and a single per-direction
+ *    "wire.burst" drain event walks the in-flight ring, delivering
+ *    each frame at its exact timestamp. Per-frame accounting, the
+ *    TX-queue drop bound and delivery times are identical; only the
+ *    number of simulator events changes.
  */
 
 #ifndef SRIOV_NIC_WIRE_HPP
@@ -52,8 +66,18 @@ class Wire
      */
     bool send(WireEndpoint &from, const Packet &pkt);
 
+    /**
+     * Thin-mode form: hand the frame over now but have it reach the
+     * line at @p release >= now() (the analytically known DMA-complete
+     * time). Queueing, the drop bound and the delivery time are
+     * evaluated as of @p release, so the outcome matches an exact-mode
+     * send() issued at that instant. Successive releases per direction
+     * must be monotone (they come from one FIFO DMA engine).
+     */
+    bool sendAt(WireEndpoint &from, const Packet &pkt, sim::Time release);
+
     /** Instantaneous busy fraction proxy: queued frames, direction 0/1. */
-    std::size_t queued(unsigned dir) const { return dirs_[dir].q.size(); }
+    std::size_t queued(unsigned dir) const;
 
     std::uint64_t delivered() const { return delivered_.value(); }
     std::uint64_t dropped() const { return dropped_.value(); }
@@ -69,17 +93,33 @@ class Wire
     static constexpr std::size_t kTxQueueCap = 4096;
 
   private:
+    /** A frame accepted in thin mode, timestamped analytically. */
+    struct InFlight
+    {
+        Packet pkt;
+        sim::Time start;         ///< serialization begins
+        sim::Time deliver_at;    ///< receiver sees the frame
+    };
+
     struct Direction
     {
         WireEndpoint *to = nullptr;
+        // Exact mode: frames waiting to serialize.
         sim::RingBuf<Packet> q;
         bool busy = false;
+        // Thin mode: accepted frames not yet delivered.
+        sim::RingBuf<InFlight> fl;
+        sim::Time line_free_at;    ///< when the serializer goes idle
+        bool drain_armed = false;
     };
 
     void startNext(unsigned dir);
+    void drain(unsigned dir);
+    unsigned dirOf(WireEndpoint &from) const;
 
     sim::EventQueue &eq_;
     Params params_;
+    bool thin_;
     Direction dirs_[2];
     WireEndpoint *end_a_ = nullptr;
     WireEndpoint *end_b_ = nullptr;

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "sim/thinning.hpp"
+
 namespace sriov::obs {
 
 namespace {
@@ -104,6 +106,9 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench)
     if (const char *env = std::getenv("SRIOV_BENCH_JOBS");
         env != nullptr && *env != '\0')
         o.jobs_ = parseJobs(env);
+    if (const char *env = std::getenv("SRIOV_NO_THIN");
+        env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0)
+        o.no_thin_ = true;
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -115,6 +120,8 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench)
             o.parseTraceArg(v);
         } else if (std::strcmp(arg, "--trace") == 0) {
             o.parseTraceArg("");
+        } else if (std::strcmp(arg, "--no-thin") == 0) {
+            o.no_thin_ = true;
         } else if (std::strcmp(arg, "--help") == 0
                    || std::strcmp(arg, "-h") == 0) {
             o.help_ = true;
@@ -122,6 +129,9 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench)
             o.extra_.emplace_back(arg);
         }
     }
+    // Must happen before any testbed is built: components sample the
+    // switch at construction.
+    sim::setThinning(!o.no_thin_);
     return o;
 }
 
@@ -139,6 +149,10 @@ BenchOptions::usage(const std::string &bench)
            "                 threads; results and reports are identical\n"
            "                 to --jobs=1, just faster\n"
            "                 (env fallback: SRIOV_BENCH_JOBS)\n"
+           "  --no-thin      exact event-per-hop simulation instead of\n"
+           "                 the default burst-coalesced event thinning;\n"
+           "                 reports are byte-identical, runs slower\n"
+           "                 (env fallback: SRIOV_NO_THIN)\n"
            "  --help         this text\n";
 }
 

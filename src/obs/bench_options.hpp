@@ -58,6 +58,10 @@ class BenchOptions
     /** Host threads for embarrassingly-parallel sweep cases (>= 1). */
     unsigned jobs() const { return jobs_; }
 
+    /** --no-thin: exact event-per-hop mode (parse() applies it to the
+     *  global sim::setThinning switch before any testbed exists). */
+    bool noThin() const { return no_thin_; }
+
     /** "<out_dir>/<bench>.perf.json" (empty when reporting is off). */
     std::string perfPath() const;
 
@@ -76,6 +80,7 @@ class BenchOptions
     std::string trace_path_;
     std::vector<sim::TraceCat> cats_;
     unsigned jobs_ = 1;
+    bool no_thin_ = false;
     bool trace_requested_ = false;
     bool all_cats_ = false;
     bool help_ = false;

@@ -64,7 +64,7 @@ CpuServer::startNext()
     busy_ += service;
     tagCycles(current_.tag) += current_.cycles;
     current_.start = eq_.now();
-    eq_.scheduleIn(service, [this]() { finishCurrent(); });
+    eq_.scheduleIn(service, [this]() { finishCurrent(); }, "cpu.done");
 }
 
 void

@@ -1,0 +1,58 @@
+#include "sim/deferred_timer.hpp"
+
+#include "sim/log.hpp"
+
+namespace sriov::sim {
+
+void
+DeferredTimer::armAt(Time deadline)
+{
+    if (deadline < eq_.now())
+        panic("DeferredTimer(%s): deadline in the past", tag_);
+    armed_ = true;
+    deadline_ = deadline;
+    if (has_event_) {
+        if (deadline >= event_when_)
+            return;    // defer: the in-flight event will re-check
+        eq_.cancel(pending_);
+        has_event_ = false;
+    }
+    schedule(deadline);
+}
+
+void
+DeferredTimer::disarm()
+{
+    armed_ = false;
+    if (has_event_) {
+        eq_.cancel(pending_);
+        has_event_ = false;
+    }
+}
+
+void
+DeferredTimer::schedule(Time when)
+{
+    event_when_ = when;
+    has_event_ = true;
+    pending_ = eq_.scheduleAt(when, [this]() { onFire(); }, tag_);
+}
+
+void
+DeferredTimer::onFire()
+{
+    has_event_ = false;
+    if (!armed_)
+        return;    // disarmed after the event became uncancellable
+    if (deadline_ > eq_.now()) {
+        // Deadline moved out while we were in flight: fire later.
+        ++deferrals_;
+        schedule(deadline_);
+        return;
+    }
+    armed_ = false;
+    if (fn_)
+        fn_();    // may re-arm
+}
+
+} // namespace sriov::sim

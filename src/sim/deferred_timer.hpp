@@ -1,0 +1,87 @@
+/**
+ * @file
+ * DeferredTimer: a re-armable deadline timer that defers instead of
+ * rescheduling.
+ *
+ * The classic pattern for a timer whose deadline keeps moving out
+ * (retransmission timeouts, interrupt-throttle windows, watchdogs) is
+ * cancel + reschedule on every extension — O(log n) heap churn per
+ * move for a timer that usually never fires at its original deadline.
+ * This class keeps at most one event in the queue and simply updates
+ * the target deadline when the new deadline is later: the in-flight
+ * event re-checks the deadline when it fires and, if the deadline
+ * moved, reschedules itself once for the new target (the timing-wheel
+ * "lazy deletion" trick). Arming *earlier* than the pending event
+ * still cancels and reschedules, so the callback never fires late.
+ *
+ * Fire times are bit-identical to the naive pattern: the callback runs
+ * exactly at the armed deadline, with the event tag given at
+ * construction, so the event-order digest of a converted client only
+ * changes by the removed churn.
+ */
+
+#ifndef SRIOV_SIM_DEFERRED_TIMER_HPP
+#define SRIOV_SIM_DEFERRED_TIMER_HPP
+
+#include "sim/event_queue.hpp"
+#include "sim/inplace_fn.hpp"
+
+namespace sriov::sim {
+
+class DeferredTimer
+{
+  public:
+    DeferredTimer(EventQueue &eq, const char *tag) : eq_(eq), tag_(tag) {}
+    ~DeferredTimer() { disarm(); }
+    DeferredTimer(const DeferredTimer &) = delete;
+    DeferredTimer &operator=(const DeferredTimer &) = delete;
+
+    /** Set (or replace) the callback run when the deadline is reached.
+     *  Built in place in the stored InplaceFn — no temporary, same
+     *  forwarding idiom as EventQueue::scheduleAt. */
+    template <typename F>
+    void
+    setCallback(F &&fn)
+    {
+        fn_.emplace(std::forward<F>(fn));
+    }
+
+    /**
+     * Arm for @p deadline. If armed already, the deadline moves (out:
+     * deferred, no queue traffic; in: cancel + reschedule). Re-arming
+     * from inside the callback is the normal periodic-timer idiom.
+     */
+    void armAt(Time deadline);
+    void armIn(Time delay) { armAt(eq_.now() + delay); }
+
+    /**
+     * Disarm. Any in-flight event becomes a spurious no-op wakeup (it
+     * is cancelled when possible, i.e. when not currently executing).
+     */
+    void disarm();
+
+    bool armed() const { return armed_; }
+    /** Deadline of the armed timer (meaningless when !armed()). */
+    Time deadline() const { return deadline_; }
+
+    /** Fires avoided by deferral (telemetry, not part of the model). */
+    std::uint64_t deferrals() const { return deferrals_; }
+
+  private:
+    void schedule(Time when);
+    void onFire();
+
+    EventQueue &eq_;
+    const char *tag_;
+    InplaceFn fn_;
+    EventHandle pending_{};
+    Time event_when_;      ///< when the pending event fires
+    Time deadline_;        ///< when the callback should run
+    bool armed_ = false;
+    bool has_event_ = false;
+    std::uint64_t deferrals_ = 0;
+};
+
+} // namespace sriov::sim
+
+#endif // SRIOV_SIM_DEFERRED_TIMER_HPP

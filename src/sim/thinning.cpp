@@ -1,0 +1,23 @@
+#include "sim/thinning.hpp"
+
+#include <atomic>
+
+namespace sriov::sim {
+
+namespace {
+std::atomic<bool> g_thinning{true};
+} // namespace
+
+bool
+thinningEnabled()
+{
+    return g_thinning.load(std::memory_order_relaxed);
+}
+
+void
+setThinning(bool enabled)
+{
+    g_thinning.store(enabled, std::memory_order_relaxed);
+}
+
+} // namespace sriov::sim

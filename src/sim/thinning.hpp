@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Event-thinning switch.
+ *
+ * Thinning replaces per-hop simulation events with analytically
+ * computed timestamps delivered from coalesced events (wire bursts,
+ * DMA flow-through, deadline-deferred timers). It is observationally
+ * equivalent by construction: every registered metric changes at the
+ * same simulated time as in the exact model, so mid-run snapshots are
+ * byte-identical (CI diffs figXX.json across both modes).
+ *
+ * The switch is process-global and read once at component
+ * construction — flipping it mid-run would desynchronize components,
+ * so benches set it (via --no-thin / SRIOV_NO_THIN) before building
+ * the testbed, and tests use ThinningScope around construction.
+ */
+
+#ifndef SRIOV_SIM_THINNING_HPP
+#define SRIOV_SIM_THINNING_HPP
+
+namespace sriov::sim {
+
+/** Is event thinning enabled (default: yes)? */
+bool thinningEnabled();
+
+/** Flip the global switch. Call before constructing components. */
+void setThinning(bool enabled);
+
+/** RAII override for tests: forces a mode, restores on destruction. */
+class ThinningScope
+{
+  public:
+    explicit ThinningScope(bool enabled) : prev_(thinningEnabled())
+    {
+        setThinning(enabled);
+    }
+    ~ThinningScope() { setThinning(prev_); }
+    ThinningScope(const ThinningScope &) = delete;
+    ThinningScope &operator=(const ThinningScope &) = delete;
+
+  private:
+    bool prev_;
+};
+
+} // namespace sriov::sim
+
+#endif // SRIOV_SIM_THINNING_HPP

@@ -10,6 +10,7 @@
 #include "mem/guest_phys_map.hpp"
 #include "mem/iommu.hpp"
 #include "mem/machine_memory.hpp"
+#include "sim/thinning.hpp"
 
 using namespace sriov;
 using namespace sriov::mem;
@@ -207,4 +208,72 @@ TEST(DmaEngine, DefaultsModelThe82576Link)
     sim::Time one = dma.serviceTime(4092);
     double inter_vm_bps = 4000 * 8 / (2 * one.toSeconds());
     EXPECT_NEAR(inter_vm_bps / 1e9, 2.8, 0.4);
+}
+
+// ---------------------------------------------------------------------------
+// DmaEngine event thinning: analytic completions must match the exact
+// one-transfer-in-service implementation instant for instant.
+// ---------------------------------------------------------------------------
+
+TEST(DmaEngine, ThinCompletionInstantsMatchExactMode)
+{
+    auto run = [](bool thin) {
+        sim::ThinningScope scope(thin);
+        sim::EventQueue eq;
+        DmaEngine::Params p;
+        p.link_bps = 8e9;
+        p.per_dma_overhead = sim::Time::ns(100);
+        DmaEngine dma(eq, "d", p);
+        std::vector<sim::Time> at;
+        auto submit = [&](std::uint64_t bytes) {
+            dma.transfer(bytes, [&]() { at.push_back(eq.now()); });
+        };
+        // A backlog burst, then a transfer after the link went idle.
+        submit(1000);
+        submit(64);
+        submit(4000);
+        eq.scheduleAt(sim::Time::ms(1), [&] { submit(500); });
+        eq.runAll();
+        EXPECT_EQ(dma.bytesMoved(), 5564u);
+        EXPECT_EQ(dma.transfers(), 4u);
+        EXPECT_EQ(dma.busyTime(), dma.serviceTime(1000)
+                                      + dma.serviceTime(64)
+                                      + dma.serviceTime(4000)
+                                      + dma.serviceTime(500));
+        return at;
+    };
+    std::vector<sim::Time> thin = run(true);
+    std::vector<sim::Time> exact = run(false);
+    ASSERT_EQ(thin.size(), 4u);
+    EXPECT_EQ(thin, exact);
+}
+
+TEST(DmaEngine, ReserveReturnsFifoCompletionInstants)
+{
+    sim::ThinningScope scope(true);
+    sim::EventQueue eq;
+    DmaEngine::Params p;
+    p.link_bps = 8e9;
+    p.per_dma_overhead = sim::Time::ns(0);
+    DmaEngine dma(eq, "d", p);
+    // Back-to-back reservations serialize on the link.
+    EXPECT_EQ(dma.reserve(1000), sim::Time::us(1));
+    EXPECT_EQ(dma.reserve(1000), sim::Time::us(2));
+    // The backlog is visible as queue depth until instants pass.
+    EXPECT_EQ(dma.queueDepth(), 1u);
+    eq.scheduleAt(sim::Time::us(3), [&] {
+        EXPECT_EQ(dma.queueDepth(), 0u);
+        // The link is idle again: service restarts from now.
+        EXPECT_EQ(dma.reserve(1000), sim::Time::us(4));
+    });
+    eq.runAll();
+    EXPECT_EQ(dma.transfers(), 3u);
+}
+
+TEST(DmaEngineDeathTest, ReservePanicsInExactMode)
+{
+    sim::ThinningScope scope(false);
+    sim::EventQueue eq;
+    DmaEngine dma(eq, "d");
+    EXPECT_DEATH(dma.reserve(100), "reserve");
 }

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
+
 #include "mem/iommu.hpp"
 #include "nic/desc_ring.hpp"
 #include "nic/l2_switch.hpp"
@@ -14,6 +16,7 @@
 #include "nic/sriov_nic.hpp"
 #include "nic/vmdq_nic.hpp"
 #include "nic/wire.hpp"
+#include "sim/thinning.hpp"
 
 using namespace sriov;
 using namespace sriov::nic;
@@ -144,6 +147,165 @@ TEST(Wire, TxQueueCapDrops)
     eq.runAll();
     // Every frame either arrived or was counted as dropped.
     EXPECT_EQ(b.got.size() + wire.dropped(), Wire::kTxQueueCap + 10);
+}
+
+// ---------------------------------------------------------------------------
+// Wire event thinning: the burst-coalesced delivery path must be
+// observably identical to the exact per-hop path — same delivery
+// instants, same order, same offered/delivered/dropped counts — for
+// every edge case the exact model handles.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct WireRun
+{
+    std::vector<sim::Time> a_at, b_at;
+    std::vector<std::uint32_t> a_bytes, b_bytes;
+    std::uint64_t offered = 0, delivered = 0, dropped = 0;
+};
+
+/** Drive @p scenario(eq, wire, a, b) to quiescence in one mode. */
+WireRun
+runWire(bool thin,
+        const std::function<void(sim::EventQueue &, Wire &, SinkEndpoint &,
+                                 SinkEndpoint &)> &scenario)
+{
+    sim::ThinningScope scope(thin);
+    sim::EventQueue eq;
+    Wire::Params wp;
+    wp.line_bps = 1e9;
+    wp.propagation = sim::Time::ns(500);
+    Wire wire(eq, wp);
+    SinkEndpoint a, b;
+    a.eq = &eq;
+    b.eq = &eq;
+    wire.connect(a, b);
+    scenario(eq, wire, a, b);
+    eq.runAll();
+    WireRun r;
+    for (std::size_t i = 0; i < a.got.size(); ++i) {
+        r.a_at.push_back(a.at[i]);
+        r.a_bytes.push_back(a.got[i].bytes);
+    }
+    for (std::size_t i = 0; i < b.got.size(); ++i) {
+        r.b_at.push_back(b.at[i]);
+        r.b_bytes.push_back(b.got[i].bytes);
+    }
+    r.offered = wire.offered();
+    r.delivered = wire.delivered();
+    r.dropped = wire.dropped();
+    EXPECT_EQ(wire.inFlight(), 0u);
+    return r;
+}
+
+void
+expectSameRun(const WireRun &t, const WireRun &e)
+{
+    EXPECT_EQ(t.a_at, e.a_at);
+    EXPECT_EQ(t.b_at, e.b_at);
+    EXPECT_EQ(t.a_bytes, e.a_bytes);
+    EXPECT_EQ(t.b_bytes, e.b_bytes);
+    EXPECT_EQ(t.offered, e.offered);
+    EXPECT_EQ(t.delivered, e.delivered);
+    EXPECT_EQ(t.dropped, e.dropped);
+}
+
+} // namespace
+
+TEST(WireThinning, BackToBackBurstMatchesExactMode)
+{
+    auto scenario = [](sim::EventQueue &eq, Wire &w, SinkEndpoint &a,
+                       SinkEndpoint &) {
+        // A burst of mixed-size frames sent back-to-back, plus a
+        // straggler injected while the burst is still serializing.
+        for (std::uint32_t payload : {64u, 1472u, 512u, 1472u, 100u})
+            w.send(a, udpPacket(MacAddr::make(1, 1), payload));
+        eq.scheduleAt(sim::Time::us(20), [&] {
+            w.send(a, udpPacket(MacAddr::make(1, 1), 900));
+        });
+    };
+    WireRun thin = runWire(true, scenario);
+    WireRun exact = runWire(false, scenario);
+    ASSERT_EQ(thin.b_at.size(), 6u);
+    expectSameRun(thin, exact);
+}
+
+TEST(WireThinning, MidBurstQueueFullDropsMatchExactMode)
+{
+    auto scenario = [](sim::EventQueue &eq, Wire &w, SinkEndpoint &a,
+                       SinkEndpoint &) {
+        // Overflow the TX queue in one shot, then keep offering while
+        // the backlog drains: late frames are accepted exactly when the
+        // exact model's queue has space again.
+        for (std::size_t i = 0; i < Wire::kTxQueueCap + 50; ++i)
+            w.send(a, udpPacket(MacAddr::make(1, 1), 64));
+        for (int k = 1; k <= 20; ++k) {
+            eq.scheduleAt(sim::Time::us(unsigned(k)), [&] {
+                w.send(a, udpPacket(MacAddr::make(1, 1), 64));
+            });
+        }
+    };
+    WireRun thin = runWire(true, scenario);
+    WireRun exact = runWire(false, scenario);
+    EXPECT_GT(thin.dropped, 0u);
+    expectSameRun(thin, exact);
+}
+
+TEST(WireThinning, DirectionsCoalesceIndependently)
+{
+    auto scenario = [](sim::EventQueue &eq, Wire &w, SinkEndpoint &a,
+                       SinkEndpoint &b) {
+        for (int i = 0; i < 10; ++i)
+            w.send(a, udpPacket(MacAddr::make(1, 1), 1472));
+        for (int i = 0; i < 10; ++i)
+            w.send(b, udpPacket(MacAddr::make(2, 2), 64));
+        // Interleave more traffic in both directions mid-flight.
+        eq.scheduleAt(sim::Time::us(30), [&] {
+            w.send(b, udpPacket(MacAddr::make(2, 2), 1472));
+            w.send(a, udpPacket(MacAddr::make(1, 1), 64));
+        });
+    };
+    WireRun thin = runWire(true, scenario);
+    WireRun exact = runWire(false, scenario);
+    ASSERT_EQ(thin.a_at.size(), 11u);
+    ASSERT_EQ(thin.b_at.size(), 11u);
+    expectSameRun(thin, exact);
+}
+
+TEST(WireThinning, PropagationOrderingIsPreserved)
+{
+    // Each frame arrives serialization + propagation after its line
+    // slot; within a direction, deliveries are in FIFO order at
+    // strictly increasing instants.
+    auto scenario = [](sim::EventQueue &, Wire &w, SinkEndpoint &a,
+                       SinkEndpoint &) {
+        for (std::uint32_t payload : {1472u, 64u, 800u})
+            w.send(a, udpPacket(MacAddr::make(1, 1), payload));
+    };
+    WireRun thin = runWire(true, scenario);
+    WireRun exact = runWire(false, scenario);
+    ASSERT_EQ(thin.b_at.size(), 3u);
+    EXPECT_LT(thin.b_at[0], thin.b_at[1]);
+    EXPECT_LT(thin.b_at[1], thin.b_at[2]);
+    // First frame: 1538 wire bytes at 1 Gb/s + 500 ns propagation.
+    EXPECT_EQ(thin.b_at[0], sim::Time::ns(12804));
+    expectSameRun(thin, exact);
+}
+
+TEST(WireThinning, SendAtRequiresNowInExactMode)
+{
+    sim::ThinningScope scope(false);
+    sim::EventQueue eq;
+    Wire wire(eq);
+    SinkEndpoint a, b;
+    wire.connect(a, b);
+    // release == now degrades to send(); a future release is a
+    // programming error in exact mode.
+    EXPECT_TRUE(wire.sendAt(a, udpPacket(MacAddr::make(1, 1)), eq.now()));
+    EXPECT_DEATH(wire.sendAt(a, udpPacket(MacAddr::make(1, 1)),
+                             sim::Time::us(5)),
+                 "sendAt in exact mode");
 }
 
 TEST(DescRing, PostTakeOverflow)

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "sim/cpu_server.hpp"
+#include "sim/deferred_timer.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/inplace_fn.hpp"
 #include "sim/random.hpp"
@@ -894,4 +895,126 @@ TEST(RingBuf, MoveTransfersStorage)
     c = std::move(b);
     EXPECT_EQ(c.size(), 2u);
     EXPECT_EQ(c.back(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// DeferredTimer: deadline-deferred wakeups (the event-thinning timer).
+// ---------------------------------------------------------------------------
+
+TEST(DeferredTimer, FiresExactlyAtTheArmedDeadline)
+{
+    EventQueue eq;
+    DeferredTimer t(eq, "test.timer");
+    std::vector<Time> fired;
+    t.setCallback([&] { fired.push_back(eq.now()); });
+    t.armAt(Time::us(10));
+    EXPECT_TRUE(t.armed());
+    EXPECT_EQ(t.deadline(), Time::us(10));
+    eq.runAll();
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], Time::us(10));
+    EXPECT_FALSE(t.armed());
+}
+
+TEST(DeferredTimer, ExtendingTheDeadlineDefersInsteadOfRescheduling)
+{
+    EventQueue eq;
+    DeferredTimer t(eq, "test.timer");
+    std::vector<Time> fired;
+    t.setCallback([&] { fired.push_back(eq.now()); });
+    t.armAt(Time::us(10));
+    // Push the deadline out twice before the original event fires: the
+    // pending event is reused (deferral), not cancelled + replaced.
+    eq.scheduleAt(Time::us(5), [&] { t.armAt(Time::us(20)); }, "move");
+    eq.scheduleAt(Time::us(15), [&] { t.armAt(Time::us(30)); }, "move");
+    eq.runAll();
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], Time::us(30));
+    // Both stale wakeups (at 10us and 20us) were absorbed by deferral.
+    EXPECT_EQ(t.deferrals(), 2u);
+}
+
+TEST(DeferredTimer, ArmingEarlierStillFiresOnTime)
+{
+    EventQueue eq;
+    DeferredTimer t(eq, "test.timer");
+    std::vector<Time> fired;
+    t.setCallback([&] { fired.push_back(eq.now()); });
+    t.armAt(Time::us(100));
+    eq.scheduleAt(Time::us(1), [&] { t.armAt(Time::us(4)); }, "move");
+    eq.runAll();
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], Time::us(4));    // never late, never at 100us
+}
+
+TEST(DeferredTimer, DisarmSuppressesTheCallback)
+{
+    EventQueue eq;
+    DeferredTimer t(eq, "test.timer");
+    int fires = 0;
+    t.setCallback([&] { ++fires; });
+    t.armAt(Time::us(10));
+    eq.scheduleAt(Time::us(5), [&] { t.disarm(); }, "stop");
+    eq.runAll();
+    EXPECT_EQ(fires, 0);
+    EXPECT_FALSE(t.armed());
+}
+
+TEST(DeferredTimer, ReArmAfterDisarmWorks)
+{
+    EventQueue eq;
+    DeferredTimer t(eq, "test.timer");
+    std::vector<Time> fired;
+    t.setCallback([&] { fired.push_back(eq.now()); });
+    t.armAt(Time::us(10));
+    eq.scheduleAt(Time::us(5), [&] {
+        t.disarm();
+        t.armAt(Time::us(8));
+    }, "restart");
+    eq.runAll();
+    ASSERT_EQ(fired.size(), 1u);
+    EXPECT_EQ(fired[0], Time::us(8));
+}
+
+TEST(DeferredTimer, ReArmingFromTheCallbackIsPeriodic)
+{
+    EventQueue eq;
+    DeferredTimer t(eq, "test.timer");
+    std::vector<Time> fired;
+    t.setCallback([&] {
+        fired.push_back(eq.now());
+        if (fired.size() < 3)
+            t.armIn(Time::us(10));
+    });
+    t.armAt(Time::us(10));
+    eq.runAll();
+    ASSERT_EQ(fired.size(), 3u);
+    EXPECT_EQ(fired[0], Time::us(10));
+    EXPECT_EQ(fired[1], Time::us(20));
+    EXPECT_EQ(fired[2], Time::us(30));
+}
+
+TEST(DeferredTimer, DestructorCancelsThePendingEvent)
+{
+    EventQueue eq;
+    int fires = 0;
+    {
+        DeferredTimer t(eq, "test.timer");
+        t.setCallback([&] { ++fires; });
+        t.armAt(Time::us(10));
+    }
+    // The timer is gone; its event must not run into freed state.
+    eq.runAll();
+    EXPECT_EQ(fires, 0);
+}
+
+TEST(DeferredTimerDeathTest, ArmingInThePastPanics)
+{
+    EventQueue eq;
+    DeferredTimer t(eq, "test.timer");
+    t.setCallback([] {});
+    eq.scheduleAt(Time::us(10), [&] {
+        EXPECT_DEATH(t.armAt(Time::us(5)), "past");
+    }, "probe");
+    eq.runAll();
 }

@@ -4,13 +4,18 @@
  * baseline and fail when the simulator got slower — the perf-regression
  * gate of the CI perf-smoke job.
  *
- *   perf_compare <baseline.json> <fresh.json> [comparison.json]
+ *   perf_compare [--min-ratio=<x>] [--out=<comparison.json>]
+ *                <baseline.json> <fresh.json>...
  *
- * Both inputs follow schema sriov-bench-perf-summary/v1 (the output of
- * bench_summary --perf). For every bench present in both files the
- * events-per-second ratio fresh/baseline is computed; any bench below
- * the minimum ratio fails the run. Benches present on only one side
- * are reported but never fail — benches come and go across PRs.
+ * All inputs follow schema sriov-bench-perf-summary/v1 (the output of
+ * bench_summary --perf). Several fresh summaries may be given — one
+ * per repetition of the bench suite — and each bench is judged on its
+ * *best* (maximum) events-per-second across them: host wall clock only
+ * jitters upward, so best-of-N is the low-noise estimator of the true
+ * rate. For every bench present on both sides the ratio best/baseline
+ * is computed; any bench below the minimum ratio fails the run.
+ * Benches present on only one side are reported but never fail —
+ * benches come and go across PRs.
  *
  * The minimum ratio defaults to 0.8 (CI hosts jitter; a >20% drop is a
  * real regression) and can be overridden with SRIOV_PERF_MIN_RATIO or
@@ -18,6 +23,7 @@
  * comparison file so CI can archive them as an artifact.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -111,17 +117,21 @@ main(int argc, char **argv)
     if (const char *env = std::getenv("SRIOV_PERF_MIN_RATIO"))
         min_ratio = std::atof(env);
 
+    std::string out_path;
     std::vector<const char *> pos;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--min-ratio=", 12) == 0)
             min_ratio = std::atof(argv[i] + 12);
+        else if (std::strncmp(argv[i], "--out=", 6) == 0)
+            out_path = argv[i] + 6;
         else
             pos.push_back(argv[i]);
     }
     if (pos.size() < 2) {
         std::fprintf(stderr,
                      "usage: perf_compare [--min-ratio=<x>] "
-                     "<baseline.json> <fresh.json> [comparison.json]\n");
+                     "[--out=<comparison.json>] "
+                     "<baseline.json> <fresh.json>...\n");
         return 2;
     }
     if (min_ratio <= 0 || min_ratio > 1.0) {
@@ -132,21 +142,46 @@ main(int argc, char **argv)
     }
 
     auto baseline = loadRates(pos[0]);
-    auto fresh = loadRates(pos[1]);
-    if (!baseline || !fresh)
+    if (!baseline)
         return 1;
+
+    // Best-of-N: fold every fresh summary into one rate table, keeping
+    // each bench's fastest observation.
+    std::vector<BenchRate> best;
+    std::size_t runs = 0;
+    for (std::size_t i = 1; i < pos.size(); ++i) {
+        auto fresh_i = loadRates(pos[i]);
+        if (!fresh_i)
+            return 1;
+        ++runs;
+        for (const BenchRate &r : *fresh_i) {
+            bool merged = false;
+            for (BenchRate &have : best) {
+                if (have.name == r.name) {
+                    have.events_per_sec = std::max(have.events_per_sec,
+                                                   r.events_per_sec);
+                    merged = true;
+                    break;
+                }
+            }
+            if (!merged)
+                best.push_back(r);
+        }
+    }
+    std::vector<BenchRate> &fresh = best;
 
     JsonWriter w;
     w.beginObject();
     w.kv("schema", "sriov-perf-compare/v1");
     w.kv("baseline", std::string(pos[0]));
     w.kv("fresh", std::string(pos[1]));
+    w.kv("fresh_runs", std::uint64_t(runs));
     w.kv("min_ratio", min_ratio);
     w.key("benches").beginArray();
 
     std::size_t compared = 0, failed = 0;
     for (const BenchRate &base : *baseline) {
-        const BenchRate *now = findRate(*fresh, base.name);
+        const BenchRate *now = findRate(fresh, base.name);
         w.beginObject();
         w.kv("bench", base.name);
         w.kv("baseline_events_per_sec", base.events_per_sec);
@@ -174,7 +209,7 @@ main(int argc, char **argv)
         }
         w.endObject();
     }
-    for (const BenchRate &now : *fresh) {
+    for (const BenchRate &now : fresh) {
         if (findRate(*baseline, now.name) != nullptr)
             continue;
         w.beginObject();
@@ -191,9 +226,10 @@ main(int argc, char **argv)
     w.kv("regressed", std::uint64_t(failed));
     w.endObject();
 
-    if (pos.size() > 2
-        && !sriov::obs::writeTextFile(pos[2], w.str())) {
-        std::fprintf(stderr, "perf_compare: cannot write %s\n", pos[2]);
+    if (!out_path.empty()
+        && !sriov::obs::writeTextFile(out_path, w.str())) {
+        std::fprintf(stderr, "perf_compare: cannot write %s\n",
+                     out_path.c_str());
         return 1;
     }
 
