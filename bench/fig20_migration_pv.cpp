@@ -49,10 +49,11 @@ main(int argc, char **argv)
     vmm::MigrationManager::Params mp;
     vmm::MigrationManager::Result result{};
     bool done = false;
-    tb.eq().scheduleAt(sim::Time::seconds(4.5), [&]() {
+    tb.eq().scheduleAt(sim::Time::seconds(4.5), [&tb, &g, &mp, &result,
+                                                 &done]() {
         tb.migration().migrate(
             *g.dom, mp, nullptr, nullptr,
-            [&](const vmm::MigrationManager::Result &r) {
+            [&result, &done](const vmm::MigrationManager::Result &r) {
                 result = r;
                 done = true;
             });

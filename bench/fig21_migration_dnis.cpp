@@ -58,9 +58,9 @@ main(int argc, char **argv)
 
     core::Dnis::Report report{};
     bool done = false;
-    tb.eq().scheduleAt(sim::Time::seconds(4.5), [&]() {
+    tb.eq().scheduleAt(sim::Time::seconds(4.5), [&dnis, &report, &done]() {
         core::Dnis::Params dp;
-        dnis.migrate(dp, [&](const core::Dnis::Report &r) {
+        dnis.migrate(dp, [&report, &done](const core::Dnis::Report &r) {
             report = r;
             done = true;
         });

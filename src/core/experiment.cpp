@@ -11,11 +11,15 @@ namespace sriov::core {
 
 namespace {
 
+// Host wall-time of a bench drive for the .perf.json sidecars —
+// deliberately outside simulated time, and never fed back into it.
 double
+// simlint:allow(no-wallclock): measures the host, not the simulation
 secondsSince(std::chrono::steady_clock::time_point t0)
 {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now()
-                                         - t0)
+    return std::chrono::duration<double>(
+               // simlint:allow(no-wallclock): host-side timing only
+               std::chrono::steady_clock::now() - t0)
         .count();
 }
 
@@ -46,6 +50,7 @@ void
 FigCase::drive(Testbed &tb, const std::function<void()> &fn)
 {
     std::uint64_t before = tb.eq().executed();
+    // simlint:allow(no-wallclock): host-side perf sidecar timing only
     auto t0 = std::chrono::steady_clock::now();
     fn();
     wall_s_ += secondsSince(t0);
@@ -103,6 +108,7 @@ FigReport::captureTrace(Testbed &tb, const std::function<void()> &drive)
 {
     if (!opts_.wantTrace() || trace_done_) {
         std::uint64_t before = tb.eq().executed();
+        // simlint:allow(no-wallclock): host-side perf sidecar timing only
         auto t0 = std::chrono::steady_clock::now();
         drive();
         notePerf("", tb.eq().executed() - before, secondsSince(t0));
@@ -117,6 +123,7 @@ FigReport::captureTrace(Testbed &tb, const std::function<void()> &drive)
     obs::ChromeTraceWriter w;
     tb.attachObsTrace(w);
     std::uint64_t before = tb.eq().executed();
+    // simlint:allow(no-wallclock): host-side perf sidecar timing only
     auto t0 = std::chrono::steady_clock::now();
     drive();
     notePerf("", tb.eq().executed() - before, secondsSince(t0));

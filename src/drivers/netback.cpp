@@ -1,5 +1,8 @@
 #include "drivers/netback.hpp"
 
+#include <utility>
+#include <vector>
+
 #include "sim/log.hpp"
 
 namespace sriov::drivers {
@@ -87,11 +90,28 @@ NetbackDriver::irqBottom()
     if (pending_.empty())
         return;
     auto &ring = nic_->rxRing(0);
-    // Group the batch per destination guest, keeping arrival order.
-    std::unordered_map<std::uint64_t, std::vector<nic::Packet>> by_guest;
+    // Group the batch per destination guest. Guests are delivered in
+    // first-arrival order (not hash order: iterating an unordered_map
+    // here once let bucket layout pick the kthread submission order,
+    // which leaks into the event schedule and the determinism digest).
+    // A batch reaches a handful of guests at most, so the linear key
+    // scan beats hashing anyway.
+    std::vector<std::pair<std::uint64_t, std::vector<nic::Packet>>>
+        by_guest;
     for (const auto &c : pending_) {
         ring.post(c.buffer_gpa);
-        by_guest[c.pkt.dst.value].push_back(c.pkt);
+        std::vector<nic::Packet> *pkts = nullptr;
+        for (auto &e : by_guest)
+            if (e.first == c.pkt.dst.value) {
+                pkts = &e.second;
+                break;
+            }
+        if (pkts == nullptr) {
+            by_guest.emplace_back(c.pkt.dst.value,
+                                  std::vector<nic::Packet>());
+            pkts = &by_guest.back().second;
+        }
+        pkts->push_back(c.pkt);
     }
     pending_.clear();
     for (auto &[mac, pkts] : by_guest) {

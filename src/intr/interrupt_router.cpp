@@ -39,6 +39,7 @@ InterruptRouter::allocateAndBind(HandlerFn handler)
     return *v;
 }
 
+// simlint: hot
 void
 InterruptRouter::deliverMsi(pci::Rid source, const pci::MsiMessage &msg)
 {

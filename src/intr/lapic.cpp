@@ -23,6 +23,7 @@ Lapic::highestBit(const Reg &r)
     return -1;
 }
 
+// simlint: hot
 void
 Lapic::accept(Vector v)
 {
@@ -54,6 +55,7 @@ Lapic::nextDeliverable() const
     return std::nullopt;
 }
 
+// simlint: hot
 void
 Lapic::tryDispatch()
 {
@@ -67,6 +69,7 @@ Lapic::tryDispatch()
         deliver_(*v);
 }
 
+// simlint: hot
 void
 Lapic::eoi()
 {

@@ -1,5 +1,7 @@
 #include "mem/guest_phys_map.hpp"
 
+#include <algorithm>
+
 #include "sim/log.hpp"
 
 namespace sriov::mem {
@@ -68,11 +70,15 @@ GuestPhysMap::markDirtyRange(Addr gpa, Addr len)
         dirty_.insert(pageOf(gpa + len - 1));
 }
 
-std::unordered_set<Addr>
+std::vector<Addr>
 GuestPhysMap::drainDirty()
 {
-    std::unordered_set<Addr> out;
-    out.swap(dirty_);
+    // The only place dirty_'s contents are walked: snapshot and sort,
+    // so hash order cannot reach a caller.
+    // simlint:allow(no-unordered-iteration): sorted before it escapes
+    std::vector<Addr> out(dirty_.begin(), dirty_.end());
+    dirty_.clear();
+    std::sort(out.begin(), out.end());
     return out;
 }
 

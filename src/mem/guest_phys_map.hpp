@@ -16,6 +16,7 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "mem/machine_memory.hpp"
 
@@ -47,8 +48,13 @@ class GuestPhysMap
     void markDirty(Addr gpa);
     void markDirtyRange(Addr gpa, Addr len);
     std::size_t dirtyPageCount() const { return dirty_.size(); }
-    /** Returns the dirty set and clears it (one pre-copy round). */
-    std::unordered_set<Addr> drainDirty();
+    /**
+     * Returns the dirty pages (sorted ascending) and clears the log —
+     * one pre-copy round. Sorted so that consumers iterating the
+     * snapshot (page send order, reports) are deterministic; the
+     * internal set's hash order never escapes this class.
+     */
+    std::vector<Addr> drainDirty();
     /** @} */
 
   private:

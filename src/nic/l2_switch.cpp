@@ -31,6 +31,7 @@ L2Switch::findSlot(std::uint64_t key)
     }
 }
 
+// simlint: hot
 const L2Switch::Slot *
 L2Switch::findUsed(std::uint64_t key) const
 {
@@ -106,6 +107,7 @@ L2Switch::clearPool(Pool pool)
     invalidateCache();
 }
 
+// simlint: hot
 std::optional<L2Switch::Pool>
 L2Switch::classify(const Packet &pkt) const
 {

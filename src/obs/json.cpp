@@ -472,4 +472,23 @@ JsonValue::parse(std::string_view text, std::string *err)
     return Parser(text, err).run();
 }
 
+std::optional<JsonValue>
+JsonValue::parseTolerant(std::string_view text, std::string *err)
+{
+    std::size_t line = 0;
+    while (line < text.size()) {
+        std::size_t c = line;
+        while (c < text.size() && (text[c] == ' ' || text[c] == '\t'))
+            ++c;
+        if (c < text.size() && (text[c] == '{' || text[c] == '['))
+            return parse(text.substr(c), err);
+        std::size_t nl = text.find('\n', line);
+        if (nl == std::string_view::npos)
+            break;
+        line = nl + 1;
+    }
+    // No document start found: let parse() produce the usual error.
+    return parse(text, err);
+}
+
 } // namespace sriov::obs

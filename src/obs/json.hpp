@@ -108,6 +108,17 @@ struct JsonValue
      */
     static std::optional<JsonValue> parse(std::string_view text,
                                           std::string *err = nullptr);
+
+    /**
+     * parse(), but tolerant of leading non-JSON noise: lines before
+     * the first line whose first non-space character is '{' or '['
+     * are skipped. Shell profiles love printing warnings on stdout
+     * (conda's auto_activate_base note is the canonical offender), and
+     * a `bench > out.json` capture then starts with garbage; the JSON
+     * document itself is still validated in full.
+     */
+    static std::optional<JsonValue> parseTolerant(
+        std::string_view text, std::string *err = nullptr);
 };
 
 } // namespace sriov::obs

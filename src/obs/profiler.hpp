@@ -70,6 +70,9 @@ class SimProfiler : public sim::EventQueue::ExecHook
     void reset();
 
   private:
+    // The profiler attributes *host* time to event tags; wallclock is
+    // its whole point and its output never feeds back into sim state.
+    // simlint:allow(no-wallclock): host-time profiler by design
     using Clock = std::chrono::steady_clock;
 
     // Keyed by tag pointer: schedule sites pass string literals, so the

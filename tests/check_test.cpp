@@ -37,7 +37,7 @@ TEST(InvariantChecker, ReportsScheduleInThePast)
     bool ran = false;
     // Without an observer this would abort; with the checker it is
     // reported and the event clamps to now().
-    eq.scheduleAt(sim::Time::us(1), [&]() { ran = true; });
+    eq.scheduleAt(sim::Time::us(1), [&ran]() { ran = true; });
     EXPECT_EQ(chk.count(Invariant::SchedulePast), 1u);
     eq.runAll();
     EXPECT_TRUE(ran);

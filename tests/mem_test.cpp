@@ -232,7 +232,7 @@ TEST(DmaEngine, ThinCompletionInstantsMatchExactMode)
         submit(1000);
         submit(64);
         submit(4000);
-        eq.scheduleAt(sim::Time::ms(1), [&] { submit(500); });
+        eq.scheduleAt(sim::Time::ms(1), [&submit] { submit(500); });
         eq.runAll();
         EXPECT_EQ(dma.bytesMoved(), 5564u);
         EXPECT_EQ(dma.transfers(), 4u);
@@ -261,7 +261,7 @@ TEST(DmaEngine, ReserveReturnsFifoCompletionInstants)
     EXPECT_EQ(dma.reserve(1000), sim::Time::us(2));
     // The backlog is visible as queue depth until instants pass.
     EXPECT_EQ(dma.queueDepth(), 1u);
-    eq.scheduleAt(sim::Time::us(3), [&] {
+    eq.scheduleAt(sim::Time::us(3), [&dma] {
         EXPECT_EQ(dma.queueDepth(), 0u);
         // The link is idle again: service restarts from now.
         EXPECT_EQ(dma.reserve(1000), sim::Time::us(4));

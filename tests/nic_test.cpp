@@ -221,7 +221,7 @@ TEST(WireThinning, BackToBackBurstMatchesExactMode)
         // straggler injected while the burst is still serializing.
         for (std::uint32_t payload : {64u, 1472u, 512u, 1472u, 100u})
             w.send(a, udpPacket(MacAddr::make(1, 1), payload));
-        eq.scheduleAt(sim::Time::us(20), [&] {
+        eq.scheduleAt(sim::Time::us(20), [&w, &a] {
             w.send(a, udpPacket(MacAddr::make(1, 1), 900));
         });
     };
@@ -241,7 +241,7 @@ TEST(WireThinning, MidBurstQueueFullDropsMatchExactMode)
         for (std::size_t i = 0; i < Wire::kTxQueueCap + 50; ++i)
             w.send(a, udpPacket(MacAddr::make(1, 1), 64));
         for (int k = 1; k <= 20; ++k) {
-            eq.scheduleAt(sim::Time::us(unsigned(k)), [&] {
+            eq.scheduleAt(sim::Time::us(unsigned(k)), [&w, &a] {
                 w.send(a, udpPacket(MacAddr::make(1, 1), 64));
             });
         }
@@ -261,7 +261,7 @@ TEST(WireThinning, DirectionsCoalesceIndependently)
         for (int i = 0; i < 10; ++i)
             w.send(b, udpPacket(MacAddr::make(2, 2), 64));
         // Interleave more traffic in both directions mid-flight.
-        eq.scheduleAt(sim::Time::us(30), [&] {
+        eq.scheduleAt(sim::Time::us(30), [&w, &a, &b] {
             w.send(b, udpPacket(MacAddr::make(2, 2), 1472));
             w.send(a, udpPacket(MacAddr::make(1, 1), 64));
         });

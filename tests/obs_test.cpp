@@ -220,6 +220,34 @@ TEST(Json, ParserRejectsMalformed)
     EXPECT_FALSE(JsonValue::parse("'single'").has_value());
 }
 
+TEST(Json, TolerantParseSkipsLeadingShellNoise)
+{
+    // A `bench > out.json` capture under a chatty shell profile starts
+    // with warning lines (conda's auto_activate_base note is the
+    // canonical one); the document itself must still parse — and still
+    // be validated in full.
+    std::string noisy =
+        "WARNING conda.cli.condarc:set_key(484): Key auto_activate_base "
+        "is not a known primitive parameter.\n"
+        "another stray line\n"
+        "  {\"schema\": \"x/v1\", \"n\": 3}\n";
+    auto doc = JsonValue::parseTolerant(noisy);
+    ASSERT_TRUE(doc.has_value());
+    ASSERT_NE(doc->find("n"), nullptr);
+    EXPECT_EQ(doc->find("n")->number, 3.0);
+
+    // Arrays too, and noise-free input is unchanged.
+    EXPECT_TRUE(JsonValue::parseTolerant("junk\n[1, 2]").has_value());
+    EXPECT_TRUE(JsonValue::parseTolerant("{\"a\": 1}").has_value());
+
+    // Still a full parse: garbage after the document, a truncated
+    // document, or no document at all are errors.
+    EXPECT_FALSE(JsonValue::parseTolerant("noise\n{} trailing")
+                     .has_value());
+    EXPECT_FALSE(JsonValue::parseTolerant("noise\n{").has_value());
+    EXPECT_FALSE(JsonValue::parseTolerant("no json here").has_value());
+}
+
 TEST(Json, NonFiniteNumbersDegradeToNull)
 {
     EXPECT_EQ(jsonNumber(std::numeric_limits<double>::quiet_NaN()),

@@ -72,9 +72,9 @@ TEST(EventQueue, RunsInTimeOrder)
 {
     EventQueue eq;
     std::vector<int> order;
-    eq.scheduleAt(Time::us(3), [&]() { order.push_back(3); });
-    eq.scheduleAt(Time::us(1), [&]() { order.push_back(1); });
-    eq.scheduleAt(Time::us(2), [&]() { order.push_back(2); });
+    eq.scheduleAt(Time::us(3), [&order]() { order.push_back(3); });
+    eq.scheduleAt(Time::us(1), [&order]() { order.push_back(1); });
+    eq.scheduleAt(Time::us(2), [&order]() { order.push_back(2); });
     eq.runAll();
     EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
     EXPECT_EQ(eq.now(), Time::us(3));
@@ -85,7 +85,7 @@ TEST(EventQueue, SimultaneousEventsAreFifo)
     EventQueue eq;
     std::vector<int> order;
     for (int i = 0; i < 10; ++i)
-        eq.scheduleAt(Time::us(1), [&, i]() { order.push_back(i); });
+        eq.scheduleAt(Time::us(1), [&order, i]() { order.push_back(i); });
     eq.runAll();
     for (int i = 0; i < 10; ++i)
         EXPECT_EQ(order[std::size_t(i)], i);
@@ -95,8 +95,8 @@ TEST(EventQueue, RunUntilStopsAtDeadline)
 {
     EventQueue eq;
     int ran = 0;
-    eq.scheduleAt(Time::us(1), [&]() { ++ran; });
-    eq.scheduleAt(Time::us(10), [&]() { ++ran; });
+    eq.scheduleAt(Time::us(1), [&ran]() { ++ran; });
+    eq.scheduleAt(Time::us(10), [&ran]() { ++ran; });
     EXPECT_EQ(eq.runUntil(Time::us(5)), 1u);
     EXPECT_EQ(ran, 1);
     EXPECT_EQ(eq.now(), Time::us(5));
@@ -122,7 +122,7 @@ TEST(EventQueue, CancelPreventsExecution)
 {
     EventQueue eq;
     bool ran = false;
-    EventHandle h = eq.scheduleAt(Time::us(1), [&]() { ran = true; });
+    EventHandle h = eq.scheduleAt(Time::us(1), [&ran]() { ran = true; });
     eq.cancel(h);
     EXPECT_FALSE(h.valid());
     eq.runAll();
@@ -133,8 +133,8 @@ TEST(EventQueue, CancelIsSelective)
 {
     EventQueue eq;
     int ran = 0;
-    EventHandle h1 = eq.scheduleAt(Time::us(1), [&]() { ran += 1; });
-    eq.scheduleAt(Time::us(1), [&]() { ran += 10; });
+    EventHandle h1 = eq.scheduleAt(Time::us(1), [&ran]() { ran += 1; });
+    eq.scheduleAt(Time::us(1), [&ran]() { ran += 10; });
     eq.cancel(h1);
     eq.runAll();
     EXPECT_EQ(ran, 10);
@@ -185,7 +185,7 @@ TEST(EventQueue, RunUntilIgnoresCancelledTopBeyondDeadline)
     EventQueue eq;
     bool late_ran = false;
     EventHandle h = eq.scheduleAt(Time::us(1), []() {});
-    eq.scheduleAt(Time::us(10), [&]() { late_ran = true; });
+    eq.scheduleAt(Time::us(10), [&late_ran]() { late_ran = true; });
     eq.cancel(h);
     EXPECT_EQ(eq.runUntil(Time::us(5)), 0u);
     EXPECT_FALSE(late_ran);
@@ -679,7 +679,7 @@ TEST(EventQueue, SelfCancelFromInsideCallbackIsNoOp)
     EventQueue eq;
     int runs = 0;
     EventHandle h;
-    h = eq.scheduleIn(Time::ns(1), [&]() {
+    h = eq.scheduleIn(Time::ns(1), [&runs, &eq, &h]() {
         ++runs;
         eq.cancel(h);    // the event has already fired: no-op
     });
@@ -925,8 +925,8 @@ TEST(DeferredTimer, ExtendingTheDeadlineDefersInsteadOfRescheduling)
     t.armAt(Time::us(10));
     // Push the deadline out twice before the original event fires: the
     // pending event is reused (deferral), not cancelled + replaced.
-    eq.scheduleAt(Time::us(5), [&] { t.armAt(Time::us(20)); }, "move");
-    eq.scheduleAt(Time::us(15), [&] { t.armAt(Time::us(30)); }, "move");
+    eq.scheduleAt(Time::us(5), [&t] { t.armAt(Time::us(20)); }, "move");
+    eq.scheduleAt(Time::us(15), [&t] { t.armAt(Time::us(30)); }, "move");
     eq.runAll();
     ASSERT_EQ(fired.size(), 1u);
     EXPECT_EQ(fired[0], Time::us(30));
@@ -941,7 +941,7 @@ TEST(DeferredTimer, ArmingEarlierStillFiresOnTime)
     std::vector<Time> fired;
     t.setCallback([&] { fired.push_back(eq.now()); });
     t.armAt(Time::us(100));
-    eq.scheduleAt(Time::us(1), [&] { t.armAt(Time::us(4)); }, "move");
+    eq.scheduleAt(Time::us(1), [&t] { t.armAt(Time::us(4)); }, "move");
     eq.runAll();
     ASSERT_EQ(fired.size(), 1u);
     EXPECT_EQ(fired[0], Time::us(4));    // never late, never at 100us
@@ -954,7 +954,7 @@ TEST(DeferredTimer, DisarmSuppressesTheCallback)
     int fires = 0;
     t.setCallback([&] { ++fires; });
     t.armAt(Time::us(10));
-    eq.scheduleAt(Time::us(5), [&] { t.disarm(); }, "stop");
+    eq.scheduleAt(Time::us(5), [&t] { t.disarm(); }, "stop");
     eq.runAll();
     EXPECT_EQ(fires, 0);
     EXPECT_FALSE(t.armed());
@@ -967,7 +967,7 @@ TEST(DeferredTimer, ReArmAfterDisarmWorks)
     std::vector<Time> fired;
     t.setCallback([&] { fired.push_back(eq.now()); });
     t.armAt(Time::us(10));
-    eq.scheduleAt(Time::us(5), [&] {
+    eq.scheduleAt(Time::us(5), [&t] {
         t.disarm();
         t.armAt(Time::us(8));
     }, "restart");
@@ -1013,7 +1013,7 @@ TEST(DeferredTimerDeathTest, ArmingInThePastPanics)
     EventQueue eq;
     DeferredTimer t(eq, "test.timer");
     t.setCallback([] {});
-    eq.scheduleAt(Time::us(10), [&] {
+    eq.scheduleAt(Time::us(10), [&t] {
         EXPECT_DEATH(t.armAt(Time::us(5)), "past");
     }, "probe");
     eq.runAll();

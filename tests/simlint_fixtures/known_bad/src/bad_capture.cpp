@@ -1,0 +1,18 @@
+// Known-bad fixture: default captures in lambdas handed to the event
+// queue. By the time the event fires, a defaulted reference capture is
+// a dangling bug the slot map cannot catch.
+struct Queue
+{
+    template <typename F> void scheduleAt(double, F &&) {}
+    template <typename F> void scheduleIn(double, F &&) {}
+};
+
+void
+scheduleWork(Queue &eq)
+{
+    int local = 0;
+    eq.scheduleAt(1.0, [&]() { ++local; });          // BAD: [&]
+    eq.scheduleIn(2.0, [=]() { (void)local; });      // BAD: [=]
+    eq.scheduleAt(3.0, [&, local]() { (void)local; });    // BAD: [&,..]
+    eq.scheduleAt(4.0, [&local]() { ++local; });     // ok: explicit
+}

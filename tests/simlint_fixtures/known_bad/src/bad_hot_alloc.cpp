@@ -1,0 +1,34 @@
+// Known-bad fixture: allocation inside a `// simlint: hot` function.
+// The wire→L2→ring→DMA→MSI-X datapath must not allocate in steady
+// state (the bench operator-new gate enforces this at runtime).
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+struct Frame
+{
+    std::uint32_t bytes;
+};
+
+struct Path
+{
+    std::vector<Frame> backlog;
+
+    // simlint: hot
+    void
+    deliver(const Frame &f)
+    {
+        backlog.push_back(f);                        // BAD: growth
+        auto *copy = new Frame(f);                   // BAD: new
+        delete copy;
+        auto boxed = std::make_unique<Frame>(f);     // BAD: make_unique
+        (void)boxed;
+    }
+
+    // Not annotated: the rule stays quiet even though it allocates.
+    void
+    coldSetup()
+    {
+        backlog.reserve(1024);
+    }
+};

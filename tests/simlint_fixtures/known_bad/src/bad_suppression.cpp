@@ -1,0 +1,17 @@
+// Known-bad fixture: malformed suppressions are findings themselves,
+// so waivers stay auditable.
+#include <chrono>
+
+double
+now1()
+{
+    // simlint:allow(no-wallclock)
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+double
+now2()
+{
+    // simlint:allow(not-a-real-rule): reason text
+    return std::chrono::steady_clock::now().time_since_epoch().count();
+}

@@ -1,0 +1,30 @@
+// Known-bad fixture: iterating an unordered container. Hash order is
+// library- and insertion-dependent; anything it feeds (event schedule,
+// report rows) loses bit-for-bit determinism.
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Table
+{
+    std::unordered_map<std::uint64_t, int> by_id;
+    std::unordered_set<std::uint64_t> seen;
+};
+
+int
+sumAll(Table &t)
+{
+    int sum = 0;
+    for (const auto &[id, v] : t.by_id)    // BAD: range-for over u-map
+        sum += v;
+    for (auto it = t.seen.begin(); it != t.seen.end(); ++it)    // BAD
+        sum += int(*it);
+    return sum;
+}
+
+bool
+lookupIsFine(Table &t, std::uint64_t id)
+{
+    // Point lookups don't observe hash order: no finding here.
+    return t.by_id.find(id) != t.by_id.end();
+}

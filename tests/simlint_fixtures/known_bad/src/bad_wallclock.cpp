@@ -1,0 +1,27 @@
+// Known-bad fixture: every line marked BAD below must produce a
+// no-wallclock finding. Host time and ambient randomness are banned
+// under src/ — simulated components read sim::Time and sim::Random.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double
+hostSeconds()
+{
+    auto t0 = std::chrono::steady_clock::now();               // BAD
+    auto t1 = std::chrono::system_clock::now();               // BAD
+    (void)t1;
+    return std::chrono::duration<double>(
+               std::chrono::high_resolution_clock::now() - t0)  // BAD
+        .count();
+}
+
+int
+ambientRandom()
+{
+    std::random_device rd;                                    // BAD
+    std::mt19937 gen(rd());                                   // BAD
+    std::srand(unsigned(time(nullptr)));                      // BAD (x2)
+    return rand();                                            // BAD
+}

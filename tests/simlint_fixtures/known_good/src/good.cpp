@@ -1,0 +1,74 @@
+// Known-good fixture: the same shapes as the known-bad corpus, written
+// the way the codebase wants them — or waived with a reasoned
+// suppression. simlint must report zero findings here.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+struct Queue
+{
+    template <typename F> void scheduleAt(double, F &&) {}
+};
+
+struct Component
+{
+    std::unordered_map<std::uint64_t, int> by_id;
+    std::vector<std::uint64_t> order;    // insertion order, iterable
+
+    int
+    sumDeterministic() const
+    {
+        // Iterate the ordered mirror, point-lookup the map.
+        int sum = 0;
+        for (std::uint64_t id : order)
+            sum += by_id.at(id);
+        return sum;
+    }
+
+    std::vector<std::uint64_t>
+    drainSorted()
+    {
+        // Hash order never escapes: snapshot and sort.
+        std::vector<std::uint64_t> out;
+        // simlint:allow(no-unordered-iteration): sorted before return
+        for (const auto &[id, v] : by_id)
+            out.push_back(id);
+        std::sort(out.begin(), out.end());
+        return out;
+    }
+};
+
+double
+hostSideTimer()
+{
+    // Perf sidecar timing measures the host, not the simulation.
+    // simlint:allow(no-wallclock): host-side perf timing only
+    auto t0 = std::chrono::steady_clock::now();
+    // simlint:allow(no-wallclock): host-side perf timing only
+    return std::chrono::duration<double>(
+               // simlint:allow(no-wallclock): host-side perf timing only
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+void
+scheduleExplicit(Queue &eq)
+{
+    int local = 0;
+    eq.scheduleAt(1.0, [&local]() { ++local; });
+}
+
+struct HotPath
+{
+    std::vector<int> ring;
+
+    // simlint: hot
+    void
+    push(int v)
+    {
+        // simlint:allow(hot-path-alloc): ring warm-up growth only
+        ring.push_back(v);
+    }
+};

@@ -40,7 +40,7 @@ loadJson(const std::string &path)
     std::ostringstream ss;
     ss << in.rdbuf();
     std::string err;
-    auto doc = JsonValue::parse(ss.str(), &err);
+    auto doc = JsonValue::parseTolerant(ss.str(), &err);
     if (!doc)
         std::fprintf(stderr, "bench_summary: %s: %s\n", path.c_str(),
                      err.c_str());

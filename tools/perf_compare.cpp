@@ -54,7 +54,7 @@ loadJson(const std::string &path)
     std::ostringstream ss;
     ss << in.rdbuf();
     std::string err;
-    auto doc = JsonValue::parse(ss.str(), &err);
+    auto doc = JsonValue::parseTolerant(ss.str(), &err);
     if (!doc)
         std::fprintf(stderr, "perf_compare: %s: %s\n", path.c_str(),
                      err.c_str());

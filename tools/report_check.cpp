@@ -51,7 +51,7 @@ checkReport(const std::string &path)
     std::string text, err;
     if (!readFile(path, text))
         return fail(path, "cannot read");
-    auto doc = JsonValue::parse(text, &err);
+    auto doc = JsonValue::parseTolerant(text, &err);
     if (!doc)
         return fail(path, "malformed JSON: " + err);
 
@@ -128,7 +128,7 @@ checkTrace(const std::string &path)
     std::string text, err;
     if (!readFile(path, text))
         return fail(path, "cannot read");
-    auto doc = JsonValue::parse(text, &err);
+    auto doc = JsonValue::parseTolerant(text, &err);
     if (!doc)
         return fail(path, "malformed JSON: " + err);
 
@@ -171,7 +171,7 @@ checkPerf(const std::string &path)
     std::string text, err;
     if (!readFile(path, text))
         return fail(path, "cannot read");
-    auto doc = JsonValue::parse(text, &err);
+    auto doc = JsonValue::parseTolerant(text, &err);
     if (!doc)
         return fail(path, "malformed JSON: " + err);
 

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * simlint CLI.
+ *
+ *   simlint [options] <file-or-dir>...
+ *
+ *   --rules=r1,r2,...   run only the named rules (default: all)
+ *   --json=PATH         also write machine-readable findings
+ *   --list-rules        print rule names and exit
+ *   --no-default-excludes
+ *                       lint build/ and simlint_fixtures/ dirs too
+ *                       (used by simlint's own fixture tests)
+ *
+ * Exit status: 0 clean, 1 findings, 2 usage or I/O error.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "simlint.hpp"
+
+namespace {
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: simlint [--rules=r1,r2] [--json=PATH] "
+                 "[--list-rules] [--no-default-excludes] <paths...>\n");
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    simlint::Options opts;
+    std::vector<std::string> paths;
+    std::string json_path;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--list-rules") {
+            for (const std::string &r : simlint::allRules())
+                std::printf("%s\n", r.c_str());
+            return 0;
+        }
+        if (a.rfind("--rules=", 0) == 0) {
+            std::stringstream ss(a.substr(8));
+            std::string r;
+            while (std::getline(ss, r, ',')) {
+                if (r.empty())
+                    continue;
+                if (!simlint::knownRule(r)) {
+                    std::fprintf(stderr,
+                                 "simlint: unknown rule '%s' "
+                                 "(--list-rules to see them)\n",
+                                 r.c_str());
+                    return 2;
+                }
+                opts.rules.push_back(r);
+            }
+            continue;
+        }
+        if (a.rfind("--json=", 0) == 0) {
+            json_path = a.substr(7);
+            continue;
+        }
+        if (a == "--no-default-excludes") {
+            opts.default_excludes = false;
+            continue;
+        }
+        if (!a.empty() && a[0] == '-')
+            return usage();
+        paths.push_back(a);
+    }
+    if (paths.empty())
+        return usage();
+
+    simlint::RunResult r = simlint::runPaths(paths, opts);
+
+    for (const simlint::Finding &f : r.findings)
+        std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+    std::fprintf(stderr,
+                 "simlint: %zu file(s), %zu finding(s), "
+                 "%zu suppressed\n",
+                 r.files_scanned, r.findings.size(), r.suppressed);
+
+    if (!json_path.empty()) {
+        std::ofstream out(json_path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "simlint: cannot write %s\n",
+                         json_path.c_str());
+            return 2;
+        }
+        out << simlint::toJson(r);
+    }
+    return r.findings.empty() ? 0 : 1;
+}
