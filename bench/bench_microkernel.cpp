@@ -26,6 +26,7 @@
 #include "nic/wire.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metric.hpp"
+#include "obs/pathtrace.hpp"
 #include "obs/profiler.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
@@ -305,6 +306,14 @@ struct PacketHop
     mem::Iommu iommu;
     intr::InterruptRouter router;
     NullEndpoint host;
+    /** Full-export path tracer riding the hop: its record() calls sit
+     *  on the exact instrumented path the figure benches run, so the
+     *  allocs_per_packet gate below also proves the tracer hot path
+     *  allocation-free. (Construct under a PathTraceScope{Full}.) */
+    obs::PathTracer pt;
+    std::uint16_t origin_comp = 0;
+    std::uint16_t drv_comp = 0;
+    std::uint64_t next_id = 0;
     std::vector<nic::RxCompletion> drained;
     std::uint64_t irqs = 0;
     std::uint64_t packets = 0;
@@ -316,6 +325,10 @@ struct PacketHop
     {
         wire.connect(host, nic);
         nic.attachWire(wire);
+        origin_comp = pt.registerComponent("host");
+        drv_comp = pt.registerComponent("drv");
+        wire.setPathTracer(&pt, pt.registerComponent("wire"));
+        nic.setPathTracer(&pt);
         map.mapRange(0, 0x100000, 1024 * mem::kPageSize);
         nic.setIommu(&iommu);
         iommu.attach(nic.pf().rid(), map);
@@ -336,6 +349,8 @@ struct PacketHop
                 nic.drainRxInto(0, drained);
                 auto &ring = nic.rxRing(0);
                 for (const auto &c : drained) {
+                    pt.record(drv_comp, obs::PathStage::LapicDeliver,
+                              c.pkt.trace_id, eq.now());
                     ring.post(c.buffer_gpa);
                     ++packets;
                 }
@@ -354,8 +369,12 @@ struct PacketHop
     void
     sendBatch()
     {
-        for (unsigned i = 0; i < kBatch; ++i)
+        for (unsigned i = 0; i < kBatch; ++i) {
+            pkt.trace_id = ++next_id;
+            pt.record(origin_comp, obs::PathStage::Origin, pkt.trace_id,
+                      eq.now());
             wire.send(host, pkt);
+        }
         eq.runAll();
     }
 };
@@ -365,6 +384,9 @@ struct PacketHop
 static void
 BM_PacketHop(benchmark::State &state)
 {
+    // Full export: every packet pushes ring records through the whole
+    // hop, and the allocation gate must still read zero.
+    obs::PathTraceScope pt_full(obs::PathTraceMode::Full);
     PacketHop hop;
     hop.sendBatch();    // warm queues, rings and scratch buffers
     std::uint64_t allocs_before = heapAllocs();

@@ -289,6 +289,8 @@ InvariantChecker::report() const
             + " records) ---\n";
         out += t.toString();
     }
+    if (pathtrace_)
+        out += obs::pathSnapshotDump(pathtrace_->snapshot());
     return out;
 }
 

@@ -36,6 +36,7 @@
 #include "nic/desc_ring.hpp"
 #include "nic/l2_switch.hpp"
 #include "nic/wire.hpp"
+#include "obs/pathtrace.hpp"
 #include "pci/function.hpp"
 #include "sim/event_queue.hpp"
 
@@ -89,6 +90,9 @@ class InvariantChecker : public sim::EventQueue::Observer
     /** Must be called before a watched function is destroyed (VFs on
      *  VF-disable, hot-unplug). */
     void unwatchFunction(const pci::PciFunction &fn);
+    /** Flight recorder: report() appends @p pt's sampled packet
+     *  trails and stage attribution for post-mortem context. */
+    void attachPathTracer(const obs::PathTracer *pt) { pathtrace_ = pt; }
     /** @} */
 
     /** Poll every watched component's instantaneous invariants. */
@@ -155,6 +159,7 @@ class InvariantChecker : public sim::EventQueue::Observer
     std::vector<WatchedLapic> lapics_;
     std::vector<const pci::PciFunction *> functions_;
     std::vector<Violation> violations_;
+    const obs::PathTracer *pathtrace_ = nullptr;
 };
 
 } // namespace sriov::check

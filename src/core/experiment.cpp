@@ -29,6 +29,7 @@ obs::MetricRegistry &
 FigCase::instrument(Testbed &tb)
 {
     reg_ = obs::MetricRegistry();
+    tb_ = &tb;
     tb.enableObs();
     tb.registerMetrics(reg_);
     return reg_;
@@ -38,6 +39,11 @@ void
 FigCase::snapshot(const std::string &label, const std::string &prefix)
 {
     snaps_.push_back(Snap{label, reg_.snapshot(prefix)});
+    // Path-tracer capture rides along under the same label; snapshots
+    // are values, so parallel sweep workers stay thread-confined and
+    // mergeCase() reproduces the sequential byte stream.
+    if (tb_)
+        path_snaps_.emplace_back(label, tb_->pathTracer().snapshot());
 }
 
 void
@@ -73,6 +79,7 @@ obs::MetricRegistry &
 FigReport::instrument(Testbed &tb)
 {
     reg_ = obs::MetricRegistry();
+    last_tb_ = &tb;
     tb.enableObs();
     tb.registerMetrics(reg_);
     return reg_;
@@ -82,11 +89,24 @@ void
 FigReport::snapshot(const std::string &label, const std::string &prefix)
 {
     rep_.addSnapshot(label, reg_, prefix);
+    if (last_tb_)
+        notePathSnapshot(label, last_tb_->pathTracer().snapshot());
     // Name the perf entry the drive just produced after this case.
     if (last_perf_unlabelled_ && !perf_.empty()) {
         perf_.back().label = label;
         last_perf_unlabelled_ = false;
     }
+}
+
+void
+FigReport::notePathSnapshot(const std::string &label,
+                            obs::PathSnapshot snap)
+{
+    // The report block reads only the base-rate attribution, which is
+    // identical whatever the export mode — figXX.json stays
+    // byte-identical across --pathtrace=off/sampled/full.
+    rep_.addPathStages(label, snap);
+    path_cases_.emplace_back(label, std::move(snap));
 }
 
 void
@@ -193,6 +213,9 @@ FigReport::mergeCase(FigCase &c)
     for (FigCase::Snap &s : c.snaps_)
         rep_.addSnapshot(s.label, std::move(s.data));
     c.snaps_.clear();
+    for (auto &[label, snap] : c.path_snaps_)
+        notePathSnapshot(label, std::move(snap));
+    c.path_snaps_.clear();
     for (const auto &[name, value] : c.metrics_)
         rep_.addMetric(name, value);
     c.metrics_.clear();
@@ -263,6 +286,49 @@ FigReport::writePerfSidecar(const std::string &path) const
     return obs::writeTextFile(path, w.str());
 }
 
+void
+FigReport::writePathArtifacts()
+{
+    if (path_cases_.empty())
+        return;
+    // Requested export: the full trail/ring dump plus Perfetto flows.
+    if (opts_.wantPathTrace()) {
+        std::string path = opts_.pathtracePath();
+        if (obs::writePathTraceFile(path, opts_.bench(), "trace",
+                                    path_cases_)) {
+            std::printf("pathtrace: wrote %s (%zu cases)\n", path.c_str(),
+                        path_cases_.size());
+        } else {
+            std::fprintf(stderr, "pathtrace: FAILED to write %s\n",
+                         path.c_str());
+        }
+        obs::ChromeTraceWriter w;
+        for (const auto &[label, snap] : path_cases_)
+            obs::exportPathFlows(w, label, snap);
+        std::string fpath = opts_.pathtraceFlowsPath();
+        if (w.writeTo(fpath)) {
+            std::printf("pathtrace: wrote %s (%zu events)\n",
+                        fpath.c_str(), w.eventCount());
+        } else {
+            std::fprintf(stderr, "pathtrace: FAILED to write %s\n",
+                         fpath.c_str());
+        }
+    }
+    // Flight recorder: a report out of band dumps the always-on
+    // low-rate trails, whatever the export mode.
+    if (!rep_.allPass()) {
+        std::string path = opts_.flightrecPath();
+        if (obs::writePathTraceFile(path, opts_.bench(), "flightrec",
+                                    path_cases_)) {
+            std::printf("flightrec: report out of band, wrote %s\n",
+                        path.c_str());
+        } else {
+            std::fprintf(stderr, "flightrec: FAILED to write %s\n",
+                         path.c_str());
+        }
+    }
+}
+
 int
 FigReport::finish()
 {
@@ -277,6 +343,7 @@ FigReport::finish()
                 path.c_str(), rep_.snapshotCount(),
                 rep_.expectationCount(),
                 rep_.allPass() ? "" : ", some out of band");
+    writePathArtifacts();
     if (!perf_.empty()) {
         std::string ppath = opts_.perfPath();
         if (!writePerfSidecar(ppath)) {

@@ -66,7 +66,10 @@ class FigCase
 
     std::string label_;
     obs::MetricRegistry reg_;
+    Testbed *tb_ = nullptr;    ///< last instrument()-ed testbed
     std::vector<Snap> snaps_;
+    /** Path-tracer snapshots, one per snapshot() call, same labels. */
+    std::vector<std::pair<std::string, obs::PathSnapshot>> path_snaps_;
     std::vector<std::pair<std::string, double>> metrics_;
     std::uint64_t events_ = 0;
     std::uint64_t packets_ = 0;
@@ -176,11 +179,19 @@ class FigReport
     void notePerf(const std::string &label, std::uint64_t events,
                   double wall_s, std::uint64_t packets = 0);
     bool writePerfSidecar(const std::string &path) const;
+    /** Stash (and report) one path-tracer snapshot under @p label. */
+    void notePathSnapshot(const std::string &label,
+                          obs::PathSnapshot snap);
+    void writePathArtifacts();
 
     obs::BenchOptions opts_;
     obs::Report rep_;
     obs::MetricRegistry reg_;
+    Testbed *last_tb_ = nullptr;    ///< last instrument()-ed testbed
     std::vector<CasePerf> perf_;
+    /** Per-snapshot path-tracer captures, for the pathtrace/flightrec
+     *  artifacts (report path_stages blocks are added as they land). */
+    std::vector<std::pair<std::string, obs::PathSnapshot>> path_cases_;
     bool last_perf_unlabelled_ = false;
     bool trace_done_ = false;
 };

@@ -7,6 +7,9 @@ namespace sriov::core {
 
 Testbed::Testbed(Params p) : params_(std::move(p))
 {
+    // First thing built: components created below register with it.
+    pathtrace_ = std::make_unique<obs::PathTracer>();
+
     vmm::Hypervisor::MachineParams mp;
     server_ = std::make_unique<vmm::Hypervisor>(eq_, params_.costs, mp);
     client_ = std::make_unique<vmm::Hypervisor>(eq_, params_.costs, mp);
@@ -82,8 +85,39 @@ Testbed::Testbed(Params p) : params_(std::move(p))
         wires_.back()->connect(*server_end, *cp.nic);
         server_end->attachWire(*wires_.back());
         cp.nic->attachWire(*wires_.back());
+
+        // Path-tracer wiring for this port's whole chain. Registration
+        // order is the build order, so component ids (and every
+        // artifact built from them) are reproducible.
+        obs::PathTracer *pt = pathtrace_.get();
+        server_end->setPathTracer(pt);
+        wires_.back()->setPathTracer(
+            pt, pt->registerComponent("wire" + std::to_string(i)));
+        cp.nic->setPathTracer(pt);
+        cp.drv->setPathTracer(
+            pt,
+            pt->registerComponent("cli" + std::to_string(i) + ".drv"));
+        cp.stack->setPathTracer(
+            pt,
+            pt->registerComponent("cli" + std::to_string(i) + ".net"));
+
         client_ports_.push_back(std::move(cp));
     }
+
+    // Auxiliary delivery marks: every MSI reaching a router drops a
+    // trace_id-0 record, so flight-recorder dumps show interrupt
+    // activity interleaved with packet trails. Pure observation — the
+    // tap neither schedules nor mutates.
+    auto tapRouter = [this](intr::InterruptRouter &r, const char *name) {
+        std::uint16_t comp = pathtrace_->registerComponent(name);
+        r.addDeliveryTap(
+            [this, comp](pci::Rid, const pci::MsiMessage &) {
+                pathtrace_->mark(comp, obs::PathStage::LapicDeliver,
+                                 eq_.now());
+            });
+    };
+    tapRouter(server_->router(), "server.intr");
+    tapRouter(client_->router(), "client.intr");
 }
 
 Testbed::~Testbed() = default;
@@ -138,6 +172,10 @@ Testbed::addGuest(vmm::DomainType type, NetMode mode,
     g->kern = std::make_unique<guest::GuestKernel>(*server_, *g->dom, kv);
     g->stack = std::make_unique<guest::NetStack>(*g->kern);
     g->stack->setUdpSocketCapacity(params_.ap_bufs);
+    g->stack->setPathTracer(
+        pathtrace_.get(),
+        pathtrace_->registerComponent("vm" + std::to_string(idx)
+                                      + ".net"));
 
     switch (mode) {
       case NetMode::Sriov: {
@@ -152,6 +190,10 @@ Testbed::addGuest(vmm::DomainType type, NetMode mode,
         g->vf = std::make_unique<drivers::VfDriver>(
             *g->kern, nic, nic.vfPool(vf_index), cfg);
         g->vf->setItrPolicy(makeGuestItr());
+        g->vf->setPathTracer(
+            pathtrace_.get(),
+            pathtrace_->registerComponent("vm" + std::to_string(idx)
+                                          + ".drv"));
         g->vf->init();
         g->netdev = g->vf.get();
         break;
@@ -243,9 +285,19 @@ Testbed::dom0Net(unsigned port)
         dp.drv = std::make_unique<drivers::VfDriver>(
             *dom0_kern_, serverNic(port), nic::Pool(0), cfg);
         dp.drv->setItrPolicy(std::make_unique<drivers::AdaptiveItr>());
+        dp.drv->setPathTracer(
+            pathtrace_.get(),
+            pathtrace_->registerComponent("dom0_eth"
+                                          + std::to_string(port)
+                                          + ".drv"));
         dp.drv->init();
         dp.stack = std::make_unique<guest::NetStack>(*dom0_kern_);
         dp.stack->attachDevice(*dp.drv);
+        dp.stack->setPathTracer(
+            pathtrace_.get(),
+            pathtrace_->registerComponent("dom0_eth"
+                                          + std::to_string(port)
+                                          + ".net"));
         it = dom0_ports_.emplace(port, std::move(dp)).first;
     }
     return *it->second.stack;
@@ -532,6 +584,8 @@ Testbed::watchAll(check::InvariantChecker &chk)
                               "guest" + std::to_string(g));
         }
     }
+    // Violation reports carry the flight recorder's packet trails.
+    chk.attachPathTracer(pathtrace_.get());
 }
 
 } // namespace sriov::core

@@ -36,6 +36,7 @@
 #include "obs/chrome_trace.hpp"
 #include "obs/histogram.hpp"
 #include "obs/metric.hpp"
+#include "obs/pathtrace.hpp"
 #include "vmm/migration.hpp"
 
 namespace sriov::check {
@@ -208,6 +209,15 @@ class Testbed
      */
     void attachObsTrace(obs::ChromeTraceWriter &w);
 
+    /**
+     * The causal packet-path tracer. Always present and wired into
+     * every datapath component at construction; the global
+     * obs::pathTraceMode() (sampled at construction) decides how much
+     * it keeps. Snapshot it after a run for attribution/trails.
+     */
+    obs::PathTracer &pathTracer() { return *pathtrace_; }
+    const obs::PathTracer &pathTracer() const { return *pathtrace_; }
+
     /** @} */
 
     /**
@@ -266,6 +276,9 @@ class Testbed
     std::vector<std::unique_ptr<guest::TcpStreamSender>> tcp_senders_;
     std::map<unsigned, unsigned> next_vf_on_port_;
     std::unique_ptr<ObsHooks> obs_;
+    /** Constructed before any component so registration order — and
+     *  therefore snapshot/artifact bytes — is fixed by build order. */
+    std::unique_ptr<obs::PathTracer> pathtrace_;
 };
 
 } // namespace sriov::core

@@ -164,10 +164,17 @@ VfDriver::transmit(const nic::Packet &pkt)
     return true;
 }
 
+// simlint: hot
 double
 VfDriver::irqTop()
 {
     nic_.drainRxInto(pool_, pending_);
+    if (pt_) {
+        const sim::Time now = kern_.hv().eq().now();
+        for (const auto &c : pending_)
+            pt_->record(pt_comp_, obs::PathStage::LapicDeliver,
+                        c.pkt.trace_id, now);
+    }
     return double(pending_.size()) * kern_.hv().costs().guest_per_packet;
 }
 

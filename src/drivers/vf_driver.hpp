@@ -88,6 +88,15 @@ class VfDriver : public guest::NetDevice,
     void irqBottom() override;
     /** @} */
 
+    /** Attach the path tracer: drained completions stamp LapicDeliver
+     *  (the ISR ran on the guest's LAPIC) against @p comp. */
+    void
+    setPathTracer(obs::PathTracer *pt, std::uint16_t comp)
+    {
+        pt_ = pt;
+        pt_comp_ = comp;
+    }
+
   private:
     void registerMac();
     void unregisterMac();
@@ -110,6 +119,8 @@ class VfDriver : public guest::NetDevice,
     std::vector<nic::Packet> up_batch_;    ///< reused across interrupts
     double period_pkts_ = 0;
     double period_bits_ = 0;
+    obs::PathTracer *pt_ = nullptr;
+    std::uint16_t pt_comp_ = 0;
 };
 
 } // namespace sriov::drivers

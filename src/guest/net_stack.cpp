@@ -34,6 +34,10 @@ NetStack::sendUdp(nic::MacAddr dst, std::uint32_t payload,
     pkt.kind = nic::Packet::Kind::Udp;
     pkt.flow = flow;
     pkt.sent_at = kern_.hv().eq().now();
+    pkt.trace_id = nextTraceId();
+    if (pt_)
+        pt_->record(pt_comp_, obs::PathStage::Origin, pkt.trace_id,
+                    pkt.sent_at);
     kern_.chargeTx(kern_.hv().costs().guest_tx_per_packet);
     return dev_->transmit(pkt);
 }
@@ -52,6 +56,10 @@ NetStack::sendTcpSegment(nic::MacAddr dst, std::uint32_t payload,
     pkt.flow = flow;
     pkt.seq = end_seq;
     pkt.sent_at = kern_.hv().eq().now();
+    pkt.trace_id = nextTraceId();
+    if (pt_)
+        pt_->record(pt_comp_, obs::PathStage::Origin, pkt.trace_id,
+                    pkt.sent_at);
     kern_.chargeTx(kern_.hv().costs().guest_tx_per_packet);
     return dev_->transmit(pkt);
 }
@@ -60,6 +68,12 @@ void
 NetStack::deviceRx(NetDevice &, const std::vector<nic::Packet> &pkts)
 {
     bool need_app = false;
+    if (pt_) {
+        const sim::Time now = kern_.hv().eq().now();
+        for (const auto &pkt : pkts)
+            pt_->record(pt_comp_, obs::PathStage::GuestRx, pkt.trace_id,
+                        now);
+    }
     for (const auto &pkt : pkts) {
         switch (pkt.kind) {
           case nic::Packet::Kind::Udp:
@@ -164,6 +178,10 @@ NetStack::sendAck(nic::MacAddr peer)
     ack.kind = nic::Packet::Kind::TcpAck;
     ack.ack = tcp_cum_rx_;
     ack.sent_at = kern_.hv().eq().now();
+    ack.trace_id = nextTraceId();
+    if (pt_)
+        pt_->record(pt_comp_, obs::PathStage::Origin, ack.trace_id,
+                    ack.sent_at);
     kern_.chargeTx(kern_.hv().costs().guest_tx_per_packet);
     dev_->transmit(ack);
 }

@@ -28,6 +28,7 @@
 #include "guest/kernel.hpp"
 #include "guest/socket_buffer.hpp"
 #include "nic/packet.hpp"
+#include "obs/pathtrace.hpp"
 
 namespace sriov::guest {
 
@@ -113,6 +114,18 @@ class NetStack : public NetRxSink
     /** Configure the UDP socket buffer (ap_bufs). */
     void setUdpSocketCapacity(std::size_t packets);
 
+    /**
+     * Attach the path tracer: this stack becomes a trace-id origin
+     * (every frame it sends gets a fresh id, stamped Origin) and a
+     * terminal (received frames are stamped GuestRx).
+     */
+    void
+    setPathTracer(obs::PathTracer *pt, std::uint16_t comp)
+    {
+        pt_ = pt;
+        pt_comp_ = comp;
+    }
+
     /** TCP segments consumed (and cumulatively ACKed) per app chunk. */
     static constexpr std::size_t kTcpAckChunk = 16;
 
@@ -121,6 +134,18 @@ class NetStack : public NetRxSink
     void appPump();
     void processTcpChunk();
     void sendAck(nic::MacAddr peer);
+
+    /**
+     * Fresh trace id: the sender's MAC in the top 24 bits over a local
+     * counter, so ids are unique across stacks within a testbed and
+     * fully deterministic (no global state, no randomness).
+     */
+    std::uint64_t
+    nextTraceId()
+    {
+        return ((dev_->mac().value & 0xffffffull) << 40)
+            | (++trace_seq_ & 0xffffffffffull);
+    }
 
     GuestKernel &kern_;
     NetDevice *dev_ = nullptr;
@@ -135,6 +160,9 @@ class NetStack : public NetRxSink
     bool tcp_ack_due_ = false;
     /** Scratch for socket reads, reused across app wakeups. */
     std::vector<nic::Packet> read_buf_;
+    obs::PathTracer *pt_ = nullptr;
+    std::uint16_t pt_comp_ = 0;
+    std::uint64_t trace_seq_ = 0;
 };
 
 } // namespace sriov::guest

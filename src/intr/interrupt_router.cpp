@@ -43,8 +43,8 @@ InterruptRouter::allocateAndBind(HandlerFn handler)
 void
 InterruptRouter::deliverMsi(pci::Rid source, const pci::MsiMessage &msg)
 {
-    if (tap_)
-        tap_(source, msg);
+    for (const DeliveryTap &tap : taps_)
+        tap(source, msg);
     HandlerFn &h = handlers_[msg.vector()];
     if (!h) {
         spurious_.inc();

@@ -47,11 +47,21 @@ class InterruptRouter
 
     /**
      * Observation hook for correctness tooling: called for every MSI
-     * reaching the router, before handler dispatch. One tap only.
+     * reaching the router, before handler dispatch. Multiple taps run
+     * in registration order (e.g. InvariantChecker's conservation
+     * probe and the path tracer's delivery mark coexist).
      */
     using DeliveryTap =
         std::function<void(pci::Rid, const pci::MsiMessage &)>;
-    void setDeliveryTap(DeliveryTap tap) { tap_ = std::move(tap); }
+    void addDeliveryTap(DeliveryTap tap)
+    {
+        taps_.push_back(std::move(tap));
+    }
+    /** Legacy name; appends like addDeliveryTap. */
+    void setDeliveryTap(DeliveryTap tap)
+    {
+        addDeliveryTap(std::move(tap));
+    }
 
     std::uint64_t delivered() const { return delivered_.value(); }
     std::uint64_t spurious() const { return spurious_.value(); }
@@ -65,7 +75,7 @@ class InterruptRouter
     /** Dense dispatch: indexed by vector (Vector is 8-bit), so
      *  deliverMsi is an array load instead of a hash probe. */
     std::vector<HandlerFn> handlers_;
-    DeliveryTap tap_;
+    std::vector<DeliveryTap> taps_;
     sim::Counter delivered_;
     sim::Counter spurious_;
 };

@@ -57,6 +57,35 @@ DmaEngine::reserve(std::uint64_t bytes)
 }
 
 // simlint: hot
+sim::Time
+DmaEngine::reserve(std::uint64_t bytes, std::uint64_t trace_id,
+                   obs::PathStage stage)
+{
+    sim::Time done_at = reserve(bytes);
+    if (pt_)
+        pt_->record(pt_comp_, stage, trace_id, done_at);
+    return done_at;
+}
+
+// simlint: hot
+void
+DmaEngine::transfer(std::uint64_t bytes, std::uint64_t trace_id,
+                    obs::PathStage stage, sim::InplaceFn on_done)
+{
+    if (thin_) {
+        sim::Time done_at = reserve(bytes, trace_id, stage);
+        eq_.scheduleAt(done_at, std::move(on_done), "dma.done");
+        return;
+    }
+    // Exact mode stamps at completion (finishCurrent), which lands on
+    // the same simulated instant thin mode computes analytically.
+    // simlint:allow(hot-path-alloc): RingBuf warm-up growth only
+    queue_.push_back(Xfer{bytes, std::move(on_done), trace_id, stage});
+    if (!in_service_)
+        startNext();
+}
+
+// simlint: hot
 void
 DmaEngine::transfer(std::uint64_t bytes, sim::InplaceFn on_done)
 {
@@ -101,6 +130,8 @@ DmaEngine::startNext()
     bytes_moved_.inc(x.bytes);
     transfers_.inc();
     current_done_ = std::move(x.on_done);
+    current_trace_ = x.trace_id;
+    current_stage_ = x.stage;
     eq_.scheduleIn(t, [this]() { finishCurrent(); }, "dma.done");
 }
 
@@ -111,6 +142,10 @@ DmaEngine::finishCurrent()
     // Move the completion out first: it may queue more transfers
     // (reentrancy), and startNext() overwrites current_done_.
     sim::InplaceFn done = std::move(current_done_);
+    if (pt_ && current_stage_ != obs::PathStage::Count)
+        pt_->record(pt_comp_, current_stage_, current_trace_, eq_.now());
+    current_trace_ = 0;
+    current_stage_ = obs::PathStage::Count;
     if (done)
         done();
     startNext();

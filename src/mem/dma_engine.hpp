@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/pathtrace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/inplace_fn.hpp"
 #include "sim/ring_buf.hpp"
@@ -58,12 +59,33 @@ class DmaEngine
     void transfer(std::uint64_t bytes, sim::InplaceFn on_done);
 
     /**
+     * transfer() that also stamps the path tracer for packet
+     * @p trace_id with @p stage at the completion instant — the same
+     * simulated time in thin and exact mode, so attribution stays
+     * mode-invariant.
+     */
+    void transfer(std::uint64_t bytes, std::uint64_t trace_id,
+                  obs::PathStage stage, sim::InplaceFn on_done);
+
+    /**
      * Thin-mode only: account a transfer of @p bytes and return its
      * completion instant without scheduling any event. The caller owns
      * making every externally visible effect appear at the returned
      * time (ledgers settled on read, timed hand-over to the wire).
      */
     sim::Time reserve(std::uint64_t bytes);
+
+    /** reserve() that stamps the tracer at the returned instant. */
+    sim::Time reserve(std::uint64_t bytes, std::uint64_t trace_id,
+                      obs::PathStage stage);
+
+    /** Attach the path tracer; DMA completions stamp @p comp. */
+    void
+    setPathTracer(obs::PathTracer *pt, std::uint16_t comp)
+    {
+        pt_ = pt;
+        pt_comp_ = comp;
+    }
 
     /** Is the analytic path active (reserve() usable)? */
     bool thin() const { return thin_; }
@@ -82,6 +104,8 @@ class DmaEngine
     {
         std::uint64_t bytes;
         sim::InplaceFn on_done;
+        std::uint64_t trace_id = 0;
+        obs::PathStage stage = obs::PathStage::Count;
     };
 
     void startNext();
@@ -99,7 +123,11 @@ class DmaEngine
      * strictly FIFO, so at most one transfer is in service.
      */
     sim::InplaceFn current_done_;
+    std::uint64_t current_trace_ = 0;
+    obs::PathStage current_stage_ = obs::PathStage::Count;
     bool in_service_ = false;
+    obs::PathTracer *pt_ = nullptr;
+    std::uint16_t pt_comp_ = 0;
     /** Thin mode: when the link frees up after all accepted work. */
     sim::Time free_at_;
     /**

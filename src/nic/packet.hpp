@@ -94,6 +94,7 @@ struct Packet
     std::uint64_t seq = 0;           ///< TCP: cumulative end-seq of segment
     std::uint64_t ack = 0;           ///< TcpAck: cumulative acked bytes
     sim::Time sent_at;               ///< for latency accounting
+    std::uint64_t trace_id = 0;      ///< pathtrace id; 0 = untraced
 
     /** Bytes the physical line serializes for this frame. */
     std::uint32_t

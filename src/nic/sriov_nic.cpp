@@ -125,6 +125,16 @@ NicPort::setPoolFilter(Pool pool, MacAddr mac, std::uint16_t vlan)
     l2_.setFilter(mac, vlan, pool);
 }
 
+void
+NicPort::setPathTracer(obs::PathTracer *pt)
+{
+    pt_ = pt;
+    if (pt == nullptr)
+        return;
+    pt_comp_ = pt->registerComponent(name_);
+    dma_.setPathTracer(pt, pt->registerComponent(name_ + ".dma"));
+}
+
 // simlint: hot
 void
 NicPort::settleStats(PoolState &ps) const
@@ -139,6 +149,25 @@ NicPort::settleStats(PoolState &ps) const
         ps.stats.tx_frames.inc();
         ps.stats.tx_bytes.inc(ps.tx_ledger.front().bytes);
         ps.tx_ledger.pop_front();
+    }
+}
+
+// simlint: hot
+void
+NicPort::stampRaise(PoolState &ps)
+{
+    if (!pt_)
+        return;
+    const sim::Time now = eq_.now();
+    for (std::size_t i = 0; i < ps.completed.size(); ++i) {
+        PendingRx &e = ps.completed[i];
+        if (e.ready > now)
+            break;      // ready-sorted: the rest are still in flight
+        if (e.raise_stamped)
+            continue;
+        e.raise_stamped = true;
+        pt_->record(pt_comp_, obs::PathStage::MsixRaise,
+                    e.rc.pkt.trace_id, now);
     }
 }
 
@@ -165,6 +194,9 @@ NicPort::receive(const Packet &pkt)
         drop_no_match_.inc();
         return;
     }
+    if (pt_)
+        pt_->record(pt_comp_, obs::PathStage::L2Classify, pkt.trace_id,
+                    eq_.now());
     deliverToPool(*pool, pkt);
 }
 
@@ -187,6 +219,9 @@ NicPort::deliverToPool(Pool pool, const Packet &pkt)
                     name_.c_str(), pool);
         return;
     }
+    if (pt_)
+        pt_->record(pt_comp_, obs::PathStage::RingTake, pkt.trace_id,
+                    eq_.now());
     mem::Addr gpa = *buf;
     if (iommu_) {
         auto r = iommu_->translate(fn.rid(), gpa, /*is_write=*/true);
@@ -194,11 +229,15 @@ NicPort::deliverToPool(Pool pool, const Packet &pkt)
             ps.stats.rx_drop_iommu.inc();
             return;
         }
+        if (pt_)
+            pt_->record(pt_comp_, obs::PathStage::IommuXlate,
+                        pkt.trace_id, eq_.now());
     }
     if (thin_) {
         settleStats(ps);    // keeps the ledger ring short and hot
-        // simlint:allow(hot-path-alloc): reserves link time, not memory
-        sim::Time c = dma_.reserve(pkt.bytes);
+        sim::Time c =
+            // simlint:allow(hot-path-alloc): reserves link time, not memory
+            dma_.reserve(pkt.bytes, pkt.trace_id, obs::PathStage::RxDma);
         // Early completion: when the frame completes strictly inside
         // the current ITR window, the exact model would only set
         // intr_pending at c — every visible effect is reproducible
@@ -225,7 +264,8 @@ NicPort::deliverToPool(Pool pool, const Packet &pkt)
         }, "dma.done");
         return;
     }
-    dma_.transfer(pkt.bytes, [this, pool, pkt, gpa]() {
+    dma_.transfer(pkt.bytes, pkt.trace_id, obs::PathStage::RxDma,
+                  [this, pool, pkt, gpa]() {
         finishRx(pool, pkt, gpa);
     });
 }
@@ -258,6 +298,7 @@ NicPort::requestInterrupt(Pool pool)
         ps.stats.interrupts.inc();
         SRIOV_TRACE(sim::TraceCat::Irq, "%s pool %u: raise (itr %.0f Hz)",
                     name_.c_str(), pool, ps.itr_hz);
+        stampRaise(ps);
         signalPool(pool);
         if (ps.itr_hz > 0) {
             // Lazy throttle window: no expiry event unless a deferred
@@ -274,6 +315,7 @@ NicPort::requestInterrupt(Pool pool)
     ps.stats.interrupts.inc();
     SRIOV_TRACE(sim::TraceCat::Irq, "%s pool %u: raise (itr %.0f Hz)",
                 name_.c_str(), pool, ps.itr_hz);
+    stampRaise(ps);
     signalPool(pool);
     if (ps.itr_hz <= 0)
         return;
@@ -317,6 +359,9 @@ NicPort::transmit(Pool pool, const Packet &pkt)
         ps.stats.tx_dropped.inc();
         return;
     }
+    if (pt_)
+        pt_->record(pt_comp_, obs::PathStage::GuestTx, pkt.trace_id,
+                    eq_.now());
     if (thin_) {
         // Flow-through: a wire-bound frame needs no completion event —
         // TX stats are ledgered at the DMA-done instant c and the wire
@@ -328,20 +373,23 @@ NicPort::transmit(Pool pool, const Packet &pkt)
         if (!local && wire_ != nullptr) {
             settleStats(ps);    // keeps the ledger ring short and hot
             // simlint:allow(hot-path-alloc): reserves link time, not memory
-            sim::Time c = dma_.reserve(pkt.bytes);
+            sim::Time c = dma_.reserve(pkt.bytes, pkt.trace_id,
+                                       obs::PathStage::TxDma);
             // simlint:allow(hot-path-alloc): RingBuf warm-up growth only
             ps.tx_ledger.push_back(StatDelta{c, pkt.bytes});
             wire_->sendAt(*this, pkt, c);
             return;
         }
         // simlint:allow(hot-path-alloc): reserves link time, not memory
-        sim::Time c = dma_.reserve(pkt.bytes);
+        sim::Time c = dma_.reserve(pkt.bytes, pkt.trace_id,
+                                   obs::PathStage::TxDma);
         eq_.scheduleAt(c, [this, pool, pkt]() { finishTx(pool, pkt); },
                        "dma.done");
         return;
     }
     // Fetch the frame from memory across the PCIe link, then route.
-    dma_.transfer(pkt.bytes, [this, pool, pkt]() { finishTx(pool, pkt); });
+    dma_.transfer(pkt.bytes, pkt.trace_id, obs::PathStage::TxDma,
+                  [this, pool, pkt]() { finishTx(pool, pkt); });
 }
 
 // simlint: hot
@@ -354,6 +402,12 @@ NicPort::finishTx(Pool pool, const Packet &pkt)
     auto local = l2_.classify(pkt);
     if (local) {
         // Internal switch: loop back through a second DMA crossing.
+        // (Wire-bound frames are L2Classify-stamped at the receiving
+        // port instead; the thin TX fast path never reaches here, so
+        // stamping an unmatched classification would diverge by mode.)
+        if (pt_)
+            pt_->record(pt_comp_, obs::PathStage::L2Classify,
+                        pkt.trace_id, eq_.now());
         deliverToPool(*local, pkt);
     } else if (wire_) {
         wire_->send(*this, pkt);

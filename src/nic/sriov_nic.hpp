@@ -34,6 +34,7 @@
 #include "mem/dma_engine.hpp"
 #include "mem/iommu.hpp"
 #include "nic/desc_ring.hpp"
+#include "obs/pathtrace.hpp"
 #include "nic/l2_switch.hpp"
 #include "nic/mailbox.hpp"
 #include "nic/packet.hpp"
@@ -126,6 +127,14 @@ class NicPort : public WireEndpoint, public pci::PciDevice
     const PoolStats &poolStats(Pool pool) const;
     std::uint64_t rxDropNoMatch() const { return drop_no_match_.value(); }
 
+    /**
+     * Attach the path tracer: registers "<name>" for the port's stage
+     * stamps (GuestTx, L2Classify, RingTake, IommuXlate, MsixRaise)
+     * and "<name>.dma" for the DMA engine's TxDma/RxDma completion
+     * stamps. Call before traffic flows (registration allocates).
+     */
+    void setPathTracer(obs::PathTracer *pt);
+
   protected:
     /** A DMA-completed frame; `ready` is its completion instant (thin
      *  mode queues some entries ahead of time; drains filter on it). */
@@ -133,6 +142,9 @@ class NicPort : public WireEndpoint, public pci::PciDevice
     {
         RxCompletion rc;
         sim::Time ready;
+        /** MsixRaise already stamped for this frame (a later raise in
+         *  the same window must not re-stamp it). */
+        bool raise_stamped = false;
     };
 
     /** One frame's stat increment, visible once `at` passes (thin
@@ -190,6 +202,9 @@ class NicPort : public WireEndpoint, public pci::PciDevice
     void itrExpired(Pool pool);
     /** Thin mode: fold matured ledger entries into the stats. */
     void settleStats(PoolState &ps) const;
+    /** Stamp MsixRaise on every completed-and-due frame not yet
+     *  stamped; called at each actual interrupt raise. */
+    void stampRaise(PoolState &ps);
 
     sim::EventQueue &eq_;
     std::string name_;
@@ -203,6 +218,8 @@ class NicPort : public WireEndpoint, public pci::PciDevice
     std::vector<std::unique_ptr<PoolState>> pools_;
     std::optional<Pool> default_pool_;
     sim::Counter drop_no_match_;
+    obs::PathTracer *pt_ = nullptr;
+    std::uint16_t pt_comp_ = 0;
 };
 
 /**

@@ -94,6 +94,11 @@ Wire::sendAt(WireEndpoint &from, const Packet &pkt, sim::Time release)
     sim::Time ser =
         sim::Time::transfer(double(pkt.wireBytes()) * 8.0, params_.line_bps);
     d.line_free_at = start + ser;
+    // Future-valued stamp: `start` is the instant exact mode's
+    // startNext() would run, so the recorded time is mode-invariant.
+    if (pt_)
+        pt_->record(pt_comp_, obs::PathStage::WireTx, pkt.trace_id,
+                    start);
     // RingBuf grows only to the burst high-water mark at warm-up;
     // steady state is a masked store (the bench operator-new gate
     // enforces zero allocs at runtime; this makes the waiver explicit).
@@ -119,6 +124,9 @@ Wire::drain(unsigned dir)
         Packet pkt = std::move(d.fl.front().pkt);
         d.fl.pop_front();
         delivered_.inc();
+        if (pt_)
+            pt_->record(pt_comp_, obs::PathStage::WireRx, pkt.trace_id,
+                        eq_.now());
         d.to->receive(pkt);
     }
     if (!d.fl.empty()) {
@@ -160,6 +168,9 @@ Wire::startNext(unsigned dir)
     d.busy = true;
     Packet pkt = std::move(d.q.front());
     d.q.pop_front();
+    if (pt_)
+        pt_->record(pt_comp_, obs::PathStage::WireTx, pkt.trace_id,
+                    eq_.now());
     sim::Time ser =
         sim::Time::transfer(double(pkt.wireBytes()) * 8.0, params_.line_bps);
     // The receiver sees the frame after serialization + propagation;
@@ -168,6 +179,9 @@ Wire::startNext(unsigned dir)
         eq_.scheduleIn(params_.propagation,
                        [this, dir, pkt = std::move(pkt)]() {
             delivered_.inc();
+            if (pt_)
+                pt_->record(pt_comp_, obs::PathStage::WireRx,
+                            pkt.trace_id, eq_.now());
             dirs_[dir].to->receive(pkt);
         }, "wire.deliver");
         startNext(dir);

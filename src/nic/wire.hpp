@@ -26,6 +26,7 @@
 #define SRIOV_NIC_WIRE_HPP
 
 #include "nic/packet.hpp"
+#include "obs/pathtrace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/ring_buf.hpp"
 #include "sim/stats.hpp"
@@ -92,6 +93,15 @@ class Wire
 
     static constexpr std::size_t kTxQueueCap = 4096;
 
+    /** Attach the path tracer: accepted frames stamp WireTx at their
+     *  serialization start, deliveries stamp WireRx. */
+    void
+    setPathTracer(obs::PathTracer *pt, std::uint16_t comp)
+    {
+        pt_ = pt;
+        pt_comp_ = comp;
+    }
+
   private:
     /** A frame accepted in thin mode, timestamped analytically. */
     struct InFlight
@@ -126,6 +136,8 @@ class Wire
     sim::Counter delivered_;
     sim::Counter dropped_;
     sim::Counter offered_;
+    obs::PathTracer *pt_ = nullptr;
+    std::uint16_t pt_comp_ = 0;
 };
 
 } // namespace sriov::nic

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/pathtrace.hpp"
 #include "sim/thinning.hpp"
 
 namespace sriov::obs {
@@ -61,6 +62,22 @@ parseJobs(const char *s)
     return static_cast<unsigned>(v);
 }
 
+/** "--pathtrace" values; unknown strings degrade to Off. "--pathtrace"
+ *  with no value (or "1") means full. */
+PathTraceMode
+parsePathTraceMode(const char *s, bool *requested)
+{
+    *requested = true;
+    if (s == nullptr || *s == '\0' || std::strcmp(s, "1") == 0
+        || std::strcmp(s, "full") == 0)
+        return PathTraceMode::Full;
+    if (std::strcmp(s, "sampled") == 0)
+        return PathTraceMode::Sampled;
+    if (std::strcmp(s, "off") == 0 || std::strcmp(s, "0") == 0)
+        *requested = false;
+    return PathTraceMode::Off;
+}
+
 } // namespace
 
 void
@@ -109,6 +126,10 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench)
     if (const char *env = std::getenv("SRIOV_NO_THIN");
         env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0)
         o.no_thin_ = true;
+    PathTraceMode pt_mode = PathTraceMode::Off;
+    if (const char *env = std::getenv("SRIOV_PATHTRACE");
+        env != nullptr && *env != '\0')
+        pt_mode = parsePathTraceMode(env, &o.pathtrace_requested_);
 
     for (int i = 1; i < argc; ++i) {
         const char *arg = argv[i];
@@ -122,6 +143,11 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench)
             o.parseTraceArg("");
         } else if (std::strcmp(arg, "--no-thin") == 0) {
             o.no_thin_ = true;
+        } else if (const char *v = matchFlag(arg, "--pathtrace")) {
+            pt_mode = parsePathTraceMode(v, &o.pathtrace_requested_);
+        } else if (std::strcmp(arg, "--pathtrace") == 0) {
+            pt_mode = parsePathTraceMode(nullptr,
+                                         &o.pathtrace_requested_);
         } else if (std::strcmp(arg, "--help") == 0
                    || std::strcmp(arg, "-h") == 0) {
             o.help_ = true;
@@ -129,9 +155,10 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench)
             o.extra_.emplace_back(arg);
         }
     }
-    // Must happen before any testbed is built: components sample the
-    // switch at construction.
+    // Must happen before any testbed is built: components sample both
+    // switches at construction.
     sim::setThinning(!o.no_thin_);
+    setPathTraceMode(pt_mode);
     return o;
 }
 
@@ -153,6 +180,14 @@ BenchOptions::usage(const std::string &bench)
            "                 the default burst-coalesced event thinning;\n"
            "                 reports are byte-identical, runs slower\n"
            "                 (env fallback: SRIOV_NO_THIN)\n"
+           "  --pathtrace[=off|sampled|full]\n"
+           "                 causal packet-path tracing: writes " + bench
+               + ".pathtrace.json\n"
+           "                 (+ .pathtrace.trace.json Perfetto flows)\n"
+           "                 next to the report. Non-perturbing: the\n"
+           "                 report and event digest are byte-identical\n"
+           "                 in every mode (env fallback:\n"
+           "                 SRIOV_PATHTRACE)\n"
            "  --help         this text\n";
 }
 
@@ -176,6 +211,39 @@ BenchOptions::perfPath() const
     if (p.back() != '/')
         p += '/';
     return p + bench_ + ".perf.json";
+}
+
+std::string
+BenchOptions::pathtracePath() const
+{
+    if (out_dir_.empty())
+        return "";
+    std::string p = out_dir_;
+    if (p.back() != '/')
+        p += '/';
+    return p + bench_ + ".pathtrace.json";
+}
+
+std::string
+BenchOptions::pathtraceFlowsPath() const
+{
+    if (out_dir_.empty())
+        return "";
+    std::string p = out_dir_;
+    if (p.back() != '/')
+        p += '/';
+    return p + bench_ + ".pathtrace.trace.json";
+}
+
+std::string
+BenchOptions::flightrecPath() const
+{
+    if (out_dir_.empty())
+        return "";
+    std::string p = out_dir_;
+    if (p.back() != '/')
+        p += '/';
+    return p + bench_ + ".flightrec.json";
 }
 
 std::string

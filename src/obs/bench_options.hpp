@@ -65,6 +65,16 @@ class BenchOptions
     /** "<out_dir>/<bench>.perf.json" (empty when reporting is off). */
     std::string perfPath() const;
 
+    /** --pathtrace=off|sampled|full (env SRIOV_PATHTRACE); parse()
+     *  applies it to obs::setPathTraceMode before any testbed exists. */
+    bool wantPathTrace() const { return pathtrace_requested_; }
+    /** "<out_dir>/<bench>.pathtrace.json" (empty when reporting off). */
+    std::string pathtracePath() const;
+    /** "<out_dir>/<bench>.pathtrace.trace.json" — Perfetto flows. */
+    std::string pathtraceFlowsPath() const;
+    /** "<out_dir>/<bench>.flightrec.json" — post-mortem dump. */
+    std::string flightrecPath() const;
+
     /** Enable the requested categories on @p t. */
     void applyTraceCategories(sim::Tracer &t) const;
 
@@ -82,6 +92,7 @@ class BenchOptions
     unsigned jobs_ = 1;
     bool no_thin_ = false;
     bool trace_requested_ = false;
+    bool pathtrace_requested_ = false;
     bool all_cats_ = false;
     bool help_ = false;
     std::vector<std::string> extra_;

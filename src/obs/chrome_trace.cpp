@@ -43,6 +43,7 @@ ChromeTraceWriter::push(Event e)
 {
     if (events_.size() >= max_events_) {
         ++dropped_;
+        ++dropped_by_track_[{e.pid, e.tid}];
         return;
     }
     events_.push_back(std::move(e));
@@ -62,6 +63,17 @@ void
 ChromeTraceWriter::addInstant(Track t, std::string name, sim::Time when)
 {
     push(Event{'i', t.pid, t.tid, std::move(name), when.picos(), 0});
+}
+
+void
+ChromeTraceWriter::addFlow(Track t, std::string name,
+                           std::uint64_t flow_id, char phase,
+                           sim::Time when)
+{
+    if (phase != 's' && phase != 't' && phase != 'f')
+        return;
+    push(Event{phase, t.pid, t.tid, std::move(name), when.picos(), 0,
+               flow_id});
 }
 
 void
@@ -185,17 +197,47 @@ ChromeTraceWriter::toJson() const
         w.key("tid").value(std::int64_t(e.tid));
         w.key("name").value(e.name);
         w.key("ts").value(psToUs(e.ts_ps));
-        if (e.phase == 'X')
+        if (e.phase == 'X') {
             w.key("dur").value(psToUs(e.dur_ps));
-        else if (e.phase == 'i')
+        } else if (e.phase == 'i') {
             w.key("s").value("t");
+        } else if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+            w.key("cat").value("pathtrace");
+            w.key("id").value(std::uint64_t(e.flow_id));
+            if (e.phase != 's')
+                w.key("bp").value("e"); // bind to the enclosing slice
+        }
         w.endObject();
     }
 
     w.endArray();
     w.key("displayTimeUnit").value("ns");
-    if (dropped_ > 0)
+    if (dropped_ > 0) {
         w.key("sriovDroppedEvents").value(std::uint64_t(dropped_));
+        // Reverse the interning maps so each drop count carries its
+        // human-readable (process, thread) track name.
+        std::map<int, std::string> pname;
+        for (const auto &[name, pid] : pids_)
+            pname[pid] = name;
+        std::map<std::pair<int, int>, std::string> tname;
+        for (const auto &[key, tid] : tids_)
+            tname[{key.first, tid}] = key.second;
+        w.key("sriovDroppedByTrack").beginArray();
+        for (const auto &[trk, n] : dropped_by_track_) {
+            w.beginObject();
+            w.key("pid").value(std::int64_t(trk.first));
+            w.key("tid").value(std::int64_t(trk.second));
+            auto pit = pname.find(trk.first);
+            w.key("process").value(pit != pname.end() ? pit->second
+                                                      : std::string());
+            auto tit = tname.find(trk);
+            w.key("thread").value(tit != tname.end() ? tit->second
+                                                     : std::string());
+            w.key("dropped").value(std::uint64_t(n));
+            w.endObject();
+        }
+        w.endArray();
+    }
     w.endObject();
     return w.str();
 }

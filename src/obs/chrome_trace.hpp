@@ -58,6 +58,14 @@ class ChromeTraceWriter : public sim::CpuServer::SpanTap,
     Track track(const std::string &process, const std::string &thread);
     void addSpan(Track t, std::string name, sim::Time start, sim::Time end);
     void addInstant(Track t, std::string name, sim::Time when);
+    /**
+     * Perfetto flow event: @p phase is 's' (start), 't' (step) or
+     * 'f' (end); events sharing @p flow_id draw one causal arrow
+     * chain across tracks. Bind each to an enclosing slice by emitting
+     * it at the slice's start timestamp.
+     */
+    void addFlow(Track t, std::string name, std::uint64_t flow_id,
+                 char phase, sim::Time when);
     /** @} */
 
     /** @name Source attachment. @{ */
@@ -91,6 +99,18 @@ class ChromeTraceWriter : public sim::CpuServer::SpanTap,
     std::uint64_t droppedEvents() const { return dropped_; }
     std::size_t trackCount() const { return tids_.size(); }
 
+    /**
+     * Capacity drops broken out per (pid, tid) track, so one saturated
+     * track (a chatty packet-trace category, say) cannot silently mask
+     * drops on another. The sum equals droppedEvents(); toJson()
+     * publishes the breakdown as sriovDroppedByTrack.
+     */
+    const std::map<std::pair<int, int>, std::uint64_t> &
+    droppedByTrack() const
+    {
+        return dropped_by_track_;
+    }
+
     /** The complete `{"traceEvents": [...]}` document. */
     std::string toJson() const;
 
@@ -100,18 +120,20 @@ class ChromeTraceWriter : public sim::CpuServer::SpanTap,
   private:
     struct Event
     {
-        char phase;          // 'X' = complete, 'i' = instant
+        char phase;          // 'X' complete, 'i' instant, 's'/'t'/'f' flow
         int pid;
         int tid;
         std::string name;
         std::int64_t ts_ps;
-        std::int64_t dur_ps; // complete events only
+        std::int64_t dur_ps;    // complete events only
+        std::uint64_t flow_id = 0; // flow events only
     };
 
     void push(Event e);
 
     std::size_t max_events_;
     std::uint64_t dropped_ = 0;
+    std::map<std::pair<int, int>, std::uint64_t> dropped_by_track_;
     std::vector<Event> events_;
     std::map<std::string, int> pids_;
     std::map<std::pair<int, std::string>, int> tids_;

@@ -43,6 +43,14 @@ Report::addSnapshot(const std::string &label, MetricSnapshot snap)
 }
 
 void
+Report::addPathStages(const std::string &label, const PathSnapshot &snap)
+{
+    if (!snap.hasAttribution())
+        return;
+    path_stages_.push_back(PathStagesData{label, snap.stages, snap.total});
+}
+
+void
 Report::addSeries(const std::string &name, const sim::Series &s)
 {
     SeriesData d;
@@ -163,6 +171,39 @@ Report::toJson() const
         w.endObject();
     }
     w.endArray();
+
+    // Stage-latency attribution (path tracer base sampler). Emitted
+    // only when a block exists, so pre-tracer reports are unchanged.
+    if (!path_stages_.empty()) {
+        w.key("path_stages").beginArray();
+        for (const PathStagesData &p : path_stages_) {
+            w.beginObject();
+            w.kv("label", p.label);
+            w.kv("sampled_trails", p.total.count);
+            w.key("stages").beginArray();
+            for (const PathStageStat &s : p.stages) {
+                w.beginObject();
+                w.kv("stage", s.stage);
+                w.kv("count", s.count);
+                w.kv("mean_us", s.mean_us);
+                w.kv("p50_us", s.p50_us);
+                w.kv("p99_us", s.p99_us);
+                w.kv("share_pct", p.total.sum_us > 0
+                                      ? s.sum_us / p.total.sum_us * 100.0
+                                      : 0.0);
+                w.endObject();
+            }
+            w.endArray();
+            w.key("total").beginObject();
+            w.kv("count", p.total.count);
+            w.kv("mean_us", p.total.mean_us);
+            w.kv("p50_us", p.total.p50_us);
+            w.kv("p99_us", p.total.p99_us);
+            w.endObject();
+            w.endObject();
+        }
+        w.endArray();
+    }
 
     w.key("expectations").beginArray();
     for (const Expectation &e : expectations_) {

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "obs/metric.hpp"
+#include "obs/pathtrace.hpp"
 #include "sim/stats.hpp"
 
 namespace sriov::obs {
@@ -67,6 +68,14 @@ class Report
      */
     void addSnapshot(const std::string &label, MetricSnapshot snap);
 
+    /**
+     * Attach a per-stage latency attribution block (the path tracer's
+     * base-rate sampler) under @p label. No-op when the snapshot has
+     * no completed trails, so reports without traced traffic — and
+     * benches predating the tracer — are byte-identical to before.
+     */
+    void addPathStages(const std::string &label, const PathSnapshot &snap);
+
     /** Attach a named time series (copied). */
     void addSeries(const std::string &name, const sim::Series &s);
     void addSeries(const std::string &name,
@@ -104,6 +113,13 @@ class Report
         std::vector<double> ys;
     };
 
+    struct PathStagesData
+    {
+        std::string label;
+        std::vector<PathStageStat> stages;
+        PathStageStat total;
+    };
+
     std::string bench_;
     std::string title_;
     std::vector<std::pair<std::string, std::string>> config_str_;
@@ -111,6 +127,7 @@ class Report
     std::vector<std::pair<std::string, double>> metrics_;
     std::vector<Snapshot> snapshots_;
     std::vector<SeriesData> series_;
+    std::vector<PathStagesData> path_stages_;
     std::vector<Expectation> expectations_;
 };
 

@@ -243,3 +243,41 @@ TEST(Determinism, DigestCoversTagsAndTimes)
     EXPECT_NE(run("a", 1), run("b", 1));
     EXPECT_NE(run("a", 1), run("a", 2));
 }
+
+// --- Flight recorder: failures ship their own post-mortem. ----------
+
+TEST(InvariantChecker, FlightRecorderDumpsPacketHistoryOnViolation)
+{
+    // An induced invariant violation must yield a report carrying the
+    // path tracer's flight recorder: the always-on 1/64 base sample of
+    // per-packet stage histories, so a failure is debuggable from the
+    // dump alone. watchAll() attaches the testbed's tracer.
+    core::Testbed::Params p;
+    p.num_ports = 1;
+    core::Testbed tb(p);
+    InvariantChecker chk(tb.eq());
+
+    auto &g = tb.addGuest(vmm::DomainType::Hvm,
+                          core::Testbed::NetMode::Sriov);
+    tb.startUdpToGuest(g, 600e6);
+    tb.watchAll(chk);
+    tb.run(sim::Time::ms(100));
+
+    // Enough traffic that at least one base-sampled packet completed
+    // its origin -> guest_rx trail.
+    EXPECT_GT(tb.pathTracer().completedCount(), 0u);
+
+    // Commit a bug: schedule into the simulated past.
+    tb.eq().scheduleAt(sim::Time::us(1), []() {});
+    EXPECT_FALSE(chk.ok());
+
+    std::string rep = chk.report();
+    EXPECT_NE(rep.find("schedule-in-past"), std::string::npos);
+    EXPECT_NE(rep.find("pathtrace flight recorder"), std::string::npos);
+    // The dump stitches complete stage histories: a sampled packet's
+    // trail runs from origin through the NIC RX path to guest_rx.
+    for (const char *stage :
+         {"origin@", "wire_rx@", "rx_dma@", "lapic_deliver@",
+          "guest_rx@"})
+        EXPECT_NE(rep.find(stage), std::string::npos) << stage;
+}

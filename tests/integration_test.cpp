@@ -12,6 +12,7 @@
 #include "core/testbed.hpp"
 #include "obs/chrome_trace.hpp"
 #include "obs/metric.hpp"
+#include "obs/pathtrace.hpp"
 #include "obs/profiler.hpp"
 #include "sim/log.hpp"
 #include "sim/thinning.hpp"
@@ -376,6 +377,93 @@ TEST(Integration, GoldenDigestFig06SmokeIsPinned)
     tb.run(sim::Time::ms(200));
     EXPECT_EQ(tb.eq().orderDigest(), kGoldenDigest);
     EXPECT_EQ(tb.eq().executed(), kGoldenEvents);
+}
+
+TEST(Integration, PathTracingNeverPerturbsTheGoldenRun)
+{
+    // The path tracer's non-perturbation contract, held against the
+    // same pinned workload as GoldenDigestFig06SmokeIsPinned: with
+    // tracing off, sampled or full, the event-order digest, event
+    // count and every registered metric are identical. The tracer may
+    // only observe — it never schedules, never touches a metric, and
+    // samples by a pure hash of the trace id.
+    constexpr std::uint64_t kGoldenDigest = 0x113b495c442c4754ull;
+    constexpr std::uint64_t kGoldenEvents = 44041;
+
+    auto run = [](obs::PathTraceMode mode) {
+        obs::PathTraceScope scope(mode);
+        Testbed::Params p;
+        p.num_ports = 1;
+        p.opts = OptimizationSet::maskOnly();
+        Testbed tb(p);
+        obs::MetricRegistry reg;
+        tb.enableObs();
+        tb.registerMetrics(reg);
+        for (unsigned i = 0; i < 2; ++i) {
+            auto &g = tb.addGuest(vmm::DomainType::Hvm,
+                                  Testbed::NetMode::Sriov,
+                                  guest::KernelVersion::v2_6_18);
+            tb.startUdpToGuest(g, 300e6);
+        }
+        tb.run(sim::Time::ms(200));
+        struct R
+        {
+            std::uint64_t digest;
+            std::uint64_t executed;
+            obs::MetricSnapshot snap;
+            obs::PathSnapshot path;
+        };
+        return R{tb.eq().orderDigest(), tb.eq().executed(),
+                 reg.snapshot(), tb.pathTracer().snapshot()};
+    };
+
+    auto off = run(obs::PathTraceMode::Off);
+    auto sampled = run(obs::PathTraceMode::Sampled);
+    auto full = run(obs::PathTraceMode::Full);
+
+    for (const auto *r : {&off, &sampled, &full}) {
+        EXPECT_EQ(r->digest, kGoldenDigest);
+        EXPECT_EQ(r->executed, kGoldenEvents);
+    }
+    for (const auto *r : {&sampled, &full}) {
+        ASSERT_EQ(r->snap.samples.size(), off.snap.samples.size());
+        for (std::size_t i = 0; i < off.snap.samples.size(); ++i) {
+            const obs::MetricSample &a = off.snap.samples[i];
+            const obs::MetricSample &b = r->snap.samples[i];
+            EXPECT_EQ(a.name, b.name);
+            EXPECT_EQ(a.value, b.value) << a.name;
+            EXPECT_EQ(a.count, b.count) << a.name;
+            EXPECT_EQ(a.p50, b.p50) << a.name;
+            EXPECT_EQ(a.p99, b.p99) << a.name;
+        }
+    }
+
+    // Attribution runs at the fixed base rate in every mode, so the
+    // path_stages block a report would carry is mode-invariant too.
+    EXPECT_TRUE(off.path.hasAttribution());
+    for (const auto *r : {&sampled, &full}) {
+        EXPECT_EQ(r->path.completed, off.path.completed);
+        EXPECT_EQ(r->path.origin_sampled, off.path.origin_sampled);
+        ASSERT_EQ(r->path.stages.size(), off.path.stages.size());
+        for (std::size_t i = 0; i < off.path.stages.size(); ++i) {
+            EXPECT_EQ(r->path.stages[i].stage, off.path.stages[i].stage);
+            EXPECT_EQ(r->path.stages[i].count, off.path.stages[i].count);
+            EXPECT_EQ(r->path.stages[i].p50_us,
+                      off.path.stages[i].p50_us);
+            EXPECT_EQ(r->path.stages[i].p99_us,
+                      off.path.stages[i].p99_us);
+        }
+        EXPECT_EQ(r->path.total.mean_us, off.path.total.mean_us);
+    }
+    // Wider export can only widen the rings, never shrink them.
+    auto pushes = [](const obs::PathSnapshot &s) {
+        std::uint64_t n = 0;
+        for (const obs::PathCompDump &c : s.comps)
+            n += c.written;
+        return n;
+    };
+    EXPECT_GT(pushes(full.path), pushes(sampled.path));
+    EXPECT_GT(pushes(sampled.path), pushes(off.path));
 }
 
 TEST(Integration, ThinnedAndExactModesAgree)

@@ -8,9 +8,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <limits>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -19,6 +22,7 @@
 #include "obs/histogram.hpp"
 #include "obs/json.hpp"
 #include "obs/metric.hpp"
+#include "obs/pathtrace.hpp"
 #include "obs/profiler.hpp"
 #include "obs/report.hpp"
 #include "sim/cpu_server.hpp"
@@ -516,4 +520,217 @@ TEST(SimProfiler, AttributesHostTimeByTag)
         nic_comp = nic_comp || (c.tag == "nic" && c.events == 10);
     EXPECT_TRUE(nic_comp);
     EXPECT_FALSE(prof.toString().empty());
+}
+
+// ---------------------------------------------------------------- PathTrace
+
+TEST(PathTrace, StageNamesRoundTrip)
+{
+    for (unsigned i = 0; i < PathTracer::kStageCount; ++i) {
+        auto s = static_cast<PathStage>(i);
+        EXPECT_EQ(pathStageFromName(pathStageName(s)), s);
+    }
+    EXPECT_EQ(pathStageFromName("no_such_stage"), PathStage::Count);
+    EXPECT_STREQ(pathStageName(PathStage::Origin), "origin");
+    EXPECT_STREQ(pathStageName(PathStage::GuestRx), "guest_rx");
+}
+
+TEST(PathTrace, SampleHashIsDeterministicAndBaseRateHolds)
+{
+    // Sampling is a pure function of the id: no state, no RNG, so two
+    // testbeds (or two --jobs workers) sample the same packets.
+    for (std::uint64_t id = 1; id < 100; ++id)
+        EXPECT_EQ(PathTracer::sampleHash(id), PathTracer::sampleHash(id));
+    std::uint64_t sampled = 0;
+    constexpr std::uint64_t kIds = 1 << 16;
+    for (std::uint64_t id = 1; id <= kIds; ++id)
+        sampled += PathTracer::baseSampled(id) ? 1 : 0;
+    // splitmix64 should keep the 1-in-64 base rate within 20%.
+    const double rate = double(sampled) / double(kIds);
+    EXPECT_NEAR(rate, 1.0 / 64.0, 0.2 / 64.0);
+}
+
+TEST(PathTrace, ModeControlsExportMaskOnly)
+{
+    {
+        PathTraceScope off(PathTraceMode::Off);
+        PathTracer t;
+        EXPECT_EQ(t.mode(), PathTraceMode::Off);
+        EXPECT_EQ(t.exportMask(), PathTracer::kBaseSampleMask);
+    }
+    {
+        PathTraceScope sampled(PathTraceMode::Sampled);
+        PathTracer t;
+        EXPECT_EQ(t.exportMask(), 7u);
+    }
+    {
+        PathTraceScope full(PathTraceMode::Full);
+        PathTracer t;
+        EXPECT_EQ(t.exportMask(), 0u);
+    }
+    EXPECT_STREQ(pathTraceModeName(PathTraceMode::Sampled), "sampled");
+}
+
+TEST(PathTrace, RingOverwritesOldestKeepingLifetimeCount)
+{
+    PathTraceScope full(PathTraceMode::Full);
+    PathTracer t(PathTracer::Params{4, 16});
+    std::uint16_t c = t.registerComponent("nic");
+    for (std::uint64_t id = 1; id <= 10; ++id)
+        t.record(c, PathStage::GuestTx, id, sim::Time::ns(id));
+
+    PathSnapshot snap = t.snapshot();
+    ASSERT_EQ(snap.comps.size(), 1u);
+    const PathCompDump &d = snap.comps[0];
+    EXPECT_EQ(d.name, "nic");
+    EXPECT_EQ(d.capacity, 4u);
+    EXPECT_EQ(d.written, 10u);
+    ASSERT_EQ(d.records.size(), 4u);
+    // Oldest-first: ids 7..10 survive, 1..6 were overwritten.
+    for (std::size_t i = 0; i < 4; ++i)
+        EXPECT_EQ(d.records[i].trace_id, 7 + i);
+    EXPECT_EQ(snap.records, 10u);
+}
+
+TEST(PathTrace, UntracedAndUnknownComponentRecordsAreIgnored)
+{
+    PathTraceScope full(PathTraceMode::Full);
+    PathTracer t(PathTracer::Params{4, 16});
+    std::uint16_t c = t.registerComponent("nic");
+    t.record(c, PathStage::GuestTx, 0, sim::Time::ns(1));     // id 0
+    t.record(c + 7, PathStage::GuestTx, 5, sim::Time::ns(1)); // bad comp
+    EXPECT_EQ(t.recordCount(), 0u);
+    EXPECT_TRUE(t.snapshot().comps[0].records.empty());
+}
+
+namespace {
+
+/** First trace id the 1/64 base sampler accepts. */
+std::uint64_t
+firstBaseSampledId()
+{
+    std::uint64_t id = 1;
+    while (!sriov::obs::PathTracer::baseSampled(id))
+        ++id;
+    return id;
+}
+
+} // namespace
+
+TEST(PathTrace, AttributionChargesDeltasBetweenVisitedStages)
+{
+    // Attribution runs at the base rate in EVERY mode — Off included —
+    // which is what lets figXX.json carry path_stages while staying
+    // byte-identical across --pathtrace settings.
+    PathTraceScope off(PathTraceMode::Off);
+    PathTracer t(PathTracer::Params{64, 16});
+    std::uint16_t c = t.registerComponent("net");
+    const std::uint64_t id = firstBaseSampledId();
+
+    t.record(c, PathStage::Origin, id, sim::Time::us(1));
+    t.record(c, PathStage::GuestTx, id, sim::Time::us(3));
+    t.record(c, PathStage::GuestRx, id, sim::Time::us(11));
+
+    PathSnapshot snap = t.snapshot();
+    ASSERT_TRUE(snap.hasAttribution());
+    EXPECT_EQ(snap.completed, 1u);
+    EXPECT_DOUBLE_EQ(snap.total.count, 1.0);
+    EXPECT_DOUBLE_EQ(snap.total.mean_us, 10.0);
+    // Only visited stages appear, in causal order; each is charged the
+    // time since the previous visited stage.
+    ASSERT_EQ(snap.stages.size(), 2u);
+    EXPECT_EQ(snap.stages[0].stage, "guest_tx");
+    EXPECT_DOUBLE_EQ(snap.stages[0].mean_us, 2.0);
+    EXPECT_EQ(snap.stages[1].stage, "guest_rx");
+    EXPECT_DOUBLE_EQ(snap.stages[1].mean_us, 8.0);
+}
+
+TEST(PathTrace, StitchDropsHeadlessTrailsAndOrdersHops)
+{
+    PathTraceScope full(PathTraceMode::Full);
+    PathTracer t(PathTracer::Params{8, 16});
+    std::uint16_t a = t.registerComponent("net");
+    std::uint16_t b = t.registerComponent("nic");
+
+    // Packet 1: full trail, records interleaved across components.
+    t.record(a, PathStage::Origin, 1, sim::Time::us(1));
+    t.record(b, PathStage::GuestTx, 1, sim::Time::us(2));
+    t.record(a, PathStage::GuestRx, 1, sim::Time::us(9));
+    // Packet 2: head overwritten (never recorded) — must be dropped.
+    t.record(b, PathStage::WireRx, 2, sim::Time::us(3));
+
+    auto trails = stitchTrails(t.snapshot());
+    ASSERT_EQ(trails.size(), 1u);
+    EXPECT_EQ(trails[0].id, 1u);
+    ASSERT_EQ(trails[0].hops.size(), 3u);
+    EXPECT_EQ(trails[0].hops[0].stage,
+              static_cast<std::uint8_t>(PathStage::Origin));
+    for (std::size_t i = 1; i < trails[0].hops.size(); ++i)
+        EXPECT_GE(trails[0].hops[i].when_ps,
+                  trails[0].hops[i - 1].when_ps);
+}
+
+TEST(PathTrace, FlightRecorderDumpCarriesRingsAndTrails)
+{
+    PathTraceScope full(PathTraceMode::Full);
+    PathTracer t(PathTracer::Params{8, 16});
+    std::uint16_t c = t.registerComponent("nic0");
+    t.record(c, PathStage::Origin, 3, sim::Time::us(1));
+    t.record(c, PathStage::GuestRx, 3, sim::Time::us(5));
+    t.mark(c, PathStage::LapicDeliver, sim::Time::us(4));
+
+    std::string dump = t.dumpText();
+    EXPECT_NE(dump.find("pathtrace flight recorder"), std::string::npos);
+    EXPECT_NE(dump.find("ring nic0"), std::string::npos);
+    EXPECT_NE(dump.find("origin@"), std::string::npos);
+    EXPECT_NE(dump.find("guest_rx@"), std::string::npos);
+    EXPECT_EQ(t.snapshot().marks, 1u);
+}
+
+TEST(PathTrace, WritePathTraceFileRoundTripsThroughParser)
+{
+    PathTraceScope full(PathTraceMode::Full);
+    PathTracer t(PathTracer::Params{8, 16});
+    std::uint16_t c = t.registerComponent("nic");
+    t.record(c, PathStage::Origin, 1, sim::Time::us(1));
+    t.record(c, PathStage::GuestRx, 1, sim::Time::us(2));
+
+    std::vector<std::pair<std::string, PathSnapshot>> cases;
+    cases.emplace_back("case0", t.snapshot());
+    std::string path = "obs_test_pathtrace_tmp.json";
+    ASSERT_TRUE(writePathTraceFile(path, "figXX", "trace", cases));
+
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    auto doc = JsonValue::parse(ss.str(), &err);
+    ASSERT_TRUE(doc.has_value()) << err;
+    EXPECT_EQ(doc->find("schema")->str, "sriov-pathtrace/v1");
+    EXPECT_EQ(doc->find("kind")->str, "trace");
+    ASSERT_EQ(doc->find("cases")->items.size(), 1u);
+    const JsonValue &c0 = doc->find("cases")->items[0];
+    EXPECT_EQ(c0.find("label")->str, "case0");
+    EXPECT_EQ(c0.find("mode")->str, "full");
+    std::remove(path.c_str());
+}
+
+TEST(PathTrace, ExportPathFlowsEmitsBoundSlices)
+{
+    PathTraceScope full(PathTraceMode::Full);
+    PathTracer t(PathTracer::Params{8, 16});
+    std::uint16_t a = t.registerComponent("net");
+    std::uint16_t b = t.registerComponent("nic");
+    t.record(a, PathStage::Origin, 1, sim::Time::us(1));
+    t.record(b, PathStage::WireRx, 1, sim::Time::us(2));
+    t.record(a, PathStage::GuestRx, 1, sim::Time::us(3));
+
+    ChromeTraceWriter w;
+    exportPathFlows(w, "case0", t.snapshot());
+    std::string json = w.toJson();
+    // One 'X' slice per hop plus the flow binding ('s'/'t'/'f').
+    EXPECT_NE(json.find("\"ph\":\"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"f\""), std::string::npos);
+    EXPECT_NE(json.find("origin"), std::string::npos);
+    EXPECT_NE(json.find("wire_rx"), std::string::npos);
 }

@@ -146,7 +146,9 @@ main(int argc, char **argv)
          std::filesystem::directory_iterator(dir, ec)) {
         const auto &p = ent.path();
         if (p.extension() != ".json"
-            || p.string().find(".trace.") != std::string::npos)
+            || p.string().find(".trace.") != std::string::npos
+            || p.string().find(".pathtrace.") != std::string::npos
+            || p.string().find(".flightrec.") != std::string::npos)
             continue;
         bool is_perf =
             p.string().find(".perf.") != std::string::npos;
@@ -206,6 +208,40 @@ main(int argc, char **argv)
             }
         }
         w.endArray();
+        // Stage-latency attribution rides along so the trajectory file
+        // shows where each figure's packet time goes, not just whether
+        // the totals land in band.
+        if (const JsonValue *ps = doc->find("path_stages");
+            ps != nullptr && ps->isArray() && !ps->items.empty()) {
+            w.key("path_stages").beginArray();
+            for (const JsonValue &b : ps->items) {
+                const JsonValue *label = b.find("label");
+                const JsonValue *tot = b.find("total");
+                w.beginObject();
+                w.kv("label", label != nullptr ? label->str : "");
+                if (tot != nullptr) {
+                    w.kv("trails", num(*tot, "count"));
+                    w.kv("total_p50_us", num(*tot, "p50_us"));
+                    w.kv("total_p99_us", num(*tot, "p99_us"));
+                }
+                w.key("stages").beginArray();
+                if (const JsonValue *stages = b.find("stages");
+                    stages != nullptr) {
+                    for (const JsonValue &s : stages->items) {
+                        const JsonValue *sn = s.find("stage");
+                        w.beginObject();
+                        w.kv("stage", sn != nullptr ? sn->str : "");
+                        w.kv("p50_us", num(s, "p50_us"));
+                        w.kv("p99_us", num(s, "p99_us"));
+                        w.kv("share_pct", num(s, "share_pct"));
+                        w.endObject();
+                    }
+                }
+                w.endArray();
+                w.endObject();
+            }
+            w.endArray();
+        }
         w.endObject();
         if (fig_ok)
             ++figures_ok;

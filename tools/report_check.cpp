@@ -5,6 +5,11 @@
  *   report_check report <figXX.json> [...]     validate bench reports
  *   report_check trace  <x.trace.json> [...]   validate Chrome traces
  *   report_check perf   <x.perf.json> [...]    validate perf sidecars
+ *   report_check pathtrace <x.pathtrace.json> [...]
+ *                          validate packet-path trace/flightrec dumps
+ *                          (span schema: trails anchored at origin,
+ *                          monotone hop timestamps, known stage names,
+ *                          base-sampling fraction within bounds)
  *
  * Exit code 0 when every file parses, carries the required fields and
  * (for reports) every expectation is within its band; 1 otherwise.
@@ -19,6 +24,7 @@
 #include <string>
 
 #include "obs/json.hpp"
+#include "obs/pathtrace.hpp"
 #include "obs/report.hpp"
 
 using sriov::obs::JsonValue;
@@ -43,6 +49,70 @@ fail(const std::string &path, const std::string &why)
     std::fprintf(stderr, "report_check: %s: %s\n", path.c_str(),
                  why.c_str());
     return false;
+}
+
+/** Shared by report path_stages blocks and pathtrace case stages:
+ *  known names, causal enum order, sane numeric fields. */
+bool
+checkStagesArray(const std::string &path, const JsonValue &stages)
+{
+    int last_stage = -1;
+    double share_sum = 0;
+    for (const JsonValue &s : stages.items) {
+        const JsonValue *name = s.find("stage");
+        if (name == nullptr || !name->isString())
+            return fail(path, "stage entry without name");
+        auto st = sriov::obs::pathStageFromName(name->str);
+        if (st == sriov::obs::PathStage::Count)
+            return fail(path, "unknown stage '" + name->str + "'");
+        if (int(st) <= last_stage)
+            return fail(path, "stages out of causal order at '"
+                                  + name->str + "'");
+        last_stage = int(st);
+        for (const char *k :
+             {"count", "mean_us", "p50_us", "p99_us", "share_pct"}) {
+            const JsonValue *v = s.find(k);
+            if (v == nullptr || !v->isNumber() || v->number < 0)
+                return fail(path, "stage '" + name->str
+                                      + "' missing/negative '" + k + "'");
+        }
+        share_sum += s.find("share_pct")->number;
+    }
+    // Stage deltas telescope to the total, so shares sum to <= 100%
+    // (short of 100 only when trails skip their final stages).
+    if (share_sum > 100.5)
+        return fail(path, "stage shares sum to "
+                              + std::to_string(share_sum) + "% (> 100)");
+    return true;
+}
+
+/** The optional path_stages block a report carries per case. */
+bool
+checkReportPathStages(const std::string &path, const JsonValue &blocks)
+{
+    if (!blocks.isArray())
+        return fail(path, "path_stages is not an array");
+    for (const JsonValue &b : blocks.items) {
+        const JsonValue *label = b.find("label");
+        if (label == nullptr || !label->isString())
+            return fail(path, "path_stages entry without label");
+        const JsonValue *stages = b.find("stages");
+        if (stages == nullptr || !stages->isArray()
+            || stages->items.empty())
+            return fail(path, "path_stages '" + label->str
+                                  + "' without stages");
+        if (!checkStagesArray(path, *stages))
+            return false;
+        const JsonValue *total = b.find("total");
+        if (total == nullptr || !total->isObject())
+            return fail(path, "path_stages '" + label->str
+                                  + "' without total");
+        const JsonValue *count = total->find("count");
+        if (count == nullptr || !count->isNumber() || count->number <= 0)
+            return fail(path, "path_stages '" + label->str
+                                  + "' total.count not positive");
+    }
+    return true;
 }
 
 bool
@@ -114,6 +184,10 @@ checkReport(const std::string &path)
     if (all == nullptr || !all->isBool()
         || all->boolean != (failed == 0))
         return fail(path, "all_pass missing or inconsistent");
+    if (const JsonValue *ps = doc->find("path_stages"); ps != nullptr) {
+        if (!checkReportPathStages(path, *ps))
+            return false;
+    }
     if (failed != 0)
         return fail(path,
                     std::to_string(failed) + " expectation(s) out of band");
@@ -159,9 +233,160 @@ checkTrace(const std::string &path)
     if (tracks.size() < 2)
         return fail(path, "fewer than 2 tracks ("
                               + std::to_string(tracks.size()) + ")");
+    // Capacity drops: the total and the per-track breakdown must agree
+    // (a writer that forgets one of the two hides truncation).
+    const JsonValue *dropped = doc->find("sriovDroppedEvents");
+    const JsonValue *by_track = doc->find("sriovDroppedByTrack");
+    if (dropped != nullptr || by_track != nullptr) {
+        if (dropped == nullptr || !dropped->isNumber()
+            || by_track == nullptr || !by_track->isArray()
+            || by_track->items.empty())
+            return fail(path, "sriovDroppedEvents/sriovDroppedByTrack "
+                              "must appear together");
+        double sum = 0;
+        for (const JsonValue &d : by_track->items) {
+            for (const char *k : {"pid", "tid", "dropped"}) {
+                const JsonValue *v = d.find(k);
+                if (v == nullptr || !v->isNumber())
+                    return fail(path,
+                                std::string("drop entry missing '") + k
+                                    + "'");
+            }
+            sum += d.find("dropped")->number;
+        }
+        if (sum != dropped->number)
+            return fail(path, "per-track drops sum "
+                                  + std::to_string(sum)
+                                  + " != sriovDroppedEvents "
+                                  + std::to_string(dropped->number));
+        std::fprintf(stderr,
+                     "report_check: %s: note: %g event(s) dropped at "
+                     "capacity across %zu track(s)\n",
+                     path.c_str(), dropped->number,
+                     by_track->items.size());
+    }
     std::printf("report_check: %s: OK (%zu events, %zu spans, %zu "
                 "tracks)\n",
                 path.c_str(), events->items.size(), spans, tracks.size());
+    return true;
+}
+
+bool
+checkPathTrace(const std::string &path)
+{
+    std::string text, err;
+    if (!readFile(path, text))
+        return fail(path, "cannot read");
+    auto doc = JsonValue::parseTolerant(text, &err);
+    if (!doc)
+        return fail(path, "malformed JSON: " + err);
+
+    const JsonValue *schema = doc->find("schema");
+    if (schema == nullptr || !schema->isString()
+        || schema->str != "sriov-pathtrace/v1")
+        return fail(path,
+                    "missing/unknown schema (want sriov-pathtrace/v1)");
+    const JsonValue *kind = doc->find("kind");
+    if (kind == nullptr || !kind->isString()
+        || (kind->str != "trace" && kind->str != "flightrec"))
+        return fail(path, "kind must be 'trace' or 'flightrec'");
+    const JsonValue *cases = doc->find("cases");
+    if (cases == nullptr || !cases->isArray() || cases->items.empty())
+        return fail(path, "missing/empty cases array");
+
+    std::size_t trails_total = 0;
+    for (const JsonValue &c : cases->items) {
+        const JsonValue *label = c.find("label");
+        if (label == nullptr || !label->isString())
+            return fail(path, "case without label");
+        const JsonValue *mode = c.find("mode");
+        if (mode == nullptr || !mode->isString()
+            || (mode->str != "off" && mode->str != "sampled"
+                && mode->str != "full"))
+            return fail(path, "case '" + label->str + "': bad mode");
+        for (const char *k :
+             {"export_mask", "base_mask", "records", "origin_calls",
+              "origin_sampled", "completed"}) {
+            const JsonValue *v = c.find(k);
+            if (v == nullptr || !v->isNumber() || v->number < 0)
+                return fail(path, "case '" + label->str
+                                      + "': missing counter '" + k + "'");
+        }
+        // Deterministic-hash base sampling targets 1 in (base_mask+1)
+        // ids; with enough origins the realized fraction must sit
+        // within a factor of 4 of that (it is a pure hash, not noise).
+        const double origins = c.find("origin_calls")->number;
+        const double sampled = c.find("origin_sampled")->number;
+        const double base = c.find("base_mask")->number + 1;
+        if (origins >= 1024) {
+            const double frac = sampled / origins;
+            if (frac < 1.0 / (base * 4) || frac > 4.0 / base)
+                return fail(path,
+                            "case '" + label->str + "': sampled fraction "
+                                + std::to_string(frac)
+                                + " outside [1/(4*base), 4/base]");
+        }
+        const JsonValue *comps = c.find("components");
+        if (comps == nullptr || !comps->isArray() || comps->items.empty())
+            return fail(path, "case '" + label->str + "': no components");
+        for (const JsonValue &comp : comps->items) {
+            const JsonValue *name = comp.find("name");
+            if (name == nullptr || !name->isString() || name->str.empty())
+                return fail(path, "component without name");
+            for (const char *k : {"capacity", "written", "overwritten"}) {
+                const JsonValue *v = comp.find(k);
+                if (v == nullptr || !v->isNumber() || v->number < 0)
+                    return fail(path, "component '" + name->str
+                                          + "' missing '" + k + "'");
+            }
+        }
+        const JsonValue *stages = c.find("stages");
+        if (stages == nullptr || !stages->isArray())
+            return fail(path, "case '" + label->str + "': no stages");
+        if (!stages->items.empty()
+            && !checkStagesArray(path, *stages))
+            return false;
+        const JsonValue *trails = c.find("trails");
+        if (trails == nullptr || !trails->isArray())
+            return fail(path, "case '" + label->str + "': no trails");
+        for (const JsonValue &t : trails->items) {
+            const JsonValue *id = t.find("id");
+            const JsonValue *hops = t.find("hops");
+            if (id == nullptr || !id->isString() || hops == nullptr
+                || !hops->isArray() || hops->items.empty())
+                return fail(path, "trail without id/hops");
+            double prev = -1;
+            bool first = true;
+            for (const JsonValue &h : hops->items) {
+                const JsonValue *stage = h.find("stage");
+                const JsonValue *comp = h.find("comp");
+                const JsonValue *t_ps = h.find("t_ps");
+                if (stage == nullptr || !stage->isString()
+                    || comp == nullptr || !comp->isString()
+                    || t_ps == nullptr || !t_ps->isNumber())
+                    return fail(path, "trail " + id->str
+                                          + ": hop missing fields");
+                if (sriov::obs::pathStageFromName(stage->str)
+                    == sriov::obs::PathStage::Count)
+                    return fail(path, "trail " + id->str
+                                          + ": unknown stage '"
+                                          + stage->str + "'");
+                if (first && stage->str != "origin")
+                    return fail(path, "trail " + id->str
+                                          + ": does not start at origin");
+                first = false;
+                if (t_ps->number < prev)
+                    return fail(path,
+                                "trail " + id->str
+                                    + ": non-monotone hop timestamps");
+                prev = t_ps->number;
+            }
+        }
+        trails_total += trails->items.size();
+    }
+    std::printf("report_check: %s: OK (%s, %zu cases, %zu trails)\n",
+                path.c_str(), kind->str.c_str(), cases->items.size(),
+                trails_total);
     return true;
 }
 
@@ -221,19 +446,22 @@ main(int argc, char **argv)
 {
     std::string mode = argc >= 2 ? argv[1] : "";
     if (argc < 3
-        || (mode != "report" && mode != "trace" && mode != "perf")) {
-        std::fprintf(stderr,
-                     "usage: report_check report <figXX.json> [...]\n"
-                     "       report_check trace <x.trace.json> [...]\n"
-                     "       report_check perf <x.perf.json> [...]\n");
+        || (mode != "report" && mode != "trace" && mode != "perf"
+            && mode != "pathtrace")) {
+        std::fprintf(
+            stderr,
+            "usage: report_check report <figXX.json> [...]\n"
+            "       report_check trace <x.trace.json> [...]\n"
+            "       report_check perf <x.perf.json> [...]\n"
+            "       report_check pathtrace <x.pathtrace.json> [...]\n");
         return 2;
     }
     bool ok = true;
     for (int i = 2; i < argc; ++i) {
-        bool one = mode == "trace"
-                       ? checkTrace(argv[i])
-                       : mode == "perf" ? checkPerf(argv[i])
-                                        : checkReport(argv[i]);
+        bool one = mode == "trace" ? checkTrace(argv[i])
+                   : mode == "perf" ? checkPerf(argv[i])
+                   : mode == "pathtrace" ? checkPathTrace(argv[i])
+                                         : checkReport(argv[i]);
         ok = one && ok;
     }
     return ok ? 0 : 1;
