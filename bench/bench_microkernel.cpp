@@ -381,6 +381,96 @@ struct PacketHop
 
 } // namespace
 
+// ---------------------------------------------------------------------
+// Cross-shard ping: one frame bouncing between two islands over a
+// sharded Wire. Every crossing pays the full conservative-sync bill —
+// promise publication, floor refresh, channel push/pop — with almost
+// no event work to amortize it, so this is the worst case for the
+// shard engine and bounds its per-message overhead. The same topology
+// on a single queue (legacy wire) is the no-sync baseline.
+// ---------------------------------------------------------------------
+
+namespace {
+
+struct PingEnd final : nic::WireEndpoint
+{
+    nic::Wire *wire = nullptr;
+    nic::Packet pong;
+
+    void
+    receive(const nic::Packet &) override
+    {
+        wire->send(*this, pong);
+    }
+};
+
+constexpr nic::Wire::Params kPingWire{10e9, sim::Time::us(5)};
+
+nic::Packet
+pingPacket()
+{
+    nic::Packet pkt;
+    pkt.dst = nic::MacAddr::make(9, 1);
+    pkt.src = nic::MacAddr::make(9, 2);
+    pkt.bytes = nic::frame::udpFrame(64);
+    return pkt;
+}
+
+/** Bounce a frame on one queue for @p sim_t; returns crossings. */
+std::uint64_t
+pingLegacy(sim::Time sim_t, std::uint64_t *events)
+{
+    sim::EventQueue eq;
+    nic::Wire wire(eq, kPingWire);
+    PingEnd a, b;
+    a.wire = b.wire = &wire;
+    a.pong = b.pong = pingPacket();
+    wire.connect(a, b);
+    wire.send(a, a.pong);
+    eq.runUntil(sim_t);
+    if (events != nullptr)
+        *events = eq.executed();
+    return wire.delivered();
+}
+
+/** Same topology across two islands; @p workers = engine threads. */
+std::uint64_t
+pingSharded(sim::Time sim_t, unsigned workers, std::uint64_t *events)
+{
+    sim::EventQueue eq_a, eq_b;
+    sim::ShardEngine engine(workers);
+    unsigned ia = engine.addIsland(eq_a);
+    unsigned ib = engine.addIsland(eq_b);
+    nic::Wire wire(eq_a, eq_b, engine, ia, ib, kPingWire);
+    PingEnd a, b;
+    a.wire = b.wire = &wire;
+    a.pong = b.pong = pingPacket();
+    wire.connect(a, b);
+    wire.send(a, a.pong);
+    engine.runUntil(sim_t);
+    if (events != nullptr)
+        *events = engine.executedEvents();
+    return wire.delivered();
+}
+
+} // namespace
+
+static void
+BM_CrossShardPing(benchmark::State &state)
+{
+    // Arg 0: legacy single queue; arg 1: two islands, sequential
+    // oracle. Items = wire crossings, so the per-item delta between
+    // the two is the conservative-sync overhead per message.
+    const bool sharded = state.range(0) != 0;
+    std::uint64_t crossings = 0;
+    for (auto _ : state) {
+        crossings += sharded ? pingSharded(sim::Time::ms(5), 1, nullptr)
+                             : pingLegacy(sim::Time::ms(5), nullptr);
+    }
+    state.SetItemsProcessed(std::int64_t(crossings));
+}
+BENCHMARK(BM_CrossShardPing)->Arg(0)->Arg(1);
+
 static void
 BM_PacketHop(benchmark::State &state)
 {
@@ -557,6 +647,66 @@ perfPacketHop(core::FigReport &fr, std::uint64_t batches)
     return true;
 }
 
+/**
+ * The shard-sync gate: a frame ping-ponging between two islands pays
+ * conservative sync on every crossing. The per-message overhead —
+ * sharded-sequential host time minus the single-queue baseline,
+ * divided by crossings — must stay under a generous ceiling, and the
+ * sharded run must deliver the exact crossing count of the legacy one
+ * (same simulated schedule, per DESIGN.md §13). Bounds are loose
+ * because CI hosts jitter; the archived metrics carry the trend.
+ */
+bool
+perfCrossShardPing(core::FigReport &fr)
+{
+    const sim::Time sim_t = sim::Time::ms(200);
+
+    std::uint64_t legacy_events = 0, shard_events = 0;
+    auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t legacy_msgs = pingLegacy(sim_t, &legacy_events);
+    double legacy_s = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    std::uint64_t shard_msgs = pingSharded(sim_t, 1, &shard_events);
+    double shard_s = secondsSince(t0);
+
+    fr.addPerf("xshard-ping", shard_events, shard_s);
+    double msgs = double(shard_msgs ? shard_msgs : 1);
+    double overhead_us = (shard_s - legacy_s) * 1e6 / msgs;
+    fr.report().addMetric("xshard_ping.messages", double(shard_msgs));
+    fr.report().addMetric("xshard_ping.legacy_host_s", legacy_s);
+    fr.report().addMetric("xshard_ping.sharded_host_s", shard_s);
+    fr.report().addMetric("xshard_ping.sync_overhead_us_per_msg",
+                          overhead_us);
+
+    if (shard_msgs != legacy_msgs) {
+        std::fprintf(stderr,
+                     "perf-smoke: FAIL: cross-shard ping delivered "
+                     "%llu crossings, single-queue baseline %llu — "
+                     "the sharded wire changed the schedule\n",
+                     static_cast<unsigned long long>(shard_msgs),
+                     static_cast<unsigned long long>(legacy_msgs));
+        return false;
+    }
+    // ~40k crossings over 200 simulated ms: the sync bill per message
+    // is a handful of atomic ops plus a channel push/pop, i.e. well
+    // under a microsecond. 25 us/message means something is pathologic
+    // (a yield per crossing, floors re-derived from scratch, ...).
+    if (overhead_us > 25.0) {
+        std::fprintf(stderr,
+                     "perf-smoke: FAIL: conservative sync costs %.2f us "
+                     "per cross-shard message (bound 25 us)\n",
+                     overhead_us);
+        return false;
+    }
+    std::printf("perf-smoke: cross-shard ping: %llu crossings, sync "
+                "overhead %.3f us/message (single-queue baseline "
+                "%.3f us/message)\n",
+                static_cast<unsigned long long>(shard_msgs),
+                overhead_us, legacy_s * 1e6 / msgs);
+    return true;
+}
+
 } // namespace
 
 int
@@ -578,6 +728,7 @@ main(int argc, char **argv)
     perfScheduleCancel(fr, 2000);
     bool inline_ok = perfInlineAllocGate(fr, 1000);
     bool hop_ok = perfPacketHop(fr, 400);
+    bool ping_ok = perfCrossShardPing(fr);
     int rc = fr.finish();
-    return inline_ok && hop_ok ? rc : 1;
+    return inline_ok && hop_ok && ping_ok ? rc : 1;
 }

@@ -43,7 +43,7 @@ FigCase::snapshot(const std::string &label, const std::string &prefix)
     // are values, so parallel sweep workers stay thread-confined and
     // mergeCase() reproduces the sequential byte stream.
     if (tb_)
-        path_snaps_.emplace_back(label, tb_->pathTracer().snapshot());
+        path_snaps_.emplace_back(label, tb_->pathSnapshot());
 }
 
 void
@@ -55,12 +55,12 @@ FigCase::addMetric(const std::string &name, double value)
 void
 FigCase::drive(Testbed &tb, const std::function<void()> &fn)
 {
-    std::uint64_t before = tb.eq().executed();
+    std::uint64_t before = tb.executedEvents();
     // simlint:allow(no-wallclock): host-side perf sidecar timing only
     auto t0 = std::chrono::steady_clock::now();
     fn();
     wall_s_ += secondsSince(t0);
-    events_ += tb.eq().executed() - before;
+    events_ += tb.executedEvents() - before;
 }
 
 FigReport::FigReport(int argc, char **argv, const std::string &fig,
@@ -90,7 +90,7 @@ FigReport::snapshot(const std::string &label, const std::string &prefix)
 {
     rep_.addSnapshot(label, reg_, prefix);
     if (last_tb_)
-        notePathSnapshot(label, last_tb_->pathTracer().snapshot());
+        notePathSnapshot(label, last_tb_->pathSnapshot());
     // Name the perf entry the drive just produced after this case.
     if (last_perf_unlabelled_ && !perf_.empty()) {
         perf_.back().label = label;
@@ -127,11 +127,11 @@ void
 FigReport::captureTrace(Testbed &tb, const std::function<void()> &drive)
 {
     if (!opts_.wantTrace() || trace_done_) {
-        std::uint64_t before = tb.eq().executed();
+        std::uint64_t before = tb.executedEvents();
         // simlint:allow(no-wallclock): host-side perf sidecar timing only
         auto t0 = std::chrono::steady_clock::now();
         drive();
-        notePerf("", tb.eq().executed() - before, secondsSince(t0));
+        notePerf("", tb.executedEvents() - before, secondsSince(t0));
         last_perf_unlabelled_ = true;
         return;
     }
@@ -142,11 +142,11 @@ FigReport::captureTrace(Testbed &tb, const std::function<void()> &drive)
 
     obs::ChromeTraceWriter w;
     tb.attachObsTrace(w);
-    std::uint64_t before = tb.eq().executed();
+    std::uint64_t before = tb.executedEvents();
     // simlint:allow(no-wallclock): host-side perf sidecar timing only
     auto t0 = std::chrono::steady_clock::now();
     drive();
-    notePerf("", tb.eq().executed() - before, secondsSince(t0));
+    notePerf("", tb.executedEvents() - before, secondsSince(t0));
     last_perf_unlabelled_ = true;
     w.importTracer(tracer);
     w.detachAll();
@@ -245,6 +245,7 @@ FigReport::writePerfSidecar(const std::string &path) const
     w.kv("bench", opts_.bench());
     w.kv("jobs", std::uint64_t(opts_.jobs()));
     w.kv("thin", !opts_.noThin());
+    w.kv("shards", std::uint64_t(opts_.shards()));
     std::uint64_t total_events = 0;
     std::uint64_t total_packets = 0;
     double total_wall = 0;

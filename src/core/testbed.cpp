@@ -7,6 +7,15 @@ namespace sriov::core {
 
 Testbed::Testbed(Params p) : params_(std::move(p))
 {
+    if (sim::shardCount() != 0)
+        buildSharded();
+    else
+        buildLegacy();
+}
+
+void
+Testbed::buildLegacy()
+{
     // First thing built: components created below register with it.
     pathtrace_ = std::make_unique<obs::PathTracer>();
 
@@ -120,7 +129,256 @@ Testbed::Testbed(Params p) : params_(std::move(p))
     tapRouter(client_->router(), "client.intr");
 }
 
+void
+Testbed::buildSharded()
+{
+    if (params_.use_vmdq_nic)
+        sim::fatal("sharded testbed: the VMDq topology has no island "
+                   "partition (use --shards=0)");
+
+    engine_ = std::make_unique<sim::ShardEngine>(sim::shardCount());
+
+    vmm::Hypervisor::MachineParams mp;
+    const unsigned nports = params_.num_ports;
+
+    // Server slices register first so engine island order — the digest
+    // fold order — is slices 0..P-1, clients P..2P-1, fixed by the
+    // partition rather than the worker count.
+    for (unsigned i = 0; i < nports; ++i) {
+        Island s;
+        s.eq = std::make_unique<sim::EventQueue>();
+        s.pt = std::make_unique<obs::PathTracer>();
+        s.pt->setShardHalf(true);
+        s.hv = std::make_unique<vmm::Hypervisor>(*s.eq, params_.costs,
+                                                 mp);
+        params_.opts.apply(*s.hv);
+        s.iovm = std::make_unique<IovManager>(*s.hv);
+        s.dom0 = std::make_unique<guest::GuestKernel>(
+            *s.hv, s.hv->dom0(), guest::KernelVersion::v2_6_28);
+        s.index = engine_->addIsland(*s.eq);
+        slices_.push_back(std::move(s));
+    }
+    for (unsigned i = 0; i < nports; ++i) {
+        Island c;
+        c.eq = std::make_unique<sim::EventQueue>();
+        c.pt = std::make_unique<obs::PathTracer>();
+        c.pt->setShardHalf(true);
+        c.hv = std::make_unique<vmm::Hypervisor>(*c.eq, params_.costs,
+                                                 mp);
+        c.index = engine_->addIsland(*c.eq);
+        client_islands_.push_back(std::move(c));
+    }
+
+    for (unsigned i = 0; i < nports; ++i) {
+        Island &sl = slices_[i];
+        Island &cl = client_islands_[i];
+
+        nic::SriovNic::SriovParams sp;
+        sp.total_vfs = std::uint16_t(params_.vfs_per_port);
+        auto nic = std::make_unique<nic::SriovNic>(
+            *sl.eq, "eth_p" + std::to_string(i),
+            pci::Bdf{std::uint8_t(1 + i), 0, 0}, sp);
+        nic->setIommu(&sl.hv->iommu());
+        sl.iovm->registerNic(*nic);
+        auto pf = std::make_unique<drivers::PfDriver>(*sl.dom0, *nic);
+        pf->enableVfs(params_.vfs_per_port);
+        nic::NicPort *server_end = nic.get();
+        ports_.push_back(std::move(nic));
+        pf_drivers_.push_back(std::move(pf));
+
+        // The wire is the island boundary: its sharded form pushes
+        // (due, frame) messages between the two queues with the
+        // propagation delay as engine lookahead. The sharded testbed
+        // strings a 1 km run (5 us) instead of the legacy 100 m patch
+        // cable: conservative sync advances islands at most one
+        // lookahead per round trip, and 500 ns would drown the run in
+        // sync rounds. Identical for every shard count >= 1, so
+        // byte-identity holds; throughput and CPU figures don't see
+        // propagation (open-loop senders), only path latency does.
+        nic::Wire::Params wp;
+        wp.line_bps = params_.line_bps;
+        wp.propagation = sim::Time::us(5);
+        wires_.push_back(std::make_unique<nic::Wire>(
+            *sl.eq, *cl.eq, *engine_, sl.index, cl.index, wp));
+
+        ClientPort cp;
+        nic::PlainNic::Params cnp;
+        cnp.dma.link_bps = 16e9;
+        cnp.dma.per_dma_overhead = sim::Time::ns(100);
+        cp.nic = std::make_unique<nic::PlainNic>(
+            *cl.eq, "cli_p" + std::to_string(i),
+            pci::Bdf{std::uint8_t(1 + i), 0, 0}, cnp);
+        cl.hv->rootComplex().plug(cp.nic->pf());
+        cp.dom = &cl.hv->createDomain("cli" + std::to_string(i),
+                                      vmm::DomainType::Native,
+                                      64ull << 20);
+        cp.kern = std::make_unique<guest::GuestKernel>(*cl.hv, *cp.dom);
+        drivers::VfDriver::Config dcfg;
+        dcfg.name = "cli_eth" + std::to_string(i);
+        dcfg.mac = nic::MacAddr::make(2, std::uint16_t(i + 1));
+        cp.drv = std::make_unique<drivers::NativeDriver>(
+            *cp.kern, *cp.nic, nic::Pool(0), dcfg);
+        cp.drv->setItrPolicy(std::make_unique<drivers::AdaptiveItr>());
+        cp.drv->init();
+        cp.stack = std::make_unique<guest::NetStack>(*cp.kern);
+        cp.stack->attachDevice(*cp.drv);
+        wires_.back()->connect(*server_end, *cp.nic);
+        server_end->attachWire(*wires_.back());
+        cp.nic->attachWire(*wires_.back());
+
+        // Each island stamps into its own tracer (shard-half mode);
+        // pathSnapshot() joins the halves by trace id. Registration
+        // order per tracer is build order, as in the legacy build.
+        server_end->setPathTracer(sl.pt.get());
+        wires_.back()->setShardPathTracers(
+            sl.pt.get(),
+            sl.pt->registerComponent("wire" + std::to_string(i)),
+            cl.pt.get(),
+            cl.pt->registerComponent("wire" + std::to_string(i)));
+        cp.nic->setPathTracer(cl.pt.get());
+        cp.drv->setPathTracer(
+            cl.pt.get(),
+            cl.pt->registerComponent("cli" + std::to_string(i)
+                                     + ".drv"));
+        cp.stack->setPathTracer(
+            cl.pt.get(),
+            cl.pt->registerComponent("cli" + std::to_string(i)
+                                     + ".net"));
+
+        client_ports_.push_back(std::move(cp));
+
+        auto tapRouter = [](Island &isl, const char *name) {
+            std::uint16_t comp = isl.pt->registerComponent(name);
+            obs::PathTracer *pt = isl.pt.get();
+            sim::EventQueue *q = isl.eq.get();
+            isl.hv->router().addDeliveryTap(
+                [pt, q, comp](pci::Rid, const pci::MsiMessage &) {
+                    pt->mark(comp, obs::PathStage::LapicDeliver,
+                             q->now());
+                });
+        };
+        tapRouter(sl, "server.intr");
+        tapRouter(cl, "client.intr");
+    }
+}
+
 Testbed::~Testbed() = default;
+
+sim::EventQueue &
+Testbed::eq()
+{
+    if (engine_)
+        sim::fatal("testbed: eq() on a sharded testbed (one queue per "
+                   "island; use run()/orderDigest()/executedEvents())");
+    return eq_;
+}
+
+vmm::Hypervisor &
+Testbed::server()
+{
+    if (engine_)
+        sim::fatal("testbed: server() on a sharded testbed (one "
+                   "hypervisor per slice)");
+    return *server_;
+}
+
+vmm::Hypervisor &
+Testbed::client()
+{
+    if (engine_)
+        sim::fatal("testbed: client() on a sharded testbed (one "
+                   "hypervisor per client island)");
+    return *client_;
+}
+
+IovManager &
+Testbed::iovm()
+{
+    if (engine_)
+        sim::fatal("testbed: iovm() on a sharded testbed (one manager "
+                   "per slice)");
+    return *iovm_;
+}
+
+vmm::MigrationManager &
+Testbed::migration()
+{
+    if (engine_)
+        sim::fatal("sharded testbed: migration crosses slices (use "
+                   "--shards=0)");
+    return *migration_;
+}
+
+guest::GuestKernel &
+Testbed::dom0Kernel()
+{
+    if (engine_)
+        sim::fatal("testbed: dom0Kernel() on a sharded testbed (one "
+                   "dom0 per slice)");
+    return *dom0_kern_;
+}
+
+obs::PathTracer &
+Testbed::pathTracer()
+{
+    if (engine_)
+        sim::fatal("testbed: pathTracer() on a sharded testbed (use "
+                   "pathSnapshot())");
+    return *pathtrace_;
+}
+
+const obs::PathTracer &
+Testbed::pathTracer() const
+{
+    if (engine_)
+        sim::fatal("testbed: pathTracer() on a sharded testbed (use "
+                   "pathSnapshot())");
+    return *pathtrace_;
+}
+
+void
+Testbed::run(sim::Time dt)
+{
+    if (engine_) {
+        engine_->runUntil(now() + dt);
+        return;
+    }
+    eq_.runUntil(eq_.now() + dt);
+}
+
+sim::Time
+Testbed::now() const
+{
+    if (engine_)
+        return slices_.front().eq->now();
+    return eq_.now();
+}
+
+std::uint64_t
+Testbed::executedEvents() const
+{
+    return engine_ ? engine_->executedEvents() : eq_.executed();
+}
+
+std::uint64_t
+Testbed::orderDigest() const
+{
+    return engine_ ? engine_->foldedDigest() : eq_.orderDigest();
+}
+
+obs::PathSnapshot
+Testbed::pathSnapshot() const
+{
+    if (!engine_)
+        return pathtrace_->snapshot();
+    std::vector<const obs::PathTracer *> parts;
+    parts.reserve(slices_.size() + client_islands_.size());
+    for (const Island &s : slices_)
+        parts.push_back(s.pt.get());
+    for (const Island &c : client_islands_)
+        parts.push_back(c.pt.get());
+    return obs::PathTracer::mergeShards(parts);
+}
 
 nic::NicPort &
 Testbed::serverNic(unsigned port)
@@ -144,6 +402,9 @@ Testbed::makeGuestItr() const
 drivers::NetbackDriver &
 Testbed::netback(unsigned port)
 {
+    if (engine_)
+        sim::fatal("sharded testbed: PV netback couples dom0 and "
+                   "guests (use --shards=0)");
     auto it = netbacks_.find(port);
     if (it == netbacks_.end()) {
         drivers::NetbackDriver::Config cfg;
@@ -160,22 +421,31 @@ Testbed::Guest &
 Testbed::addGuest(vmm::DomainType type, NetMode mode,
                   guest::KernelVersion kv, bool bond_vf_with_pv)
 {
+    if (engine_ && (mode != NetMode::Sriov || bond_vf_with_pv))
+        sim::fatal("sharded testbed: only plain SR-IOV guests are "
+                   "shardable (use --shards=0)");
+
     unsigned idx = unsigned(guests_.size());
     unsigned port = params_.use_vmdq_nic ? 0 : idx % portCount();
+
+    // The machine context the guest builds against: its port's server
+    // slice in sharded mode, the single server machine otherwise.
+    vmm::Hypervisor &hv = engine_ ? *slices_[port].hv : *server_;
+    obs::PathTracer &pt = engine_ ? *slices_[port].pt : *pathtrace_;
+    IovManager &iovmgr = engine_ ? *slices_[port].iovm : *iovm_;
 
     auto g = std::make_unique<Guest>();
     g->mac = guestMac(idx);
     g->port = port;
     g->mode = mode;
-    g->dom = &server_->createDomain("vm" + std::to_string(idx), type,
-                                    params_.guest_mem);
-    g->kern = std::make_unique<guest::GuestKernel>(*server_, *g->dom, kv);
+    g->dom = &hv.createDomain("vm" + std::to_string(idx), type,
+                              params_.guest_mem);
+    g->kern = std::make_unique<guest::GuestKernel>(hv, *g->dom, kv);
     g->stack = std::make_unique<guest::NetStack>(*g->kern);
     g->stack->setUdpSocketCapacity(params_.ap_bufs);
     g->stack->setPathTracer(
-        pathtrace_.get(),
-        pathtrace_->registerComponent("vm" + std::to_string(idx)
-                                      + ".net"));
+        &pt,
+        pt.registerComponent("vm" + std::to_string(idx) + ".net"));
 
     switch (mode) {
       case NetMode::Sriov: {
@@ -183,7 +453,7 @@ Testbed::addGuest(vmm::DomainType type, NetMode mode,
         unsigned vf_index = next_vf_on_port_[port]++;
         if (vf_index >= nic.numVfs())
             sim::fatal("port %u out of VFs", port);
-        iovm_->assign(*g->dom, nic, vf_index);
+        iovmgr.assign(*g->dom, nic, vf_index);
         drivers::VfDriver::Config cfg;
         cfg.name = "eth0";
         cfg.mac = g->mac;
@@ -191,9 +461,8 @@ Testbed::addGuest(vmm::DomainType type, NetMode mode,
             *g->kern, nic, nic.vfPool(vf_index), cfg);
         g->vf->setItrPolicy(makeGuestItr());
         g->vf->setPathTracer(
-            pathtrace_.get(),
-            pathtrace_->registerComponent("vm" + std::to_string(idx)
-                                          + ".drv"));
+            &pt,
+            pt.registerComponent("vm" + std::to_string(idx) + ".drv"));
         g->vf->init();
         g->netdev = g->vf.get();
         break;
@@ -234,8 +503,8 @@ Testbed::addGuest(vmm::DomainType type, NetMode mode,
     }
 
     g->stack->attachDevice(*g->netdev);
-    if (obs_)
-        installDomainObs(*g->dom);
+    if (ObsHooks *oh = obsFor(port))
+        installDomainObs(*oh, *g->dom);
     guests_.push_back(std::move(g));
     return *guests_.back();
 }
@@ -244,13 +513,15 @@ guest::UdpStreamSender &
 Testbed::startUdpToGuest(Guest &g, double offered_bps,
                          std::uint32_t payload)
 {
+    sim::EventQueue &rx_eq = engine_ ? *slices_[g.port].eq : eq_;
+    sim::EventQueue &tx_eq = engine_ ? *client_islands_[g.port].eq : eq_;
     if (!g.rx) {
         g.rx = std::make_unique<guest::StreamReceiver>(
-            eq_, *g.stack, guest::StreamReceiver::Proto::Udp);
+            rx_eq, *g.stack, guest::StreamReceiver::Proto::Udp);
     }
     auto &cs = *client_ports_.at(g.port).stack;
     udp_senders_.push_back(std::make_unique<guest::UdpStreamSender>(
-        eq_, cs, g.mac, offered_bps, payload,
+        tx_eq, cs, g.mac, offered_bps, payload,
         std::uint32_t(guests_.size())));
     udp_senders_.back()->start();
     return *udp_senders_.back();
@@ -260,13 +531,15 @@ guest::TcpStreamSender &
 Testbed::startTcpToGuest(Guest &g, std::uint32_t window,
                          std::uint32_t payload)
 {
+    sim::EventQueue &rx_eq = engine_ ? *slices_[g.port].eq : eq_;
+    sim::EventQueue &tx_eq = engine_ ? *client_islands_[g.port].eq : eq_;
     if (!g.rx) {
         g.rx = std::make_unique<guest::StreamReceiver>(
-            eq_, *g.stack, guest::StreamReceiver::Proto::Tcp);
+            rx_eq, *g.stack, guest::StreamReceiver::Proto::Tcp);
     }
     auto &cs = *client_ports_.at(g.port).stack;
     tcp_senders_.push_back(std::make_unique<guest::TcpStreamSender>(
-        eq_, cs, g.mac, window, payload));
+        tx_eq, cs, g.mac, window, payload));
     if (obs_)
         tcp_senders_.back()->setRttTap(&obs_->tcp_rtt_us);
     tcp_senders_.back()->start();
@@ -276,6 +549,9 @@ Testbed::startTcpToGuest(Guest &g, std::uint32_t window,
 guest::NetStack &
 Testbed::dom0Net(unsigned port)
 {
+    if (engine_)
+        sim::fatal("sharded testbed: dom0 traffic stays inside a "
+                   "slice and is not shardable (use --shards=0)");
     auto it = dom0_ports_.find(port);
     if (it == dom0_ports_.end()) {
         Dom0Port dp;
@@ -307,6 +583,9 @@ guest::UdpStreamSender &
 Testbed::startUdpFromDom0(Guest &g, double offered_bps,
                           std::uint32_t payload)
 {
+    if (engine_)
+        sim::fatal("sharded testbed: dom0 senders are not shardable "
+                   "(use --shards=0)");
     if (!g.rx) {
         g.rx = std::make_unique<guest::StreamReceiver>(
             eq_, *g.stack, guest::StreamReceiver::Proto::Udp);
@@ -321,6 +600,9 @@ guest::UdpStreamSender &
 Testbed::startUdpGuestToGuest(Guest &from, Guest &to, double offered_bps,
                               std::uint32_t payload)
 {
+    if (engine_)
+        sim::fatal("sharded testbed: guest-to-guest traffic is not "
+                   "shardable (use --shards=0)");
     if (!to.rx) {
         to.rx = std::make_unique<guest::StreamReceiver>(
             eq_, *to.stack, guest::StreamReceiver::Proto::Udp);
@@ -335,7 +617,16 @@ Testbed::Measurement
 Testbed::measure(sim::Time warmup, sim::Time window)
 {
     run(warmup);
-    auto snap = server_->snapshot();
+    // One utilization snapshot per hypervisor: the single server
+    // machine, or every server slice (index-aligned with slices_).
+    std::vector<vmm::Hypervisor::UtilSnapshot> snaps;
+    if (engine_) {
+        snaps.reserve(slices_.size());
+        for (Island &s : slices_)
+            snaps.push_back(s.hv->snapshot());
+    } else {
+        snaps.push_back(server_->snapshot());
+    }
     for (auto &g : guests_) {
         if (g->rx)
             g->rx->takeThroughputBps();    // re-mark the window
@@ -349,7 +640,18 @@ Testbed::measure(sim::Time warmup, sim::Time window)
         m.per_guest_bps.push_back(bps);
         m.total_goodput_bps += bps;
     }
-    m.cpu_by_tag = server_->cpuPercentByTag(snap);
+    if (engine_) {
+        // Every slice machine has the legacy server's CPU complement,
+        // so summing per-slice percentages keeps the legacy scale
+        // (port work that shared 16 pCPUs now adds across slices).
+        for (std::size_t k = 0; k < slices_.size(); ++k) {
+            for (const auto &[tag, pct] :
+                 slices_[k].hv->cpuPercentByTag(snaps[k]))
+                m.cpu_by_tag[tag] += pct;
+        }
+    } else {
+        m.cpu_by_tag = server_->cpuPercentByTag(snaps[0]);
+    }
     for (const auto &[tag, pct] : m.cpu_by_tag) {
         m.total_pct += pct;
         if (tag == "xen") {
@@ -382,38 +684,56 @@ Testbed::ObsHooks::ObsHooks()
 Testbed::ObsHooks &
 Testbed::enableObs()
 {
+    if (engine_) {
+        // One ObsHooks set per server slice: histogram inserts are
+        // island-local, so workers never share a tap. The TCP RTT tap
+        // is the one cross-island hook (sender on the client island,
+        // histogram on a slice) and is skipped in sharded mode.
+        if (!slices_.front().obs) {
+            for (std::size_t i = 0; i < slices_.size(); ++i) {
+                Island &s = slices_[i];
+                s.obs = std::make_unique<ObsHooks>();
+                s.hv->setIntrLatencyHistogram(&s.obs->intr_latency_us);
+                installDomainObs(*s.obs, s.hv->dom0());
+                installRingObs(*s.obs, *ports_[i]);
+            }
+            for (auto &g : guests_)
+                installDomainObs(*slices_[g->port].obs, *g->dom);
+        }
+        return *slices_.front().obs;
+    }
     if (obs_)
         return *obs_;
     obs_ = std::make_unique<ObsHooks>();
     server_->setIntrLatencyHistogram(&obs_->intr_latency_us);
-    installDomainObs(server_->dom0());
+    installDomainObs(*obs_, server_->dom0());
     for (auto &g : guests_)
-        installDomainObs(*g->dom);
+        installDomainObs(*obs_, *g->dom);
     for (auto &p : ports_)
-        installRingObs(*p);
+        installRingObs(*obs_, *p);
     if (vmdq_nic_)
-        installRingObs(*vmdq_nic_);
+        installRingObs(*obs_, *vmdq_nic_);
     for (auto &s : tcp_senders_)
         s->setRttTap(&obs_->tcp_rtt_us);
     return *obs_;
 }
 
 void
-Testbed::installDomainObs(vmm::Domain &dom)
+Testbed::installDomainObs(ObsHooks &obs, vmm::Domain &dom)
 {
     for (unsigned r = 0; r < unsigned(vmm::ExitReason::Count); ++r) {
         dom.exits().setCostTap(vmm::ExitReason(r),
-                               &obs_->exit_cost_cycles[r]);
+                               &obs.exit_cost_cycles[r]);
     }
 }
 
 void
-Testbed::installRingObs(nic::NicPort &nic)
+Testbed::installRingObs(ObsHooks &obs, nic::NicPort &nic)
 {
     // Taps live on the rings; VF disable destroys ring and tap
     // together, so nothing dangles (the histograms outlive the NIC).
     for (unsigned p = 0; p < nic.poolCount(); ++p)
-        nic.rxRing(nic::Pool(p)).setOccupancyTap(&obs_->ring_occupancy);
+        nic.rxRing(nic::Pool(p)).setOccupancyTap(&obs.ring_occupancy);
 }
 
 namespace {
@@ -445,8 +765,27 @@ Testbed::registerMetrics(obs::MetricRegistry &reg, const std::string &prefix)
     // figXX.perf.json sidecar instead, keeping figXX.json reports
     // byte-identical between thinned and --no-thin runs (CI diffs
     // them).
-    reg.add(path("intr.delivered"), &server_->router().deliveredCounter());
-    reg.add(path("intr.spurious"), &server_->router().spuriousCounter());
+    if (engine_) {
+        // Per-slice routers: export the slice sum so the metric keeps
+        // its legacy meaning (all server-side deliveries).
+        reg.addGauge(path("intr.delivered"), [this]() {
+            double v = 0;
+            for (const Island &s : slices_)
+                v += double(s.hv->router().deliveredCounter().value());
+            return v;
+        });
+        reg.addGauge(path("intr.spurious"), [this]() {
+            double v = 0;
+            for (const Island &s : slices_)
+                v += double(s.hv->router().spuriousCounter().value());
+            return v;
+        });
+    } else {
+        reg.add(path("intr.delivered"),
+                &server_->router().deliveredCounter());
+        reg.add(path("intr.spurious"),
+                &server_->router().spuriousCounter());
+    }
 
     // Pool statistics register as bounds-checking gauges: VF disable
     // shrinks the pool vector, and a gauge re-resolves per snapshot.
@@ -504,7 +843,22 @@ Testbed::registerMetrics(obs::MetricRegistry &reg, const std::string &prefix)
         reg.addGauge(path(name + ".vm_exit_cycles"),
                      [&dom]() { return dom.exits().totalCycles(); });
     };
-    addDomain(server_->dom0(), "dom0");
+    if (engine_) {
+        reg.addGauge(path("dom0.vm_exits"), [this]() {
+            double v = 0;
+            for (const Island &s : slices_)
+                v += double(s.hv->dom0().exits().totalCount());
+            return v;
+        });
+        reg.addGauge(path("dom0.vm_exit_cycles"), [this]() {
+            double v = 0;
+            for (const Island &s : slices_)
+                v += double(s.hv->dom0().exits().totalCycles());
+            return v;
+        });
+    } else {
+        addDomain(server_->dom0(), "dom0");
+    }
     for (std::size_t g = 0; g < guests_.size(); ++g) {
         std::string name = "vm" + std::to_string(g);
         addDomain(*guests_[g]->dom, name);
@@ -518,7 +872,28 @@ Testbed::registerMetrics(obs::MetricRegistry &reg, const std::string &prefix)
         });
     }
 
-    if (obs_) {
+    if (engine_) {
+        // One histogram block per slice ("hist.s3.*"): merging
+        // log-bucketed histograms would lose counts, and the per-slice
+        // form is still byte-stable across shard counts.
+        for (std::size_t k = 0; k < slices_.size(); ++k) {
+            const Island &s = slices_[k];
+            if (!s.obs)
+                continue;
+            std::string hp = "hist.s" + std::to_string(k) + ".";
+            reg.add(path(hp + "intr_latency_us"),
+                    &s.obs->intr_latency_us);
+            reg.add(path(hp + "ring_occupancy"),
+                    &s.obs->ring_occupancy);
+            for (unsigned r = 0; r < unsigned(vmm::ExitReason::Count);
+                 ++r) {
+                reg.add(path(hp + "exit_cost."
+                             + metricName(vmm::exitReasonName(
+                                 vmm::ExitReason(r)))),
+                        &s.obs->exit_cost_cycles[r]);
+            }
+        }
+    } else if (obs_) {
         reg.add(path("hist.intr_latency_us"), &obs_->intr_latency_us);
         reg.add(path("hist.ring_occupancy"), &obs_->ring_occupancy);
         reg.add(path("hist.tcp_rtt_us"), &obs_->tcp_rtt_us);
@@ -534,6 +909,25 @@ Testbed::registerMetrics(obs::MetricRegistry &reg, const std::string &prefix)
 void
 Testbed::attachObsTrace(obs::ChromeTraceWriter &w)
 {
+    if (engine_) {
+        // Attaching installs queue observers, so the next run degrades
+        // to the sequential schedule — same results, full trace.
+        for (std::size_t i = 0; i < slices_.size(); ++i) {
+            const std::string si = std::to_string(i);
+            w.attachEventQueue(*slices_[i].eq, "sim.s" + si);
+            vmm::Hypervisor &hv = *slices_[i].hv;
+            for (unsigned c = 0; c < hv.pcpuCount(); ++c)
+                w.attachCpu(hv.pcpu(c), "server.s" + si);
+        }
+        for (std::size_t i = 0; i < client_islands_.size(); ++i) {
+            const std::string si = std::to_string(i);
+            w.attachEventQueue(*client_islands_[i].eq, "sim.c" + si);
+            vmm::Hypervisor &hv = *client_islands_[i].hv;
+            for (unsigned c = 0; c < hv.pcpuCount(); ++c)
+                w.attachCpu(hv.pcpu(c), "client.s" + si);
+        }
+        return;
+    }
     w.attachEventQueue(eq_, "sim");
     for (unsigned i = 0; i < server_->pcpuCount(); ++i)
         w.attachCpu(server_->pcpu(i), "server");
@@ -541,9 +935,20 @@ Testbed::attachObsTrace(obs::ChromeTraceWriter &w)
         w.attachCpu(client_->pcpu(i), "client");
 }
 
+Testbed::ObsHooks *
+Testbed::obsFor(unsigned port)
+{
+    if (engine_)
+        return slices_.at(port).obs.get();
+    return obs_.get();
+}
+
 void
 Testbed::watchAll(check::InvariantChecker &chk)
 {
+    if (engine_)
+        sim::fatal("sharded testbed: watchAll() is single-stream; run "
+                   "the invariant checker with --shards=0");
     for (unsigned i = 0; i < portCount(); ++i) {
         nic::SriovNic &p = *ports_[i];
         std::string pn = "port" + std::to_string(i);

@@ -14,6 +14,22 @@
  * mode (SR-IOV VF / PV split driver / VMDq queue), and a kernel
  * version; guest i lands on port i mod num_ports, taking that port's
  * next VF — exactly VF_{7j+n} of the paper.
+ *
+ * With sim::shardCount() != 0 at construction the testbed builds in
+ * *sharded* form (DESIGN.md §13): each port becomes two islands — a
+ * server slice (its own EventQueue, hypervisor, dom0 kernel, IOV
+ * manager and path tracer, owning that port's NIC, PF driver and
+ * guests) and a client island (queue, hypervisor, netperf peer) — and
+ * the inter-machine wire is the only cross-island edge, run by a
+ * conservative sim::ShardEngine on up to shardCount() worker threads.
+ * Island order is fixed (server slices 0..P-1, then clients P..2P-1),
+ * so orderDigest()/pathSnapshot() are byte-identical for every shard
+ * count >= 1. Only the SR-IOV UDP/TCP netperf topology is shardable;
+ * PV/VMDq/netback, dom0 traffic, guest-to-guest, bonding and migration
+ * need intra-host coupling and refuse sharded construction. The
+ * sharded machine model differs from the legacy one (per-slice
+ * hypervisors do not contend across ports), so results are compared
+ * across shard counts, never against --shards=0.
  */
 
 #ifndef SRIOV_CORE_TESTBED_HPP
@@ -37,6 +53,8 @@
 #include "obs/histogram.hpp"
 #include "obs/metric.hpp"
 #include "obs/pathtrace.hpp"
+#include "sim/shard.hpp"
+#include "sim/shard_engine.hpp"
 #include "vmm/migration.hpp"
 
 namespace sriov::check {
@@ -88,12 +106,20 @@ class Testbed
     Testbed(const Testbed &) = delete;
     Testbed &operator=(const Testbed &) = delete;
 
-    /** @name Infrastructure access. @{ */
-    sim::EventQueue &eq() { return eq_; }
-    vmm::Hypervisor &server() { return *server_; }
-    vmm::Hypervisor &client() { return *client_; }
-    IovManager &iovm() { return *iovm_; }
-    vmm::MigrationManager &migration() { return *migration_; }
+    /** @name Infrastructure access.
+     *
+     * eq()/server()/client()/iovm()/migration() address the legacy
+     * single-queue build and are fatal on a sharded testbed — sharded
+     * code goes through run()/measure()/orderDigest()/pathSnapshot(),
+     * which work in both modes.
+     * @{ */
+    sim::EventQueue &eq();
+    vmm::Hypervisor &server();
+    vmm::Hypervisor &client();
+    IovManager &iovm();
+    vmm::MigrationManager &migration();
+    bool sharded() const { return engine_ != nullptr; }
+    sim::ShardEngine &shardEngine() { return *engine_; }
     const Params &params() const { return params_; }
     unsigned portCount() const { return unsigned(ports_.size()); }
     nic::SriovNic &port(unsigned i) { return *ports_.at(i); }
@@ -102,7 +128,7 @@ class Testbed
     drivers::PfDriver &pfDriver(unsigned i) { return *pf_drivers_.at(i); }
     drivers::NetbackDriver &netback(unsigned port);
     drivers::VmdqBackend &vmdqBackend() { return *vmdq_backend_; }
-    guest::GuestKernel &dom0Kernel() { return *dom0_kern_; }
+    guest::GuestKernel &dom0Kernel();
     /** @} */
 
     /** @name Guests. @{ */
@@ -135,8 +161,19 @@ class Testbed
         std::uint32_t payload = 1472);
     /** @} */
 
-    /** @name Running and measuring. @{ */
-    void run(sim::Time dt) { eq_.runUntil(eq_.now() + dt); }
+    /** @name Running and measuring (mode-independent). @{ */
+    void run(sim::Time dt);
+    /** Current simulated time (all island clocks agree between runs). */
+    sim::Time now() const;
+    /** Events executed so far — eq().executed() or the engine sum. */
+    std::uint64_t executedEvents() const;
+    /** Order fingerprint: eq().orderDigest(), or the engine's fold of
+     *  per-island digests in island order. Identical across shard
+     *  counts >= 1 (a different value from the legacy engine's). */
+    std::uint64_t orderDigest() const;
+    /** Path-tracer capture: the single tracer's snapshot, or the
+     *  deterministic merge of all island tracers. */
+    obs::PathSnapshot pathSnapshot() const;
 
     struct Measurement
     {
@@ -215,8 +252,8 @@ class Testbed
      * obs::pathTraceMode() (sampled at construction) decides how much
      * it keeps. Snapshot it after a run for attribution/trails.
      */
-    obs::PathTracer &pathTracer() { return *pathtrace_; }
-    const obs::PathTracer &pathTracer() const { return *pathtrace_; }
+    obs::PathTracer &pathTracer();
+    const obs::PathTracer &pathTracer() const;
 
     /** @} */
 
@@ -251,13 +288,47 @@ class Testbed
         std::unique_ptr<guest::NetStack> stack;
     };
 
+    /**
+     * One sharded island. Server slices fill every field; client
+     * islands leave the server-only ones (iovm, dom0) null. Each
+     * island's tracer runs in shard-half mode; the queue/tracer pair
+     * is what guests and wires on this island bind to.
+     */
+    struct Island
+    {
+        std::unique_ptr<sim::EventQueue> eq;
+        std::unique_ptr<obs::PathTracer> pt;
+        std::unique_ptr<vmm::Hypervisor> hv;
+        std::unique_ptr<IovManager> iovm;            ///< server only
+        std::unique_ptr<guest::GuestKernel> dom0;    ///< server only
+        std::unique_ptr<ObsHooks> obs;               ///< server only
+        unsigned index = 0;    ///< engine island index
+    };
+
     nic::NicPort &serverNic(unsigned port);
     std::unique_ptr<drivers::ItrPolicy> makeGuestItr() const;
-    void installDomainObs(vmm::Domain &dom);
-    void installRingObs(nic::NicPort &nic);
+    void installDomainObs(ObsHooks &obs, vmm::Domain &dom);
+    void installRingObs(ObsHooks &obs, nic::NicPort &nic);
+    void buildLegacy();
+    void buildSharded();
+    Island &serverSlice(unsigned port) { return slices_.at(port); }
+    Island &clientIsland(unsigned port)
+    {
+        return client_islands_.at(port);
+    }
+    /** ObsHooks owning a guest's taps: obs_ or its slice's set. */
+    ObsHooks *obsFor(unsigned port);
 
     Params params_;
     sim::EventQueue eq_;
+    /** Sharded build (empty in legacy mode): per-port server slices,
+     *  per-port client islands, and the conservative engine running
+     *  them. Engine island order: slices 0..P-1, clients P..2P-1.
+     *  Declared first so island queues/hypervisors outlive (i.e. are
+     *  destroyed after) the NICs, drivers and guests built on them. */
+    std::vector<Island> slices_;
+    std::vector<Island> client_islands_;
+    std::unique_ptr<sim::ShardEngine> engine_;
     std::unique_ptr<vmm::Hypervisor> server_;
     std::unique_ptr<vmm::Hypervisor> client_;
     std::unique_ptr<IovManager> iovm_;

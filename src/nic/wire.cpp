@@ -8,13 +8,39 @@
 namespace sriov::nic {
 
 Wire::Wire(sim::EventQueue &eq, Params p)
-    : eq_(eq), params_(p), thin_(sim::thinningEnabled())
+    : params_(p), thin_(sim::thinningEnabled()), eq_side_{&eq, &eq}
 {
     if (params_.line_bps <= 0)
         sim::fatal("wire: bad line rate");
 }
 
 Wire::Wire(sim::EventQueue &eq) : Wire(eq, Params{}) {}
+
+Wire::Wire(sim::EventQueue &eq_a, sim::EventQueue &eq_b,
+           sim::ShardEngine &engine, unsigned island_a, unsigned island_b,
+           Params p)
+    : params_(p), thin_(sim::thinningEnabled()), sharded_(true),
+      eq_side_{&eq_a, &eq_b}
+{
+    if (params_.line_bps <= 0)
+        sim::fatal("wire: bad line rate");
+    if (params_.propagation <= sim::Time())
+        sim::fatal("wire: sharded wire needs positive propagation "
+                   "(it is the engine lookahead)");
+    // Capacity 2x the TX drop cap: the drop bound caps un-started
+    // frames, and started-but-undelivered ones trail by only one
+    // serialization + propagation, so push() never spins in practice.
+    for (unsigned d = 0; d < 2; ++d) {
+        dirs_[d].chan = std::make_unique<sim::ShardChannel<ShardMsg>>(
+            2 * kTxQueueCap);
+        dirs_[d].ref = DirRef{this, d};
+        dirs_[d].chan->onDeliver(&Wire::deliverShard, &dirs_[d].ref);
+    }
+    engine.connect(*dirs_[0].chan, island_a, island_b,
+                   params_.propagation);
+    engine.connect(*dirs_[1].chan, island_b, island_a,
+                   params_.propagation);
+}
 
 void
 Wire::connect(WireEndpoint &a, WireEndpoint &b)
@@ -39,13 +65,14 @@ Wire::dirOf(WireEndpoint &from) const
 bool
 Wire::send(WireEndpoint &from, const Packet &pkt)
 {
+    const unsigned dir = dirOf(from);
     if (thin_)
-        return sendAt(from, pkt, eq_.now());
+        return sendAt(from, pkt, senderEq(dir).now());
 
-    Direction &d = dirs_[dirOf(from)];
-    offered_.inc();
+    Direction &d = dirs_[dir];
+    offered_[dir].inc();
     if (d.q.size() >= kTxQueueCap) {
-        dropped_.inc();
+        dropped_[dir].inc();
         return false;
     }
     // RingBuf grows only to the burst high-water mark at warm-up;
@@ -54,7 +81,7 @@ Wire::send(WireEndpoint &from, const Packet &pkt)
     // simlint:allow(hot-path-alloc): RingBuf warm-up growth only
     d.q.push_back(pkt);
     if (!d.busy)
-        startNext(dirOf(from));
+        startNext(dir);
     return true;
 }
 
@@ -66,12 +93,14 @@ Wire::sendAt(WireEndpoint &from, const Packet &pkt, sim::Time release)
     if (!thin_) {
         // Exact mode has no early hand-over; callers there invoke
         // send() at the release instant instead.
-        if (release != eq_.now())
+        if (release != senderEq(dir).now())
             sim::panic("wire: sendAt in exact mode");
         return send(from, pkt);
     }
+    if (sharded_)
+        return sendShard(dir, pkt, release);
     Direction &d = dirs_[dir];
-    offered_.inc();
+    offered_[dir].inc();
 
     // TX-queue occupancy as of `release`: accepted frames whose
     // serialization has not started by then. Starts are monotone, so
@@ -86,7 +115,7 @@ Wire::sendAt(WireEndpoint &from, const Packet &pkt, sim::Time release)
             lo = mid + 1;
     }
     if (d.fl.size() - lo >= kTxQueueCap) {
-        dropped_.inc();
+        dropped_[dir].inc();
         return false;
     }
 
@@ -96,9 +125,9 @@ Wire::sendAt(WireEndpoint &from, const Packet &pkt, sim::Time release)
     d.line_free_at = start + ser;
     // Future-valued stamp: `start` is the instant exact mode's
     // startNext() would run, so the recorded time is mode-invariant.
-    if (pt_)
-        pt_->record(pt_comp_, obs::PathStage::WireTx, pkt.trace_id,
-                    start);
+    if (pt_side_[dir])
+        pt_side_[dir]->record(pt_comp_side_[dir], obs::PathStage::WireTx,
+                              pkt.trace_id, start);
     // RingBuf grows only to the burst high-water mark at warm-up;
     // steady state is a masked store (the bench operator-new gate
     // enforces zero allocs at runtime; this makes the waiver explicit).
@@ -107,10 +136,78 @@ Wire::sendAt(WireEndpoint &from, const Packet &pkt, sim::Time release)
                                             + params_.propagation});
     if (!d.drain_armed) {
         d.drain_armed = true;
-        eq_.scheduleAt(d.fl.back().deliver_at,
-                       [this, dir]() { drain(dir); }, "wire.burst");
+        senderEq(dir).scheduleAt(d.fl.back().deliver_at,
+                                 [this, dir]() { drain(dir); },
+                                 "wire.burst");
     }
     return true;
+}
+
+// simlint: hot
+bool
+Wire::sendShard(unsigned dir, const Packet &pkt, sim::Time release)
+{
+    Direction &d = dirs_[dir];
+    offered_[dir].inc();
+
+    // Same analytic TX drop bound as the legacy thin path, kept on the
+    // sender island alone: the start-instant ring holds frames that
+    // may not have begun serializing. Releases are monotone per
+    // direction, so entries at or before `release` have started and
+    // can never count against a later occupancy check — prune them.
+    while (!d.starts.empty() && d.starts.front() <= release)
+        d.starts.pop_front();
+    if (d.starts.size() >= kTxQueueCap) {
+        dropped_[dir].inc();
+        return false;
+    }
+
+    sim::Time start = std::max(d.line_free_at, release);
+    sim::Time ser =
+        sim::Time::transfer(double(pkt.wireBytes()) * 8.0, params_.line_bps);
+    d.line_free_at = start + ser;
+    if (pt_side_[dir])
+        pt_side_[dir]->record(pt_comp_side_[dir], obs::PathStage::WireTx,
+                              pkt.trace_id, start);
+    // simlint:allow(hot-path-alloc): RingBuf warm-up growth only
+    d.starts.push_back(start);
+    pushShard(dir, pkt, d.line_free_at + params_.propagation);
+    return true;
+}
+
+// simlint: hot
+void
+Wire::pushShard(unsigned dir, const Packet &pkt, sim::Time due)
+{
+    // The conservative-sync contract: nothing may cross an island
+    // boundary due earlier than the sender's current instant plus the
+    // edge lookahead (here: the propagation delay). A violation would
+    // silently corrupt the parallel schedule, so it is fatal, not a
+    // drop. Holds by construction: due = start + ser + prop and
+    // start >= release >= now().
+    if (due < senderEq(dir).now() + params_.propagation)
+        sim::panic("wire: cross-shard send violates lookahead "
+                   "(due %s < now %s + propagation)",
+                   due.toString().c_str(),
+                   senderEq(dir).now().toString().c_str());
+    dirs_[dir].chan->push(due, ShardMsg{pkt});
+}
+
+void
+Wire::deliverShard(void *ctx, sim::Time due, const ShardMsg &msg)
+{
+    // Runs on the *receiving* island's thread with that island's clock
+    // already advanced to `due` by the engine.
+    auto *r = static_cast<const DirRef *>(ctx);
+    Wire &w = *r->wire;
+    const unsigned dir = r->dir;
+    const unsigned rx = dir ^ 1u;    // receiver side of direction dir
+    w.delivered_[dir].inc();
+    if (w.pt_side_[rx])
+        w.pt_side_[rx]->record(w.pt_comp_side_[rx],
+                               obs::PathStage::WireRx,
+                               msg.pkt.trace_id, due);
+    w.dirs_[dir].to->receive(msg.pkt);
 }
 
 // simlint: hot
@@ -118,20 +215,22 @@ void
 Wire::drain(unsigned dir)
 {
     Direction &d = dirs_[dir];
+    sim::EventQueue &eq = senderEq(dir);
     // Deliver everything due (deliver_at is monotone per direction);
     // receive() may reentrantly append, which lands at the back.
-    while (!d.fl.empty() && d.fl.front().deliver_at <= eq_.now()) {
+    while (!d.fl.empty() && d.fl.front().deliver_at <= eq.now()) {
         Packet pkt = std::move(d.fl.front().pkt);
         d.fl.pop_front();
-        delivered_.inc();
-        if (pt_)
-            pt_->record(pt_comp_, obs::PathStage::WireRx, pkt.trace_id,
-                        eq_.now());
+        delivered_[dir].inc();
+        if (pt_side_[dir ^ 1u])
+            pt_side_[dir ^ 1u]->record(pt_comp_side_[dir ^ 1u],
+                                       obs::PathStage::WireRx,
+                                       pkt.trace_id, eq.now());
         d.to->receive(pkt);
     }
     if (!d.fl.empty()) {
-        eq_.scheduleAt(d.fl.front().deliver_at,
-                       [this, dir]() { drain(dir); }, "wire.burst");
+        eq.scheduleAt(d.fl.front().deliver_at,
+                      [this, dir]() { drain(dir); }, "wire.burst");
     } else {
         d.drain_armed = false;
     }
@@ -143,8 +242,20 @@ Wire::queued(unsigned dir) const
     const Direction &d = dirs_[dir];
     if (!thin_)
         return d.q.size();
+    sim::Time now = senderEq(dir).now();
+    if (sharded_) {
+        // Un-pruned start instants still in the future.
+        std::size_t lo = 0, hi = d.starts.size();
+        while (lo < hi) {
+            std::size_t mid = (lo + hi) / 2;
+            if (d.starts[mid] > now)
+                hi = mid;
+            else
+                lo = mid + 1;
+        }
+        return d.starts.size() - lo;
+    }
     // Frames not yet begun serializing as of now.
-    sim::Time now = eq_.now();
     std::size_t lo = 0, hi = d.fl.size();
     while (lo < hi) {
         std::size_t mid = (lo + hi) / 2;
@@ -168,22 +279,33 @@ Wire::startNext(unsigned dir)
     d.busy = true;
     Packet pkt = std::move(d.q.front());
     d.q.pop_front();
-    if (pt_)
-        pt_->record(pt_comp_, obs::PathStage::WireTx, pkt.trace_id,
-                    eq_.now());
+    sim::EventQueue &eq = senderEq(dir);
+    if (pt_side_[dir])
+        pt_side_[dir]->record(pt_comp_side_[dir], obs::PathStage::WireTx,
+                              pkt.trace_id, eq.now());
     sim::Time ser =
         sim::Time::transfer(double(pkt.wireBytes()) * 8.0, params_.line_bps);
     // The receiver sees the frame after serialization + propagation;
     // the line is free for the next frame after serialization alone.
-    eq_.scheduleIn(ser, [this, dir, pkt = std::move(pkt)]() mutable {
-        eq_.scheduleIn(params_.propagation,
-                       [this, dir, pkt = std::move(pkt)]() {
-            delivered_.inc();
-            if (pt_)
-                pt_->record(pt_comp_, obs::PathStage::WireRx,
-                            pkt.trace_id, eq_.now());
-            dirs_[dir].to->receive(pkt);
-        }, "wire.deliver");
+    // Sharded exact mode hands the frame to the channel at
+    // serialization end — propagation is exactly the lookahead the
+    // engine was registered with, so the push always clears the guard.
+    eq.scheduleIn(ser, [this, dir, pkt = std::move(pkt)]() mutable {
+        if (sharded_) {
+            pushShard(dir, pkt,
+                      senderEq(dir).now() + params_.propagation);
+        } else {
+            sim::EventQueue &deq = senderEq(dir);
+            deq.scheduleIn(params_.propagation,
+                           [this, dir, pkt = std::move(pkt)]() {
+                delivered_[dir].inc();
+                if (pt_side_[dir ^ 1u])
+                    pt_side_[dir ^ 1u]->record(
+                        pt_comp_side_[dir ^ 1u], obs::PathStage::WireRx,
+                        pkt.trace_id, senderEq(dir).now());
+                dirs_[dir].to->receive(pkt);
+            }, "wire.deliver");
+        }
         startNext(dir);
     }, "wire.serialized");
 }

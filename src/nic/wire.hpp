@@ -20,6 +20,19 @@
  *    each frame at its exact timestamp. Per-frame accounting, the
  *    TX-queue drop bound and delivery times are identical; only the
  *    number of simulator events changes.
+ *
+ * The wire is also the simulator's only legal shard boundary
+ * (DESIGN.md §13). Constructed in sharded form, its two ends live on
+ * different islands: the sender half keeps the serializer state
+ * (line_free_at, the un-started ring for the TX drop bound) and pushes
+ * (due, frame) messages into a sim::ShardChannel; the receiving
+ * island's engine delivers each frame at exactly its due instant — the
+ * same analytic timestamps thinning already computes, so the channel
+ * *replaces* the drain event rather than adding a layer. Propagation
+ * delay is the engine lookahead: every message is due at least one
+ * propagation after the instant its send executed, which the send path
+ * asserts (sim::panic on violation — it would break conservative
+ * sync, not just accuracy).
  */
 
 #ifndef SRIOV_NIC_WIRE_HPP
@@ -29,6 +42,7 @@
 #include "obs/pathtrace.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/ring_buf.hpp"
+#include "sim/shard_engine.hpp"
 #include "sim/stats.hpp"
 
 namespace sriov::nic {
@@ -54,7 +68,18 @@ class Wire
     Wire(sim::EventQueue &eq, Params p);
     Wire(sim::EventQueue &eq);
 
+    /**
+     * Sharded construction: endpoint a (the first argument of
+     * connect()) lives on island @p island_a whose queue is @p eq_a,
+     * endpoint b on @p island_b / @p eq_b. Registers one channel per
+     * direction with @p engine, lookahead = the propagation delay.
+     */
+    Wire(sim::EventQueue &eq_a, sim::EventQueue &eq_b,
+         sim::ShardEngine &engine, unsigned island_a, unsigned island_b,
+         Params p);
+
     double lineRate() const { return params_.line_bps; }
+    bool sharded() const { return sharded_; }
 
     /** Connect the two ends. Must be called before traffic flows. */
     void connect(WireEndpoint &a, WireEndpoint &b);
@@ -80,26 +105,52 @@ class Wire
     /** Instantaneous busy fraction proxy: queued frames, direction 0/1. */
     std::size_t queued(unsigned dir) const;
 
-    std::uint64_t delivered() const { return delivered_.value(); }
-    std::uint64_t dropped() const { return dropped_.value(); }
+    std::uint64_t
+    delivered() const
+    {
+        return delivered_[0].value() + delivered_[1].value();
+    }
+    std::uint64_t
+    dropped() const
+    {
+        return dropped_[0].value() + dropped_[1].value();
+    }
     /** Frames accepted by send() (conservation: at quiescence,
      *  offered == delivered + dropped and nothing is queued). */
-    std::uint64_t offered() const { return offered_.value(); }
-    /** Frames in flight: queued or serializing/propagating. */
+    std::uint64_t
+    offered() const
+    {
+        return offered_[0].value() + offered_[1].value();
+    }
+    /** Frames in flight: queued, serializing/propagating, or (sharded)
+     *  sitting undelivered in a cross-island channel. */
     std::uint64_t inFlight() const
     {
-        return offered_.value() - dropped_.value() - delivered_.value();
+        return offered() - dropped() - delivered();
     }
 
     static constexpr std::size_t kTxQueueCap = 4096;
 
     /** Attach the path tracer: accepted frames stamp WireTx at their
-     *  serialization start, deliveries stamp WireRx. */
+     *  serialization start, deliveries stamp WireRx. Both stamps land
+     *  in @p pt (the single-tracer, single-island form). */
     void
     setPathTracer(obs::PathTracer *pt, std::uint16_t comp)
     {
-        pt_ = pt;
-        pt_comp_ = comp;
+        pt_side_[0] = pt_side_[1] = pt;
+        pt_comp_side_[0] = pt_comp_side_[1] = comp;
+    }
+
+    /** Sharded form: WireTx/WireRx stamps land in the tracer of the
+     *  island doing the stamping (side 0 = endpoint a's island). */
+    void
+    setShardPathTracers(obs::PathTracer *pt_a, std::uint16_t comp_a,
+                        obs::PathTracer *pt_b, std::uint16_t comp_b)
+    {
+        pt_side_[0] = pt_a;
+        pt_side_[1] = pt_b;
+        pt_comp_side_[0] = comp_a;
+        pt_comp_side_[1] = comp_b;
     }
 
   private:
@@ -109,6 +160,18 @@ class Wire
         Packet pkt;
         sim::Time start;         ///< serialization begins
         sim::Time deliver_at;    ///< receiver sees the frame
+    };
+
+    /** Cross-island message: the due time rides in the channel. */
+    struct ShardMsg
+    {
+        Packet pkt;
+    };
+
+    struct DirRef
+    {
+        Wire *wire = nullptr;
+        unsigned dir = 0;
     };
 
     struct Direction
@@ -121,23 +184,45 @@ class Wire
         sim::RingBuf<InFlight> fl;
         sim::Time line_free_at;    ///< when the serializer goes idle
         bool drain_armed = false;
+        // Sharded mode: sender-side start instants of frames that may
+        // not have begun serializing (the TX-queue drop bound), plus
+        // the channel toward the receiving island.
+        sim::RingBuf<sim::Time> starts;
+        std::unique_ptr<sim::ShardChannel<ShardMsg>> chan;
+        DirRef ref;
     };
 
     void startNext(unsigned dir);
     void drain(unsigned dir);
     unsigned dirOf(WireEndpoint &from) const;
+    bool sendShard(unsigned dir, const Packet &pkt, sim::Time release);
+    void pushShard(unsigned dir, const Packet &pkt, sim::Time due);
+    static void deliverShard(void *ctx, sim::Time due,
+                             const ShardMsg &msg);
 
-    sim::EventQueue &eq_;
+    /** The queue a direction's *sender* half runs on. */
+    sim::EventQueue &senderEq(unsigned dir) { return *eq_side_[dir]; }
+    const sim::EventQueue &
+    senderEq(unsigned dir) const
+    {
+        return *eq_side_[dir];
+    }
+
     Params params_;
     bool thin_;
+    bool sharded_ = false;
+    sim::EventQueue *eq_side_[2];    ///< [0]=a's island, [1]=b's
     Direction dirs_[2];
     WireEndpoint *end_a_ = nullptr;
     WireEndpoint *end_b_ = nullptr;
-    sim::Counter delivered_;
-    sim::Counter dropped_;
-    sim::Counter offered_;
-    obs::PathTracer *pt_ = nullptr;
-    std::uint16_t pt_comp_ = 0;
+    // Per direction so a sharded wire's two islands never share a
+    // counter: offered/dropped belong to the sender half, delivered to
+    // the receiver half. The accessors sum both directions.
+    sim::Counter delivered_[2];
+    sim::Counter dropped_[2];
+    sim::Counter offered_[2];
+    obs::PathTracer *pt_side_[2] = {nullptr, nullptr};
+    std::uint16_t pt_comp_side_[2] = {0, 0};
 };
 
 } // namespace sriov::nic

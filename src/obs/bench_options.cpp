@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "obs/pathtrace.hpp"
+#include "sim/shard.hpp"
 #include "sim/thinning.hpp"
 
 namespace sriov::obs {
@@ -59,6 +60,17 @@ parseJobs(const char *s)
     unsigned long v = std::strtoul(s, &end, 10);
     if (end == s || *end != '\0' || v == 0)
         return 1;
+    return static_cast<unsigned>(v);
+}
+
+/** "--shards" values: unparsable degrades to 0 (legacy engine). */
+unsigned
+parseShards(const char *s)
+{
+    char *end = nullptr;
+    unsigned long v = std::strtoul(s, &end, 10);
+    if (end == s || *end != '\0')
+        return 0;
     return static_cast<unsigned>(v);
 }
 
@@ -126,6 +138,9 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench)
     if (const char *env = std::getenv("SRIOV_NO_THIN");
         env != nullptr && *env != '\0' && std::strcmp(env, "0") != 0)
         o.no_thin_ = true;
+    if (const char *env = std::getenv("SRIOV_SHARDS");
+        env != nullptr && *env != '\0')
+        o.shards_ = parseShards(env);
     PathTraceMode pt_mode = PathTraceMode::Off;
     if (const char *env = std::getenv("SRIOV_PATHTRACE");
         env != nullptr && *env != '\0')
@@ -143,6 +158,8 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench)
             o.parseTraceArg("");
         } else if (std::strcmp(arg, "--no-thin") == 0) {
             o.no_thin_ = true;
+        } else if (const char *v = matchFlag(arg, "--shards")) {
+            o.shards_ = parseShards(v);
         } else if (const char *v = matchFlag(arg, "--pathtrace")) {
             pt_mode = parsePathTraceMode(v, &o.pathtrace_requested_);
         } else if (std::strcmp(arg, "--pathtrace") == 0) {
@@ -155,9 +172,10 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench)
             o.extra_.emplace_back(arg);
         }
     }
-    // Must happen before any testbed is built: components sample both
-    // switches at construction.
+    // Must happen before any testbed is built: components sample the
+    // global switches at construction.
     sim::setThinning(!o.no_thin_);
+    sim::setShardCount(o.shards_);
     setPathTraceMode(pt_mode);
     return o;
 }
@@ -180,6 +198,12 @@ BenchOptions::usage(const std::string &bench)
            "                 the default burst-coalesced event thinning;\n"
            "                 reports are byte-identical, runs slower\n"
            "                 (env fallback: SRIOV_NO_THIN)\n"
+           "  --shards=<n>   partition the testbed into per-port islands\n"
+           "                 run by the conservative shard engine on up\n"
+           "                 to <n> worker threads (0 = legacy engine,\n"
+           "                 the default; n=1 = sequential oracle).\n"
+           "                 Reports are byte-identical for every n >= 1\n"
+           "                 (env fallback: SRIOV_SHARDS)\n"
            "  --pathtrace[=off|sampled|full]\n"
            "                 causal packet-path tracing: writes " + bench
                + ".pathtrace.json\n"

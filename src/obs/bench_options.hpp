@@ -62,6 +62,13 @@ class BenchOptions
      *  global sim::setThinning switch before any testbed exists). */
     bool noThin() const { return no_thin_; }
 
+    /** --shards=<n> (env SRIOV_SHARDS): island-partitioned testbeds
+     *  run by the conservative shard engine on up to <n> worker
+     *  threads (0 = legacy single-queue engine). parse() applies it to
+     *  the global sim::setShardCount switch before any testbed exists;
+     *  reports are byte-identical for every n >= 1. */
+    unsigned shards() const { return shards_; }
+
     /** "<out_dir>/<bench>.perf.json" (empty when reporting is off). */
     std::string perfPath() const;
 
@@ -90,6 +97,7 @@ class BenchOptions
     std::string trace_path_;
     std::vector<sim::TraceCat> cats_;
     unsigned jobs_ = 1;
+    unsigned shards_ = 0;
     bool no_thin_ = false;
     bool trace_requested_ = false;
     bool pathtrace_requested_ = false;

@@ -184,12 +184,21 @@ PathTracer::stamp(std::uint64_t h, PathStage stage, std::uint64_t id,
         return;
     }
     if (s.id != id) {
-        ++orphans_;
-        return;
+        if (!shard_half_) {
+            ++orphans_;
+            return;
+        }
+        // Half-tracer: this island first sees the packet mid-path (it
+        // crossed a wire boundary upstream). Adopt the slot as a
+        // partial trail; mergeShards() joins it with the Origin half.
+        if (s.id != 0)
+            ++evicted_;
+        s.id = id;
+        s.present = 0;
     }
     s.when[i] = when.picos();
     s.present |= (1u << i);
-    if (stage == PathStage::GuestRx) {
+    if (stage == PathStage::GuestRx && !shard_half_) {
         finalize(s);
         s.id = 0;
         s.present = 0;
@@ -254,6 +263,96 @@ std::string
 PathTracer::dumpText() const
 {
     return pathSnapshotDump(snapshot());
+}
+
+PathSnapshot
+PathTracer::mergeShards(const std::vector<const PathTracer *> &parts)
+{
+    PathSnapshot snap;
+    if (parts.empty())
+        return snap;
+    snap.mode = pathTraceModeName(parts[0]->mode_);
+    snap.export_mask = parts[0]->export_mask_;
+    snap.base_mask = kBaseSampleMask;
+
+    // Counters sum; component rings concatenate in parts order with
+    // the records' comp field re-based onto the merged comps index.
+    for (const PathTracer *p : parts) {
+        snap.records += p->records_;
+        snap.marks += p->marks_;
+        snap.origin_calls += p->origin_calls_;
+        snap.origin_sampled += p->origin_sampled_;
+        snap.evicted += p->evicted_;
+        snap.orphans += p->orphans_;
+        const std::uint16_t base = std::uint16_t(snap.comps.size());
+        for (const Ring &r : p->rings_) {
+            PathCompDump d;
+            d.name = r.name;
+            d.capacity = p->ring_capacity_;
+            d.written = r.written;
+            const std::uint64_t kept =
+                std::min<std::uint64_t>(r.written, p->ring_capacity_);
+            d.records.reserve(std::size_t(kept));
+            for (std::uint64_t k = r.written - kept; k < r.written;
+                 ++k) {
+                PathRecord rec = r.buf[k % p->ring_capacity_];
+                rec.comp = std::uint16_t(rec.comp + base);
+                d.records.push_back(rec);
+            }
+            snap.comps.push_back(std::move(d));
+        }
+    }
+
+    // Join the attribution halves by trace id (first part wins a stage
+    // both halves somehow stamped), then finalize completed trails in
+    // ascending-id order — a total order independent of islands and
+    // worker interleaving — into fresh histograms.
+    std::map<std::uint64_t, Slot> joined;
+    for (const PathTracer *p : parts) {
+        for (const Slot &s : p->slots_) {
+            if (s.id == 0)
+                continue;
+            Slot &m = joined[s.id];
+            m.id = s.id;
+            for (unsigned i = 0; i < kStageCount; ++i) {
+                if ((s.present & (1u << i)) != 0
+                    && (m.present & (1u << i)) == 0) {
+                    m.when[i] = s.when[i];
+                    m.present |= (1u << i);
+                }
+            }
+        }
+    }
+    Histogram total(0.125, 1.5, 48);
+    std::array<Histogram, kStageCount> stage_h;
+    for (auto &h : stage_h)
+        h = Histogram(0.125, 1.5, 48);
+    const std::uint32_t need =
+        1u | (1u << (kStageCount - 1));    // Origin and GuestRx
+    for (auto &[id, s] : joined) {
+        (void)id;
+        if ((s.present & need) != need)
+            continue;
+        ++snap.completed;
+        const std::int64_t t0 = s.when[0];
+        total.record(psToUs(s.when[kStageCount - 1] - t0));
+        std::int64_t prev = t0;
+        for (unsigned i = 1; i < kStageCount; ++i) {
+            if ((s.present & (1u << i)) == 0)
+                continue;
+            stage_h[i].record(psToUs(s.when[i] - prev));
+            prev = s.when[i];
+        }
+    }
+    for (unsigned i = 1; i < kStageCount; ++i) {
+        if (stage_h[i].empty())
+            continue;
+        snap.stages.push_back(
+            statFor(static_cast<PathStage>(i), stage_h[i]));
+    }
+    snap.total = statFor(PathStage::Count, total);
+    snap.total.stage = "total";
+    return snap;
 }
 
 std::vector<PathTrail>

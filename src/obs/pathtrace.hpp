@@ -249,6 +249,29 @@ class PathTracer
     std::uint64_t recordCount() const { return records_; }
     std::uint64_t completedCount() const { return completed_; }
 
+    /**
+     * Sharded-island half-tracer mode (DESIGN.md §13). An island sees
+     * only its part of a packet's path, so a stamp for an id the
+     * tracer never saw an Origin for *adopts* the slot as a partial
+     * trail instead of counting an orphan, and GuestRx defers
+     * finalization: slots stay live until mergeShards() joins the
+     * halves by trace id. Set once, before traffic.
+     */
+    void setShardHalf(bool on) { shard_half_ = on; }
+    bool shardHalf() const { return shard_half_; }
+
+    /**
+     * Join per-island half tracers into one snapshot: counters summed
+     * and component rings concatenated in @p parts order (record comp
+     * ids re-based), attribution slots joined by trace id and
+     * finalized in ascending-id order into fresh histograms. The
+     * result depends only on the tracers' contents — i.e. on the
+     * island partition, not the worker count — so artifacts built from
+     * it are byte-identical from --shards=1 to --shards=N.
+     */
+    static PathSnapshot
+    mergeShards(const std::vector<const PathTracer *> &parts);
+
     /** Capture counters, rings and attribution as a value. */
     PathSnapshot snapshot() const;
 
@@ -277,6 +300,7 @@ class PathTracer
     void finalize(Slot &s);
 
     PathTraceMode mode_;
+    bool shard_half_ = false;
     std::uint64_t export_mask_;
     std::size_t ring_capacity_;
     std::size_t slot_mask_;

@@ -281,6 +281,34 @@ EventQueue::runUntil(Time deadline)
     return n;
 }
 
+Time
+EventQueue::nextEventTime()
+{
+    purgeCancelledTop();
+    return heap_.empty() ? Time::max() : heap_[0].when;
+}
+
+std::uint64_t
+EventQueue::runBefore(Time bound)
+{
+    std::uint64_t n = 0;
+    for (purgeCancelledTop();
+         !heap_.empty() && heap_[0].when < bound;
+         purgeCancelledTop()) {
+        executeTop();
+        ++n;
+    }
+    return n;
+}
+
+void
+EventQueue::advanceTo(Time t)
+{
+    if (t < now_)
+        panic("event queue: advanceTo into the past");
+    now_ = t;
+}
+
 std::uint64_t
 EventQueue::runAll(std::uint64_t max_events)
 {

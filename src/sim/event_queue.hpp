@@ -186,6 +186,40 @@ class EventQueue
     /** Run until the queue is completely empty. */
     std::uint64_t runAll(std::uint64_t max_events = UINT64_MAX);
 
+    /**
+     * @name Shard-engine stepping (sim::ShardEngine).
+     *
+     * A sharded run interleaves local events with cross-island message
+     * deliveries, so the engine needs finer-grained control than
+     * runUntil(): peek at the next event time, run strictly below a
+     * safe bound (without pinning now_ to it — the bound is a moving
+     * horizon, not a deadline), and advance the clock to a message's
+     * due time before invoking its sink.
+     * @{
+     */
+
+    /** Time of the next live event, or Time::max() when empty. */
+    Time nextEventTime();
+
+    /**
+     * Execute events with when < @p bound (strictly — an event at
+     * exactly the bound may race an incoming cross-island message and
+     * must wait for the horizon to move). Unlike runUntil(), now_ is
+     * left at the last executed event.
+     *
+     * @return number of events executed.
+     */
+    std::uint64_t runBefore(Time bound);
+
+    /**
+     * Advance the clock to @p t without executing anything: the engine
+     * is about to deliver a cross-island message due at @p t.
+     * @pre now() <= t <= nextEventTime().
+     */
+    void advanceTo(Time t);
+
+    /** @} */
+
     bool empty() const { return live_events_ == 0; }
     std::uint64_t executed() const { return executed_; }
 

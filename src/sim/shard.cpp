@@ -1,0 +1,21 @@
+#include "sim/shard.hpp"
+
+namespace sriov::sim {
+
+namespace {
+unsigned g_shards = 0;
+} // namespace
+
+unsigned
+shardCount()
+{
+    return g_shards;
+}
+
+void
+setShardCount(unsigned n)
+{
+    g_shards = n;
+}
+
+} // namespace sriov::sim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Shard-count switch: how many event cores drive the simulation.
+ *
+ * 0 (the default) is the legacy single-EventQueue engine — every
+ * existing bench, test and golden digest runs exactly as before. A
+ * value N >= 1 asks the testbed to partition the topology into
+ * host/NIC islands (one EventQueue per island, cross-island traffic
+ * only over nic::Wire) and to drive them with a sim::ShardEngine on
+ * min(N, islands) worker threads. N == 1 is the sequential oracle:
+ * the same partition and the same per-island event streams, executed
+ * by the calling thread — reports and digests are byte-identical for
+ * every N >= 1 (see DESIGN.md §13).
+ *
+ * Like sim::setThinning, the switch is process-global and read once at
+ * Testbed construction — benches set it (via --shards / SRIOV_SHARDS)
+ * before building anything, and tests use ShardScope.
+ */
+
+#ifndef SRIOV_SIM_SHARD_HPP
+#define SRIOV_SIM_SHARD_HPP
+
+namespace sriov::sim {
+
+/** Requested event-core count (0 = legacy single-queue engine). */
+unsigned shardCount();
+
+/** Flip the global switch. Call before constructing components. */
+void setShardCount(unsigned n);
+
+/** RAII override for tests: forces a count, restores on destruction. */
+class ShardScope
+{
+  public:
+    explicit ShardScope(unsigned n) : prev_(shardCount())
+    {
+        setShardCount(n);
+    }
+    ~ShardScope() { setShardCount(prev_); }
+    ShardScope(const ShardScope &) = delete;
+    ShardScope &operator=(const ShardScope &) = delete;
+
+  private:
+    unsigned prev_;
+};
+
+} // namespace sriov::sim
+
+#endif // SRIOV_SIM_SHARD_HPP

@@ -1,0 +1,30 @@
+// Known-bad fixture: a component pushing frames straight into a raw
+// cross-island channel. Every line marked BAD must produce a
+// shard-channel finding: outside src/sim/shard_* and nic::Wire, a
+// ShardChannel push carries no lookahead contract, so the receiving
+// island may already have executed past the message's due time — a
+// silent causality violation. Cross-shard traffic must ride the wire.
+
+struct Frame
+{
+    unsigned long long due_ps = 0;
+    int payload = 0;
+};
+
+struct RogueSender
+{
+    sriov::sim::ShardChannel<Frame> *ch = nullptr;            // BAD
+
+    void
+    blast(unsigned long long now_ps)
+    {
+        // Due "now": zero lookahead, conservative sync is blind to it.
+        ch->push(Frame{now_ps, 1});
+    }
+};
+
+void
+bindRawEdge(sriov::sim::ShardEdge &edge)                      // BAD
+{
+    (void)edge;
+}

@@ -290,8 +290,8 @@ TEST(SimlintFixtures, KnownBadFailsTheGate)
                                       // excluded dir by design
     auto r = simlint::runPaths(
         {std::string(SIMLINT_FIXTURE_DIR) + "/known_bad"}, opts);
-    EXPECT_EQ(r.files_scanned, 5u);
-    EXPECT_EQ(r.findings.size(), 20u);
+    EXPECT_EQ(r.files_scanned, 6u);
+    EXPECT_EQ(r.findings.size(), 22u);
     EXPECT_EQ(r.suppressed, 0u);
 
     // Every rule in the pack shows up at least once, so the corpus

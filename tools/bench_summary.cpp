@@ -82,6 +82,12 @@ summarizePerf(const std::vector<std::string> &files,
         w.beginObject();
         w.kv("bench", bench != nullptr ? bench->str : path);
         w.kv("jobs", num(*doc, "jobs"));
+        // Simulation mode rides into the summary so perf_compare can
+        // refuse to judge a sharded run against a sequential baseline
+        // (absent keys = the pre-shard defaults: thinning on, shards 0).
+        const JsonValue *thin = doc->find("thin");
+        w.kv("thin", thin == nullptr || thin->boolean);
+        w.kv("shards", num(*doc, "shards"));
         w.kv("cases",
              double(cases != nullptr ? cases->items.size() : 0));
         if (total != nullptr) {

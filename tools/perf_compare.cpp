@@ -72,6 +72,13 @@ struct BenchRate
 {
     std::string name;
     double events_per_sec = 0.0;
+    /** Simulation mode the rate was measured in. Rates are only
+     *  comparable within a mode: a sharded run counts per-island
+     *  events and burns multiple host cores, so judging it against a
+     *  sequential baseline would be meaningless either way. Summaries
+     *  without the keys predate the fields: thinning on, shards 0. */
+    bool thin = true;
+    unsigned shards = 0;
 };
 
 /** Extract per-bench events/s from a perf summary; nullopt on error. */
@@ -92,8 +99,13 @@ loadRates(const std::string &path)
     if (benches != nullptr) {
         for (const JsonValue &b : benches->items) {
             const JsonValue *name = b.find("bench");
-            rates.push_back({name != nullptr ? name->str : "?",
-                             num(b, "events_per_sec")});
+            BenchRate r;
+            r.name = name != nullptr ? name->str : "?";
+            r.events_per_sec = num(b, "events_per_sec");
+            const JsonValue *thin = b.find("thin");
+            r.thin = thin == nullptr || thin->boolean;
+            r.shards = unsigned(num(b, "shards"));
+            rates.push_back(std::move(r));
         }
     }
     return rates;
@@ -158,6 +170,15 @@ main(int argc, char **argv)
             bool merged = false;
             for (BenchRate &have : best) {
                 if (have.name == r.name) {
+                    if (have.thin != r.thin
+                        || have.shards != r.shards) {
+                        std::fprintf(stderr,
+                                     "perf_compare: %s: fresh runs "
+                                     "disagree on mode (thin/shards) "
+                                     "for %s — rerun one suite\n",
+                                     pos[i], r.name.c_str());
+                        return 2;
+                    }
                     have.events_per_sec = std::max(have.events_per_sec,
                                                    r.events_per_sec);
                     merged = true;
@@ -190,6 +211,22 @@ main(int argc, char **argv)
             std::printf("perf_compare: %-16s missing from fresh run "
                         "(informational)\n",
                         base.name.c_str());
+        } else if (base.thin != now->thin || base.shards != now->shards) {
+            // Never judge across simulation modes: a sharded run counts
+            // per-island events on multiple host cores and a thinned
+            // run coalesces deliveries, so the events/s scales are not
+            // commensurable with a differently-configured baseline.
+            w.kv("fresh_events_per_sec", now->events_per_sec);
+            w.kv("baseline_thin", base.thin);
+            w.kv("baseline_shards", std::uint64_t(base.shards));
+            w.kv("fresh_thin", now->thin);
+            w.kv("fresh_shards", std::uint64_t(now->shards));
+            w.kv("status", "mode-mismatch");
+            std::printf("perf_compare: %-16s MODE MISMATCH "
+                        "(baseline thin=%d shards=%u, fresh thin=%d "
+                        "shards=%u) — not compared\n",
+                        base.name.c_str(), int(base.thin), base.shards,
+                        int(now->thin), now->shards);
         } else if (base.events_per_sec <= 0) {
             w.kv("status", "no-baseline-rate");
         } else {

@@ -386,6 +386,7 @@ const char *const kNoUnorderedIter = "no-unordered-iteration";
 const char *const kExplicitCapture = "explicit-capture";
 const char *const kHotPathAlloc = "hot-path-alloc";
 const char *const kBadSuppression = "bad-suppression";
+const char *const kShardChannel = "shard-channel";
 
 /** Qualifier of identifier at @p i: "" (unqualified), "std"/"chrono"
  *  (standard library), "member" (after . or ->), or another name. */
@@ -444,6 +445,34 @@ ruleNoWallclock(const std::string &file, const std::vector<Token> &t,
                                  "simulations must be a pure function "
                                  "of the seed"});
         }
+    }
+}
+
+void
+ruleShardChannel(const std::string &file, const std::vector<Token> &t,
+                 std::vector<Finding> &out)
+{
+    // Raw cross-island plumbing outside the engine/wire: a push into a
+    // ShardChannel carries no lookahead contract, so the receiving
+    // island may already have executed past its due time — silent
+    // causality violation, not a crash. nic::Wire is the only legal
+    // shard boundary (DESIGN.md §13): its send path asserts due >=
+    // now + propagation on every message.
+    static const std::set<std::string> kRawShardTypes = {"ShardChannel",
+                                                         "ShardEdge"};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Ident
+            || kRawShardTypes.count(t[i].text) == 0)
+            continue;
+        if (qualifierOf(t, i) == "member")
+            continue;
+        out.push_back({file, t[i].line, kShardChannel,
+                       "'" + t[i].text
+                           + "' outside src/sim/shard_*/nic::Wire: "
+                             "raw cross-island sends bypass the "
+                             "lookahead contract; route cross-shard "
+                             "traffic through nic::Wire (the only "
+                             "legal shard boundary, DESIGN.md #13)"});
     }
 }
 
@@ -619,6 +648,33 @@ pathInSrc(const std::string &path)
     return false;
 }
 
+/** src/sim/shard_* (and shard.cpp/hpp): the shard engine is the one
+ *  component whose business IS host threads, so the wallclock and
+ *  unordered-iteration heuristics are scoped out of it — its worker
+ *  loops name std::thread/atomics in patterns the token rules
+ *  misread, and host-side backoff tuning may legitimately read a
+ *  monotonic clock that never feeds simulated time. Everything else
+ *  under src/ stays strict. */
+bool
+isShardEngineFile(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    fs::path p(path);
+    return pathInSrc(path) && p.parent_path().filename() == "sim"
+        && p.filename().string().rfind("shard", 0) == 0;
+}
+
+/** src/nic/wire.*: the lookahead-bearing shard boundary itself — the
+ *  one legitimate ShardChannel user outside the engine. */
+bool
+isWireFile(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    fs::path p(path);
+    return pathInSrc(path) && p.parent_path().filename() == "nic"
+        && p.filename().string().rfind("wire", 0) == 0;
+}
+
 std::string
 jsonEscape(const std::string &s)
 {
@@ -649,8 +705,8 @@ const std::vector<std::string> &
 allRules()
 {
     static const std::vector<std::string> kRules = {
-        kNoWallclock, kNoUnorderedIter, kExplicitCapture, kHotPathAlloc,
-        kBadSuppression};
+        kNoWallclock,  kNoUnorderedIter, kExplicitCapture,
+        kHotPathAlloc, kBadSuppression,  kShardChannel};
     return kRules;
 }
 
@@ -683,10 +739,14 @@ lintText(const std::string &path, const std::string &text,
     };
 
     std::vector<Finding> raw;
-    if (enabled(kNoWallclock) && pathInSrc(path))
+    if (enabled(kNoWallclock) && pathInSrc(path)
+        && !isShardEngineFile(path))
         ruleNoWallclock(path, lx.toks, raw);
-    if (enabled(kNoUnorderedIter))
+    if (enabled(kNoUnorderedIter) && !isShardEngineFile(path))
         ruleNoUnorderedIteration(path, lx.toks, unordered, raw);
+    if (enabled(kShardChannel) && !isShardEngineFile(path)
+        && !isWireFile(path))
+        ruleShardChannel(path, lx.toks, raw);
     if (enabled(kExplicitCapture))
         ruleExplicitCapture(path, lx.toks, raw);
     if (enabled(kHotPathAlloc))
