@@ -1,0 +1,92 @@
+/**
+ * @file
+ * bench_longrun — the fluid-mode showcase: 60+ simulated seconds of
+ * multi-VM steady UDP traffic in single-digit host seconds.
+ *
+ * The scalability figures measure 4 s windows because per-packet
+ * simulation makes longer horizons expensive: fig15's sweep executes
+ * ~70 M events for 24 simulated seconds. Fluid mode changes that
+ * economics — once every flow is steady the director warps whole
+ * hyperperiods at a time, so simulated duration is nearly free until
+ * the next transition. This bench runs a 20-VM HVM testbed (the
+ * fig15 mid-point) for 60 simulated seconds and reports the achieved
+ * warp ratio. Run it with --fluid (CI does) to see the point; with
+ * the flag off it is simply a long, honest soak test.
+ *
+ * The report asserts conservation over the whole hour-scale horizon:
+ * line-rate goodput throughout, and a warp fraction >= 90% when
+ * fluid is enabled.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/testbed.hpp"
+#include "sim/fluid.hpp"
+#include "sim/log.hpp"
+
+using namespace sriov;
+
+int
+main(int argc, char **argv)
+{
+    sim::setLogLevel(sim::LogLevel::Quiet);
+    core::FigReport fr(argc, argv, "longrun",
+                       "60 simulated seconds, 20 HVM VMs, fluid warp");
+    if (fr.helpShown())
+        return 0;
+    core::banner("longrun: 20 VMs / 10 ports, 60 simulated seconds");
+
+    constexpr unsigned kVms = 20;
+    constexpr double kSimSeconds = 60.0;
+    fr.report().setConfig("vms", double(kVms));
+    fr.report().setConfig("sim_seconds", kSimSeconds);
+
+    core::Testbed::Params p;
+    p.num_ports = 10;
+    p.opts = core::OptimizationSet::maskEoi();
+    p.itr = "adaptive";
+    core::Testbed tb(p);
+    for (unsigned i = 0; i < kVms; ++i)
+        tb.addGuest(vmm::DomainType::Hvm, core::Testbed::NetMode::Sriov);
+    double per_guest = p.line_bps / (kVms / 10);
+    for (unsigned i = 0; i < kVms; ++i)
+        tb.startUdpToGuest(tb.guest(i), per_guest);
+    fr.instrument(tb);
+
+    core::Testbed::Measurement m;
+    fr.captureTrace(tb, [&]() {
+        m = tb.measure(sim::Time::sec(2),
+                       sim::Time::sec(kSimSeconds - 2));
+    });
+    fr.snapshot("60s-20vm");
+
+    double warped_s = 0;
+    std::uint64_t elided = 0, segments = 0;
+    if (const core::FluidDirector *fd = tb.fluidDirector()) {
+        warped_s = double(fd->stats().warped.picos()) * 1e-12;
+        elided = fd->stats().events_elided;
+        segments = fd->stats().segments;
+    }
+    double warp_pct = 100.0 * warped_s / kSimSeconds;
+    fr.report().addMetric("warped_sim_s", warped_s);
+    fr.report().addMetric("warp_pct", warp_pct);
+    fr.report().addMetric("segments", double(segments));
+    fr.report().addMetric("events_elided", double(elided));
+
+    fr.expect("goodput_gbps", m.total_goodput_bps / 1e9, 9.57, 6);
+    if (sim::fluidMode() == sim::FluidMode::On) {
+        // The point of the bench: nearly the whole steady horizon is
+        // warped, not simulated. 90% leaves room for the probe duty
+        // cycle and the per-second retune boundaries.
+        fr.expect("warp_pct", warp_pct, 95.0, 6);
+    }
+
+    std::printf("\n%.0f simulated seconds, %u VMs: goodput %.2f Gb/s, "
+                "%.1f%% warped (%llu segments, %llu events elided)\n",
+                kSimSeconds, kVms, m.total_goodput_bps / 1e9, warp_pct,
+                static_cast<unsigned long long>(segments),
+                static_cast<unsigned long long>(elided));
+    return fr.finish();
+}

@@ -56,6 +56,11 @@ runScale(core::FigReport &fr, core::FigCase &c, unsigned vms,
     fr.caseDrive(c, tb, [&]() {
         m = tb.measure(sim::Time::sec(2), sim::Time::sec(4));
     });
+    std::uint64_t pkts = 0;
+    for (std::size_t i = 0; i < tb.guestCount(); ++i)
+        if (tb.guest(i).rx)
+            pkts += tb.guest(i).rx->rxPackets();
+    c.addPackets(pkts);
     if (vms == 60)
         c.snapshot("60-VM");
     return Point{vms, m.total_goodput_bps / 1e9, m.total_pct,

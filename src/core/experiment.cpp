@@ -61,6 +61,10 @@ FigCase::drive(Testbed &tb, const std::function<void()> &fn)
     fn();
     wall_s_ += secondsSince(t0);
     events_ += tb.executedEvents() - before;
+    // Director stats are cumulative per testbed; the last drive's view
+    // covers every earlier drive of the same case.
+    if (FluidDirector *fd = tb.fluidDirector())
+        fluid_ = fd->stats();
 }
 
 FigReport::FigReport(int argc, char **argv, const std::string &fig,
@@ -113,7 +117,7 @@ void
 FigReport::notePerf(const std::string &label, std::uint64_t events,
                     double wall_s, std::uint64_t packets)
 {
-    perf_.push_back(CasePerf{label, events, packets, wall_s});
+    perf_.push_back(CasePerf{label, events, packets, wall_s, {}});
 }
 
 void
@@ -132,6 +136,8 @@ FigReport::captureTrace(Testbed &tb, const std::function<void()> &drive)
         auto t0 = std::chrono::steady_clock::now();
         drive();
         notePerf("", tb.executedEvents() - before, secondsSince(t0));
+        if (FluidDirector *fd = tb.fluidDirector())
+            perf_.back().fluid = fd->stats();
         last_perf_unlabelled_ = true;
         return;
     }
@@ -147,6 +153,8 @@ FigReport::captureTrace(Testbed &tb, const std::function<void()> &drive)
     auto t0 = std::chrono::steady_clock::now();
     drive();
     notePerf("", tb.executedEvents() - before, secondsSince(t0));
+    if (FluidDirector *fd = tb.fluidDirector())
+        perf_.back().fluid = fd->stats();
     last_perf_unlabelled_ = true;
     w.importTracer(tracer);
     w.detachAll();
@@ -220,6 +228,7 @@ FigReport::mergeCase(FigCase &c)
         rep_.addMetric(name, value);
     c.metrics_.clear();
     notePerf(c.label_, c.events_, c.wall_s_, c.packets_);
+    perf_.back().fluid = c.fluid_;
 }
 
 void
@@ -246,6 +255,8 @@ FigReport::writePerfSidecar(const std::string &path) const
     w.kv("jobs", std::uint64_t(opts_.jobs()));
     w.kv("thin", !opts_.noThin());
     w.kv("shards", std::uint64_t(opts_.shards()));
+    w.kv("fluid", opts_.fluid());
+    w.kv("fluid_mode", opts_.fluidModeName());
     std::uint64_t total_events = 0;
     std::uint64_t total_packets = 0;
     double total_wall = 0;
@@ -264,6 +275,17 @@ FigReport::writePerfSidecar(const std::string &path) const
             w.kv("packets", p.packets);
             w.kv("events_per_packet",
                  double(p.events) / double(p.packets));
+        }
+        if (p.fluid.probes > 0) {
+            w.key("fluid_stats").beginObject();
+            w.kv("segments", p.fluid.segments);
+            w.kv("probes", p.fluid.probes);
+            w.kv("rejected", p.fluid.rejected);
+            w.kv("periods_warped", p.fluid.periods_warped);
+            w.kv("warped_sim_s",
+                 double(p.fluid.warped.picos()) * 1e-12);
+            w.kv("events_elided", p.fluid.events_elided);
+            w.endObject();
         }
         w.endObject();
         total_events += p.events;

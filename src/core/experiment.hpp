@@ -74,6 +74,8 @@ class FigCase
     std::uint64_t events_ = 0;
     std::uint64_t packets_ = 0;
     double wall_s_ = 0;
+    /** Director stats after the last drive (all-zero when fluid off). */
+    sim::FluidStats fluid_;
 };
 
 /**
@@ -174,6 +176,8 @@ class FigReport
         std::uint64_t events = 0;
         std::uint64_t packets = 0;
         double wall_s = 0;
+        /** Fluid-director stats for the sidecar (zero when off). */
+        sim::FluidStats fluid;
     };
 
     void notePerf(const std::string &label, std::uint64_t events,

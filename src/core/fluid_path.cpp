@@ -1,0 +1,291 @@
+#include "core/fluid_path.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "sim/log.hpp"
+#include "sim/trace.hpp"
+
+namespace sriov::core {
+
+FluidDirector::FluidDirector(sim::EventQueue &eq, StateWalk walk,
+                             WarpGate gate)
+    : FluidDirector(eq, std::move(walk), std::move(gate), Config{})
+{
+}
+
+FluidDirector::FluidDirector(sim::EventQueue &eq, StateWalk walk,
+                             WarpGate gate, Config cfg)
+    : eq_(eq), walk_(std::move(walk)), gate_(std::move(gate)), cfg_(cfg)
+{
+    if (sim::fluidLedger() != nullptr)
+        sim::fatal("fluid: a FlowLedger is already installed");
+    sim::setFluidLedger(&ledger_);
+}
+
+FluidDirector::~FluidDirector()
+{
+    sim::setFluidLedger(nullptr);
+}
+
+void
+FluidDirector::start()
+{
+    // Exact mode keeps the director (its ledger drives the window
+    // quantization, so On and Exact share a schedule) but never
+    // probes or warps: every event runs.
+    if (sim::fluidMode() != sim::FluidMode::On)
+        return;
+    schedulePoll(cfg_.poll);
+}
+
+bool
+FluidDirector::shiftSafeTag(const char *tag)
+{
+    // Callbacks under these tags capture only owner pointers and
+    // indices, never per-packet state, so firing them n periods later
+    // reproduces the shifted schedule exactly. Notable exclusions:
+    // "dma.done" and the exact-mode wire events capture a Packet, and
+    // netback's CPU batches capture frame vectors (gated separately
+    // via WarpGate) — any of those pending rejects the cycle.
+    static const char *const kSafe[] = {
+        "cpu.done",          // CpuServer completion (captures this)
+        "wire.burst",        // thin-mode wire drain (this + direction)
+        "netperf.emit",      // CBR sender tick (captures this)
+        "netperf.rto",       // TCP RTO deferred timer (captures this)
+        "netperf.sample",    // receiver rate sampling (captures this)
+        "nic.itr",           // ITR window expiry (this + pool index)
+        "driver.itr_sample", // driver retune timer (captures this)
+    };
+    for (const char *s : kSafe) {
+        if (std::strcmp(tag, s) == 0)
+            return true;
+    }
+    return false;
+}
+
+void
+FluidDirector::schedulePoll(sim::Time delay)
+{
+    eq_.scheduleIn(delay, [this]() { onPoll(); }, "fluid.poll");
+}
+
+void
+FluidDirector::onPoll()
+{
+    if (!ledger_.allSteady()) {
+        schedulePoll(cfg_.poll);
+        return;
+    }
+    sim::Time base = ledger_.commonPeriod(cfg_.period_cap);
+    if (base <= sim::Time()) {
+        schedulePoll(cfg_.poll);
+        return;
+    }
+    sim::Time period = sim::Time::ps(base.picos() * mult_);
+    if (period > cfg_.period_cap) {
+        // The multiplier outgrew the cap at this base period: restart
+        // the scan — the base may shrink again after a retune.
+        mult_ = 1;
+        period = base;
+    }
+    // A cycle executes two periods of exact schedule before it can
+    // warp; only probe when the warp itself still fits the horizon.
+    if (eq_.runDeadline() != sim::Time::max()) {
+        std::int64_t need =
+            period.picos() * (2 + cfg_.min_periods);
+        if ((eq_.runDeadline() - eq_.now()).picos() < need) {
+            schedulePoll(cfg_.poll);
+            return;
+        }
+    }
+    beginCycle(period);
+}
+
+void
+FluidDirector::beginCycle(sim::Time period)
+{
+    period_ = period;
+    stats_.probes++;
+    s0_ = std::make_unique<sim::FluidVisitor>(
+        sim::FluidVisitor::Pass::Capture);
+    walk_(*s0_);
+    phase_ = Phase::AwaitS1;
+    eq_.scheduleIn(period_, [this]() { onProbe(); }, "fluid.probe");
+}
+
+void
+FluidDirector::onProbe()
+{
+    if (!ledger_.allSteady()) {
+        reject("transition reported mid-cycle");
+        return;
+    }
+    if (phase_ == Phase::AwaitS1) {
+        s1_ = std::make_unique<sim::FluidVisitor>(
+            sim::FluidVisitor::Pass::Capture);
+        walk_(*s1_);
+        std::string why;
+        if (!s1_->verifyAgainst(*s0_, nullptr, &why)) {
+            reject(std::move(why));
+            return;
+        }
+        // Snapshot the heap *before* scheduling the next probe so the
+        // pending set holds only the simulation's own events.
+        eq_.snapshotPending(e1_);
+        exec_s1_ = eq_.executed();
+        phase_ = Phase::AwaitS2;
+        eq_.scheduleIn(period_, [this]() { onProbe(); }, "fluid.probe");
+        return;
+    }
+    finishCycle();
+}
+
+void
+FluidDirector::finishCycle()
+{
+    s2_ = std::make_unique<sim::FluidVisitor>(
+        sim::FluidVisitor::Pass::Capture);
+    walk_(*s2_);
+    eq_.snapshotPending(e2_);
+    std::string why;
+    if (!s2_->verifyAgainst(*s1_, s0_.get(), &why) ||
+        !classifyPending(&why) || !applyWarp(&why)) {
+        reject(std::move(why));
+        return;
+    }
+    // The post-warp state is the shifted S2 by construction: roll
+    // straight into the next cycle from here, skipping the settle
+    // poll — steady traffic keeps warping with a two-period duty
+    // cycle per segment.
+    consecutive_rejects_ = 0;
+    last_reject_.clear();
+    beginCycle(period_);
+}
+
+bool
+FluidDirector::classifyPending(std::string *why)
+{
+    shift_keys_.clear();
+    abs_bound_ = sim::Time::max();
+    const sim::Time t1 = eq_.now() - period_;
+    const sim::Time t2 = eq_.now();
+
+    // An event with the same seq at the same due time is the *same*
+    // event still waiting: absolute (sampling boundaries, watchdogs).
+    // It stays put and bounds the warp. Seqs are unique, so this can
+    // never mistake a periodic successor for its predecessor.
+    std::unordered_map<std::uint64_t, sim::Time> still;
+    still.reserve(e1_.size());
+    // Multiset of (tag, due-time relative to the probe instant) at S1:
+    // a fresh S2 event matching one is the next incarnation of a
+    // periodic process and is shifted with the clock.
+    std::map<std::pair<std::string_view, std::int64_t>, int> rel1;
+    for (const auto &e : e1_) {
+        still.emplace(e.seq, e.when);
+        rel1[{std::string_view(e.tag), (e.when - t1).picos()}]++;
+    }
+
+    for (const auto &e : e2_) {
+        auto s = still.find(e.seq);
+        if (s != still.end() && s->second == e.when) {
+            abs_bound_ = std::min(abs_bound_, e.when);
+            continue;
+        }
+        auto r = rel1.find({std::string_view(e.tag),
+                            (e.when - t2).picos()});
+        if (r != rel1.end() && r->second > 0) {
+            --r->second;
+            if (!shiftSafeTag(e.tag)) {
+                *why = std::string("periodic event '") + e.tag
+                    + "' carries opaque captures";
+                return false;
+            }
+            shift_keys_.push_back(e.key_index);
+            continue;
+        }
+        *why = std::string("unmatched pending event '") + e.tag + "'";
+        return false;
+    }
+    return true;
+}
+
+bool
+FluidDirector::applyWarp(std::string *why)
+{
+    const sim::Time t2 = eq_.now();
+    const std::int64_t np = period_.picos();
+    std::int64_t n = -1;
+    if (eq_.runDeadline() != sim::Time::max())
+        n = (eq_.runDeadline() - t2).picos() / np;
+    if (abs_bound_ != sim::Time::max()) {
+        std::int64_t na = (abs_bound_ - t2).picos() / np;
+        n = n < 0 ? na : std::min(n, na);
+    }
+    if (n < 0) {
+        *why = "warp horizon unbounded (no deadline, no absolute event)";
+        return false;
+    }
+    if (n < cfg_.min_periods) {
+        *why = "warp horizon too near";
+        return false;
+    }
+    if (gate_ && !gate_()) {
+        *why = "opaque CPU work in flight";
+        return false;
+    }
+
+    const std::uint64_t per_period = eq_.executed() - exec_s1_ - 1;
+    sim::FluidVisitor apply(sim::FluidVisitor::Pass::Apply);
+    apply.armApply(*s1_, *s2_, n);
+    walk_(apply);
+    const sim::Time delta = sim::Time::ps(n * np);
+    ledger_.warpBy(delta);
+    // No schedule/cancel between snapshotPending() and here, so the
+    // S2 key indices are still valid.
+    eq_.fluidWarp(delta, shift_keys_);
+
+    stats_.segments++;
+    stats_.periods_warped += std::uint64_t(n);
+    stats_.warped = stats_.warped + delta;
+    stats_.events_elided += per_period * std::uint64_t(n);
+    SRIOV_TRACE(sim::TraceCat::Driver,
+                "fluid: warped %lld periods of %s (~%llu events)",
+                static_cast<long long>(n), period_.toString().c_str(),
+                static_cast<unsigned long long>(per_period
+                                                * std::uint64_t(n)));
+    return true;
+}
+
+void
+FluidDirector::reject(std::string why)
+{
+    stats_.rejected++;
+    last_reject_ = std::move(why);
+    SRIOV_TRACE(sim::TraceCat::Driver, "fluid: cycle rejected: %s",
+                last_reject_.c_str());
+    phase_ = Phase::Idle;
+    s0_.reset();
+    s1_.reset();
+    s2_.reset();
+    e1_.clear();
+    e2_.clear();
+    if (mult_ < cfg_.max_mult) {
+        // Interacting grids often repeat only at a small multiple of
+        // the ledger period (throttle windows vs the send grid): scan
+        // upward before concluding the schedule is aperiodic.
+        ++mult_;
+        schedulePoll(cfg_.poll);
+        return;
+    }
+    mult_ = 1;
+    unsigned shift = std::min(consecutive_rejects_, kMaxBackoffShift);
+    ++consecutive_rejects_;
+    schedulePoll(sim::Time::ps(cfg_.backoff.picos() << shift));
+}
+
+} // namespace sriov::core

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * FluidDirector: the control loop of fluid (flow-level) mode.
+ *
+ * The ledger (sim/fluid.hpp) says *when* the testbed looks periodic;
+ * the director proves it and cashes it in. It polls the ledger on a
+ * fixed cadence and, once every flow is steady with a common
+ * hyperperiod P, runs a three-capture probe cycle: full state walks
+ * S0, S1, S2 taken exactly P apart. S1 must repeat S0's slot sequence
+ * (same components, same ring depths); S2 must show every slot's
+ * second per-period delta equal to its first (integers exactly,
+ * doubles to a relative epsilon). That is the periodicity certificate:
+ * the schedule provably satisfies S(t + P) = shift_P(S(t)) over the
+ * probed window, with the deltas *measured*, not modeled.
+ *
+ * The pending event heap is classified against the same certificate.
+ * Every event pending at S2 must either match an S1 event of the same
+ * tag at the same relative due-time (periodic: its heap key is shifted
+ * by n*P, allowed only for tags whose captures are position-free) or
+ * be the *same* event (same seq, same absolute due-time) still waiting
+ * (absolute: left in place, and bounding the warp so it never lands in
+ * the past). Anything else — an event seen only once, or a periodic
+ * event whose closure captured per-packet state — rejects the cycle.
+ *
+ * A successful cycle warps: every slot += n * delta, the clock and the
+ * periodic events += n * P, the ledger's send marks += n * P. Counters
+ * at the warp target are byte-identical to the exact schedule by
+ * construction. On rejection the director escalates the period to
+ * m * P (interacting grids often only repeat at a small multiple) and
+ * finally backs off exponentially. Transitions reported to the ledger
+ * (drops, RTOs, ITR changes, VM churn...) drop the testbed back to
+ * exact per-packet simulation automatically: the ledger goes unsteady
+ * and no cycle starts until the hysteresis hold expires.
+ */
+
+#ifndef SRIOV_CORE_FLUID_PATH_HPP
+#define SRIOV_CORE_FLUID_PATH_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/fluid.hpp"
+
+namespace sriov::core {
+
+class FluidDirector
+{
+  public:
+    struct Config
+    {
+        /** Ledger steadiness poll cadence (off the ms grid on purpose:
+         *  a poll landing exactly on a schedule instant would probe a
+         *  phase that races same-time events). */
+        sim::Time poll = sim::Time::us(97);
+        /** Base back-off after a rejected cycle (doubles per
+         *  consecutive rejection, capped at kMaxBackoffShift). */
+        sim::Time backoff = sim::Time::ms(5);
+        /** Largest hyperperiod worth probing — each cycle executes
+         *  2 * period of exact simulation before it can warp. */
+        sim::Time period_cap = sim::Time::ms(50);
+        /** Period-multiplier scan bound (m * P for m = 1..max_mult). */
+        unsigned max_mult = 8;
+        /** Smallest warp worth applying (in periods). */
+        std::int64_t min_periods = 2;
+    };
+
+    static constexpr unsigned kMaxBackoffShift = 6;
+
+    /** Full state walk over every component of the testbed. MUST be
+     *  pure visitation: no scheduling, no cancellation, no sends. */
+    using StateWalk = std::function<void(sim::FluidVisitor &)>;
+
+    /** Extra warp gate, checked after verification: return false to
+     *  refuse (e.g. CPU work whose closures captured packets is in
+     *  flight — sim::CpuServer::hasWorkTagged). Null = always allow. */
+    using WarpGate = std::function<bool()>;
+
+    /**
+     * Installs this director's ledger as the process-global fluid
+     * ledger (sim::setFluidLedger); the destructor uninstalls it.
+     * Call start() once the testbed is fully built.
+     */
+    FluidDirector(sim::EventQueue &eq, StateWalk walk, WarpGate gate);
+    FluidDirector(sim::EventQueue &eq, StateWalk walk, WarpGate gate,
+                  Config cfg);
+    ~FluidDirector();
+
+    FluidDirector(const FluidDirector &) = delete;
+    FluidDirector &operator=(const FluidDirector &) = delete;
+
+    /** Schedule the first steadiness poll. */
+    void start();
+
+    sim::FlowLedger &ledger() { return ledger_; }
+    const sim::FlowLedger &ledger() const { return ledger_; }
+    const sim::FluidStats &stats() const { return stats_; }
+
+    /** Diagnostics: why the most recent cycle failed ("" if none). */
+    const std::string &lastReject() const { return last_reject_; }
+
+    /**
+     * Tags whose pending events may be shifted by a whole number of
+     * periods: their callbacks capture only owner pointers/indices, so
+     * re-executing them later reproduces the shifted schedule. Tags
+     * carrying per-packet captures (dma.done, exact-mode wire events,
+     * netback grant batches) are deliberately absent — a cycle that
+     * finds one pending rejects. Exposed for simlint/tests.
+     */
+    static bool shiftSafeTag(const char *tag);
+
+  private:
+    enum class Phase : std::uint8_t { Idle, AwaitS1, AwaitS2 };
+
+    void schedulePoll(sim::Time delay);
+    void onPoll();
+    /** Capture S0 now and schedule the S1 probe one period out. */
+    void beginCycle(sim::Time period);
+    void onProbe();
+    void finishCycle();    ///< S2 is in: verify, classify, warp
+    bool classifyPending(std::string *why);
+    bool applyWarp(std::string *why);
+    void reject(std::string why);
+
+    sim::EventQueue &eq_;
+    StateWalk walk_;
+    WarpGate gate_;
+    Config cfg_;
+    sim::FlowLedger ledger_;
+    sim::FluidStats stats_;
+
+    Phase phase_ = Phase::Idle;
+    sim::Time period_;
+    unsigned mult_ = 1;
+    unsigned consecutive_rejects_ = 0;
+    std::unique_ptr<sim::FluidVisitor> s0_, s1_, s2_;
+    std::vector<sim::EventQueue::PendingEvent> e1_, e2_;
+    std::uint64_t exec_s1_ = 0;
+    /** key_index values (into the S2 heap snapshot) to shift. */
+    std::vector<std::uint32_t> shift_keys_;
+    sim::Time abs_bound_;
+    std::string last_reject_;
+};
+
+} // namespace sriov::core
+
+#endif // SRIOV_CORE_FLUID_PATH_HPP

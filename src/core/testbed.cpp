@@ -7,10 +7,35 @@ namespace sriov::core {
 
 Testbed::Testbed(Params p) : params_(std::move(p))
 {
-    if (sim::shardCount() != 0)
+    if (sim::shardCount() != 0) {
         buildSharded();
-    else
-        buildLegacy();
+        if (sim::fluidEnabled())
+            sim::warn("fluid mode is not available on a sharded build; "
+                      "running exact");
+        return;
+    }
+    buildLegacy();
+    if (sim::fluidEnabled()) {
+        // CPU work submitted by netback captures whole frame batches
+        // in its completion closures — state a warp cannot rewrite —
+        // so the director refuses to warp while any is in flight.
+        auto gate = [this]() {
+            static const char *const opaque[] = {"dom0-netback"};
+            for (unsigned i = 0; i < server_->pcpuCount(); ++i) {
+                if (server_->pcpu(i).hasWorkTagged(opaque, 1))
+                    return false;
+            }
+            for (unsigned i = 0; i < client_->pcpuCount(); ++i) {
+                if (client_->pcpu(i).hasWorkTagged(opaque, 1))
+                    return false;
+            }
+            return true;
+        };
+        fluid_ = std::make_unique<FluidDirector>(
+            eq_, [this](sim::FluidVisitor &v) { fluidVisit(v); },
+            std::move(gate));
+        fluid_->start();
+    }
 }
 
 void
@@ -941,6 +966,67 @@ Testbed::obsFor(unsigned port)
     if (engine_)
         return slices_.at(port).obs.get();
     return obs_.get();
+}
+
+void
+Testbed::fluidVisit(sim::FluidVisitor &v)
+{
+    if (engine_)
+        sim::fatal("sharded testbed: fluid mode is per-queue");
+    // Build order, so the slot sequence is reproducible run to run.
+    server_->fluidVisit(v);
+    client_->fluidVisit(v);
+    dom0_kern_->fluidVisit(v);
+    for (auto &n : ports_)
+        n->fluidVisit(v);
+    if (vmdq_nic_)
+        vmdq_nic_->fluidVisit(v);
+    for (auto &w : wires_)
+        w->fluidVisit(v);
+    for (auto &pf : pf_drivers_)
+        pf->fluidVisit(v);
+    for (auto &[port, nb] : netbacks_)
+        nb->fluidVisit(v);
+    if (vmdq_backend_)
+        vmdq_backend_->fluidVisit(v);
+    for (ClientPort &cp : client_ports_) {
+        cp.nic->fluidVisit(v);
+        cp.kern->fluidVisit(v);
+        cp.drv->fluidVisit(v);
+        cp.stack->fluidVisit(v);
+    }
+    for (auto &[port, dp] : dom0_ports_) {
+        dp.drv->fluidVisit(v);
+        dp.stack->fluidVisit(v);
+    }
+    for (auto &gp : guests_) {
+        Guest &g = *gp;
+        g.kern->fluidVisit(v);
+        g.stack->fluidVisit(v);
+        if (g.vf)
+            g.vf->fluidVisit(v);
+        if (g.pv)
+            g.pv->fluidVisit(v);
+        if (g.bond)
+            g.bond->fluidVisit(v);
+        if (g.rx)
+            g.rx->fluidVisit(v);
+    }
+    for (auto &s : udp_senders_)
+        s->fluidVisit(v);
+    for (auto &s : tcp_senders_)
+        s->fluidVisit(v);
+    if (obs_) {
+        obs_->intr_latency_us.fluidVisit(v, "obs.intr_latency");
+        for (auto &h : obs_->exit_cost_cycles)
+            h.fluidVisit(v, "obs.exit_cost");
+        obs_->ring_occupancy.fluidVisit(v, "obs.ring_occupancy");
+        obs_->tcp_rtt_us.fluidVisit(v, "obs.tcp_rtt");
+    }
+    // Deliberately unvisited: the path tracer (trails have gaps over
+    // warped spans by design), migration and the IOV manager (control
+    // plane — any churn they cause reports a transition and ends the
+    // segment at the exact schedule).
 }
 
 void

@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "core/aic.hpp"
+#include "core/fluid_path.hpp"
 #include "core/iov_manager.hpp"
 #include "core/optimizations.hpp"
 #include "drivers/native_driver.hpp"
@@ -258,6 +259,27 @@ class Testbed
     /** @} */
 
     /**
+     * @name Fluid (flow-level) mode (sim/fluid.hpp, core/fluid_path.hpp).
+     *
+     * With sim::fluidEnabled() at construction, a legacy-mode testbed
+     * installs a FluidDirector on its queue: senders and NIC raise
+     * streams feed the process-global ledger, and verified-periodic
+     * stretches of the schedule are warped in closed form. Sharded
+     * builds run exact (the conservative engine owns the clocks).
+     * @{
+     */
+
+    /** Full fluid state walk over every component (pure visitation;
+     *  the exact order is the build order, so slot sequences are
+     *  reproducible across runs). Legacy mode only. */
+    void fluidVisit(sim::FluidVisitor &v);
+
+    /** The installed director (null: fluid off or sharded build). */
+    FluidDirector *fluidDirector() { return fluid_.get(); }
+
+    /** @} */
+
+    /**
      * Register the testbed's components with an invariant checker:
      * every port's L2 switch and RX rings, every wire, both machines'
      * interrupt routers, the PF functions, and all current guests'
@@ -350,6 +372,9 @@ class Testbed
     /** Constructed before any component so registration order — and
      *  therefore snapshot/artifact bytes — is fixed by build order. */
     std::unique_ptr<obs::PathTracer> pathtrace_;
+    /** Fluid-mode director (legacy build + sim::fluidEnabled() only).
+     *  Destroyed before the components its state walk references. */
+    std::unique_ptr<FluidDirector> fluid_;
 };
 
 } // namespace sriov::core

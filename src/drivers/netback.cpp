@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/fluid.hpp"
 #include "sim/log.hpp"
 
 namespace sriov::drivers {
@@ -50,6 +51,7 @@ NetbackDriver::connectGuest(NetfrontDriver &nf)
     // NetbackDriver instances (one per port) share the worker pool.
     GuestCtx ctx{&nf, unsigned(nf.mac().value % cfg_.num_threads)};
     guests_[nf.mac().value] = ctx;
+    sim::fluidTransitionAll(sim::FluidTransition::VmChurn);
     nf.setBackend(this);
     // Pin the backend's mapping of the guest RX grant.
     nf.grants().mapGrant(nf.rxGrantRef(), /*domid=*/0);
@@ -60,6 +62,7 @@ NetbackDriver::disconnectGuest(NetfrontDriver &nf)
 {
     nf.grants().unmapGrant(nf.rxGrantRef());
     guests_.erase(nf.mac().value);
+    sim::fluidTransitionAll(sim::FluidTransition::VmChurn);
 }
 
 bool
@@ -140,6 +143,7 @@ NetbackDriver::deliverToGuest(GuestCtx &g, std::vector<nic::Packet> &&pkts)
     sim::CpuServer &cpu = workerCpu(g.worker);
     if (cpu.queueDepth() > cfg_.worker_queue_cap) {
         backlog_drops_.inc(pkts.size());
+        sim::fluidTransitionAll(sim::FluidTransition::Drop);
         return;
     }
     const auto &cm = kern_.hv().costs();
@@ -175,6 +179,7 @@ NetbackDriver::guestTx(NetfrontDriver &src, const nic::Packet &pkt)
     sim::CpuServer &cpu = workerCpu(g->worker);
     if (cpu.queueDepth() > cfg_.worker_queue_cap) {
         backlog_drops_.inc();
+        sim::fluidTransitionAll(sim::FluidTransition::Drop);
         return false;
     }
     const auto &cm = kern_.hv().costs();

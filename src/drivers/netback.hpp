@@ -64,6 +64,20 @@ class NetbackDriver : public guest::GuestKernel::IrqClient
     std::uint64_t forwardedToGuests() const { return to_guests_.value(); }
     unsigned threadCount() const { return cfg_.num_threads; }
 
+    /** Fluid-mode state walk (sim/fluid.hpp). */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        copies_.fluidVisit(v, "nb.copies");
+        backlog_drops_.fluidVisit(v, "nb.backlog_drops");
+        to_wire_.fluidVisit(v, "nb.to_wire");
+        to_guests_.fluidVisit(v, "nb.to_guests");
+        v.inv("nb.guests", guests_.size());
+        v.inv("nb.pending", pending_.size());
+        for (auto &c : pending_)
+            nic::fluidVisitPacket(v, "nb.pending_pkt", c.pkt);
+    }
+
   private:
     struct GuestCtx
     {

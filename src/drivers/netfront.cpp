@@ -1,6 +1,7 @@
 #include "drivers/netfront.hpp"
 
 #include "drivers/netback.hpp"
+#include "sim/fluid.hpp"
 #include "sim/log.hpp"
 
 namespace sriov::drivers {
@@ -43,11 +44,12 @@ NetfrontDriver::transmit(const nic::Packet &pkt)
 {
     if (!linkUp()) {
         tx_dropped_.inc();
+        sim::fluidTransitionAll(sim::FluidTransition::Drop);
         return false;
     }
     if (!backend_->guestTx(*this, pkt)) {
         tx_dropped_.inc();
-        return false;
+        return false;    // guestTx already reported the drop
     }
     tx_packets_.inc();
     return true;

@@ -61,6 +61,24 @@ class NetfrontDriver : public guest::NetDevice,
     std::uint64_t txPackets() const { return tx_packets_.value(); }
     std::uint64_t txDropped() const { return tx_dropped_.value(); }
 
+    /** Fluid-mode state walk (sim/fluid.hpp). The RX page cursor
+     *  advances once per grant-copied frame — linear per period. */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        rx_packets_.fluidVisit(v, "nf.rx_packets");
+        tx_packets_.fluidVisit(v, "nf.tx_packets");
+        tx_dropped_.fluidVisit(v, "nf.tx_dropped");
+        grants_.fluidVisit(v);
+        v.u64("nf.page_cursor", rx_page_cursor_);
+        v.inv("nf.rxq", rx_queue_.size());
+        for (std::size_t i = 0; i < rx_queue_.size(); ++i)
+            nic::fluidVisitPacket(v, "nf.rxq_pkt", rx_queue_[i]);
+        v.inv("nf.pending", pending_.size());
+        for (auto &p : pending_)
+            nic::fluidVisitPacket(v, "nf.pending_pkt", p);
+    }
+
   private:
     guest::GuestKernel &kern_;
     std::string name_;

@@ -1,5 +1,6 @@
 #include "drivers/pf_driver.hpp"
 
+#include "sim/fluid.hpp"
 #include "sim/log.hpp"
 
 namespace sriov::drivers {
@@ -63,6 +64,7 @@ PfDriver::blockVf(unsigned vf_index, bool blocked)
         nic_.l2().clearPool(nic_.vfPool(vf_index));
         vf_mac_.erase(vf_index);
     }
+    sim::fluidTransitionAll(sim::FluidTransition::VmChurn);
 }
 
 bool

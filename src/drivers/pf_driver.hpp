@@ -67,6 +67,24 @@ class PfDriver
     std::uint64_t mailboxRequests() const { return requests_.value(); }
     std::uint64_t rejectedRequests() const { return rejected_.value(); }
 
+    /** Fluid-mode state walk (sim/fluid.hpp). Mailbox traffic is
+     *  control-plane and quiescent in steady state; the watchdog rate
+     *  windows are pinned as invariants. */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        requests_.fluidVisit(v, "pf.requests");
+        rejected_.fluidVisit(v, "pf.rejected");
+        shutdowns_.fluidVisit(v, "pf.shutdowns");
+        v.inv("pf.blocked", blocked_.size());
+        v.inv("pf.rates", rates_.size());
+        for (auto &[vf, rs] : rates_) {
+            v.inv("pf.rate_vf", vf);
+            v.inv("pf.rate_count", rs.count);
+            v.time("pf.rate_start", rs.window_start);
+        }
+    }
+
   private:
     void installMailboxHandlers();
     void handleVfRequest(unsigned vf_index, const nic::MboxMessage &msg);

@@ -1,5 +1,6 @@
 #include "drivers/vf_driver.hpp"
 
+#include "sim/fluid.hpp"
 #include "sim/log.hpp"
 #include "sim/trace.hpp"
 
@@ -81,6 +82,7 @@ VfDriver::handlePfEvent(const nic::MboxMessage &msg)
     switch (msg.type) {
       case nic::MboxMessage::Type::LinkChange:
         phys_link_ = msg.payload != 0;
+        sim::fluidTransitionAll(sim::FluidTransition::VmChurn);
         SRIOV_TRACE(sim::TraceCat::Driver, "%s: PF reports link %s",
                     cfg_.name.c_str(), phys_link_ ? "up" : "down");
         break;
@@ -103,6 +105,7 @@ VfDriver::stopRx()
 {
     if (!up_)
         return;
+    sim::fluidTransitionAll(sim::FluidTransition::VmChurn);
     kern_.detachDeviceIrq(nic_.functionOf(pool_));
 }
 
@@ -111,6 +114,7 @@ VfDriver::shutdown()
 {
     if (!up_)
         return;
+    sim::fluidTransitionAll(sim::FluidTransition::VmChurn);
     up_ = false;
     sample_timer_.disarm();
     pci::PciFunction &fn = nic_.functionOf(pool_);
@@ -194,6 +198,19 @@ VfDriver::irqBottom()
     }
     pending_.clear();
     deliverUp(up_batch_);
+}
+
+void
+VfDriver::fluidVisit(sim::FluidVisitor &v)
+{
+    v.inv("vf.up", (up_ ? 1u : 0u) | (phys_link_ ? 2u : 0u));
+    sample_timer_.fluidVisit(v);
+    pf_events_.fluidVisit(v, "vf.pf_events");
+    v.f64("vf.period_pkts", period_pkts_);
+    v.f64("vf.period_bits", period_bits_);
+    v.inv("vf.pending", pending_.size());
+    for (auto &c : pending_)
+        nic::fluidVisitPacket(v, "vf.pending_pkt", c.pkt);
 }
 
 void

@@ -97,6 +97,11 @@ class VfDriver : public guest::NetDevice,
         pt_comp_ = comp;
     }
 
+    /** Fluid-mode state walk (sim/fluid.hpp). Buffer gpas rotate per
+     *  period and are deliberately unvisited (DESIGN.md section 14);
+     *  up_batch_ is scratch. */
+    void fluidVisit(sim::FluidVisitor &v);
+
   private:
     void registerMac();
     void unregisterMac();

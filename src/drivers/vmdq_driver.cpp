@@ -1,5 +1,6 @@
 #include "drivers/vmdq_driver.hpp"
 
+#include "sim/fluid.hpp"
 #include "sim/log.hpp"
 
 namespace sriov::drivers {
@@ -21,6 +22,7 @@ VmdqBackend::assignQueue(NetfrontDriver &nf)
     if (next_queue_ >= nic_.queueCount())
         return false;
     unsigned q = next_queue_++;
+    sim::fluidTransitionAll(sim::FluidTransition::VmChurn);
 
     // Post buffers drawn from the *guest's* memory: VMDq DMAs data
     // directly to its destination; dom0 touches metadata only.

@@ -47,6 +47,16 @@ class VmdqBackend
     unsigned queuesTotal() const { return nic_.queueCount() - 1; }
     std::uint64_t framesServiced() const { return serviced_.value(); }
 
+    /** Fluid-mode state walk (sim/fluid.hpp). */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        serviced_.fluidVisit(v, "vmdq.serviced");
+        v.inv("vmdq.queues", queues_.size());
+        for (auto &q : queues_)
+            q->fluidVisit(v);
+    }
+
   private:
     /** Per-queue interrupt context; runs in dom0. */
     class QueueCtx : public guest::GuestKernel::IrqClient
@@ -58,6 +68,14 @@ class VmdqBackend
 
         double irqTop() override;
         void irqBottom() override;
+
+        void
+        fluidVisit(sim::FluidVisitor &v)
+        {
+            v.inv("vmdq.pending", pending_.size());
+            for (auto &c : pending_)
+                nic::fluidVisitPacket(v, "vmdq.pending_pkt", c.pkt);
+        }
 
       private:
         VmdqBackend &owner_;

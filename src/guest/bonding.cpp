@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/fluid.hpp"
 #include "sim/log.hpp"
 
 namespace sriov::guest {
@@ -37,6 +38,7 @@ BondingDriver::setActive(NetDevice &dev)
     if (active_ != &dev) {
         active_ = &dev;
         failovers_.inc();
+        sim::fluidTransitionAll(sim::FluidTransition::VmChurn);
     }
 }
 
@@ -47,6 +49,7 @@ BondingDriver::failover()
         if (s != active_ && s->linkUp()) {
             active_ = s;
             failovers_.inc();
+            sim::fluidTransitionAll(sim::FluidTransition::VmChurn);
             return true;
         }
     }
@@ -58,6 +61,7 @@ BondingDriver::transmit(const nic::Packet &pkt)
 {
     if (!active_ || !active_->linkUp()) {
         tx_dropped_.inc();
+        sim::fluidTransitionAll(sim::FluidTransition::Drop);
         return false;
     }
     return active_->transmit(pkt);
@@ -82,6 +86,7 @@ BondingDriver::deviceRx(NetDevice &from, const std::vector<nic::Packet> &pkts)
 {
     if (&from != active_) {
         inactive_rx_dropped_.inc(pkts.size());
+        sim::fluidTransitionAll(sim::FluidTransition::Drop);
         return;
     }
     deliverUp(pkts);

@@ -65,6 +65,16 @@ class BondingDriver : public NetDevice, public NetRxSink
         return inactive_rx_dropped_.value();
     }
 
+    /** Fluid-mode state walk (sim/fluid.hpp). */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        v.inv("bond.slaves", slaves_.size());
+        failovers_.fluidVisit(v, "bond.failovers");
+        tx_dropped_.fluidVisit(v, "bond.tx_dropped");
+        inactive_rx_dropped_.fluidVisit(v, "bond.inactive_rx");
+    }
+
   private:
     std::string name_;
     std::vector<NetDevice *> slaves_;

@@ -106,6 +106,19 @@ class GuestKernel
 
     std::uint64_t irqsHandled() const { return irqs_.value(); }
 
+    /** Fluid-mode state walk (sim/fluid.hpp). IRQ slot bindings are
+     *  control-plane state; their generations pin the topology. */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        irqs_.fluidVisit(v, "kern.irqs");
+        v.inv("kern.slots", irq_slots_.size());
+        for (const IrqSlot &s : irq_slots_)
+            v.inv("kern.slot_gen",
+                  std::uint64_t(s.gen) | std::uint64_t(s.used) << 32);
+        v.inv("kern.virt_irqs", virt_irqs_.size());
+    }
+
   private:
     /**
      * One bound device IRQ. Dispatch is dense: the bound handler

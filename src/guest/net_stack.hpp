@@ -129,6 +129,21 @@ class NetStack : public NetRxSink
     /** TCP segments consumed (and cumulatively ACKed) per app chunk. */
     static constexpr std::size_t kTcpAckChunk = 16;
 
+    /** Fluid-mode state walk (sim/fluid.hpp): both sockets, the app
+     *  wakeup flag, and the TCP reassembly cursor. read_buf_ is
+     *  scratch (cleared each wakeup) and deliberately unvisited. */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        udp_sock_.fluidVisit(v);
+        tcp_sock_.fluidVisit(v);
+        v.inv("stack.app_sched", app_scheduled_ ? 1 : 0);
+        v.inv("stack.ack_due", tcp_ack_due_ ? 1 : 0);
+        v.inv("stack.tcp_peer", tcp_peer_.value);
+        v.u64("stack.tcp_cum_rx", tcp_cum_rx_);
+        v.u64("stack.trace_seq", trace_seq_);
+    }
+
   private:
     void scheduleApp();
     void appPump();

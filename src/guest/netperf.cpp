@@ -1,7 +1,9 @@
 #include "guest/netperf.hpp"
 
 #include <algorithm>
+#include <string>
 
+#include "sim/fluid.hpp"
 #include "sim/log.hpp"
 #include "sim/thinning.hpp"
 
@@ -36,12 +38,32 @@ UdpStreamSender::start()
     emit();
 }
 
+// simlint: fluid-settle
 void
 UdpStreamSender::stop()
 {
     running_ = false;
+    if (sim::FlowLedger *l = sim::fluidLedger();
+        l != nullptr && fluid_flow_ >= 0) {
+        l->transition(unsigned(fluid_flow_),
+                      sim::FluidTransition::RateChange);
+        l->endFlow(unsigned(fluid_flow_));
+    }
 }
 
+// simlint: fluid-settle
+void
+UdpStreamSender::setOfferedBps(double bps)
+{
+    offered_bps_ = bps;
+    recomputeGap();
+    if (sim::FlowLedger *l = sim::fluidLedger();
+        l != nullptr && fluid_flow_ >= 0)
+        l->transition(unsigned(fluid_flow_),
+                      sim::FluidTransition::RateChange);
+}
+
+// simlint: fluid-settle
 void
 UdpStreamSender::emit()
 {
@@ -50,6 +72,15 @@ UdpStreamSender::emit()
     stack_.sendUdp(dst_, payload_, flow_);
     sent_bytes_ += payload_;
     sent_packets_.inc();
+    if (sim::FlowLedger *l = sim::fluidLedger()) {
+        // Lazy registration: the ledger is installed by the fluid
+        // director after testbed construction, so the first send a
+        // ledger observes claims the flow id.
+        if (fluid_flow_ < 0)
+            fluid_flow_ =
+                int(l->addFlow("udp-" + std::to_string(flow_)));
+        l->onSend(unsigned(fluid_flow_), eq_.now());
+    }
     eq_.scheduleIn(gap_, [this]() { emit(); }, "netperf.emit");
 }
 
@@ -76,11 +107,18 @@ TcpStreamSender::start()
     armRto();
 }
 
+// simlint: fluid-settle
 void
 TcpStreamSender::stop()
 {
     running_ = false;
     rto_timer_.disarm();
+    if (sim::FlowLedger *l = sim::fluidLedger();
+        l != nullptr && fluid_flow_ >= 0) {
+        l->transition(unsigned(fluid_flow_),
+                      sim::FluidTransition::RateChange);
+        l->endFlow(unsigned(fluid_flow_));
+    }
 }
 
 /** First grid point origin + k*kRto strictly after now. */
@@ -117,6 +155,7 @@ TcpStreamSender::armRto()
     }, "netperf.rto");
 }
 
+// simlint: fluid-settle
 void
 TcpStreamSender::onRto()
 {
@@ -126,6 +165,10 @@ TcpStreamSender::onRto()
         // Go-back-N: rewind to the last acknowledged byte. The
         // rewound bytes will be re-sent, so their pending RTT
         // samples are ambiguous (Karn) — drop them.
+        if (sim::FlowLedger *l = sim::fluidLedger();
+            l != nullptr && fluid_flow_ >= 0)
+            l->transition(unsigned(fluid_flow_),
+                          sim::FluidTransition::Rto);
         retx_.inc();
         next_seq_ = acked_;
         sent_times_.clear();
@@ -136,6 +179,7 @@ TcpStreamSender::onRto()
         rto_timer_.armAt(nextRtoDeadline());
 }
 
+// simlint: fluid-settle
 void
 TcpStreamSender::pump()
 {
@@ -146,6 +190,12 @@ TcpStreamSender::pump()
         if (!stack_.sendTcpSegment(dst_, payload_, flow_, next_seq_)) {
             next_seq_ -= payload_;
             break;
+        }
+        if (sim::FlowLedger *l = sim::fluidLedger()) {
+            if (fluid_flow_ < 0)
+                fluid_flow_ =
+                    int(l->addFlow("tcp-" + std::to_string(flow_)));
+            l->onSend(unsigned(fluid_flow_), eq_.now());
         }
         if (rtt_tap_ != nullptr) {
             // Bound the tracker at the window: a stalled flow stops

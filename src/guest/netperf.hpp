@@ -36,14 +36,19 @@ class UdpStreamSender
 
     void start();
     void stop();
-    void setOfferedBps(double bps)
-    {
-        offered_bps_ = bps;
-        recomputeGap();
-    }
+    void setOfferedBps(double bps);
 
     std::uint64_t sentBytes() const { return sent_bytes_; }
     std::uint64_t sentPackets() const { return sent_packets_.value(); }
+
+    /** Fluid-mode state walk (sim/fluid.hpp). */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        v.inv("udp.running", running_ ? 1 : 0);
+        v.u64("udp.sent_bytes", sent_bytes_);
+        sent_packets_.fluidVisit(v, "udp.sent_packets");
+    }
 
   private:
     void emit();
@@ -59,6 +64,7 @@ class UdpStreamSender
     bool running_ = false;
     std::uint64_t sent_bytes_ = 0;
     sim::Counter sent_packets_;
+    int fluid_flow_ = -1;    ///< lazy FlowLedger registration
 };
 
 /** Fixed-window TCP sender driven by returning cumulative ACKs. */
@@ -97,6 +103,24 @@ class TcpStreamSender
     std::size_t rttTrackerDepth() const { return sent_times_.size(); }
     std::size_t rttTrackerCap() const { return window_ / payload_ + 1; }
 
+    /** Fluid-mode state walk (sim/fluid.hpp). */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        v.inv("tcp.running", running_ ? 1 : 0);
+        v.u64("tcp.next_seq", next_seq_);
+        v.u64("tcp.acked", acked_);
+        v.u64("tcp.acked_at_rto", acked_at_last_rto_);
+        v.time("tcp.rto_origin", rto_origin_);
+        rto_timer_.fluidVisit(v);
+        retx_.fluidVisit(v, "tcp.retx");
+        v.inv("tcp.rtt_depth", sent_times_.size());
+        for (std::size_t i = 0; i < sent_times_.size(); ++i) {
+            v.u64("tcp.rtt_seq", sent_times_[i].first);
+            v.time("tcp.rtt_sent", sent_times_[i].second);
+        }
+    }
+
   private:
     void pump();
     void onAck(std::uint64_t cum);
@@ -120,6 +144,7 @@ class TcpStreamSender
     sim::Counter retx_;
     obs::Histogram *rtt_tap_ = nullptr;
     sim::RingBuf<std::pair<std::uint64_t, sim::Time>> sent_times_;
+    int fluid_flow_ = -1;    ///< lazy FlowLedger registration
 };
 
 /** Receiving netperf endpoint; counts goodput, can sample a timeline. */
@@ -140,6 +165,18 @@ class StreamReceiver
     void sampleEvery(sim::Time dt);
     void stopSampling() { sample_timer_.disarm(); }
     const sim::Series &timeline() const { return timeline_; }
+
+    /** Fluid-mode state walk (sim/fluid.hpp). timeline_ appends only
+     *  at segment boundaries (absolute sample events) — not visited. */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        v.u64("rcv.rx_bytes", rx_bytes_);
+        v.u64("rcv.rx_packets", rx_packets_);
+        window_.fluidVisit(v, "rcv.window");
+        sample_window_.fluidVisit(v, "rcv.sample_window");
+        sample_timer_.fluidVisit(v);
+    }
 
   private:
     void onBytes(std::uint64_t bytes, std::size_t packets);

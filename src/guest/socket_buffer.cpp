@@ -1,5 +1,7 @@
 #include "guest/socket_buffer.hpp"
 
+#include "sim/fluid.hpp"
+
 namespace sriov::guest {
 
 bool
@@ -10,6 +12,7 @@ SocketBuffer::push(const nic::Packet &pkt)
         cap_bytes_ && bytes_ + pkt.payloadBytes() > cap_bytes_;
     if (over_pkts || over_bytes) {
         drops_.inc();
+        sim::fluidTransitionAll(sim::FluidTransition::Drop);
         return false;
     }
     q_.push_back(pkt);

@@ -55,6 +55,19 @@ class SocketBuffer
     std::uint64_t drops() const { return drops_.value(); }
     std::uint64_t delivered() const { return delivered_.value(); }
 
+    /** Fluid-mode state walk (sim/fluid.hpp): occupancy is
+     *  phase-invariant; queued frames align by FIFO position. */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        v.inv("sock.bytes", bytes_);
+        drops_.fluidVisit(v, "sock.drops");
+        delivered_.fluidVisit(v, "sock.delivered");
+        v.inv("sock.q", q_.size());
+        for (std::size_t i = 0; i < q_.size(); ++i)
+            nic::fluidVisitPacket(v, "sock.pkt", q_[i]);
+    }
+
   private:
     std::size_t cap_packets_;
     std::size_t cap_bytes_;

@@ -46,6 +46,20 @@ class EventChannelBank
     const sim::Counter &sends() const { return sends_; }
     const sim::Counter &upcalls() const { return upcalls_; }
 
+    /** Fluid-mode state walk (sim/fluid.hpp). */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        sends_.fluidVisit(v, "evtchn.sends");
+        upcalls_.fluidVisit(v, "evtchn.upcalls");
+        v.inv("evtchn.ports", ports_.size());
+        for (PortState &p : ports_) {
+            v.inv("evtchn.flags", std::uint64_t(p.in_use)
+                                      | std::uint64_t(p.pending) << 1
+                                      | std::uint64_t(p.masked) << 2);
+        }
+    }
+
   private:
     struct PortState
     {

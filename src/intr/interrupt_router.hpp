@@ -70,6 +70,14 @@ class InterruptRouter
     const sim::Counter &deliveredCounter() const { return delivered_; }
     const sim::Counter &spuriousCounter() const { return spurious_; }
 
+    /** Fluid-mode state walk (sim/fluid.hpp). */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        delivered_.fluidVisit(v, "router.delivered");
+        spurious_.fluidVisit(v, "router.spurious");
+    }
+
   private:
     VectorAllocator alloc_;
     /** Dense dispatch: indexed by vector (Vector is 8-bit), so

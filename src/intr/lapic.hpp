@@ -57,6 +57,21 @@ class Lapic
     /** EOI writes with no vector in service — a simulator bug. */
     std::uint64_t spuriousEois() const { return spurious_eois_.value(); }
 
+    /** Fluid-mode state walk (sim/fluid.hpp): IRR/ISR words are
+     *  phase-invariant in steady state; counters are linear. */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        for (int w = 0; w < 4; ++w) {
+            v.inv("lapic.irr", irr_[w]);
+            v.inv("lapic.isr", isr_[w]);
+        }
+        accepted_.fluidVisit(v, "lapic.accepted");
+        delivered_.fluidVisit(v, "lapic.delivered");
+        eois_.fluidVisit(v, "lapic.eois");
+        spurious_eois_.fluidVisit(v, "lapic.spurious_eois");
+    }
+
   private:
     /** 256-entry register as four words, so the priority scans are a
      *  word test + count-leading-zeros instead of 256 bit probes. */

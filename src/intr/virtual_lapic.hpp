@@ -55,6 +55,15 @@ class VirtualLapic
     std::uint64_t apicAccessExits() const { return exits_.value(); }
     std::uint64_t eoiWrites() const { return eoi_writes_.value(); }
 
+    /** Fluid-mode state walk (sim/fluid.hpp). */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        lapic_.fluidVisit(v);
+        exits_.fluidVisit(v, "vlapic.exits");
+        eoi_writes_.fluidVisit(v, "vlapic.eoi_writes");
+    }
+
   private:
     Lapic lapic_;
     ExitHook exit_hook_;

@@ -103,6 +103,33 @@ DmaEngine::transfer(std::uint64_t bytes, sim::InplaceFn on_done)
         startNext();
 }
 
+void
+DmaEngine::fluidVisit(sim::FluidVisitor &v)
+{
+    bytes_moved_.fluidVisit(v, "dma.bytes");
+    transfers_.fluidVisit(v, "dma.xfers");
+    v.time("dma.busy", busy_);
+    v.time("dma.free_at", free_at_);
+    // Settle the started prefix first so the ring's content depends
+    // only on the phase, not on when queueDepth() was last asked.
+    while (!starts_.empty() && starts_.front() <= eq_.now())
+        starts_.pop_front();
+    v.inv("dma.starts", starts_.size());
+    for (std::size_t i = 0; i < starts_.size(); ++i)
+        v.time("dma.start", starts_[i]);
+    // Exact-mode FIFO (empty under thinning).
+    v.inv("dma.in_service", in_service_ ? 1 : 0);
+    if (in_service_) {
+        v.u64("dma.cur_trace", current_trace_);
+        v.inv("dma.cur_stage", std::uint64_t(current_stage_));
+    }
+    v.inv("dma.qdepth", queue_.size());
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        v.inv("dma.q_bytes", queue_[i].bytes);
+        v.u64("dma.q_trace", queue_[i].trace_id);
+    }
+}
+
 std::size_t
 DmaEngine::queueDepth() const
 {

@@ -99,6 +99,11 @@ class DmaEngine
     /** Transfers waiting behind the one in service. */
     std::size_t queueDepth() const;
 
+    /** Fluid-mode state walk (sim/fluid.hpp): totals and the link
+     *  busy-until horizon are linear per period; queued work aligns
+     *  slot-wise by FIFO position. */
+    void fluidVisit(sim::FluidVisitor &v);
+
   private:
     struct Xfer
     {

@@ -58,6 +58,14 @@ class Iommu
     const sim::Counter &faults() const { return faults_; }
     const sim::Counter &translations() const { return translations_; }
 
+    /** Fluid-mode state walk (sim/fluid.hpp). */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        faults_.fluidVisit(v, "iommu.faults");
+        translations_.fluidVisit(v, "iommu.translations");
+    }
+
   private:
     std::unordered_map<pci::Rid, GuestPhysMap *> ctx_;
     sim::Counter faults_;

@@ -69,6 +69,22 @@ class DescRing
     void setOccupancyTap(obs::Histogram *h) { occupancy_tap_ = h; }
     obs::Histogram *occupancyTap() const { return occupancy_tap_; }
 
+    /** Fluid-mode state walk (sim/fluid.hpp). Buffer *addresses* are
+     *  deliberately unvisited: the gpa ring rotates by the per-period
+     *  frame count (breaking delta equality) and no observable depends
+     *  on which address a frame lands in — only on the occupancy and
+     *  the posted/consumed totals, which are visited. */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        v.inv("ring.cap", capacity_);
+        v.inv("ring.avail", buffers_.size());
+        posted_.fluidVisit(v, "ring.posted");
+        consumed_.fluidVisit(v, "ring.consumed");
+        overflows_.fluidVisit(v, "ring.overflows");
+        discarded_.fluidVisit(v, "ring.discarded");
+    }
+
   private:
     std::size_t capacity_;
     sim::RingBuf<mem::Addr> buffers_;

@@ -17,6 +17,7 @@
 #include <string>
 
 #include "mem/machine_memory.hpp"
+#include "sim/fluid.hpp"
 #include "sim/time.hpp"
 
 namespace sriov::nic {
@@ -113,6 +114,26 @@ struct Packet
         return bytes > hdr ? bytes - hdr : 0;
     }
 };
+
+/**
+ * Fluid-mode slots of an in-flight frame (sim/fluid.hpp). Addressing
+ * and sizes are phase-invariant; sequence numbers, the send timestamp
+ * and the trace id advance linearly with the periodic schedule.
+ */
+inline void
+fluidVisitPacket(sim::FluidVisitor &v, const char *name, Packet &p)
+{
+    v.inv(name, p.dst.value);
+    v.inv(name, p.src.value);
+    v.inv(name, p.vlan);
+    v.inv(name, p.bytes);
+    v.inv(name, std::uint64_t(p.kind));
+    v.inv(name, p.flow);
+    v.u64(name, p.seq);
+    v.u64(name, p.ack);
+    v.time(name, p.sent_at);
+    v.u64(name, p.trace_id);
+}
 
 } // namespace sriov::nic
 

@@ -22,6 +22,7 @@ NicPort::NicPort(sim::EventQueue &eq, std::string name, pci::Bdf pf_bdf,
 
 NicPort::~NicPort() = default;
 
+// simlint: fluid-settle
 void
 NicPort::resizePools(unsigned n)
 {
@@ -31,12 +32,23 @@ NicPort::resizePools(unsigned n)
         ps->itr_timer.setCallback([this, idx]() { itrExpired(idx); });
         pools_.push_back(std::move(ps));
     }
-    while (pools_.size() > n)
+    while (pools_.size() > n) {
+        // The pool's raise stream dies with it; a stale ledger flow
+        // would otherwise hold its last gap forever and wedge (or
+        // falsely satisfy) the all-steady predicate.
+        if (pools_.back()->fluid_flow >= 0) {
+            if (sim::FlowLedger *l = sim::fluidLedger())
+                l->endFlow(unsigned(pools_.back()->fluid_flow));
+        }
         pools_.pop_back();
+    }
     for (auto &ps : pools_) {
         if (ps->itr_hz == 0.0)
             ps->itr_hz = params_.default_itr_hz;
     }
+    // Pool topology changed (VF enable/disable): any running fluid
+    // segment is built over the old slot sequence.
+    sim::fluidTransitionAll(sim::FluidTransition::VmChurn);
 }
 
 NicPort::PoolState &
@@ -105,12 +117,42 @@ NicPort::rxPending(Pool pool) const
     return lo;
 }
 
+// simlint: fluid-settle
 void
 NicPort::setItr(Pool pool, double hz)
 {
     if (hz < 0)
         sim::fatal("%s: negative ITR", name_.c_str());
-    poolState(pool).itr_hz = hz;
+    PoolState &ps = poolState(pool);
+    if (ps.itr_hz != hz)
+        sim::fluidTransitionAll(sim::FluidTransition::ItrChange);
+    ps.itr_hz = hz;
+
+    // Fluid mode: snap the throttle window onto the sender emission
+    // grid. 1/hz is an arbitrary picosecond value, so the raise
+    // cadence it induces is incommensurate with the send grid and the
+    // combined schedule has no usable hyperperiod; rounding the window
+    // to the nearest whole number of grid ticks (at most a half-tick
+    // perturbation, and only when that stays within 2x of the asked
+    // window) gives the director a finite period to verify against.
+    // Interrupt-rate-derived metrics are tolerance-banded under fluid
+    // for exactly this reason (DESIGN.md section 14).
+    sim::Time prev_window = ps.itr_window;
+    ps.itr_window = sim::Time();
+    if (hz > 0 && sim::fluidEnabled()) {
+        if (sim::FlowLedger *l = sim::fluidLedger()) {
+            sim::Time grid = l->sourcePeriod();
+            if (grid > sim::Time()) {
+                std::int64_t w = sim::Time::seconds(1.0 / hz).picos();
+                std::int64_t g = grid.picos();
+                std::int64_t k = std::max<std::int64_t>(1, (w + g / 2) / g);
+                if (k * g <= 2 * w)
+                    ps.itr_window = sim::Time::ps(k * g);
+            }
+        }
+    }
+    if (ps.itr_window != prev_window)
+        sim::fluidTransitionAll(sim::FluidTransition::ItrChange);
 }
 
 double
@@ -119,10 +161,77 @@ NicPort::itr(Pool pool) const
     return poolState(pool).itr_hz;
 }
 
+sim::Time
+NicPort::itrWindow(const PoolState &ps) const
+{
+    return ps.itr_window > sim::Time() ? ps.itr_window
+                                       : sim::Time::seconds(1.0 / ps.itr_hz);
+}
+
+// simlint: fluid-settle
+void
+NicPort::noteRaise(PoolState &ps, Pool pool)
+{
+    sim::FlowLedger *l = sim::fluidLedger();
+    if (l == nullptr)
+        return;
+    if (ps.fluid_flow < 0) {
+        ps.fluid_flow = int(l->addFlow(
+            name_ + ".raise" + std::to_string(pool), sim::FlowKind::Derived));
+    }
+    l->onSend(unsigned(ps.fluid_flow), eq_.now());
+}
+
 void
 NicPort::setPoolFilter(Pool pool, MacAddr mac, std::uint16_t vlan)
 {
     l2_.setFilter(mac, vlan, pool);
+}
+
+void
+NicPort::fluidVisit(sim::FluidVisitor &v)
+{
+    dma_.fluidVisit(v);
+    drop_no_match_.fluidVisit(v, "port.drop_no_match");
+    for (auto &psp : pools_) {
+        PoolState &ps = *psp;
+        settleStats(ps);
+        ps.ring.fluidVisit(v);
+        v.inv("pool.enabled", ps.enabled ? 1 : 0);
+        v.f64("pool.itr_hz", ps.itr_hz);
+        v.inv("pool.itr_window", std::uint64_t(ps.itr_window.picos()));
+        v.inv("pool.throttle_armed", ps.throttle_armed ? 1 : 0);
+        v.inv("pool.intr_pending", ps.intr_pending ? 1 : 0);
+        v.time("pool.armed_until", ps.armed_until);
+        ps.itr_timer.fluidVisit(v);
+        v.inv("pool.real_inflight", ps.real_inflight);
+        v.inv("pool.completed", ps.completed.size());
+        for (std::size_t i = 0; i < ps.completed.size(); ++i) {
+            PendingRx &pr = ps.completed[i];
+            fluidVisitPacket(v, "pool.rx_pkt", pr.rc.pkt);
+            v.time("pool.rx_ready", pr.ready);
+            v.inv("pool.rx_stamped", pr.raise_stamped ? 1 : 0);
+        }
+        v.inv("pool.rx_ledger", ps.rx_ledger.size());
+        for (std::size_t i = 0; i < ps.rx_ledger.size(); ++i) {
+            v.time("pool.rxl_at", ps.rx_ledger[i].at);
+            v.inv("pool.rxl_bytes", ps.rx_ledger[i].bytes);
+        }
+        v.inv("pool.tx_ledger", ps.tx_ledger.size());
+        for (std::size_t i = 0; i < ps.tx_ledger.size(); ++i) {
+            v.time("pool.txl_at", ps.tx_ledger[i].at);
+            v.inv("pool.txl_bytes", ps.tx_ledger[i].bytes);
+        }
+        ps.stats.rx_frames.fluidVisit(v, "pool.rx_frames");
+        ps.stats.rx_bytes.fluidVisit(v, "pool.rx_bytes");
+        ps.stats.rx_drop_ring.fluidVisit(v, "pool.rx_drop_ring");
+        ps.stats.rx_drop_master.fluidVisit(v, "pool.rx_drop_master");
+        ps.stats.rx_drop_iommu.fluidVisit(v, "pool.rx_drop_iommu");
+        ps.stats.tx_frames.fluidVisit(v, "pool.tx_frames");
+        ps.stats.tx_bytes.fluidVisit(v, "pool.tx_bytes");
+        ps.stats.tx_dropped.fluidVisit(v, "pool.tx_dropped");
+        ps.stats.interrupts.fluidVisit(v, "pool.interrupts");
+    }
 }
 
 void
@@ -192,6 +301,7 @@ NicPort::receive(const Packet &pkt)
         pool = default_pool_;
     if (!pool) {
         drop_no_match_.inc();
+        sim::fluidTransitionAll(sim::FluidTransition::Drop);
         return;
     }
     if (pt_)
@@ -209,12 +319,14 @@ NicPort::deliverToPool(Pool pool, const Packet &pkt)
 
     if (!ps.enabled || !fn.busMasterEnabled()) {
         ps.stats.rx_drop_master.inc();
+        sim::fluidTransitionAll(sim::FluidTransition::Drop);
         return;
     }
     auto buf = ps.ring.take();
     if (!buf) {
         ps.ring.countOverflow();
         ps.stats.rx_drop_ring.inc();
+        sim::fluidTransitionAll(sim::FluidTransition::RingEdge);
         SRIOV_TRACE(sim::TraceCat::Nic, "%s pool %u: ring dry, drop",
                     name_.c_str(), pool);
         return;
@@ -227,6 +339,7 @@ NicPort::deliverToPool(Pool pool, const Packet &pkt)
         auto r = iommu_->translate(fn.rid(), gpa, /*is_write=*/true);
         if (!r.ok()) {
             ps.stats.rx_drop_iommu.inc();
+            sim::fluidTransitionAll(sim::FluidTransition::Drop);
             return;
         }
         if (pt_)
@@ -299,12 +412,12 @@ NicPort::requestInterrupt(Pool pool)
         SRIOV_TRACE(sim::TraceCat::Irq, "%s pool %u: raise (itr %.0f Hz)",
                     name_.c_str(), pool, ps.itr_hz);
         stampRaise(ps);
+        noteRaise(ps, pool);
         signalPool(pool);
         if (ps.itr_hz > 0) {
             // Lazy throttle window: no expiry event unless a deferred
             // raise actually needs one (itr_timer armed on demand).
-            ps.armed_until =
-                eq_.now() + sim::Time::seconds(1.0 / ps.itr_hz);
+            ps.armed_until = eq_.now() + itrWindow(ps);
         }
         return;
     }
@@ -316,11 +429,12 @@ NicPort::requestInterrupt(Pool pool)
     SRIOV_TRACE(sim::TraceCat::Irq, "%s pool %u: raise (itr %.0f Hz)",
                 name_.c_str(), pool, ps.itr_hz);
     stampRaise(ps);
+    noteRaise(ps, pool);
     signalPool(pool);
     if (ps.itr_hz <= 0)
         return;
     ps.throttle_armed = true;
-    eq_.scheduleIn(sim::Time::seconds(1.0 / ps.itr_hz), [this, pool]() {
+    eq_.scheduleIn(itrWindow(ps), [this, pool]() {
         // Pools can shrink (VF disable) while a timer is in flight.
         if (pool >= pools_.size())
             return;
@@ -351,12 +465,14 @@ NicPort::transmit(Pool pool, const Packet &pkt)
     pci::PciFunction &fn = poolFunction(pool);
     if (!fn.busMasterEnabled()) {
         ps.stats.rx_drop_master.inc();
+        sim::fluidTransitionAll(sim::FluidTransition::Drop);
         return;
     }
     // TX descriptor ring is finite: drop when the DMA engine is this
     // far behind (an open-loop UDP sender outrunning the PCIe link).
     if (dma_.queueDepth() > kTxBacklogCap) {
         ps.stats.tx_dropped.inc();
+        sim::fluidTransitionAll(sim::FluidTransition::Drop);
         return;
     }
     if (pt_)
@@ -413,6 +529,7 @@ NicPort::finishTx(Pool pool, const Packet &pkt)
         wire_->send(*this, pkt);
     } else {
         drop_no_match_.inc();
+        sim::fluidTransitionAll(sim::FluidTransition::Drop);
     }
 }
 

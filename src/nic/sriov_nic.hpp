@@ -135,6 +135,11 @@ class NicPort : public WireEndpoint, public pci::PciDevice
      */
     void setPathTracer(obs::PathTracer *pt);
 
+    /** Fluid-mode state walk (sim/fluid.hpp): DMA link, per-pool
+     *  rings, ledgers, ITR state and stats. Ledgers are settled first
+     *  so ring content depends only on the schedule phase. */
+    void fluidVisit(sim::FluidVisitor &v);
+
   protected:
     /** A DMA-completed frame; `ready` is its completion instant (thin
      *  mode queues some entries ahead of time; drains filter on it). */
@@ -175,6 +180,15 @@ class NicPort : public WireEndpoint, public pci::PciDevice
         sim::RingBuf<StatDelta> tx_ledger;
         PoolStats stats;
         bool enabled = true;
+        /** Fluid mode: throttle window snapped onto the sender grid
+         *  (zero = derive the window from itr_hz as usual). Keeps the
+         *  raise cadence commensurate with the emission grid so a
+         *  finite hyperperiod exists (DESIGN.md section 14). */
+        sim::Time itr_window;
+        /** Fluid mode: ledger id of this pool's interrupt-raise
+         *  stream (-1 until the first raise under an installed
+         *  ledger). */
+        int fluid_flow = -1;
 
         PoolState(sim::EventQueue &eq, std::size_t ring_size)
             : ring(ring_size), itr_timer(eq, "nic.itr")
@@ -190,6 +204,13 @@ class NicPort : public WireEndpoint, public pci::PciDevice
     void resizePools(unsigned n);
     PoolState &poolState(Pool pool);
     const PoolState &poolState(Pool pool) const;
+
+    /** The pool's current throttle window (@pre itr_hz > 0): the
+     *  fluid-quantized window when one is set, else 1/itr_hz. */
+    sim::Time itrWindow(const PoolState &ps) const;
+    /** An interrupt actually raised on @p pool: feed the raise stream
+     *  into the fluid ledger (no-op when fluid is off). */
+    void noteRaise(PoolState &ps, Pool pool);
 
     /** Deliver a classified frame into a pool (ring + IOMMU + DMA). */
     void deliverToPool(Pool pool, const Packet &pkt);

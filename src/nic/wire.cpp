@@ -51,6 +51,33 @@ Wire::connect(WireEndpoint &a, WireEndpoint &b)
     dirs_[1].to = &a;    // b -> a
 }
 
+void
+Wire::fluidVisit(sim::FluidVisitor &v)
+{
+    for (unsigned dir = 0; dir < 2; ++dir) {
+        Direction &d = dirs_[dir];
+        offered_[dir].fluidVisit(v, "wire.offered");
+        dropped_[dir].fluidVisit(v, "wire.dropped");
+        delivered_[dir].fluidVisit(v, "wire.delivered");
+        v.time("wire.line_free_at", d.line_free_at);
+        v.inv("wire.drain_armed", d.drain_armed ? 1 : 0);
+        v.inv("wire.busy", d.busy ? 1 : 0);
+        v.inv("wire.q", d.q.size());
+        for (std::size_t i = 0; i < d.q.size(); ++i)
+            fluidVisitPacket(v, "wire.q_pkt", d.q[i]);
+        v.inv("wire.fl", d.fl.size());
+        for (std::size_t i = 0; i < d.fl.size(); ++i) {
+            InFlight &f = d.fl[i];
+            fluidVisitPacket(v, "wire.fl_pkt", f.pkt);
+            v.time("wire.fl_start", f.start);
+            v.time("wire.fl_deliver", f.deliver_at);
+        }
+        v.inv("wire.starts", d.starts.size());
+        for (std::size_t i = 0; i < d.starts.size(); ++i)
+            v.time("wire.start", d.starts[i]);
+    }
+}
+
 unsigned
 Wire::dirOf(WireEndpoint &from) const
 {

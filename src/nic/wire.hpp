@@ -153,6 +153,10 @@ class Wire
         pt_comp_side_[1] = comp_b;
     }
 
+    /** Fluid-mode state walk (sim/fluid.hpp): counters and serializer
+     *  horizons are linear; in-flight frames align by FIFO position. */
+    void fluidVisit(sim::FluidVisitor &v);
+
   private:
     /** A frame accepted in thin mode, timestamped analytically. */
     struct InFlight

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "obs/pathtrace.hpp"
+#include "sim/fluid.hpp"
 #include "sim/shard.hpp"
 #include "sim/thinning.hpp"
 
@@ -74,6 +75,20 @@ parseShards(const char *s)
     return static_cast<unsigned>(v);
 }
 
+/** "--fluid" values: bare "--fluid", "1" and "on" warp; "exact" runs
+ *  the fluid schedule without warping; "off"/"0" (and unknown
+ *  strings) keep the seed schedule. */
+sim::FluidMode
+parseFluid(const char *s)
+{
+    if (s == nullptr || *s == '\0' || std::strcmp(s, "1") == 0
+        || std::strcmp(s, "on") == 0)
+        return sim::FluidMode::On;
+    if (std::strcmp(s, "exact") == 0)
+        return sim::FluidMode::Exact;
+    return sim::FluidMode::Off;
+}
+
 /** "--pathtrace" values; unknown strings degrade to Off. "--pathtrace"
  *  with no value (or "1") means full. */
 PathTraceMode
@@ -141,6 +156,9 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench)
     if (const char *env = std::getenv("SRIOV_SHARDS");
         env != nullptr && *env != '\0')
         o.shards_ = parseShards(env);
+    if (const char *env = std::getenv("SRIOV_FLUID");
+        env != nullptr && *env != '\0')
+        o.fluid_mode_ = parseFluid(env);
     PathTraceMode pt_mode = PathTraceMode::Off;
     if (const char *env = std::getenv("SRIOV_PATHTRACE");
         env != nullptr && *env != '\0')
@@ -160,6 +178,10 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench)
             o.no_thin_ = true;
         } else if (const char *v = matchFlag(arg, "--shards")) {
             o.shards_ = parseShards(v);
+        } else if (const char *v = matchFlag(arg, "--fluid")) {
+            o.fluid_mode_ = parseFluid(v);
+        } else if (std::strcmp(arg, "--fluid") == 0) {
+            o.fluid_mode_ = sim::FluidMode::On;
         } else if (const char *v = matchFlag(arg, "--pathtrace")) {
             pt_mode = parsePathTraceMode(v, &o.pathtrace_requested_);
         } else if (std::strcmp(arg, "--pathtrace") == 0) {
@@ -176,6 +198,7 @@ BenchOptions::parse(int argc, char **argv, const std::string &bench)
     // global switches at construction.
     sim::setThinning(!o.no_thin_);
     sim::setShardCount(o.shards_);
+    sim::setFluidMode(o.fluid_mode_);
     setPathTraceMode(pt_mode);
     return o;
 }
@@ -204,6 +227,16 @@ BenchOptions::usage(const std::string &bench)
            "                 the default; n=1 = sequential oracle).\n"
            "                 Reports are byte-identical for every n >= 1\n"
            "                 (env fallback: SRIOV_SHARDS)\n"
+           "  --fluid[=on|exact|off]\n"
+           "                 hybrid fluid/packet mode: warp over\n"
+           "                 provably periodic steady-state stretches\n"
+           "                 instead of simulating each packet event.\n"
+           "                 \"exact\" runs the same fluid schedule\n"
+           "                 with every event (equivalence reference:\n"
+           "                 integer counters match \"on\" exactly;\n"
+           "                 see DESIGN.md §14). Off by default;\n"
+           "                 ignored on sharded builds\n"
+           "                 (env fallback: SRIOV_FLUID)\n"
            "  --pathtrace[=off|sampled|full]\n"
            "                 causal packet-path tracing: writes " + bench
                + ".pathtrace.json\n"
@@ -213,6 +246,17 @@ BenchOptions::usage(const std::string &bench)
            "                 in every mode (env fallback:\n"
            "                 SRIOV_PATHTRACE)\n"
            "  --help         this text\n";
+}
+
+const char *
+BenchOptions::fluidModeName() const
+{
+    switch (fluid_mode_) {
+    case sim::FluidMode::Off: break;
+    case sim::FluidMode::Exact: return "exact";
+    case sim::FluidMode::On: return "on";
+    }
+    return "off";
 }
 
 std::string

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/fluid.hpp"
 #include "sim/trace.hpp"
 
 namespace sriov::obs {
@@ -61,6 +62,20 @@ class BenchOptions
     /** --no-thin: exact event-per-hop mode (parse() applies it to the
      *  global sim::setThinning switch before any testbed exists). */
     bool noThin() const { return no_thin_; }
+
+    /** --fluid[=on|exact|off] (env SRIOV_FLUID): flow-level fluid
+     *  mode — the testbed installs a core::FluidDirector that warps
+     *  over provably periodic steady-state stretches instead of
+     *  simulating every packet event (DESIGN.md §14). "exact" runs
+     *  the same fluid schedule without warping (the equivalence
+     *  reference). Off by default; --fluid=off preserves reports
+     *  bit-for-bit. parse() applies it to the global
+     *  sim::setFluidMode switch before any testbed exists. Ignored
+     *  (exact per-packet) on sharded builds. */
+    bool fluid() const { return fluid_mode_ != sim::FluidMode::Off; }
+    sim::FluidMode fluidMode() const { return fluid_mode_; }
+    /** "off" | "exact" | "on" — for the perf sidecar. */
+    const char *fluidModeName() const;
 
     /** --shards=<n> (env SRIOV_SHARDS): island-partitioned testbeds
      *  run by the conservative shard engine on up to <n> worker
@@ -99,6 +114,7 @@ class BenchOptions
     unsigned jobs_ = 1;
     unsigned shards_ = 0;
     bool no_thin_ = false;
+    sim::FluidMode fluid_mode_ = sim::FluidMode::Off;
     bool trace_requested_ = false;
     bool pathtrace_requested_ = false;
     bool all_cats_ = false;

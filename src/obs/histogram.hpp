@@ -21,6 +21,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/fluid.hpp"
+
 namespace sriov::obs {
 
 class Histogram
@@ -72,6 +74,19 @@ class Histogram
 
     /** One-line summary: "n=.. mean=.. p50=.. p99=.. max=..". */
     std::string summary() const;
+
+    /** Fluid-mode slots (sim/fluid.hpp): per-bucket weights scale
+     *  linearly in steady state; min/max verify as constant. */
+    void
+    fluidVisit(sim::FluidVisitor &v, const char *name)
+    {
+        for (double &w : weights_)
+            v.f64(name, w);
+        v.f64(name, count_);
+        v.f64(name, sum_);
+        v.f64(name, min_);
+        v.f64(name, max_);
+    }
 
   private:
     Params params_;

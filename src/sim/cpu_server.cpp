@@ -80,6 +80,43 @@ CpuServer::finishCurrent()
     startNext();
 }
 
+void
+CpuServer::fluidVisit(FluidVisitor &v)
+{
+    v.time("cpu.busy", busy_);
+    for (auto &[tag, cycles] : cycles_by_tag_) {
+        (void)tag;
+        v.f64("cpu.tag_cycles", cycles);
+    }
+    v.inv("cpu.in_service", in_service_ ? 1 : 0);
+    if (in_service_) {
+        v.f64("cpu.cur_cycles", current_.cycles);
+        v.time("cpu.cur_start", current_.start);
+    }
+    v.inv("cpu.qdepth", queue_.size());
+    for (std::size_t i = 0; i < queue_.size(); ++i) {
+        v.f64("cpu.q_cycles", queue_[i].cycles);
+        v.time("cpu.q_start", queue_[i].start);
+    }
+}
+
+bool
+CpuServer::hasWorkTagged(const char *const *tags, std::size_t n) const
+{
+    auto match = [&](const std::string &tag) {
+        for (std::size_t i = 0; i < n; ++i)
+            if (tag == tags[i])
+                return true;
+        return false;
+    };
+    if (in_service_ && match(current_.tag))
+        return true;
+    for (std::size_t i = 0; i < queue_.size(); ++i)
+        if (match(queue_[i].tag))
+            return true;
+    return false;
+}
+
 CpuSnapshot
 CpuServer::snapshot() const
 {

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/fluid.hpp"
 #include "sim/inplace_fn.hpp"
 #include "sim/ring_buf.hpp"
 #include "sim/time.hpp"
@@ -105,6 +106,19 @@ class CpuServer
 
     void setSpanTap(SpanTap *t) { span_tap_ = t; }
     SpanTap *spanTap() const { return span_tap_; }
+
+    /** Fluid-mode state walk (sim/fluid.hpp): busy time and per-tag
+     *  cycles are linear per period; in-flight work is phase-invariant. */
+    void fluidVisit(FluidVisitor &v);
+
+    /**
+     * Is any queued or in-service item attributed to one of the @p n
+     * @p tags? A fluid warp shifts every visited time-point but cannot
+     * rewrite values captured inside completion closures, so the fluid
+     * director refuses to warp while work whose closure captures
+     * per-packet data (netback's grant-copy batches) is in flight.
+     */
+    bool hasWorkTagged(const char *const *tags, std::size_t n) const;
 
   private:
     struct Work

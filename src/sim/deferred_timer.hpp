@@ -24,6 +24,7 @@
 #define SRIOV_SIM_DEFERRED_TIMER_HPP
 
 #include "sim/event_queue.hpp"
+#include "sim/fluid.hpp"
 #include "sim/inplace_fn.hpp"
 
 namespace sriov::sim {
@@ -66,6 +67,22 @@ class DeferredTimer
 
     /** Fires avoided by deferral (telemetry, not part of the model). */
     std::uint64_t deferrals() const { return deferrals_; }
+
+    /** Fluid-mode state walk (sim/fluid.hpp): the armed deadline and
+     *  the in-flight event instant ride the periodic schedule (the
+     *  heap shift moves the event; this keeps the members in step).
+     *  Disarmed deadlines are stale and deliberately unvisited. */
+    void
+    fluidVisit(FluidVisitor &v)
+    {
+        v.inv(tag_, armed_ ? 1 : 0);
+        v.inv(tag_, has_event_ ? 1 : 0);
+        if (armed_)
+            v.time(tag_, deadline_);
+        if (has_event_)
+            v.time(tag_, event_when_);
+        v.u64(tag_, deferrals_);
+    }
 
   private:
     void schedule(Time when);

@@ -269,6 +269,8 @@ EventQueue::runUntil(Time deadline)
     // Single purge point per iteration: the purge both exposes the
     // next live event for the deadline check and establishes
     // executeTop()'s precondition.
+    Time prev_deadline = run_deadline_;
+    run_deadline_ = deadline;
     std::uint64_t n = 0;
     for (purgeCancelledTop();
          !heap_.empty() && heap_[0].when <= deadline;
@@ -278,7 +280,68 @@ EventQueue::runUntil(Time deadline)
     }
     if (now_ < deadline)
         now_ = deadline;
+    run_deadline_ = prev_deadline;
     return n;
+}
+
+void
+EventQueue::snapshotPending(std::vector<PendingEvent> &out) const
+{
+    out.clear();
+    out.reserve(heap_.size());
+    for (std::uint32_t i = 0; i < heap_.size(); ++i) {
+        const HeapKey &k = heap_[i];
+        const Slot &s = slotRef(k.slot);
+        if (s.state != Slot::State::Pending)
+            continue;
+        out.push_back(PendingEvent{k.when, k.seq, s.tag, i});
+    }
+}
+
+void
+EventQueue::heapRebuild()
+{
+    // Bottom-up 4-ary heapify; cold path (once per fluid warp).
+    if (heap_.size() < 2)
+        return;
+    for (std::size_t r = (heap_.size() - 2) / 4 + 1; r-- > 0;) {
+        HeapKey k = heap_[r];
+        std::size_t i = r;
+        std::size_t n = heap_.size();
+        for (;;) {
+            std::size_t c = 4 * i + 1;
+            if (c >= n)
+                break;
+            std::size_t m = c;
+            for (std::size_t j = c + 1; j < n && j < c + 4; ++j)
+                if (keyBefore(heap_[j], heap_[m]))
+                    m = j;
+            if (!keyBefore(heap_[m], k))
+                break;
+            heap_[i] = heap_[m];
+            i = m;
+        }
+        heap_[i] = k;
+    }
+}
+
+void
+EventQueue::fluidWarp(Time delta,
+                      const std::vector<std::uint32_t> &shift_keys)
+{
+    if (delta < Time())
+        panic("fluid warp backwards");
+    for (std::uint32_t idx : shift_keys) {
+        if (idx >= heap_.size())
+            panic("fluid warp: stale heap index");
+        heap_[idx].when += delta;
+    }
+    now_ += delta;
+    heapRebuild();
+    if (!heap_.empty() && heap_[0].when < now_)
+        panic("fluid warp left an absolute event in the past: %s < %s",
+              heap_[0].when.toString().c_str(),
+              now_.toString().c_str());
 }
 
 Time

@@ -220,6 +220,47 @@ class EventQueue
 
     /** @} */
 
+    /**
+     * @name Fluid-mode warp (sim/fluid.hpp, core::FluidDirector).
+     *
+     * A verified-periodic simulation is fast-forwarded by shifting the
+     * clock and the *periodic* subset of pending events by a whole
+     * number of periods while absolute deadlines (sampling timelines,
+     * policy timers) stay put. The director pairs snapshotPending()
+     * with fluidWarp() inside one event callback, with no intervening
+     * schedule/cancel, so the key indices stay valid.
+     * @{
+     */
+
+    /** One live pending event as the director classifies it. */
+    struct PendingEvent
+    {
+        Time when;
+        std::uint64_t seq;
+        const char *tag;
+        std::uint32_t key_index;    ///< position in the heap array
+    };
+
+    /** Snapshot live pending events (heap array order, cancelled
+     *  entries skipped). */
+    void snapshotPending(std::vector<PendingEvent> &out) const;
+
+    /** Deadline of the innermost runUntil() (Time::max() outside). */
+    Time runDeadline() const { return run_deadline_; }
+
+    /**
+     * Advance now() by @p delta and shift the heap keys listed in
+     * @p shift_keys (key_index values from an immediately preceding
+     * snapshotPending()) by the same amount; keys not listed keep
+     * their absolute due times. Rebuilds the heap — pop order is a
+     * pure function of the (when, seq) keys, so any heap shape yields
+     * the same deterministic schedule. Panics if the warp would leave
+     * an unshifted event in the past.
+     */
+    void fluidWarp(Time delta, const std::vector<std::uint32_t> &shift_keys);
+
+    /** @} */
+
     bool empty() const { return live_events_ == 0; }
     std::uint64_t executed() const { return executed_; }
 
@@ -305,6 +346,11 @@ class EventQueue
     {
         return slot_chunks_[idx >> kSlotChunkShift][idx & kSlotChunkMask];
     }
+    const Slot &
+    slotRef(std::uint32_t idx) const
+    {
+        return slot_chunks_[idx >> kSlotChunkShift][idx & kSlotChunkMask];
+    }
 
     /** Memoized FNV-1a contribution of one tag (see foldTag()). */
     struct TagFold
@@ -331,6 +377,8 @@ class EventQueue
     void freeSlot(Slot &s, std::uint32_t idx);
     void heapPush(HeapKey k);
     void heapRemoveTop();
+    /** Full heapify after fluidWarp()'s selective key shift. */
+    void heapRebuild();
     /** Pop-and-free every cancelled key at the heap top. */
     void purgeCancelledTop();
     /** Execute the top event. @pre heap top is a Pending slot. */
@@ -343,6 +391,7 @@ class EventQueue
     std::uint32_t slot_count_ = 0;
     std::uint32_t free_head_ = EventHandle::kNone;
     Time now_;
+    Time run_deadline_ = Time::max();
     std::uint64_t next_seq_ = 1;
     std::uint64_t executed_ = 0;
     std::uint64_t live_events_ = 0;

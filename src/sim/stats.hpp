@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/fluid.hpp"
 #include "sim/time.hpp"
 
 namespace sriov::sim {
@@ -25,6 +26,12 @@ class Counter
     void inc(std::uint64_t n = 1) { value_ += n; }
     std::uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
+
+    /** Fluid-mode slot (sim/fluid.hpp): one linear counter. */
+    void fluidVisit(FluidVisitor &v, const char *name)
+    {
+        v.u64(name, value_);
+    }
 
   private:
     std::uint64_t value_ = 0;
@@ -39,6 +46,12 @@ class Accumulator
     std::uint64_t samples() const { return samples_; }
     double mean() const { return samples_ ? value_ / double(samples_) : 0; }
     void reset() { value_ = 0; samples_ = 0; }
+
+    void fluidVisit(FluidVisitor &v, const char *name)
+    {
+        v.f64(name, value_);
+        v.u64(name, samples_);
+    }
 
   private:
     double value_ = 0;
@@ -87,6 +100,13 @@ class RateWindow
     }
 
     double total() const { return total_; }
+
+    void fluidVisit(FluidVisitor &v, const char *name)
+    {
+        v.f64(name, total_);
+        v.f64(name, marked_total_);
+        v.time(name, mark_);
+    }
 
   private:
     double total_ = 0;

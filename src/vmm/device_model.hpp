@@ -48,6 +48,15 @@ class DeviceModel
     std::uint64_t requests() const { return requests_.value(); }
     std::uint64_t maskWrites() const { return mask_writes_.value(); }
 
+    /** Fluid-mode state walk (sim/fluid.hpp). The host CpuServer is a
+     *  hypervisor pcpu, visited once by the hypervisor. */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        requests_.fluidVisit(v, "dm.requests");
+        mask_writes_.fluidVisit(v, "dm.mask_writes");
+    }
+
   private:
     Domain &guest_;
     sim::CpuServer &host_cpu_;

@@ -60,6 +60,17 @@ class Domain
     /** Simple bump allocator within the guest-physical space. */
     mem::Addr allocGuestPages(mem::Addr bytes);
 
+    /** Fluid-mode state walk (sim/fluid.hpp). */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        v.inv("dom.paused", paused_ ? 1 : 0);
+        exits_.fluidVisit(v);
+        evtchn_.fluidVisit(v);
+        for (auto &vc : vcpus_)
+            vc->fluidVisit(v);
+    }
+
   private:
     unsigned id_;
     std::string name_;

@@ -46,6 +46,15 @@ class GrantTable
     std::uint64_t copies() const { return copies_.value(); }
     void countCopy() { copies_.inc(); }
 
+    /** Fluid-mode state walk (sim/fluid.hpp). Entry gpas are setup
+     *  state; steady-state PV traffic only bumps the copy counter. */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        violations_.fluidVisit(v, "gnt.violations");
+        copies_.fluidVisit(v, "gnt.copies");
+    }
+
   private:
     struct Entry
     {

@@ -339,6 +339,27 @@ Hypervisor::chargeGuestSyscalls(Vcpu &vcpu, double n,
         vcpu.chargeGuest(n * cm_.guest_syscall);
 }
 
+void
+Hypervisor::fluidVisit(sim::FluidVisitor &v)
+{
+    for (auto &p : pcpus_)
+        p->fluidVisit(v);
+    router_.fluidVisit(v);
+    iommu_.fluidVisit(v);
+    for (auto &d : domains_)
+        d->fluidVisit(v);
+    for (auto &[id, dm] : device_models_) {
+        (void)id;
+        dm->fluidVisit(v);
+    }
+    for (auto &[key, b] : bindings_) {
+        (void)key;
+        v.inv("hv.raise_pending", b->raise_pending ? 1 : 0);
+        if (b->raise_pending)
+            v.time("hv.raise_time", b->raise_time);
+    }
+}
+
 Hypervisor::UtilSnapshot
 Hypervisor::snapshot() const
 {

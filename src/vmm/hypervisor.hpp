@@ -179,6 +179,10 @@ class Hypervisor
                       const std::string &tag) const;
     /** @} */
 
+    /** Fluid-mode state walk (sim/fluid.hpp): every pcpu, the router,
+     *  the IOMMU, all domains, device models and IRQ-latency anchors. */
+    void fluidVisit(sim::FluidVisitor &v);
+
   private:
     struct IrqBinding
     {

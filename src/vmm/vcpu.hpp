@@ -47,6 +47,11 @@ class Vcpu
     void unbindVirtualVector(intr::Vector v);
     /** @} */
 
+    /** Fluid-mode state walk (sim/fluid.hpp). The pinned CpuServer is
+     *  shared with other VCPUs and visited once by its owner (the
+     *  hypervisor), not per VCPU. */
+    void fluidVisit(sim::FluidVisitor &v) { vlapic_.fluidVisit(v); }
+
   private:
     void dispatch(intr::Vector v);
 

@@ -82,6 +82,18 @@ class ExitStats
     /** Multi-line human-readable table (used by fig07 bench). */
     std::string toString() const;
 
+    /** Fluid-mode state walk (sim/fluid.hpp): per-reason counts and
+     *  cycles are linear. Cost taps are histograms owned (and visited)
+     *  by the testbed's observability layer, not here. */
+    void
+    fluidVisit(sim::FluidVisitor &v)
+    {
+        for (auto &e : entries_) {
+            v.f64("exits.count", e.count);
+            v.f64("exits.cycles", e.cycles);
+        }
+    }
+
   private:
     struct Entry
     {

@@ -21,6 +21,7 @@
 #include "sim/log.hpp"
 #include "sim/shard.hpp"
 #include "sim/shard_engine.hpp"
+#include "sim/thinning.hpp"
 
 using namespace sriov;
 
@@ -255,6 +256,20 @@ TEST(ShardTestbed, DigestIdenticalAcrossShardCounts)
     check::RunDigest s4 = runTestbedWorkload(4);
     EXPECT_EQ(s1, s2);
     EXPECT_EQ(s1, s4);
+    EXPECT_GT(s1.events, 10000u);
+}
+
+TEST(ShardTestbed, DigestIdenticalAcrossShardCountsUnthinned)
+{
+    // The shards x thin corner of the determinism matrix: exact
+    // per-hop simulation sharded two ways. Thinning changes the event
+    // population, so the digests here differ from the thinned test
+    // above — the contract is only that both sharded runs agree with
+    // the sequential run of the *same* mode.
+    sim::ThinningScope exact(false);
+    check::RunDigest s1 = runTestbedWorkload(1);
+    check::RunDigest s2 = runTestbedWorkload(2);
+    EXPECT_EQ(s1, s2);
     EXPECT_GT(s1.events, 10000u);
 }
 

@@ -179,6 +179,58 @@ TEST(SimlintHotAlloc, HotRegionEndsAtClosingBrace)
 }
 
 // ---------------------------------------------------------------------
+// fluid-boundary
+// ---------------------------------------------------------------------
+
+TEST(SimlintFluidBoundary, FlagsLedgerMentionOutsideFluidCore)
+{
+    auto fs = lint("void f() {\n"
+                   "    sim::FlowLedger *l = sim::fluidLedger();\n"
+                   "    l->onSend(0, now);\n"
+                   "}\n");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, "fluid-boundary");
+    EXPECT_EQ(fs[0].line, 2);
+    EXPECT_EQ(fs[1].line, 2);
+}
+
+TEST(SimlintFluidBoundary, SettleAnnotationBlessesTheFunctionBody)
+{
+    auto fs = lint("// simlint: fluid-settle\n"
+                   "void hook() {\n"
+                   "    sim::FlowLedger *l = sim::fluidLedger();\n"
+                   "    l->warpBy(dt);\n"
+                   "}\n"
+                   "void rogue() {\n"
+                   "    sim::fluidLedger()->warpBy(dt);\n"
+                   "}\n");
+    ASSERT_EQ(fs.size(), 2u);
+    EXPECT_EQ(fs[0].rule, "fluid-boundary");
+    EXPECT_EQ(fs[0].line, 7);
+    EXPECT_EQ(fs[1].line, 7);
+}
+
+TEST(SimlintFluidBoundary, FluidCoreAndNonSrcAreOutOfScope)
+{
+    std::string text = "void f() { sim::fluidLedger()->warpBy(dt); }\n";
+    EXPECT_EQ(lint(text, "src/guest/x.cpp").size(), 2u);
+    EXPECT_TRUE(lint(text, "src/sim/fluid.cpp").empty());
+    EXPECT_TRUE(lint(text, "src/core/fluid_path.cpp").empty());
+    EXPECT_TRUE(lint(text, "tests/fluid_test.cpp").empty());
+}
+
+TEST(SimlintFluidBoundary, TransitionReportsAreNotPoliced)
+{
+    // Forcing exact mode is always conservative — components may
+    // report transitions freely.
+    auto fs = lint(
+        "void f() {\n"
+        "    sim::fluidTransitionAll(sim::FluidTransition::Drop);\n"
+        "}\n");
+    EXPECT_TRUE(fs.empty());
+}
+
+// ---------------------------------------------------------------------
 // Suppressions
 // ---------------------------------------------------------------------
 
@@ -290,8 +342,8 @@ TEST(SimlintFixtures, KnownBadFailsTheGate)
                                       // excluded dir by design
     auto r = simlint::runPaths(
         {std::string(SIMLINT_FIXTURE_DIR) + "/known_bad"}, opts);
-    EXPECT_EQ(r.files_scanned, 6u);
-    EXPECT_EQ(r.findings.size(), 22u);
+    EXPECT_EQ(r.files_scanned, 7u);
+    EXPECT_EQ(r.findings.size(), 26u);
     EXPECT_EQ(r.suppressed, 0u);
 
     // Every rule in the pack shows up at least once, so the corpus

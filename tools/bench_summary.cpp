@@ -88,12 +88,22 @@ summarizePerf(const std::vector<std::string> &files,
         const JsonValue *thin = doc->find("thin");
         w.kv("thin", thin == nullptr || thin->boolean);
         w.kv("shards", num(*doc, "shards"));
+        const JsonValue *fluid = doc->find("fluid");
+        w.kv("fluid", fluid != nullptr && fluid->boolean);
         w.kv("cases",
              double(cases != nullptr ? cases->items.size() : 0));
         if (total != nullptr) {
             w.kv("events", num(*total, "events"));
             w.kv("host_wall_s", num(*total, "host_wall_s"));
             w.kv("events_per_sec", num(*total, "events_per_sec"));
+            // Simulation cost per unit workload: if thinning (or fluid
+            // warping) is silently disabled, events/packet balloons even
+            // when events/s looks healthy — perf_compare gates on it.
+            if (num(*total, "packets") > 0) {
+                w.kv("packets", num(*total, "packets"));
+                w.kv("events_per_packet",
+                     num(*total, "events_per_packet"));
+            }
             grand_events += num(*total, "events");
             grand_wall += num(*total, "host_wall_s");
         }

@@ -21,6 +21,15 @@
  * real regression) and can be overridden with SRIOV_PERF_MIN_RATIO or
  * --min-ratio=<x>. The per-bench verdicts are also written as a JSON
  * comparison file so CI can archive them as an artifact.
+ *
+ * Benches that report packets are additionally judged on
+ * events-per-packet — a pure simulation metric with no host jitter.
+ * Its failure mode is the opposite of a slow runner: if event thinning
+ * or fluid warping is silently disabled, a fast machine can keep
+ * events/s above the wall-clock gate while the simulator quietly does
+ * several times the work per frame. Growth beyond
+ * --max-epp-growth (default 1.1x, env SRIOV_PERF_MAX_EPP_GROWTH)
+ * fails the run; shrinkage is fine — that is an optimization landing.
  */
 
 #include <algorithm>
@@ -72,13 +81,21 @@ struct BenchRate
 {
     std::string name;
     double events_per_sec = 0.0;
+    /** Simulation cost per unit workload (0 when the bench does not
+     *  report packets). Unlike events/s this is a *simulation* metric
+     *  with no host jitter, so it is gated tightly: if thinning or
+     *  fluid warping is silently disabled, events/packet balloons even
+     *  when a fast runner keeps events/s above the wall-clock gate. */
+    double events_per_packet = 0.0;
     /** Simulation mode the rate was measured in. Rates are only
      *  comparable within a mode: a sharded run counts per-island
      *  events and burns multiple host cores, so judging it against a
      *  sequential baseline would be meaningless either way. Summaries
-     *  without the keys predate the fields: thinning on, shards 0. */
+     *  without the keys predate the fields: thinning on, shards 0,
+     *  fluid off. */
     bool thin = true;
     unsigned shards = 0;
+    bool fluid = false;
 };
 
 /** Extract per-bench events/s from a perf summary; nullopt on error. */
@@ -102,9 +119,12 @@ loadRates(const std::string &path)
             BenchRate r;
             r.name = name != nullptr ? name->str : "?";
             r.events_per_sec = num(b, "events_per_sec");
+            r.events_per_packet = num(b, "events_per_packet");
             const JsonValue *thin = b.find("thin");
             r.thin = thin == nullptr || thin->boolean;
             r.shards = unsigned(num(b, "shards"));
+            const JsonValue *fluid = b.find("fluid");
+            r.fluid = fluid != nullptr && fluid->boolean;
             rates.push_back(std::move(r));
         }
     }
@@ -128,12 +148,17 @@ main(int argc, char **argv)
     double min_ratio = 0.8;
     if (const char *env = std::getenv("SRIOV_PERF_MIN_RATIO"))
         min_ratio = std::atof(env);
+    double max_epp_growth = 1.1;
+    if (const char *env = std::getenv("SRIOV_PERF_MAX_EPP_GROWTH"))
+        max_epp_growth = std::atof(env);
 
     std::string out_path;
     std::vector<const char *> pos;
     for (int i = 1; i < argc; ++i) {
         if (std::strncmp(argv[i], "--min-ratio=", 12) == 0)
             min_ratio = std::atof(argv[i] + 12);
+        else if (std::strncmp(argv[i], "--max-epp-growth=", 17) == 0)
+            max_epp_growth = std::atof(argv[i] + 17);
         else if (std::strncmp(argv[i], "--out=", 6) == 0)
             out_path = argv[i] + 6;
         else
@@ -142,6 +167,7 @@ main(int argc, char **argv)
     if (pos.size() < 2) {
         std::fprintf(stderr,
                      "usage: perf_compare [--min-ratio=<x>] "
+                     "[--max-epp-growth=<x>] "
                      "[--out=<comparison.json>] "
                      "<baseline.json> <fresh.json>...\n");
         return 2;
@@ -150,6 +176,12 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "perf_compare: min ratio %.3f out of (0, 1]\n",
                      min_ratio);
+        return 2;
+    }
+    if (max_epp_growth < 1.0) {
+        std::fprintf(stderr,
+                     "perf_compare: max epp growth %.3f below 1\n",
+                     max_epp_growth);
         return 2;
     }
 
@@ -171,16 +203,24 @@ main(int argc, char **argv)
             for (BenchRate &have : best) {
                 if (have.name == r.name) {
                     if (have.thin != r.thin
-                        || have.shards != r.shards) {
+                        || have.shards != r.shards
+                        || have.fluid != r.fluid) {
                         std::fprintf(stderr,
                                      "perf_compare: %s: fresh runs "
-                                     "disagree on mode (thin/shards) "
+                                     "disagree on mode "
+                                     "(thin/shards/fluid) "
                                      "for %s — rerun one suite\n",
                                      pos[i], r.name.c_str());
                         return 2;
                     }
                     have.events_per_sec = std::max(have.events_per_sec,
                                                    r.events_per_sec);
+                    // events/packet is deterministic across
+                    // repetitions; keep the worst observation so a
+                    // flaky run cannot mask growth.
+                    have.events_per_packet =
+                        std::max(have.events_per_packet,
+                                 r.events_per_packet);
                     merged = true;
                     break;
                 }
@@ -198,6 +238,7 @@ main(int argc, char **argv)
     w.kv("fresh", std::string(pos[1]));
     w.kv("fresh_runs", std::uint64_t(runs));
     w.kv("min_ratio", min_ratio);
+    w.kv("max_epp_growth", max_epp_growth);
     w.key("benches").beginArray();
 
     std::size_t compared = 0, failed = 0;
@@ -211,38 +252,64 @@ main(int argc, char **argv)
             std::printf("perf_compare: %-16s missing from fresh run "
                         "(informational)\n",
                         base.name.c_str());
-        } else if (base.thin != now->thin || base.shards != now->shards) {
+        } else if (base.thin != now->thin || base.shards != now->shards
+                   || base.fluid != now->fluid) {
             // Never judge across simulation modes: a sharded run counts
-            // per-island events on multiple host cores and a thinned
-            // run coalesces deliveries, so the events/s scales are not
+            // per-island events on multiple host cores, a thinned run
+            // coalesces deliveries, and a fluid run elides whole
+            // steady-state stretches, so the events/s scales are not
             // commensurable with a differently-configured baseline.
             w.kv("fresh_events_per_sec", now->events_per_sec);
             w.kv("baseline_thin", base.thin);
             w.kv("baseline_shards", std::uint64_t(base.shards));
+            w.kv("baseline_fluid", base.fluid);
             w.kv("fresh_thin", now->thin);
             w.kv("fresh_shards", std::uint64_t(now->shards));
+            w.kv("fresh_fluid", now->fluid);
             w.kv("status", "mode-mismatch");
             std::printf("perf_compare: %-16s MODE MISMATCH "
-                        "(baseline thin=%d shards=%u, fresh thin=%d "
-                        "shards=%u) — not compared\n",
+                        "(baseline thin=%d shards=%u fluid=%d, fresh "
+                        "thin=%d shards=%u fluid=%d) — not compared\n",
                         base.name.c_str(), int(base.thin), base.shards,
-                        int(now->thin), now->shards);
+                        int(base.fluid), int(now->thin), now->shards,
+                        int(now->fluid));
         } else if (base.events_per_sec <= 0) {
             w.kv("status", "no-baseline-rate");
         } else {
             double ratio = now->events_per_sec / base.events_per_sec;
             bool ok = ratio >= min_ratio;
             ++compared;
-            if (!ok)
-                ++failed;
             w.kv("fresh_events_per_sec", now->events_per_sec);
             w.kv("ratio", ratio);
-            w.kv("status", ok ? "ok" : "regressed");
+            // Events-per-packet gate: only when both sides report
+            // packets (benches without packet counts skip it).
+            bool epp_ok = true;
+            double epp_ratio = 0;
+            if (base.events_per_packet > 0
+                && now->events_per_packet > 0) {
+                epp_ratio =
+                    now->events_per_packet / base.events_per_packet;
+                epp_ok = epp_ratio <= max_epp_growth;
+                w.kv("baseline_events_per_packet",
+                     base.events_per_packet);
+                w.kv("fresh_events_per_packet",
+                     now->events_per_packet);
+                w.kv("epp_ratio", epp_ratio);
+            }
+            if (!ok || !epp_ok)
+                ++failed;
+            w.kv("status", ok && epp_ok ? "ok" : "regressed");
             std::printf("perf_compare: %-16s %8.2f -> %8.2f M events/s "
-                        "(%.2fx) %s\n",
+                        "(%.2fx) %s",
                         base.name.c_str(), base.events_per_sec / 1e6,
                         now->events_per_sec / 1e6, ratio,
                         ok ? "ok" : "REGRESSED");
+            if (epp_ratio > 0)
+                std::printf(", %6.1f -> %6.1f ev/pkt (%.2fx) %s",
+                            base.events_per_packet,
+                            now->events_per_packet, epp_ratio,
+                            epp_ok ? "ok" : "THINNING REGRESSED");
+            std::printf("\n");
         }
         w.endObject();
     }
@@ -272,9 +339,10 @@ main(int argc, char **argv)
 
     if (failed != 0) {
         std::fprintf(stderr,
-                     "perf_compare: FAIL: %zu of %zu benches below "
-                     "%.2fx of the committed baseline\n",
-                     failed, compared, min_ratio);
+                     "perf_compare: FAIL: %zu of %zu benches regressed "
+                     "(events/s below %.2fx of the committed baseline, "
+                     "or events/packet above %.2fx of it)\n",
+                     failed, compared, min_ratio, max_epp_growth);
         return 1;
     }
     std::printf("perf_compare: %zu benches at or above %.2fx of the "

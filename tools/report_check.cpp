@@ -10,6 +10,14 @@
  *                          (span schema: trails anchored at origin,
  *                          monotone hop timestamps, known stage names,
  *                          base-sampling fraction within bounds)
+ *   report_check fluid-equiv [--banded] [--band=<rel>] <ref> <fluid>
+ *                          enforce the fluid equivalence contract
+ *                          (DESIGN.md §14) between two figXX.json
+ *                          runs: strict (default, --fluid=exact vs
+ *                          --fluid=on — integer leaves byte-identical,
+ *                          fp leaves within 1e-9) or --banded
+ *                          (--fluid=off vs --fluid=on — workload
+ *                          metrics within tolerance bands)
  *
  * Exit code 0 when every file parses, carries the required fields and
  * (for reports) every expectation is within its band; 1 otherwise.
@@ -18,11 +26,13 @@
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
 
+#include "check/fluid_equiv.hpp"
 #include "obs/json.hpp"
 #include "obs/pathtrace.hpp"
 #include "obs/report.hpp"
@@ -439,12 +449,74 @@ checkPerf(const std::string &path)
     return true;
 }
 
+/** `report_check fluid-equiv [--banded] [--band=<rel>] <ref> <fluid>` */
+int
+checkFluidEquiv(int argc, char **argv)
+{
+    sriov::check::FluidEquivOptions opt;
+    std::string ref_path, fluid_path;
+    for (int i = 2; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--banded") {
+            opt.banded = true;
+        } else if (arg.rfind("--band=", 0) == 0) {
+            opt.band = std::atof(arg.c_str() + 7);
+        } else if (ref_path.empty()) {
+            ref_path = arg;
+        } else if (fluid_path.empty()) {
+            fluid_path = arg;
+        } else {
+            std::fprintf(stderr, "fluid-equiv: unexpected arg '%s'\n",
+                         arg.c_str());
+            return 2;
+        }
+    }
+    if (ref_path.empty() || fluid_path.empty()) {
+        std::fprintf(stderr, "usage: report_check fluid-equiv "
+                             "[--banded] [--band=<rel>] <ref.json> "
+                             "<fluid.json>\n");
+        return 2;
+    }
+    std::string text, err;
+    if (!readFile(ref_path, text))
+        return fail(ref_path, "cannot read"), 1;
+    auto ref = JsonValue::parseTolerant(text, &err);
+    if (!ref)
+        return fail(ref_path, "malformed JSON: " + err), 1;
+    if (!readFile(fluid_path, text))
+        return fail(fluid_path, "cannot read"), 1;
+    auto fluid = JsonValue::parseTolerant(text, &err);
+    if (!fluid)
+        return fail(fluid_path, "malformed JSON: " + err), 1;
+
+    auto res = sriov::check::compareFluidReports(*ref, *fluid, opt);
+    for (const std::string &v : res.violations)
+        std::fprintf(stderr, "fluid-equiv: VIOLATION %s\n", v.c_str());
+    if (!res.ok()) {
+        std::fprintf(stderr,
+                     "fluid-equiv: %s vs %s: %zu violation(s) over %zu "
+                     "leaves (%s contract)\n",
+                     ref_path.c_str(), fluid_path.c_str(),
+                     res.violations.size(), res.compared,
+                     opt.banded ? "banded" : "strict");
+        return 1;
+    }
+    std::printf("fluid-equiv: %s vs %s: OK (%zu leaves, %zu "
+                "byte-identical, %zu diagnostic skipped, %s contract)\n",
+                ref_path.c_str(), fluid_path.c_str(), res.compared,
+                res.exact, res.skipped,
+                opt.banded ? "banded" : "strict");
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     std::string mode = argc >= 2 ? argv[1] : "";
+    if (mode == "fluid-equiv")
+        return checkFluidEquiv(argc, argv);
     if (argc < 3
         || (mode != "report" && mode != "trace" && mode != "perf"
             && mode != "pathtrace")) {
@@ -453,7 +525,9 @@ main(int argc, char **argv)
             "usage: report_check report <figXX.json> [...]\n"
             "       report_check trace <x.trace.json> [...]\n"
             "       report_check perf <x.perf.json> [...]\n"
-            "       report_check pathtrace <x.pathtrace.json> [...]\n");
+            "       report_check pathtrace <x.pathtrace.json> [...]\n"
+            "       report_check fluid-equiv [--banded] [--band=<rel>] "
+            "<ref.json> <fluid.json>\n");
         return 2;
     }
     bool ok = true;

@@ -192,6 +192,9 @@ struct Directives
     /** line -> rules allowed on that line (and the line below). */
     std::map<int, std::set<std::string>> allows;
     std::vector<int> hot_lines;
+    /** `simlint: fluid-settle` lines — each blesses the function body
+     *  below it as a legitimate settlement-ledger touch point. */
+    std::vector<int> settle_lines;
     std::vector<Finding> errors;    ///< malformed directives
 };
 
@@ -218,6 +221,10 @@ parseDirectives(const std::string &file, const std::vector<Comment> &comments)
         std::string rest = trim(body.substr(8));
         if (rest == "hot" || rest.rfind("hot ", 0) == 0) {
             d.hot_lines.push_back(c.line);
+            continue;
+        }
+        if (rest == "fluid-settle" || rest.rfind("fluid-settle ", 0) == 0) {
+            d.settle_lines.push_back(c.line);
             continue;
         }
         if (rest.rfind("allow", 0) == 0) {
@@ -387,6 +394,7 @@ const char *const kExplicitCapture = "explicit-capture";
 const char *const kHotPathAlloc = "hot-path-alloc";
 const char *const kBadSuppression = "bad-suppression";
 const char *const kShardChannel = "shard-channel";
+const char *const kFluidBoundary = "fluid-boundary";
 
 /** Qualifier of identifier at @p i: "" (unqualified), "std"/"chrono"
  *  (standard library), "member" (after . or ->), or another name. */
@@ -473,6 +481,70 @@ ruleShardChannel(const std::string &file, const std::vector<Token> &t,
                              "lookahead contract; route cross-shard "
                              "traffic through nic::Wire (the only "
                              "legal shard boundary, DESIGN.md #13)"});
+    }
+}
+
+void
+ruleFluidBoundary(const std::string &file, const std::vector<Token> &t,
+                  const std::vector<int> &settle_lines,
+                  std::vector<Finding> &out)
+{
+    // The fluid equivalence contract (DESIGN.md §14) rests on the
+    // settlement ledger seeing *every* send and every flow birth/death:
+    // a component that holds the FlowLedger and mutates it from an
+    // unannotated site can fabricate a steadiness certificate the probe
+    // protocol never checked. Mere possession of the ledger is the
+    // boundary — anything that can name it can mutate it — so any
+    // mention outside src/sim/fluid.* and src/core/fluid_path.* must
+    // sit inside a function blessed with `// simlint: fluid-settle`.
+    // fluidTransition/fluidTransitionAll are deliberately NOT policed:
+    // they only force exact mode, which is always conservative.
+    static const std::set<std::string> kLedgerNames = {
+        "FlowLedger", "fluidLedger", "setFluidLedger", "warpBy"};
+
+    // Settle regions: the first brace block after each annotation.
+    std::vector<std::pair<int, int>> regions;
+    for (int settle : settle_lines) {
+        std::size_t open = t.size();
+        for (std::size_t i = 0; i < t.size(); ++i) {
+            if (t[i].line > settle && isPunct(t[i], "{")) {
+                open = i;
+                break;
+            }
+        }
+        if (open == t.size()) {
+            out.push_back({file, settle, kFluidBoundary,
+                           "simlint: fluid-settle annotation with no "
+                           "function body following it"});
+            continue;
+        }
+        std::size_t close = matchFrom(t, open, "{", "}");
+        regions.emplace_back(t[open].line,
+                             close < t.size() ? t[close].line
+                                              : t.back().line);
+    }
+
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        if (t[i].kind != TokKind::Ident
+            || kLedgerNames.count(t[i].text) == 0)
+            continue;
+        bool blessed = false;
+        for (const auto &[lo, hi] : regions) {
+            if (t[i].line >= lo && t[i].line <= hi) {
+                blessed = true;
+                break;
+            }
+        }
+        if (blessed)
+            continue;
+        out.push_back({file, t[i].line, kFluidBoundary,
+                       "'" + t[i].text
+                           + "' touches the settlement ledger outside "
+                             "sim/fluid.*: mutations the ledger does "
+                             "not witness can fabricate a steadiness "
+                             "certificate; move this into an annotated "
+                             "settle site (`// simlint: fluid-settle` "
+                             "above the function)"});
     }
 }
 
@@ -675,6 +747,21 @@ isWireFile(const std::string &path)
         && p.filename().string().rfind("wire", 0) == 0;
 }
 
+/** src/sim/fluid.* and src/core/fluid_path.*: the fluid engine itself,
+ *  where ledger mutation is the whole job. */
+bool
+isFluidCoreFile(const std::string &path)
+{
+    namespace fs = std::filesystem;
+    fs::path p(path);
+    if (!pathInSrc(path))
+        return false;
+    std::string dir = p.parent_path().filename().string();
+    std::string name = p.filename().string();
+    return (dir == "sim" && name.rfind("fluid", 0) == 0)
+        || (dir == "core" && name.rfind("fluid_path", 0) == 0);
+}
+
 std::string
 jsonEscape(const std::string &s)
 {
@@ -706,7 +793,8 @@ allRules()
 {
     static const std::vector<std::string> kRules = {
         kNoWallclock,  kNoUnorderedIter, kExplicitCapture,
-        kHotPathAlloc, kBadSuppression,  kShardChannel};
+        kHotPathAlloc, kBadSuppression,  kShardChannel,
+        kFluidBoundary};
     return kRules;
 }
 
@@ -747,6 +835,9 @@ lintText(const std::string &path, const std::string &text,
     if (enabled(kShardChannel) && !isShardEngineFile(path)
         && !isWireFile(path))
         ruleShardChannel(path, lx.toks, raw);
+    if (enabled(kFluidBoundary) && pathInSrc(path)
+        && !isFluidCoreFile(path))
+        ruleFluidBoundary(path, lx.toks, dir.settle_lines, raw);
     if (enabled(kExplicitCapture))
         ruleExplicitCapture(path, lx.toks, raw);
     if (enabled(kHotPathAlloc))

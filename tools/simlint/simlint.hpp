@@ -18,6 +18,14 @@
  *                            by fire time; slot map can't catch it)
  *   hot-path-alloc           new/make_unique/container-growth inside
  *                            functions annotated `// simlint: hot`
+ *   fluid-boundary           naming the fluid settlement ledger
+ *                            (FlowLedger / fluidLedger / warpBy)
+ *                            outside sim/fluid.*, core/fluid_path.*
+ *                            and functions annotated
+ *                            `// simlint: fluid-settle` — unwitnessed
+ *                            ledger mutation can fabricate the
+ *                            steadiness certificate fluid warps
+ *                            rest on
  *
  * simlint is deliberately *not* a compiler: a hand-rolled lexer over
  * the token stream (comments, strings and preprocessor lines
