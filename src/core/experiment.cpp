@@ -56,15 +56,17 @@ void
 FigCase::drive(Testbed &tb, const std::function<void()> &fn)
 {
     std::uint64_t before = tb.executedEvents();
+    sim::Time s0 = tb.now();
     // simlint:allow(no-wallclock): host-side perf sidecar timing only
     auto t0 = std::chrono::steady_clock::now();
     fn();
     wall_s_ += secondsSince(t0);
     events_ += tb.executedEvents() - before;
-    // Director stats are cumulative per testbed; the last drive's view
-    // covers every earlier drive of the same case.
-    if (FluidDirector *fd = tb.fluidDirector())
-        fluid_ = fd->stats();
+    sim_s_ += double((tb.now() - s0).picos()) * 1e-12;
+    // Warp stats (director or coordinator) are cumulative per testbed;
+    // the last drive's view covers every earlier drive of the case.
+    if (const sim::FluidStats *fs = tb.fluidStats())
+        fluid_ = *fs;
 }
 
 FigReport::FigReport(int argc, char **argv, const std::string &fig,
@@ -117,7 +119,7 @@ void
 FigReport::notePerf(const std::string &label, std::uint64_t events,
                     double wall_s, std::uint64_t packets)
 {
-    perf_.push_back(CasePerf{label, events, packets, wall_s, {}});
+    perf_.push_back(CasePerf{label, events, packets, wall_s, 0.0, {}});
 }
 
 void
@@ -132,12 +134,14 @@ FigReport::captureTrace(Testbed &tb, const std::function<void()> &drive)
 {
     if (!opts_.wantTrace() || trace_done_) {
         std::uint64_t before = tb.executedEvents();
+        sim::Time s0 = tb.now();
         // simlint:allow(no-wallclock): host-side perf sidecar timing only
         auto t0 = std::chrono::steady_clock::now();
         drive();
         notePerf("", tb.executedEvents() - before, secondsSince(t0));
-        if (FluidDirector *fd = tb.fluidDirector())
-            perf_.back().fluid = fd->stats();
+        perf_.back().sim_s = double((tb.now() - s0).picos()) * 1e-12;
+        if (const sim::FluidStats *fs = tb.fluidStats())
+            perf_.back().fluid = *fs;
         last_perf_unlabelled_ = true;
         return;
     }
@@ -149,12 +153,14 @@ FigReport::captureTrace(Testbed &tb, const std::function<void()> &drive)
     obs::ChromeTraceWriter w;
     tb.attachObsTrace(w);
     std::uint64_t before = tb.executedEvents();
+    sim::Time s0 = tb.now();
     // simlint:allow(no-wallclock): host-side perf sidecar timing only
     auto t0 = std::chrono::steady_clock::now();
     drive();
     notePerf("", tb.executedEvents() - before, secondsSince(t0));
-    if (FluidDirector *fd = tb.fluidDirector())
-        perf_.back().fluid = fd->stats();
+    perf_.back().sim_s = double((tb.now() - s0).picos()) * 1e-12;
+    if (const sim::FluidStats *fs = tb.fluidStats())
+        perf_.back().fluid = *fs;
     last_perf_unlabelled_ = true;
     w.importTracer(tracer);
     w.detachAll();
@@ -228,6 +234,7 @@ FigReport::mergeCase(FigCase &c)
         rep_.addMetric(name, value);
     c.metrics_.clear();
     notePerf(c.label_, c.events_, c.wall_s_, c.packets_);
+    perf_.back().sim_s = c.sim_s_;
     perf_.back().fluid = c.fluid_;
 }
 
@@ -260,6 +267,7 @@ FigReport::writePerfSidecar(const std::string &path) const
     std::uint64_t total_events = 0;
     std::uint64_t total_packets = 0;
     double total_wall = 0;
+    double total_sim = 0;
     w.key("cases").beginArray();
     for (std::size_t i = 0; i < perf_.size(); ++i) {
         const CasePerf &p = perf_[i];
@@ -269,6 +277,8 @@ FigReport::writePerfSidecar(const std::string &path) const
                           : p.label);
         w.kv("events", p.events);
         w.kv("host_wall_s", p.wall_s);
+        if (p.sim_s > 0)
+            w.kv("sim_s", p.sim_s);
         w.kv("events_per_sec",
              p.wall_s > 0 ? double(p.events) / p.wall_s : 0.0);
         if (p.packets > 0) {
@@ -277,13 +287,15 @@ FigReport::writePerfSidecar(const std::string &path) const
                  double(p.events) / double(p.packets));
         }
         if (p.fluid.probes > 0) {
+            double warped = double(p.fluid.warped.picos()) * 1e-12;
             w.key("fluid_stats").beginObject();
             w.kv("segments", p.fluid.segments);
             w.kv("probes", p.fluid.probes);
             w.kv("rejected", p.fluid.rejected);
             w.kv("periods_warped", p.fluid.periods_warped);
-            w.kv("warped_sim_s",
-                 double(p.fluid.warped.picos()) * 1e-12);
+            w.kv("warped_sim_s", warped);
+            if (p.sim_s > 0)
+                w.kv("warp_frac", warped / p.sim_s);
             w.kv("events_elided", p.fluid.events_elided);
             w.endObject();
         }
@@ -291,11 +303,14 @@ FigReport::writePerfSidecar(const std::string &path) const
         total_events += p.events;
         total_packets += p.packets;
         total_wall += p.wall_s;
+        total_sim += p.sim_s;
     }
     w.endArray();
     w.key("total").beginObject();
     w.kv("events", total_events);
     w.kv("host_wall_s", total_wall);
+    if (total_sim > 0)
+        w.kv("sim_s", total_sim);
     w.kv("events_per_sec",
          total_wall > 0 ? double(total_events) / total_wall : 0.0);
     if (total_packets > 0) {

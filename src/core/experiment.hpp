@@ -74,6 +74,7 @@ class FigCase
     std::uint64_t events_ = 0;
     std::uint64_t packets_ = 0;
     double wall_s_ = 0;
+    double sim_s_ = 0;
     /** Director stats after the last drive (all-zero when fluid off). */
     sim::FluidStats fluid_;
 };
@@ -176,6 +177,9 @@ class FigReport
         std::uint64_t events = 0;
         std::uint64_t packets = 0;
         double wall_s = 0;
+        /** Simulated seconds covered by the drive — the denominator of
+         *  the warp fraction (warped_sim_s / sim_s) in the sidecar. */
+        double sim_s = 0;
         /** Fluid-director stats for the sidecar (zero when off). */
         sim::FluidStats fluid;
     };

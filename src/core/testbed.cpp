@@ -10,8 +10,7 @@ Testbed::Testbed(Params p) : params_(std::move(p))
     if (sim::shardCount() != 0) {
         buildSharded();
         if (sim::fluidEnabled())
-            sim::warn("fluid mode is not available on a sharded build; "
-                      "running exact");
+            buildShardedFluid();
         return;
     }
     buildLegacy();
@@ -38,9 +37,78 @@ Testbed::Testbed(Params p) : params_(std::move(p))
     }
 }
 
+/**
+ * The top-of-rack relay: one island owning the ToR end of every wire.
+ * Forwarding is a static MAC table filled at build time (client NICs)
+ * and at addGuest (guest VF MACs) — a lookup and a re-send on the
+ * destination's downlink, no learning, no flooding. Deterministic by
+ * construction: the table is keyed by MAC value and the relay runs on
+ * its own EventQueue like any other island.
+ */
+struct Testbed::TorRelay
+{
+    /** The ToR-side endpoint of one attached wire. */
+    struct Port final : nic::WireEndpoint
+    {
+        TorRelay *tor = nullptr;
+
+        void
+        receive(const nic::Packet &pkt) override
+        {
+            tor->forward(pkt);
+        }
+    };
+
+    /** A downlink: the wire and the ToR endpoint sends leave from. */
+    struct Link
+    {
+        nic::Wire *wire = nullptr;
+        Port *end = nullptr;
+    };
+
+    sim::EventQueue eq;
+    obs::PathTracer pt;
+    unsigned index = 0;    ///< engine island index (registered last)
+    std::vector<std::unique_ptr<Port>> ports;
+    std::map<std::uint64_t, Link> route;
+    /** Per global port: the downlink toward that port's server NIC. */
+    std::vector<Link> server_down;
+    /** Frames for a MAC nobody registered (conservation check). */
+    std::uint64_t unroutable_drops = 0;
+
+    Port &
+    addPort()
+    {
+        ports.push_back(std::make_unique<Port>());
+        ports.back()->tor = this;
+        return *ports.back();
+    }
+
+    void
+    addRoute(nic::MacAddr mac, nic::Wire &wire, Port &end)
+    {
+        route[mac.value] = Link{&wire, &end};
+    }
+
+    void
+    forward(const nic::Packet &pkt)
+    {
+        auto it = route.find(pkt.dst.value);
+        if (it == route.end()) {
+            ++unroutable_drops;
+            return;
+        }
+        it->second.wire->send(*it->second.end, pkt);
+    }
+};
+
 void
 Testbed::buildLegacy()
 {
+    if (params_.num_hosts > 1)
+        sim::fatal("multi-host testbed: the ToR relay is an island "
+                   "(use --shards=N)");
+
     // First thing built: components created below register with it.
     pathtrace_ = std::make_unique<obs::PathTracer>();
 
@@ -164,7 +232,10 @@ Testbed::buildSharded()
     engine_ = std::make_unique<sim::ShardEngine>(sim::shardCount());
 
     vmm::Hypervisor::MachineParams mp;
-    const unsigned nports = params_.num_ports;
+    // Multi-host racks replicate the whole per-port structure: global
+    // port g = host * num_ports + local port, every name and BDF keyed
+    // by g so nothing collides across hosts.
+    const unsigned nports = params_.num_ports * params_.num_hosts;
 
     // Server slices register first so engine island order — the digest
     // fold order — is slices 0..P-1, clients P..2P-1, fixed by the
@@ -192,6 +263,14 @@ Testbed::buildSharded()
                                                  mp);
         c.index = engine_->addIsland(*c.eq);
         client_islands_.push_back(std::move(c));
+    }
+
+    // The ToR relay island registers after every host island so the
+    // digest fold order stays slices, clients, ToR for any host count.
+    if (params_.num_hosts > 1) {
+        tor_ = std::make_unique<TorRelay>();
+        tor_->pt.setShardHalf(true);
+        tor_->index = engine_->addIsland(tor_->eq);
     }
 
     for (unsigned i = 0; i < nports; ++i) {
@@ -223,8 +302,29 @@ Testbed::buildSharded()
         nic::Wire::Params wp;
         wp.line_bps = params_.line_bps;
         wp.propagation = sim::Time::us(5);
-        wires_.push_back(std::make_unique<nic::Wire>(
-            *sl.eq, *cl.eq, *engine_, sl.index, cl.index, wp));
+        nic::Wire *srv_wire = nullptr;    // the wire at the server NIC
+        nic::Wire *cli_wire = nullptr;    // the wire at the client NIC
+        TorRelay::Port *tor_srv = nullptr;
+        TorRelay::Port *tor_cli = nullptr;
+        if (tor_) {
+            // Two hops through the rack: server port g <-> ToR and
+            // ToR <-> client port g, each its own full-duplex wire with
+            // the same 5 us lookahead. The relay re-serializes at line
+            // rate, so a steady stream stays steady — just offset by
+            // one store-and-forward latency.
+            wires_.push_back(std::make_unique<nic::Wire>(
+                *sl.eq, tor_->eq, *engine_, sl.index, tor_->index, wp));
+            srv_wire = wires_.back().get();
+            tor_srv = &tor_->addPort();
+            wires_.push_back(std::make_unique<nic::Wire>(
+                *cl.eq, tor_->eq, *engine_, cl.index, tor_->index, wp));
+            cli_wire = wires_.back().get();
+            tor_cli = &tor_->addPort();
+        } else {
+            wires_.push_back(std::make_unique<nic::Wire>(
+                *sl.eq, *cl.eq, *engine_, sl.index, cl.index, wp));
+            srv_wire = cli_wire = wires_.back().get();
+        }
 
         ClientPort cp;
         nic::PlainNic::Params cnp;
@@ -247,19 +347,49 @@ Testbed::buildSharded()
         cp.drv->init();
         cp.stack = std::make_unique<guest::NetStack>(*cp.kern);
         cp.stack->attachDevice(*cp.drv);
-        wires_.back()->connect(*server_end, *cp.nic);
-        server_end->attachWire(*wires_.back());
-        cp.nic->attachWire(*wires_.back());
+        if (tor_) {
+            srv_wire->connect(*server_end, *tor_srv);
+            cli_wire->connect(*cp.nic, *tor_cli);
+            server_end->attachWire(*srv_wire);
+            cp.nic->attachWire(*cli_wire);
+            // Routes: the client NIC's MAC answers on its uplink; the
+            // guests behind this port register in addGuest against the
+            // server downlink recorded here.
+            tor_->addRoute(dcfg.mac, *cli_wire, *tor_cli);
+            tor_->server_down.push_back(
+                TorRelay::Link{srv_wire, tor_srv});
+        } else {
+            srv_wire->connect(*server_end, *cp.nic);
+            server_end->attachWire(*srv_wire);
+            cp.nic->attachWire(*srv_wire);
+        }
 
         // Each island stamps into its own tracer (shard-half mode);
         // pathSnapshot() joins the halves by trace id. Registration
         // order per tracer is build order, as in the legacy build.
         server_end->setPathTracer(sl.pt.get());
-        wires_.back()->setShardPathTracers(
-            sl.pt.get(),
-            sl.pt->registerComponent("wire" + std::to_string(i)),
-            cl.pt.get(),
-            cl.pt->registerComponent("wire" + std::to_string(i)));
+        if (tor_) {
+            srv_wire->setShardPathTracers(
+                sl.pt.get(),
+                sl.pt->registerComponent("wire" + std::to_string(i)
+                                         + ".s"),
+                &tor_->pt,
+                tor_->pt.registerComponent("wire" + std::to_string(i)
+                                           + ".s"));
+            cli_wire->setShardPathTracers(
+                cl.pt.get(),
+                cl.pt->registerComponent("wire" + std::to_string(i)
+                                         + ".c"),
+                &tor_->pt,
+                tor_->pt.registerComponent("wire" + std::to_string(i)
+                                           + ".c"));
+        } else {
+            srv_wire->setShardPathTracers(
+                sl.pt.get(),
+                sl.pt->registerComponent("wire" + std::to_string(i)),
+                cl.pt.get(),
+                cl.pt->registerComponent("wire" + std::to_string(i)));
+        }
         cp.nic->setPathTracer(cl.pt.get());
         cp.drv->setPathTracer(
             cl.pt.get(),
@@ -285,6 +415,47 @@ Testbed::buildSharded()
         tapRouter(sl, "server.intr");
         tapRouter(cl, "client.intr");
     }
+}
+
+// simlint: fluid-settle
+void
+Testbed::buildShardedFluid()
+{
+    // Every island gets its own ledger — in Exact mode too, so the
+    // window quantization the senders and NICs derive from it is the
+    // same whether or not the coordinator later warps (On and Exact
+    // share a schedule, the byte-identity contract).
+    const unsigned isles = engine_->islandCount();
+    island_ledgers_.reserve(isles);
+    for (unsigned i = 0; i < isles; ++i) {
+        island_ledgers_.push_back(std::make_unique<sim::FlowLedger>());
+        engine_->setIslandLedger(i, island_ledgers_.back().get());
+    }
+    if (sim::fluidMode() != sim::FluidMode::On)
+        return;
+    // Same opacity rule as the legacy gate: netback batches capture
+    // frame vectors a warp cannot rewrite. A sharded build refuses PV
+    // guests so the tag should never fire — the gate is the safety
+    // net, not the policy.
+    auto gate = [this]() {
+        static const char *const opaque[] = {"dom0-netback"};
+        for (Island &s : slices_) {
+            for (unsigned i = 0; i < s.hv->pcpuCount(); ++i) {
+                if (s.hv->pcpu(i).hasWorkTagged(opaque, 1))
+                    return false;
+            }
+        }
+        for (Island &c : client_islands_) {
+            for (unsigned i = 0; i < c.hv->pcpuCount(); ++i) {
+                if (c.hv->pcpu(i).hasWorkTagged(opaque, 1))
+                    return false;
+            }
+        }
+        return true;
+    };
+    coordinator_ = std::make_unique<WarpCoordinator>(
+        *engine_, [this](sim::FluidVisitor &v) { fluidVisit(v); },
+        std::move(gate));
 }
 
 Testbed::~Testbed() = default;
@@ -365,7 +536,12 @@ void
 Testbed::run(sim::Time dt)
 {
     if (engine_) {
-        engine_->runUntil(now() + dt);
+        // With the coordinator installed the run is sliced into exact
+        // stretches and closed-form warps; without it, one engine run.
+        if (coordinator_)
+            coordinator_->runUntil(now() + dt);
+        else
+            engine_->runUntil(now() + dt);
         return;
     }
     eq_.runUntil(eq_.now() + dt);
@@ -397,11 +573,13 @@ Testbed::pathSnapshot() const
     if (!engine_)
         return pathtrace_->snapshot();
     std::vector<const obs::PathTracer *> parts;
-    parts.reserve(slices_.size() + client_islands_.size());
+    parts.reserve(slices_.size() + client_islands_.size() + 1);
     for (const Island &s : slices_)
         parts.push_back(s.pt.get());
     for (const Island &c : client_islands_)
         parts.push_back(c.pt.get());
+    if (tor_)
+        parts.push_back(&tor_->pt);
     return obs::PathTracer::mergeShards(parts);
 }
 
@@ -463,6 +641,10 @@ Testbed::addGuest(vmm::DomainType type, NetMode mode,
     g->mac = guestMac(idx);
     g->port = port;
     g->mode = mode;
+    if (tor_) {
+        tor_->addRoute(g->mac, *tor_->server_down.at(port).wire,
+                       *tor_->server_down.at(port).end);
+    }
     g->dom = &hv.createDomain("vm" + std::to_string(idx), type,
                               params_.guest_mem);
     g->kern = std::make_unique<guest::GuestKernel>(hv, *g->dom, kv);
@@ -538,13 +720,24 @@ guest::UdpStreamSender &
 Testbed::startUdpToGuest(Guest &g, double offered_bps,
                          std::uint32_t payload)
 {
+    return startUdpToGuestFrom(g.port, g, offered_bps, payload);
+}
+
+guest::UdpStreamSender &
+Testbed::startUdpToGuestFrom(unsigned client_port, Guest &g,
+                             double offered_bps, std::uint32_t payload)
+{
     sim::EventQueue &rx_eq = engine_ ? *slices_[g.port].eq : eq_;
-    sim::EventQueue &tx_eq = engine_ ? *client_islands_[g.port].eq : eq_;
+    sim::EventQueue &tx_eq =
+        engine_ ? *client_islands_[client_port].eq : eq_;
+    if (client_port != g.port && !tor_)
+        sim::fatal("cross-port stream needs the ToR relay "
+                   "(Params.num_hosts > 1)");
     if (!g.rx) {
         g.rx = std::make_unique<guest::StreamReceiver>(
             rx_eq, *g.stack, guest::StreamReceiver::Proto::Udp);
     }
-    auto &cs = *client_ports_.at(g.port).stack;
+    auto &cs = *client_ports_.at(client_port).stack;
     udp_senders_.push_back(std::make_unique<guest::UdpStreamSender>(
         tx_eq, cs, g.mac, offered_bps, payload,
         std::uint32_t(guests_.size())));
@@ -971,8 +1164,60 @@ Testbed::obsFor(unsigned port)
 void
 Testbed::fluidVisit(sim::FluidVisitor &v)
 {
-    if (engine_)
-        sim::fatal("sharded testbed: fluid mode is per-queue");
+    if (engine_) {
+        // Sharded walk, island build order (slices then clients, the
+        // engine index order) — only legal at a quiescent barrier:
+        // wires_ includes the cross-island channels' in-flight frames.
+        // The partition is fixed for every shard count >= 1, so the
+        // slot sequence — and with it every warp decision — is
+        // byte-identical across shard counts.
+        for (Island &s : slices_) {
+            s.hv->fluidVisit(v);
+            s.dom0->fluidVisit(v);
+        }
+        for (Island &c : client_islands_)
+            c.hv->fluidVisit(v);
+        for (auto &n : ports_)
+            n->fluidVisit(v);
+        for (auto &w : wires_)
+            w->fluidVisit(v);
+        // The ToR relay is stateless between wire hops; its drop
+        // counter is the only scalar (zero-delta when nothing is
+        // misrouted, and any misroute mid-probe rightly fails the
+        // certificate).
+        if (tor_)
+            v.u64("tor.unroutable", tor_->unroutable_drops);
+        for (auto &pf : pf_drivers_)
+            pf->fluidVisit(v);
+        for (ClientPort &cp : client_ports_) {
+            cp.nic->fluidVisit(v);
+            cp.kern->fluidVisit(v);
+            cp.drv->fluidVisit(v);
+            cp.stack->fluidVisit(v);
+        }
+        for (auto &gp : guests_) {
+            Guest &g = *gp;
+            g.kern->fluidVisit(v);
+            g.stack->fluidVisit(v);
+            if (g.vf)
+                g.vf->fluidVisit(v);
+            if (g.rx)
+                g.rx->fluidVisit(v);
+        }
+        for (auto &s : udp_senders_)
+            s->fluidVisit(v);
+        for (auto &s : tcp_senders_)
+            s->fluidVisit(v);
+        for (Island &s : slices_) {
+            if (!s.obs)
+                continue;
+            s.obs->intr_latency_us.fluidVisit(v, "obs.intr_latency");
+            for (auto &h : s.obs->exit_cost_cycles)
+                h.fluidVisit(v, "obs.exit_cost");
+            s.obs->ring_occupancy.fluidVisit(v, "obs.ring_occupancy");
+        }
+        return;
+    }
     // Build order, so the slot sequence is reproducible run to run.
     server_->fluidVisit(v);
     client_->fluidVisit(v);

@@ -42,6 +42,7 @@
 #include "core/aic.hpp"
 #include "core/fluid_path.hpp"
 #include "core/iov_manager.hpp"
+#include "core/warp_coordinator.hpp"
 #include "core/optimizations.hpp"
 #include "drivers/native_driver.hpp"
 #include "drivers/netback.hpp"
@@ -72,6 +73,15 @@ class Testbed
     struct Params
     {
         unsigned num_ports = 10;
+        /**
+         * Hosts in the rack (sharded builds only; legacy refuses > 1).
+         * Each host is a full server replica — num_ports ports, their
+         * slices and client islands — and every wire runs through one
+         * top-of-rack relay island that forwards frames by a static
+         * MAC table, so any client port can reach any host's guest.
+         * Global port g = host * num_ports + local port.
+         */
+        unsigned num_hosts = 1;
         double line_bps = 1e9;
         unsigned vfs_per_port = 7;
         vmm::CostModel costs{};
@@ -143,6 +153,12 @@ class Testbed
     /** @name Workloads (client netperf toward a guest). @{ */
     guest::UdpStreamSender &startUdpToGuest(Guest &g, double offered_bps,
                                             std::uint32_t payload = 1472);
+    /** Same stream, sourced from an explicit client port — on a
+     *  multi-host testbed a port of *another* host sends through the
+     *  ToR relay (the cross-host path). */
+    guest::UdpStreamSender &startUdpToGuestFrom(
+        unsigned client_port, Guest &g, double offered_bps,
+        std::uint32_t payload = 1472);
     guest::TcpStreamSender &startTcpToGuest(
         Guest &g, std::uint32_t window = 120832,
         std::uint32_t payload = 1448);
@@ -264,18 +280,38 @@ class Testbed
      * With sim::fluidEnabled() at construction, a legacy-mode testbed
      * installs a FluidDirector on its queue: senders and NIC raise
      * streams feed the process-global ledger, and verified-periodic
-     * stretches of the schedule are warped in closed form. Sharded
-     * builds run exact (the conservative engine owns the clocks).
+     * stretches of the schedule are warped in closed form. A sharded
+     * build gives every island its own FlowLedger (installed as the
+     * thread-local override while that island executes) and, in
+     * FluidMode::On, a WarpCoordinator that composes the two
+     * accelerators: run() goes through it, and globally certified
+     * stretches warp every island, ledger and cross-island channel in
+     * lockstep at quiescent barriers (DESIGN.md §15).
      * @{
      */
 
     /** Full fluid state walk over every component (pure visitation;
      *  the exact order is the build order, so slot sequences are
-     *  reproducible across runs). Legacy mode only. */
+     *  reproducible across runs). In sharded mode the walk also covers
+     *  the cross-island channels and is only legal at a barrier. */
     void fluidVisit(sim::FluidVisitor &v);
 
     /** The installed director (null: fluid off or sharded build). */
     FluidDirector *fluidDirector() { return fluid_.get(); }
+
+    /** The cross-shard coordinator (null unless sharded + mode On). */
+    WarpCoordinator *warpCoordinator() { return coordinator_.get(); }
+
+    /** Warp statistics from whichever accelerator is installed
+     *  (director or coordinator); null when neither warps. */
+    const sim::FluidStats *fluidStats() const
+    {
+        if (fluid_)
+            return &fluid_->stats();
+        if (coordinator_)
+            return &coordinator_->stats();
+        return nullptr;
+    }
 
     /** @} */
 
@@ -333,6 +369,7 @@ class Testbed
     void installRingObs(ObsHooks &obs, nic::NicPort &nic);
     void buildLegacy();
     void buildSharded();
+    void buildShardedFluid();
     Island &serverSlice(unsigned port) { return slices_.at(port); }
     Island &clientIsland(unsigned port)
     {
@@ -350,7 +387,19 @@ class Testbed
      *  destroyed after) the NICs, drivers and guests built on them. */
     std::vector<Island> slices_;
     std::vector<Island> client_islands_;
+    /** Multi-host builds: the top-of-rack relay island (its queue,
+     *  tracer, per-wire endpoints and the static MAC table). Declared
+     *  with the islands so its queue outlives the wires bound to it. */
+    struct TorRelay;
+    std::unique_ptr<TorRelay> tor_;
     std::unique_ptr<sim::ShardEngine> engine_;
+    /** Sharded fluid builds: one ledger per engine island (slices
+     *  0..P-1, clients P..2P-1), installed via setIslandLedger so the
+     *  datapath reports into the owning island's ledger. Components
+     *  never hold ledger pointers (they re-resolve per call), so the
+     *  ledgers only need to outlive the runs, not the components. */
+    // simlint:allow(fluid-boundary): possession only; settled in .cpp
+    std::vector<std::unique_ptr<sim::FlowLedger>> island_ledgers_;
     std::unique_ptr<vmm::Hypervisor> server_;
     std::unique_ptr<vmm::Hypervisor> client_;
     std::unique_ptr<IovManager> iovm_;
@@ -375,6 +424,9 @@ class Testbed
     /** Fluid-mode director (legacy build + sim::fluidEnabled() only).
      *  Destroyed before the components its state walk references. */
     std::unique_ptr<FluidDirector> fluid_;
+    /** Cross-shard warp coordinator (sharded build + FluidMode::On).
+     *  Declared last for the same destruction-order reason. */
+    std::unique_ptr<WarpCoordinator> coordinator_;
 };
 
 } // namespace sriov::core

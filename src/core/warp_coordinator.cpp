@@ -1,0 +1,294 @@
+#include "core/warp_coordinator.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "core/fluid_path.hpp"
+#include "sim/log.hpp"
+#include "sim/trace.hpp"
+
+namespace sriov::core {
+
+WarpCoordinator::WarpCoordinator(sim::ShardEngine &engine, StateWalk walk,
+                                 WarpGate gate)
+    : WarpCoordinator(engine, std::move(walk), std::move(gate), Config{})
+{
+}
+
+WarpCoordinator::WarpCoordinator(sim::ShardEngine &engine, StateWalk walk,
+                                 WarpGate gate, Config cfg)
+    : engine_(engine), walk_(std::move(walk)), gate_(std::move(gate)),
+      cfg_(cfg)
+{
+    if (engine_.islandCount() == 0)
+        sim::fatal("warp coordinator: engine has no islands");
+}
+
+sim::Time
+WarpCoordinator::now() const
+{
+    // At a barrier every island clock is pinned to the same instant;
+    // island 0 speaks for all of them.
+    return const_cast<sim::ShardEngine &>(engine_).islandQueue(0).now();
+}
+
+bool
+WarpCoordinator::ledgersSteady() const
+{
+    // liveSteady() (not allSteady()) per ledger: an island whose flows
+    // all ended — or that never had any, like a slice whose port hosts
+    // no guests — is vacuously steady and must not veto the global
+    // warp. At least one island has to be carrying live traffic,
+    // though, or there is nothing to certify against.
+    std::size_t live = 0;
+    for (unsigned i = 0; i < engine_.islandCount(); ++i) {
+        const sim::FlowLedger *l = engine_.islandLedger(i);
+        if (l == nullptr)
+            continue;
+        if (!l->liveSteady())
+            return false;
+        live += l->liveFlows();
+    }
+    return live > 0;
+}
+
+sim::Time
+WarpCoordinator::globalPeriod() const
+{
+    // Global hyperperiod: LCM of the per-island hyperperiods. Edge
+    // traffic needs no separate term — every cross-island stream's
+    // delivery grid is registered as a flow on the receiving island
+    // (nic::Wire::deliverShard), so each edge period already divides
+    // both endpoint islands' periods.
+    std::int64_t lcm = 0;
+    for (unsigned i = 0; i < engine_.islandCount(); ++i) {
+        const sim::FlowLedger *l = engine_.islandLedger(i);
+        if (l == nullptr || l->liveFlows() == 0)
+            continue;
+        sim::Time p = l->commonPeriod(cfg_.period_cap);
+        if (p <= sim::Time())
+            return sim::Time();
+        lcm = lcm == 0 ? p.picos() : std::lcm(lcm, p.picos());
+        if (lcm <= 0 || lcm > cfg_.period_cap.picos())
+            return sim::Time();
+    }
+    return sim::Time::ps(lcm);
+}
+
+void
+WarpCoordinator::runUntil(sim::Time deadline)
+{
+    while (true) {
+        const sim::Time t = now();
+        if (t >= deadline)
+            break;
+        if (t >= backoff_until_ && ledgersSteady()) {
+            sim::Time base = globalPeriod();
+            if (base > sim::Time()) {
+                sim::Time period = sim::Time::ps(base.picos() * mult_);
+                if (period > cfg_.period_cap) {
+                    // The multiplier outgrew the cap at this base
+                    // period: restart the scan (cf. FluidDirector).
+                    mult_ = 1;
+                    period = base;
+                }
+                // A cycle runs two exact periods before it can warp;
+                // probe only while the warp itself still fits.
+                if ((deadline - t).picos()
+                    >= period.picos() * (2 + cfg_.min_periods)) {
+                    probeCycle(deadline, period);
+                    continue;
+                }
+            }
+        }
+        // Not warpable from here: execute an exact slice and
+        // re-evaluate at the next barrier. While backing off there is
+        // no point stopping earlier than the back-off horizon.
+        sim::Time target = t + cfg_.poll_chunk;
+        if (backoff_until_ > target)
+            target = backoff_until_;
+        engine_.runUntil(std::min(target, deadline));
+    }
+    // Pin every island (and the engine's floors) to the deadline even
+    // when a warp already landed us exactly on it.
+    engine_.runUntil(deadline);
+}
+
+bool
+WarpCoordinator::probeCycle(sim::Time deadline, sim::Time period)
+{
+    stats_.probes++;
+    const unsigned isles = engine_.islandCount();
+    const sim::Time t0 = now();
+
+    s0_ = std::make_unique<sim::FluidVisitor>(
+        sim::FluidVisitor::Pass::Capture);
+    walk_(*s0_);
+
+    engine_.runUntil(t0 + period);
+    if (!ledgersSteady()) {
+        reject("transition reported mid-cycle");
+        return false;
+    }
+    s1_ = std::make_unique<sim::FluidVisitor>(
+        sim::FluidVisitor::Pass::Capture);
+    walk_(*s1_);
+    std::string why;
+    if (!s1_->verifyAgainst(*s0_, nullptr, &why)) {
+        reject(std::move(why));
+        return false;
+    }
+    e1_.assign(isles, {});
+    for (unsigned i = 0; i < isles; ++i)
+        engine_.islandQueue(i).snapshotPending(e1_[i]);
+    const std::uint64_t exec_s1 = engine_.executedEvents();
+
+    engine_.runUntil(t0 + period + period);
+    if (!ledgersSteady()) {
+        reject("transition reported mid-cycle");
+        return false;
+    }
+    s2_ = std::make_unique<sim::FluidVisitor>(
+        sim::FluidVisitor::Pass::Capture);
+    walk_(*s2_);
+    if (!s2_->verifyAgainst(*s1_, s0_.get(), &why)) {
+        reject(std::move(why));
+        return false;
+    }
+    e2_.assign(isles, {});
+    shift_keys_.assign(isles, {});
+    sim::Time abs_bound = sim::Time::max();
+    for (unsigned i = 0; i < isles; ++i) {
+        engine_.islandQueue(i).snapshotPending(e2_[i]);
+        if (!classifyIsland(i, period, &abs_bound, &why)) {
+            reject(std::move(why));
+            return false;
+        }
+    }
+
+    const sim::Time t2 = now();
+    const std::int64_t np = period.picos();
+    std::int64_t n = (deadline - t2).picos() / np;
+    if (abs_bound != sim::Time::max())
+        n = std::min(n, (abs_bound - t2).picos() / np);
+    if (n < cfg_.min_periods) {
+        reject("warp horizon too near");
+        return false;
+    }
+    if (gate_ && !gate_()) {
+        reject("opaque CPU work in flight");
+        return false;
+    }
+
+    // Unlike the director there is no probe event to discount: the
+    // second period ran wall-to-wall simulation events only.
+    const std::uint64_t per_period = engine_.executedEvents() - exec_s1;
+    sim::FluidVisitor apply(sim::FluidVisitor::Pass::Apply);
+    apply.armApply(*s1_, *s2_, n);
+    walk_(apply);
+    const sim::Time delta = sim::Time::ps(n * np);
+    for (unsigned i = 0; i < isles; ++i) {
+        if (sim::FlowLedger *l = engine_.islandLedger(i))
+            l->warpBy(delta);
+        // No schedule/cancel since snapshotPending() (the walk is pure
+        // visitation), so the S2 key indices are still valid.
+        engine_.islandQueue(i).fluidWarp(delta, shift_keys_[i]);
+    }
+    engine_.fluidWarp(delta);
+
+    stats_.segments++;
+    stats_.periods_warped += std::uint64_t(n);
+    stats_.warped = stats_.warped + delta;
+    stats_.events_elided += per_period * std::uint64_t(n);
+    SRIOV_TRACE(sim::TraceCat::Driver,
+                "warp-coordinator: warped %lld periods of %s across %u "
+                "islands (~%llu events)",
+                static_cast<long long>(n), period.toString().c_str(),
+                isles,
+                static_cast<unsigned long long>(per_period
+                                                * std::uint64_t(n)));
+    consecutive_rejects_ = 0;
+    last_reject_.clear();
+    s0_.reset();
+    s1_.reset();
+    s2_.reset();
+    e1_.clear();
+    e2_.clear();
+    return true;
+}
+
+bool
+WarpCoordinator::classifyIsland(unsigned island, sim::Time period,
+                                sim::Time *abs_bound, std::string *why)
+{
+    // The director's pending-event classifier, per island. Both
+    // barriers are exactly one period apart, so a periodic process
+    // pends at the same relative offset in e1 and e2; the same-seq
+    // same-when test finds absolute events; anything else rejects.
+    const sim::Time t2 = engine_.islandQueue(island).now();
+    const sim::Time t1 = t2 - period;
+
+    std::unordered_map<std::uint64_t, sim::Time> still;
+    still.reserve(e1_[island].size());
+    std::map<std::pair<std::string_view, std::int64_t>, int> rel1;
+    for (const auto &e : e1_[island]) {
+        still.emplace(e.seq, e.when);
+        rel1[{std::string_view(e.tag), (e.when - t1).picos()}]++;
+    }
+
+    for (const auto &e : e2_[island]) {
+        auto s = still.find(e.seq);
+        if (s != still.end() && s->second == e.when) {
+            *abs_bound = std::min(*abs_bound, e.when);
+            continue;
+        }
+        auto r = rel1.find({std::string_view(e.tag),
+                            (e.when - t2).picos()});
+        if (r != rel1.end() && r->second > 0) {
+            --r->second;
+            if (!FluidDirector::shiftSafeTag(e.tag)) {
+                *why = std::string("periodic event '") + e.tag
+                    + "' carries opaque captures";
+                return false;
+            }
+            shift_keys_[island].push_back(e.key_index);
+            continue;
+        }
+        *why = std::string("unmatched pending event '") + e.tag + "'";
+        return false;
+    }
+    return true;
+}
+
+void
+WarpCoordinator::reject(std::string why)
+{
+    stats_.rejected++;
+    last_reject_ = std::move(why);
+    SRIOV_TRACE(sim::TraceCat::Driver,
+                "warp-coordinator: cycle rejected: %s",
+                last_reject_.c_str());
+    s0_.reset();
+    s1_.reset();
+    s2_.reset();
+    e1_.clear();
+    e2_.clear();
+    shift_keys_.clear();
+    if (mult_ < cfg_.max_mult) {
+        // Interacting grids often repeat only at a small multiple of
+        // the base hyperperiod: scan upward before backing off.
+        ++mult_;
+        return;
+    }
+    mult_ = 1;
+    unsigned shift = std::min(consecutive_rejects_, kMaxBackoffShift);
+    ++consecutive_rejects_;
+    backoff_until_ =
+        now() + sim::Time::ps(cfg_.backoff.picos() << shift);
+}
+
+} // namespace sriov::core

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * WarpCoordinator: coordinated cross-shard fluid warping.
+ *
+ * The FluidDirector (core/fluid_path.hpp) warps a single event queue
+ * from inside the schedule: it rides its own probe events. A sharded
+ * testbed has no single schedule — one queue per island, conservative
+ * promise-clock sync between them — and injecting per-island probe
+ * events would (a) change each island's event sequence, breaking the
+ * exact-vs-on byte-identity contract, and (b) race the warp against
+ * in-flight channel messages. The coordinator instead drives the
+ * ShardEngine in slices and probes only at *quiescent barriers*: the
+ * instants between engine.runUntil() calls, when every island clock is
+ * pinned to the same time, no worker threads are running, and every
+ * cross-island message due at or before the barrier has been
+ * delivered. Because the conservative schedule is a pure function of
+ * simulated times, slicing a run into chunks executes the identical
+ * per-island event sequences as one big runUntil — the probe is
+ * invisible to the schedule, which is exactly why sharded fluid-on
+ * digests stay byte-identical across shard counts.
+ *
+ * A cycle is the director's three-capture protocol lifted to the
+ * global state: the walk covers every island's components *and* every
+ * cross-island channel's in-flight messages (occupancy is an
+ * invariant slot, each due instant a time-point slot — a steady
+ * edge's population repeats with the hyperperiod, every due advancing
+ * by exactly P). Steadiness is certified per island ledger (islands
+ * with no live flows are vacuously steady) and the global hyperperiod
+ * is the LCM of the per-island hyperperiods; edge periods divide the
+ * sending island's period (every channel message is pushed by a
+ * ledger-tracked flow), so the LCM covers them by construction. The
+ * warp executes at the barrier: slots += n * delta via the apply
+ * walk (channel dues shift with everything else), each island's heap
+ * keys and clock shift by n * P, the engine's promise/floor clocks
+ * shift in lockstep, and the conservative protocol resumes untouched.
+ */
+
+#ifndef SRIOV_CORE_WARP_COORDINATOR_HPP
+#define SRIOV_CORE_WARP_COORDINATOR_HPP
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/fluid.hpp"
+#include "sim/shard_engine.hpp"
+
+namespace sriov::core {
+
+class WarpCoordinator
+{
+  public:
+    struct Config
+    {
+        /** Exact-execution slice while waiting for steadiness. Much
+         *  coarser than the director's poll: every engine.runUntil()
+         *  spawns and joins worker threads, so sub-ms slices would
+         *  drown the run in scheduling overhead. Off the ms grid so a
+         *  barrier never lands exactly on a schedule instant while the
+         *  ledgers are still settling. */
+        sim::Time poll_chunk = sim::Time::us(997);
+        /** Base back-off after a rejected cycle (doubles per
+         *  consecutive rejection, capped at kMaxBackoffShift). */
+        sim::Time backoff = sim::Time::ms(5);
+        /** Largest global hyperperiod worth probing. */
+        sim::Time period_cap = sim::Time::ms(50);
+        /** Period-multiplier scan bound (m * P for m = 1..max_mult). */
+        unsigned max_mult = 8;
+        /** Smallest warp worth applying (in periods). */
+        std::int64_t min_periods = 2;
+    };
+
+    static constexpr unsigned kMaxBackoffShift = 6;
+
+    /** Global state walk: every island's components, build order,
+     *  including cross-island channel contents. MUST be pure
+     *  visitation — no scheduling, no sends, no ledger updates. */
+    using StateWalk = std::function<void(sim::FluidVisitor &)>;
+
+    /** Extra warp gate, checked after verification (see
+     *  FluidDirector::WarpGate). Null = always allow. */
+    using WarpGate = std::function<bool()>;
+
+    /**
+     * The engine's islands must already carry their ledgers
+     * (ShardEngine::setIslandLedger) — the coordinator reads them for
+     * steadiness and shifts them on a warp, but owns none of them.
+     */
+    WarpCoordinator(sim::ShardEngine &engine, StateWalk walk,
+                    WarpGate gate);
+    WarpCoordinator(sim::ShardEngine &engine, StateWalk walk,
+                    WarpGate gate, Config cfg);
+
+    WarpCoordinator(const WarpCoordinator &) = delete;
+    WarpCoordinator &operator=(const WarpCoordinator &) = delete;
+
+    /**
+     * Drive every island to @p deadline, warping over certified
+     * periodic stretches. Equivalent to engine.runUntil(deadline) in
+     * every observable counter (the exact-vs-on contract); only the
+     * number of executed events differs.
+     */
+    void runUntil(sim::Time deadline);
+
+    const sim::FluidStats &stats() const { return stats_; }
+
+    /** Diagnostics: why the most recent cycle failed ("" if none). */
+    const std::string &lastReject() const { return last_reject_; }
+
+  private:
+    sim::Time now() const;
+    /** Every island ledger steady (empty islands vacuously so), and at
+     *  least one island has live flows. */
+    bool ledgersSteady() const;
+    /** LCM of the per-island hyperperiods; Time() when unsteady or
+     *  over the cap. */
+    sim::Time globalPeriod() const;
+    /** Run one three-capture cycle from the current barrier. Returns
+     *  true if a warp was applied (state advanced past the probes). */
+    bool probeCycle(sim::Time deadline, sim::Time period);
+    bool classifyIsland(unsigned island, sim::Time period,
+                        sim::Time *abs_bound, std::string *why);
+    void reject(std::string why);
+
+    sim::ShardEngine &engine_;
+    StateWalk walk_;
+    WarpGate gate_;
+    Config cfg_;
+    sim::FluidStats stats_;
+
+    unsigned mult_ = 1;
+    unsigned consecutive_rejects_ = 0;
+    sim::Time backoff_until_;
+    std::string last_reject_;
+
+    /** Per-cycle scratch (index = engine island index). */
+    std::unique_ptr<sim::FluidVisitor> s0_, s1_, s2_;
+    std::vector<std::vector<sim::EventQueue::PendingEvent>> e1_, e2_;
+    std::vector<std::vector<std::uint32_t>> shift_keys_;
+};
+
+} // namespace sriov::core
+
+#endif // SRIOV_CORE_WARP_COORDINATOR_HPP

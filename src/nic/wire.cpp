@@ -75,6 +75,21 @@ Wire::fluidVisit(sim::FluidVisitor &v)
         v.inv("wire.starts", d.starts.size());
         for (std::size_t i = 0; i < d.starts.size(); ++i)
             v.time("wire.start", d.starts[i]);
+        if (d.chan != nullptr) {
+            // Cross-island channel contents. Only legal at a quiescent
+            // barrier (no producer/consumer running): each in-flight
+            // message's due instant is a time-point slot — a steady
+            // flow's channel population is periodic, so occupancy is
+            // invariant and every due shifts by exactly one period —
+            // and its frame aligns by FIFO position like any ring.
+            const std::size_t n = d.chan->pendingCount();
+            v.inv("wire.chan", n);
+            for (std::size_t i = 0; i < n; ++i) {
+                auto &e = d.chan->pendingEntry(i);
+                v.i64("wire.chan_due", e.due_ps);
+                fluidVisitPacket(v, "wire.chan_pkt", e.payload.pkt);
+            }
+        }
     }
 }
 
@@ -220,6 +235,7 @@ Wire::pushShard(unsigned dir, const Packet &pkt, sim::Time due)
     dirs_[dir].chan->push(due, ShardMsg{pkt});
 }
 
+// simlint: fluid-settle
 void
 Wire::deliverShard(void *ctx, sim::Time due, const ShardMsg &msg)
 {
@@ -230,6 +246,32 @@ Wire::deliverShard(void *ctx, sim::Time due, const ShardMsg &msg)
     const unsigned dir = r->dir;
     const unsigned rx = dir ^ 1u;    // receiver side of direction dir
     w.delivered_[dir].inc();
+    if (sim::FlowLedger *l = sim::fluidLedger()) {
+        // The edge traffic pattern as a steadiness certificate input:
+        // a steady sender's analytic delivery instants are themselves
+        // exactly periodic, so each cross-island stream registers as a
+        // Source flow on the *receiving* island's ledger — the island
+        // that never sees the sender directly still locks its device
+        // cadence (ITR windows) onto the arrival grid, and the global
+        // hyperperiod covers the edge period by construction.
+        Direction &d = w.dirs_[dir];
+        const std::uint64_t key =
+            (std::uint64_t(msg.pkt.kind) << 32) | msg.pkt.flow;
+        int id = -1;
+        for (const auto &[k, fid] : d.rx_flows) {
+            if (k == key) {
+                id = fid;
+                break;
+            }
+        }
+        if (id < 0) {
+            // simlint:allow(hot-path-alloc): first frame of a stream only
+            id = int(l->addFlow("wire.rx-" + std::to_string(key),
+                                sim::FlowKind::Source));
+            d.rx_flows.emplace_back(key, id);
+        }
+        l->onSend(unsigned(id), due);
+    }
     if (w.pt_side_[rx])
         w.pt_side_[rx]->record(w.pt_comp_side_[rx],
                                obs::PathStage::WireRx,

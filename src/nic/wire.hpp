@@ -38,6 +38,9 @@
 #ifndef SRIOV_NIC_WIRE_HPP
 #define SRIOV_NIC_WIRE_HPP
 
+#include <utility>
+#include <vector>
+
 #include "nic/packet.hpp"
 #include "obs/pathtrace.hpp"
 #include "sim/event_queue.hpp"
@@ -194,6 +197,10 @@ class Wire
         sim::RingBuf<sim::Time> starts;
         std::unique_ptr<sim::ShardChannel<ShardMsg>> chan;
         DirRef ref;
+        /** Receiver-side stream -> ledger flow id: each cross-island
+         *  stream's delivery instants register as a Source flow on the
+         *  receiving island's ledger (the edge grid certificate). */
+        std::vector<std::pair<std::uint64_t, int>> rx_flows;
     };
 
     void startNext(unsigned dir);

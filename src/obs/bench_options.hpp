@@ -70,8 +70,9 @@ class BenchOptions
      *  the same fluid schedule without warping (the equivalence
      *  reference). Off by default; --fluid=off preserves reports
      *  bit-for-bit. parse() applies it to the global
-     *  sim::setFluidMode switch before any testbed exists. Ignored
-     *  (exact per-packet) on sharded builds. */
+     *  sim::setFluidMode switch before any testbed exists. Composes
+     *  with --shards=N: sharded builds warp at quiescent barriers via
+     *  the WarpCoordinator (DESIGN.md §15). */
     bool fluid() const { return fluid_mode_ != sim::FluidMode::Off; }
     sim::FluidMode fluidMode() const { return fluid_mode_; }
     /** "off" | "exact" | "on" — for the perf sidecar. */

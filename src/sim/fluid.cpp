@@ -11,6 +11,14 @@ namespace sriov::sim {
 namespace {
 FluidMode g_fluid_mode = FluidMode::Off;
 FlowLedger *g_fluid_ledger = nullptr;
+/**
+ * Per-thread override for sharded builds: the ShardEngine installs the
+ * owning island's ledger around each advanceIsland() slice so datapath
+ * components — which re-resolve fluidLedger() on every call and cache
+ * only their flow id — report into their island's ledger with zero
+ * call-site changes. Null outside shard execution.
+ */
+thread_local FlowLedger *t_fluid_ledger = nullptr;
 } // namespace
 
 FluidMode
@@ -40,6 +48,8 @@ setFluid(bool enabled)
 FlowLedger *
 fluidLedger()
 {
+    if (t_fluid_ledger != nullptr)
+        return t_fluid_ledger;
     return g_fluid_ledger;
 }
 
@@ -47,6 +57,18 @@ void
 setFluidLedger(FlowLedger *l)
 {
     g_fluid_ledger = l;
+}
+
+FlowLedger *
+threadFluidLedger()
+{
+    return t_fluid_ledger;
+}
+
+void
+setThreadFluidLedger(FlowLedger *l)
+{
+    t_fluid_ledger = l;
 }
 
 // ---------------------------------------------------------------------
@@ -299,6 +321,27 @@ FlowLedger::flowSteady(unsigned flow) const
     const Flow &f = flows_.at(flow);
     return !f.ended && f.hold == 0 && f.equal_gaps >= kSteadyGaps
         && f.gap > Time();
+}
+
+std::size_t
+FlowLedger::liveFlows() const
+{
+    std::size_t live = 0;
+    for (const Flow &f : flows_) {
+        if (!f.ended)
+            ++live;
+    }
+    return live;
+}
+
+bool
+FlowLedger::liveSteady() const
+{
+    for (unsigned i = 0; i < flows_.size(); ++i) {
+        if (!flows_[i].ended && !flowSteady(i))
+            return false;
+    }
+    return true;
 }
 
 bool

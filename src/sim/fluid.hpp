@@ -257,6 +257,18 @@ class FlowLedger
     bool flowSteady(unsigned flow) const;
     bool allSteady() const;
 
+    /** Flows not ended. */
+    std::size_t liveFlows() const;
+
+    /**
+     * Every live flow is steady — vacuously true with none live. The
+     * cross-island coordinator uses this per-island form: an idle
+     * island (no flows) must not veto a global warp, while allSteady()
+     * deliberately returns false for an empty ledger so the
+     * single-queue director never probes a flowless testbed.
+     */
+    bool liveSteady() const;
+
     /** The flow's locked inter-send gap (Time() when not steady). */
     Time flowGap(unsigned flow) const;
 
@@ -320,6 +332,34 @@ class FlowLedger
  */
 FlowLedger *fluidLedger();
 void setFluidLedger(FlowLedger *l);
+
+/**
+ * Thread-local ledger override for sharded builds. When set, it wins
+ * over the process-global ledger in fluidLedger(). The ShardEngine
+ * installs each island's ledger around the island's execution slice
+ * (and the WarpCoordinator around barrier-time walks), so every
+ * datapath transition/send lands in the ledger of the island that owns
+ * the component — with zero call-site changes, because components
+ * re-resolve fluidLedger() on every call and cache only their flow id.
+ */
+FlowLedger *threadFluidLedger();
+void setThreadFluidLedger(FlowLedger *l);
+
+/** RAII guard installing a thread-local ledger for a scope. */
+class ThreadLedgerScope
+{
+  public:
+    explicit ThreadLedgerScope(FlowLedger *l) : prev_(threadFluidLedger())
+    {
+        setThreadFluidLedger(l);
+    }
+    ~ThreadLedgerScope() { setThreadFluidLedger(prev_); }
+    ThreadLedgerScope(const ThreadLedgerScope &) = delete;
+    ThreadLedgerScope &operator=(const ThreadLedgerScope &) = delete;
+
+  private:
+    FlowLedger *prev_;
+};
 
 /** Report a non-flow-attributable transition to the installed ledger
  *  (no-op when none is installed). */

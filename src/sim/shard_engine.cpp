@@ -4,6 +4,7 @@
 #include <limits>
 #include <thread>
 
+#include "sim/fluid.hpp"
 #include "sim/log.hpp"
 
 namespace sriov::sim {
@@ -72,6 +73,43 @@ ShardEngine::promiseOf(unsigned island) const
         islands_.at(island).promise->v.load(std::memory_order_acquire));
 }
 
+void
+// simlint:allow(fluid-boundary): possession hand-off, no mutation
+ShardEngine::setIslandLedger(unsigned island, FlowLedger *ledger)
+{
+    islands_.at(island).ledger = ledger;
+}
+
+// simlint:allow(fluid-boundary): possession hand-off, no mutation
+FlowLedger *
+ShardEngine::islandLedger(unsigned island) const
+{
+    return islands_.at(island).ledger;
+}
+
+EventQueue &
+ShardEngine::islandQueue(unsigned island)
+{
+    return *islands_.at(island).eq;
+}
+
+void
+ShardEngine::fluidWarp(Time delta)
+{
+    const std::int64_t d = delta.picos();
+    for (Island &isl : islands_) {
+        const std::int64_t p =
+            isl.promise->v.load(std::memory_order_relaxed);
+        if (p > 0 && p < kPsMax)
+            isl.promise->v.store(satAdd(p, d),
+                                 std::memory_order_relaxed);
+        for (InEdge &e : isl.in) {
+            if (e.floor_ps > 0 && e.floor_ps < kPsMax)
+                e.floor_ps = satAdd(e.floor_ps, d);
+        }
+    }
+}
+
 bool
 ShardEngine::forcesSequential() const
 {
@@ -108,6 +146,10 @@ ShardEngine::foldedDigest() const
 std::uint64_t
 ShardEngine::advanceIsland(Island &isl, Time deadline, bool *moved)
 {
+    // Everything this slice executes — local events and the delivery
+    // cascades of channel heads — reports fluid sends/transitions into
+    // the owning island's ledger via the thread-local override.
+    ThreadLedgerScope ledger_scope(isl.ledger);
     EventQueue &eq = *isl.eq;
     const std::int64_t dl = deadline.picos();
     std::uint64_t n = 0;
@@ -305,11 +347,21 @@ ShardEngine::runUntil(Time deadline)
         // Deterministic round-robin of whole components over workers —
         // in this repo's topology (per-port server/client pairs) the
         // workers then share nothing and the speedup is bounded only
-        // by component balance.
+        // by component balance. A hub topology (the multi-host ToR
+        // relay) fuses everything into fewer components than workers;
+        // then the only parallelism left is *inside* a component, so
+        // fall back to round-robin of islands — promises and floors
+        // are already cross-thread safe, and the idle/yield loop below
+        // absorbs the waits. Either grouping affects wall clock only.
         std::vector<std::vector<unsigned>> owned(w);
-        for (std::size_t c = 0; c < comps.size(); ++c) {
-            for (unsigned i : comps[c])
-                owned[c % w].push_back(i);
+        if (comps.size() >= w) {
+            for (std::size_t c = 0; c < comps.size(); ++c) {
+                for (unsigned i : comps[c])
+                    owned[c % w].push_back(i);
+            }
+        } else {
+            for (std::size_t i = 0; i < islands_.size(); ++i)
+                owned[i % w].push_back(unsigned(i));
         }
 
         std::vector<std::thread> threads;

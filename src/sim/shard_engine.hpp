@@ -65,6 +65,9 @@
 
 namespace sriov::sim {
 
+// simlint:allow(fluid-boundary): forward declaration, no ledger access
+class FlowLedger;
+
 /**
  * Receiver-side view of a cross-island channel. The engine only needs
  * to peek at the head's due time and to deliver it; payload transport
@@ -151,14 +154,36 @@ class ShardChannel final : public ShardEdge
             != tail_.load(std::memory_order_acquire);
     }
 
-  private:
     struct Entry
     {
         std::int64_t due_ps = 0;
         T payload{};
     };
 
-    static std::size_t
+    /** @name Quiescent-barrier access for the fluid warp.
+     *
+     * Only legal while no producer or consumer thread is running (the
+     * WarpCoordinator's barrier): the in-flight entries are then plain
+     * data, visited as fluid slots (due times are linear in the warp
+     * delta, payloads are invariants) and shifted in lockstep with the
+     * island clocks. @{ */
+    std::size_t
+    pendingCount() const
+    {
+        return std::size_t(tail_.load(std::memory_order_acquire)
+                           - head_.load(std::memory_order_acquire));
+    }
+
+    Entry &
+    pendingEntry(std::size_t i)
+    {
+        const std::uint64_t h = head_.load(std::memory_order_relaxed);
+        return buf_[std::size_t(h + i) & mask_];
+    }
+    /** @} */
+
+  private:
+  static std::size_t
     roundPow2(std::size_t n)
     {
         std::size_t p = 1;
@@ -234,6 +259,32 @@ class ShardEngine
      *  island queue has an Observer or ExecHooks installed. */
     bool forcesSequential() const;
 
+    /**
+     * Give island @p island its own flow ledger. While the island
+     * executes (advanceIsland and the delivery cascades it triggers),
+     * the ledger is installed as the thread-local fluidLedger()
+     * override, so every datapath send/transition lands in the ledger
+     * of the island that owns the component. Null detaches.
+     */
+    // simlint:allow(fluid-boundary): declarations; settle sites in .cpp
+    void setIslandLedger(unsigned island, FlowLedger *ledger);
+    // simlint:allow(fluid-boundary): declarations; settle sites in .cpp
+    FlowLedger *islandLedger(unsigned island) const;
+
+    /** The island's event queue (for barrier-time warp surgery). */
+    EventQueue &islandQueue(unsigned island);
+
+    /**
+     * Shift the engine's synchronization clocks by @p delta after a
+     * fluid warp applied at a quiescent barrier (all island clocks and
+     * channel due times already shifted by the caller). Promises re-arm
+     * from island now() at the next runUntil and stale-low floors are
+     * merely conservative, but shifting both keeps every clock in the
+     * engine on the same timeline — no special cases in the invariants.
+     * Caller must guarantee no worker threads are running.
+     */
+    void fluidWarp(Time delta);
+
   private:
     struct InEdge
     {
@@ -260,6 +311,8 @@ class ShardEngine
         // Heap-boxed so island registration never moves the atomic
         // out from under a channel floor reader.
         std::unique_ptr<Promise> promise;
+        // simlint:allow(fluid-boundary): possession only; settle sites
+        FlowLedger *ledger = nullptr;
         bool done = false;
     };
 

@@ -125,16 +125,25 @@ struct CostModel
      */
     double netback_per_packet = 9300;
     /**
-     * Extra per-frame cost once the backend runs multi-threaded
-     * (grant-table locking, cross-core cache bouncing): what keeps the
-     * enhanced driver's dom0 bill in the 400% range of Figs. 17/18.
+     * Extra per-frame cost once the backend runs multi-threaded and
+     * the frontend is PV-on-HVM: the event-channel upcall must be
+     * converted into a virtual LAPIC interrupt, and that conversion
+     * holds the per-domain event lock, so concurrent workers bounce
+     * the lock line (plus the injection IPI) on every frame. It is
+     * what keeps the enhanced driver's dom0 bill in the 400% range of
+     * Fig. 17. PVM frontends are notified by a lockless evtchn
+     * set-bit and skip the surcharge entirely — the LAPIC-conversion
+     * saving behind Fig. 18's ~324% vs Fig. 17's ~431%.
      */
     double netback_smp_extra = 5700;
     /**
      * Discount for PVM frontends, whose classic grant path is cheaper
-     * than the PV-on-HVM receive path (Fig. 18 vs Fig. 17 dom0 cost).
+     * than the PV-on-HVM receive path. Most of Fig. 18's dom0 saving
+     * is the skipped SMP surcharge above; this residual covers the
+     * cheaper single-threaded copy path (it was 1500 back when it had
+     * to stand in for the then-unmodeled LAPIC-conversion share too).
      */
-    double netback_pvm_discount = 1500;
+    double netback_pvm_discount = 500;
     /** Backend thread wakeup per batch. */
     double netback_wakeup = 8000;
     /** netfront (guest) per-frame cost: stack work + grant/ring ops. */

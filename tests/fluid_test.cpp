@@ -435,9 +435,9 @@ runSmallTestbed(FluidMode mode)
     auto m = tb.measure(sim::Time::sec(1), sim::Time::sec(3));
     RunResult r;
     r.goodput_bps = m.total_goodput_bps;
-    if (core::FluidDirector *fd = tb.fluidDirector()) {
-        r.segments = fd->stats().segments;
-        r.warped = fd->stats().warped;
+    if (const sim::FluidStats *fs = tb.fluidStats()) {
+        r.segments = fs->segments;
+        r.warped = fs->warped;
     }
     return r;
 }

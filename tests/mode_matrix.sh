@@ -1,0 +1,60 @@
+#!/bin/sh
+# Mode-composition cross-matrix: fig06 at {shards 0,2} x {fluid
+# off,exact,on}, plus a shards=1 fluid=on cell for the cross-shard
+# byte-identity leg. Pairs are checked per the established contracts
+# (DESIGN.md section 14 and 15):
+#
+#   exact-vs-on at a fixed shard count  -> strict fluid-equiv (byte
+#                                          identity on every
+#                                          non-diagnostic leaf)
+#   off-vs-on at a fixed shard count    -> banded fluid-equiv
+#   fluid=on across shard counts        -> cmp (bit-for-bit)
+#
+# The legacy (shards=0) and sharded machines publish different metric
+# sets (the sharded report drops legacy-only members), so there is no
+# cross-machine pair contract; composition legality is exactly "every
+# in-machine contract still holds when both flags are set".
+set -eu
+
+BENCH=$1
+CHECK=$2
+OUT=$3
+
+rm -rf "$OUT"
+mkdir -p "$OUT"
+
+run() {
+    "$BENCH" --shards="$1" --fluid="$2" --out="$OUT/s$1_$2" \
+        > "$OUT/s$1_$2.log" 2>&1
+}
+
+# The off/exact cells simulate every hop; run the matrix concurrently
+# so the test's wall time is one exact run, not six.
+run 0 off & run 0 exact & run 0 on &
+run 2 off & run 2 exact & run 2 on &
+run 1 on &
+wait
+
+fail=0
+
+echo "== strict: exact vs on shares one schedule at each shard count"
+"$CHECK" fluid-equiv "$OUT/s0_exact/fig06.json" "$OUT/s0_on/fig06.json" \
+    || fail=1
+"$CHECK" fluid-equiv "$OUT/s2_exact/fig06.json" "$OUT/s2_on/fig06.json" \
+    || fail=1
+
+echo "== banded: off vs on stays inside the equivalence bands"
+"$CHECK" fluid-equiv --banded "$OUT/s0_off/fig06.json" \
+    "$OUT/s0_on/fig06.json" || fail=1
+"$CHECK" fluid-equiv --banded "$OUT/s2_off/fig06.json" \
+    "$OUT/s2_on/fig06.json" || fail=1
+
+echo "== byte identity: fluid=on reports across shard counts"
+if cmp "$OUT/s1_on/fig06.json" "$OUT/s2_on/fig06.json"; then
+    echo "s1_on == s2_on"
+else
+    echo "FAIL: s1_on differs from s2_on" >&2
+    fail=1
+fi
+
+exit $fail

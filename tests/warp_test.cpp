@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Tests for the coordinated cross-shard fluid warp (--shards=N
+ * --fluid=on, DESIGN.md §15): the WarpCoordinator must actually warp a
+ * steady sharded workload, the warped schedule must be the exact
+ * sharded schedule (integer-derived measurements bit-equal between
+ * --fluid=exact and --fluid=on), and everything — digests, event
+ * counts, fluid stats — must be invariant across shard counts.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "check/determinism.hpp"
+#include "core/testbed.hpp"
+#include "core/warp_coordinator.hpp"
+#include "sim/fluid.hpp"
+#include "sim/log.hpp"
+#include "sim/shard.hpp"
+#include "sim/time.hpp"
+#include "vmm/domain.hpp"
+
+using namespace sriov;
+using sim::FluidMode;
+using sim::Time;
+
+namespace {
+
+struct QuietLogs
+{
+    QuietLogs() { sim::setLogLevel(sim::LogLevel::Quiet); }
+};
+QuietLogs quiet_logs;
+
+struct WarpRun
+{
+    double goodput_bps = 0;
+    std::uint64_t digest = 0;
+    std::uint64_t events = 0;
+    std::uint64_t segments = 0;
+    std::uint64_t elided = 0;
+    Time warped;
+};
+
+/** A 2-port, 4-VM SR-IOV testbed driven for 3 simulated seconds. */
+WarpRun
+runSharded(unsigned shards, FluidMode mode)
+{
+    sim::ShardScope scope(shards);
+    sim::FluidScope fluid(mode);
+    core::Testbed::Params p;
+    p.num_ports = 2;
+    p.itr = "adaptive";
+    core::Testbed tb(p);
+    for (unsigned i = 0; i < 4; ++i) {
+        auto &g = tb.addGuest(vmm::DomainType::Hvm,
+                              core::Testbed::NetMode::Sriov);
+        tb.startUdpToGuest(g, p.line_bps / 4);
+    }
+    auto m = tb.measure(Time::sec(1), Time::sec(3));
+    WarpRun r;
+    r.goodput_bps = m.total_goodput_bps;
+    r.digest = tb.orderDigest();
+    r.events = tb.executedEvents();
+    if (const sim::FluidStats *fs = tb.fluidStats()) {
+        r.segments = fs->segments;
+        r.elided = fs->events_elided;
+        r.warped = fs->warped;
+    }
+    return r;
+}
+
+} // namespace
+
+TEST(WarpCoordinator, ShardedWarpMatchesExactScheduleByteForByte)
+{
+    WarpRun exact = runSharded(2, FluidMode::Exact);
+    WarpRun on = runSharded(2, FluidMode::On);
+
+    // Exact installs the per-island ledgers but no coordinator; On
+    // must actually warp — and elide most of the run's events.
+    EXPECT_EQ(exact.segments, 0u);
+    ASSERT_GT(on.segments, 0u);
+    EXPECT_GT(on.warped, Time::sec(1));
+    EXPECT_GT(on.elided, on.events);
+
+    // One shared schedule: goodput divides integer bytes by integer
+    // picoseconds, so the doubles must be identical, not merely close.
+    EXPECT_EQ(exact.goodput_bps, on.goodput_bps);
+}
+
+TEST(WarpCoordinator, EverythingInvariantAcrossShardCounts)
+{
+    WarpRun s1 = runSharded(1, FluidMode::On);
+    WarpRun s2 = runSharded(2, FluidMode::On);
+    WarpRun s4 = runSharded(4, FluidMode::On);
+    ASSERT_GT(s1.segments, 0u);
+
+    // The coordinator probes at quiescent barriers — no probe events —
+    // so the executed sequences, their digests, and even the warp
+    // decisions are pure functions of simulated time.
+    EXPECT_EQ(s1.digest, s2.digest);
+    EXPECT_EQ(s1.digest, s4.digest);
+    EXPECT_EQ(s1.events, s2.events);
+    EXPECT_EQ(s1.events, s4.events);
+    EXPECT_EQ(s1.segments, s2.segments);
+    EXPECT_EQ(s1.segments, s4.segments);
+    EXPECT_EQ(s1.warped, s2.warped);
+    EXPECT_EQ(s1.warped, s4.warped);
+    EXPECT_EQ(s1.elided, s2.elided);
+    EXPECT_EQ(s1.goodput_bps, s2.goodput_bps);
+    EXPECT_EQ(s1.goodput_bps, s4.goodput_bps);
+}
+
+TEST(WarpCoordinator, WarpedShardedRunIsReproducible)
+{
+    auto result = check::DeterminismHarness::runTwice([](unsigned) {
+        WarpRun r = runSharded(2, FluidMode::On);
+        return check::RunDigest{r.digest, r.events};
+    });
+    EXPECT_TRUE(result.match()) << result.toString();
+}
+
+TEST(WarpCoordinator, ExactInstallsLedgersButNoCoordinator)
+{
+    sim::ShardScope scope(2);
+    sim::FluidScope fluid(FluidMode::Exact);
+    core::Testbed::Params p;
+    p.num_ports = 1;
+    core::Testbed tb(p);
+    // Exact mode quantizes through the island ledgers (so On shares
+    // its schedule) but never warps; there is nothing to coordinate.
+    EXPECT_EQ(tb.warpCoordinator(), nullptr);
+    EXPECT_EQ(tb.fluidDirector(), nullptr);
+    EXPECT_EQ(tb.fluidStats(), nullptr);
+}
+
+TEST(WarpCoordinator, OffInstallsNothingSharded)
+{
+    sim::ShardScope scope(2);
+    core::Testbed::Params p;
+    p.num_ports = 1;
+    core::Testbed tb(p);
+    EXPECT_EQ(tb.warpCoordinator(), nullptr);
+    EXPECT_EQ(tb.fluidDirector(), nullptr);
+    EXPECT_EQ(tb.fluidStats(), nullptr);
+}
+
+TEST(WarpCoordinator, LegacyFluidStillUsesTheDirector)
+{
+    sim::FluidScope fluid(FluidMode::On);
+    core::Testbed::Params p;
+    p.num_ports = 1;
+    core::Testbed tb(p);
+    EXPECT_NE(tb.fluidDirector(), nullptr);
+    EXPECT_EQ(tb.warpCoordinator(), nullptr);
+}

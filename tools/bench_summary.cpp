@@ -90,6 +90,9 @@ summarizePerf(const std::vector<std::string> &files,
         w.kv("shards", num(*doc, "shards"));
         const JsonValue *fluid = doc->find("fluid");
         w.kv("fluid", fluid != nullptr && fluid->boolean);
+        const JsonValue *fmode = doc->find("fluid_mode");
+        if (fmode != nullptr && fmode->isString())
+            w.kv("fluid_mode", fmode->str);
         w.kv("cases",
              double(cases != nullptr ? cases->items.size() : 0));
         if (total != nullptr) {
@@ -106,6 +109,37 @@ summarizePerf(const std::vector<std::string> &files,
             }
             grand_events += num(*total, "events");
             grand_wall += num(*total, "host_wall_s");
+        }
+        // Warp effectiveness rides into the summary so perf_compare's
+        // --min-warp-frac gate can catch fluid warping silently
+        // degrading (probes forever rejected -> the bench still
+        // finishes, just 60x slower). Summed over the cases; the
+        // fraction is warped simulated time over simulated time.
+        double segments = 0, periods = 0, warped = 0, elided = 0;
+        double sim_s = 0;
+        bool any_fluid = false;
+        if (cases != nullptr) {
+            for (const JsonValue &c : cases->items) {
+                sim_s += num(c, "sim_s");
+                const JsonValue *fs = c.find("fluid_stats");
+                if (fs == nullptr)
+                    continue;
+                any_fluid = true;
+                segments += num(*fs, "segments");
+                periods += num(*fs, "periods_warped");
+                warped += num(*fs, "warped_sim_s");
+                elided += num(*fs, "events_elided");
+            }
+        }
+        if (any_fluid) {
+            w.key("fluid_stats").beginObject();
+            w.kv("segments", segments);
+            w.kv("periods_warped", periods);
+            w.kv("warped_sim_s", warped);
+            if (sim_s > 0)
+                w.kv("warp_frac", warped / sim_s);
+            w.kv("events_elided", elided);
+            w.endObject();
         }
         w.endObject();
         ++benches;

@@ -30,6 +30,14 @@
  * several times the work per frame. Growth beyond
  * --max-epp-growth (default 1.1x, env SRIOV_PERF_MAX_EPP_GROWTH)
  * fails the run; shrinkage is fine — that is an optimization landing.
+ *
+ * Fluid-on benches carry a third gate: --min-warp-frac (default 0 =
+ * off, env SRIOV_PERF_MIN_WARP_FRAC) is a floor on the fresh
+ * summary's fluid_stats.warp_frac — warped simulated seconds over
+ * simulated seconds. A warp certificate that stops materialising
+ * (every probe rejected) leaves results bit-identical and merely
+ * makes the bench 50x slower, which a generous wall-clock ratio on a
+ * fast runner can absorb; the fraction gate cannot be fooled that way.
  */
 
 #include <algorithm>
@@ -96,6 +104,11 @@ struct BenchRate
     bool thin = true;
     unsigned shards = 0;
     bool fluid = false;
+    /** Warped simulated time over simulated time, from the summary's
+     *  fluid_stats block (0 when absent). The --min-warp-frac gate
+     *  judges this on the *fresh* side only: warp effectiveness is a
+     *  property of the run, not a ratio against the baseline. */
+    double warp_frac = 0.0;
 };
 
 /** Extract per-bench events/s from a perf summary; nullopt on error. */
@@ -125,6 +138,8 @@ loadRates(const std::string &path)
             r.shards = unsigned(num(b, "shards"));
             const JsonValue *fluid = b.find("fluid");
             r.fluid = fluid != nullptr && fluid->boolean;
+            if (const JsonValue *fs = b.find("fluid_stats"))
+                r.warp_frac = num(*fs, "warp_frac");
             rates.push_back(std::move(r));
         }
     }
@@ -151,6 +166,14 @@ main(int argc, char **argv)
     double max_epp_growth = 1.1;
     if (const char *env = std::getenv("SRIOV_PERF_MAX_EPP_GROWTH"))
         max_epp_growth = std::atof(env);
+    // Fluid-on warp-effectiveness floor: 0 (the default) disables the
+    // gate. When set, every *fresh* fluid-on bench must report a
+    // fluid_stats.warp_frac at or above it — the failure mode this
+    // catches is warping silently degrading (every probe rejected),
+    // which wall-clock gates on a fast runner can miss.
+    double min_warp_frac = 0.0;
+    if (const char *env = std::getenv("SRIOV_PERF_MIN_WARP_FRAC"))
+        min_warp_frac = std::atof(env);
 
     std::string out_path;
     std::vector<const char *> pos;
@@ -159,6 +182,8 @@ main(int argc, char **argv)
             min_ratio = std::atof(argv[i] + 12);
         else if (std::strncmp(argv[i], "--max-epp-growth=", 17) == 0)
             max_epp_growth = std::atof(argv[i] + 17);
+        else if (std::strncmp(argv[i], "--min-warp-frac=", 16) == 0)
+            min_warp_frac = std::atof(argv[i] + 16);
         else if (std::strncmp(argv[i], "--out=", 6) == 0)
             out_path = argv[i] + 6;
         else
@@ -168,6 +193,7 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: perf_compare [--min-ratio=<x>] "
                      "[--max-epp-growth=<x>] "
+                     "[--min-warp-frac=<x>] "
                      "[--out=<comparison.json>] "
                      "<baseline.json> <fresh.json>...\n");
         return 2;
@@ -182,6 +208,12 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "perf_compare: max epp growth %.3f below 1\n",
                      max_epp_growth);
+        return 2;
+    }
+    if (min_warp_frac < 0 || min_warp_frac > 1.0) {
+        std::fprintf(stderr,
+                     "perf_compare: min warp frac %.3f out of [0, 1]\n",
+                     min_warp_frac);
         return 2;
     }
 
@@ -221,6 +253,10 @@ main(int argc, char **argv)
                     have.events_per_packet =
                         std::max(have.events_per_packet,
                                  r.events_per_packet);
+                    // Likewise the warp fraction: worst-of-N, so one
+                    // healthy repetition cannot hide a degraded one.
+                    have.warp_frac =
+                        std::min(have.warp_frac, r.warp_frac);
                     merged = true;
                     break;
                 }
@@ -326,6 +362,33 @@ main(int argc, char **argv)
                     now.name.c_str(), now.events_per_sec / 1e6);
     }
     w.endArray();
+
+    // Warp-effectiveness floor: judged on the fresh side alone (no
+    // baseline ratio — a fluid-on bench either warps most of its
+    // steady horizon or the accelerator is broken), so new benches
+    // and mode-mismatched ones are gated too.
+    w.key("warp_gate").beginArray();
+    if (min_warp_frac > 0) {
+        for (const BenchRate &now : fresh) {
+            if (!now.fluid)
+                continue;
+            bool ok = now.warp_frac >= min_warp_frac;
+            w.beginObject();
+            w.kv("bench", now.name);
+            w.kv("warp_frac", now.warp_frac);
+            w.kv("min_warp_frac", min_warp_frac);
+            w.kv("status", ok ? "ok" : "degraded");
+            w.endObject();
+            std::printf("perf_compare: %-16s warp frac %.3f (floor "
+                        "%.3f) %s\n",
+                        now.name.c_str(), now.warp_frac, min_warp_frac,
+                        ok ? "ok" : "WARP DEGRADED");
+            if (!ok)
+                ++failed;
+            ++compared;
+        }
+    }
+    w.endArray();
     w.kv("compared", std::uint64_t(compared));
     w.kv("regressed", std::uint64_t(failed));
     w.endObject();
@@ -339,14 +402,16 @@ main(int argc, char **argv)
 
     if (failed != 0) {
         std::fprintf(stderr,
-                     "perf_compare: FAIL: %zu of %zu benches regressed "
+                     "perf_compare: FAIL: %zu of %zu checks regressed "
                      "(events/s below %.2fx of the committed baseline, "
-                     "or events/packet above %.2fx of it)\n",
-                     failed, compared, min_ratio, max_epp_growth);
+                     "events/packet above %.2fx of it, or warp "
+                     "fraction below the %.2f floor)\n",
+                     failed, compared, min_ratio, max_epp_growth,
+                     min_warp_frac);
         return 1;
     }
-    std::printf("perf_compare: %zu benches at or above %.2fx of the "
-                "committed baseline\n",
+    std::printf("perf_compare: %zu checks at or above the committed "
+                "baseline (min ratio %.2f)\n",
                 compared, min_ratio);
     return 0;
 }

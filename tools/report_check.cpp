@@ -426,6 +426,7 @@ checkPerf(const std::string &path)
     if (cases == nullptr || !cases->isArray() || cases->items.empty())
         return fail(path, "missing/empty cases array");
     double sum_events = 0;
+    std::size_t fluid_cases = 0;
     for (const JsonValue &c : cases->items) {
         const JsonValue *label = c.find("label");
         if (label == nullptr || !label->isString() || label->str.empty())
@@ -436,6 +437,46 @@ checkPerf(const std::string &path)
                 return fail(path, std::string("case missing '") + k + "'");
         }
         sum_events += c.find("events")->number;
+
+        // Warp accounting, when present: every counter is a plain
+        // non-negative number, every probe either produced a segment
+        // or was rejected, and warped simulated time fits inside the
+        // simulated window the case actually covered.
+        const JsonValue *fs = c.find("fluid_stats");
+        if (fs == nullptr)
+            continue;
+        ++fluid_cases;
+        for (const char *k : {"segments", "probes", "rejected",
+                              "periods_warped", "warped_sim_s",
+                              "events_elided"}) {
+            const JsonValue *v = fs->find(k);
+            if (v == nullptr || !v->isNumber() || v->number < 0)
+                return fail(path, std::string("fluid_stats missing '")
+                                      + k + "' in case "
+                                      + label->str);
+        }
+        double segments = fs->find("segments")->number;
+        double probes = fs->find("probes")->number;
+        double rejected = fs->find("rejected")->number;
+        double warped = fs->find("warped_sim_s")->number;
+        if (segments + rejected > probes)
+            return fail(path, "fluid_stats: segments + rejected > "
+                              "probes in case " + label->str);
+        if (segments > 0
+            && fs->find("periods_warped")->number < segments)
+            return fail(path, "fluid_stats: fewer warped periods than "
+                              "segments in case " + label->str);
+        const JsonValue *sim_s = c.find("sim_s");
+        if (sim_s != nullptr && sim_s->isNumber()
+            && warped > sim_s->number * (1 + 1e-9))
+            return fail(path, "fluid_stats: warped_sim_s exceeds the "
+                              "simulated window in case " + label->str);
+        const JsonValue *frac = fs->find("warp_frac");
+        if (frac != nullptr
+            && (!frac->isNumber() || frac->number < 0
+                || frac->number > 1 + 1e-9))
+            return fail(path, "fluid_stats: warp_frac outside [0, 1] "
+                              "in case " + label->str);
     }
     const JsonValue *total = doc->find("total");
     if (total == nullptr || !total->isObject())
@@ -444,8 +485,10 @@ checkPerf(const std::string &path)
     if (tev == nullptr || !tev->isNumber()
         || tev->number != sum_events)
         return fail(path, "total.events inconsistent with case sum");
-    std::printf("report_check: %s: OK (%zu cases, %.0f events)\n",
-                path.c_str(), cases->items.size(), sum_events);
+    std::printf("report_check: %s: OK (%zu cases, %.0f events, %zu "
+                "with warp stats)\n",
+                path.c_str(), cases->items.size(), sum_events,
+                fluid_cases);
     return true;
 }
 

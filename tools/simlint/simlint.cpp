@@ -747,8 +747,9 @@ isWireFile(const std::string &path)
         && p.filename().string().rfind("wire", 0) == 0;
 }
 
-/** src/sim/fluid.* and src/core/fluid_path.*: the fluid engine itself,
- *  where ledger mutation is the whole job. */
+/** src/sim/fluid.*, src/core/fluid_path.* and the cross-shard
+ *  core/warp_coordinator.*: the fluid engine itself, where ledger
+ *  mutation is the whole job. */
 bool
 isFluidCoreFile(const std::string &path)
 {
@@ -759,7 +760,8 @@ isFluidCoreFile(const std::string &path)
     std::string dir = p.parent_path().filename().string();
     std::string name = p.filename().string();
     return (dir == "sim" && name.rfind("fluid", 0) == 0)
-        || (dir == "core" && name.rfind("fluid_path", 0) == 0);
+        || (dir == "core" && name.rfind("fluid_path", 0) == 0)
+        || (dir == "core" && name.rfind("warp_coordinator", 0) == 0);
 }
 
 std::string

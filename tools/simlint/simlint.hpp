@@ -20,8 +20,9 @@
  *                            functions annotated `// simlint: hot`
  *   fluid-boundary           naming the fluid settlement ledger
  *                            (FlowLedger / fluidLedger / warpBy)
- *                            outside sim/fluid.*, core/fluid_path.*
- *                            and functions annotated
+ *                            outside sim/fluid.*, core/fluid_path.*,
+ *                            core/warp_coordinator.* and functions
+ *                            annotated
  *                            `// simlint: fluid-settle` — unwitnessed
  *                            ledger mutation can fabricate the
  *                            steadiness certificate fluid warps
